@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablations of the DESIGN.md-called-out choices:
+ *
+ *  1. Planner DFS descent rule: equal-tag descent (default; provably
+ *     criticality-monotone output) vs the paper-literal eager descent
+ *     (tags(child) >= tags(node)).
+ *  2. Planner overflow rule: stop at first non-fitting container
+ *     (Alg. 1 literal) vs skip-app-and-continue.
+ *  3. Packer stages: best-fit only, +migrations, +deletions, and the
+ *     paper-literal abort-on-unplaceable.
+ */
+
+#include <iostream>
+
+#include "adaptlab/runner.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+using namespace phoenix;
+using namespace phoenix::adaptlab;
+using namespace phoenix::core;
+
+namespace {
+
+void
+report(util::Table &table, const std::string &variant,
+       const Environment &env, ResilienceScheme &scheme, double rate)
+{
+    std::vector<TrialMetrics> batch;
+    for (uint64_t t = 0; t < 3; ++t)
+        batch.push_back(runFailureTrial(env, scheme, rate, 900 + t));
+    const TrialMetrics m = averageTrials(batch);
+    table.row()
+        .cell(variant)
+        .cell(rate, 1)
+        .cell(m.availability)
+        .cell(m.utilization)
+        .cell(m.planSeconds + m.packSeconds, 4);
+}
+
+} // namespace
+
+int
+main()
+{
+    auto config = bench::paperEnvironment(
+        workloads::TaggingScheme::ServiceLevel, 0.9,
+        workloads::ResourceModel::CallsPerMinute);
+    bench::banner("Ablations | " + std::to_string(config.nodeCount) +
+                  " nodes, Service-Level-P90 + CPM");
+    const Environment env = buildEnvironment(config);
+
+    bench::banner("1+2: planner variants (PhoenixFair)");
+    util::Table planner_table({"variant", "failure-rate", "availability",
+                               "utilization", "time(s)"});
+    for (double rate : {0.5, 0.9}) {
+        {
+            PhoenixScheme scheme(Objective::Fair);
+            report(planner_table, "default(equal-tag,stop)", env,
+                   scheme, rate);
+        }
+        {
+            PlannerOptions options;
+            options.eagerDfsDescend = true;
+            PhoenixScheme scheme(Objective::Fair, options);
+            report(planner_table, "eager-dfs(paper-literal)", env,
+                   scheme, rate);
+        }
+        {
+            PlannerOptions options;
+            options.stopAtFirstOverflow = false;
+            PhoenixScheme scheme(Objective::Fair, options);
+            report(planner_table, "skip-overflow", env, scheme, rate);
+        }
+    }
+    planner_table.print(std::cout);
+
+    bench::banner("3: packer stages (PhoenixFair)");
+    util::Table packer_table({"variant", "failure-rate", "availability",
+                              "utilization", "time(s)"});
+    for (double rate : {0.5, 0.9}) {
+        {
+            PhoenixScheme scheme(Objective::Fair);
+            report(packer_table, "bestfit+migrate+delete", env, scheme,
+                   rate);
+        }
+        {
+            PackingOptions options;
+            options.allowMigrations = false;
+            PhoenixScheme scheme(Objective::Fair, {}, options);
+            report(packer_table, "no-migrations", env, scheme, rate);
+        }
+        {
+            PackingOptions options;
+            options.allowDeletions = false;
+            PhoenixScheme scheme(Objective::Fair, {}, options);
+            report(packer_table, "no-deletions", env, scheme, rate);
+        }
+        {
+            PackingOptions options;
+            options.allowMigrations = false;
+            options.allowDeletions = false;
+            PhoenixScheme scheme(Objective::Fair, {}, options);
+            report(packer_table, "bestfit-only", env, scheme, rate);
+        }
+        {
+            PackingOptions options;
+            options.abortOnUnplaceable = true;
+            PhoenixScheme scheme(Objective::Fair, {}, options);
+            report(packer_table, "abort-on-unplaceable(paper)", env,
+                   scheme, rate);
+        }
+    }
+    packer_table.print(std::cout);
+    return 0;
+}

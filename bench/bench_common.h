@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses.
+ *
+ * Every binary regenerates one table or figure of the paper and prints
+ * the same rows/series. Scale control: the AdaptLab figures default to
+ * a reduced cluster that preserves every trend; set
+ * ADAPTLAB_FULL_SCALE=1 to run at the paper's size (100,000 nodes /
+ * full 18-application mix).
+ */
+
+#ifndef PHOENIX_BENCH_BENCH_COMMON_H
+#define PHOENIX_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "adaptlab/environment.h"
+
+namespace phoenix::bench {
+
+/** True when ADAPTLAB_FULL_SCALE=1 is exported. */
+inline bool
+fullScale()
+{
+    const char *env = std::getenv("ADAPTLAB_FULL_SCALE");
+    return env && std::string(env) == "1";
+}
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n";
+}
+
+/**
+ * AdaptLab environment matching §6.2 (Alibaba-style apps, chosen
+ * tagging/resource model). Reduced scale by default; paper scale with
+ * ADAPTLAB_FULL_SCALE=1.
+ */
+inline adaptlab::EnvironmentConfig
+paperEnvironment(workloads::TaggingScheme tagging, double percentile,
+                 workloads::ResourceModel resources)
+{
+    adaptlab::EnvironmentConfig config;
+    if (fullScale()) {
+        config.nodeCount = 100000;
+        config.alibaba.appCount = 18;
+        config.alibaba.sizeScale = 1.0;
+        // ~16 replica pods per 16-CPU node: realistic density, and it
+        // keeps the 100k-node environment at ~1M pods.
+        config.nodeCapacity = 16.0;
+        config.resources.minCpu = 0.5;
+        config.resources.maxCpu = 8.0;
+    } else {
+        config.nodeCount = 2000;
+        config.alibaba.appCount = 18;
+        config.alibaba.sizeScale = 0.12; // 360 .. ~4 services
+        config.nodeCapacity = 64.0;
+    }
+    config.demandFraction = 0.8;
+    config.tagging.scheme = tagging;
+    config.tagging.percentile = percentile;
+    config.resources.model = resources;
+    return config;
+}
+
+} // namespace phoenix::bench
+
+#endif // PHOENIX_BENCH_BENCH_COMMON_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Figure 17 (Appendix G): analysis of the Alibaba-style workload.
+ *  (a) dependency-graph size vs user requests served per application
+ *      (few large apps serve most requests);
+ *  (b) call-graph size distribution of the top four applications
+ *      (most call graphs touch < 10 microservices);
+ *  (c) fraction of requests serveable vs fraction of microservices
+ *      enabled, from the coverage optimization (App1: >80% of requests
+ *      with ~3% of services). Greedy max-coverage stands in for the
+ *      paper's Gurobi LP; the exact MILP is used on apps small enough
+ *      to solve.
+ * Also reports the single-upstream fraction (§3.2: 74-82%).
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/alibaba.h"
+#include "workloads/coverage.h"
+
+using namespace phoenix;
+using namespace phoenix::workloads;
+
+int
+main()
+{
+    AlibabaConfig config;
+    config.appCount = 18;
+    config.sizeScale = bench::fullScale() ? 1.0 : 0.3;
+    bench::banner("Figure 17 | Alibaba-style workload analysis (" +
+                  std::to_string(config.appCount) + " apps, scale " +
+                  util::formatDouble(config.sizeScale, 2) + ")");
+
+    const auto apps = AlibabaGenerator(config).generate();
+
+    bench::banner("(a) DG size vs requests served");
+    util::Table a({"app", "microservices", "requests/day",
+                   "single-upstream-fraction"});
+    for (const auto &generated : apps) {
+        a.row()
+            .cell(generated.app.name)
+            .cell(generated.app.services.size())
+            .cell(generated.requestRate, 0)
+            .cell(generated.app.dag.singleUpstreamFraction());
+    }
+    a.print(std::cout);
+
+    double upstream = 0.0;
+    for (const auto &generated : apps)
+        upstream += generated.app.dag.singleUpstreamFraction();
+    std::cout << "mean single-upstream fraction: "
+              << upstream / static_cast<double>(apps.size())
+              << " (paper: 0.74-0.82)\n";
+
+    bench::banner("(b) call-graph size distribution, top 4 apps");
+    util::Table b({"app", "p50-size", "p90-size", "max-size",
+                   "weight(size<10)"});
+    for (size_t i = 0; i < 4 && i < apps.size(); ++i) {
+        std::vector<double> sizes;
+        double small_weight = 0.0;
+        for (const auto &tpl : apps[i].callGraphs) {
+            sizes.push_back(static_cast<double>(tpl.services.size()));
+            if (tpl.services.size() < 10)
+                small_weight += tpl.weight;
+        }
+        b.row()
+            .cell(apps[i].app.name)
+            .cell(util::percentile(sizes, 50), 1)
+            .cell(util::percentile(sizes, 90), 1)
+            .cell(*std::max_element(sizes.begin(), sizes.end()), 0)
+            .cell(small_weight);
+    }
+    b.print(std::cout);
+
+    bench::banner("(c) requests covered vs microservices enabled");
+    util::Table c({"app", "services", "ms-for-50%", "ms-for-80%",
+                   "ms-for-90%", "frac-of-services-for-80%"});
+    for (size_t i = 0; i < 6 && i < apps.size(); ++i) {
+        const auto &generated = apps[i];
+        const size_t n = generated.app.services.size();
+        const auto at = [&](double target) {
+            return minServicesForCoverage(generated.callGraphs, n,
+                                          target)
+                .size();
+        };
+        const size_t for80 = at(0.8);
+        c.row()
+            .cell(generated.app.name)
+            .cell(n)
+            .cell(at(0.5))
+            .cell(for80)
+            .cell(at(0.9))
+            .cell(static_cast<double>(for80) / static_cast<double>(n));
+    }
+    c.print(std::cout);
+
+    // Exact-vs-greedy spot check on a small app.
+    const auto &tail = apps.back();
+    const auto greedy = minServicesForCoverage(
+        tail.callGraphs, tail.app.services.size(), 0.8);
+    const auto exact = exactMinServicesForCoverage(
+        tail.callGraphs, tail.app.services.size(), 0.8);
+    std::cout << "greedy vs exact (smallest app, 80% target): greedy="
+              << greedy.size() << " services, exact="
+              << (exact ? std::to_string(exact->size())
+                        : std::string("n/a"))
+              << "\n";
+    return 0;
+}

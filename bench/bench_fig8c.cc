@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 8(c): cluster utilization under varying failure rates, broken
+ * down into the Phoenix planner's target (aggregate demand of the
+ * ranked list against healthy capacity), the Phoenix scheduler's
+ * placed state, and the Default scheduler. The paper's observations:
+ * Phoenix's placement loses almost nothing relative to the planner's
+ * target, and packs at least as well as Default while spending the
+ * capacity on critical services.
+ */
+
+#include <iostream>
+
+#include "adaptlab/runner.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+using namespace phoenix;
+using namespace phoenix::adaptlab;
+
+int
+main()
+{
+    const auto config = bench::paperEnvironment(
+        workloads::TaggingScheme::ServiceLevel, 0.9,
+        workloads::ResourceModel::CallsPerMinute);
+    bench::banner("Figure 8(c) | utilization breakdown, " +
+                  std::to_string(config.nodeCount) + " nodes");
+
+    const Environment env = buildEnvironment(config);
+    core::PhoenixScheme phoenix(core::Objective::Fair);
+    core::DefaultScheme def;
+
+    util::Table table({"failure-rate", "Phoenix-planner",
+                       "Phoenix-scheduler", "Default",
+                       "planner-to-scheduler-drop"});
+    for (double rate : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        std::vector<TrialMetrics> px_batch;
+        std::vector<TrialMetrics> df_batch;
+        for (uint64_t t = 0; t < 5; ++t) {
+            px_batch.push_back(
+                runFailureTrial(env, phoenix, rate, 500 + t));
+            df_batch.push_back(
+                runFailureTrial(env, def, rate, 500 + t));
+        }
+        const TrialMetrics px = averageTrials(px_batch);
+        const TrialMetrics df = averageTrials(df_batch);
+        table.row()
+            .cell(rate, 1)
+            .cell(px.plannerUtilization)
+            .cell(px.utilization)
+            .cell(df.utilization)
+            .cell(px.plannerUtilization - px.utilization);
+    }
+    table.print(std::cout);
+    return 0;
+}

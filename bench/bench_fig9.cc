@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 9 (Appendix F.1): aggregate resource consumption per
+ * criticality level across the five CloudLab application instances.
+ * The paper's mix: C1 vs non-critical roughly 60:40 within the ~70% of
+ * the cluster the applications demand, putting all C1 services at
+ * ~40% of cluster capacity.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "apps/cloudlab.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+using namespace phoenix;
+
+int
+main()
+{
+    bench::banner("Figure 9 | resource breakdown across criticalities");
+
+    const apps::CloudLabTestbed testbed = apps::makeCloudLabTestbed();
+
+    std::map<int, double> per_level;
+    std::map<std::string, std::map<int, double>> per_app;
+    double total = 0.0;
+    for (const auto &sapp : testbed.serviceApps) {
+        for (const auto &ms : sapp.app.services) {
+            per_level[ms.criticality] += ms.cpu;
+            per_app[sapp.app.name][ms.criticality] += ms.cpu;
+            total += ms.cpu;
+        }
+    }
+
+    util::Table table({"criticality", "CPUs", "share-of-demand",
+                       "share-of-cluster"});
+    for (const auto &[level, cpus] : per_level) {
+        table.row()
+            .cell("C" + std::to_string(level))
+            .cell(cpus, 1)
+            .cell(cpus / total)
+            .cell(cpus / testbed.totalCapacity());
+    }
+    table.print(std::cout);
+
+    util::Table apps_table({"app", "C1", "C2", "C3", "C4", "C5"});
+    for (const auto &[name, levels] : per_app) {
+        apps_table.row().cell(name);
+        for (int level = 1; level <= 5; ++level) {
+            auto it = levels.find(level);
+            apps_table.cell(it == levels.end() ? 0.0 : it->second, 1);
+        }
+    }
+    apps_table.print(std::cout);
+
+    const double critical = per_level[1];
+    std::cout << "C1 : non-critical = " << critical / total << " : "
+              << (total - critical) / total << " of the apps' demand; "
+              << "all C1 = " << critical / testbed.totalCapacity()
+              << " of the cluster (breaking point for the Fig 5/6 "
+                 "failures).\n";
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the hot components behind the
+ * Fig 8(b) planning-time numbers: the planner's two stages, the
+ * packing scheduler, the simplex solver, and the graph traversals.
+ * Complements bench_fig8b, which measures the end-to-end wall-clock
+ * the paper reports.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "adaptlab/environment.h"
+#include "core/packing.h"
+#include "core/planner.h"
+#include "lp/simplex.h"
+#include "sim/failure.h"
+#include "util/rng.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+
+namespace {
+
+adaptlab::Environment &
+environmentForNodes(size_t nodes)
+{
+    static std::map<size_t, adaptlab::Environment> cache;
+    auto it = cache.find(nodes);
+    if (it == cache.end()) {
+        adaptlab::EnvironmentConfig config;
+        config.nodeCount = nodes;
+        config.alibaba.appCount = 18;
+        config.alibaba.sizeScale =
+            std::max(0.01, static_cast<double>(nodes) / 100000.0);
+        it = cache.emplace(nodes,
+                           adaptlab::buildEnvironment(config)).first;
+    }
+    return it->second;
+}
+
+void
+BM_PriorityEstimator(benchmark::State &state)
+{
+    const auto &env =
+        environmentForNodes(static_cast<size_t>(state.range(0)));
+    size_t services = 0;
+    for (const auto &app : env.apps)
+        services += app.services.size();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            Planner::priorityEstimator(env.apps));
+    }
+    state.counters["services"] = static_cast<double>(services);
+}
+BENCHMARK(BM_PriorityEstimator)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GlobalRank(benchmark::State &state)
+{
+    const auto &env =
+        environmentForNodes(static_cast<size_t>(state.range(0)));
+    const auto ranks = Planner::priorityEstimator(env.apps);
+    Planner planner;
+    for (auto _ : state) {
+        FairObjective fair;
+        benchmark::DoNotOptimize(planner.globalRank(
+            env.apps, ranks, fair,
+            env.cluster.healthyCapacity() * 0.5));
+    }
+}
+BENCHMARK(BM_GlobalRank)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_PackAfterFailure(benchmark::State &state)
+{
+    const auto &env =
+        environmentForNodes(static_cast<size_t>(state.range(0)));
+    sim::ClusterState failed = env.cluster;
+    sim::FailureInjector injector{util::Rng(5)};
+    injector.failCapacityFraction(failed, 0.5);
+    Planner planner;
+    FairObjective fair;
+    const GlobalRank rank =
+        planner.plan(env.apps, fair, failed.healthyCapacity());
+    PackingScheduler packer;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(packer.pack(env.apps, failed, rank));
+    }
+    state.counters["ranked"] = static_cast<double>(rank.size());
+}
+BENCHMARK(BM_PackAfterFailure)->Arg(1000)->Arg(10000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimplexDense(benchmark::State &state)
+{
+    // A transportation-style LP: n suppliers x n consumers.
+    const int n = static_cast<int>(state.range(0));
+    util::Rng rng(9);
+    lp::Model model;
+    std::vector<std::vector<lp::VarId>> x(n,
+                                          std::vector<lp::VarId>(n));
+    lp::LinExpr objective;
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+            x[i][j] = model.addVar(0.0, 10.0);
+            objective.push_back({x[i][j], rng.uniform(1.0, 5.0)});
+        }
+    }
+    for (int i = 0; i < n; ++i) {
+        lp::LinExpr row;
+        for (int j = 0; j < n; ++j)
+            row.push_back({x[i][j], 1.0});
+        model.addConstraint(row, lp::Relation::LessEq, 5.0 * n);
+        lp::LinExpr col;
+        for (int j = 0; j < n; ++j)
+            col.push_back({x[j][i], 1.0});
+        model.addConstraint(col, lp::Relation::GreaterEq, 1.0 * n);
+    }
+    model.setObjective(objective, false);
+
+    for (auto _ : state) {
+        lp::SimplexSolver solver(model);
+        const auto solution = solver.solve();
+        if (solution.status != lp::SolveStatus::Optimal)
+            state.SkipWithError("simplex failed");
+        benchmark::DoNotOptimize(solution);
+    }
+    state.counters["vars"] = static_cast<double>(n) * n;
+}
+BENCHMARK(BM_SimplexDense)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GraphTopoSort(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    util::Rng rng(11);
+    graph::DiGraph g(n);
+    for (graph::NodeId v = 1; v < n; ++v) {
+        const int parents = static_cast<int>(rng.uniformInt(1, 3));
+        for (int p = 0; p < parents; ++p) {
+            g.addEdge(static_cast<graph::NodeId>(
+                          rng.uniformInt(0, v - 1)),
+                      v);
+        }
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(g.topologicalOrder());
+    state.counters["edges"] = static_cast<double>(g.edgeCount());
+}
+BENCHMARK(BM_GraphTopoSort)->Arg(3000)->Arg(30000)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figures 10-16 (Appendix F.2 "Standalone Testing"): the full cross of
+ * criticality tagging schemes (Service-Level / Freq-Based at P50 and
+ * P90) and resource models (CPM, LongTailed), each swept across
+ * failure rates with all schemes — 8 configuration panels, each
+ * reporting availability, revenue and fair-share deviation. The paper
+ * finds Phoenix on top in every panel.
+ */
+
+#include <iostream>
+
+#include "adaptlab/runner.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+using namespace phoenix;
+using namespace phoenix::adaptlab;
+
+int
+main()
+{
+    const std::vector<double> rates{0.1, 0.5, 0.9};
+    const int trials = bench::fullScale() ? 5 : 3;
+
+    for (auto resources : {workloads::ResourceModel::CallsPerMinute,
+                           workloads::ResourceModel::LongTailed}) {
+        for (const auto &tagging : workloads::paperTaggingConfigs()) {
+            auto config = bench::paperEnvironment(
+                tagging.scheme, tagging.percentile, resources);
+            bench::banner(
+                "Figs 10-16 | " + workloads::taggingName(tagging) +
+                " + " + workloads::resourceModelName(resources) + ", " +
+                std::to_string(config.nodeCount) + " nodes");
+
+            const Environment env = buildEnvironment(config);
+            auto schemes = core::makeAllSchemes(false);
+            util::Table table({"scheme", "failure-rate", "availability",
+                               "norm-revenue", "fair-dev(+)",
+                               "fair-dev(-)"});
+            for (auto &scheme : schemes) {
+                for (const auto &row :
+                     sweepScheme(env, *scheme, rates, trials)) {
+                    table.row()
+                        .cell(row.scheme)
+                        .cell(row.metrics.failureRate, 1)
+                        .cell(row.metrics.availability)
+                        .cell(row.metrics.revenue)
+                        .cell(row.metrics.fairnessPositive)
+                        .cell(row.metrics.fairnessNegative);
+                }
+            }
+            table.print(std::cout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Quickstart: the Phoenix public API in ~60 lines.
+ *
+ *  1. Describe applications (microservices + criticality tags + an
+ *     optional dependency graph).
+ *  2. Build a cluster and place everything.
+ *  3. Fail part of the cluster.
+ *  4. Ask Phoenix for a new target state and inspect the plan.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/schemes.h"
+#include "sim/cluster.h"
+#include "sim/failure.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+
+using namespace phoenix;
+
+int
+main()
+{
+    // An application: three microservices, front (C1) -> api (C2)
+    // -> recommendations (C5), 2 CPUs each.
+    sim::Application shop;
+    shop.id = 0;
+    shop.name = "shop";
+    shop.pricePerUnit = 2.0;
+    shop.hasDependencyGraph = true;
+    shop.dag = graph::DiGraph(3);
+    shop.dag.addEdge(0, 1);
+    shop.dag.addEdge(1, 2);
+    shop.services = {
+        {0, "front", 2.0, 1, 1, 0},
+        {1, "api", 2.0, 2, 1, 0},
+        {2, "recommendations", 2.0, 5, 1, 0},
+    };
+
+    sim::Application blog = shop; // a second tenant, cheaper
+    blog.id = 1;
+    blog.name = "blog";
+    blog.pricePerUnit = 1.0;
+    blog.services[0].name = "nginx";
+    blog.services[1].name = "render";
+    blog.services[2].name = "analytics";
+
+    std::vector<sim::Application> apps{shop, blog};
+
+    // A 4-node cluster, 4 CPUs each; place everything with Phoenix.
+    sim::ClusterState cluster;
+    for (int n = 0; n < 4; ++n)
+        cluster.addNode(4.0);
+
+    core::PhoenixScheme phoenix(core::Objective::Fair);
+    cluster = phoenix.apply(apps, cluster).pack.state;
+    std::cout << "steady state: " << cluster.assignment().size()
+              << " pods running, utilization "
+              << cluster.utilization() << "\n";
+
+    // Disaster: half the capacity gone.
+    sim::FailureInjector injector{util::Rng(1)};
+    injector.failCapacityFraction(cluster, 0.5);
+    std::cout << "after failure: " << cluster.healthyCapacity()
+              << " CPUs healthy\n";
+
+    // Replan. Phoenix turns off the least-critical containers and
+    // restarts the critical ones within the surviving capacity.
+    const core::SchemeResult result = phoenix.apply(apps, cluster);
+    const sim::ActiveSet active = result.activeSet(apps);
+
+    std::cout << "plan: " << result.pack.actions.size()
+              << " actions, planned in " << result.planSeconds * 1e3
+              << " ms\n";
+    for (const auto &app : apps) {
+        std::cout << "  " << app.name << ":";
+        for (const auto &ms : app.services) {
+            std::cout << " " << ms.name << "="
+                      << (active[app.id][ms.id] ? "on" : "off");
+        }
+        std::cout << "\n";
+    }
+    std::cout << "critical availability: "
+              << sim::criticalServiceAvailability(apps, active) << "\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "replay.h"
+
+#include "util/rng.h"
+
+namespace phoenix::adaptlab {
+
+std::vector<CapacityPoint>
+defaultCapacityTrace()
+{
+    // 10 minutes: healthy -> crash to 40% -> partial recovery to 70%
+    // -> second dip to 50% -> full recovery. Matches the shape of the
+    // solid capacity line of Fig 8a.
+    return {
+        {0.0, 1.00}, {60.0, 1.00},  {90.0, 0.40},  {210.0, 0.40},
+        {240.0, 0.70}, {330.0, 0.70}, {360.0, 0.50}, {450.0, 0.50},
+        {480.0, 1.00}, {600.0, 1.00},
+    };
+}
+
+std::vector<ReplayPoint>
+replayTrace(const Environment &env, core::ResilienceScheme &scheme,
+            const std::vector<CapacityPoint> &trace, uint64_t seed)
+{
+    util::Rng rng(seed);
+    sim::ClusterState cluster = env.cluster;
+    const double total = cluster.totalCapacity();
+
+    std::vector<ReplayPoint> points;
+    for (const CapacityPoint &step : trace) {
+        const double target = step.capacityFraction * total;
+
+        // Fail or restore random nodes toward the target capacity.
+        std::vector<sim::NodeId> healthy = cluster.healthyNodes();
+        rng.shuffle(healthy);
+        size_t cursor = 0;
+        while (cluster.healthyCapacity() > target + 1e-9 &&
+               cursor < healthy.size()) {
+            cluster.failNode(healthy[cursor++]);
+        }
+        if (cluster.healthyCapacity() < target - 1e-9) {
+            std::vector<sim::NodeId> failed;
+            for (size_t n = 0; n < cluster.nodeCount(); ++n) {
+                const auto id = static_cast<sim::NodeId>(n);
+                if (!cluster.isHealthy(id))
+                    failed.push_back(id);
+            }
+            rng.shuffle(failed);
+            for (sim::NodeId id : failed) {
+                if (cluster.healthyCapacity() >= target - 1e-9)
+                    break;
+                cluster.restoreNode(id);
+            }
+        }
+
+        core::SchemeResult result = scheme.apply(env.apps, cluster);
+        if (!result.failed)
+            cluster = result.pack.state; // plan is enacted; carry over
+
+        ReplayPoint point;
+        point.timeSec = step.timeSec;
+        point.capacityFraction = cluster.healthyCapacity() / total;
+        point.requestsServed = env.requestsServed(
+            sim::activeSetFromCluster(env.apps, cluster));
+        points.push_back(point);
+    }
+    return points;
+}
+
+} // namespace phoenix::adaptlab

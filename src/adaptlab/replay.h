@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Capacity-trace replay (Fig 8a): the cluster's available capacity
+ * varies over a ~10-minute window (failures then staged recovery);
+ * each scheme replans at every capacity change and the platform
+ * reports user requests served over time by replaying the call-graph
+ * mix against the active microservice set.
+ */
+
+#ifndef PHOENIX_ADAPTLAB_REPLAY_H
+#define PHOENIX_ADAPTLAB_REPLAY_H
+
+#include <vector>
+
+#include "adaptlab/environment.h"
+#include "core/schemes.h"
+
+namespace phoenix::adaptlab {
+
+/** One step of the capacity trace. */
+struct CapacityPoint
+{
+    double timeSec = 0.0;
+    /** Fraction of total capacity available in [0, 1]. */
+    double capacityFraction = 1.0;
+};
+
+/** The paper-shaped 10-minute trace: dip to 40%, partial recovery,
+ * second dip, full recovery. */
+std::vector<CapacityPoint> defaultCapacityTrace();
+
+/** One observation of the replay. */
+struct ReplayPoint
+{
+    double timeSec = 0.0;
+    double capacityFraction = 1.0;
+    double requestsServed = 0.0;
+};
+
+/**
+ * Replay @p trace against @p scheme: at each step the cluster is
+ * failed/restored to the target capacity, the scheme replans, and the
+ * served request rate is recorded.
+ */
+std::vector<ReplayPoint> replayTrace(const Environment &env,
+                                     core::ResilienceScheme &scheme,
+                                     const std::vector<CapacityPoint> &trace,
+                                     uint64_t seed = 99);
+
+} // namespace phoenix::adaptlab
+
+#endif // PHOENIX_ADAPTLAB_REPLAY_H

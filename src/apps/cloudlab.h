@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The CloudLab testbed of §6.1: 25 nodes / 200 CPUs running five
+ * application instances (Overleaf0/1/2, HR0/HR1) with heterogeneous
+ * resilience goals (Fig 4). Aggregate demand is ~70% of cluster
+ * capacity with C1 services holding ~60% of each app's budget, so all
+ * C1 services need ~42% of the cluster — the breaking point used in
+ * the paper's failure experiments (Appendix F.1).
+ */
+
+#ifndef PHOENIX_APPS_CLOUDLAB_H
+#define PHOENIX_APPS_CLOUDLAB_H
+
+#include <vector>
+
+#include "apps/service_app.h"
+#include "sim/cluster.h"
+
+namespace phoenix::apps {
+
+/** Testbed parameters. */
+struct CloudLabConfig
+{
+    size_t nodeCount = 25;
+    double cpusPerNode = 8.0; //!< 25 x 8 = 200 CPUs
+    /** Aggregate application demand as a fraction of capacity. */
+    double demandFraction = 0.70;
+    /** Fraction of each app's budget held by its C1 services; 0.57 of
+     * the 70% demand puts all C1 at ~40% of the cluster, the App. F.1
+     * operating point (so the paper's 42%-capacity failures stay just
+     * above the breaking point). */
+    double criticalFraction = 0.57;
+    /** HotelReservation diagonal-scaling retrofit applied. */
+    bool hrCompliant = true;
+};
+
+/** The assembled testbed. */
+struct CloudLabTestbed
+{
+    CloudLabConfig config;
+    /** Five instances: Overleaf0, Overleaf1, Overleaf2, HR0, HR1. */
+    std::vector<ServiceApp> serviceApps;
+
+    /** Application descriptors (ids assigned 0..4). */
+    std::vector<sim::Application> applications() const;
+
+    /** Fresh cluster with every node healthy and nothing placed. */
+    sim::ClusterState makeCluster() const;
+
+    double totalCapacity() const
+    {
+        return config.nodeCount * config.cpusPerNode;
+    }
+};
+
+/** Build the five-instance testbed. */
+CloudLabTestbed makeCloudLabTestbed(CloudLabConfig config = {});
+
+} // namespace phoenix::apps
+
+#endif // PHOENIX_APPS_CLOUDLAB_H

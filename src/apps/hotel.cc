@@ -1,0 +1,108 @@
+#include "hotel.h"
+
+#include <map>
+#include <string>
+
+namespace phoenix::apps {
+
+using namespace hotel;
+using sim::MsId;
+
+namespace {
+
+const char *const kNames[kServiceCount] = {
+    "frontend", "search", "geo",  "rate",
+    "profile",  "recommendation", "user", "reservation",
+};
+
+PathComponent
+req(MsId service, double utility, double latency_ms)
+{
+    return PathComponent{service, true, utility, latency_ms};
+}
+
+PathComponent
+opt(MsId service, double utility, double latency_ms)
+{
+    return PathComponent{service, false, utility, latency_ms};
+}
+
+} // namespace
+
+ServiceApp
+makeHotelReservation(int instance, bool compliant, double rps_scale)
+{
+    ServiceApp sapp;
+    sapp.crashProof = compliant;
+    if (!compliant) {
+        // Stock HR: front-end initialization requires connectivity to
+        // these downstream services (§5).
+        sapp.hardDeps = {kSearch, kProfile, kRecommendation, kUser,
+                         kReservation};
+    }
+
+    sim::Application &app = sapp.app;
+    app.name = "HR" + std::to_string(instance);
+    app.hasDependencyGraph = true;
+    app.dag = graph::DiGraph(kServiceCount);
+    app.services.resize(kServiceCount);
+    for (MsId m = 0; m < kServiceCount; ++m) {
+        app.services[m].id = m;
+        app.services[m].name = kNames[m];
+    }
+
+    app.dag.addEdge(kFrontend, kSearch);
+    app.dag.addEdge(kSearch, kGeo);
+    app.dag.addEdge(kSearch, kRate);
+    app.dag.addEdge(kFrontend, kProfile);
+    app.dag.addEdge(kFrontend, kRecommendation);
+    app.dag.addEdge(kRecommendation, kProfile);
+    app.dag.addEdge(kFrontend, kUser);
+    app.dag.addEdge(kFrontend, kReservation);
+    app.dag.addEdge(kReservation, kUser);
+
+    // Latencies calibrated to Table 1 "before": search 53.26 ms,
+    // recommend 47.43 ms, reserve 55.33 ms, login 41.8 ms. Reservation
+    // can proceed without the user service (guest checkout) at reduced
+    // utility 0.8 — the paper's partial-pruning example (Fig 6f).
+    const double s = rps_scale;
+    sapp.requests = {
+        RequestType{"search", 30.0 * s,
+                    {req(kFrontend, 0.2, 10.0), req(kSearch, 0.3, 15.0),
+                     req(kGeo, 0.15, 10.0), req(kRate, 0.15, 8.0),
+                     req(kProfile, 0.2, 10.26)}},
+        RequestType{"recommend", 8.0 * s,
+                    {req(kFrontend, 0.2, 10.0),
+                     req(kRecommendation, 0.5, 27.43),
+                     req(kProfile, 0.3, 10.0)}},
+        RequestType{"reserve", 12.0 * s,
+                    {req(kFrontend, 0.3, 10.0),
+                     req(kReservation, 0.5, 40.1),
+                     opt(kUser, 0.2, 5.23)}},
+        RequestType{"login", 6.0 * s,
+                    {req(kFrontend, 0.3, 10.0),
+                     req(kUser, 0.7, 31.8)}},
+    };
+
+    if (instance % 2 == 0)
+        sapp.criticalRequest = "search";
+    else
+        sapp.criticalRequest = "reserve";
+
+    std::map<MsId, sim::Criticality> tags;
+    if (sapp.criticalRequest == "search") {
+        tags = {{kFrontend, 1}, {kSearch, 1},        {kGeo, 1},
+                {kRate, 1},     {kProfile, 1},       {kReservation, 2},
+                {kUser, 3},     {kRecommendation, 5}};
+    } else {
+        tags = {{kFrontend, 1}, {kReservation, 1},   {kSearch, 3},
+                {kGeo, 3},      {kRate, 3},          {kProfile, 3},
+                {kUser, 4},     {kRecommendation, 5}};
+    }
+    for (const auto &[m, tag] : tags)
+        app.services[m].criticality = tag;
+
+    return sapp;
+}
+
+} // namespace phoenix::apps

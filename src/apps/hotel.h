@@ -1,0 +1,48 @@
+/**
+ * @file
+ * HotelReservation model (DeathStarBench, §5/§6.1): an 8-microservice
+ * stateless slice (the paper runs the stateful stores on a separate
+ * cluster). Stock HR is *not* crash-proof: the front end hard-depends
+ * on search/profile/user/reservation/recommendation, so disabling any
+ * of them causes user-visible failures. The paper retrofits error
+ * handling to make HR diagonal-scaling compliant; both variants are
+ * available here.
+ */
+
+#ifndef PHOENIX_APPS_HOTEL_H
+#define PHOENIX_APPS_HOTEL_H
+
+#include "apps/service_app.h"
+
+namespace phoenix::apps {
+
+/** HotelReservation microservice ids. */
+namespace hotel {
+constexpr sim::MsId kFrontend = 0;
+constexpr sim::MsId kSearch = 1;
+constexpr sim::MsId kGeo = 2;
+constexpr sim::MsId kRate = 3;
+constexpr sim::MsId kProfile = 4;
+constexpr sim::MsId kRecommendation = 5;
+constexpr sim::MsId kUser = 6;
+constexpr sim::MsId kReservation = 7;
+constexpr size_t kServiceCount = 8;
+} // namespace hotel
+
+/**
+ * Build a HotelReservation instance.
+ *
+ * @param instance   0 (search-critical) or 1 (reserve-critical), per
+ *                   Fig 4.
+ * @param compliant  true applies the paper's error-handling retrofit
+ *                   (crash-proof); false models stock DeathStarBench,
+ *                   whose front end fails when hard dependencies are
+ *                   down.
+ * @param rps_scale  multiplies the offered load.
+ */
+ServiceApp makeHotelReservation(int instance, bool compliant = true,
+                                double rps_scale = 1.0);
+
+} // namespace phoenix::apps
+
+#endif // PHOENIX_APPS_HOTEL_H

@@ -1,0 +1,98 @@
+#include "loadgen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace phoenix::apps {
+
+using sim::MsId;
+
+namespace {
+
+/** Same congestion shape as the closed-form model (service_app.cc). */
+double
+congestionFactor(double utilization)
+{
+    const double rho = std::clamp(utilization, 0.0, 0.99);
+    if (rho <= 0.5)
+        return 1.0;
+    return 1.0 + 0.0025 * (rho - 0.5) / (1.0 - rho);
+}
+
+} // namespace
+
+std::vector<LoadStats>
+runLoad(const ServiceApp &sapp, const std::set<MsId> &running,
+        const LoadGenConfig &config)
+{
+    util::Rng rng(config.seed);
+    const double congestion =
+        congestionFactor(config.clusterUtilization);
+    // Per-component samples are log-normal with the component's P95
+    // contribution as the 95th percentile: median = p95 / e^{1.645 s}.
+    const double p95_factor = std::exp(1.645 * config.latencySigma);
+
+    // Entry hard-dependency check (stock HR crashes user-visibly).
+    bool entry_ok = true;
+    if (!sapp.crashProof) {
+        for (MsId dep : sapp.hardDeps) {
+            if (!running.count(dep))
+                entry_ok = false;
+        }
+    }
+
+    std::vector<LoadStats> out;
+    out.reserve(sapp.requests.size());
+    for (const RequestType &req : sapp.requests) {
+        LoadStats stats;
+        stats.request = req.name;
+        stats.offered = rng.poisson(req.offeredRps * config.durationSec);
+
+        bool required_ok = entry_ok;
+        double utility = 0.0;
+        double utility_full = 0.0;
+        std::vector<double> medians;
+        for (const PathComponent &component : req.path) {
+            utility_full += component.utility;
+            const bool up = running.count(component.service) > 0;
+            if (component.required && !up)
+                required_ok = false;
+            if (up) {
+                utility += component.utility;
+                if (component.latencyMs > 0.0) {
+                    medians.push_back(component.latencyMs * congestion /
+                                      p95_factor);
+                }
+            }
+        }
+
+        if (!required_ok || stats.offered == 0) {
+            out.push_back(stats);
+            continue;
+        }
+
+        stats.served = stats.offered;
+        stats.meanUtility =
+            utility_full > 0.0 ? utility / utility_full : 1.0;
+
+        std::vector<double> latencies;
+        latencies.reserve(stats.served);
+        for (size_t i = 0; i < stats.served; ++i) {
+            double total = 0.0;
+            for (double median : medians) {
+                total += median * rng.logNormal(0.0,
+                                                config.latencySigma);
+            }
+            latencies.push_back(total);
+        }
+        stats.p50Ms = util::percentile(latencies, 50.0);
+        stats.p95Ms = util::percentile(latencies, 95.0);
+        stats.p99Ms = util::percentile(latencies, 99.0);
+        out.push_back(stats);
+    }
+    return out;
+}
+
+} // namespace phoenix::apps

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Sampling load generator (§6.1's wrk2/Locust stand-in).
+ *
+ * Where apps/service_app.h evaluates traffic in closed form, this
+ * module *simulates* it: Poisson request arrivals per request type,
+ * per-component latency samples (log-normal around the component's
+ * P95 contribution, scaled by cluster congestion), utility scoring per
+ * request, and percentile extraction from the sampled population —
+ * the measurement path behind Table 1 and the Fig 6 utility panels.
+ */
+
+#ifndef PHOENIX_APPS_LOADGEN_H
+#define PHOENIX_APPS_LOADGEN_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/service_app.h"
+#include "util/rng.h"
+
+namespace phoenix::apps {
+
+/** Measured statistics for one request type. */
+struct LoadStats
+{
+    std::string request;
+    size_t offered = 0;
+    size_t served = 0;
+    double meanUtility = 0.0; //!< over served requests
+    double p50Ms = -1.0;
+    double p95Ms = -1.0;
+    double p99Ms = -1.0;
+};
+
+/** Load-generation parameters. */
+struct LoadGenConfig
+{
+    /** Simulated wall-clock duration (seconds of offered traffic). */
+    double durationSec = 60.0;
+    /** Cluster utilization feeding the congestion factor. */
+    double clusterUtilization = 0.5;
+    /** Log-space sigma of per-component latency samples. */
+    double latencySigma = 0.25;
+    uint64_t seed = 42;
+};
+
+/**
+ * Run the generator against @p sapp with the given running set.
+ * Returns one LoadStats per request type (pruned types report served
+ * == 0 and negative percentiles).
+ */
+std::vector<LoadStats> runLoad(const ServiceApp &sapp,
+                               const std::set<sim::MsId> &running,
+                               const LoadGenConfig &config = {});
+
+} // namespace phoenix::apps
+
+#endif // PHOENIX_APPS_LOADGEN_H

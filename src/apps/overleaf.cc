@@ -1,0 +1,131 @@
+#include "overleaf.h"
+
+#include <map>
+#include <string>
+
+namespace phoenix::apps {
+
+using namespace overleaf;
+using sim::MsId;
+
+namespace {
+
+const char *const kNames[kServiceCount] = {
+    "web",           "real-time",   "document-updater", "docstore",
+    "filestore",     "clsi",        "spelling",         "track-changes",
+    "chat",          "contacts",    "notifications",    "tags",
+    "references",    "project-history",
+};
+
+/** A required path component. */
+PathComponent
+req(MsId service, double utility, double latency_ms)
+{
+    return PathComponent{service, true, utility, latency_ms};
+}
+
+/** An optional (degradable) path component. */
+PathComponent
+opt(MsId service, double utility, double latency_ms)
+{
+    return PathComponent{service, false, utility, latency_ms};
+}
+
+} // namespace
+
+ServiceApp
+makeOverleaf(int instance, double rps_scale)
+{
+    ServiceApp sapp;
+    sapp.crashProof = true;
+
+    sim::Application &app = sapp.app;
+    app.name = "Overleaf" + std::to_string(instance);
+    app.hasDependencyGraph = true;
+    app.dag = graph::DiGraph(kServiceCount);
+    app.services.resize(kServiceCount);
+    for (MsId m = 0; m < kServiceCount; ++m) {
+        app.services[m].id = m;
+        app.services[m].name = kNames[m];
+    }
+
+    // Dependency graph: web is the entry; websocket edits flow through
+    // real-time -> document-updater -> docstore; compiles through
+    // clsi -> filestore; version history through track-changes.
+    app.dag.addEdge(kWeb, kRealTime);
+    app.dag.addEdge(kRealTime, kDocumentUpdater);
+    app.dag.addEdge(kDocumentUpdater, kDocstore);
+    app.dag.addEdge(kDocumentUpdater, kProjectHistory);
+    app.dag.addEdge(kWeb, kClsi);
+    app.dag.addEdge(kClsi, kFilestore);
+    app.dag.addEdge(kWeb, kSpelling);
+    app.dag.addEdge(kWeb, kTrackChanges);
+    app.dag.addEdge(kTrackChanges, kDocstore);
+    app.dag.addEdge(kWeb, kChat);
+    app.dag.addEdge(kWeb, kContacts);
+    app.dag.addEdge(kWeb, kNotifications);
+    app.dag.addEdge(kWeb, kTags);
+    app.dag.addEdge(kWeb, kReferences);
+    app.dag.addEdge(kWeb, kDocstore);
+    app.dag.addEdge(kWeb, kFilestore);
+
+    // Request types. Latency contributions are calibrated so the
+    // "before" P95s match Table 1 (edits 141 ms, compile 4317.9 ms,
+    // spell_check 2296.7 ms).
+    const double s = rps_scale;
+    sapp.requests = {
+        RequestType{"edits", 40.0 * s,
+                    {req(kWeb, 0.25, 20.0), req(kRealTime, 0.25, 40.0),
+                     req(kDocumentUpdater, 0.25, 50.0),
+                     req(kDocstore, 0.15, 31.0),
+                     opt(kProjectHistory, 0.10, 0.0)}},
+        RequestType{"compile", 4.0 * s,
+                    {req(kWeb, 0.2, 20.0), req(kClsi, 0.6, 4000.0),
+                     req(kFilestore, 0.2, 297.9)}},
+        RequestType{"spell_check", 10.0 * s,
+                    {req(kWeb, 0.2, 20.0),
+                     req(kSpelling, 0.8, 2276.7)}},
+        RequestType{"versioning", 6.0 * s,
+                    {req(kWeb, 0.2, 20.0),
+                     req(kTrackChanges, 0.6, 100.0),
+                     req(kDocstore, 0.2, 31.0)}},
+        RequestType{"downloads", 3.0 * s,
+                    {req(kWeb, 0.2, 20.0), req(kDocstore, 0.3, 25.0),
+                     req(kFilestore, 0.5, 60.0)}},
+        RequestType{"chat", 5.0 * s,
+                    {req(kWeb, 0.3, 20.0), req(kChat, 0.5, 30.0),
+                     opt(kNotifications, 0.2, 5.0)}},
+        RequestType{"tags", 2.0 * s,
+                    {req(kWeb, 0.4, 20.0), req(kTags, 0.6, 15.0)}},
+    };
+
+    // Criticality by instance goal (Fig 4).
+    std::map<std::string, std::vector<MsId>> critical_paths = {
+        {"edits", {kWeb, kRealTime, kDocumentUpdater, kDocstore}},
+        {"versioning", {kWeb, kTrackChanges, kDocstore}},
+        {"downloads", {kWeb, kDocstore, kFilestore}},
+    };
+    switch (instance % 3) {
+      case 0: sapp.criticalRequest = "edits"; break;
+      case 1: sapp.criticalRequest = "versioning"; break;
+      default: sapp.criticalRequest = "downloads"; break;
+    }
+
+    // Default tags: a plausible per-feature ranking, then promote the
+    // instance's critical path to C1.
+    const std::map<MsId, sim::Criticality> base_tags = {
+        {kWeb, 1},       {kRealTime, 2},      {kDocumentUpdater, 2},
+        {kDocstore, 2},  {kFilestore, 2},     {kClsi, 3},
+        {kSpelling, 4},  {kTrackChanges, 3},  {kChat, 5},
+        {kContacts, 5},  {kNotifications, 5}, {kTags, 5},
+        {kReferences, 5}, {kProjectHistory, 3},
+    };
+    for (const auto &[m, tag] : base_tags)
+        app.services[m].criticality = tag;
+    for (MsId m : critical_paths[sapp.criticalRequest])
+        app.services[m].criticality = sim::kC1;
+
+    return sapp;
+}
+
+} // namespace phoenix::apps

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Overleaf model (§3.2, §6.1): a 14-microservice collaborative LaTeX
+ * editor. Overleaf is crash-proof — error handlers wrap downstream
+ * calls, so any non-critical microservice can be turned off without
+ * user-visible failures — which makes it diagonal-scaling compliant
+ * out of the box.
+ *
+ * Three instance flavours reproduce the paper's heterogeneous goals
+ * (Fig 4): instance 0's critical metric is document-edits, instance
+ * 1's is versions, instance 2's is downloads.
+ */
+
+#ifndef PHOENIX_APPS_OVERLEAF_H
+#define PHOENIX_APPS_OVERLEAF_H
+
+#include "apps/service_app.h"
+
+namespace phoenix::apps {
+
+/** Overleaf microservice ids (14 services). */
+namespace overleaf {
+constexpr sim::MsId kWeb = 0;
+constexpr sim::MsId kRealTime = 1;
+constexpr sim::MsId kDocumentUpdater = 2;
+constexpr sim::MsId kDocstore = 3;
+constexpr sim::MsId kFilestore = 4;
+constexpr sim::MsId kClsi = 5;
+constexpr sim::MsId kSpelling = 6;
+constexpr sim::MsId kTrackChanges = 7;
+constexpr sim::MsId kChat = 8;
+constexpr sim::MsId kContacts = 9;
+constexpr sim::MsId kNotifications = 10;
+constexpr sim::MsId kTags = 11;
+constexpr sim::MsId kReferences = 12;
+constexpr sim::MsId kProjectHistory = 13;
+constexpr size_t kServiceCount = 14;
+} // namespace overleaf
+
+/**
+ * Build an Overleaf instance.
+ *
+ * @param instance   0 (edits-critical), 1 (versions-critical) or
+ *                   2 (downloads-critical); criticality tags follow the
+ *                   instance's goal.
+ * @param rps_scale  multiplies every request type's offered load (the
+ *                   paper tweaks per-instance load mixes).
+ */
+ServiceApp makeOverleaf(int instance, double rps_scale = 1.0);
+
+} // namespace phoenix::apps
+
+#endif // PHOENIX_APPS_OVERLEAF_H

@@ -1,0 +1,166 @@
+#include "service_app.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phoenix::apps {
+
+using sim::MsId;
+
+namespace {
+
+/**
+ * Queueing congestion multiplier on P95 latency: mild until the
+ * cluster runs hot, then grows like an M/M/1 tail. Calibrated so the
+ * post-degradation cluster (~95% utilized) adds a few percent, matching
+ * Table 1's edits 141 -> 144 ms.
+ */
+double
+congestionFactor(double utilization)
+{
+    const double rho = std::clamp(utilization, 0.0, 0.99);
+    if (rho <= 0.5)
+        return 1.0;
+    return 1.0 + 0.0025 * (rho - 0.5) / (1.0 - rho);
+}
+
+bool
+entryHealthy(const ServiceApp &sapp, const std::set<MsId> &running)
+{
+    if (sapp.crashProof)
+        return true;
+    for (MsId dep : sapp.hardDeps) {
+        if (!running.count(dep))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::vector<TrafficPoint>
+evaluateTraffic(const ServiceApp &sapp, const std::set<MsId> &running,
+                double cluster_utilization)
+{
+    std::vector<TrafficPoint> out;
+    out.reserve(sapp.requests.size());
+    const bool entry_ok = entryHealthy(sapp, running);
+    const double congestion = congestionFactor(cluster_utilization);
+
+    for (const RequestType &req : sapp.requests) {
+        TrafficPoint point;
+        point.request = req.name;
+        point.offeredRps = req.offeredRps;
+
+        bool required_ok = entry_ok;
+        double utility = 0.0;
+        double utility_full = 0.0;
+        double latency = 0.0;
+        for (const PathComponent &component : req.path) {
+            utility_full += component.utility;
+            const bool up = running.count(component.service) > 0;
+            if (component.required && !up)
+                required_ok = false;
+            if (up) {
+                utility += component.utility;
+                latency += component.latencyMs;
+            }
+        }
+
+        if (!required_ok) {
+            point.servedRps = 0.0;
+            point.utility = 0.0;
+            point.p95Ms = -1.0; // request type unavailable / pruned
+        } else {
+            point.servedRps = req.offeredRps;
+            point.utility =
+                utility_full > 0.0 ? utility / utility_full : 1.0;
+            point.p95Ms = latency * congestion;
+        }
+        out.push_back(point);
+    }
+    return out;
+}
+
+double
+criticalServedRps(const ServiceApp &sapp, const std::set<MsId> &running,
+                  double cluster_utilization)
+{
+    for (const TrafficPoint &point :
+         evaluateTraffic(sapp, running, cluster_utilization)) {
+        if (point.request == sapp.criticalRequest)
+            return point.servedRps;
+    }
+    return 0.0;
+}
+
+bool
+criticalGoalMet(const ServiceApp &sapp, const std::set<MsId> &running)
+{
+    for (const RequestType &req : sapp.requests) {
+        if (req.name != sapp.criticalRequest)
+            continue;
+        return criticalServedRps(sapp, running) >=
+               req.offeredRps - 1e-9;
+    }
+    return false;
+}
+
+void
+assignCpuByTraffic(ServiceApp &sapp, double cpu_budget,
+                   double critical_fraction, double max_cpu)
+{
+    auto &services = sapp.app.services;
+    std::vector<double> traffic(services.size(), 0.0);
+    for (const RequestType &req : sapp.requests) {
+        for (const PathComponent &component : req.path)
+            traffic[component.service] += req.offeredRps;
+    }
+    // Floor so idle services still cost something.
+    for (double &t : traffic)
+        t = std::max(t, 0.5);
+
+    // Distribute one criticality group's budget proportional to
+    // traffic, clamping any container at max_cpu and re-spreading the
+    // excess over the unclamped rest.
+    auto distribute = [&](bool critical, double budget) {
+        std::vector<MsId> group;
+        for (MsId m = 0; m < services.size(); ++m) {
+            if ((services[m].criticality == sim::kC1) == critical)
+                group.push_back(m);
+        }
+        if (group.empty())
+            return;
+        std::vector<bool> clamped(services.size(), false);
+        for (int iter = 0; iter < 8; ++iter) {
+            double weight = 0.0;
+            double free_budget = budget;
+            for (MsId m : group) {
+                if (clamped[m])
+                    free_budget -= max_cpu;
+                else
+                    weight += traffic[m];
+            }
+            bool newly_clamped = false;
+            for (MsId m : group) {
+                if (clamped[m]) {
+                    services[m].cpu = max_cpu;
+                    continue;
+                }
+                services[m].cpu = weight > 0.0
+                                      ? free_budget * traffic[m] / weight
+                                      : 0.0;
+                if (services[m].cpu > max_cpu) {
+                    clamped[m] = true;
+                    newly_clamped = true;
+                }
+            }
+            if (!newly_clamped)
+                break;
+        }
+    };
+    distribute(true, cpu_budget * critical_fraction);
+    distribute(false, cpu_budget * (1.0 - critical_fraction));
+}
+
+} // namespace phoenix::apps

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Request-level application models for the end-to-end experiments
+ * (§6.1): an application is a set of tagged microservices plus request
+ * types, each touching a subset of services. The load generator
+ * evaluates throughput (RPS), harvest/yield utility (Fox & Brewer
+ * style, §6.1) and P95 latency as a function of which microservices
+ * are running.
+ */
+
+#ifndef PHOENIX_APPS_SERVICE_APP_H
+#define PHOENIX_APPS_SERVICE_APP_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace phoenix::apps {
+
+/** A component's contribution to one request type. */
+struct PathComponent
+{
+    sim::MsId service = 0;
+    /** Must be running for the request to succeed at all. */
+    bool required = true;
+    /** Utility contributed when the component participates. */
+    double utility = 0.0;
+    /** P95 latency contribution in milliseconds. */
+    double latencyMs = 0.0;
+};
+
+/** One user-visible request type (edits, compile, search, ...). */
+struct RequestType
+{
+    std::string name;
+    /** Offered load in requests per second. */
+    double offeredRps = 0.0;
+    std::vector<PathComponent> path;
+};
+
+/**
+ * An application instance deployable on the cluster: microservices
+ * (with criticality tags and CPU demands), its request types, and its
+ * resilience goal (the critical request whose RPS must survive
+ * failures, Fig 4).
+ */
+struct ServiceApp
+{
+    sim::Application app;
+    std::vector<RequestType> requests;
+    /** Name of the critical request type (the steady-state metric). */
+    std::string criticalRequest;
+    /**
+     * Crash-proof applications tolerate missing downstream services
+     * (Overleaf). Non-crash-proof ones (stock HotelReservation) fail
+     * user-visibly whenever any of `hardDeps` is down, regardless of
+     * the request type (§5 "Diagonal Scaling Practical Experience").
+     */
+    bool crashProof = true;
+    /** Entry-server hard dependencies (only for !crashProof). */
+    std::vector<sim::MsId> hardDeps;
+};
+
+/** Evaluated traffic for one request type. */
+struct TrafficPoint
+{
+    std::string request;
+    double offeredRps = 0.0;
+    double servedRps = 0.0;
+    /** Mean per-request utility in [0, 1]; 0 when failing. */
+    double utility = 0.0;
+    /** P95 latency (ms); < 0 when the request type is fully pruned. */
+    double p95Ms = -1.0;
+};
+
+/**
+ * Evaluate every request type of @p sapp against the set of running
+ * microservices. @p cluster_utilization (0..1) feeds the queueing
+ * congestion factor applied to latencies.
+ */
+std::vector<TrafficPoint>
+evaluateTraffic(const ServiceApp &sapp,
+                const std::set<sim::MsId> &running,
+                double cluster_utilization);
+
+/** Served RPS of the app's critical request type. */
+double criticalServedRps(const ServiceApp &sapp,
+                         const std::set<sim::MsId> &running,
+                         double cluster_utilization = 0.5);
+
+/** True when the critical request retains its full offered RPS. */
+bool criticalGoalMet(const ServiceApp &sapp,
+                     const std::set<sim::MsId> &running);
+
+/**
+ * Distribute CPU demands over the app's microservices proportional to
+ * the traffic each one carries, then rescale so (a) the app totals
+ * @p cpu_budget and (b) C1 services hold @p critical_fraction of it
+ * (the CloudLab mix of Fig 9 uses ~0.6). No container exceeds
+ * @p max_cpu (a pod cannot be bigger than a node); the excess is
+ * redistributed within the same criticality group.
+ */
+void assignCpuByTraffic(ServiceApp &sapp, double cpu_budget,
+                        double critical_fraction,
+                        double max_cpu = 1e18);
+
+} // namespace phoenix::apps
+
+#endif // PHOENIX_APPS_SERVICE_APP_H

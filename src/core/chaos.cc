@@ -1,0 +1,84 @@
+#include "chaos.h"
+
+#include <algorithm>
+#include <map>
+
+namespace phoenix::core {
+
+using apps::ServiceApp;
+using apps::TrafficPoint;
+using sim::MsId;
+
+double
+defaultUtility(const std::vector<TrafficPoint> &traffic)
+{
+    double served = 0.0;
+    double offered = 0.0;
+    double weighted = 0.0;
+    for (const TrafficPoint &point : traffic) {
+        offered += point.offeredRps;
+        served += point.servedRps;
+        weighted += point.servedRps * point.utility;
+    }
+    if (offered <= 0.0)
+        return 0.0;
+    return weighted / offered;
+}
+
+ChaosReport
+runChaosSuite(const ServiceApp &sapp, const ChaosConfig &config)
+{
+    ChaosReport report;
+    report.taggingEffective = true;
+
+    const double total = sapp.app.totalDemand();
+    const double critical = sapp.app.criticalDemand();
+
+    // Services grouped by tag, least critical first (degradation
+    // order).
+    std::map<int, std::vector<MsId>, std::greater<>> by_tag;
+    for (const auto &ms : sapp.app.services)
+        by_tag[ms.criticality].push_back(ms.id);
+
+    for (double degree : config.degrees) {
+        ChaosTrial trial;
+        trial.failureDegree = degree;
+
+        // Degrade strictly by tag until the app fits the surviving
+        // resources.
+        const double budget = total * (1.0 - degree);
+        std::set<MsId> running;
+        for (const auto &ms : sapp.app.services)
+            running.insert(ms.id);
+        double usage = total;
+        trial.lowestDisabledLevel = 0;
+        for (const auto &[tag, members] : by_tag) {
+            if (usage <= budget + 1e-9)
+                break;
+            for (MsId m : members) {
+                if (usage <= budget + 1e-9)
+                    break;
+                running.erase(m);
+                usage -= sapp.app.services[m].cpu *
+                         std::max(sapp.app.services[m].replicas, 1);
+                trial.lowestDisabledLevel = tag;
+            }
+        }
+
+        const auto traffic =
+            apps::evaluateTraffic(sapp, running, 0.5 + 0.45 * degree);
+        trial.utility = config.utility(traffic);
+        trial.criticalGoalMet = apps::criticalGoalMet(sapp, running);
+        report.trials.push_back(trial);
+
+        // Tags are ineffective when the C1 set alone fits the budget
+        // yet degrading by tags loses the critical goal.
+        if (critical <= budget + 1e-9 && !trial.criticalGoalMet) {
+            report.taggingEffective = false;
+            report.violations.push_back(degree);
+        }
+    }
+    return report;
+}
+
+} // namespace phoenix::core

@@ -1,0 +1,119 @@
+#include "controller.h"
+
+#include "util/log.h"
+
+namespace phoenix::core {
+
+using sim::PodRef;
+
+PhoenixController::PhoenixController(
+    sim::EventQueue &events, kube::KubeCluster &cluster,
+    std::unique_ptr<ResilienceScheme> scheme, ControllerConfig config)
+    : events_(events), cluster_(cluster), scheme_(std::move(scheme)),
+      config_(config)
+{
+    events_.scheduleAfter(config_.pollPeriod, [this] { poll(); });
+}
+
+void
+PhoenixController::poll()
+{
+    const double capacity = cluster_.readyCapacity();
+
+    // Mark recovery of the pending replan once every planned pod runs.
+    if (!history_.empty() && history_.back().recoveredAt < 0.0) {
+        const auto running = cluster_.runningPods();
+        bool all_running = true;
+        for (const PodRef &ref : target_) {
+            if (!running.count(ref)) {
+                all_running = false;
+                break;
+            }
+        }
+        if (all_running)
+            history_.back().recoveredAt = events_.now();
+    }
+
+    // The first poll always plans (Phoenix owns initial placement and
+    // repairs whatever spread placement left pending); afterwards only
+    // capacity changes trigger replanning.
+    const bool changed =
+        lastCapacity_ < 0.0 ||
+        std::abs(capacity - lastCapacity_) >
+            config_.capacityChangeThreshold *
+                std::max(lastCapacity_, 1.0);
+    if (changed) {
+        PHOENIX_INFO("controller: capacity change " << lastCapacity_
+                                                    << " -> " << capacity
+                                                    << " at t="
+                                                    << events_.now());
+        ReplanRecord record;
+        record.detectedAt = events_.now();
+        record.capacityBefore = lastCapacity_;
+        record.capacityAfter = capacity;
+
+        const SchemeResult result =
+            scheme_->apply(cluster_.apps(), cluster_.observedState());
+        record.planSeconds = result.planSeconds + result.packSeconds;
+
+        target_.clear();
+        for (const auto &[pod, node] : result.pack.state.assignment()) {
+            (void)node;
+            target_.insert(pod);
+        }
+
+        for (const Action &action : result.pack.actions) {
+            switch (action.kind) {
+              case ActionKind::Delete:
+                ++record.deletes;
+                break;
+              case ActionKind::Migrate:
+                ++record.migrations;
+                break;
+              case ActionKind::Restart:
+                ++record.restarts;
+                break;
+            }
+        }
+        execute(result);
+        history_.push_back(record);
+    }
+    lastCapacity_ = capacity;
+
+    events_.scheduleAfter(config_.pollPeriod, [this] { poll(); });
+}
+
+void
+PhoenixController::execute(const SchemeResult &result)
+{
+    for (const Action &action : result.pack.actions) {
+        switch (action.kind) {
+          case ActionKind::Delete:
+            cluster_.deletePod(action.pod);
+            break;
+          case ActionKind::Migrate:
+            cluster_.migratePod(action.pod, action.to);
+            break;
+          case ActionKind::Restart:
+            cluster_.startPod(action.pod, action.to);
+            break;
+        }
+    }
+
+    // Scale down every pod outside the target state. Without this,
+    // pods evicted by a node failure but not selected by the plan
+    // would sit Pending and the default scheduler would race them onto
+    // capacity the plan reserved for pinned critical containers.
+    for (const auto &app : cluster_.apps()) {
+        for (const auto &ms : app.services) {
+            const PodRef ref{app.id, ms.id};
+            if (!target_.count(ref)) {
+                const auto *pod = cluster_.pod(ref);
+                if (pod && !pod->scaledDown)
+                    cluster_.deletePod(ref);
+            }
+        }
+    }
+}
+
+} // namespace phoenix::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Phoenix controller/agent (§4.2 "Agent", §5).
+ *
+ * Monitors the cluster at a fixed cadence (15 s in the paper), detects
+ * capacity changes (node failures or recoveries), invokes the
+ * configured resilience scheme to produce a target state, and executes
+ * the resulting delete/migrate/restart sequence through the cluster
+ * manager's API. Also records a timeline (detection, planning,
+ * execution, recovery) used to reproduce Fig 6.
+ */
+
+#ifndef PHOENIX_CORE_CONTROLLER_H
+#define PHOENIX_CORE_CONTROLLER_H
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/schemes.h"
+#include "kube/kube.h"
+#include "sim/event_queue.h"
+
+namespace phoenix::core {
+
+/** Controller tunables. */
+struct ControllerConfig
+{
+    /** Cluster-state monitoring period (paper: 15 s). */
+    double pollPeriod = 15.0;
+    /** Relative capacity change that counts as a failure/recovery. */
+    double capacityChangeThreshold = 1e-6;
+};
+
+/** One replanning episode in the controller's timeline. */
+struct ReplanRecord
+{
+    sim::SimTime detectedAt = 0.0;  //!< capacity change observed (t2)
+    double planSeconds = 0.0;       //!< planner/scheduler compute time
+    size_t deletes = 0;
+    size_t migrations = 0;
+    size_t restarts = 0;
+    double capacityBefore = 0.0;
+    double capacityAfter = 0.0;
+    /** When every planned pod reached Running (t4); <0 until then. */
+    sim::SimTime recoveredAt = -1.0;
+};
+
+/**
+ * The agent. Construct with the event queue and cluster; it arms its
+ * own poll loop. Lifetime must cover the whole simulation.
+ */
+class PhoenixController
+{
+  public:
+    PhoenixController(sim::EventQueue &events, kube::KubeCluster &cluster,
+                      std::unique_ptr<ResilienceScheme> scheme,
+                      ControllerConfig config = ControllerConfig());
+
+    const std::vector<ReplanRecord> &history() const { return history_; }
+
+    /** The most recent planned target (ranked pods). */
+    const std::set<sim::PodRef> &currentTarget() const { return target_; }
+
+  private:
+    void poll();
+    void execute(const SchemeResult &result);
+
+    sim::EventQueue &events_;
+    kube::KubeCluster &cluster_;
+    std::unique_ptr<ResilienceScheme> scheme_;
+    ControllerConfig config_;
+
+    double lastCapacity_ = -1.0;
+    std::set<sim::PodRef> target_;
+    std::vector<ReplanRecord> history_;
+};
+
+} // namespace phoenix::core
+
+#endif // PHOENIX_CORE_CONTROLLER_H

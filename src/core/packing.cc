@@ -1,0 +1,447 @@
+#include "packing.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "util/sorted_kv.h"
+
+namespace phoenix::core {
+
+using sim::ClusterState;
+using sim::NodeId;
+using sim::PodRef;
+
+namespace {
+
+/** Working context for one packing pass. */
+class Packer
+{
+  public:
+    Packer(const std::vector<sim::Application> &apps,
+           const ClusterState &current, const GlobalRank &ranked,
+           const PackingOptions &options)
+        : apps_(apps), options_(options), ranked_(ranked)
+    {
+        result_.state = current;
+        for (NodeId id : result_.state.healthyNodes())
+            byRemaining_.insert(result_.state.remaining(id), id);
+
+        for (size_t i = 0; i < ranked.size(); ++i)
+            rankIndex_[{ranked[i].app, ranked[i].ms}] = i;
+    }
+
+    PackResult
+    run()
+    {
+        buildDeletionOrder();
+
+        result_.complete = true;
+        std::set<sim::AppId> skipped_apps;
+        bool aborted = false;
+        for (const PodRef &entry : ranked_) {
+            if (aborted)
+                break;
+            if (skipped_apps.count(entry.app))
+                continue;
+            const auto &ms =
+                apps_[entry.app].services[entry.ms];
+            const double size = ms.cpu; // per-replica size
+            const int replicas = std::max(ms.replicas, 1);
+
+            // Pass 1 places the minimum viable (quorum) replica set of
+            // every ranked microservice, in rank order; extra replicas
+            // are topped up in pass 2 only after every ranked service
+            // has had its chance, so early services cannot starve
+            // later critical ones.
+            const int quorum = ms.quorumCount();
+            int placed_replicas = 0;
+            for (int r = 0; r < replicas && placed_replicas < quorum;
+                 ++r) {
+                const PodRef pod{entry.app, entry.ms,
+                                 static_cast<uint32_t>(r)};
+                if (result_.state.isActive(pod)) {
+                    committed_.insert(pod);
+                    ++placed_replicas;
+                    continue;
+                }
+                std::optional<NodeId> node = getBestFit(size);
+                if (!node && options_.allowMigrations)
+                    node = repackToFit(size);
+                if (!node && options_.allowDeletions)
+                    node = deleteLowerRanksToFit(pod, size);
+                if (!node)
+                    break;
+                placePod(pod, *node, size, ActionKind::Restart);
+                committed_.insert(pod);
+                ++placed_replicas;
+            }
+            // Keep surviving extras committed so pass-1 deletions for
+            // lower-ranked services do not reap them before pass 2.
+            for (int r = 0; r < replicas; ++r) {
+                const PodRef pod{entry.app, entry.ms,
+                                 static_cast<uint32_t>(r)};
+                if (result_.state.isActive(pod))
+                    committed_.insert(pod);
+            }
+
+            if (placed_replicas >= quorum) {
+                ++result_.placed;
+                topUp_.push_back(entry);
+                continue;
+            }
+
+            // Below quorum: a sub-quorum microservice serves nothing,
+            // so delete its replicas and either abort (Alg. 2 literal)
+            // or skip this application.
+            result_.complete = false;
+            for (int r = 0; r < replicas; ++r) {
+                const PodRef pod{entry.app, entry.ms,
+                                 static_cast<uint32_t>(r)};
+                if (result_.state.isActive(pod)) {
+                    committed_.erase(pod);
+                    evictPod(pod, ActionKind::Delete);
+                }
+            }
+            if (options_.abortOnUnplaceable)
+                aborted = true;
+            else
+                skipped_apps.insert(entry.app);
+        }
+
+        // Pass 2: opportunistically restore replicas beyond the quorum
+        // with the remaining capacity (best-fit only; never disturbs
+        // what pass 1 placed).
+        for (const PodRef &entry : topUp_) {
+            const auto &ms = apps_[entry.app].services[entry.ms];
+            const int replicas = std::max(ms.replicas, 1);
+            for (int r = 0; r < replicas; ++r) {
+                const PodRef pod{entry.app, entry.ms,
+                                 static_cast<uint32_t>(r)};
+                if (result_.state.isActive(pod))
+                    continue;
+                const auto node = getBestFit(ms.cpu);
+                if (!node) {
+                    result_.complete = false;
+                    break;
+                }
+                placePod(pod, *node, ms.cpu, ActionKind::Restart);
+                committed_.insert(pod);
+            }
+        }
+        return std::move(result_);
+    }
+
+  private:
+    /** Keep byRemaining_ in sync while mutating the state. */
+    void
+    placePod(const PodRef &pod, NodeId node, double size, ActionKind kind,
+             NodeId from = 0)
+    {
+        const double before = result_.state.remaining(node);
+        const bool ok = result_.state.place(pod, node, size);
+        if (!ok)
+            return; // defensive; callers pre-check capacity
+        byRemaining_.erase(before, node);
+        byRemaining_.insert(result_.state.remaining(node), node);
+        Action action;
+        action.kind = kind;
+        action.pod = pod;
+        action.from = from;
+        action.to = node;
+        result_.actions.push_back(action);
+    }
+
+    void
+    evictPod(const PodRef &pod, ActionKind kind, NodeId to = 0)
+    {
+        const auto node = result_.state.nodeOf(pod);
+        if (!node)
+            return;
+        const double before = result_.state.remaining(*node);
+        result_.state.evict(pod);
+        byRemaining_.erase(before, *node);
+        byRemaining_.insert(result_.state.remaining(*node), *node);
+        if (kind == ActionKind::Delete) {
+            Action action;
+            action.kind = ActionKind::Delete;
+            action.pod = pod;
+            action.from = *node;
+            action.to = to;
+            result_.actions.push_back(action);
+        }
+    }
+
+    /** Best-fit: node with the smallest remaining capacity >= size. */
+    std::optional<NodeId>
+    getBestFit(double size) const
+    {
+        const auto hit = byRemaining_.firstAtLeast(size);
+        if (!hit)
+            return std::nullopt;
+        return hit->second;
+    }
+
+    /**
+     * Repacking stage: walk candidate target nodes from most to least
+     * empty; for each, try to migrate its smallest non-committed
+     * containers onto other nodes until the incoming container fits.
+     */
+    std::optional<NodeId>
+    repackToFit(double size)
+    {
+        // Candidate targets: the most-empty nodes ("servers with large
+        // available capacity are preferred"). Bounded to a constant so
+        // repacking stays near-logarithmic per container — if the
+        // emptiest nodes cannot be cleared, fuller ones cannot either.
+        constexpr size_t kMaxCandidates = 8;
+        std::vector<std::pair<double, NodeId>> candidates;
+        for (auto it = byRemaining_.rbegin(); it != byRemaining_.rend();
+             ++it) {
+            candidates.push_back(*it);
+            if (candidates.size() >= kMaxCandidates)
+                break;
+        }
+
+        for (const auto &[remaining, node] : candidates) {
+            (void)remaining;
+            auto moves = planMigrations(node, size);
+            if (!moves)
+                continue;
+            for (const auto &[pod, target] : *moves) {
+                const double pod_size = result_.state.podCpu(pod);
+                evictPod(pod, ActionKind::Migrate);
+                placePod(pod, target, pod_size, ActionKind::Migrate,
+                         node);
+            }
+            if (result_.state.remaining(node) + 1e-9 >= size)
+                return node;
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Feasibility check for clearing @p size room on @p node by moving
+     * its smallest migratable containers elsewhere. Pure planning: no
+     * state mutation; returns the move list on success. Committed
+     * (higher-ranked) containers may migrate too — migration keeps
+     * them live, and consolidating them is often the only way to
+     * clear room for a large critical container on a cluster whose
+     * survivors are spread across every node.
+     *
+     * Hypothetical placements are tracked as deltas against the live
+     * byRemaining_ index (no O(nodes) copy): an index entry's
+     * effective free space is its key minus whatever this plan has
+     * already parked on that node.
+     */
+    std::optional<std::vector<std::pair<PodRef, NodeId>>>
+    planMigrations(NodeId node, double size)
+    {
+        // Clearing a node by relocating many containers is excessive
+        // churn; give up beyond this.
+        constexpr size_t kMaxMoves = 16;
+        constexpr size_t kMaxProbes = 24;
+
+        const double have = result_.state.remaining(node);
+        if (have + 1e-9 >= size)
+            return std::vector<std::pair<PodRef, NodeId>>{};
+
+        std::vector<std::pair<double, PodRef>> movable;
+        for (const auto &[pod, cpu] : result_.state.podsOn(node))
+            movable.emplace_back(cpu, pod);
+        std::sort(movable.begin(), movable.end());
+
+        std::map<NodeId, double> parked; // hypothetical extra usage
+        std::vector<std::pair<PodRef, NodeId>> moves;
+        double freed = have;
+        for (const auto &[cpu, pod] : movable) {
+            if (freed + 1e-9 >= size)
+                break;
+            if (moves.size() >= kMaxMoves)
+                break;
+            // Walk index entries from the best-fit point upward until
+            // one is effectively big enough (entries are stale-high
+            // only for nodes in `parked`).
+            std::optional<NodeId> target;
+            size_t probes = 0;
+            for (auto it = byRemaining_.lowerBound(cpu);
+                 it != byRemaining_.end() && probes < kMaxProbes;
+                 ++it) {
+                ++probes;
+                const NodeId cand = it->second;
+                if (cand == node)
+                    continue;
+                double effective = it->first;
+                auto pit = parked.find(cand);
+                if (pit != parked.end())
+                    effective -= pit->second;
+                if (effective + 1e-9 >= cpu) {
+                    target = cand;
+                    break;
+                }
+            }
+            if (!target)
+                continue; // this pod cannot move; try a bigger one
+            parked[*target] += cpu;
+            moves.emplace_back(pod, *target);
+            freed += cpu;
+        }
+        if (freed + 1e-9 >= size)
+            return moves;
+        return std::nullopt;
+    }
+
+    /**
+     * Deletion stage: remove active containers in reverse planner
+     * order (unranked first, then lowest-ranked) until the incoming
+     * container fits by best-fit or repacking.
+     */
+    /**
+     * Targeted deletion: find a node whose lower-ranked containers can
+     * be deleted to make exactly this container fit, and clear just
+     * that node (fewest victims). Much more effective for large
+     * containers than deleting in global reverse-rank order, which
+     * scatters the freed capacity across the cluster.
+     */
+    std::optional<NodeId>
+    clearOneNodeToFit(size_t incoming_rank, double size)
+    {
+        constexpr size_t kMaxCandidates = 16;
+        std::optional<NodeId> best_node;
+        size_t best_victims = std::numeric_limits<size_t>::max();
+        std::vector<PodRef> best_list;
+
+        size_t considered = 0;
+        for (auto it = byRemaining_.rbegin();
+             it != byRemaining_.rend() && considered < kMaxCandidates;
+             ++it, ++considered) {
+            const NodeId node = it->second;
+            double free = it->first;
+            // Victims on this node, lowest priority first.
+            std::vector<std::pair<size_t, PodRef>> victims;
+            for (const auto &[pod, cpu] : result_.state.podsOn(node)) {
+                (void)cpu;
+                const size_t rank = rankOf(pod);
+                if (rank > incoming_rank && !committed_.count(pod))
+                    victims.emplace_back(rank, pod);
+            }
+            std::sort(victims.begin(), victims.end(),
+                      [](const auto &x, const auto &y) {
+                          return x.first > y.first;
+                      });
+            std::vector<PodRef> list;
+            for (const auto &[rank, pod] : victims) {
+                (void)rank;
+                if (free + 1e-9 >= size)
+                    break;
+                free += result_.state.podCpu(pod);
+                list.push_back(pod);
+            }
+            if (free + 1e-9 >= size && list.size() < best_victims) {
+                best_victims = list.size();
+                best_node = node;
+                best_list = std::move(list);
+            }
+        }
+
+        if (!best_node)
+            return std::nullopt;
+        for (const PodRef &victim : best_list)
+            evictPod(victim, ActionKind::Delete);
+        return best_node;
+    }
+
+    std::optional<NodeId>
+    deleteLowerRanksToFit(const PodRef &incoming, double size)
+    {
+        const size_t incoming_rank = rankOf(incoming);
+        if (auto node = clearOneNodeToFit(incoming_rank, size))
+            return node;
+        size_t deletions = 0;
+        while (!deletionOrder_.empty()) {
+            const PodRef victim = deletionOrder_.back();
+            deletionOrder_.pop_back();
+            if (!result_.state.isActive(victim) ||
+                committed_.count(victim)) {
+                continue;
+            }
+            if (rankOf(victim) <= incoming_rank)
+                break; // nothing lower-priority left
+            evictPod(victim, ActionKind::Delete);
+            ++deletions;
+
+            auto node = getBestFit(size);
+            // The repack attempt is markedly more expensive than the
+            // best-fit probe; amortize it over batches of deletions so
+            // deep deletion cascades stay near-linear.
+            if (!node && options_.allowMigrations &&
+                (deletions & 0x7) == 0) {
+                node = repackToFit(size);
+            }
+            if (node)
+                return node;
+        }
+        if (options_.allowMigrations)
+            return repackToFit(size);
+        return std::nullopt;
+    }
+
+    size_t
+    rankOf(const PodRef &pod) const
+    {
+        auto it = rankIndex_.find({pod.app, pod.ms});
+        if (it == rankIndex_.end())
+            return std::numeric_limits<size_t>::max();
+        return it->second;
+    }
+
+    /**
+     * Deletion candidates: every currently active pod, ordered so the
+     * *lowest* priority pod sits at the back (pop order): unranked pods
+     * (rank == max) first, then ranked pods from the tail upward.
+     */
+    void
+    buildDeletionOrder()
+    {
+        // Decorate-sort-undecorate: rank lookups once per pod, not per
+        // comparison (this sort covers every placed pod).
+        std::vector<std::pair<size_t, PodRef>> decorated;
+        decorated.reserve(result_.state.assignment().size());
+        for (const auto &[pod, node] : result_.state.assignment()) {
+            (void)node;
+            decorated.emplace_back(rankOf(pod), pod);
+        }
+        std::sort(decorated.begin(), decorated.end());
+        deletionOrder_.reserve(decorated.size());
+        for (const auto &[rank, pod] : decorated) {
+            (void)rank;
+            deletionOrder_.push_back(pod);
+        }
+    }
+
+    const std::vector<sim::Application> &apps_;
+    PackingOptions options_;
+    const GlobalRank &ranked_;
+
+    PackResult result_;
+    util::SortedKv<double, NodeId> byRemaining_;
+    std::map<std::pair<sim::AppId, sim::MsId>, size_t> rankIndex_;
+    std::set<PodRef> committed_;
+    std::vector<PodRef> deletionOrder_;
+    std::vector<PodRef> topUp_;
+};
+
+} // namespace
+
+PackResult
+PackingScheduler::pack(const std::vector<sim::Application> &apps,
+                       const ClusterState &current,
+                       const GlobalRank &ranked) const
+{
+    Packer packer(apps, current, ranked, options_);
+    return packer.run();
+}
+
+} // namespace phoenix::core

@@ -1,0 +1,266 @@
+#include "planner.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "lp/waterfill.h"
+
+namespace phoenix::core {
+
+using sim::Application;
+using sim::Microservice;
+using sim::MsId;
+using sim::PodRef;
+
+double
+CostObjective::key(const Application &app, const Microservice &ms,
+                   double app_usage_so_far) const
+{
+    (void)app_usage_so_far;
+    // Lexicographic (criticality, -price): business-critical
+    // containers carry the revenue, so every tenant's C1 ranks ahead
+    // of any tenant's C2, and within a level the higher-paying tenant
+    // wins. This is what lets PhoenixCost keep all five applications'
+    // critical services alive in the paper's Fig 6 run while still
+    // maximizing revenue — a pure per-app price ordering would starve
+    // cheaper tenants' critical services entirely, and a fractional
+    // price/criticality discount still lets an expensive tenant's C2
+    // tie with a cheap tenant's C1 and eat the packing margin.
+    return static_cast<double>(effectiveCriticality(app, ms)) * 1.0e6 -
+           app.pricePerUnit;
+}
+
+void
+FairObjective::begin(const std::vector<Application> &apps, double capacity)
+{
+    std::vector<double> demands;
+    demands.reserve(apps.size());
+    for (const auto &app : apps)
+        demands.push_back(app.totalDemand());
+    fairShare_ = lp::waterFill(demands, capacity);
+}
+
+double
+FairObjective::key(const Application &app, const Microservice &ms,
+                   double app_usage_so_far) const
+{
+    // Deviation from the water-fill fair share after activating ms;
+    // least deviation pops first (relaxed fair share: an app may exceed
+    // its share, but only once everyone else is closer to theirs).
+    const double share =
+        app.id < fairShare_.size() ? fairShare_[app.id] : 0.0;
+    return app_usage_so_far + ms.totalCpu() - share;
+}
+
+void
+WeightedFairObjective::begin(const std::vector<Application> &apps,
+                             double capacity)
+{
+    std::vector<double> demands;
+    std::vector<double> weights;
+    demands.reserve(apps.size());
+    weights.reserve(apps.size());
+    for (const auto &app : apps) {
+        demands.push_back(app.totalDemand());
+        weights.push_back(app.id < weights_.size() ? weights_[app.id]
+                                                   : 1.0);
+    }
+    fairShare_ = lp::weightedWaterFill(demands, weights, capacity);
+}
+
+double
+WeightedFairObjective::key(const Application &app,
+                           const Microservice &ms,
+                           double app_usage_so_far) const
+{
+    const double share =
+        app.id < fairShare_.size() ? fairShare_[app.id] : 0.0;
+    // Normalize the deviation by weight so heavier tenants may sit
+    // proportionally further above the line before yielding the queue.
+    const double weight =
+        app.id < weights_.size() && weights_[app.id] > 0.0
+            ? weights_[app.id]
+            : 1.0;
+    return (app_usage_so_far + ms.totalCpu() - share) / weight;
+}
+
+AppRank
+Planner::priorityEstimator(const std::vector<Application> &apps,
+                           PlannerOptions options)
+{
+    AppRank ranks(apps.size());
+
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const Application &app = apps[a];
+        auto &rank = ranks[a];
+        rank.reserve(app.services.size());
+
+        if (!app.hasDependencyGraph) {
+            // No DG: order purely by criticality (Alg. 1 lines 17-19).
+            std::vector<MsId> order(app.services.size());
+            for (MsId m = 0; m < order.size(); ++m)
+                order[m] = m;
+            std::stable_sort(
+                order.begin(), order.end(), [&](MsId x, MsId y) {
+                    return effectiveCriticality(app, app.services[x]) <
+                           effectiveCriticality(app, app.services[y]);
+                });
+            rank = std::move(order);
+            continue;
+        }
+
+        // DG present: criticality-keyed preorder traversal
+        // (Alg. 1 lines 6-16).
+        std::vector<bool> visited(app.services.size(), false);
+        // Q keyed by (criticality, node id) — most critical first.
+        std::set<std::pair<int, MsId>> queue;
+
+        auto tag = [&](MsId m) {
+            return effectiveCriticality(app, app.services[m]);
+        };
+
+        // Iterative DFS honouring the pseudocode: descend into children
+        // whose tag is >= the parent's (less or equally critical);
+        // queue children that are *more* critical than the parent so
+        // they pop by global criticality order.
+        auto dfs = [&](MsId start) {
+            std::vector<MsId> stack{start};
+            while (!stack.empty()) {
+                const MsId node = stack.back();
+                stack.pop_back();
+                if (visited[node])
+                    continue;
+                visited[node] = true;
+                rank.push_back(node);
+
+                // Children sorted most-critical-first; push onto the
+                // stack in reverse so the most critical is explored
+                // first (preorder).
+                std::vector<MsId> children(
+                    app.dag.successors(node).begin(),
+                    app.dag.successors(node).end());
+                std::sort(children.begin(), children.end(),
+                          [&](MsId x, MsId y) {
+                              if (tag(x) != tag(y))
+                                  return tag(x) < tag(y);
+                              return x < y;
+                          });
+                for (auto it = children.rbegin(); it != children.rend();
+                     ++it) {
+                    const MsId child = *it;
+                    if (visited[child])
+                        continue;
+                    const bool descend =
+                        options.eagerDfsDescend
+                            ? tag(child) >= tag(node)
+                            : tag(child) == tag(node);
+                    if (descend)
+                        stack.push_back(child);
+                    else
+                        queue.emplace(tag(child), child);
+                }
+            }
+        };
+
+        for (MsId src : app.dag.sources())
+            queue.emplace(tag(src), src);
+        // Nodes unreachable from any source (cyclic components) still
+        // need a rank; seed them too so every service appears.
+        for (MsId m = 0; m < app.services.size(); ++m) {
+            if (app.dag.predecessors(m).empty() &&
+                app.dag.successors(m).empty()) {
+                queue.emplace(tag(m), m);
+            }
+        }
+
+        while (!queue.empty()) {
+            const MsId next = queue.begin()->second;
+            queue.erase(queue.begin());
+            if (!visited[next])
+                dfs(next);
+        }
+
+        // Safety net: append anything a cyclic or disconnected DG left
+        // unvisited, in criticality order.
+        std::vector<MsId> leftovers;
+        for (MsId m = 0; m < app.services.size(); ++m) {
+            if (!visited[m])
+                leftovers.push_back(m);
+        }
+        std::sort(leftovers.begin(), leftovers.end(),
+                  [&](MsId x, MsId y) {
+                      if (tag(x) != tag(y))
+                          return tag(x) < tag(y);
+                      return x < y;
+                  });
+        rank.insert(rank.end(), leftovers.begin(), leftovers.end());
+    }
+    return ranks;
+}
+
+GlobalRank
+Planner::globalRank(const std::vector<Application> &apps,
+                    const AppRank &app_rank, OperatorObjective &objective,
+                    double capacity) const
+{
+    objective.begin(apps, capacity);
+
+    GlobalRank global;
+    double remaining = capacity;
+    std::vector<double> usage(apps.size(), 0.0);
+    std::vector<size_t> cursor(apps.size(), 0);
+
+    // (key, app) entries; one live entry per app, re-inserted with the
+    // app's next container after each grant.
+    std::set<std::pair<double, sim::AppId>> queue;
+
+    auto push_head = [&](sim::AppId a) {
+        if (cursor[a] >= app_rank[a].size())
+            return;
+        const MsId m = app_rank[a][cursor[a]];
+        queue.emplace(
+            objective.key(apps[a], apps[a].services[m], usage[a]), a);
+    };
+
+    for (sim::AppId a = 0; a < apps.size(); ++a)
+        push_head(a);
+
+    while (!queue.empty()) {
+        const auto [key, a] = *queue.begin();
+        (void)key;
+        queue.erase(queue.begin());
+        const MsId m = app_rank[a][cursor[a]];
+        const Microservice &ms = apps[a].services[m];
+        // Reserve the minimum viable allocation; the packer fills up
+        // to the full replica count when capacity allows.
+        const double need = ms.quorumCpu();
+
+        if (need > remaining + 1e-9) {
+            if (options_.stopAtFirstOverflow)
+                break; // Alg. 1 line 28
+            // Ablation mode: drop this app (its later containers are
+            // lower priority and may not jump the queue) but keep
+            // ranking the others.
+            continue;
+        }
+
+        remaining -= need;
+        global.push_back(PodRef{a, m});
+        usage[a] += need;
+        objective.granted(apps[a], ms);
+        ++cursor[a];
+        push_head(a);
+    }
+    return global;
+}
+
+GlobalRank
+Planner::plan(const std::vector<Application> &apps,
+              OperatorObjective &objective, double capacity) const
+{
+    const AppRank ranks = priorityEstimator(apps, options_);
+    return globalRank(apps, ranks, objective, capacity);
+}
+
+} // namespace phoenix::core

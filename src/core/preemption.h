@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Kubernetes PriorityClass preemption baseline (§2).
+ *
+ * The paper positions pod priority + preemption as the existing
+ * infrastructure-level degradation mechanism in Kubernetes: pods carry
+ * a PriorityClass (here derived from the criticality tag), the
+ * scheduler places pending pods in priority order, and when a pod
+ * cannot fit it may preempt strictly lower-priority pods on a single
+ * node (the K8s scheduler's node-local victim selection). There is no
+ * operator objective, no dependency awareness, no migration, and no
+ * cross-application coordination — which is exactly why the paper
+ * argues it is insufficient for site-wide degradation policies.
+ */
+
+#ifndef PHOENIX_CORE_PREEMPTION_H
+#define PHOENIX_CORE_PREEMPTION_H
+
+#include "core/schemes.h"
+
+namespace phoenix::core {
+
+/**
+ * The K8s-style preemption scheme. Pending pods sort by PriorityClass
+ * (criticality) then pod id; placement is spread (least-allocated)
+ * first; on failure the scheduler picks the node where evicting the
+ * fewest strictly-lower-priority pods frees enough room.
+ */
+class KubePreemptionScheme : public ResilienceScheme
+{
+  public:
+    std::string name() const override { return "K8sPreemption"; }
+
+    SchemeResult apply(const std::vector<sim::Application> &apps,
+                       const sim::ClusterState &current) override;
+};
+
+} // namespace phoenix::core
+
+#endif // PHOENIX_CORE_PREEMPTION_H

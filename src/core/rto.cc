@@ -1,0 +1,65 @@
+#include "rto.h"
+
+#include <algorithm>
+
+namespace phoenix::core {
+
+using sim::ActiveSet;
+using sim::AppId;
+using sim::Criticality;
+using sim::SimTime;
+
+void
+RtoTracker::record(SimTime time, const ActiveSet &active)
+{
+    samples_.emplace_back(time, active);
+}
+
+bool
+RtoTracker::levelActive(AppId app, Criticality level,
+                        const ActiveSet &active) const
+{
+    if (app >= apps_.size())
+        return false;
+    for (const auto &ms : apps_[app].services) {
+        if (ms.criticality <= level && !active[app][ms.id])
+            return false;
+    }
+    return true;
+}
+
+double
+RtoTracker::recoveryTime(AppId app, Criticality level,
+                         SimTime failure_time) const
+{
+    for (const auto &[time, active] : samples_) {
+        if (time < failure_time)
+            continue;
+        if (levelActive(app, level, active))
+            return time - failure_time;
+    }
+    return -1.0;
+}
+
+std::vector<RtoOutcome>
+RtoTracker::evaluate(const std::map<AppId, RtoPolicy> &policies,
+                     SimTime failure_time) const
+{
+    std::vector<RtoOutcome> outcomes;
+    for (const auto &[app, policy] : policies) {
+        for (const auto &[level, bound] : policy.maxSeconds) {
+            RtoOutcome outcome;
+            outcome.app = app;
+            outcome.level = level;
+            outcome.boundSeconds = bound;
+            outcome.recoverySeconds =
+                recoveryTime(app, level, failure_time);
+            outcome.violated = outcome.recoverySeconds < 0.0 ||
+                               outcome.recoverySeconds > bound;
+            outcomes.push_back(outcome);
+        }
+    }
+    return outcomes;
+}
+
+} // namespace phoenix::core

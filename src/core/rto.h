@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Recovery Time Objectives per degradation level (§3.1).
+ *
+ * Diagonal scaling expands the resilience-metrics space: instead of
+ * one RTO for "the application is back", an application states an RTO
+ * per criticality level — stringent for C1, lenient for auxiliary
+ * services. This module tracks an observed activation timeline and
+ * evaluates those per-level objectives after a failure: the level-L
+ * recovery time is when every service tagged C1..CL is active again.
+ */
+
+#ifndef PHOENIX_CORE_RTO_H
+#define PHOENIX_CORE_RTO_H
+
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/metrics.h"
+#include "sim/types.h"
+
+namespace phoenix::core {
+
+/** Per-application RTO policy: level -> max acceptable seconds. */
+struct RtoPolicy
+{
+    std::map<sim::Criticality, double> maxSeconds;
+};
+
+/** Recovery outcome of one application at one level. */
+struct RtoOutcome
+{
+    sim::AppId app = 0;
+    sim::Criticality level = 1;
+    /** Seconds from the failure until the level recovered; negative
+     * when it never did within the observed window. */
+    double recoverySeconds = -1.0;
+    /** The policy bound, if one was set (else negative). */
+    double boundSeconds = -1.0;
+    bool violated = false;
+};
+
+/**
+ * Records (time, ActiveSet) snapshots and answers per-level recovery
+ * queries. Sample at whatever cadence the experiment observes the
+ * cluster; queries interpolate conservatively (recovery is credited at
+ * the first sample where the level is fully active).
+ */
+class RtoTracker
+{
+  public:
+    explicit RtoTracker(std::vector<sim::Application> apps)
+        : apps_(std::move(apps))
+    {
+    }
+
+    /** Record a snapshot of the active set at @p time. */
+    void record(sim::SimTime time, const sim::ActiveSet &active);
+
+    /**
+     * Is level L of @p app fully active in @p active (every service
+     * tagged <= L is on)?
+     */
+    bool levelActive(sim::AppId app, sim::Criticality level,
+                     const sim::ActiveSet &active) const;
+
+    /**
+     * Recovery time of (app, level) after a failure at @p failure_time:
+     * the first recorded time >= failure_time at which the level is
+     * fully active, minus the failure time. Negative when the level
+     * never recovered within the recorded window.
+     */
+    double recoveryTime(sim::AppId app, sim::Criticality level,
+                        sim::SimTime failure_time) const;
+
+    /**
+     * Evaluate per-app policies after a failure; one outcome per
+     * (app, level) the policy mentions.
+     */
+    std::vector<RtoOutcome>
+    evaluate(const std::map<sim::AppId, RtoPolicy> &policies,
+             sim::SimTime failure_time) const;
+
+    size_t sampleCount() const { return samples_.size(); }
+
+  private:
+    std::vector<sim::Application> apps_;
+    std::vector<std::pair<sim::SimTime, sim::ActiveSet>> samples_;
+};
+
+} // namespace phoenix::core
+
+#endif // PHOENIX_CORE_RTO_H

@@ -1,0 +1,203 @@
+#include "store.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace phoenix::core {
+
+using sim::Application;
+using sim::MsId;
+
+namespace {
+
+constexpr const char *kHeader = "phoenix-store v1";
+
+/** Escape spaces/backslashes in names (single-token fields). */
+std::string
+escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == ' ') {
+            out += "\\s";
+        } else if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out.empty() ? "~" : out;
+}
+
+std::string
+unescape(const std::string &text)
+{
+    if (text == "~")
+        return "";
+    std::string out;
+    out.reserve(text.size());
+    for (size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+            switch (text[++i]) {
+              case 's': out += ' '; break;
+              case 'n': out += '\n'; break;
+              default: out += text[i]; break;
+            }
+        } else {
+            out += text[i];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+serializeApps(const std::vector<Application> &apps)
+{
+    std::ostringstream out;
+    out << std::setprecision(17); // lossless double round-trip
+    out << kHeader << "\n";
+    for (const auto &app : apps) {
+        out << "app " << app.id << " " << escape(app.name) << " "
+            << app.pricePerUnit << " " << (app.phoenixEnabled ? 1 : 0)
+            << " " << (app.hasDependencyGraph ? 1 : 0) << "\n";
+        for (const auto &ms : app.services) {
+            out << "ms " << ms.id << " " << escape(ms.name) << " "
+                << ms.cpu << " " << ms.criticality << " "
+                << ms.replicas << " " << ms.quorum << "\n";
+        }
+        if (app.hasDependencyGraph) {
+            for (MsId u = 0; u < app.dag.nodeCount(); ++u) {
+                for (MsId v : app.dag.successors(u))
+                    out << "edge " << u << " " << v << "\n";
+            }
+        }
+        out << "end\n";
+    }
+    return out.str();
+}
+
+std::optional<std::vector<Application>>
+deserializeApps(const std::string &text, std::string *error)
+{
+    auto fail = [&](const std::string &message)
+        -> std::optional<std::vector<Application>> {
+        if (error)
+            *error = message;
+        return std::nullopt;
+    };
+
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kHeader)
+        return fail("missing or unknown header");
+
+    std::vector<Application> apps;
+    Application *current = nullptr;
+    std::vector<std::pair<MsId, MsId>> edges;
+
+    size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string kind;
+        fields >> kind;
+        const std::string where =
+            " (line " + std::to_string(line_no) + ")";
+
+        if (kind == "app") {
+            if (current)
+                return fail("app without end" + where);
+            Application app;
+            std::string name;
+            int enabled = 1;
+            int has_dag = 0;
+            if (!(fields >> app.id >> name >> app.pricePerUnit >>
+                  enabled >> has_dag)) {
+                return fail("malformed app record" + where);
+            }
+            app.name = unescape(name);
+            app.phoenixEnabled = enabled != 0;
+            app.hasDependencyGraph = has_dag != 0;
+            apps.push_back(std::move(app));
+            current = &apps.back();
+            edges.clear();
+        } else if (kind == "ms") {
+            if (!current)
+                return fail("ms outside app" + where);
+            sim::Microservice ms;
+            std::string name;
+            if (!(fields >> ms.id >> name >> ms.cpu >> ms.criticality >>
+                  ms.replicas >> ms.quorum)) {
+                return fail("malformed ms record" + where);
+            }
+            if (ms.id != current->services.size())
+                return fail("non-contiguous ms ids" + where);
+            if (ms.cpu < 0.0 || ms.replicas < 1 ||
+                ms.criticality < 1) {
+                return fail("invalid ms fields" + where);
+            }
+            ms.name = unescape(name);
+            current->services.push_back(std::move(ms));
+        } else if (kind == "edge") {
+            if (!current || !current->hasDependencyGraph)
+                return fail("edge outside a DG app" + where);
+            MsId u = 0;
+            MsId v = 0;
+            if (!(fields >> u >> v))
+                return fail("malformed edge record" + where);
+            edges.emplace_back(u, v);
+        } else if (kind == "end") {
+            if (!current)
+                return fail("end without app" + where);
+            if (current->hasDependencyGraph) {
+                current->dag =
+                    graph::DiGraph(current->services.size());
+                for (auto [u, v] : edges) {
+                    if (!current->dag.addEdge(u, v))
+                        return fail("invalid edge" + where);
+                }
+            }
+            current = nullptr;
+        } else {
+            return fail("unknown record '" + kind + "'" + where);
+        }
+    }
+    if (current)
+        return fail("unterminated app record");
+    return apps;
+}
+
+bool
+saveAppsToFile(const std::vector<Application> &apps,
+               const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << serializeApps(apps);
+    return static_cast<bool>(out);
+}
+
+std::optional<std::vector<Application>>
+loadAppsFromFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return deserializeApps(buffer.str(), error);
+}
+
+} // namespace phoenix::core

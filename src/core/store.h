@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Persistent configuration store (§5 "Fault Tolerance").
+ *
+ * Phoenix keeps criticality tags and dependency graphs in memory but
+ * also persists them to a storage service; after a crash it restarts
+ * on a healthy node, pulls the inputs back, and resumes. This module
+ * is that store: a compact, versioned, line-oriented text codec for
+ * application descriptors (services, tags, replicas, DG edges,
+ * prices, subscription flags) plus load/save helpers.
+ *
+ * The format is deliberately diff-friendly:
+ *
+ *   phoenix-store v1
+ *   app <id> <name> <price> <enabled> <hasDag>
+ *   ms <id> <name> <cpu> <criticality> <replicas> <quorum>
+ *   edge <from> <to>
+ *   end
+ */
+
+#ifndef PHOENIX_CORE_STORE_H
+#define PHOENIX_CORE_STORE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace phoenix::core {
+
+/** Serialize application descriptors to the store format. */
+std::string serializeApps(const std::vector<sim::Application> &apps);
+
+/**
+ * Parse a store document. Returns nullopt (and fills @p error when
+ * non-null) on malformed input; never partially succeeds.
+ */
+std::optional<std::vector<sim::Application>>
+deserializeApps(const std::string &text, std::string *error = nullptr);
+
+/** Write the store to a file; returns false on I/O failure. */
+bool saveAppsToFile(const std::vector<sim::Application> &apps,
+                    const std::string &path);
+
+/** Read a store file; nullopt on I/O or parse failure. */
+std::optional<std::vector<sim::Application>>
+loadAppsFromFile(const std::string &path, std::string *error = nullptr);
+
+} // namespace phoenix::core
+
+#endif // PHOENIX_CORE_STORE_H

@@ -1,0 +1,191 @@
+#include "digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace phoenix::graph {
+
+DiGraph::DiGraph(size_t node_count)
+    : succ_(node_count), pred_(node_count)
+{
+}
+
+NodeId
+DiGraph::addNode()
+{
+    succ_.emplace_back();
+    pred_.emplace_back();
+    return static_cast<NodeId>(succ_.size() - 1);
+}
+
+void
+DiGraph::ensureNodes(size_t count)
+{
+    if (succ_.size() < count) {
+        succ_.resize(count);
+        pred_.resize(count);
+    }
+}
+
+bool
+DiGraph::addEdge(NodeId u, NodeId v)
+{
+    if (u == v || u >= succ_.size() || v >= succ_.size())
+        return false;
+    if (hasEdge(u, v))
+        return false;
+    succ_[u].push_back(v);
+    pred_[v].push_back(u);
+    ++edgeCount_;
+    return true;
+}
+
+bool
+DiGraph::hasEdge(NodeId u, NodeId v) const
+{
+    if (u >= succ_.size() || v >= succ_.size())
+        return false;
+    const auto &out = succ_[u];
+    return std::find(out.begin(), out.end(), v) != out.end();
+}
+
+const std::vector<NodeId> &
+DiGraph::successors(NodeId u) const
+{
+    assert(u < succ_.size());
+    return succ_[u];
+}
+
+const std::vector<NodeId> &
+DiGraph::predecessors(NodeId u) const
+{
+    assert(u < pred_.size());
+    return pred_[u];
+}
+
+std::vector<NodeId>
+DiGraph::sources() const
+{
+    std::vector<NodeId> out;
+    for (NodeId u = 0; u < pred_.size(); ++u) {
+        if (pred_[u].empty())
+            out.push_back(u);
+    }
+    return out;
+}
+
+std::vector<NodeId>
+DiGraph::sinks() const
+{
+    std::vector<NodeId> out;
+    for (NodeId u = 0; u < succ_.size(); ++u) {
+        if (succ_[u].empty())
+            out.push_back(u);
+    }
+    return out;
+}
+
+std::optional<std::vector<NodeId>>
+DiGraph::topologicalOrder() const
+{
+    std::vector<size_t> indeg(succ_.size());
+    for (NodeId u = 0; u < pred_.size(); ++u)
+        indeg[u] = pred_[u].size();
+
+    std::deque<NodeId> ready;
+    for (NodeId u = 0; u < indeg.size(); ++u) {
+        if (indeg[u] == 0)
+            ready.push_back(u);
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(succ_.size());
+    while (!ready.empty()) {
+        const NodeId u = ready.front();
+        ready.pop_front();
+        order.push_back(u);
+        for (NodeId v : succ_[u]) {
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+        }
+    }
+
+    if (order.size() != succ_.size())
+        return std::nullopt;
+    return order;
+}
+
+std::vector<NodeId>
+DiGraph::reachableFrom(NodeId start) const
+{
+    return reachableFrom(std::vector<NodeId>{start});
+}
+
+std::vector<NodeId>
+DiGraph::reachableFrom(const std::vector<NodeId> &starts) const
+{
+    std::vector<bool> seen(succ_.size(), false);
+    std::vector<NodeId> stack;
+    std::vector<NodeId> out;
+    for (NodeId s : starts) {
+        if (s < succ_.size() && !seen[s]) {
+            seen[s] = true;
+            stack.push_back(s);
+        }
+    }
+    while (!stack.empty()) {
+        const NodeId u = stack.back();
+        stack.pop_back();
+        out.push_back(u);
+        for (NodeId v : succ_[u]) {
+            if (!seen[v]) {
+                seen[v] = true;
+                stack.push_back(v);
+            }
+        }
+    }
+    return out;
+}
+
+DiGraph
+DiGraph::subgraph(const std::vector<NodeId> &keep,
+                  std::vector<NodeId> *old_to_new) const
+{
+    std::vector<NodeId> map(succ_.size(), kInvalidNode);
+    DiGraph sub;
+    for (NodeId u : keep) {
+        if (u < succ_.size() && map[u] == kInvalidNode)
+            map[u] = sub.addNode();
+    }
+    for (NodeId u = 0; u < succ_.size(); ++u) {
+        if (map[u] == kInvalidNode)
+            continue;
+        for (NodeId v : succ_[u]) {
+            if (map[v] != kInvalidNode)
+                sub.addEdge(map[u], map[v]);
+        }
+    }
+    if (old_to_new)
+        *old_to_new = std::move(map);
+    return sub;
+}
+
+double
+DiGraph::singleUpstreamFraction() const
+{
+    size_t non_source = 0;
+    size_t single = 0;
+    for (NodeId u = 0; u < pred_.size(); ++u) {
+        if (pred_[u].empty())
+            continue;
+        ++non_source;
+        if (pred_[u].size() == 1)
+            ++single;
+    }
+    if (non_source == 0)
+        return 0.0;
+    return static_cast<double>(single) / static_cast<double>(non_source);
+}
+
+} // namespace phoenix::graph

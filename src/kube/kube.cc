@@ -1,0 +1,341 @@
+#include "kube.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace phoenix::kube {
+
+using sim::ClusterState;
+using sim::NodeId;
+using sim::PodRef;
+
+KubeCluster::KubeCluster(sim::EventQueue &events, KubeConfig config)
+    : events_(events), config_(config), rng_(config.seed)
+{
+    // Control-plane loops. These chains reschedule themselves forever;
+    // drive the simulation with runUntil(), not runAll().
+    events_.scheduleAfter(config_.heartbeatPeriod,
+                          [this] { nodeControllerTick(); });
+    events_.scheduleAfter(config_.schedulerPeriod,
+                          [this] { schedulerTick(); });
+}
+
+NodeId
+KubeCluster::addNode(double capacity)
+{
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    NodeRec rec;
+    rec.id = id;
+    rec.capacity = capacity;
+    rec.lastHeartbeat = events_.now();
+    nodes_.push_back(rec);
+    scheduleHeartbeat(id);
+    return id;
+}
+
+void
+KubeCluster::addApplication(const sim::Application &app)
+{
+    apps_.push_back(app);
+    const sim::AppId app_id = static_cast<sim::AppId>(apps_.size() - 1);
+    apps_.back().id = app_id;
+    for (const auto &ms : apps_.back().services) {
+        Pod pod;
+        pod.ref = PodRef{app_id, ms.id};
+        pod.cpu = ms.totalCpu();
+        pods_[pod.ref] = pod;
+        podEpoch_[pod.ref] = 0;
+    }
+}
+
+void
+KubeCluster::scheduleHeartbeat(NodeId node)
+{
+    events_.scheduleAfter(config_.heartbeatPeriod, [this, node] {
+        NodeRec &rec = nodes_[node];
+        if (!rec.kubeletRunning)
+            return; // chain dies; startKubelet starts a new one
+        rec.lastHeartbeat = events_.now();
+        scheduleHeartbeat(node);
+    });
+}
+
+void
+KubeCluster::stopKubelet(NodeId node)
+{
+    nodes_[node].kubeletRunning = false;
+}
+
+void
+KubeCluster::startKubelet(NodeId node)
+{
+    NodeRec &rec = nodes_[node];
+    if (rec.kubeletRunning)
+        return;
+    rec.kubeletRunning = true;
+    rec.lastHeartbeat = events_.now();
+    scheduleHeartbeat(node);
+}
+
+void
+KubeCluster::nodeControllerTick()
+{
+    for (NodeRec &rec : nodes_) {
+        const bool fresh =
+            events_.now() - rec.lastHeartbeat <= config_.nodeGracePeriod;
+        if (rec.ready && !fresh) {
+            rec.ready = false;
+            PHOENIX_INFO("node " << rec.id << " NotReady at t="
+                                 << events_.now());
+            evictPodsOn(rec.id);
+        } else if (!rec.ready && fresh && rec.kubeletRunning) {
+            rec.ready = true;
+            PHOENIX_INFO("node " << rec.id << " Ready at t="
+                                 << events_.now());
+        }
+    }
+    events_.scheduleAfter(config_.heartbeatPeriod,
+                          [this] { nodeControllerTick(); });
+}
+
+double
+KubeCluster::usedOn(NodeId node) const
+{
+    double used = 0.0;
+    for (const auto &[ref, pod] : pods_) {
+        (void)ref;
+        if (pod.node == node && (pod.phase == PodPhase::Starting ||
+                                 pod.phase == PodPhase::Running ||
+                                 pod.phase == PodPhase::Terminating)) {
+            used += pod.cpu;
+        }
+    }
+    return used;
+}
+
+void
+KubeCluster::bindPod(Pod &pod, NodeId node)
+{
+    pod.phase = PodPhase::Starting;
+    pod.node = node;
+    const uint64_t epoch = ++podEpoch_[pod.ref];
+    const double delay =
+        rng_.uniform(config_.podStartupMin, config_.podStartupMax);
+    const PodRef ref = pod.ref;
+    events_.scheduleAfter(delay, [this, ref, epoch] {
+        auto it = pods_.find(ref);
+        if (it == pods_.end() || podEpoch_[ref] != epoch)
+            return;
+        if (it->second.phase == PodPhase::Starting)
+            it->second.phase = PodPhase::Running;
+    });
+}
+
+void
+KubeCluster::evictPodsOn(NodeId node)
+{
+    for (auto &[ref, pod] : pods_) {
+        (void)ref;
+        if (pod.node == node && pod.phase != PodPhase::Pending) {
+            ++podEpoch_[pod.ref];
+            pod.phase = PodPhase::Pending;
+        }
+    }
+}
+
+void
+KubeCluster::schedulerTick()
+{
+    // Deterministic PodRef order, spread (least-allocated) scoring.
+    for (auto &[ref, pod] : pods_) {
+        (void)ref;
+        if (pod.phase != PodPhase::Pending || pod.scaledDown)
+            continue;
+
+        if (pod.pinnedNode) {
+            const NodeId target = *pod.pinnedNode;
+            if (nodes_[target].ready &&
+                usedOn(target) + pod.cpu <=
+                    nodes_[target].capacity + 1e-9) {
+                bindPod(pod, target);
+            }
+            continue;
+        }
+
+        if (!config_.enableDefaultScheduler)
+            continue;
+
+        NodeId best = 0;
+        double best_free = -1.0;
+        for (const NodeRec &rec : nodes_) {
+            if (!rec.ready)
+                continue;
+            const double free = rec.capacity - usedOn(rec.id);
+            if (free >= pod.cpu - 1e-9 && free > best_free) {
+                best_free = free;
+                best = rec.id;
+            }
+        }
+        if (best_free >= 0.0)
+            bindPod(pod, best);
+    }
+    events_.scheduleAfter(config_.schedulerPeriod,
+                          [this] { schedulerTick(); });
+}
+
+void
+KubeCluster::deletePod(const PodRef &ref)
+{
+    auto it = pods_.find(ref);
+    if (it == pods_.end())
+        return;
+    Pod &pod = it->second;
+    pod.scaledDown = true;
+    pod.pinnedNode.reset();
+    if (pod.phase == PodPhase::Pending ||
+        pod.phase == PodPhase::Terminating) {
+        return;
+    }
+    // Graceful drain: endpoints removed, SIGTERM, then gone.
+    pod.phase = PodPhase::Terminating;
+    const uint64_t epoch = ++podEpoch_[ref];
+    events_.scheduleAfter(config_.podTerminationSeconds,
+                          [this, ref, epoch] {
+                              auto pit = pods_.find(ref);
+                              if (pit == pods_.end() ||
+                                  podEpoch_[ref] != epoch) {
+                                  return;
+                              }
+                              if (pit->second.phase ==
+                                  PodPhase::Terminating) {
+                                  pit->second.phase = PodPhase::Pending;
+                              }
+                          });
+}
+
+void
+KubeCluster::startPod(const PodRef &ref,
+                      std::optional<NodeId> pinned)
+{
+    auto it = pods_.find(ref);
+    if (it == pods_.end())
+        return;
+    Pod &pod = it->second;
+    pod.scaledDown = false;
+    pod.pinnedNode = pinned;
+
+    if (pod.phase == PodPhase::Running ||
+        pod.phase == PodPhase::Starting) {
+        if (pinned && pod.node != *pinned)
+            migratePod(ref, *pinned);
+        return;
+    }
+    if (pod.phase == PodPhase::Terminating) {
+        // Deletion raced with a restart: bring it back after the
+        // drain completes (scheduler will pick it up as Pending).
+        return;
+    }
+    // Pending: the scheduler tick will bind it (possibly pinned).
+}
+
+void
+KubeCluster::migratePod(const PodRef &ref, NodeId to)
+{
+    auto it = pods_.find(ref);
+    if (it == pods_.end())
+        return;
+    Pod &pod = it->second;
+    pod.scaledDown = false;
+    pod.pinnedNode = to;
+    if (pod.phase == PodPhase::Pending) {
+        return; // plain (re)start on the target
+    }
+    if (pod.node == to)
+        return;
+    // Two-stage migration collapses to an immediate rebind in the
+    // model: capacity moves to the target now and the service stays
+    // live (requests reroute to the new instance as it starts; see
+    // Appendix E). We keep the pod Running to model zero-downtime
+    // traffic draining.
+    pod.node = to;
+}
+
+bool
+KubeCluster::isReady(NodeId node) const
+{
+    return nodes_.at(node).ready;
+}
+
+double
+KubeCluster::readyCapacity() const
+{
+    double total = 0.0;
+    for (const NodeRec &rec : nodes_) {
+        if (rec.ready)
+            total += rec.capacity;
+    }
+    return total;
+}
+
+double
+KubeCluster::totalCapacity() const
+{
+    double total = 0.0;
+    for (const NodeRec &rec : nodes_)
+        total += rec.capacity;
+    return total;
+}
+
+ClusterState
+KubeCluster::observedState() const
+{
+    ClusterState state;
+    for (const NodeRec &rec : nodes_) {
+        state.addNode(rec.capacity);
+        if (!rec.ready)
+            state.failNode(rec.id);
+    }
+    for (const auto &[ref, pod] : pods_) {
+        if (pod.phase == PodPhase::Starting ||
+            pod.phase == PodPhase::Running ||
+            pod.phase == PodPhase::Terminating) {
+            state.place(ref, pod.node, pod.cpu);
+        }
+    }
+    return state;
+}
+
+std::set<PodRef>
+KubeCluster::runningPods() const
+{
+    std::set<PodRef> running;
+    for (const auto &[ref, pod] : pods_) {
+        if (pod.phase == PodPhase::Running)
+            running.insert(ref);
+    }
+    return running;
+}
+
+size_t
+KubeCluster::pendingCount() const
+{
+    size_t count = 0;
+    for (const auto &[ref, pod] : pods_) {
+        (void)ref;
+        if (pod.phase == PodPhase::Pending && !pod.scaledDown)
+            ++count;
+    }
+    return count;
+}
+
+const Pod *
+KubeCluster::pod(const PodRef &ref) const
+{
+    auto it = pods_.find(ref);
+    if (it == pods_.end())
+        return nullptr;
+    return &it->second;
+}
+
+} // namespace phoenix::kube

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Mini-Kubernetes: the discrete-event cluster-manager substrate Phoenix
+ * runs against in the end-to-end experiments (§6.1, Fig 6).
+ *
+ * The paper deploys Phoenix on a real 25-node Kubernetes/CloudLab
+ * cluster. This module reproduces the slice of Kubernetes behaviour the
+ * controller interacts with:
+ *
+ *  - nodes with capacities and kubelet heartbeats; a node controller
+ *    that marks nodes NotReady after a grace period and evicts their
+ *    pods (the paper emulates failures by stopping kubelet, and Phoenix
+ *    detects them ~100 s later — the same path exists here);
+ *  - deployments/pods with Pending -> Starting -> Running ->
+ *    Terminating lifecycle and realistic startup/termination delays;
+ *  - the default spread (least-allocated) scheduler that continuously
+ *    places pending pods, used both as machinery and as the paper's
+ *    "Default" baseline;
+ *  - the verbs the Phoenix agent executes: delete, migrate, restart,
+ *    with optional node pinning.
+ */
+
+#ifndef PHOENIX_KUBE_KUBE_H
+#define PHOENIX_KUBE_KUBE_H
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/event_queue.h"
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace phoenix::kube {
+
+/** Cluster-manager tunables (Kubernetes-flavoured defaults). */
+struct KubeConfig
+{
+    /** Kubelet heartbeat period (node status update). */
+    double heartbeatPeriod = 10.0;
+    /** Node controller: heartbeats older than this mark the node
+     * NotReady and evict its pods. The paper observes Phoenix detecting
+     * node failures ~100 s after kubelet stops. */
+    double nodeGracePeriod = 100.0;
+    /** Default scheduler sync period. */
+    double schedulerPeriod = 5.0;
+    /** Pod startup delay range (image pull + container init). */
+    double podStartupMin = 15.0;
+    double podStartupMax = 60.0;
+    /** Graceful termination (drain + SIGTERM) duration. */
+    double podTerminationSeconds = 10.0;
+    /** Run the built-in spread scheduler for unpinned pending pods. */
+    bool enableDefaultScheduler = true;
+    uint64_t seed = 42;
+};
+
+/** Pod lifecycle phase. */
+enum class PodPhase { Pending, Starting, Running, Terminating };
+
+/** One pod (we run one replica per microservice deployment). */
+struct Pod
+{
+    sim::PodRef ref;
+    double cpu = 0.0;
+    PodPhase phase = PodPhase::Pending;
+    /** Hosting node; meaningful for Starting/Running/Terminating. */
+    sim::NodeId node = 0;
+    /** Desired pinned node (Phoenix sets this; empty = any). */
+    std::optional<sim::NodeId> pinnedNode;
+    /** Desired-off: deployment scaled to zero, do not reschedule. */
+    bool scaledDown = false;
+};
+
+/**
+ * The cluster manager. Drive it by advancing the shared EventQueue;
+ * every public mutator is safe to call from event handlers (the agent).
+ */
+class KubeCluster
+{
+  public:
+    KubeCluster(sim::EventQueue &events, KubeConfig config = KubeConfig());
+
+    /** Add a worker node; starts Ready with a live kubelet. */
+    sim::NodeId addNode(double capacity);
+
+    /**
+     * Register an application: one single-replica deployment per
+     * microservice; pods start Pending and the default scheduler picks
+     * them up.
+     */
+    void addApplication(const sim::Application &app);
+
+    const std::vector<sim::Application> &apps() const { return apps_; }
+
+    // --- Fault injection -------------------------------------------
+    /** Stop the kubelet process on a node (the paper's failure mode);
+     * the node stops heartbeating and goes NotReady after the grace
+     * period. */
+    void stopKubelet(sim::NodeId node);
+
+    /** Restart the kubelet; the node becomes Ready on its next
+     * heartbeat. Pods previously evicted stay wherever they are now. */
+    void startKubelet(sim::NodeId node);
+
+    // --- Agent verbs -----------------------------------------------
+    /** Gracefully delete a pod and scale its deployment down. */
+    void deletePod(const sim::PodRef &ref);
+
+    /**
+     * Ensure the pod is (re)started, optionally pinned to a node.
+     * Clears scaled-down state; a running pod is left alone unless a
+     * different pin is given (which triggers a migration).
+     */
+    void startPod(const sim::PodRef &ref,
+                  std::optional<sim::NodeId> pinned = std::nullopt);
+
+    /** Migrate: start on the target, then delete the old instance
+     * (the two-stage strategy of Appendix E). */
+    void migratePod(const sim::PodRef &ref, sim::NodeId to);
+
+    // --- Observation ------------------------------------------------
+    bool isReady(sim::NodeId node) const;
+    double readyCapacity() const;
+    double totalCapacity() const;
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /**
+     * Snapshot for planners: Ready nodes are healthy; Starting and
+     * Running pods occupy their node. Pending/Terminating pods are
+     * absent.
+     */
+    sim::ClusterState observedState() const;
+
+    /** Pods currently serving traffic (Running only). */
+    std::set<sim::PodRef> runningPods() const;
+
+    /** Running/Starting/Pending counts (diagnostics). */
+    size_t pendingCount() const;
+
+    const Pod *pod(const sim::PodRef &ref) const;
+
+    sim::SimTime now() const { return events_.now(); }
+
+  private:
+    struct NodeRec
+    {
+        sim::NodeId id = 0;
+        double capacity = 0.0;
+        bool kubeletRunning = true;
+        bool ready = true;
+        sim::SimTime lastHeartbeat = 0.0;
+    };
+
+    void scheduleHeartbeat(sim::NodeId node);
+    void nodeControllerTick();
+    void schedulerTick();
+
+    /** Used capacity on a node from Starting/Running/Terminating pods. */
+    double usedOn(sim::NodeId node) const;
+
+    /** Begin starting a pod on a node (capacity is consumed now). */
+    void bindPod(Pod &pod, sim::NodeId node);
+
+    /** Evict (node failure): pod returns to Pending unless scaled
+     * down. */
+    void evictPodsOn(sim::NodeId node);
+
+    sim::EventQueue &events_;
+    KubeConfig config_;
+    util::Rng rng_;
+
+    std::vector<NodeRec> nodes_;
+    std::vector<sim::Application> apps_;
+    std::map<sim::PodRef, Pod> pods_;
+    /** Monotone counter to invalidate stale start-completion events. */
+    std::map<sim::PodRef, uint64_t> podEpoch_;
+    bool controllerLoopsStarted_ = false;
+};
+
+} // namespace phoenix::kube
+
+#endif // PHOENIX_KUBE_KUBE_H

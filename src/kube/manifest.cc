@@ -1,0 +1,268 @@
+#include "manifest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace phoenix::kube {
+
+using sim::Application;
+using sim::Microservice;
+using sim::MsId;
+
+namespace {
+
+std::string
+strip(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(
+                              text[begin]))) {
+        ++begin;
+    }
+    while (end > begin && std::isspace(static_cast<unsigned char>(
+                              text[end - 1]))) {
+        --end;
+    }
+    return text.substr(begin, end - begin);
+}
+
+/** Split "key: value" (value may be empty). */
+bool
+splitKeyValue(const std::string &line, std::string &key,
+              std::string &value)
+{
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos)
+        return false;
+    key = strip(line.substr(0, colon));
+    value = strip(line.substr(colon + 1));
+    // Drop trailing comments.
+    const size_t hash = value.find('#');
+    if (hash != std::string::npos)
+        value = strip(value.substr(0, hash));
+    return !key.empty();
+}
+
+/** Parse "[a, b, c]" into items. */
+std::vector<std::string>
+parseList(const std::string &value)
+{
+    std::vector<std::string> items;
+    std::string inner = value;
+    if (!inner.empty() && inner.front() == '[')
+        inner = inner.substr(1);
+    if (!inner.empty() && inner.back() == ']')
+        inner.pop_back();
+    std::istringstream in(inner);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        const std::string cleaned = strip(item);
+        if (!cleaned.empty())
+            items.push_back(cleaned);
+    }
+    return items;
+}
+
+/** One service entry as raw fields. */
+struct RawService
+{
+    std::string name;
+    double cpu = 0.0;
+    int criticality = sim::kDefaultCriticality;
+    int replicas = 1;
+    int quorum = 0;
+    std::vector<std::string> upstream;
+    bool sawCpu = false;
+};
+
+} // namespace
+
+std::optional<std::vector<Application>>
+parseManifest(const std::string &text, std::string *error)
+{
+    auto fail = [&](size_t line_no, const std::string &message)
+        -> std::optional<std::vector<Application>> {
+        if (error) {
+            *error = message + " (line " + std::to_string(line_no) +
+                     ")";
+        }
+        return std::nullopt;
+    };
+
+    std::vector<Application> apps;
+
+    // Per-document state.
+    bool have_app = false;
+    Application app;
+    std::vector<RawService> services;
+    bool in_services = false;
+
+    auto finish_document =
+        [&](size_t line_no) -> std::optional<std::string> {
+        if (!have_app)
+            return std::nullopt; // empty document
+        if (services.empty()) {
+            return "application '" + app.name + "' has no services";
+        }
+        std::map<std::string, MsId> by_name;
+        for (MsId m = 0; m < services.size(); ++m) {
+            if (services[m].name.empty())
+                return "service without a name";
+            if (!services[m].sawCpu || services[m].cpu <= 0.0) {
+                return "service '" + services[m].name +
+                       "' needs a positive cpu";
+            }
+            if (by_name.count(services[m].name))
+                return "duplicate service '" + services[m].name + "'";
+            by_name[services[m].name] = m;
+        }
+        app.services.clear();
+        bool any_edges = false;
+        for (MsId m = 0; m < services.size(); ++m) {
+            Microservice ms;
+            ms.id = m;
+            ms.name = services[m].name;
+            ms.cpu = services[m].cpu;
+            ms.criticality = services[m].criticality;
+            ms.replicas = services[m].replicas;
+            ms.quorum = services[m].quorum;
+            app.services.push_back(std::move(ms));
+            any_edges |= !services[m].upstream.empty();
+        }
+        if (any_edges) {
+            app.hasDependencyGraph = true;
+            app.dag = graph::DiGraph(services.size());
+            for (MsId m = 0; m < services.size(); ++m) {
+                for (const auto &caller : services[m].upstream) {
+                    auto it = by_name.find(caller);
+                    if (it == by_name.end()) {
+                        return "unknown upstream '" + caller +
+                               "' of service '" + services[m].name +
+                               "'";
+                    }
+                    app.dag.addEdge(it->second, m);
+                }
+            }
+            if (!app.dag.isAcyclic())
+                return "dependency graph has a cycle";
+        }
+        app.id = static_cast<sim::AppId>(apps.size());
+        apps.push_back(std::move(app));
+        app = Application{};
+        services.clear();
+        have_app = false;
+        in_services = false;
+        (void)line_no;
+        return std::nullopt;
+    };
+
+    std::istringstream in(text);
+    std::string raw;
+    size_t line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const std::string trimmed = strip(raw);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        if (trimmed == "---") {
+            if (auto message = finish_document(line_no))
+                return fail(line_no, *message);
+            continue;
+        }
+
+        // Indentation decides context: top-level keys start at column
+        // 0; service entries are indented.
+        const bool top_level =
+            !std::isspace(static_cast<unsigned char>(raw[0]));
+        if (top_level) {
+            std::string key;
+            std::string value;
+            if (!splitKeyValue(trimmed, key, value))
+                return fail(line_no, "expected 'key: value'");
+            if (key == "application") {
+                if (have_app && !services.empty()) {
+                    if (auto message = finish_document(line_no))
+                        return fail(line_no, *message);
+                }
+                have_app = true;
+                app.name = value;
+                in_services = false;
+            } else if (key == "price") {
+                app.pricePerUnit = std::stod(value);
+            } else if (key == "phoenix") {
+                app.phoenixEnabled = value == "enabled";
+            } else if (key == "services") {
+                in_services = true;
+            } else {
+                return fail(line_no, "unknown key '" + key + "'");
+            }
+            continue;
+        }
+
+        if (!in_services)
+            return fail(line_no, "indented line outside services");
+
+        std::string body = trimmed;
+        if (body.rfind("- ", 0) == 0) {
+            services.emplace_back();
+            body = strip(body.substr(2));
+        }
+        if (services.empty())
+            return fail(line_no, "service field before first entry");
+
+        std::string key;
+        std::string value;
+        if (!splitKeyValue(body, key, value))
+            return fail(line_no, "expected 'key: value'");
+        RawService &svc = services.back();
+        try {
+            if (key == "name") {
+                svc.name = value;
+            } else if (key == "cpu") {
+                svc.cpu = std::stod(value);
+                svc.sawCpu = true;
+            } else if (key == "criticality") {
+                svc.criticality = std::stoi(value);
+                if (svc.criticality < 1)
+                    return fail(line_no, "criticality must be >= 1");
+            } else if (key == "replicas") {
+                svc.replicas = std::stoi(value);
+                if (svc.replicas < 1)
+                    return fail(line_no, "replicas must be >= 1");
+            } else if (key == "quorum") {
+                svc.quorum = std::stoi(value);
+            } else if (key == "upstream") {
+                svc.upstream = parseList(value);
+            } else {
+                return fail(line_no,
+                            "unknown service key '" + key + "'");
+            }
+        } catch (const std::exception &) {
+            return fail(line_no, "bad numeric value '" + value + "'");
+        }
+    }
+
+    if (auto message = finish_document(line_no))
+        return fail(line_no, *message);
+    return apps;
+}
+
+std::optional<std::vector<Application>>
+loadManifestFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseManifest(buffer.str(), error);
+}
+
+} // namespace phoenix::kube

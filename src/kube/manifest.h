@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deployment manifest loader.
+ *
+ * Phoenix consumes deployment specifications (YAML in the paper, §5)
+ * to learn each application's containers, resource requests,
+ * criticality labels and call dependencies. This is the equivalent
+ * ingestion path: a small indentation-based manifest dialect covering
+ * exactly what resilience management needs.
+ *
+ * ```yaml
+ * application: overleaf
+ * price: 2.0
+ * phoenix: enabled
+ * services:
+ *   - name: web
+ *     cpu: 2.0
+ *     criticality: 1
+ *     replicas: 2
+ *   - name: chat
+ *     cpu: 0.5
+ *     criticality: 5        # optional; untagged defaults to C1
+ *     upstream: [web]       # callers of this service (DG edges)
+ * ```
+ *
+ * Multiple applications may appear in one document separated by
+ * `---` lines, as in multi-document YAML.
+ */
+
+#ifndef PHOENIX_KUBE_MANIFEST_H
+#define PHOENIX_KUBE_MANIFEST_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace phoenix::kube {
+
+/**
+ * Parse a manifest document into application descriptors. Returns
+ * nullopt and fills @p error on malformed input. Untagged services
+ * default to C1 (§5 Partial Tagging); `phoenix: disabled` marks the
+ * application unsubscribed.
+ */
+std::optional<std::vector<sim::Application>>
+parseManifest(const std::string &text, std::string *error = nullptr);
+
+/** Load and parse a manifest file. */
+std::optional<std::vector<sim::Application>>
+loadManifestFile(const std::string &path, std::string *error = nullptr);
+
+} // namespace phoenix::kube
+
+#endif // PHOENIX_KUBE_MANIFEST_H

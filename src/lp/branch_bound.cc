@@ -1,0 +1,180 @@
+#include "branch_bound.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace phoenix::lp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Node
+{
+    std::vector<double> lower;
+    std::vector<double> upper;
+    double bound; // relaxation objective in minimization space
+};
+
+/**
+ * Try to repair an LP-fractional point into an integer-feasible one by
+ * rounding; returns true and fills @p rounded on success.
+ */
+bool
+tryRounding(const Model &model, const std::vector<double> &point,
+            const std::vector<double> &lower,
+            const std::vector<double> &upper,
+            std::vector<double> &rounded)
+{
+    rounded = point;
+    for (size_t j = 0; j < model.varCount(); ++j) {
+        if (!model.vars()[j].integer)
+            continue;
+        double r = std::round(rounded[j]);
+        r = std::clamp(r, lower[j], upper[j]);
+        rounded[j] = r;
+    }
+    return model.isFeasible(rounded, true);
+}
+
+} // namespace
+
+Solution
+solveMilp(const Model &model, MilpOptions options)
+{
+    const auto deadline = Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(options.timeLimitSec));
+
+    SimplexSolver solver(model, options.lp);
+    const double sense = model.maximize() ? -1.0 : 1.0;
+
+    std::vector<double> root_lower(model.varCount());
+    std::vector<double> root_upper(model.varCount());
+    for (size_t j = 0; j < model.varCount(); ++j) {
+        root_lower[j] = model.vars()[j].lower;
+        root_upper[j] = model.vars()[j].upper;
+        if (model.vars()[j].integer) {
+            root_lower[j] = std::ceil(root_lower[j] - 1e-9);
+            root_upper[j] = std::floor(root_upper[j] + 1e-9);
+        }
+    }
+
+    Solution incumbent;
+    incumbent.status = SolveStatus::Limit;
+    double incumbent_min = kInfinity; // minimization-space value
+
+    auto consider = [&](const std::vector<double> &point) {
+        const double value = model.objectiveValue(point);
+        const double min_value = sense * value;
+        if (min_value < incumbent_min - 1e-12) {
+            incumbent_min = min_value;
+            incumbent.values = point;
+            incumbent.objective = value;
+            incumbent.status = SolveStatus::Feasible;
+        }
+    };
+
+    if (!options.warmStart.empty() &&
+        model.isFeasible(options.warmStart, true)) {
+        consider(options.warmStart);
+    }
+
+    std::vector<Node> stack;
+    stack.push_back(Node{root_lower, root_upper, -kInfinity});
+
+    long nodes = 0;
+    bool exhausted = true;
+    while (!stack.empty()) {
+        if (Clock::now() > deadline || nodes >= options.maxNodes) {
+            exhausted = false;
+            break;
+        }
+        Node node = std::move(stack.back());
+        stack.pop_back();
+        ++nodes;
+
+        if (node.bound >= incumbent_min - 1e-9)
+            continue; // pruned by bound
+
+        Solution relax = solver.solve(&node.lower, &node.upper);
+        if (relax.status == SolveStatus::Infeasible)
+            continue;
+        if (relax.status == SolveStatus::Limit) {
+            exhausted = false;
+            continue;
+        }
+        if (relax.status == SolveStatus::Unbounded) {
+            // An unbounded relaxation at the root means the MILP is
+            // unbounded or ill-posed; report it directly.
+            incumbent.status = SolveStatus::Unbounded;
+            return incumbent;
+        }
+
+        const double relax_min = sense * relax.objective;
+        if (relax_min >= incumbent_min - 1e-9)
+            continue;
+
+        // Most fractional integer variable.
+        int branch_var = -1;
+        double worst_frac = options.integralityTol;
+        for (size_t j = 0; j < model.varCount(); ++j) {
+            if (!model.vars()[j].integer)
+                continue;
+            const double v = relax.values[j];
+            const double frac = std::abs(v - std::round(v));
+            if (frac > worst_frac) {
+                const double dist = std::min(v - std::floor(v),
+                                             std::ceil(v) - v);
+                if (branch_var < 0 || dist > worst_frac) {
+                    worst_frac = dist;
+                    branch_var = static_cast<int>(j);
+                }
+            }
+        }
+
+        if (branch_var < 0) {
+            // Integral relaxation: a candidate incumbent.
+            consider(relax.values);
+            continue;
+        }
+
+        // Primal heuristic before branching.
+        std::vector<double> rounded;
+        if (tryRounding(model, relax.values, node.lower, node.upper,
+                        rounded)) {
+            consider(rounded);
+        }
+
+        const double v = relax.values[branch_var];
+        Node down = node;
+        down.upper[branch_var] = std::floor(v);
+        down.bound = relax_min;
+        Node up = node;
+        up.lower[branch_var] = std::ceil(v);
+        up.bound = relax_min;
+
+        // DFS, exploring the side nearer the relaxation value first.
+        if (v - std::floor(v) <= 0.5) {
+            stack.push_back(std::move(up));
+            stack.push_back(std::move(down));
+        } else {
+            stack.push_back(std::move(down));
+            stack.push_back(std::move(up));
+        }
+    }
+
+    if (incumbent.hasSolution()) {
+        if (exhausted)
+            incumbent.status = SolveStatus::Optimal;
+        return incumbent;
+    }
+    if (exhausted)
+        incumbent.status = SolveStatus::Infeasible;
+    return incumbent;
+}
+
+} // namespace phoenix::lp

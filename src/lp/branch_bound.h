@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Branch-and-bound MILP solver over the simplex relaxation.
+ *
+ * Depth-first best-bound-tiebreak branching on the most fractional
+ * integer variable, with incumbent pruning, a rounding primal heuristic,
+ * and node/time limits. Gurobi stand-in for LPFair/LPCost (§4, App. C)
+ * and the coverage LP of Appendix G at small instance sizes.
+ */
+
+#ifndef PHOENIX_LP_BRANCH_BOUND_H
+#define PHOENIX_LP_BRANCH_BOUND_H
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace phoenix::lp {
+
+/** Tunables for a MILP solve. */
+struct MilpOptions
+{
+    double timeLimitSec = 60.0;
+    long maxNodes = 20000;
+    double integralityTol = 1e-6;
+    /** Stop when (bestBound - incumbent) / max(1,|incumbent|) < gap. */
+    double relativeGap = 1e-6;
+    SimplexOptions lp;
+    /**
+     * Optional warm start: a feasible point used as the initial
+     * incumbent (checked; ignored when infeasible). Lets branch &
+     * bound prune immediately on large instances.
+     */
+    std::vector<double> warmStart;
+};
+
+/** Solve @p model honouring integrality markers. */
+Solution solveMilp(const Model &model, MilpOptions options = MilpOptions());
+
+} // namespace phoenix::lp
+
+#endif // PHOENIX_LP_BRANCH_BOUND_H

@@ -1,0 +1,92 @@
+#include "model.h"
+
+#include <cmath>
+
+namespace phoenix::lp {
+
+VarId
+Model::addVar(double lower, double upper, const std::string &name)
+{
+    vars_.push_back(Variable{lower, upper, false, name});
+    return static_cast<VarId>(vars_.size() - 1);
+}
+
+VarId
+Model::addBinaryVar(const std::string &name)
+{
+    vars_.push_back(Variable{0.0, 1.0, true, name});
+    return static_cast<VarId>(vars_.size() - 1);
+}
+
+VarId
+Model::addIntVar(double lower, double upper, const std::string &name)
+{
+    vars_.push_back(Variable{lower, upper, true, name});
+    return static_cast<VarId>(vars_.size() - 1);
+}
+
+int
+Model::addConstraint(LinExpr expr, Relation rel, double rhs)
+{
+    constraints_.push_back(Constraint{std::move(expr), rel, rhs});
+    return static_cast<int>(constraints_.size() - 1);
+}
+
+void
+Model::setObjective(LinExpr expr, bool maximize)
+{
+    objective_ = std::move(expr);
+    maximize_ = maximize;
+}
+
+double
+Model::objectiveValue(const std::vector<double> &point) const
+{
+    double value = 0.0;
+    for (const auto &term : objective_) {
+        if (term.var >= 0 &&
+            static_cast<size_t>(term.var) < point.size()) {
+            value += term.coef * point[term.var];
+        }
+    }
+    return value;
+}
+
+bool
+Model::isFeasible(const std::vector<double> &point, bool check_integrality,
+                  double tol) const
+{
+    if (point.size() != vars_.size())
+        return false;
+    for (size_t i = 0; i < vars_.size(); ++i) {
+        const auto &v = vars_[i];
+        if (point[i] < v.lower - tol || point[i] > v.upper + tol)
+            return false;
+        if (check_integrality && v.integer &&
+            std::abs(point[i] - std::round(point[i])) > tol) {
+            return false;
+        }
+    }
+    for (const auto &con : constraints_) {
+        double lhs = 0.0;
+        for (const auto &term : con.expr)
+            lhs += term.coef * point[term.var];
+        switch (con.rel) {
+          case Relation::LessEq:
+            if (lhs > con.rhs + tol)
+                return false;
+            break;
+          case Relation::GreaterEq:
+            if (lhs < con.rhs - tol)
+                return false;
+            break;
+          case Relation::Equal:
+            if (std::abs(lhs - con.rhs) > tol)
+                return false;
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace phoenix::lp

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Linear/integer programming model builder.
+ *
+ * The paper solves its LPFair/LPCost formulations and the frequency-based
+ * tagging coverage LP with Gurobi. This repository replaces Gurobi with an
+ * in-tree solver: this header defines the model representation shared by
+ * the simplex (lp/simplex.h) and branch-and-bound (lp/branch_bound.h)
+ * layers.
+ */
+
+#ifndef PHOENIX_LP_MODEL_H
+#define PHOENIX_LP_MODEL_H
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace phoenix::lp {
+
+/** Index of a decision variable within a Model. */
+using VarId = int;
+
+/** Relation of a linear constraint to its right-hand side. */
+enum class Relation { LessEq, GreaterEq, Equal };
+
+/** One term of a linear expression. */
+struct LinTerm
+{
+    VarId var;
+    double coef;
+};
+
+/** Sparse linear expression: sum of coef * var. */
+using LinExpr = std::vector<LinTerm>;
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/** A decision variable with bounds and an integrality marker. */
+struct Variable
+{
+    double lower = 0.0;
+    double upper = kInfinity;
+    bool integer = false;
+    std::string name;
+};
+
+/** A linear constraint expr (relation) rhs. */
+struct Constraint
+{
+    LinExpr expr;
+    Relation rel = Relation::LessEq;
+    double rhs = 0.0;
+};
+
+/** Termination status of a solve. */
+enum class SolveStatus {
+    Optimal,      //!< proven optimal (within tolerance)
+    Feasible,     //!< a feasible incumbent, optimality not proven
+    Infeasible,   //!< no feasible point exists
+    Unbounded,    //!< objective unbounded
+    Limit,        //!< hit an iteration/node/time limit with no incumbent
+};
+
+/** Result of an LP or MILP solve. */
+struct Solution
+{
+    SolveStatus status = SolveStatus::Limit;
+    double objective = 0.0;
+    std::vector<double> values;
+
+    bool hasSolution() const
+    {
+        return status == SolveStatus::Optimal ||
+               status == SolveStatus::Feasible;
+    }
+};
+
+/**
+ * An optimization model. Build variables and constraints, then hand the
+ * model to SimplexSolver (LP relaxation) or MilpSolver (respecting
+ * integrality).
+ */
+class Model
+{
+  public:
+    /** Add a continuous variable in [lower, upper]. */
+    VarId addVar(double lower, double upper, const std::string &name = "");
+
+    /** Add a binary (0/1 integer) variable. */
+    VarId addBinaryVar(const std::string &name = "");
+
+    /** Add a general integer variable in [lower, upper]. */
+    VarId addIntVar(double lower, double upper,
+                    const std::string &name = "");
+
+    /** Add a constraint; returns its row index. */
+    int addConstraint(LinExpr expr, Relation rel, double rhs);
+
+    /** Set the objective; @p maximize selects the sense. */
+    void setObjective(LinExpr expr, bool maximize);
+
+    size_t varCount() const { return vars_.size(); }
+    size_t constraintCount() const { return constraints_.size(); }
+
+    const std::vector<Variable> &vars() const { return vars_; }
+    const std::vector<Constraint> &constraints() const
+    {
+        return constraints_;
+    }
+    const LinExpr &objective() const { return objective_; }
+    bool maximize() const { return maximize_; }
+
+    /** Evaluate the objective at a point. */
+    double objectiveValue(const std::vector<double> &point) const;
+
+    /**
+     * Check primal feasibility of a point against bounds, constraints
+     * and (optionally) integrality, within @p tol.
+     */
+    bool isFeasible(const std::vector<double> &point,
+                    bool check_integrality, double tol = 1e-6) const;
+
+  private:
+    std::vector<Variable> vars_;
+    std::vector<Constraint> constraints_;
+    LinExpr objective_;
+    bool maximize_ = false;
+};
+
+} // namespace phoenix::lp
+
+#endif // PHOENIX_LP_MODEL_H

@@ -1,0 +1,504 @@
+#include "simplex.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+namespace phoenix::lp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Where a nonbasic variable currently sits. */
+enum class VarState : uint8_t { Basic, AtLower, AtUpper, AtZero };
+
+/**
+ * Internal working form:
+ *   minimize c'x  s.t.  A x + s = b,  l <= x <= u, slack bounds by
+ *   relation, plus phase-1 artificials for rows whose slack start is
+ *   out of bounds.
+ */
+class Tableau
+{
+  public:
+    Tableau(const Model &model, const SimplexOptions &options,
+            const std::vector<double> *lower,
+            const std::vector<double> *upper)
+        : options_(options)
+    {
+        const size_t n = model.varCount();
+        m_ = model.constraintCount();
+
+        cols_.resize(n + m_);
+        lb_.resize(n + m_);
+        ub_.resize(n + m_);
+        cost_.assign(n + m_, 0.0);
+        b_.resize(m_);
+
+        const double sense = model.maximize() ? -1.0 : 1.0;
+        for (const auto &term : model.objective())
+            cost_[term.var] += sense * term.coef;
+
+        for (size_t j = 0; j < n; ++j) {
+            lb_[j] = lower ? (*lower)[j] : model.vars()[j].lower;
+            ub_[j] = upper ? (*upper)[j] : model.vars()[j].upper;
+        }
+
+        for (size_t i = 0; i < m_; ++i) {
+            const auto &con = model.constraints()[i];
+            for (const auto &term : con.expr) {
+                cols_[term.var].emplace_back(static_cast<int>(i),
+                                             term.coef);
+            }
+            b_[i] = con.rhs;
+            const size_t slack = n + i;
+            cols_[slack].emplace_back(static_cast<int>(i), 1.0);
+            switch (con.rel) {
+              case Relation::LessEq:
+                lb_[slack] = 0.0;
+                ub_[slack] = kInfinity;
+                break;
+              case Relation::GreaterEq:
+                lb_[slack] = -kInfinity;
+                ub_[slack] = 0.0;
+                break;
+              case Relation::Equal:
+                lb_[slack] = 0.0;
+                ub_[slack] = 0.0;
+                break;
+            }
+        }
+        structurals_ = n;
+    }
+
+    /** Run two-phase simplex; fill @p out with structural values. */
+    SolveStatus
+    run(std::vector<double> &out, double &objective,
+        const Model &model)
+    {
+        deadline_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(options_.timeLimitSec));
+
+        if (!initialize())
+            return SolveStatus::Infeasible;
+
+        if (artificialCount_ > 0) {
+            // Phase 1: minimize the sum of artificials.
+            std::vector<double> phase1(cols_.size(), 0.0);
+            for (size_t j = cols_.size() - artificialCount_;
+                 j < cols_.size(); ++j) {
+                phase1[j] = 1.0;
+            }
+            const SolveStatus p1 = iterate(phase1);
+            if (p1 == SolveStatus::Limit)
+                return SolveStatus::Limit;
+            double infeas = 0.0;
+            for (size_t j = cols_.size() - artificialCount_;
+                 j < cols_.size(); ++j) {
+                infeas += value(j);
+            }
+            if (infeas > 1e-6)
+                return SolveStatus::Infeasible;
+            // Fix artificials at zero for phase 2.
+            for (size_t j = cols_.size() - artificialCount_;
+                 j < cols_.size(); ++j) {
+                lb_[j] = 0.0;
+                ub_[j] = 0.0;
+            }
+        }
+
+        const SolveStatus p2 = iterate(cost_);
+        if (p2 != SolveStatus::Optimal)
+            return p2;
+
+        out.assign(structurals_, 0.0);
+        for (size_t j = 0; j < structurals_; ++j)
+            out[j] = value(j);
+        objective = model.objectiveValue(out);
+        return SolveStatus::Optimal;
+    }
+
+  private:
+    /** Current value of variable j. */
+    double
+    value(size_t j) const
+    {
+        switch (state_[j]) {
+          case VarState::Basic:
+            return xB_[basisRow_[j]];
+          case VarState::AtLower:
+            return lb_[j];
+          case VarState::AtUpper:
+            return ub_[j];
+          case VarState::AtZero:
+            return 0.0;
+        }
+        return 0.0;
+    }
+
+    /** Nonbasic rest value for variable j (closest finite bound). */
+    double
+    restValue(size_t j) const
+    {
+        if (std::isfinite(lb_[j]))
+            return lb_[j];
+        if (std::isfinite(ub_[j]))
+            return ub_[j];
+        return 0.0;
+    }
+
+    VarState
+    restState(size_t j) const
+    {
+        if (std::isfinite(lb_[j]))
+            return VarState::AtLower;
+        if (std::isfinite(ub_[j]))
+            return VarState::AtUpper;
+        return VarState::AtZero;
+    }
+
+    /**
+     * Build the starting basis: slacks where feasible, artificials
+     * elsewhere. Returns false only on structural nonsense (a variable
+     * with lower > upper).
+     */
+    bool
+    initialize()
+    {
+        for (size_t j = 0; j < cols_.size(); ++j) {
+            if (lb_[j] > ub_[j] + options_.tol)
+                return false;
+        }
+
+        const size_t pre_artificial = cols_.size();
+        state_.assign(cols_.size(), VarState::AtLower);
+        for (size_t j = 0; j < cols_.size(); ++j)
+            state_[j] = restState(j);
+
+        // Residual per row with every variable at its rest value.
+        std::vector<double> residual = b_;
+        for (size_t j = 0; j < pre_artificial; ++j) {
+            const double xj = restValue(j);
+            if (xj == 0.0)
+                continue;
+            for (const auto &[row, coef] : cols_[j])
+                residual[row] -= coef * xj;
+        }
+
+        basis_.assign(m_, -1);
+        xB_.assign(m_, 0.0);
+        basisRow_.assign(cols_.size(), 0);
+        artificialCount_ = 0;
+
+        for (size_t i = 0; i < m_; ++i) {
+            const size_t slack = structurals_ + i;
+            // Slack column is +1 in row i only; making it basic gives it
+            // value restValue(slack) + residual. Check bounds.
+            const double slack_value = restValue(slack) + residual[i];
+            if (slack_value >= lb_[slack] - options_.tol &&
+                slack_value <= ub_[slack] + options_.tol) {
+                basis_[i] = static_cast<int>(slack);
+                xB_[i] = slack_value;
+                state_[slack] = VarState::Basic;
+                basisRow_[slack] = i;
+            } else {
+                // Artificial with sign matching the residual keeps the
+                // artificial value nonnegative. The slack stays nonbasic
+                // at its rest bound and the artificial absorbs the rest
+                // of the residual.
+                const double sign = residual[i] >= 0.0 ? 1.0 : -1.0;
+                cols_.emplace_back();
+                cols_.back().emplace_back(static_cast<int>(i), sign);
+                lb_.push_back(0.0);
+                ub_.push_back(kInfinity);
+                cost_.push_back(0.0);
+                state_.push_back(VarState::Basic);
+                basisRow_.push_back(i);
+                basis_[i] = static_cast<int>(cols_.size() - 1);
+                xB_[i] = std::abs(residual[i]);
+                ++artificialCount_;
+            }
+        }
+
+        buildInverse();
+        return true;
+    }
+
+    /** Rebuild the dense basis inverse by Gauss-Jordan elimination. */
+    void
+    buildInverse()
+    {
+        binv_.assign(m_ * m_, 0.0);
+        std::vector<double> mat(m_ * m_, 0.0);
+        for (size_t i = 0; i < m_; ++i) {
+            binv_[i * m_ + i] = 1.0;
+            for (const auto &[row, coef] : cols_[basis_[i]])
+                mat[static_cast<size_t>(row) * m_ + i] = coef;
+        }
+        // Gauss-Jordan with partial pivoting on mat, mirrored into binv_.
+        for (size_t col = 0; col < m_; ++col) {
+            size_t pivot = col;
+            double best = std::abs(mat[col * m_ + col]);
+            for (size_t r = col + 1; r < m_; ++r) {
+                const double cand = std::abs(mat[r * m_ + col]);
+                if (cand > best) {
+                    best = cand;
+                    pivot = r;
+                }
+            }
+            if (best < 1e-12)
+                continue; // singular basis; tolerate, refactor later
+            if (pivot != col) {
+                for (size_t c = 0; c < m_; ++c) {
+                    std::swap(mat[pivot * m_ + c], mat[col * m_ + c]);
+                    std::swap(binv_[pivot * m_ + c], binv_[col * m_ + c]);
+                }
+            }
+            const double inv = 1.0 / mat[col * m_ + col];
+            for (size_t c = 0; c < m_; ++c) {
+                mat[col * m_ + c] *= inv;
+                binv_[col * m_ + c] *= inv;
+            }
+            for (size_t r = 0; r < m_; ++r) {
+                if (r == col)
+                    continue;
+                const double factor = mat[r * m_ + col];
+                if (factor == 0.0)
+                    continue;
+                for (size_t c = 0; c < m_; ++c) {
+                    mat[r * m_ + c] -= factor * mat[col * m_ + c];
+                    binv_[r * m_ + c] -= factor * binv_[col * m_ + c];
+                }
+            }
+        }
+        recomputeBasics();
+    }
+
+    /** xB = Binv * (b - sum_nonbasic A_j x_j). */
+    void
+    recomputeBasics()
+    {
+        std::vector<double> rhs = b_;
+        for (size_t j = 0; j < cols_.size(); ++j) {
+            if (state_[j] == VarState::Basic)
+                continue;
+            const double xj = value(j);
+            if (xj == 0.0)
+                continue;
+            for (const auto &[row, coef] : cols_[j])
+                rhs[row] -= coef * xj;
+        }
+        for (size_t i = 0; i < m_; ++i) {
+            double acc = 0.0;
+            for (size_t k = 0; k < m_; ++k)
+                acc += binv_[i * m_ + k] * rhs[k];
+            xB_[i] = acc;
+        }
+    }
+
+    /** Core simplex loop minimizing the given cost vector. */
+    SolveStatus
+    iterate(const std::vector<double> &cost)
+    {
+        const double tol = options_.tol;
+        long iters_since_refactor = 0;
+        long stall = 0;
+
+        for (long iter = 0; iter < options_.maxIterations; ++iter) {
+            if ((iter & 0x3f) == 0 && Clock::now() > deadline_)
+                return SolveStatus::Limit;
+
+            // y = cB' Binv
+            std::vector<double> y(m_, 0.0);
+            for (size_t i = 0; i < m_; ++i) {
+                const double cb = cost[basis_[i]];
+                if (cb == 0.0)
+                    continue;
+                for (size_t k = 0; k < m_; ++k)
+                    y[k] += cb * binv_[i * m_ + k];
+            }
+
+            // Pricing.
+            const bool bland = stall > 2000;
+            int entering = -1;
+            double best_score = tol;
+            int direction = 0; // +1 increase, -1 decrease
+            for (size_t j = 0; j < cols_.size(); ++j) {
+                if (state_[j] == VarState::Basic)
+                    continue;
+                if (ub_[j] - lb_[j] < tol &&
+                    std::isfinite(lb_[j]) && std::isfinite(ub_[j])) {
+                    continue; // fixed variable
+                }
+                double dj = cost[j];
+                for (const auto &[row, coef] : cols_[j])
+                    dj -= y[row] * coef;
+
+                int dir = 0;
+                if (state_[j] == VarState::AtLower && dj < -tol)
+                    dir = +1;
+                else if (state_[j] == VarState::AtUpper && dj > tol)
+                    dir = -1;
+                else if (state_[j] == VarState::AtZero &&
+                         std::abs(dj) > tol)
+                    dir = dj < 0.0 ? +1 : -1;
+                if (dir == 0)
+                    continue;
+
+                if (bland) {
+                    entering = static_cast<int>(j);
+                    direction = dir;
+                    break;
+                }
+                if (std::abs(dj) > best_score) {
+                    best_score = std::abs(dj);
+                    entering = static_cast<int>(j);
+                    direction = dir;
+                }
+            }
+
+            if (entering < 0)
+                return SolveStatus::Optimal;
+
+            // alpha = Binv * A_entering
+            std::vector<double> alpha(m_, 0.0);
+            for (const auto &[row, coef] : cols_[entering]) {
+                for (size_t i = 0; i < m_; ++i)
+                    alpha[i] += binv_[i * m_ + row] * coef;
+            }
+
+            // Ratio test: movement t >= 0 of the entering variable in
+            // `direction`; basic i changes by -direction * alpha_i * t.
+            double t_max = kInfinity;
+            if (std::isfinite(lb_[entering]) &&
+                std::isfinite(ub_[entering])) {
+                t_max = ub_[entering] - lb_[entering]; // bound flip span
+            }
+            int leaving_row = -1;
+            double leaving_pivot = 0.0;
+            bool leaving_to_upper = false;
+            for (size_t i = 0; i < m_; ++i) {
+                const double rate = -direction * alpha[i];
+                if (std::abs(rate) < 1e-9)
+                    continue;
+                const int bj = basis_[i];
+                double limit;
+                bool to_upper;
+                if (rate < 0.0) {
+                    if (!std::isfinite(lb_[bj]))
+                        continue;
+                    limit = (xB_[i] - lb_[bj]) / (-rate);
+                    to_upper = false;
+                } else {
+                    if (!std::isfinite(ub_[bj]))
+                        continue;
+                    limit = (ub_[bj] - xB_[i]) / rate;
+                    to_upper = true;
+                }
+                if (limit < -1e-9)
+                    limit = 0.0;
+                if (limit < t_max - 1e-12 ||
+                    (limit < t_max + 1e-12 && leaving_row >= 0 &&
+                     std::abs(alpha[i]) > std::abs(leaving_pivot))) {
+                    t_max = std::max(limit, 0.0);
+                    leaving_row = static_cast<int>(i);
+                    leaving_pivot = alpha[i];
+                    leaving_to_upper = to_upper;
+                }
+            }
+
+            if (!std::isfinite(t_max))
+                return SolveStatus::Unbounded;
+
+            stall = t_max < 1e-10 ? stall + 1 : 0;
+
+            // Apply the move to basic values.
+            if (t_max > 0.0) {
+                for (size_t i = 0; i < m_; ++i)
+                    xB_[i] -= direction * alpha[i] * t_max;
+            }
+
+            if (leaving_row < 0) {
+                // Pure bound flip of the entering variable.
+                state_[entering] = direction > 0 ? VarState::AtUpper
+                                                 : VarState::AtLower;
+                continue;
+            }
+
+            // Pivot: entering becomes basic, leaving goes to a bound.
+            const int leaving = basis_[leaving_row];
+            state_[leaving] = leaving_to_upper ? VarState::AtUpper
+                                               : VarState::AtLower;
+            const double entering_start =
+                state_[entering] == VarState::AtUpper ? ub_[entering]
+                : state_[entering] == VarState::AtLower ? lb_[entering]
+                : 0.0;
+            basis_[leaving_row] = entering;
+            state_[entering] = VarState::Basic;
+            basisRow_[entering] = leaving_row;
+            xB_[leaving_row] = entering_start + direction * t_max;
+
+            // Update the basis inverse (eta transformation).
+            const double pivot = leaving_pivot;
+            if (std::abs(pivot) < 1e-10 ||
+                ++iters_since_refactor >= 200) {
+                buildInverse();
+                iters_since_refactor = 0;
+            } else {
+                const size_t r = static_cast<size_t>(leaving_row);
+                const double inv = 1.0 / pivot;
+                for (size_t c = 0; c < m_; ++c)
+                    binv_[r * m_ + c] *= inv;
+                for (size_t i = 0; i < m_; ++i) {
+                    if (i == r)
+                        continue;
+                    const double factor = alpha[i];
+                    if (factor == 0.0)
+                        continue;
+                    for (size_t c = 0; c < m_; ++c)
+                        binv_[i * m_ + c] -= factor * binv_[r * m_ + c];
+                }
+            }
+        }
+        return SolveStatus::Limit;
+    }
+
+    SimplexOptions options_;
+    size_t m_ = 0;
+    size_t structurals_ = 0;
+    size_t artificialCount_ = 0;
+
+    std::vector<std::vector<std::pair<int, double>>> cols_;
+    std::vector<double> lb_, ub_, cost_, b_;
+
+    std::vector<int> basis_;       //!< var index per basis row
+    std::vector<double> xB_;       //!< basic variable values
+    std::vector<VarState> state_;  //!< per-variable state
+    std::vector<size_t> basisRow_; //!< row of each basic variable
+    std::vector<double> binv_;     //!< dense m x m basis inverse
+
+    Clock::time_point deadline_;
+};
+
+} // namespace
+
+SimplexSolver::SimplexSolver(const Model &model, SimplexOptions options)
+    : model_(model), options_(options)
+{
+}
+
+Solution
+SimplexSolver::solve(const std::vector<double> *lower,
+                     const std::vector<double> *upper) const
+{
+    Solution solution;
+    Tableau tableau(model_, options_, lower, upper);
+    solution.status =
+        tableau.run(solution.values, solution.objective, model_);
+    return solution;
+}
+
+} // namespace phoenix::lp

@@ -1,0 +1,68 @@
+#include "waterfill.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace phoenix::lp {
+
+std::vector<double>
+waterFill(const std::vector<double> &demands, double capacity)
+{
+    return weightedWaterFill(
+        demands, std::vector<double>(demands.size(), 1.0), capacity);
+}
+
+std::vector<double>
+weightedWaterFill(const std::vector<double> &demands,
+                  const std::vector<double> &weights, double capacity)
+{
+    const size_t n = demands.size();
+    std::vector<double> share(n, 0.0);
+    if (n == 0 || capacity <= 0.0)
+        return share;
+
+    std::vector<bool> frozen(n, false);
+    double remaining = capacity;
+    size_t active = n;
+
+    while (active > 0 && remaining > 1e-12) {
+        double weight_sum = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            if (!frozen[i])
+                weight_sum += std::max(weights[i], 0.0);
+        }
+        if (weight_sum <= 0.0)
+            break;
+
+        // The level at which the next application saturates.
+        const double level = remaining / weight_sum;
+        bool saturated_any = false;
+        for (size_t i = 0; i < n; ++i) {
+            if (frozen[i])
+                continue;
+            const double offer = level * std::max(weights[i], 0.0);
+            const double need = demands[i] - share[i];
+            if (need <= offer + 1e-12) {
+                share[i] = demands[i];
+                remaining -= need;
+                frozen[i] = true;
+                --active;
+                saturated_any = true;
+            }
+        }
+        if (!saturated_any) {
+            // Nobody saturates: hand out the level and finish.
+            for (size_t i = 0; i < n; ++i) {
+                if (frozen[i])
+                    continue;
+                const double offer = level * std::max(weights[i], 0.0);
+                share[i] += offer;
+                remaining -= offer;
+            }
+            break;
+        }
+    }
+    return share;
+}
+
+} // namespace phoenix::lp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Water-filling max-min fair share computation.
+ *
+ * LPFair (App. C) and the PhoenixFair global-ranking objective both rely
+ * on a pre-computed water-fill fair share per application: capacity R is
+ * divided among n applications; applications demanding less than the
+ * equal share keep their demand and the excess is re-divided among the
+ * rest.
+ */
+
+#ifndef PHOENIX_LP_WATERFILL_H
+#define PHOENIX_LP_WATERFILL_H
+
+#include <vector>
+
+namespace phoenix::lp {
+
+/**
+ * Compute max-min water-fill shares.
+ *
+ * @param demands per-application resource demand (>= 0)
+ * @param capacity total resources to distribute (>= 0)
+ * @return per-application fair share; shares sum to
+ *         min(capacity, sum(demands)) and no share exceeds its demand.
+ */
+std::vector<double> waterFill(const std::vector<double> &demands,
+                              double capacity);
+
+/**
+ * Weighted water-fill: shares grow proportionally to weights until the
+ * demand is met. Equal weights reduce to waterFill().
+ */
+std::vector<double> weightedWaterFill(const std::vector<double> &demands,
+                                      const std::vector<double> &weights,
+                                      double capacity);
+
+} // namespace phoenix::lp
+
+#endif // PHOENIX_LP_WATERFILL_H

@@ -1,0 +1,149 @@
+#include "cluster.h"
+
+#include <cassert>
+
+namespace phoenix::sim {
+
+namespace {
+constexpr double kCapacityEps = 1e-9;
+} // namespace
+
+NodeId
+ClusterState::addNode(double capacity)
+{
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(Node{id, capacity, true});
+    used_.push_back(0.0);
+    podsOn_.emplace_back();
+    return id;
+}
+
+std::vector<PodRef>
+ClusterState::failNode(NodeId id)
+{
+    std::vector<PodRef> evicted;
+    Node &n = nodes_.at(id);
+    if (!n.healthy)
+        return evicted;
+    n.healthy = false;
+    for (const auto &[pod, cpu] : podsOn_[id]) {
+        (void)cpu;
+        evicted.push_back(pod);
+        assignment_.erase(pod);
+    }
+    podsOn_[id].clear();
+    used_[id] = 0.0;
+    return evicted;
+}
+
+void
+ClusterState::restoreNode(NodeId id)
+{
+    nodes_.at(id).healthy = true;
+}
+
+bool
+ClusterState::place(const PodRef &pod, NodeId node, double cpu)
+{
+    if (node >= nodes_.size())
+        return false;
+    const Node &n = nodes_[node];
+    if (!n.healthy)
+        return false;
+    if (assignment_.count(pod))
+        return false;
+    if (used_[node] + cpu > n.capacity + kCapacityEps)
+        return false;
+    assignment_[pod] = node;
+    podsOn_[node][pod] = cpu;
+    used_[node] += cpu;
+    return true;
+}
+
+bool
+ClusterState::evict(const PodRef &pod)
+{
+    auto it = assignment_.find(pod);
+    if (it == assignment_.end())
+        return false;
+    const NodeId node = it->second;
+    auto pit = podsOn_[node].find(pod);
+    assert(pit != podsOn_[node].end());
+    used_[node] -= pit->second;
+    if (used_[node] < 0.0)
+        used_[node] = 0.0;
+    podsOn_[node].erase(pit);
+    assignment_.erase(it);
+    return true;
+}
+
+std::optional<NodeId>
+ClusterState::nodeOf(const PodRef &pod) const
+{
+    auto it = assignment_.find(pod);
+    if (it == assignment_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+double
+ClusterState::podCpu(const PodRef &pod) const
+{
+    auto it = assignment_.find(pod);
+    if (it == assignment_.end())
+        return 0.0;
+    return podsOn_[it->second].at(pod);
+}
+
+std::vector<NodeId>
+ClusterState::healthyNodes() const
+{
+    std::vector<NodeId> out;
+    for (const auto &n : nodes_) {
+        if (n.healthy)
+            out.push_back(n.id);
+    }
+    return out;
+}
+
+double
+ClusterState::totalCapacity() const
+{
+    double total = 0.0;
+    for (const auto &n : nodes_)
+        total += n.capacity;
+    return total;
+}
+
+double
+ClusterState::healthyCapacity() const
+{
+    double total = 0.0;
+    for (const auto &n : nodes_) {
+        if (n.healthy)
+            total += n.capacity;
+    }
+    return total;
+}
+
+double
+ClusterState::usedCapacity() const
+{
+    double total = 0.0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i].healthy)
+            total += used_[i];
+    }
+    return total;
+}
+
+double
+ClusterState::utilization() const
+{
+    const double healthy = healthyCapacity();
+    if (healthy <= 0.0)
+        return 0.0;
+    return usedCapacity() / healthy;
+}
+
+} // namespace phoenix::sim

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Minimal discrete-event simulation engine used by the mini-Kubernetes
+ * layer and the end-to-end recovery experiments (Fig 6): a time-ordered
+ * queue of callbacks with deterministic FIFO tie-breaking.
+ */
+
+#ifndef PHOENIX_SIM_EVENT_QUEUE_H
+#define PHOENIX_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace phoenix::sim {
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/**
+ * Discrete-event scheduler. Events fire in (time, insertion order)
+ * order; handlers may schedule further events.
+ */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void()>;
+
+    /** Schedule @p handler at absolute time @p when (>= now). */
+    void
+    schedule(SimTime when, Handler handler)
+    {
+        if (when < now_)
+            when = now_;
+        heap_.push(Event{when, seq_++, std::move(handler)});
+    }
+
+    /** Schedule @p handler @p delay seconds from now. */
+    void
+    scheduleAfter(SimTime delay, Handler handler)
+    {
+        schedule(now_ + delay, std::move(handler));
+    }
+
+    SimTime now() const { return now_; }
+    bool empty() const { return heap_.empty(); }
+    size_t pending() const { return heap_.size(); }
+
+    /** Run a single event; returns false when the queue is empty. */
+    bool
+    step()
+    {
+        if (heap_.empty())
+            return false;
+        Event ev = heap_.top();
+        heap_.pop();
+        now_ = ev.when;
+        ev.handler();
+        return true;
+    }
+
+    /** Run events until the queue drains or time exceeds @p until. */
+    void
+    runUntil(SimTime until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until)
+            step();
+        if (now_ < until)
+            now_ = until;
+    }
+
+    /** Drain the queue completely. */
+    void
+    runAll()
+    {
+        while (step()) {
+        }
+    }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        uint64_t seq;
+        Handler handler;
+
+        bool
+        operator>(const Event &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    SimTime now_ = 0.0;
+    uint64_t seq_ = 0;
+};
+
+} // namespace phoenix::sim
+
+#endif // PHOENIX_SIM_EVENT_QUEUE_H

@@ -1,0 +1,58 @@
+#include "failure.h"
+
+namespace phoenix::sim {
+
+FailureEvent
+FailureInjector::failCapacityFraction(ClusterState &cluster,
+                                      double fraction)
+{
+    FailureEvent event;
+    const double target = cluster.totalCapacity() * fraction;
+    std::vector<NodeId> candidates = cluster.healthyNodes();
+    rng_.shuffle(candidates);
+    for (NodeId id : candidates) {
+        if (event.failedCapacity >= target - 1e-9)
+            break;
+        const double cap = cluster.node(id).capacity;
+        auto evicted = cluster.failNode(id);
+        event.failedNodes.push_back(id);
+        event.failedCapacity += cap;
+        event.evictedPods.insert(event.evictedPods.end(),
+                                 evicted.begin(), evicted.end());
+    }
+    return event;
+}
+
+FailureEvent
+FailureInjector::failNodeCount(ClusterState &cluster, size_t count)
+{
+    FailureEvent event;
+    std::vector<NodeId> candidates = cluster.healthyNodes();
+    rng_.shuffle(candidates);
+    for (size_t i = 0; i < count && i < candidates.size(); ++i) {
+        const NodeId id = candidates[i];
+        const double cap = cluster.node(id).capacity;
+        auto evicted = cluster.failNode(id);
+        event.failedNodes.push_back(id);
+        event.failedCapacity += cap;
+        event.evictedPods.insert(event.evictedPods.end(),
+                                 evicted.begin(), evicted.end());
+    }
+    return event;
+}
+
+std::vector<NodeId>
+FailureInjector::restoreAll(ClusterState &cluster)
+{
+    std::vector<NodeId> restored;
+    for (size_t i = 0; i < cluster.nodeCount(); ++i) {
+        const NodeId id = static_cast<NodeId>(i);
+        if (!cluster.isHealthy(id)) {
+            cluster.restoreNode(id);
+            restored.push_back(id);
+        }
+    }
+    return restored;
+}
+
+} // namespace phoenix::sim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Failure injection for AdaptLab experiments: fail a target fraction of
+ * cluster capacity (or node count) at random, as the paper's
+ * sub-datacenter "disaster" events do.
+ */
+
+#ifndef PHOENIX_SIM_FAILURE_H
+#define PHOENIX_SIM_FAILURE_H
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "util/rng.h"
+
+namespace phoenix::sim {
+
+/** Outcome of one injected failure event. */
+struct FailureEvent
+{
+    std::vector<NodeId> failedNodes;
+    std::vector<PodRef> evictedPods;
+    double failedCapacity = 0.0;
+};
+
+/**
+ * Randomized failure injector. All methods mutate the cluster in place
+ * and report what failed.
+ */
+class FailureInjector
+{
+  public:
+    explicit FailureInjector(util::Rng rng) : rng_(rng) {}
+
+    /**
+     * Fail random healthy nodes until at least @p fraction of the total
+     * cluster capacity is down (the paper's "capacity reduced to X%"
+     * events fail 1-X of capacity).
+     */
+    FailureEvent failCapacityFraction(ClusterState &cluster,
+                                      double fraction);
+
+    /** Fail @p count random healthy nodes. */
+    FailureEvent failNodeCount(ClusterState &cluster, size_t count);
+
+    /** Restore every failed node. */
+    std::vector<NodeId> restoreAll(ClusterState &cluster);
+
+  private:
+    util::Rng rng_;
+};
+
+} // namespace phoenix::sim
+
+#endif // PHOENIX_SIM_FAILURE_H

@@ -1,0 +1,244 @@
+#include "metrics.h"
+
+#include "lp/waterfill.h"
+
+namespace phoenix::sim {
+
+ActiveSet
+emptyActiveSet(const std::vector<Application> &apps)
+{
+    ActiveSet active(apps.size());
+    for (size_t a = 0; a < apps.size(); ++a)
+        active[a].assign(apps[a].services.size(), false);
+    return active;
+}
+
+ActiveSet
+activeSetFromCluster(const std::vector<Application> &apps,
+                     const ClusterState &cluster)
+{
+    // A microservice is active only when every replica is placed
+    // (Appendix D).
+    std::vector<std::vector<int>> placed(apps.size());
+    for (size_t a = 0; a < apps.size(); ++a)
+        placed[a].assign(apps[a].services.size(), 0);
+    for (const auto &[pod, node] : cluster.assignment()) {
+        (void)node;
+        if (pod.app < placed.size() && pod.ms < placed[pod.app].size())
+            ++placed[pod.app][pod.ms];
+    }
+    ActiveSet active = emptyActiveSet(apps);
+    for (size_t a = 0; a < apps.size(); ++a) {
+        for (const auto &ms : apps[a].services) {
+            active[a][ms.id] = placed[a][ms.id] >= ms.quorumCount();
+        }
+    }
+    return active;
+}
+
+std::vector<double>
+perAppCriticalAvailability(const std::vector<Application> &apps,
+                           const ActiveSet &active)
+{
+    std::vector<double> out(apps.size(), 0.0);
+    for (size_t a = 0; a < apps.size(); ++a) {
+        bool all_critical_up = true;
+        for (const auto &ms : apps[a].services) {
+            if (ms.criticality == kC1 && !active[a][ms.id]) {
+                all_critical_up = false;
+                break;
+            }
+        }
+        out[a] = all_critical_up ? 1.0 : 0.0;
+    }
+    return out;
+}
+
+double
+criticalServiceAvailability(const std::vector<Application> &apps,
+                            const ActiveSet &active)
+{
+    if (apps.empty())
+        return 0.0;
+    const auto per_app = perAppCriticalAvailability(apps, active);
+    double total = 0.0;
+    for (double v : per_app)
+        total += v;
+    return total / static_cast<double>(apps.size());
+}
+
+double
+criticalFractionAvailability(const std::vector<Application> &apps,
+                             const ActiveSet &active)
+{
+    if (apps.empty())
+        return 0.0;
+    double total = 0.0;
+    for (size_t a = 0; a < apps.size(); ++a) {
+        size_t critical = 0;
+        size_t up = 0;
+        for (const auto &ms : apps[a].services) {
+            if (ms.criticality != kC1)
+                continue;
+            ++critical;
+            if (active[a][ms.id])
+                ++up;
+        }
+        total += critical == 0 ? 1.0
+                               : static_cast<double>(up) /
+                                     static_cast<double>(critical);
+    }
+    return total / static_cast<double>(apps.size());
+}
+
+double
+revenue(const std::vector<Application> &apps, const ActiveSet &active)
+{
+    double total = 0.0;
+    for (size_t a = 0; a < apps.size(); ++a) {
+        for (const auto &ms : apps[a].services) {
+            if (active[a][ms.id])
+                total += apps[a].pricePerUnit * ms.totalCpu();
+        }
+    }
+    return total;
+}
+
+double
+revenueNormalized(const std::vector<Application> &apps,
+                  const ActiveSet &active)
+{
+    double full = 0.0;
+    for (const auto &app : apps)
+        full += app.pricePerUnit * app.totalDemand();
+    if (full <= 0.0)
+        return 0.0;
+    return revenue(apps, active) / full;
+}
+
+std::vector<double>
+perAppUsage(const std::vector<Application> &apps, const ActiveSet &active)
+{
+    std::vector<double> usage(apps.size(), 0.0);
+    for (size_t a = 0; a < apps.size(); ++a) {
+        for (const auto &ms : apps[a].services) {
+            if (active[a][ms.id])
+                usage[a] += ms.totalCpu();
+        }
+    }
+    return usage;
+}
+
+FairnessDeviation
+fairShareDeviation(const std::vector<Application> &apps,
+                   const ActiveSet &active, double capacity)
+{
+    FairnessDeviation dev;
+    if (apps.empty() || capacity <= 0.0)
+        return dev;
+
+    std::vector<double> demands;
+    demands.reserve(apps.size());
+    for (const auto &app : apps)
+        demands.push_back(app.totalDemand());
+    const auto fair = lp::waterFill(demands, capacity);
+    const auto usage = perAppUsage(apps, active);
+
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const double delta = usage[a] - fair[a];
+        if (delta > 0.0)
+            dev.positive += delta;
+        else
+            dev.negative += -delta;
+    }
+    dev.positive /= capacity;
+    dev.negative /= capacity;
+    return dev;
+}
+
+FairnessDeviation
+fairShareDeviationPlaced(const std::vector<Application> &apps,
+                         const ClusterState &cluster)
+{
+    FairnessDeviation dev;
+    const double capacity = cluster.healthyCapacity();
+    if (apps.empty() || capacity <= 0.0)
+        return dev;
+
+    std::vector<double> demands;
+    demands.reserve(apps.size());
+    for (const auto &app : apps)
+        demands.push_back(app.totalDemand());
+    const auto fair = lp::waterFill(demands, capacity);
+
+    std::vector<double> usage(apps.size(), 0.0);
+    for (const auto &[pod, node] : cluster.assignment()) {
+        (void)node;
+        if (pod.app < usage.size())
+            usage[pod.app] += cluster.podCpu(pod);
+    }
+
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const double delta = usage[a] - fair[a];
+        if (delta > 0.0)
+            dev.positive += delta;
+        else
+            dev.negative += -delta;
+    }
+    dev.positive /= capacity;
+    dev.negative /= capacity;
+    return dev;
+}
+
+bool
+respectsCriticalityOrder(const std::vector<Application> &apps,
+                         const ActiveSet &active)
+{
+    for (size_t a = 0; a < apps.size(); ++a) {
+        // Find the most critical (lowest tag) inactive level; no active
+        // service may have a strictly higher tag... i.e. for any pair
+        // (j active, k inactive) require C(j) <= C(k).
+        Criticality lowest_inactive = kLowestCriticality + 1;
+        Criticality highest_active = 0;
+        for (const auto &ms : apps[a].services) {
+            if (active[a][ms.id])
+                highest_active = std::max(highest_active, ms.criticality);
+            else
+                lowest_inactive =
+                    std::min(lowest_inactive, ms.criticality);
+        }
+        if (highest_active > lowest_inactive)
+            return false;
+    }
+    return true;
+}
+
+bool
+respectsDependencies(const std::vector<Application> &apps,
+                     const ActiveSet &active)
+{
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const auto &app = apps[a];
+        if (!app.hasDependencyGraph)
+            continue;
+        for (const auto &ms : app.services) {
+            if (!active[a][ms.id])
+                continue;
+            const auto &preds = app.dag.predecessors(ms.id);
+            if (preds.empty())
+                continue; // source node
+            bool has_active_pred = false;
+            for (auto p : preds) {
+                if (active[a][p]) {
+                    has_active_pred = true;
+                    break;
+                }
+            }
+            if (!has_active_pred)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace phoenix::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Operator- and application-level metrics from §6:
+ * critical service availability, normalized revenue, deviation from
+ * water-fill fair share (split into positive and negative parts), and
+ * cluster utilization.
+ */
+
+#ifndef PHOENIX_SIM_METRICS_H
+#define PHOENIX_SIM_METRICS_H
+
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/types.h"
+
+namespace phoenix::sim {
+
+/** Deviation from max-min fair share, decomposed per §6. */
+struct FairnessDeviation
+{
+    /** Sum over apps of resources above fair share. */
+    double positive = 0.0;
+    /** Sum over apps of resources below fair share. */
+    double negative = 0.0;
+
+    double total() const { return positive + negative; }
+};
+
+/** Which microservices are active, indexed [app][ms]. */
+using ActiveSet = std::vector<std::vector<bool>>;
+
+/** Build an all-inactive ActiveSet shaped like @p apps. */
+ActiveSet emptyActiveSet(const std::vector<Application> &apps);
+
+/** Derive the ActiveSet from the cluster's current assignment. */
+ActiveSet activeSetFromCluster(const std::vector<Application> &apps,
+                               const ClusterState &cluster);
+
+/**
+ * Fraction of applications whose critical service goal is met: all C1
+ * microservices active (§6.2 "Application Metrics").
+ */
+double criticalServiceAvailability(const std::vector<Application> &apps,
+                                   const ActiveSet &active);
+
+/** Per-application critical availability (1 or 0 each). */
+std::vector<double>
+perAppCriticalAvailability(const std::vector<Application> &apps,
+                           const ActiveSet &active);
+
+/**
+ * Graded critical availability: mean over applications of the fraction
+ * of C1 containers activated. §6.2 normalizes "C1 containers
+ * activated" against the unaffected cluster state, which gives partial
+ * credit, unlike the binary goal used for the CloudLab apps.
+ */
+double criticalFractionAvailability(const std::vector<Application> &apps,
+                                    const ActiveSet &active);
+
+/**
+ * Revenue: sum over active microservices of price-per-unit * resources
+ * (the LPCost objective). Use revenueNormalized for the paper's
+ * "normalized w.r.t. the pre-failure state" figure series.
+ */
+double revenue(const std::vector<Application> &apps,
+               const ActiveSet &active);
+
+double revenueNormalized(const std::vector<Application> &apps,
+                         const ActiveSet &active);
+
+/** Resources currently activated per application. */
+std::vector<double> perAppUsage(const std::vector<Application> &apps,
+                                const ActiveSet &active);
+
+/**
+ * Deviation from the water-fill fair share of @p capacity across
+ * applications, split into positive (above share) and negative (below
+ * share) components, normalized by capacity.
+ */
+FairnessDeviation
+fairShareDeviation(const std::vector<Application> &apps,
+                   const ActiveSet &active, double capacity);
+
+/**
+ * Placed-resource variant: per-application usage comes from the pods
+ * actually placed on the cluster (which matters with replica quorums,
+ * where an active microservice may hold fewer resources than its full
+ * replica demand).
+ */
+FairnessDeviation
+fairShareDeviationPlaced(const std::vector<Application> &apps,
+                         const ClusterState &cluster);
+
+/**
+ * Check that the active set respects intra-app criticality order:
+ * no microservice is active while a strictly more critical one in the
+ * same application is inactive (LP Eq. 1). Used by tests and the chaos
+ * suite.
+ */
+bool respectsCriticalityOrder(const std::vector<Application> &apps,
+                              const ActiveSet &active);
+
+/**
+ * Check the topological constraint (LP Eq. 2): every active non-source
+ * microservice of an app with a dependency graph has at least one
+ * active predecessor.
+ */
+bool respectsDependencies(const std::vector<Application> &apps,
+                          const ActiveSet &active);
+
+} // namespace phoenix::sim
+
+#endif // PHOENIX_SIM_METRICS_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Core domain types shared across Phoenix and AdaptLab: microservices,
+ * applications with criticality tags and dependency graphs, and pod
+ * references.
+ */
+
+#ifndef PHOENIX_SIM_TYPES_H
+#define PHOENIX_SIM_TYPES_H
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace phoenix::sim {
+
+using AppId = uint32_t;
+using MsId = uint32_t;
+using NodeId = uint32_t;
+
+/**
+ * Criticality tag: C1 (=1) is the most critical; larger numbers are
+ * progressively more degradable (§3). Untagged microservices default to
+ * C1, the highest level, per §5 "Partial Tagging".
+ */
+using Criticality = int;
+constexpr Criticality kC1 = 1;
+constexpr Criticality kDefaultCriticality = kC1;
+constexpr Criticality kLowestCriticality = 10;
+
+/** One containerized microservice of an application. */
+struct Microservice
+{
+    MsId id = 0;
+    std::string name;
+    /** Resource demand in normalized units (CPU millicores). */
+    double cpu = 0.0;
+    Criticality criticality = kDefaultCriticality;
+    /** Replica count (Appendix D extension; 1 in the base system). */
+    int replicas = 1;
+    /**
+     * Minimum replicas that must run for the microservice to count as
+     * active. 0 (default) means all replicas — the Appendix D rule.
+     * Stateless services behind a load balancer typically stay up at
+     * reduced throughput with a quorum of replicas; AdaptLab uses
+     * ceil(replicas/2).
+     */
+    int quorum = 0;
+
+    /** Total demand across replicas. */
+    double totalCpu() const { return cpu * replicas; }
+
+    /** Effective activation quorum. */
+    int
+    quorumCount() const
+    {
+        const int all = replicas > 1 ? replicas : 1;
+        if (quorum <= 0 || quorum > all)
+            return all;
+        return quorum;
+    }
+
+    /** Demand of the minimum viable (quorum) allocation. */
+    double quorumCpu() const { return cpu * quorumCount(); }
+};
+
+/**
+ * A tenant application: a set of microservices, optionally a dependency
+ * graph over them (node ids == microservice ids), criticality tags, and
+ * the operator-facing price it pays per unit of resource.
+ */
+struct Application
+{
+    AppId id = 0;
+    std::string name;
+    std::vector<Microservice> services;
+    /** Dependency graph; meaningful only when hasDependencyGraph. */
+    graph::DiGraph dag;
+    bool hasDependencyGraph = false;
+    /** Revenue per activated unit of resource (LPCost's C_i). */
+    double pricePerUnit = 1.0;
+    /**
+     * Namespace label "phoenix=enabled" (§5 Partial Tagging): only
+     * subscribed applications take part in diagonal scaling. For
+     * unsubscribed applications every container is treated as highest
+     * criticality — Phoenix never degrades them below their peers.
+     */
+    bool phoenixEnabled = true;
+
+    /** Total resource demand of the application. */
+    double
+    totalDemand() const
+    {
+        double total = 0.0;
+        for (const auto &ms : services)
+            total += ms.totalCpu();
+        return total;
+    }
+
+    /** Demand of the C1 (most critical) microservices only. */
+    double
+    criticalDemand() const
+    {
+        double total = 0.0;
+        for (const auto &ms : services) {
+            if (ms.criticality == kC1)
+                total += ms.totalCpu();
+        }
+        return total;
+    }
+};
+
+/**
+ * Identifies one replica pod of one microservice cluster-wide. The
+ * base system runs one replica per microservice (replica == 0);
+ * Appendix D's multi-replica extension indexes them.
+ */
+struct PodRef
+{
+    AppId app = 0;
+    MsId ms = 0;
+    uint32_t replica = 0;
+
+    auto operator<=>(const PodRef &) const = default;
+};
+
+} // namespace phoenix::sim
+
+#endif // PHOENIX_SIM_TYPES_H

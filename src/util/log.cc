@@ -1,0 +1,41 @@
+#include "log.h"
+
+namespace phoenix::util {
+
+namespace {
+
+LogLevel globalLevel = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    std::cerr << "[" << levelName(level) << "] " << message << "\n";
+}
+
+} // namespace phoenix::util

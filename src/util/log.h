@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal leveled logging. The controller and benchmark harnesses log
+ * through these helpers; tests silence them by lowering the level.
+ */
+
+#ifndef PHOENIX_UTIL_LOG_H
+#define PHOENIX_UTIL_LOG_H
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace phoenix::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Global log threshold; messages below it are dropped. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/** Emit a message at the given level (thread-unsafe by design: the
+ * simulator is single-threaded). */
+void logMessage(LogLevel level, const std::string &message);
+
+} // namespace phoenix::util
+
+#define PHOENIX_LOG(level, expr)                                          \
+    do {                                                                   \
+        if (static_cast<int>(level) >=                                     \
+            static_cast<int>(::phoenix::util::logLevel())) {               \
+            std::ostringstream phoenix_log_oss_;                           \
+            phoenix_log_oss_ << expr;                                      \
+            ::phoenix::util::logMessage(level, phoenix_log_oss_.str());    \
+        }                                                                  \
+    } while (0)
+
+#define PHOENIX_DEBUG(expr) PHOENIX_LOG(::phoenix::util::LogLevel::Debug, expr)
+#define PHOENIX_INFO(expr) PHOENIX_LOG(::phoenix::util::LogLevel::Info, expr)
+#define PHOENIX_WARN(expr) PHOENIX_LOG(::phoenix::util::LogLevel::Warn, expr)
+#define PHOENIX_ERROR(expr) PHOENIX_LOG(::phoenix::util::LogLevel::Error, expr)
+
+#endif // PHOENIX_UTIL_LOG_H

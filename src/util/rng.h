@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * All stochastic components in Phoenix/AdaptLab draw from an explicitly
+ * seeded Rng so that every experiment is reproducible bit-for-bit. The
+ * generator is xoshiro256** seeded via splitmix64, which is both fast and
+ * statistically strong enough for workload synthesis.
+ */
+
+#ifndef PHOENIX_UTIL_RNG_H
+#define PHOENIX_UTIL_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace phoenix::util {
+
+/** splitmix64 step; used to expand a single seed into a full state. */
+inline uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Seeded xoshiro256** generator with the distribution helpers the
+ * workload generators need (uniform, exponential, log-normal, Pareto,
+ * Zipf, weighted choice).
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    explicit Rng(uint64_t seed = 0x5eedULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type
+    max()
+    {
+        return std::numeric_limits<uint64_t>::max();
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+        return lo + static_cast<int64_t>(operator()() % span);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Exponential with the given rate (lambda). */
+    double
+    exponential(double rate)
+    {
+        return -std::log1p(-uniform()) / rate;
+    }
+
+    /** Log-normal with the given log-space mean and sigma. */
+    double
+    logNormal(double mu, double sigma)
+    {
+        return std::exp(mu + sigma * gaussian());
+    }
+
+    /** Standard normal via Box-Muller (caches the second variate). */
+    double
+    gaussian()
+    {
+        if (hasSpare_) {
+            hasSpare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-300)
+            u1 = uniform();
+        const double u2 = uniform();
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        spare_ = mag * std::sin(2.0 * M_PI * u2);
+        hasSpare_ = true;
+        return mag * std::cos(2.0 * M_PI * u2);
+    }
+
+    /**
+     * Poisson-distributed count with the given mean: Knuth's method
+     * for small means, a clamped normal approximation for large ones.
+     */
+    uint64_t
+    poisson(double mean)
+    {
+        if (mean <= 0.0)
+            return 0;
+        if (mean < 50.0) {
+            const double limit = std::exp(-mean);
+            uint64_t count = 0;
+            double product = uniform();
+            while (product > limit) {
+                ++count;
+                product *= uniform();
+            }
+            return count;
+        }
+        const double draw = mean + std::sqrt(mean) * gaussian();
+        return draw <= 0.0 ? 0 : static_cast<uint64_t>(draw + 0.5);
+    }
+
+    /**
+     * Bounded Pareto sample in [lo, hi] with tail index alpha. Used for
+     * the long-tailed (Azure-like) container size model.
+     */
+    double
+    boundedPareto(double lo, double hi, double alpha)
+    {
+        const double u = uniform();
+        const double la = std::pow(lo, alpha);
+        const double ha = std::pow(hi, alpha);
+        return std::pow(-(u * ha - u * la - ha) / (ha * la),
+                        -1.0 / alpha);
+    }
+
+    /**
+     * Zipf-distributed rank in [1, n] with skew s, via rejection-inversion
+     * (fast for the large n used in call-graph sampling).
+     */
+    uint64_t
+    zipf(uint64_t n, double s)
+    {
+        // Rejection-free inverse-CDF approximation adequate for workload
+        // shaping: sample from the continuous bounded Pareto analogue of
+        // the Zipf mass function and clamp.
+        if (n <= 1)
+            return 1;
+        if (s == 1.0)
+            s = 1.0000001;
+        const double u = uniform();
+        const double t = std::pow(static_cast<double>(n), 1.0 - s);
+        const double x = std::pow(u * (t - 1.0) + 1.0, 1.0 / (1.0 - s));
+        uint64_t rank = static_cast<uint64_t>(x);
+        if (rank < 1)
+            rank = 1;
+        if (rank > n)
+            rank = n;
+        return rank;
+    }
+
+    /**
+     * Weighted index choice: returns i with probability
+     * weights[i] / sum(weights).
+     */
+    size_t
+    weightedChoice(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        double draw = uniform() * total;
+        for (size_t i = 0; i < weights.size(); ++i) {
+            draw -= weights[i];
+            if (draw <= 0.0)
+                return i;
+        }
+        return weights.empty() ? 0 : weights.size() - 1;
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            const size_t j =
+                static_cast<size_t>(uniformInt(0, static_cast<int64_t>(i) - 1));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for parallel components). */
+    Rng
+    fork()
+    {
+        return Rng(operator()());
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4] = {};
+    double spare_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+} // namespace phoenix::util
+
+#endif // PHOENIX_UTIL_RNG_H

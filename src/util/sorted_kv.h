@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Sorted key/value container used by the Phoenix packing heuristic.
+ *
+ * The paper's Python implementation keeps nodes in a SortedList keyed by
+ * remaining capacity so that best-fit lookups, insertions and deletions
+ * are all O(log n). This is the C++ equivalent built on std::multiset.
+ */
+
+#ifndef PHOENIX_UTIL_SORTED_KV_H
+#define PHOENIX_UTIL_SORTED_KV_H
+
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace phoenix::util {
+
+/**
+ * Multiset of (key, value) pairs ordered by key (then value for
+ * determinism). Supports the three operations packing needs:
+ * insert, erase of an exact pair, and "smallest key >= bound" lookup.
+ */
+template <typename Key, typename Value>
+class SortedKv
+{
+  public:
+    using Pair = std::pair<Key, Value>;
+
+    void
+    insert(const Key &key, const Value &value)
+    {
+        items_.emplace(key, value);
+    }
+
+    /** Erase one occurrence of (key, value); returns whether found. */
+    bool
+    erase(const Key &key, const Value &value)
+    {
+        auto [lo, hi] = items_.equal_range(Pair(key, value));
+        if (lo == hi)
+            return false;
+        items_.erase(lo);
+        return true;
+    }
+
+    /** Smallest pair whose key is >= bound (best-fit query). */
+    std::optional<Pair>
+    firstAtLeast(const Key &bound) const
+    {
+        auto it = items_.lower_bound(Pair(bound, Value()));
+        // lower_bound with a default Value may land before pairs with an
+        // equal key but smaller value; that is fine: any pair with
+        // key >= bound qualifies, and this returns the smallest such key.
+        if (it == items_.end())
+            return std::nullopt;
+        return *it;
+    }
+
+    /** Iterator to the first pair with key >= bound. */
+    auto
+    lowerBound(const Key &bound) const
+    {
+        return items_.lower_bound(Pair(bound, Value()));
+    }
+
+    /** Pair with the largest key, if any. */
+    std::optional<Pair>
+    largest() const
+    {
+        if (items_.empty())
+            return std::nullopt;
+        return *items_.rbegin();
+    }
+
+    size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+
+    auto begin() const { return items_.begin(); }
+    auto end() const { return items_.end(); }
+    auto rbegin() const { return items_.rbegin(); }
+    auto rend() const { return items_.rend(); }
+
+    void clear() { items_.clear(); }
+
+  private:
+    std::multiset<Pair> items_;
+};
+
+} // namespace phoenix::util
+
+#endif // PHOENIX_UTIL_SORTED_KV_H

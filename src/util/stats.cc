@@ -1,0 +1,120 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phoenix::util {
+
+double
+mean(const std::vector<double> &sample)
+{
+    if (sample.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double x : sample)
+        total += x;
+    return total / static_cast<double>(sample.size());
+}
+
+double
+stddev(const std::vector<double> &sample)
+{
+    if (sample.size() < 2)
+        return 0.0;
+    const double mu = mean(sample);
+    double acc = 0.0;
+    for (double x : sample)
+        acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / static_cast<double>(sample.size()));
+}
+
+double
+percentile(std::vector<double> sample, double q)
+{
+    if (sample.empty())
+        return 0.0;
+    std::sort(sample.begin(), sample.end());
+    if (q <= 0.0)
+        return sample.front();
+    if (q >= 100.0)
+        return sample.back();
+    const double pos = q / 100.0 * static_cast<double>(sample.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sample.size())
+        return sample.back();
+    return sample[lo] * (1.0 - frac) + sample[lo + 1] * frac;
+}
+
+double
+sum(const std::vector<double> &sample)
+{
+    double total = 0.0;
+    for (double x : sample)
+        total += x;
+    return total;
+}
+
+void
+RunningStat::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi),
+      width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+      counts_(buckets ? buckets : 1, 0)
+{
+}
+
+void
+Histogram::add(double x)
+{
+    double clamped = std::clamp(x, lo_, hi_);
+    auto idx = static_cast<size_t>((clamped - lo_) / width_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    ++counts_[idx];
+    ++total_;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    const double target = q / 100.0 * static_cast<double>(total_);
+    double seen = 0.0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += static_cast<double>(counts_[i]);
+        if (seen >= target)
+            return lo_ + width_ * (static_cast<double>(i) + 0.5);
+    }
+    return hi_;
+}
+
+} // namespace phoenix::util

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Small statistics helpers shared by the metrics and benchmark layers:
+ * summary statistics, percentiles, histograms and running accumulators.
+ */
+
+#ifndef PHOENIX_UTIL_STATS_H
+#define PHOENIX_UTIL_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace phoenix::util {
+
+/** Arithmetic mean; 0 for an empty sample. */
+double mean(const std::vector<double> &sample);
+
+/** Population standard deviation; 0 for fewer than two points. */
+double stddev(const std::vector<double> &sample);
+
+/**
+ * Linear-interpolation percentile (the "inclusive" definition used by
+ * numpy.percentile). @p q is in [0, 100]. Returns 0 for an empty sample.
+ */
+double percentile(std::vector<double> sample, double q);
+
+/** Sum of a sample. */
+double sum(const std::vector<double> &sample);
+
+/**
+ * Streaming accumulator for mean / min / max / stddev without storing
+ * the sample (Welford's algorithm).
+ */
+class RunningStat
+{
+  public:
+    void add(double x);
+
+    size_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi); values outside are clamped into
+ * the first/last bucket. Used by latency models to extract percentiles
+ * from large request populations cheaply.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t buckets);
+
+    void add(double x);
+    size_t total() const { return total_; }
+
+    /** Approximate q-th percentile (q in [0, 100]). */
+    double percentile(double q) const;
+
+    const std::vector<size_t> &buckets() const { return counts_; }
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    size_t total_ = 0;
+    std::vector<size_t> counts_;
+};
+
+} // namespace phoenix::util
+
+#endif // PHOENIX_UTIL_STATS_H

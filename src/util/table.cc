@@ -1,0 +1,113 @@
+#include "table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace phoenix::util {
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &text)
+{
+    if (rows_.empty())
+        rows_.emplace_back();
+    rows_.back().push_back(text);
+    return *this;
+}
+
+Table &
+Table::cell(const char *text)
+{
+    return cell(std::string(text));
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+Table &
+Table::cell(size_t value)
+{
+    return cell(std::to_string(value));
+}
+
+Table &
+Table::cell(int value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &text = c < cells.size() ? cells[c] : "";
+            os << " " << std::setw(static_cast<int>(widths[c]))
+               << std::left << text << " |";
+        }
+        os << "\n";
+    };
+
+    auto print_sep = [&]() {
+        os << "+";
+        for (size_t w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+
+    print_sep();
+    print_row(header_);
+    print_sep();
+    for (const auto &row : rows_)
+        print_row(row);
+    print_sep();
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+} // namespace phoenix::util

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harnesses to print
+ * the rows/series of each paper table and figure.
+ */
+
+#ifndef PHOENIX_UTIL_TABLE_H
+#define PHOENIX_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace phoenix::util {
+
+/**
+ * A simple column-aligned ASCII table. Cells are strings; numeric
+ * convenience overloads format with a fixed precision.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Start a new row. */
+    Table &row();
+
+    /** Append a cell to the current row. */
+    Table &cell(const std::string &text);
+    Table &cell(const char *text);
+    Table &cell(double value, int precision = 3);
+    Table &cell(size_t value);
+    Table &cell(int value);
+
+    /** Render with column alignment to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision. */
+std::string formatDouble(double value, int precision = 3);
+
+} // namespace phoenix::util
+
+#endif // PHOENIX_UTIL_TABLE_H

@@ -1,0 +1,189 @@
+#include "alibaba.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace phoenix::workloads {
+
+using sim::Application;
+using sim::Microservice;
+using sim::MsId;
+
+std::vector<size_t>
+AlibabaGenerator::paperSizes(int app_count, double size_scale)
+{
+    // Geometric decay from 3000 down to 10 across the requested app
+    // count; matches the shape of Fig 17a (few large apps, many small).
+    std::vector<size_t> sizes;
+    const double hi = 3000.0 * size_scale;
+    const double lo = std::max(4.0, 10.0 * size_scale);
+    const int n = std::max(app_count, 1);
+    for (int i = 0; i < n; ++i) {
+        const double frac =
+            n == 1 ? 0.0 : static_cast<double>(i) / (n - 1);
+        const double size = hi * std::pow(lo / hi, frac);
+        sizes.push_back(static_cast<size_t>(std::max(4.0, size)));
+    }
+    return sizes;
+}
+
+Application
+AlibabaGenerator::buildApp(sim::AppId id, size_t services,
+                           util::Rng &rng) const
+{
+    Application app;
+    app.id = id;
+    app.name = "App" + std::to_string(id + 1);
+    app.hasDependencyGraph = true;
+    app.dag = graph::DiGraph(services);
+    app.services.resize(services);
+    for (MsId m = 0; m < services; ++m) {
+        app.services[m].id = m;
+        app.services[m].name =
+            app.name + "/ms" + std::to_string(m);
+        app.services[m].criticality = sim::kDefaultCriticality;
+    }
+
+    // Node 0 is the entry (API gateway). Every later node attaches to
+    // one upstream with probability singleUpstreamProb, otherwise to
+    // 2-3 upstreams. Upstream choice is preferential toward low ids so
+    // early nodes become hubs, matching the skewed fan-outs of real
+    // call graphs.
+    for (MsId m = 1; m < services; ++m) {
+        const int upstreams =
+            rng.bernoulli(config_.singleUpstreamProb)
+                ? 1
+                : static_cast<int>(rng.uniformInt(2, 3));
+        std::set<MsId> parents;
+        for (int u = 0; u < upstreams; ++u) {
+            const uint64_t rank = rng.zipf(m, 1.1);
+            parents.insert(static_cast<MsId>(rank - 1));
+        }
+        for (MsId p : parents)
+            app.dag.addEdge(p, m);
+    }
+    return app;
+}
+
+std::vector<CallGraphTemplate>
+AlibabaGenerator::buildCallGraphs(const Application &app,
+                                  util::Rng &rng) const
+{
+    const size_t n = app.services.size();
+    const int templates =
+        static_cast<int>(std::min<size_t>(config_.templatesPerApp,
+                                          std::max<size_t>(n / 2, 2)));
+
+    // Zipf template popularity.
+    std::vector<double> weights(templates);
+    double total = 0.0;
+    for (int t = 0; t < templates; ++t) {
+        weights[t] = 1.0 / std::pow(t + 1.0, config_.templateSkew);
+        total += weights[t];
+    }
+    for (auto &w : weights)
+        w /= total;
+
+    std::vector<CallGraphTemplate> out;
+    out.reserve(templates);
+    for (int t = 0; t < templates; ++t) {
+        // Popular (low-rank) templates stay small; the tail includes a
+        // few deep fan-out requests. Sizes track Fig 17b: most call
+        // graphs contain < 10 microservices.
+        const double mean_size =
+            2.0 + 6.0 * static_cast<double>(t) / templates;
+        size_t target = 1 + static_cast<size_t>(
+                                rng.exponential(1.0 / mean_size));
+        target = std::min(target, std::max<size_t>(n / 2, 2));
+
+        // Truncated preorder walk from the entry, preferring hot
+        // (low-id) children so popular templates overlap heavily.
+        CallGraphTemplate tpl;
+        tpl.weight = weights[t];
+        std::set<MsId> member;
+        std::vector<MsId> frontier{0};
+        member.insert(0);
+        while (!frontier.empty() && member.size() < target) {
+            const size_t pick = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int64_t>(frontier.size()) -
+                                      1));
+            const MsId node = frontier[pick];
+            frontier.erase(frontier.begin() +
+                           static_cast<ptrdiff_t>(pick));
+
+            std::vector<MsId> children(app.dag.successors(node).begin(),
+                                       app.dag.successors(node).end());
+            std::sort(children.begin(), children.end());
+            for (size_t c = 0;
+                 c < children.size() && member.size() < target; ++c) {
+                // Earlier (hub) children are much more likely to be
+                // part of the request path.
+                const double p = 0.9 / (1.0 + 0.6 * c);
+                if (!member.count(children[c]) && rng.bernoulli(p)) {
+                    member.insert(children[c]);
+                    frontier.push_back(children[c]);
+                }
+            }
+        }
+        tpl.services.assign(member.begin(), member.end());
+        out.push_back(std::move(tpl));
+    }
+
+    // Renormalize (defensive; weights already sum to 1).
+    double sum = 0.0;
+    for (const auto &tpl : out)
+        sum += tpl.weight;
+    if (sum > 0.0) {
+        for (auto &tpl : out)
+            tpl.weight /= sum;
+    }
+    return out;
+}
+
+std::vector<GeneratedApp>
+AlibabaGenerator::generate() const
+{
+    util::Rng rng(config_.seed);
+    const auto sizes =
+        paperSizes(config_.appCount, config_.sizeScale);
+
+    // Popularity: Zipf over the size rank (biggest app serves the most
+    // requests, App. G's App1).
+    std::vector<double> popularity(sizes.size());
+    double pop_total = 0.0;
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        popularity[i] = 1.0 / std::pow(i + 1.0, config_.appSkew);
+        pop_total += popularity[i];
+    }
+
+    std::vector<GeneratedApp> apps;
+    apps.reserve(sizes.size());
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        util::Rng app_rng = rng.fork();
+        GeneratedApp generated;
+        generated.app = buildApp(static_cast<sim::AppId>(i), sizes[i],
+                                 app_rng);
+        generated.callGraphs =
+            buildCallGraphs(generated.app, app_rng);
+        generated.requestRate =
+            config_.totalRequests * popularity[i] / pop_total;
+        apps.push_back(std::move(generated));
+    }
+    return apps;
+}
+
+std::vector<double>
+callsPerMinute(const GeneratedApp &app)
+{
+    std::vector<double> cpm(app.app.services.size(), 0.0);
+    const double per_minute = app.requestRate / (24.0 * 60.0);
+    for (const auto &tpl : app.callGraphs) {
+        for (MsId m : tpl.services)
+            cpm[m] += tpl.weight * per_minute;
+    }
+    return cpm;
+}
+
+} // namespace phoenix::workloads

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Statistical stand-in for the Alibaba cluster-trace-microservices-v2021
+ * dataset.
+ *
+ * The paper derives 18 application dependency graphs (10-3000
+ * microservices) plus per-request call graphs from ~20M traced calls.
+ * That dataset is proprietary-sized and not available offline, so this
+ * generator synthesizes applications calibrated to the statistics the
+ * paper itself reports (§3.2, Appendix G, Fig 17):
+ *
+ *  - 18 applications with long-tailed DG sizes (10..3000 services);
+ *  - request popularity concentrated on the top ~4 applications;
+ *  - 74-82% of non-entry microservices having a single upstream caller;
+ *  - call graphs that are small subtrees of the DG (most under 10
+ *    services) with Zipf-distributed template popularity, so a small
+ *    fraction of microservices covers most requests ("80% of requests
+ *    via 3% of services").
+ */
+
+#ifndef PHOENIX_WORKLOADS_ALIBABA_H
+#define PHOENIX_WORKLOADS_ALIBABA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace phoenix::workloads {
+
+/**
+ * One call-graph template: the set of microservices a class of user
+ * requests touches, with the fraction of the application's requests
+ * that follow it.
+ */
+struct CallGraphTemplate
+{
+    std::vector<sim::MsId> services;
+    double weight = 0.0; //!< fraction of the app's requests
+};
+
+/** A generated application plus its request-level behaviour. */
+struct GeneratedApp
+{
+    sim::Application app;
+    std::vector<CallGraphTemplate> callGraphs;
+    /** Requests per day served by this application (popularity). */
+    double requestRate = 0.0;
+};
+
+/** Generator configuration. */
+struct AlibabaConfig
+{
+    uint64_t seed = 2021;
+    int appCount = 18;
+    /** Scale factor on DG sizes (1.0 = paper sizes, 10..3000). */
+    double sizeScale = 1.0;
+    /** Probability that a non-entry node has exactly one upstream. */
+    double singleUpstreamProb = 0.82;
+    /** Call-graph templates per application (before weighting). */
+    int templatesPerApp = 128;
+    /** Zipf skew of template popularity. Calibrated against Fig 17:
+     * low enough that request weight spreads over many templates (the
+     * real trace has 20M distinct call graphs), high enough that a
+     * small microservice set still covers most requests. */
+    double templateSkew = 1.12;
+    /** Zipf skew of application popularity. */
+    double appSkew = 1.6;
+    /** Total request volume across applications (per day). */
+    double totalRequests = 2.0e7;
+};
+
+/** Synthesize the 18-application workload. */
+class AlibabaGenerator
+{
+  public:
+    explicit AlibabaGenerator(AlibabaConfig config = AlibabaConfig())
+        : config_(config)
+    {
+    }
+
+    std::vector<GeneratedApp> generate() const;
+
+    /** The DG sizes used for the given app count (descending). */
+    static std::vector<size_t> paperSizes(int app_count,
+                                          double size_scale);
+
+  private:
+    /** Build one application's dependency DAG. */
+    sim::Application buildApp(sim::AppId id, size_t services,
+                              util::Rng &rng) const;
+
+    /** Sample call-graph templates over the app's DG. */
+    std::vector<CallGraphTemplate>
+    buildCallGraphs(const sim::Application &app, util::Rng &rng) const;
+
+    AlibabaConfig config_;
+};
+
+/**
+ * Calls-per-minute of every microservice of @p app: the sum over
+ * templates containing it of template weight times the app request
+ * rate (per minute).
+ */
+std::vector<double> callsPerMinute(const GeneratedApp &app);
+
+} // namespace phoenix::workloads
+
+#endif // PHOENIX_WORKLOADS_ALIBABA_H

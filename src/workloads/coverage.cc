@@ -1,0 +1,192 @@
+#include "coverage.h"
+
+#include <algorithm>
+#include <set>
+
+#include "lp/branch_bound.h"
+
+namespace phoenix::workloads {
+
+using sim::MsId;
+
+double
+coveredFraction(const std::vector<CallGraphTemplate> &templates,
+                const std::vector<bool> &enabled)
+{
+    double covered = 0.0;
+    double total = 0.0;
+    for (const auto &tpl : templates) {
+        total += tpl.weight;
+        bool all = true;
+        for (MsId m : tpl.services) {
+            if (m >= enabled.size() || !enabled[m]) {
+                all = false;
+                break;
+            }
+        }
+        if (all)
+            covered += tpl.weight;
+    }
+    if (total <= 0.0)
+        return 0.0;
+    return covered / total;
+}
+
+namespace {
+
+/**
+ * Greedy order of templates: repeatedly pick the uncovered template
+ * with the best weight-per-newly-enabled-service ratio. Returns the
+ * template order.
+ */
+std::vector<size_t>
+greedyTemplateOrder(const std::vector<CallGraphTemplate> &templates,
+                    size_t service_count)
+{
+    std::vector<bool> enabled(service_count, false);
+    std::vector<bool> taken(templates.size(), false);
+    std::vector<size_t> order;
+
+    for (size_t round = 0; round < templates.size(); ++round) {
+        double best_ratio = -1.0;
+        size_t best = templates.size();
+        size_t best_new = 0;
+        for (size_t t = 0; t < templates.size(); ++t) {
+            if (taken[t])
+                continue;
+            size_t fresh = 0;
+            for (MsId m : templates[t].services) {
+                if (m < service_count && !enabled[m])
+                    ++fresh;
+            }
+            const double ratio =
+                templates[t].weight / static_cast<double>(fresh + 1);
+            if (ratio > best_ratio) {
+                best_ratio = ratio;
+                best = t;
+                best_new = fresh;
+            }
+        }
+        if (best == templates.size())
+            break;
+        (void)best_new;
+        taken[best] = true;
+        order.push_back(best);
+        for (MsId m : templates[best].services) {
+            if (m < service_count)
+                enabled[m] = true;
+        }
+    }
+    return order;
+}
+
+} // namespace
+
+std::vector<MsId>
+minServicesForCoverage(const std::vector<CallGraphTemplate> &templates,
+                       size_t service_count, double target_fraction)
+{
+    double total = 0.0;
+    for (const auto &tpl : templates)
+        total += tpl.weight;
+
+    const auto order = greedyTemplateOrder(templates, service_count);
+    std::vector<bool> enabled(service_count, false);
+    double covered = 0.0;
+    std::set<MsId> chosen;
+    for (size_t t : order) {
+        if (total > 0.0 && covered / total >= target_fraction - 1e-12)
+            break;
+        for (MsId m : templates[t].services) {
+            if (m < service_count && !enabled[m]) {
+                enabled[m] = true;
+                chosen.insert(m);
+            }
+        }
+        covered += templates[t].weight;
+    }
+    return std::vector<MsId>(chosen.begin(), chosen.end());
+}
+
+std::vector<CoveragePoint>
+coverageCurve(const std::vector<CallGraphTemplate> &templates,
+              size_t service_count)
+{
+    std::vector<CoveragePoint> curve;
+    double total = 0.0;
+    for (const auto &tpl : templates)
+        total += tpl.weight;
+    if (total <= 0.0)
+        return curve;
+
+    const auto order = greedyTemplateOrder(templates, service_count);
+    std::vector<bool> enabled(service_count, false);
+    size_t enabled_count = 0;
+    double covered = 0.0;
+    curve.push_back(CoveragePoint{0, 0.0});
+    for (size_t t : order) {
+        for (MsId m : templates[t].services) {
+            if (m < service_count && !enabled[m]) {
+                enabled[m] = true;
+                ++enabled_count;
+            }
+        }
+        covered += templates[t].weight;
+        curve.push_back(CoveragePoint{enabled_count, covered / total});
+    }
+    return curve;
+}
+
+std::optional<std::vector<MsId>>
+exactMinServicesForCoverage(
+    const std::vector<CallGraphTemplate> &templates, size_t service_count,
+    double target_fraction, size_t max_vars, double time_limit_sec)
+{
+    if (service_count + templates.size() > max_vars)
+        return std::nullopt;
+
+    double total = 0.0;
+    for (const auto &tpl : templates)
+        total += tpl.weight;
+    if (total <= 0.0)
+        return std::vector<MsId>{};
+
+    // minimize sum e_m  s.t.  c_t <= e_m for m in t,
+    //                          sum w_t c_t >= target * total
+    lp::Model model;
+    std::vector<lp::VarId> enable(service_count);
+    for (size_t m = 0; m < service_count; ++m)
+        enable[m] = model.addBinaryVar();
+    std::vector<lp::VarId> covered(templates.size());
+    lp::LinExpr coverage;
+    for (size_t t = 0; t < templates.size(); ++t) {
+        covered[t] = model.addBinaryVar();
+        for (MsId m : templates[t].services) {
+            model.addConstraint(
+                {{covered[t], 1.0}, {enable[m], -1.0}},
+                lp::Relation::LessEq, 0.0);
+        }
+        coverage.push_back({covered[t], templates[t].weight});
+    }
+    model.addConstraint(coverage, lp::Relation::GreaterEq,
+                        target_fraction * total - 1e-9);
+    lp::LinExpr objective;
+    for (size_t m = 0; m < service_count; ++m)
+        objective.push_back({enable[m], 1.0});
+    model.setObjective(objective, false);
+
+    lp::MilpOptions options;
+    options.timeLimitSec = time_limit_sec;
+    const lp::Solution solution = lp::solveMilp(model, options);
+    if (!solution.hasSolution())
+        return std::nullopt;
+
+    std::vector<MsId> chosen;
+    for (size_t m = 0; m < service_count; ++m) {
+        if (solution.values[enable[m]] > 0.5)
+            chosen.push_back(static_cast<MsId>(m));
+    }
+    return chosen;
+}
+
+} // namespace phoenix::workloads

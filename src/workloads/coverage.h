@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Request-coverage analysis (Appendix G).
+ *
+ * A call-graph template is "covered" when every microservice it touches
+ * is enabled. The paper uses a Gurobi LP to find, per application, the
+ * smallest microservice set serving a target fraction of requests
+ * (frequency-based tagging) and the coverage-vs-enabled-services curve
+ * (Fig 17c). Here the workhorse is a weighted greedy max-coverage
+ * heuristic (the classic (1-1/e) algorithm); an exact MILP variant via
+ * the in-tree solver is provided for small instances and used to
+ * validate the greedy in tests.
+ */
+
+#ifndef PHOENIX_WORKLOADS_COVERAGE_H
+#define PHOENIX_WORKLOADS_COVERAGE_H
+
+#include <optional>
+#include <vector>
+
+#include "workloads/alibaba.h"
+
+namespace phoenix::workloads {
+
+/** Fraction of request weight covered by an enabled-service set. */
+double coveredFraction(const std::vector<CallGraphTemplate> &templates,
+                       const std::vector<bool> &enabled);
+
+/**
+ * Greedy minimal service set covering at least @p target_fraction of
+ * request weight. Returns the enabled microservice ids.
+ */
+std::vector<sim::MsId>
+minServicesForCoverage(const std::vector<CallGraphTemplate> &templates,
+                       size_t service_count, double target_fraction);
+
+/** One point of the Fig 17c curve. */
+struct CoveragePoint
+{
+    size_t servicesEnabled = 0;
+    double fractionCovered = 0.0;
+};
+
+/**
+ * Coverage as a function of the number of enabled services, from the
+ * greedy template order (nested sets, so the curve is monotone).
+ */
+std::vector<CoveragePoint>
+coverageCurve(const std::vector<CallGraphTemplate> &templates,
+              size_t service_count);
+
+/**
+ * Exact smallest service set covering @p target_fraction, solved as a
+ * MILP. Returns nullopt when the instance exceeds @p max_vars or the
+ * solver hits its limits. Intended for small instances (tests,
+ * Fig 17c verification).
+ */
+std::optional<std::vector<sim::MsId>>
+exactMinServicesForCoverage(
+    const std::vector<CallGraphTemplate> &templates, size_t service_count,
+    double target_fraction, size_t max_vars = 4000,
+    double time_limit_sec = 30.0);
+
+} // namespace phoenix::workloads
+
+#endif // PHOENIX_WORKLOADS_COVERAGE_H

@@ -1,0 +1,83 @@
+#include "resources.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace phoenix::workloads {
+
+const char *
+resourceModelName(ResourceModel model)
+{
+    switch (model) {
+      case ResourceModel::CallsPerMinute: return "CPM";
+      case ResourceModel::LongTailed: return "LongTailed";
+    }
+    return "?";
+}
+
+void
+assignResources(std::vector<GeneratedApp> &apps,
+                const ResourceConfig &config)
+{
+    util::Rng rng(config.seed);
+
+    if (config.model == ResourceModel::CallsPerMinute) {
+        // Resources proportional to calls-per-minute times a
+        // per-service cost-per-call factor (an API gateway handles
+        // every request cheaply; an ML-inference backend does not), so
+        // the hottest service is not automatically the biggest
+        // container. Normalized per app against its most expensive
+        // service so each app spans the size envelope.
+        for (auto &generated : apps) {
+            util::Rng app_rng = rng.fork();
+            const auto cpm = callsPerMinute(generated);
+            std::vector<double> raw(cpm.size(), 0.0);
+            double peak = 0.0;
+            for (size_t m = 0; m < cpm.size(); ++m) {
+                const double cost_per_call =
+                    app_rng.logNormal(0.0, 1.0);
+                raw[m] = cpm[m] * cost_per_call;
+                peak = std::max(peak, raw[m]);
+            }
+            if (peak <= 0.0)
+                peak = 1.0;
+            for (auto &ms : generated.app.services) {
+                const double frac = raw[ms.id] / peak;
+                ms.cpu = std::clamp(
+                    config.minCpu +
+                        frac * (config.maxCpu - config.minCpu),
+                    config.minCpu, config.maxCpu);
+            }
+        }
+        return;
+    }
+
+    // Long-tailed (Azure Packing 2020 shape): bounded Pareto sizes.
+    for (auto &generated : apps) {
+        util::Rng app_rng = rng.fork();
+        for (auto &ms : generated.app.services) {
+            ms.cpu = app_rng.boundedPareto(config.minCpu, config.maxCpu,
+                                           config.paretoAlpha);
+        }
+    }
+}
+
+double
+scaleTotalDemand(std::vector<GeneratedApp> &apps, double target_total)
+{
+    double total = 0.0;
+    for (const auto &generated : apps)
+        total += generated.app.totalDemand();
+    if (total <= 0.0 || target_total <= 0.0)
+        return 1.0;
+    const double scale = target_total / total;
+    for (auto &generated : apps) {
+        for (auto &ms : generated.app.services)
+            ms.cpu *= scale;
+    }
+    return scale;
+}
+
+} // namespace phoenix::workloads

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The two resource-assignment models of §6.2:
+ *
+ *  (i)  CPM: microservice resources proportional to its calls-per-minute
+ *       (Luo et al. 2022's observation on the same Alibaba dataset);
+ *  (ii) LongTailed: sizes sampled from a bounded-Pareto model of the
+ *       Azure Packing 2020 trace (most containers tiny, a heavy tail
+ *       of large ones).
+ *
+ * Both models then scale every application so that total demand equals
+ * a target fraction of cluster capacity (the paper's experiments fix
+ * aggregate demand relative to the healthy cluster).
+ */
+
+#ifndef PHOENIX_WORKLOADS_RESOURCES_H
+#define PHOENIX_WORKLOADS_RESOURCES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/alibaba.h"
+
+namespace phoenix::workloads {
+
+enum class ResourceModel { CallsPerMinute, LongTailed };
+
+const char *resourceModelName(ResourceModel model);
+
+/** Parameters for resource assignment. */
+struct ResourceConfig
+{
+    ResourceModel model = ResourceModel::CallsPerMinute;
+    uint64_t seed = 7;
+    /** Minimum container size (normalized units / millicores). */
+    double minCpu = 0.1;
+    /** Maximum container size. */
+    double maxCpu = 32.0;
+    /** Pareto tail index for the long-tailed model. */
+    double paretoAlpha = 1.15;
+};
+
+/**
+ * Assign microservice CPU demands in place.
+ */
+void assignResources(std::vector<GeneratedApp> &apps,
+                     const ResourceConfig &config);
+
+/**
+ * Rescale every microservice so that total demand across @p apps equals
+ * @p target_total resources. Returns the scale factor applied.
+ */
+double scaleTotalDemand(std::vector<GeneratedApp> &apps,
+                        double target_total);
+
+} // namespace phoenix::workloads
+
+#endif // PHOENIX_WORKLOADS_RESOURCES_H

@@ -1,0 +1,128 @@
+#include "tagging.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "workloads/coverage.h"
+
+namespace phoenix::workloads {
+
+using sim::Criticality;
+using sim::MsId;
+
+std::string
+taggingName(const TaggingConfig &config)
+{
+    std::string base = config.scheme == TaggingScheme::ServiceLevel
+                           ? "Service-Level"
+                           : "Freq-Based";
+    const int pct = static_cast<int>(std::round(config.percentile * 100));
+    return base + "-P" + std::to_string(pct);
+}
+
+namespace {
+
+/** C1 set from the ServiceLevel rule: top templates by weight until the
+ * percentile is reached; union of their microservices. */
+std::set<MsId>
+serviceLevelCritical(const GeneratedApp &app, double percentile)
+{
+    std::vector<size_t> order(app.callGraphs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+        return app.callGraphs[x].weight > app.callGraphs[y].weight;
+    });
+
+    double total = 0.0;
+    for (const auto &tpl : app.callGraphs)
+        total += tpl.weight;
+
+    std::set<MsId> critical;
+    double covered = 0.0;
+    for (size_t t : order) {
+        if (total > 0.0 && covered / total >= percentile - 1e-12)
+            break;
+        covered += app.callGraphs[t].weight;
+        for (MsId m : app.callGraphs[t].services)
+            critical.insert(m);
+    }
+    return critical;
+}
+
+std::set<MsId>
+frequencyBasedCritical(const GeneratedApp &app, double percentile)
+{
+    const auto chosen = minServicesForCoverage(
+        app.callGraphs, app.app.services.size(), percentile);
+    return std::set<MsId>(chosen.begin(), chosen.end());
+}
+
+} // namespace
+
+void
+assignCriticality(std::vector<GeneratedApp> &apps,
+                  const TaggingConfig &config)
+{
+    util::Rng rng(config.seed);
+    for (auto &generated : apps) {
+        util::Rng app_rng = rng.fork();
+        auto &services = generated.app.services;
+
+        std::set<MsId> critical =
+            config.scheme == TaggingScheme::ServiceLevel
+                ? serviceLevelCritical(generated, config.percentile)
+                : frequencyBasedCritical(generated, config.percentile);
+
+        // Rare-but-critical background services.
+        for (MsId m = 0; m < services.size(); ++m) {
+            if (!critical.count(m) &&
+                app_rng.bernoulli(config.rareCriticalFraction)) {
+                critical.insert(m);
+            }
+        }
+
+        // Non-critical services bucket into C2..C<levels> by
+        // popularity: hotter services keep a lower (more critical) tag.
+        const auto cpm = callsPerMinute(generated);
+        std::vector<MsId> rest;
+        for (MsId m = 0; m < services.size(); ++m) {
+            if (!critical.count(m))
+                rest.push_back(m);
+        }
+        std::sort(rest.begin(), rest.end(), [&](MsId x, MsId y) {
+            if (cpm[x] != cpm[y])
+                return cpm[x] > cpm[y];
+            return x < y;
+        });
+
+        for (MsId m = 0; m < services.size(); ++m)
+            services[m].criticality = sim::kC1;
+        const int buckets = std::max(config.levels - 1, 1);
+        for (size_t i = 0; i < rest.size(); ++i) {
+            const int bucket = static_cast<int>(
+                i * static_cast<size_t>(buckets) /
+                std::max<size_t>(rest.size(), 1));
+            services[rest[i]].criticality = 2 + bucket;
+        }
+    }
+}
+
+std::vector<TaggingConfig>
+paperTaggingConfigs()
+{
+    std::vector<TaggingConfig> configs;
+    for (auto scheme :
+         {TaggingScheme::ServiceLevel, TaggingScheme::FrequencyBased}) {
+        for (double pct : {0.5, 0.9}) {
+            TaggingConfig config;
+            config.scheme = scheme;
+            config.percentile = pct;
+            configs.push_back(config);
+        }
+    }
+    return configs;
+}
+
+} // namespace phoenix::workloads

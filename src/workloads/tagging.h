@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The criticality tagging schemes of §6.2:
+ *
+ *  - ServiceLevel: the most frequently invoked "services" (call-graph
+ *    templates) are selected until they cover the target percentile of
+ *    requests; all their member microservices become C1.
+ *  - FrequencyBased: the (greedy-)minimal microservice set serving the
+ *    target percentile of requests becomes C1 (Appendix G coverage).
+ *
+ * Both are generated at the 50th and 90th percentile (P50/P90). All
+ * schemes additionally promote a tiny random fraction of infrequently
+ * invoked services to C1 (critical background routines such as garbage
+ * collection). Non-C1 services receive C2..C<levels> by popularity
+ * bucket.
+ */
+
+#ifndef PHOENIX_WORKLOADS_TAGGING_H
+#define PHOENIX_WORKLOADS_TAGGING_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/alibaba.h"
+
+namespace phoenix::workloads {
+
+enum class TaggingScheme { ServiceLevel, FrequencyBased };
+
+/** Parameters for criticality assignment. */
+struct TaggingConfig
+{
+    TaggingScheme scheme = TaggingScheme::ServiceLevel;
+    /** Target request percentile (0.5 for P50, 0.9 for P90). */
+    double percentile = 0.9;
+    uint64_t seed = 11;
+    /** Fraction of non-C1 services randomly promoted to C1
+     * (infrequent-but-critical background routines). */
+    double rareCriticalFraction = 0.01;
+    /** Number of criticality levels (C1..C<levels>). */
+    int levels = 5;
+};
+
+/** Human-readable scheme name, e.g. "Service-Level-P90". */
+std::string taggingName(const TaggingConfig &config);
+
+/** Assign criticality tags to every microservice of every app. */
+void assignCriticality(std::vector<GeneratedApp> &apps,
+                       const TaggingConfig &config);
+
+/** The four paper configurations (SL-P50, SL-P90, FB-P50, FB-P90). */
+std::vector<TaggingConfig> paperTaggingConfigs();
+
+} // namespace phoenix::workloads
+
+#endif // PHOENIX_WORKLOADS_TAGGING_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the chaos-testing service (§5): failure-degree sweeps,
+ * utility scoring, and detection of bad criticality tagging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/hotel.h"
+#include "apps/overleaf.h"
+#include "core/chaos.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using namespace phoenix::apps;
+
+TEST(Chaos, DefaultUtilityWeighsServedTraffic)
+{
+    std::vector<TrafficPoint> traffic;
+    traffic.push_back({"a", 10.0, 10.0, 1.0, 5.0});
+    traffic.push_back({"b", 10.0, 0.0, 0.0, -1.0});
+    // Half the offered load served at utility 1 -> 0.5.
+    EXPECT_NEAR(defaultUtility(traffic), 0.5, 1e-9);
+    EXPECT_NEAR(defaultUtility({}), 0.0, 1e-9);
+}
+
+TEST(Chaos, WellTaggedOverleafPasses)
+{
+    ServiceApp sapp = makeOverleaf(0);
+    assignCpuByTraffic(sapp, 30.0, 0.5);
+    const ChaosReport report = runChaosSuite(sapp);
+    EXPECT_TRUE(report.taggingEffective);
+    ASSERT_FALSE(report.trials.empty());
+    // Mild failures keep utility high; degradation is monotone-ish.
+    EXPECT_GT(report.trials.front().utility, 0.7);
+    for (const auto &trial : report.trials) {
+        if (trial.failureDegree <= 0.5) {
+            EXPECT_TRUE(trial.criticalGoalMet)
+                << "degree " << trial.failureDegree;
+        }
+    }
+}
+
+TEST(Chaos, WellTaggedHotelReservationPasses)
+{
+    ServiceApp sapp = makeHotelReservation(1, true);
+    assignCpuByTraffic(sapp, 30.0, 0.5);
+    const ChaosReport report = runChaosSuite(sapp);
+    EXPECT_TRUE(report.taggingEffective);
+}
+
+TEST(Chaos, MistaggedCriticalServiceIsCaught)
+{
+    // Tag the reservation service (required by the critical request)
+    // as C5: chaos must flag the tagging as ineffective.
+    ServiceApp sapp = makeHotelReservation(1, true);
+    sapp.app.services[hotel::kReservation].criticality = 5;
+    assignCpuByTraffic(sapp, 30.0, 0.5);
+
+    const ChaosReport report = runChaosSuite(sapp);
+    EXPECT_FALSE(report.taggingEffective);
+    EXPECT_FALSE(report.violations.empty());
+}
+
+TEST(Chaos, UtilityDegradesWithFailureDegree)
+{
+    ServiceApp sapp = makeOverleaf(0);
+    assignCpuByTraffic(sapp, 30.0, 0.5);
+    ChaosConfig config;
+    config.degrees = {0.0, 0.3, 0.6};
+    const ChaosReport report = runChaosSuite(sapp, config);
+    ASSERT_EQ(report.trials.size(), 3u);
+    EXPECT_GE(report.trials[0].utility,
+              report.trials[1].utility - 1e-9);
+    EXPECT_GE(report.trials[1].utility,
+              report.trials[2].utility - 1e-9);
+    // At zero failure nothing is disabled.
+    EXPECT_EQ(report.trials[0].lowestDisabledLevel, 0);
+    EXPECT_NEAR(report.trials[0].utility, 1.0, 1e-6);
+}
+
+TEST(Chaos, CustomUtilityFunction)
+{
+    ServiceApp sapp = makeOverleaf(0);
+    assignCpuByTraffic(sapp, 30.0, 0.5);
+    ChaosConfig config;
+    config.degrees = {0.4};
+    bool called = false;
+    config.utility = [&](const std::vector<TrafficPoint> &) {
+        called = true;
+        return 0.42;
+    };
+    const ChaosReport report = runChaosSuite(sapp, config);
+    EXPECT_TRUE(called);
+    EXPECT_NEAR(report.trials[0].utility, 0.42, 1e-9);
+}

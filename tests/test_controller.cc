@@ -1,0 +1,203 @@
+/**
+ * @file
+ * End-to-end tests of the Phoenix controller atop the mini-Kubernetes
+ * substrate: failure detection through missed heartbeats, criticality-
+ * aware replanning, targeted recovery of critical services within the
+ * paper's time envelope, and restoration of non-critical services when
+ * capacity returns (the Fig 6 storyline at unit-test scale).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "apps/cloudlab.h"
+#include "core/controller.h"
+#include "core/schemes.h"
+#include "kube/kube.h"
+#include "sim/metrics.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using sim::PodRef;
+
+namespace {
+
+struct Rig
+{
+    sim::EventQueue events;
+    std::unique_ptr<kube::KubeCluster> cluster;
+    std::unique_ptr<PhoenixController> controller;
+    apps::CloudLabTestbed testbed;
+
+    explicit Rig(Objective objective = Objective::Cost,
+                 size_t nodes = 10, double per_node = 8.0)
+    {
+        kube::KubeConfig config;
+        cluster = std::make_unique<kube::KubeCluster>(events, config);
+        for (size_t n = 0; n < nodes; ++n)
+            cluster->addNode(per_node);
+
+        apps::CloudLabConfig cfg;
+        cfg.nodeCount = nodes;
+        cfg.cpusPerNode = per_node;
+        testbed = apps::makeCloudLabTestbed(cfg);
+        for (const auto &sapp : testbed.serviceApps)
+            cluster->addApplication(sapp.app);
+
+        controller = std::make_unique<PhoenixController>(
+            events, *cluster,
+            std::make_unique<PhoenixScheme>(objective));
+    }
+
+    sim::ActiveSet
+    runningActiveSet() const
+    {
+        sim::ActiveSet active = sim::emptyActiveSet(cluster->apps());
+        for (const PodRef &pod : cluster->runningPods())
+            active[pod.app][pod.ms] = true;
+        return active;
+    }
+};
+
+} // namespace
+
+TEST(Controller, SteadyStateRunsEverything)
+{
+    Rig rig;
+    rig.events.runUntil(200.0);
+    EXPECT_NEAR(sim::criticalServiceAvailability(rig.cluster->apps(),
+                                                 rig.runningActiveSet()),
+                1.0, 1e-9);
+    EXPECT_EQ(rig.cluster->pendingCount(), 0u);
+}
+
+TEST(Controller, DetectsFailureWithinGracePlusPoll)
+{
+    Rig rig;
+    rig.events.runUntil(200.0);
+
+    // Stop kubelet on 4 of 10 nodes at t=200.
+    for (sim::NodeId n = 0; n < 4; ++n)
+        rig.cluster->stopKubelet(n);
+    rig.events.runUntil(400.0);
+
+    // history[0] is the initial-placement plan; the failure replan
+    // follows it.
+    ASSERT_GE(rig.controller->history().size(), 2u);
+    const auto &record = rig.controller->history().back();
+    // Detection = node grace (~100 s) + poll period (15 s) + slack.
+    EXPECT_GE(record.detectedAt, 300.0);
+    EXPECT_LE(record.detectedAt, 340.0);
+    EXPECT_LT(record.capacityAfter, record.capacityBefore);
+    EXPECT_GT(record.planSeconds, 0.0);
+    EXPECT_LT(record.planSeconds, 1.0);
+}
+
+TEST(Controller, CriticalServicesRecoverUnderFourMinutes)
+{
+    Rig rig;
+    rig.events.runUntil(200.0);
+
+    // Fail 50% of capacity (above the ~42% breaking point below
+    // which not all C1 services can fit).
+    for (sim::NodeId n = 0; n < 5; ++n)
+        rig.cluster->stopKubelet(n);
+    rig.events.runUntil(1200.0);
+
+    // All five applications retain their critical availability.
+    const double availability = sim::criticalServiceAvailability(
+        rig.cluster->apps(), rig.runningActiveSet());
+    EXPECT_NEAR(availability, 1.0, 1e-9);
+
+    // Recovery time from detection to target state under 4 minutes.
+    ASSERT_GE(rig.controller->history().size(), 2u);
+    const auto &record = rig.controller->history().back();
+    ASSERT_GT(record.recoveredAt, 0.0);
+    EXPECT_LE(record.recoveredAt - record.detectedAt, 240.0);
+    EXPECT_GT(record.deletes + record.migrations + record.restarts, 0u);
+}
+
+TEST(Controller, NonCriticalServicesReturnAfterRecovery)
+{
+    Rig rig;
+    rig.events.runUntil(200.0);
+    const size_t full_count = rig.cluster->runningPods().size();
+
+    for (sim::NodeId n = 0; n < 5; ++n)
+        rig.cluster->stopKubelet(n);
+    rig.events.runUntil(1000.0);
+    const size_t degraded_count = rig.cluster->runningPods().size();
+    EXPECT_LT(degraded_count, full_count);
+
+    // Nodes come back (the paper restarts kubelet after 10 minutes).
+    for (sim::NodeId n = 0; n < 5; ++n)
+        rig.cluster->startKubelet(n);
+    rig.events.runUntil(1600.0);
+    EXPECT_EQ(rig.cluster->runningPods().size(), full_count);
+    // A second replan (capacity increase) must have fired.
+    EXPECT_GE(rig.controller->history().size(), 2u);
+}
+
+TEST(Controller, DefaultBaselineCannotProtectCriticalServices)
+{
+    // Same failure, no Phoenix: pods stay pending until nodes return.
+    sim::EventQueue events;
+    kube::KubeCluster cluster(events);
+    for (size_t n = 0; n < 10; ++n)
+        cluster.addNode(8.0);
+    apps::CloudLabConfig cfg;
+    cfg.nodeCount = 10;
+    cfg.cpusPerNode = 8.0;
+    const auto testbed = apps::makeCloudLabTestbed(cfg);
+    for (const auto &sapp : testbed.serviceApps)
+        cluster.addApplication(sapp.app);
+    events.runUntil(200.0);
+
+    for (sim::NodeId n = 0; n < 6; ++n)
+        cluster.stopKubelet(n);
+    events.runUntil(1200.0);
+
+    sim::ActiveSet active = sim::emptyActiveSet(cluster.apps());
+    for (const PodRef &pod : cluster.runningPods())
+        active[pod.app][pod.ms] = true;
+    const double availability =
+        sim::criticalServiceAvailability(cluster.apps(), active);
+    // Default satisfies only a strict subset of the apps (2/5 in the
+    // paper's run).
+    EXPECT_LT(availability, 1.0);
+    EXPECT_GT(cluster.pendingCount(), 0u);
+}
+
+TEST(Controller, PhoenixBeatsDefaultDuringFailure)
+{
+    Rig rig;
+    rig.events.runUntil(200.0);
+    for (sim::NodeId n = 0; n < 5; ++n)
+        rig.cluster->stopKubelet(n);
+    rig.events.runUntil(1200.0);
+    const double phoenix_avail = sim::criticalServiceAvailability(
+        rig.cluster->apps(), rig.runningActiveSet());
+
+    sim::EventQueue events;
+    kube::KubeCluster def(events);
+    for (size_t n = 0; n < 10; ++n)
+        def.addNode(8.0);
+    apps::CloudLabConfig cfg;
+    cfg.nodeCount = 10;
+    cfg.cpusPerNode = 8.0;
+    for (const auto &sapp : apps::makeCloudLabTestbed(cfg).serviceApps)
+        def.addApplication(sapp.app);
+    events.runUntil(200.0);
+    for (sim::NodeId n = 0; n < 5; ++n)
+        def.stopKubelet(n);
+    events.runUntil(1200.0);
+    sim::ActiveSet active = sim::emptyActiveSet(def.apps());
+    for (const PodRef &pod : def.runningPods())
+        active[pod.app][pod.ms] = true;
+    const double default_avail =
+        sim::criticalServiceAvailability(def.apps(), active);
+
+    EXPECT_GT(phoenix_avail, default_avail);
+}

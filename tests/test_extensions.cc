@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Tests for the extension features: the K8s PriorityClass preemption
+ * baseline, the sampling load generator, and the weighted-fair
+ * operator objective.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/loadgen.h"
+#include "apps/overleaf.h"
+#include "core/planner.h"
+#include "core/preemption.h"
+#include "sim/metrics.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using sim::Application;
+using sim::ClusterState;
+using sim::MsId;
+using sim::PodRef;
+
+namespace {
+
+Application
+makeApp(sim::AppId id, const std::vector<int> &tags,
+        const std::vector<double> &cpus)
+{
+    Application app;
+    app.id = id;
+    app.services.resize(tags.size());
+    for (MsId m = 0; m < tags.size(); ++m) {
+        app.services[m].id = m;
+        app.services[m].criticality = tags[m];
+        app.services[m].cpu = cpus[m];
+    }
+    return app;
+}
+
+} // namespace
+
+TEST(Preemption, HighPriorityPreemptsLowPriority)
+{
+    // A C5 pod occupies the only node; a pending C1 pod must preempt
+    // it.
+    auto apps = std::vector<Application>{makeApp(0, {1, 5}, {3, 3})};
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.place(PodRef{0, 1}, 0, 3.0); // the C5 squatter
+
+    KubePreemptionScheme scheme;
+    const SchemeResult result = scheme.apply(apps, cluster);
+    const auto active = result.activeSet(apps);
+    EXPECT_TRUE(active[0][0]);
+    EXPECT_FALSE(active[0][1]);
+    // Exactly one Delete (the victim) and one Restart.
+    size_t deletes = 0;
+    for (const auto &action : result.pack.actions)
+        deletes += action.kind == ActionKind::Delete;
+    EXPECT_EQ(deletes, 1u);
+}
+
+TEST(Preemption, NeverPreemptsEqualOrHigherPriority)
+{
+    // Node full of C1 pods; pending C1 pod cannot preempt peers.
+    auto apps = std::vector<Application>{makeApp(0, {1, 1}, {4, 4})};
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.place(PodRef{0, 0}, 0, 4.0);
+
+    KubePreemptionScheme scheme;
+    const SchemeResult result = scheme.apply(apps, cluster);
+    EXPECT_TRUE(result.pack.state.isActive(PodRef{0, 0}));
+    EXPECT_FALSE(result.pack.state.isActive(PodRef{0, 1}));
+    EXPECT_FALSE(result.pack.complete);
+}
+
+TEST(Preemption, MinimizesVictimCount)
+{
+    // Node 0 holds one 4-unit C5; node 1 holds four 1-unit C5s. The
+    // pending 4-unit C1 should evict the single big victim, not four
+    // small ones.
+    auto apps = std::vector<Application>{
+        makeApp(0, {1, 5, 5, 5, 5, 5}, {4, 4, 1, 1, 1, 1})};
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.addNode(4.0);
+    cluster.place(PodRef{0, 1}, 0, 4.0);
+    for (MsId m = 2; m < 6; ++m)
+        cluster.place(PodRef{0, m}, 1, 1.0);
+
+    KubePreemptionScheme scheme;
+    const SchemeResult result = scheme.apply(apps, cluster);
+    EXPECT_TRUE(result.pack.state.isActive(PodRef{0, 0}));
+    EXPECT_FALSE(result.pack.state.isActive(PodRef{0, 1}));
+    for (MsId m = 2; m < 6; ++m)
+        EXPECT_TRUE(result.pack.state.isActive(PodRef{0, m}));
+}
+
+TEST(Preemption, NoCrossAppCoordination)
+{
+    // Both apps all-C1; preemption cannot make room, so whichever
+    // sorts first wins — no fair split, the paper's §2 critique.
+    auto apps = std::vector<Application>{
+        makeApp(0, {1, 1}, {3, 3}), makeApp(1, {1, 1}, {3, 3})};
+    ClusterState cluster;
+    cluster.addNode(6.0);
+
+    KubePreemptionScheme scheme;
+    const auto usage = sim::perAppUsage(
+        apps, scheme.apply(apps, cluster).activeSet(apps));
+    EXPECT_NEAR(usage[0], 6.0, 1e-9);
+    EXPECT_NEAR(usage[1], 0.0, 1e-9);
+}
+
+TEST(Preemption, WorseCriticalAvailabilityThanPhoenixUnderCrunch)
+{
+    // Mixed criticalities across two apps with capacity for half: the
+    // coordinated Phoenix plan protects both apps' C1; preemption
+    // (spread + node-local victims, no deletions of running C5s unless
+    // something preempts them) strands capacity on non-critical pods.
+    auto apps = std::vector<Application>{
+        makeApp(0, {1, 3, 5, 5}, {2, 2, 2, 2}),
+        makeApp(1, {1, 3, 5, 5}, {2, 2, 2, 2})};
+    ClusterState cluster;
+    for (int n = 0; n < 4; ++n)
+        cluster.addNode(4.0);
+    // Everything running, then half the nodes fail.
+    PhoenixScheme bootstrap(Objective::Fair);
+    ClusterState placed = bootstrap.apply(apps, cluster).pack.state;
+    placed.failNode(0);
+    placed.failNode(1);
+
+    KubePreemptionScheme preemption;
+    PhoenixScheme phoenix(Objective::Fair);
+    const double preemption_avail = sim::criticalServiceAvailability(
+        apps, preemption.apply(apps, placed).activeSet(apps));
+    const double phoenix_avail = sim::criticalServiceAvailability(
+        apps, phoenix.apply(apps, placed).activeSet(apps));
+    EXPECT_GE(phoenix_avail, preemption_avail);
+    EXPECT_NEAR(phoenix_avail, 1.0, 1e-9);
+}
+
+TEST(LoadGen, ServedCountsMatchOfferedWhenHealthy)
+{
+    const apps::ServiceApp sapp = apps::makeOverleaf(0);
+    std::set<MsId> running;
+    for (const auto &ms : sapp.app.services)
+        running.insert(ms.id);
+
+    apps::LoadGenConfig config;
+    config.durationSec = 30.0;
+    const auto stats = apps::runLoad(sapp, running, config);
+    ASSERT_EQ(stats.size(), sapp.requests.size());
+    for (size_t i = 0; i < stats.size(); ++i) {
+        // Poisson mean = rate * duration; all offered are served.
+        const double mean =
+            sapp.requests[i].offeredRps * config.durationSec;
+        EXPECT_NEAR(static_cast<double>(stats[i].offered), mean,
+                    5.0 * std::sqrt(mean) + 5.0);
+        EXPECT_EQ(stats[i].served, stats[i].offered);
+        EXPECT_NEAR(stats[i].meanUtility, 1.0, 1e-9);
+        EXPECT_GT(stats[i].p95Ms, 0.0);
+        EXPECT_GE(stats[i].p99Ms, stats[i].p95Ms);
+        EXPECT_GE(stats[i].p95Ms, stats[i].p50Ms);
+    }
+}
+
+TEST(LoadGen, SampledP95TracksClosedFormModel)
+{
+    const apps::ServiceApp sapp = apps::makeOverleaf(0);
+    std::set<MsId> running;
+    for (const auto &ms : sapp.app.services)
+        running.insert(ms.id);
+
+    apps::LoadGenConfig config;
+    config.durationSec = 120.0;
+    const auto stats = apps::runLoad(sapp, running, config);
+    const auto closed = apps::evaluateTraffic(sapp, running, 0.5);
+    for (const auto &measured : stats) {
+        for (const auto &model : closed) {
+            if (model.request != measured.request)
+                continue;
+            // Sum-of-lognormals P95 is below the sum of P95s;
+            // within 25% is the expected band.
+            EXPECT_LT(measured.p95Ms, model.p95Ms * 1.05)
+                << measured.request;
+            EXPECT_GT(measured.p95Ms, model.p95Ms * 0.55)
+                << measured.request;
+        }
+    }
+}
+
+TEST(LoadGen, PrunedServicesServeNothing)
+{
+    const apps::ServiceApp sapp = apps::makeOverleaf(0);
+    std::set<MsId> running;
+    for (const auto &ms : sapp.app.services) {
+        if (ms.criticality == 1)
+            running.insert(ms.id);
+    }
+    const auto stats = apps::runLoad(sapp, running, {});
+    for (const auto &s : stats) {
+        if (s.request == "edits") {
+            EXPECT_GT(s.served, 0u);
+        } else if (s.request == "spell_check" ||
+                   s.request == "compile" || s.request == "chat") {
+            EXPECT_EQ(s.served, 0u);
+            EXPECT_LT(s.p95Ms, 0.0);
+        }
+    }
+}
+
+TEST(LoadGen, Deterministic)
+{
+    const apps::ServiceApp sapp = apps::makeOverleaf(0);
+    std::set<MsId> running;
+    for (const auto &ms : sapp.app.services)
+        running.insert(ms.id);
+    const auto a = apps::runLoad(sapp, running, {});
+    const auto b = apps::runLoad(sapp, running, {});
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].offered, b[i].offered);
+        EXPECT_NEAR(a[i].p95Ms, b[i].p95Ms, 1e-9);
+    }
+}
+
+TEST(WeightedFair, WeightsSkewShares)
+{
+    // Two identical apps; app 0 weighted 3x. Capacity for half the
+    // demand: app 0 should get ~3x the allocation.
+    auto apps = std::vector<Application>{
+        makeApp(0, {1, 1, 1, 1}, {2, 2, 2, 2}),
+        makeApp(1, {1, 1, 1, 1}, {2, 2, 2, 2})};
+    Planner planner;
+    WeightedFairObjective objective({3.0, 1.0});
+    const GlobalRank rank = planner.plan(apps, objective, 8.0);
+    double usage0 = 0.0;
+    double usage1 = 0.0;
+    for (const auto &pod : rank) {
+        if (pod.app == 0)
+            usage0 += 2.0;
+        else
+            usage1 += 2.0;
+    }
+    EXPECT_NEAR(usage0, 6.0, 1e-9);
+    EXPECT_NEAR(usage1, 2.0, 1e-9);
+}
+
+TEST(WeightedFair, UnitWeightsMatchPlainFair)
+{
+    auto apps = std::vector<Application>{
+        makeApp(0, {1, 1}, {2, 2}), makeApp(1, {1, 1}, {2, 2})};
+    Planner planner;
+    WeightedFairObjective weighted({1.0, 1.0});
+    FairObjective plain;
+    const GlobalRank a = planner.plan(apps, weighted, 4.0);
+    const GlobalRank b = planner.plan(apps, plain, 4.0);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}

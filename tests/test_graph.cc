@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the directed-graph substrate (graph/digraph.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+using namespace phoenix::graph;
+
+TEST(DiGraph, BasicConstruction)
+{
+    DiGraph g(3);
+    EXPECT_EQ(g.nodeCount(), 3u);
+    EXPECT_EQ(g.edgeCount(), 0u);
+    EXPECT_TRUE(g.addEdge(0, 1));
+    EXPECT_TRUE(g.addEdge(1, 2));
+    EXPECT_EQ(g.edgeCount(), 2u);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_FALSE(g.hasEdge(1, 0));
+    EXPECT_EQ(g.outDegree(0), 1u);
+    EXPECT_EQ(g.inDegree(2), 1u);
+}
+
+TEST(DiGraph, RejectsBadEdges)
+{
+    DiGraph g(3);
+    EXPECT_FALSE(g.addEdge(0, 0)); // self loop
+    EXPECT_FALSE(g.addEdge(0, 5)); // out of range
+    EXPECT_TRUE(g.addEdge(0, 1));
+    EXPECT_FALSE(g.addEdge(0, 1)); // duplicate
+    EXPECT_EQ(g.edgeCount(), 1u);
+}
+
+TEST(DiGraph, AddNodeGrows)
+{
+    DiGraph g;
+    EXPECT_EQ(g.addNode(), 0u);
+    EXPECT_EQ(g.addNode(), 1u);
+    g.ensureNodes(5);
+    EXPECT_EQ(g.nodeCount(), 5u);
+    g.ensureNodes(2); // no shrink
+    EXPECT_EQ(g.nodeCount(), 5u);
+}
+
+TEST(DiGraph, SourcesAndSinks)
+{
+    DiGraph g(4);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    EXPECT_EQ(g.sources(), (std::vector<NodeId>{0}));
+    EXPECT_EQ(g.sinks(), (std::vector<NodeId>{3}));
+}
+
+TEST(DiGraph, TopologicalOrderOnDag)
+{
+    DiGraph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(0, 2);
+    g.addEdge(1, 3);
+    g.addEdge(2, 3);
+    g.addEdge(3, 4);
+    const auto order = g.topologicalOrder();
+    ASSERT_TRUE(order.has_value());
+    std::vector<size_t> pos(5);
+    for (size_t i = 0; i < order->size(); ++i)
+        pos[(*order)[i]] = i;
+    EXPECT_LT(pos[0], pos[1]);
+    EXPECT_LT(pos[1], pos[3]);
+    EXPECT_LT(pos[2], pos[3]);
+    EXPECT_LT(pos[3], pos[4]);
+}
+
+TEST(DiGraph, CycleDetection)
+{
+    DiGraph g(3);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 0);
+    EXPECT_FALSE(g.topologicalOrder().has_value());
+    EXPECT_FALSE(g.isAcyclic());
+}
+
+TEST(DiGraph, Reachability)
+{
+    DiGraph g(6);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(3, 4);
+    const auto reach = g.reachableFrom(NodeId{0});
+    const std::set<NodeId> set(reach.begin(), reach.end());
+    EXPECT_EQ(set, (std::set<NodeId>{0, 1, 2}));
+
+    const auto multi = g.reachableFrom(std::vector<NodeId>{0, 3});
+    EXPECT_EQ(multi.size(), 5u); // 0,1,2,3,4 (5 isolated)
+}
+
+TEST(DiGraph, Subgraph)
+{
+    DiGraph g(5);
+    g.addEdge(0, 1);
+    g.addEdge(1, 2);
+    g.addEdge(2, 3);
+    g.addEdge(3, 4);
+    std::vector<NodeId> map;
+    const DiGraph sub = g.subgraph({1, 2, 3}, &map);
+    EXPECT_EQ(sub.nodeCount(), 3u);
+    EXPECT_EQ(sub.edgeCount(), 2u);
+    EXPECT_EQ(map[0], DiGraph::kInvalidNode);
+    EXPECT_TRUE(sub.hasEdge(map[1], map[2]));
+    EXPECT_TRUE(sub.hasEdge(map[2], map[3]));
+}
+
+TEST(DiGraph, SingleUpstreamFraction)
+{
+    DiGraph g(4);
+    g.addEdge(0, 1); // 1: single upstream
+    g.addEdge(0, 2);
+    g.addEdge(1, 2); // 2: two upstreams
+    g.addEdge(0, 3); // 3: single upstream
+    EXPECT_NEAR(g.singleUpstreamFraction(), 2.0 / 3.0, 1e-9);
+
+    DiGraph empty(3);
+    EXPECT_NEAR(empty.singleUpstreamFraction(), 0.0, 1e-9);
+}
+
+TEST(DiGraph, RandomDagsAreAcyclicAndTopoConsistent)
+{
+    phoenix::util::Rng rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = static_cast<int>(rng.uniformInt(2, 60));
+        DiGraph g(n);
+        for (int v = 1; v < n; ++v) {
+            const int parents = static_cast<int>(rng.uniformInt(1, 3));
+            for (int p = 0; p < parents; ++p) {
+                g.addEdge(static_cast<NodeId>(rng.uniformInt(0, v - 1)),
+                          static_cast<NodeId>(v));
+            }
+        }
+        const auto order = g.topologicalOrder();
+        ASSERT_TRUE(order.has_value());
+        EXPECT_EQ(order->size(), static_cast<size_t>(n));
+        // Every edge goes forward in the order.
+        std::vector<size_t> pos(n);
+        for (size_t i = 0; i < order->size(); ++i)
+            pos[(*order)[i]] = i;
+        for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+            for (NodeId v : g.successors(u))
+                EXPECT_LT(pos[u], pos[v]);
+        }
+    }
+}

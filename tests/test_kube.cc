@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the mini-Kubernetes substrate: pod lifecycle, default
+ * scheduler behaviour, kubelet-failure detection via missed heartbeats,
+ * and the agent verbs (delete / migrate / restart).
+ */
+
+#include <gtest/gtest.h>
+
+#include "kube/kube.h"
+
+using namespace phoenix;
+using namespace phoenix::kube;
+using sim::PodRef;
+
+namespace {
+
+sim::Application
+simpleApp(size_t services, double cpu)
+{
+    sim::Application app;
+    app.name = "app";
+    app.services.resize(services);
+    for (sim::MsId m = 0; m < services; ++m) {
+        app.services[m].id = m;
+        app.services[m].cpu = cpu;
+        app.services[m].criticality = 1;
+    }
+    return app;
+}
+
+} // namespace
+
+TEST(Kube, PodsScheduleAndStart)
+{
+    sim::EventQueue events;
+    KubeCluster cluster(events);
+    cluster.addNode(8.0);
+    cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(3, 2.0));
+
+    events.runUntil(5.0);
+    // Scheduler has bound the pods; they are Starting, not Running.
+    EXPECT_EQ(cluster.runningPods().size(), 0u);
+    events.runUntil(120.0);
+    EXPECT_EQ(cluster.runningPods().size(), 3u);
+    EXPECT_EQ(cluster.pendingCount(), 0u);
+}
+
+TEST(Kube, SpreadPlacementBalancesNodes)
+{
+    sim::EventQueue events;
+    KubeCluster cluster(events);
+    cluster.addNode(8.0);
+    cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(4, 2.0));
+    events.runUntil(120.0);
+
+    const auto state = cluster.observedState();
+    EXPECT_NEAR(state.used(0), 4.0, 1e-9);
+    EXPECT_NEAR(state.used(1), 4.0, 1e-9);
+}
+
+TEST(Kube, OverCommittedPodsStayPending)
+{
+    sim::EventQueue events;
+    KubeCluster cluster(events);
+    cluster.addNode(4.0);
+    cluster.addApplication(simpleApp(3, 2.0));
+    events.runUntil(120.0);
+    EXPECT_EQ(cluster.runningPods().size(), 2u);
+    EXPECT_EQ(cluster.pendingCount(), 1u);
+}
+
+TEST(Kube, KubeletStopTriggersNotReadyAfterGrace)
+{
+    sim::EventQueue events;
+    KubeConfig config;
+    config.nodeGracePeriod = 100.0;
+    KubeCluster cluster(events, config);
+    const auto n0 = cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(2, 2.0));
+    events.runUntil(120.0);
+    ASSERT_EQ(cluster.runningPods().size(), 2u);
+
+    cluster.stopKubelet(n0);
+    const double t_stop = events.now();
+    events.runUntil(t_stop + 50.0);
+    EXPECT_TRUE(cluster.isReady(n0)); // within grace
+
+    events.runUntil(t_stop + 130.0);
+    EXPECT_FALSE(cluster.isReady(n0));
+    EXPECT_NEAR(cluster.readyCapacity(), 0.0, 1e-9);
+    // Pods evicted back to Pending, nowhere to go.
+    EXPECT_EQ(cluster.runningPods().size(), 0u);
+    EXPECT_EQ(cluster.pendingCount(), 2u);
+}
+
+TEST(Kube, KubeletRestartRecoversNodeAndPods)
+{
+    sim::EventQueue events;
+    KubeCluster cluster(events);
+    const auto n0 = cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(2, 2.0));
+    events.runUntil(120.0);
+
+    cluster.stopKubelet(n0);
+    events.runUntil(events.now() + 150.0);
+    ASSERT_FALSE(cluster.isReady(n0));
+
+    cluster.startKubelet(n0);
+    events.runUntil(events.now() + 30.0);
+    EXPECT_TRUE(cluster.isReady(n0));
+    // Default scheduler re-places and pods restart.
+    events.runUntil(events.now() + 120.0);
+    EXPECT_EQ(cluster.runningPods().size(), 2u);
+}
+
+TEST(Kube, DeleteDrainsGracefully)
+{
+    sim::EventQueue events;
+    KubeConfig config;
+    config.podTerminationSeconds = 10.0;
+    KubeCluster cluster(events, config);
+    cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(2, 2.0));
+    events.runUntil(120.0);
+
+    const PodRef ref{0, 1};
+    cluster.deletePod(ref);
+    EXPECT_EQ(cluster.pod(ref)->phase, PodPhase::Terminating);
+    // Still occupying capacity during drain.
+    EXPECT_NEAR(cluster.observedState().used(0), 4.0, 1e-9);
+
+    events.runUntil(events.now() + 15.0);
+    EXPECT_NE(cluster.pod(ref)->phase, PodPhase::Terminating);
+    EXPECT_NEAR(cluster.observedState().used(0), 2.0, 1e-9);
+    // Scaled down: the scheduler must not bring it back.
+    events.runUntil(events.now() + 60.0);
+    EXPECT_EQ(cluster.runningPods().count(ref), 0u);
+}
+
+TEST(Kube, StartPodAfterDeleteRevives)
+{
+    sim::EventQueue events;
+    KubeCluster cluster(events);
+    cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(1, 2.0));
+    events.runUntil(120.0);
+
+    cluster.deletePod(PodRef{0, 0});
+    events.runUntil(events.now() + 30.0);
+    ASSERT_EQ(cluster.runningPods().size(), 0u);
+
+    cluster.startPod(PodRef{0, 0});
+    events.runUntil(events.now() + 120.0);
+    EXPECT_EQ(cluster.runningPods().size(), 1u);
+}
+
+TEST(Kube, PinnedPlacementHonoursTarget)
+{
+    sim::EventQueue events;
+    KubeConfig config;
+    config.enableDefaultScheduler = false; // only pinned placement
+    KubeCluster cluster(events, config);
+    cluster.addNode(8.0);
+    const auto n1 = cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(1, 2.0));
+    events.runUntil(60.0);
+    EXPECT_EQ(cluster.runningPods().size(), 0u); // nothing schedules
+
+    cluster.startPod(PodRef{0, 0}, n1);
+    events.runUntil(events.now() + 120.0);
+    ASSERT_EQ(cluster.runningPods().size(), 1u);
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->node, n1);
+}
+
+TEST(Kube, MigrationMovesRunningPodWithoutDowntime)
+{
+    sim::EventQueue events;
+    KubeCluster cluster(events);
+    cluster.addNode(8.0);
+    const auto n1 = cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(1, 2.0));
+    events.runUntil(120.0);
+    const auto from = cluster.pod(PodRef{0, 0})->node;
+
+    cluster.migratePod(PodRef{0, 0}, from == n1 ? 0 : n1);
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->phase, PodPhase::Running);
+    EXPECT_NE(cluster.pod(PodRef{0, 0})->node, from);
+}
+
+TEST(Kube, ObservedStateReflectsFailuresAndPlacement)
+{
+    sim::EventQueue events;
+    KubeCluster cluster(events);
+    const auto n0 = cluster.addNode(8.0);
+    cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(2, 3.0));
+    events.runUntil(120.0);
+
+    cluster.stopKubelet(n0);
+    events.runUntil(events.now() + 150.0);
+
+    const auto state = cluster.observedState();
+    EXPECT_FALSE(state.isHealthy(n0));
+    EXPECT_TRUE(state.isHealthy(1));
+    EXPECT_NEAR(state.healthyCapacity(), 8.0, 1e-9);
+    for (const auto &[pod, node] : state.assignment()) {
+        (void)pod;
+        EXPECT_EQ(node, 1u);
+    }
+}

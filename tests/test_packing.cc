@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Tests for the Phoenix packing scheduler (Algorithm 2): best-fit,
+ * repacking/migration, deletion of lower-ranked containers, and the
+ * capacity/consistency invariants of the produced plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/packing.h"
+#include "core/planner.h"
+#include "util/rng.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using sim::Application;
+using sim::ClusterState;
+using sim::MsId;
+using sim::NodeId;
+using sim::PodRef;
+
+namespace {
+
+Application
+makeApp(sim::AppId id, const std::vector<double> &cpus)
+{
+    Application app;
+    app.id = id;
+    app.services.resize(cpus.size());
+    for (MsId m = 0; m < cpus.size(); ++m) {
+        app.services[m].id = m;
+        app.services[m].cpu = cpus[m];
+        app.services[m].criticality = 1;
+    }
+    return app;
+}
+
+/** Validate plan/state consistency: capacities honoured, actions sane. */
+void
+checkInvariants(const std::vector<Application> &apps,
+                const ClusterState &before, const PackResult &result)
+{
+    (void)apps;
+    // No node over capacity; placements only on healthy nodes.
+    for (size_t n = 0; n < result.state.nodeCount(); ++n) {
+        const auto id = static_cast<NodeId>(n);
+        EXPECT_LE(result.state.used(id),
+                  result.state.node(id).capacity + 1e-6);
+        if (!result.state.isHealthy(id)) {
+            EXPECT_TRUE(result.state.podsOn(id).empty());
+        }
+    }
+    // Replaying the action log on `before` reproduces the final state.
+    ClusterState replay = before;
+    for (const Action &action : result.actions) {
+        switch (action.kind) {
+          case ActionKind::Delete:
+            EXPECT_TRUE(replay.evict(action.pod));
+            break;
+          case ActionKind::Migrate: {
+            const double cpu = replay.podCpu(action.pod);
+            EXPECT_TRUE(replay.evict(action.pod));
+            EXPECT_TRUE(replay.place(action.pod, action.to, cpu));
+            break;
+          }
+          case ActionKind::Restart:
+            EXPECT_TRUE(replay.place(
+                action.pod, action.to,
+                apps[action.pod.app].services[action.pod.ms].totalCpu()));
+            break;
+        }
+    }
+    EXPECT_EQ(replay.assignment(), result.state.assignment());
+}
+
+} // namespace
+
+TEST(Packing, BestFitPrefersTightestNode)
+{
+    auto apps = std::vector<Application>{makeApp(0, {3.0})};
+    ClusterState cluster;
+    cluster.addNode(10.0);
+    cluster.addNode(4.0); // tightest node that fits
+    cluster.addNode(8.0);
+
+    PackingScheduler packer;
+    const GlobalRank ranked{PodRef{0, 0}};
+    const PackResult result = packer.pack(apps, cluster, ranked);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.state.nodeOf(PodRef{0, 0}), NodeId{1});
+    checkInvariants(apps, cluster, result);
+}
+
+TEST(Packing, KeepsAlreadyRunningContainers)
+{
+    auto apps = std::vector<Application>{makeApp(0, {3.0, 2.0})};
+    ClusterState cluster;
+    cluster.addNode(10.0);
+    cluster.place(PodRef{0, 0}, 0, 3.0);
+
+    PackingScheduler packer;
+    const GlobalRank ranked{PodRef{0, 0}, PodRef{0, 1}};
+    const PackResult result = packer.pack(apps, cluster, ranked);
+    ASSERT_TRUE(result.complete);
+    EXPECT_EQ(result.placed, 2u);
+    EXPECT_EQ(result.state.nodeOf(PodRef{0, 0}), NodeId{0});
+    // No action should touch the already-running pod.
+    for (const Action &action : result.actions)
+        EXPECT_FALSE(action.pod == (PodRef{0, 0}));
+    checkInvariants(apps, cluster, result);
+}
+
+TEST(Packing, MigrationFreesFragmentedCapacity)
+{
+    // Node 0 (cap 6) holds pods 2+2; node 1 (cap 7) holds a 3.
+    // Incoming container of size 5 fits nowhere by best-fit (free
+    // space is 2 and 4) but fits on node 0 after migrating its two
+    // 2-unit pods onto node 1.
+    auto apps = std::vector<Application>{makeApp(0, {2.0, 2.0, 3.0, 5.0})};
+    ClusterState cluster;
+    cluster.addNode(6.0);
+    cluster.addNode(7.0);
+    cluster.place(PodRef{0, 0}, 0, 2.0);
+    cluster.place(PodRef{0, 1}, 0, 2.0);
+    cluster.place(PodRef{0, 2}, 1, 3.0);
+
+    PackingScheduler packer;
+    const GlobalRank ranked{PodRef{0, 3}};
+    const PackResult result = packer.pack(apps, cluster, ranked);
+    ASSERT_TRUE(result.complete);
+    EXPECT_TRUE(result.state.isActive(PodRef{0, 3}));
+    // All previously running pods must still be active (migrated, not
+    // deleted).
+    EXPECT_TRUE(result.state.isActive(PodRef{0, 0}));
+    EXPECT_TRUE(result.state.isActive(PodRef{0, 1}));
+    EXPECT_TRUE(result.state.isActive(PodRef{0, 2}));
+    bool saw_migration = false;
+    for (const Action &action : result.actions)
+        saw_migration |= action.kind == ActionKind::Migrate;
+    EXPECT_TRUE(saw_migration);
+    checkInvariants(apps, cluster, result);
+}
+
+TEST(Packing, MigrationDisabledFallsBackToDeletion)
+{
+    auto apps = std::vector<Application>{makeApp(0, {2.0, 2.0, 3.0, 5.0})};
+    ClusterState cluster;
+    cluster.addNode(6.0);
+    cluster.addNode(6.0);
+    cluster.place(PodRef{0, 0}, 0, 2.0);
+    cluster.place(PodRef{0, 1}, 0, 2.0);
+    cluster.place(PodRef{0, 2}, 1, 3.0);
+
+    PackingOptions options;
+    options.allowMigrations = false;
+    PackingScheduler packer(options);
+    // Rank the incoming pod above the small ones so deletion targets
+    // the unranked/lower-ranked pods.
+    const GlobalRank ranked{PodRef{0, 3}, PodRef{0, 0}, PodRef{0, 1},
+                            PodRef{0, 2}};
+    const PackResult result = packer.pack(apps, cluster, ranked);
+    EXPECT_TRUE(result.state.isActive(PodRef{0, 3}));
+    bool saw_delete = false;
+    for (const Action &action : result.actions)
+        saw_delete |= action.kind == ActionKind::Delete;
+    EXPECT_TRUE(saw_delete);
+    checkInvariants(apps, cluster, result);
+}
+
+TEST(Packing, DeletesLowestRankedFirst)
+{
+    // Node of size 10 holds ranked pods A(4, rank1), B(4, rank2) and
+    // unranked U(2). Incoming I(4, rank0) must evict U then B, not A.
+    auto apps = std::vector<Application>{
+        makeApp(0, {4.0, 4.0, 2.0, 4.0})};
+    ClusterState cluster;
+    cluster.addNode(10.0);
+    cluster.place(PodRef{0, 0}, 0, 4.0); // A
+    cluster.place(PodRef{0, 1}, 0, 4.0); // B
+    cluster.place(PodRef{0, 2}, 0, 2.0); // U (unranked)
+
+    PackingScheduler packer;
+    const GlobalRank ranked{PodRef{0, 3}, PodRef{0, 0}, PodRef{0, 1}};
+    const PackResult result = packer.pack(apps, cluster, ranked);
+    EXPECT_TRUE(result.state.isActive(PodRef{0, 3}));
+    EXPECT_TRUE(result.state.isActive(PodRef{0, 0}));
+    EXPECT_FALSE(result.state.isActive(PodRef{0, 2})); // U deleted first
+    EXPECT_FALSE(result.state.isActive(PodRef{0, 1})); // then B
+    checkInvariants(apps, cluster, result);
+}
+
+TEST(Packing, NeverDeletesHigherRankedForLower)
+{
+    // Capacity for one pod only; rank order must win.
+    auto apps = std::vector<Application>{makeApp(0, {4.0, 4.0})};
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.place(PodRef{0, 0}, 0, 4.0);
+
+    PackingScheduler packer;
+    const GlobalRank ranked{PodRef{0, 0}, PodRef{0, 1}};
+    const PackResult result = packer.pack(apps, cluster, ranked);
+    EXPECT_TRUE(result.state.isActive(PodRef{0, 0}));
+    EXPECT_FALSE(result.state.isActive(PodRef{0, 1}));
+    EXPECT_FALSE(result.complete);
+    checkInvariants(apps, cluster, result);
+}
+
+TEST(Packing, IncompleteWhenTrulyOverCapacity)
+{
+    auto apps = std::vector<Application>{makeApp(0, {4.0, 4.0, 4.0})};
+    ClusterState cluster;
+    cluster.addNode(9.0);
+
+    PackingScheduler packer;
+    const GlobalRank ranked{PodRef{0, 0}, PodRef{0, 1}, PodRef{0, 2}};
+    const PackResult result = packer.pack(apps, cluster, ranked);
+    EXPECT_FALSE(result.complete);
+    EXPECT_EQ(result.placed, 2u);
+    checkInvariants(apps, cluster, result);
+}
+
+TEST(Packing, EmptyRankIsNoop)
+{
+    auto apps = std::vector<Application>{makeApp(0, {1.0})};
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.place(PodRef{0, 0}, 0, 1.0);
+
+    PackingScheduler packer;
+    const PackResult result = packer.pack(apps, cluster, {});
+    EXPECT_TRUE(result.complete);
+    EXPECT_TRUE(result.actions.empty());
+    EXPECT_TRUE(result.state.isActive(PodRef{0, 0}));
+}
+
+class PackingRandomized : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PackingRandomized, InvariantsHoldUnderRandomFailures)
+{
+    util::Rng rng(GetParam() * 2654435761u + 3);
+
+    // Random apps.
+    const int app_count = static_cast<int>(rng.uniformInt(1, 4));
+    std::vector<Application> apps;
+    for (int a = 0; a < app_count; ++a) {
+        const int services = static_cast<int>(rng.uniformInt(2, 12));
+        std::vector<double> cpus;
+        for (int m = 0; m < services; ++m)
+            cpus.push_back(rng.uniform(0.5, 4.0));
+        apps.push_back(makeApp(static_cast<sim::AppId>(a), cpus));
+        for (auto &ms : apps.back().services) {
+            ms.criticality =
+                static_cast<int>(rng.uniformInt(1, 5));
+        }
+    }
+
+    // Random cluster, initial placement of everything via a planner
+    // pass, then random node failures.
+    ClusterState cluster;
+    const int nodes = static_cast<int>(rng.uniformInt(3, 12));
+    for (int n = 0; n < nodes; ++n)
+        cluster.addNode(rng.uniform(4.0, 12.0));
+
+    Planner planner;
+    FairObjective fair;
+    const GlobalRank initial =
+        planner.plan(apps, fair, cluster.healthyCapacity());
+    PackingScheduler packer;
+    PackResult placed = packer.pack(apps, cluster, initial);
+
+    ClusterState failed = placed.state;
+    const int kill = static_cast<int>(rng.uniformInt(0, nodes - 1));
+    std::vector<NodeId> ids = failed.healthyNodes();
+    rng.shuffle(ids);
+    for (int k = 0; k < kill; ++k)
+        failed.failNode(ids[k]);
+
+    // Replan on the degraded cluster.
+    const GlobalRank replan =
+        planner.plan(apps, fair, failed.healthyCapacity());
+    const PackResult result = packer.pack(apps, failed, replan);
+
+    checkInvariants(apps, failed, result);
+    // placed counts ranked pods only and never exceeds the rank size.
+    EXPECT_LE(result.placed, replan.size());
+    // Every pod the plan kept or placed is on a healthy node.
+    for (const auto &[pod, node] : result.state.assignment()) {
+        (void)pod;
+        EXPECT_TRUE(result.state.isHealthy(node));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackingRandomized,
+                         ::testing::Range(0, 40));

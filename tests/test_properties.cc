@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Cross-scheme property tests: for every resilience scheme, over
+ * randomized environments and failure draws, the planned cluster
+ * state must satisfy the structural invariants (capacity bounds,
+ * healthy-node placement, replica/quorum consistency, replayable
+ * action logs, and intra-app criticality monotonicity for the
+ * criticality-aware schemes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "adaptlab/environment.h"
+#include "adaptlab/runner.h"
+#include "core/preemption.h"
+#include "core/schemes.h"
+#include "sim/failure.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using sim::Application;
+using sim::ClusterState;
+using sim::PodRef;
+
+namespace {
+
+std::vector<std::unique_ptr<ResilienceScheme>>
+allSchemes()
+{
+    auto schemes = makeAllSchemes(false);
+    schemes.push_back(std::make_unique<KubePreemptionScheme>());
+    return schemes;
+}
+
+/** Structural invariants every scheme's output must satisfy. */
+void
+checkStateInvariants(const std::vector<Application> &apps,
+                     const ClusterState &state,
+                     const std::string &scheme)
+{
+    for (size_t n = 0; n < state.nodeCount(); ++n) {
+        const auto id = static_cast<sim::NodeId>(n);
+        EXPECT_LE(state.used(id), state.node(id).capacity + 1e-6)
+            << scheme << " overfills node " << n;
+        if (!state.isHealthy(id)) {
+            EXPECT_TRUE(state.podsOn(id).empty())
+                << scheme << " placed pods on failed node " << n;
+        }
+    }
+    for (const auto &[pod, node] : state.assignment()) {
+        EXPECT_LT(pod.app, apps.size()) << scheme;
+        EXPECT_LT(pod.ms, apps[pod.app].services.size()) << scheme;
+        EXPECT_LT(static_cast<int>(pod.replica),
+                  std::max(apps[pod.app].services[pod.ms].replicas, 1))
+            << scheme;
+        EXPECT_TRUE(state.isHealthy(node)) << scheme;
+        // Recorded pod size matches the descriptor (per-replica cpu).
+        EXPECT_NEAR(state.podCpu(pod),
+                    apps[pod.app].services[pod.ms].cpu, 1e-9)
+            << scheme;
+    }
+}
+
+/** Replaying the action log on the input state gives the output. */
+void
+checkActionReplay(const std::vector<Application> &apps,
+                  const ClusterState &before, const SchemeResult &result,
+                  const std::string &scheme)
+{
+    ClusterState replay = before;
+    for (const Action &action : result.pack.actions) {
+        switch (action.kind) {
+          case ActionKind::Delete:
+            EXPECT_TRUE(replay.evict(action.pod)) << scheme;
+            break;
+          case ActionKind::Migrate: {
+            const double cpu = replay.podCpu(action.pod);
+            EXPECT_TRUE(replay.evict(action.pod)) << scheme;
+            EXPECT_TRUE(replay.place(action.pod, action.to, cpu))
+                << scheme;
+            break;
+          }
+          case ActionKind::Restart:
+            EXPECT_TRUE(replay.place(
+                action.pod, action.to,
+                apps[action.pod.app].services[action.pod.ms].cpu))
+                << scheme;
+            break;
+        }
+    }
+    EXPECT_EQ(replay.assignment(), result.pack.state.assignment())
+        << scheme << " action log does not reproduce its state";
+}
+
+} // namespace
+
+class SchemeProperties : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SchemeProperties, InvariantsAcrossRandomEnvironments)
+{
+    const int seed = GetParam();
+    util::Rng rng(seed * 7001 + 5);
+
+    adaptlab::EnvironmentConfig config;
+    config.nodeCount = 30 + static_cast<size_t>(rng.uniformInt(0, 50));
+    config.nodeCapacity = 32.0;
+    config.demandFraction = rng.uniform(0.5, 0.9);
+    config.seed = static_cast<uint64_t>(seed) + 1;
+    config.alibaba.appCount = static_cast<int>(rng.uniformInt(3, 8));
+    config.alibaba.sizeScale = 0.03;
+    config.resources.maxCpu = 16.0;
+    const adaptlab::Environment env =
+        adaptlab::buildEnvironment(config);
+
+    ClusterState failed = env.cluster;
+    sim::FailureInjector injector{util::Rng(seed + 99)};
+    injector.failCapacityFraction(failed, rng.uniform(0.1, 0.8));
+
+    for (const auto &scheme : allSchemes()) {
+        const SchemeResult result = scheme->apply(env.apps, failed);
+        ASSERT_FALSE(result.failed) << scheme->name();
+        checkStateInvariants(env.apps, result.pack.state,
+                             scheme->name());
+        checkActionReplay(env.apps, failed, result, scheme->name());
+
+        // Quorum consistency: any microservice reported active has at
+        // least its quorum of replicas placed (activeSetFromCluster
+        // enforces this by construction; assert the placed counts
+        // directly as a cross-check).
+        const auto active = result.activeSet(env.apps);
+        std::map<std::pair<sim::AppId, sim::MsId>, int> placed;
+        for (const auto &[pod, node] :
+             result.pack.state.assignment()) {
+            (void)node;
+            ++placed[{pod.app, pod.ms}];
+        }
+        for (size_t a = 0; a < env.apps.size(); ++a) {
+            for (const auto &ms : env.apps[a].services) {
+                if (!active[a][ms.id])
+                    continue;
+                const auto key = std::make_pair(
+                    static_cast<sim::AppId>(a), ms.id);
+                EXPECT_GE(placed[key], ms.quorumCount())
+                    << scheme->name();
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemeProperties, ::testing::Range(0, 12));
+
+class PhoenixMonotonicity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PhoenixMonotonicity, MoreCapacityNeverHurtsAvailability)
+{
+    // Phoenix availability is monotone in surviving capacity for a
+    // fixed failure draw prefix (failing strictly more nodes cannot
+    // improve the plan).
+    const int seed = GetParam();
+    adaptlab::EnvironmentConfig config;
+    config.nodeCount = 60;
+    config.nodeCapacity = 32.0;
+    config.seed = static_cast<uint64_t>(seed) * 13 + 3;
+    config.alibaba.appCount = 6;
+    config.alibaba.sizeScale = 0.03;
+    config.resources.maxCpu = 16.0;
+    const adaptlab::Environment env =
+        adaptlab::buildEnvironment(config);
+
+    // One shuffled node order; fail growing prefixes of it.
+    std::vector<sim::NodeId> order = env.cluster.healthyNodes();
+    util::Rng rng(seed + 7);
+    rng.shuffle(order);
+
+    PhoenixScheme phoenix(Objective::Fair);
+    double last_avail = 1.1;
+    for (size_t kill = 0; kill <= 48; kill += 12) {
+        ClusterState state = env.cluster;
+        for (size_t k = 0; k < kill; ++k)
+            state.failNode(order[k]);
+        const double avail = sim::criticalFractionAvailability(
+            env.apps, phoenix.apply(env.apps, state).activeSet(env.apps));
+        EXPECT_LE(avail, last_avail + 0.05)
+            << "availability rose when failing MORE nodes (kill="
+            << kill << ")";
+        last_avail = avail;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhoenixMonotonicity,
+                         ::testing::Range(0, 8));

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the Appendix D multi-replica extension: replica-aware
+ * active sets, quorum semantics, replica-aware packing (all-or-quorum
+ * per microservice with a top-up pass), and the placed-usage fairness
+ * metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/packing.h"
+#include "core/planner.h"
+#include "core/schemes.h"
+#include "sim/metrics.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using sim::Application;
+using sim::ClusterState;
+using sim::MsId;
+using sim::PodRef;
+
+namespace {
+
+Application
+replicatedApp(sim::AppId id, double cpu, int replicas, int quorum = 0)
+{
+    Application app;
+    app.id = id;
+    app.services.resize(1);
+    app.services[0].id = 0;
+    app.services[0].cpu = cpu;
+    app.services[0].replicas = replicas;
+    app.services[0].quorum = quorum;
+    app.services[0].criticality = 1;
+    return app;
+}
+
+} // namespace
+
+TEST(Replicas, QuorumCountDefaultsToAllReplicas)
+{
+    sim::Microservice ms;
+    ms.replicas = 4;
+    EXPECT_EQ(ms.quorumCount(), 4);
+    ms.quorum = 2;
+    EXPECT_EQ(ms.quorumCount(), 2);
+    ms.quorum = 9; // nonsense quorum above replica count clamps
+    EXPECT_EQ(ms.quorumCount(), 4);
+    ms.replicas = 1;
+    ms.quorum = 0;
+    EXPECT_EQ(ms.quorumCount(), 1);
+    EXPECT_NEAR(ms.quorumCpu(), ms.cpu, 1e-12);
+}
+
+TEST(Replicas, ActiveSetRequiresQuorum)
+{
+    auto apps = std::vector<Application>{replicatedApp(0, 1.0, 3, 2)};
+    ClusterState cluster;
+    cluster.addNode(10.0);
+
+    cluster.place(PodRef{0, 0, 0}, 0, 1.0);
+    auto active = sim::activeSetFromCluster(apps, cluster);
+    EXPECT_FALSE(active[0][0]); // 1 of quorum 2
+
+    cluster.place(PodRef{0, 0, 1}, 0, 1.0);
+    active = sim::activeSetFromCluster(apps, cluster);
+    EXPECT_TRUE(active[0][0]); // quorum met
+}
+
+TEST(Replicas, ActiveSetRequiresAllWithoutQuorum)
+{
+    auto apps = std::vector<Application>{replicatedApp(0, 1.0, 3)};
+    ClusterState cluster;
+    cluster.addNode(10.0);
+    cluster.place(PodRef{0, 0, 0}, 0, 1.0);
+    cluster.place(PodRef{0, 0, 1}, 0, 1.0);
+    EXPECT_FALSE(sim::activeSetFromCluster(apps, cluster)[0][0]);
+    cluster.place(PodRef{0, 0, 2}, 0, 1.0);
+    EXPECT_TRUE(sim::activeSetFromCluster(apps, cluster)[0][0]);
+}
+
+TEST(Replicas, PackerPlacesAllReplicasWhenCapacityAllows)
+{
+    auto apps = std::vector<Application>{replicatedApp(0, 2.0, 4, 2)};
+    ClusterState cluster;
+    cluster.addNode(8.0);
+
+    PackingScheduler packer;
+    const PackResult result =
+        packer.pack(apps, cluster, {PodRef{0, 0}});
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.state.assignment().size(), 4u);
+    EXPECT_TRUE(
+        sim::activeSetFromCluster(apps, result.state)[0][0]);
+}
+
+TEST(Replicas, PackerSettlesForQuorumUnderPressure)
+{
+    // Capacity for 2 of 4 replicas; quorum 2 -> active at reduced
+    // replication.
+    auto apps = std::vector<Application>{replicatedApp(0, 2.0, 4, 2)};
+    ClusterState cluster;
+    cluster.addNode(4.0);
+
+    PackingScheduler packer;
+    const PackResult result =
+        packer.pack(apps, cluster, {PodRef{0, 0}});
+    EXPECT_FALSE(result.complete); // not all replicas placed
+    EXPECT_EQ(result.placed, 1u);  // ...but the ms is viable
+    EXPECT_EQ(result.state.assignment().size(), 2u);
+    EXPECT_TRUE(
+        sim::activeSetFromCluster(apps, result.state)[0][0]);
+}
+
+TEST(Replicas, SubQuorumGetsCleanedUp)
+{
+    // Room for only 1 replica with quorum 2: nothing should stay.
+    auto apps = std::vector<Application>{replicatedApp(0, 2.0, 4, 2)};
+    ClusterState cluster;
+    cluster.addNode(2.0);
+
+    PackingScheduler packer;
+    const PackResult result =
+        packer.pack(apps, cluster, {PodRef{0, 0}});
+    EXPECT_FALSE(result.complete);
+    EXPECT_EQ(result.placed, 0u);
+    EXPECT_TRUE(result.state.assignment().empty());
+}
+
+TEST(Replicas, QuorumFirstThenTopUp)
+{
+    // Two microservices, each 2 replicas (quorum 1), node fits 3 pods:
+    // both services must reach quorum before either gets its second
+    // replica.
+    Application app;
+    app.id = 0;
+    app.services.resize(2);
+    for (MsId m = 0; m < 2; ++m) {
+        app.services[m].id = m;
+        app.services[m].cpu = 2.0;
+        app.services[m].replicas = 2;
+        app.services[m].quorum = 1;
+        app.services[m].criticality = 1;
+    }
+    auto apps = std::vector<Application>{app};
+    ClusterState cluster;
+    cluster.addNode(6.0);
+
+    PackingScheduler packer;
+    const PackResult result =
+        packer.pack(apps, cluster, {PodRef{0, 0}, PodRef{0, 1}});
+    const auto active = sim::activeSetFromCluster(apps, result.state);
+    EXPECT_TRUE(active[0][0]);
+    EXPECT_TRUE(active[0][1]); // not starved by ms0's top-up
+    EXPECT_EQ(result.state.assignment().size(), 3u);
+}
+
+TEST(Replicas, PlannerReservesQuorumDemand)
+{
+    // Aggregate capacity fits the quorum (2x2=4) but not all replicas
+    // (4x2=8): the planner must still rank the service.
+    auto apps = std::vector<Application>{replicatedApp(0, 2.0, 4, 2)};
+    Planner planner;
+    FairObjective fair;
+    EXPECT_EQ(planner.plan(apps, fair, 4.0).size(), 1u);
+    EXPECT_EQ(planner.plan(apps, fair, 3.0).size(), 0u);
+}
+
+TEST(Replicas, FairShareDeviationUsesPlacedResources)
+{
+    // App 0 active at quorum (2 of 4 replicas placed): deviation must
+    // reflect the 4 placed units, not the 8-unit full demand.
+    auto apps = std::vector<Application>{replicatedApp(0, 2.0, 4, 2),
+                                         replicatedApp(1, 2.0, 4, 2)};
+    ClusterState cluster;
+    cluster.addNode(8.0);
+    cluster.place(PodRef{0, 0, 0}, 0, 2.0);
+    cluster.place(PodRef{0, 0, 1}, 0, 2.0);
+    cluster.place(PodRef{1, 0, 0}, 0, 2.0);
+    cluster.place(PodRef{1, 0, 1}, 0, 2.0);
+
+    const auto dev = sim::fairShareDeviationPlaced(apps, cluster);
+    // Fair share 4 each; both use exactly 4.
+    EXPECT_NEAR(dev.positive, 0.0, 1e-9);
+    EXPECT_NEAR(dev.negative, 0.0, 1e-9);
+}
+
+TEST(Replicas, PhoenixSchemeEndToEndWithReplicas)
+{
+    auto apps = std::vector<Application>{replicatedApp(0, 1.0, 6, 3),
+                                         replicatedApp(1, 1.0, 6, 3)};
+    apps[0].services[0].criticality = 1;
+    apps[1].services[0].criticality = 1;
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.addNode(4.0);
+
+    // 8 capacity, full demand 12, quorum demand 6: both apps activate.
+    PhoenixScheme phoenix(Objective::Fair);
+    const SchemeResult result = phoenix.apply(apps, cluster);
+    const auto active = result.activeSet(apps);
+    EXPECT_TRUE(active[0][0]);
+    EXPECT_TRUE(active[1][0]);
+    EXPECT_GE(result.pack.state.assignment().size(), 6u);
+}
+
+TEST(Replicas, LpSchemeRefusesMultiReplicaInstances)
+{
+    auto apps = std::vector<Application>{replicatedApp(0, 1.0, 3, 2)};
+    ClusterState cluster;
+    cluster.addNode(8.0);
+    LpScheme lp(Objective::Cost);
+    EXPECT_TRUE(lp.apply(apps, cluster).failed);
+}

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the persistence store (core/store.h), the manifest loader
+ * (kube/manifest.h), the RTO tracker (core/rto.h) and the §5 partial
+ * tagging / subscription semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "apps/overleaf.h"
+#include "core/planner.h"
+#include "core/rto.h"
+#include "core/schemes.h"
+#include "core/store.h"
+#include "kube/manifest.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using sim::Application;
+using sim::MsId;
+
+namespace {
+
+std::vector<Application>
+sampleApps()
+{
+    apps::ServiceApp overleaf = apps::makeOverleaf(1);
+    apps::assignCpuByTraffic(overleaf, 25.0, 0.5);
+    overleaf.app.id = 0;
+    overleaf.app.pricePerUnit = 1.75;
+
+    Application plain;
+    plain.id = 1;
+    plain.name = "legacy app"; // space exercises escaping
+    plain.phoenixEnabled = false;
+    plain.services.resize(2);
+    for (MsId m = 0; m < 2; ++m) {
+        plain.services[m].id = m;
+        plain.services[m].name = "svc" + std::to_string(m);
+        plain.services[m].cpu = 1.5 + m;
+        plain.services[m].criticality = 3;
+        plain.services[m].replicas = 2 + static_cast<int>(m);
+        plain.services[m].quorum = 1;
+    }
+    return {overleaf.app, plain};
+}
+
+} // namespace
+
+TEST(Store, RoundTripPreservesEverything)
+{
+    const auto apps = sampleApps();
+    const std::string text = serializeApps(apps);
+    std::string error;
+    const auto loaded = deserializeApps(text, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    ASSERT_EQ(loaded->size(), apps.size());
+
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const auto &in = apps[a];
+        const auto &out = (*loaded)[a];
+        EXPECT_EQ(out.name, in.name);
+        EXPECT_NEAR(out.pricePerUnit, in.pricePerUnit, 1e-9);
+        EXPECT_EQ(out.phoenixEnabled, in.phoenixEnabled);
+        EXPECT_EQ(out.hasDependencyGraph, in.hasDependencyGraph);
+        ASSERT_EQ(out.services.size(), in.services.size());
+        for (MsId m = 0; m < in.services.size(); ++m) {
+            EXPECT_EQ(out.services[m].name, in.services[m].name);
+            EXPECT_NEAR(out.services[m].cpu, in.services[m].cpu, 1e-9);
+            EXPECT_EQ(out.services[m].criticality,
+                      in.services[m].criticality);
+            EXPECT_EQ(out.services[m].replicas,
+                      in.services[m].replicas);
+            EXPECT_EQ(out.services[m].quorum, in.services[m].quorum);
+        }
+        if (in.hasDependencyGraph) {
+            EXPECT_EQ(out.dag.edgeCount(), in.dag.edgeCount());
+            for (MsId u = 0; u < in.dag.nodeCount(); ++u) {
+                for (MsId v : in.dag.successors(u))
+                    EXPECT_TRUE(out.dag.hasEdge(u, v));
+            }
+        }
+    }
+}
+
+TEST(Store, RejectsMalformedDocuments)
+{
+    std::string error;
+    EXPECT_FALSE(deserializeApps("", &error).has_value());
+    EXPECT_FALSE(deserializeApps("not-a-store\n", &error).has_value());
+    EXPECT_FALSE(
+        deserializeApps("phoenix-store v1\nms 0 x 1 1 1 0\n", &error)
+            .has_value()); // ms outside app
+    EXPECT_FALSE(deserializeApps(
+                     "phoenix-store v1\napp 0 a 1 1 0\n", &error)
+                     .has_value()); // unterminated
+    EXPECT_FALSE(deserializeApps("phoenix-store v1\n"
+                                 "app 0 a 1 1 0\nms 1 x 1 1 1 0\nend\n",
+                                 &error)
+                     .has_value()); // non-contiguous ids
+}
+
+TEST(Store, FileRoundTrip)
+{
+    const auto apps = sampleApps();
+    const std::string path = "/tmp/phoenix_store_test.txt";
+    ASSERT_TRUE(saveAppsToFile(apps, path));
+    std::string error;
+    const auto loaded = loadAppsFromFile(path, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_EQ(loaded->size(), apps.size());
+    std::remove(path.c_str());
+    EXPECT_FALSE(loadAppsFromFile(path).has_value());
+}
+
+TEST(Manifest, ParsesApplications)
+{
+    const std::string text = R"(# sample manifest
+application: shop
+price: 2.5
+phoenix: enabled
+services:
+  - name: front
+    cpu: 2.0
+    criticality: 1
+    replicas: 2
+  - name: api
+    cpu: 1.5
+    criticality: 2
+    upstream: [front]
+  - name: recs
+    cpu: 0.5
+    criticality: 5
+    upstream: [api]
+---
+application: legacy
+phoenix: disabled
+services:
+  - name: monolith
+    cpu: 4.0
+)";
+    std::string error;
+    const auto apps = kube::parseManifest(text, &error);
+    ASSERT_TRUE(apps.has_value()) << error;
+    ASSERT_EQ(apps->size(), 2u);
+
+    const auto &shop = (*apps)[0];
+    EXPECT_EQ(shop.name, "shop");
+    EXPECT_NEAR(shop.pricePerUnit, 2.5, 1e-9);
+    EXPECT_TRUE(shop.phoenixEnabled);
+    ASSERT_EQ(shop.services.size(), 3u);
+    EXPECT_EQ(shop.services[0].replicas, 2);
+    EXPECT_TRUE(shop.hasDependencyGraph);
+    EXPECT_TRUE(shop.dag.hasEdge(0, 1));
+    EXPECT_TRUE(shop.dag.hasEdge(1, 2));
+
+    const auto &legacy = (*apps)[1];
+    EXPECT_FALSE(legacy.phoenixEnabled);
+    EXPECT_FALSE(legacy.hasDependencyGraph);
+    // Untagged service defaults to C1.
+    EXPECT_EQ(legacy.services[0].criticality, sim::kC1);
+}
+
+TEST(Manifest, RejectsBrokenInput)
+{
+    std::string error;
+    EXPECT_FALSE(kube::parseManifest("application: x\n", &error)
+                     .has_value()); // no services
+    EXPECT_FALSE(
+        kube::parseManifest("application: x\nservices:\n"
+                            "  - name: a\n    cpu: 1\n"
+                            "  - name: a\n    cpu: 1\n",
+                            &error)
+            .has_value()); // duplicate name
+    EXPECT_FALSE(
+        kube::parseManifest("application: x\nservices:\n"
+                            "  - name: a\n    cpu: 1\n"
+                            "    upstream: [ghost]\n",
+                            &error)
+            .has_value()); // unknown upstream
+    EXPECT_FALSE(
+        kube::parseManifest("application: x\nservices:\n"
+                            "  - name: a\n",
+                            &error)
+            .has_value()); // missing cpu
+}
+
+TEST(PartialTagging, UnsubscribedAppsAreNeverDegradedFirst)
+{
+    // App 0 subscribed with a C5 service; app 1 unsubscribed with a
+    // (nominally) C5 service. Capacity for three containers: the
+    // subscribed app's C5 must be the one left out.
+    Application subscribed;
+    subscribed.id = 0;
+    subscribed.services = {{0, "front", 2.0, 1, 1, 0},
+                           {1, "extras", 2.0, 5, 1, 0}};
+    Application legacy = subscribed;
+    legacy.id = 1;
+    legacy.phoenixEnabled = false;
+
+    std::vector<Application> apps{subscribed, legacy};
+    sim::ClusterState cluster;
+    cluster.addNode(6.0);
+
+    PhoenixScheme phoenix(Objective::Cost);
+    const auto active = phoenix.apply(apps, cluster).activeSet(apps);
+    EXPECT_TRUE(active[0][0]);
+    EXPECT_FALSE(active[0][1]); // subscribed C5 degraded
+    EXPECT_TRUE(active[1][0]);
+    EXPECT_TRUE(active[1][1]); // unsubscribed treated as critical
+}
+
+TEST(Rto, TracksPerLevelRecovery)
+{
+    Application app;
+    app.id = 0;
+    app.services = {{0, "a", 1.0, 1, 1, 0},
+                    {1, "b", 1.0, 2, 1, 0},
+                    {2, "c", 1.0, 5, 1, 0}};
+    std::vector<Application> apps{app};
+    RtoTracker tracker(apps);
+
+    auto snapshot = [&](bool a, bool b, bool c) {
+        sim::ActiveSet active = sim::emptyActiveSet(apps);
+        active[0][0] = a;
+        active[0][1] = b;
+        active[0][2] = c;
+        return active;
+    };
+
+    tracker.record(0.0, snapshot(true, true, true));
+    // Failure at t=100; C1 back at 160, C2 at 220, C5 never.
+    tracker.record(120.0, snapshot(false, false, false));
+    tracker.record(160.0, snapshot(true, false, false));
+    tracker.record(220.0, snapshot(true, true, false));
+    tracker.record(400.0, snapshot(true, true, false));
+
+    EXPECT_NEAR(tracker.recoveryTime(0, 1, 100.0), 60.0, 1e-9);
+    EXPECT_NEAR(tracker.recoveryTime(0, 2, 100.0), 120.0, 1e-9);
+    EXPECT_LT(tracker.recoveryTime(0, 5, 100.0), 0.0);
+
+    std::map<sim::AppId, RtoPolicy> policies;
+    policies[0].maxSeconds = {{1, 90.0}, {2, 100.0}, {5, 600.0}};
+    const auto outcomes = tracker.evaluate(policies, 100.0);
+    ASSERT_EQ(outcomes.size(), 3u);
+    EXPECT_FALSE(outcomes[0].violated); // C1: 60 <= 90
+    EXPECT_TRUE(outcomes[1].violated);  // C2: 120 > 100
+    EXPECT_TRUE(outcomes[2].violated);  // C5: never recovered
+}

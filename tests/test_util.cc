@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the utility layer: RNG determinism and distribution sanity,
+ * statistics helpers, the sorted key/value container, and table output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.h"
+#include "util/sorted_kv.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace phoenix::util;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+    Rng c(124);
+    EXPECT_NE(Rng(123)(), c());
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const int64_t v = rng.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+    }
+}
+
+TEST(Rng, UniformMeanConverges)
+{
+    Rng rng(2);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(rng.uniform(10.0, 20.0));
+    EXPECT_NEAR(stat.mean(), 15.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(3);
+    RunningStat stat;
+    for (int i = 0; i < 20000; ++i)
+        stat.add(rng.exponential(0.5));
+    EXPECT_NEAR(stat.mean(), 2.0, 0.1);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds)
+{
+    Rng rng(4);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.boundedPareto(0.1, 32.0, 1.15);
+        EXPECT_GE(x, 0.1 - 1e-9);
+        EXPECT_LE(x, 32.0 + 1e-9);
+    }
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks)
+{
+    Rng rng(5);
+    size_t low = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i) {
+        const uint64_t rank = rng.zipf(1000, 1.5);
+        EXPECT_GE(rank, 1u);
+        EXPECT_LE(rank, 1000u);
+        if (rank <= 10)
+            ++low;
+    }
+    // With skew 1.5, the top-10 ranks should dominate.
+    EXPECT_GT(low, trials / 2u);
+}
+
+TEST(Rng, WeightedChoiceRespectsWeights)
+{
+    Rng rng(6);
+    std::vector<double> weights{1.0, 0.0, 9.0};
+    size_t counts[3] = {0, 0, 0};
+    for (int i = 0; i < 10000; ++i)
+        ++counts[rng.weightedChoice(weights)];
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(7);
+    std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = items;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, items);
+}
+
+TEST(Stats, MeanStdPercentile)
+{
+    std::vector<double> xs{1, 2, 3, 4, 5};
+    EXPECT_NEAR(mean(xs), 3.0, 1e-9);
+    EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-9);
+    EXPECT_NEAR(percentile(xs, 0), 1.0, 1e-9);
+    EXPECT_NEAR(percentile(xs, 50), 3.0, 1e-9);
+    EXPECT_NEAR(percentile(xs, 100), 5.0, 1e-9);
+    EXPECT_NEAR(percentile(xs, 25), 2.0, 1e-9);
+    EXPECT_NEAR(sum(xs), 15.0, 1e-9);
+    EXPECT_NEAR(mean({}), 0.0, 1e-9);
+    EXPECT_NEAR(percentile({}, 50), 0.0, 1e-9);
+}
+
+TEST(Stats, RunningStatMatchesBatch)
+{
+    phoenix::util::Rng rng(8);
+    std::vector<double> xs;
+    RunningStat stat;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(-5, 20);
+        xs.push_back(x);
+        stat.add(x);
+    }
+    EXPECT_NEAR(stat.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(stat.stddev(), stddev(xs), 1e-6);
+    EXPECT_EQ(stat.count(), xs.size());
+    EXPECT_NEAR(stat.min(), *std::min_element(xs.begin(), xs.end()),
+                1e-12);
+    EXPECT_NEAR(stat.max(), *std::max_element(xs.begin(), xs.end()),
+                1e-12);
+}
+
+TEST(Stats, HistogramPercentiles)
+{
+    Histogram hist(0.0, 100.0, 100);
+    for (int i = 0; i < 1000; ++i)
+        hist.add(static_cast<double>(i % 100));
+    EXPECT_EQ(hist.total(), 1000u);
+    EXPECT_NEAR(hist.percentile(50), 50.0, 2.0);
+    EXPECT_NEAR(hist.percentile(95), 95.0, 2.0);
+    // Clamping.
+    hist.add(-10.0);
+    hist.add(500.0);
+    EXPECT_EQ(hist.total(), 1002u);
+}
+
+TEST(SortedKv, BestFitQueries)
+{
+    SortedKv<double, uint32_t> kv;
+    kv.insert(4.0, 1);
+    kv.insert(2.0, 2);
+    kv.insert(8.0, 3);
+
+    auto hit = kv.firstAtLeast(3.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->second, 1u);
+
+    EXPECT_EQ(kv.largest()->second, 3u);
+    EXPECT_FALSE(kv.firstAtLeast(9.0).has_value());
+
+    EXPECT_TRUE(kv.erase(4.0, 1));
+    EXPECT_FALSE(kv.erase(4.0, 1));
+    EXPECT_EQ(kv.firstAtLeast(3.0)->second, 3u);
+    EXPECT_EQ(kv.size(), 2u);
+}
+
+TEST(SortedKv, DuplicateKeys)
+{
+    SortedKv<double, uint32_t> kv;
+    kv.insert(5.0, 7);
+    kv.insert(5.0, 3);
+    kv.insert(5.0, 3);
+    EXPECT_EQ(kv.size(), 3u);
+    // Smallest value among equal keys returned first.
+    EXPECT_EQ(kv.firstAtLeast(5.0)->second, 3u);
+    EXPECT_TRUE(kv.erase(5.0, 3));
+    EXPECT_EQ(kv.size(), 2u);
+}
+
+TEST(Table, AlignedOutputAndCsv)
+{
+    Table table({"scheme", "availability"});
+    table.row().cell("PhoenixFair").cell(0.91, 2);
+    table.row().cell("Default").cell(0.4, 2);
+
+    std::ostringstream oss;
+    table.print(oss);
+    const std::string text = oss.str();
+    EXPECT_NE(text.find("PhoenixFair"), std::string::npos);
+    EXPECT_NE(text.find("0.91"), std::string::npos);
+
+    std::ostringstream csv;
+    table.printCsv(csv);
+    EXPECT_EQ(csv.str(),
+              "scheme,availability\nPhoenixFair,0.91\nDefault,0.40\n");
+    EXPECT_EQ(table.rowCount(), 2u);
+}

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the Alibaba-style workload generator, resource models,
+ * coverage analysis and criticality tagging — including checks that the
+ * synthesized statistics match what the paper reports for the real
+ * trace (single-upstream fraction, call-graph sizes, coverage skew).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workloads/alibaba.h"
+#include "workloads/coverage.h"
+#include "workloads/resources.h"
+#include "workloads/tagging.h"
+
+using namespace phoenix;
+using namespace phoenix::workloads;
+using sim::MsId;
+
+namespace {
+
+AlibabaConfig
+smallConfig()
+{
+    AlibabaConfig config;
+    config.appCount = 8;
+    config.sizeScale = 0.1; // 300 down to ~4 services
+    return config;
+}
+
+} // namespace
+
+TEST(Alibaba, PaperSizesSpanTheReportedRange)
+{
+    const auto sizes = AlibabaGenerator::paperSizes(18, 1.0);
+    ASSERT_EQ(sizes.size(), 18u);
+    EXPECT_EQ(sizes.front(), 3000u);
+    EXPECT_LE(sizes.back(), 12u);
+    EXPECT_TRUE(std::is_sorted(sizes.rbegin(), sizes.rend()));
+}
+
+TEST(Alibaba, GeneratesRequestedApps)
+{
+    const auto apps = AlibabaGenerator(smallConfig()).generate();
+    ASSERT_EQ(apps.size(), 8u);
+    for (const auto &generated : apps) {
+        EXPECT_GE(generated.app.services.size(), 4u);
+        EXPECT_TRUE(generated.app.hasDependencyGraph);
+        EXPECT_TRUE(generated.app.dag.isAcyclic());
+        EXPECT_FALSE(generated.callGraphs.empty());
+        EXPECT_GT(generated.requestRate, 0.0);
+    }
+}
+
+TEST(Alibaba, DeterministicForSeed)
+{
+    const auto a = AlibabaGenerator(smallConfig()).generate();
+    const auto b = AlibabaGenerator(smallConfig()).generate();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].app.services.size(), b[i].app.services.size());
+        EXPECT_EQ(a[i].app.dag.edgeCount(), b[i].app.dag.edgeCount());
+        EXPECT_NEAR(a[i].requestRate, b[i].requestRate, 1e-9);
+    }
+}
+
+TEST(Alibaba, SingleUpstreamFractionMatchesPaper)
+{
+    // The paper reports 74-82% of microservices invoked by a single
+    // upstream; the generator targets 82% by default.
+    AlibabaConfig config;
+    config.appCount = 6;
+    config.sizeScale = 0.3;
+    const auto apps = AlibabaGenerator(config).generate();
+    double total = 0.0;
+    for (const auto &generated : apps)
+        total += generated.app.dag.singleUpstreamFraction();
+    const double mean = total / static_cast<double>(apps.size());
+    EXPECT_GT(mean, 0.70);
+    EXPECT_LT(mean, 0.92);
+}
+
+TEST(Alibaba, PopularitySkewTowardLargeApps)
+{
+    const auto apps = AlibabaGenerator(smallConfig()).generate();
+    double top = 0.0;
+    double total = 0.0;
+    for (size_t i = 0; i < apps.size(); ++i) {
+        total += apps[i].requestRate;
+        if (i < 4)
+            top += apps[i].requestRate;
+    }
+    // Top four applications serve most requests (§3.2).
+    EXPECT_GT(top / total, 0.75);
+}
+
+TEST(Alibaba, CallGraphsAreConnectedSubsetsRootedAtEntry)
+{
+    const auto apps = AlibabaGenerator(smallConfig()).generate();
+    for (const auto &generated : apps) {
+        double weight = 0.0;
+        for (const auto &tpl : generated.callGraphs) {
+            weight += tpl.weight;
+            ASSERT_FALSE(tpl.services.empty());
+            // Entry microservice always participates.
+            EXPECT_TRUE(std::find(tpl.services.begin(),
+                                  tpl.services.end(),
+                                  MsId{0}) != tpl.services.end());
+            for (MsId m : tpl.services)
+                EXPECT_LT(m, generated.app.services.size());
+        }
+        EXPECT_NEAR(weight, 1.0, 1e-6);
+    }
+}
+
+TEST(Alibaba, MostCallGraphsAreSmall)
+{
+    AlibabaConfig config;
+    config.appCount = 4;
+    config.sizeScale = 1.0; // big apps
+    const auto apps = AlibabaGenerator(config).generate();
+    // Fig 17b: for the top apps most call graphs contain <10 services.
+    const auto &top = apps[0];
+    size_t small = 0;
+    double small_weight = 0.0;
+    for (const auto &tpl : top.callGraphs) {
+        if (tpl.services.size() < 10) {
+            ++small;
+            small_weight += tpl.weight;
+        }
+    }
+    EXPECT_GT(small_weight, 0.8);
+    EXPECT_GT(small, top.callGraphs.size() / 2);
+}
+
+TEST(Alibaba, CallsPerMinuteConsistent)
+{
+    const auto apps = AlibabaGenerator(smallConfig()).generate();
+    const auto &generated = apps[0];
+    const auto cpm = callsPerMinute(generated);
+    ASSERT_EQ(cpm.size(), generated.app.services.size());
+    // Entry service carries all requests.
+    const double per_minute = generated.requestRate / (24.0 * 60.0);
+    EXPECT_NEAR(cpm[0], per_minute, per_minute * 1e-6);
+    for (double c : cpm)
+        EXPECT_GE(c, 0.0);
+}
+
+TEST(Resources, CpmModelScalesWithTraffic)
+{
+    auto apps = AlibabaGenerator(smallConfig()).generate();
+    ResourceConfig config;
+    config.model = ResourceModel::CallsPerMinute;
+    assignResources(apps, config);
+    for (const auto &generated : apps) {
+        // Every container within the envelope, and each app's most
+        // expensive service normalized to the top of it (cpm times a
+        // per-service cost-per-call factor drives sizes, so the
+        // hottest service is not necessarily the biggest).
+        double biggest = 0.0;
+        for (const auto &ms : generated.app.services) {
+            EXPECT_GE(ms.cpu, config.minCpu - 1e-9);
+            EXPECT_LE(ms.cpu, config.maxCpu + 1e-9);
+            biggest = std::max(biggest, ms.cpu);
+        }
+        EXPECT_NEAR(biggest, config.maxCpu, 1e-6);
+    }
+}
+
+TEST(Resources, LongTailedModelIsSkewed)
+{
+    auto apps = AlibabaGenerator(smallConfig()).generate();
+    ResourceConfig config;
+    config.model = ResourceModel::LongTailed;
+    assignResources(apps, config);
+    std::vector<double> sizes;
+    for (const auto &generated : apps) {
+        for (const auto &ms : generated.app.services)
+            sizes.push_back(ms.cpu);
+    }
+    std::sort(sizes.begin(), sizes.end());
+    const double median = sizes[sizes.size() / 2];
+    const double p99 = sizes[sizes.size() * 99 / 100];
+    // Heavy tail: p99 at least 5x the median.
+    EXPECT_GT(p99, 5.0 * median);
+}
+
+TEST(Resources, ScaleTotalDemandHitsTarget)
+{
+    auto apps = AlibabaGenerator(smallConfig()).generate();
+    assignResources(apps, ResourceConfig{});
+    scaleTotalDemand(apps, 5000.0);
+    double total = 0.0;
+    for (const auto &generated : apps)
+        total += generated.app.totalDemand();
+    EXPECT_NEAR(total, 5000.0, 1e-6);
+}
+
+TEST(Coverage, CoveredFractionBasics)
+{
+    std::vector<CallGraphTemplate> templates{
+        {{0, 1}, 0.6}, {{0, 2}, 0.3}, {{0, 1, 2, 3}, 0.1}};
+    std::vector<bool> enabled{true, true, false, false};
+    EXPECT_NEAR(coveredFraction(templates, enabled), 0.6, 1e-9);
+    enabled[2] = true;
+    EXPECT_NEAR(coveredFraction(templates, enabled), 0.9, 1e-9);
+    enabled[3] = true;
+    EXPECT_NEAR(coveredFraction(templates, enabled), 1.0, 1e-9);
+}
+
+TEST(Coverage, GreedyReachesTarget)
+{
+    std::vector<CallGraphTemplate> templates{
+        {{0, 1}, 0.5}, {{0, 2}, 0.3}, {{0, 3, 4, 5}, 0.2}};
+    const auto chosen = minServicesForCoverage(templates, 6, 0.8);
+    std::vector<bool> enabled(6, false);
+    for (MsId m : chosen)
+        enabled[m] = true;
+    EXPECT_GE(coveredFraction(templates, enabled), 0.8 - 1e-9);
+    // Greedy should not need the expensive tail template.
+    EXPECT_LE(chosen.size(), 3u);
+}
+
+TEST(Coverage, CurveIsMonotone)
+{
+    const auto apps = AlibabaGenerator(smallConfig()).generate();
+    const auto curve = coverageCurve(apps[0].callGraphs,
+                                     apps[0].app.services.size());
+    ASSERT_GE(curve.size(), 2u);
+    for (size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GE(curve[i].fractionCovered,
+                  curve[i - 1].fractionCovered - 1e-12);
+        EXPECT_GE(curve[i].servicesEnabled,
+                  curve[i - 1].servicesEnabled);
+    }
+    EXPECT_NEAR(curve.back().fractionCovered, 1.0, 1e-6);
+}
+
+TEST(Coverage, SmallFractionOfServicesCoversMostRequests)
+{
+    // Appendix G headline: large apps serve >80% of requests with a
+    // few percent of microservices.
+    AlibabaConfig config;
+    config.appCount = 4;
+    config.sizeScale = 1.0;
+    const auto apps = AlibabaGenerator(config).generate();
+    const auto &top = apps[0];
+    const auto chosen =
+        minServicesForCoverage(top.callGraphs,
+                               top.app.services.size(), 0.8);
+    EXPECT_LT(static_cast<double>(chosen.size()) /
+                  static_cast<double>(top.app.services.size()),
+              0.10);
+}
+
+TEST(Coverage, ExactMatchesOrBeatsGreedyOnSmallInstances)
+{
+    std::vector<CallGraphTemplate> templates{
+        {{0, 1}, 0.35}, {{0, 2}, 0.35}, {{0, 1, 2}, 0.2},
+        {{0, 3}, 0.1}};
+    const auto greedy = minServicesForCoverage(templates, 4, 0.9);
+    const auto exact = exactMinServicesForCoverage(templates, 4, 0.9);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_LE(exact->size(), greedy.size());
+    std::vector<bool> enabled(4, false);
+    for (MsId m : *exact)
+        enabled[m] = true;
+    EXPECT_GE(coveredFraction(templates, enabled), 0.9 - 1e-9);
+}
+
+TEST(Tagging, Names)
+{
+    TaggingConfig config;
+    config.scheme = TaggingScheme::ServiceLevel;
+    config.percentile = 0.9;
+    EXPECT_EQ(taggingName(config), "Service-Level-P90");
+    config.scheme = TaggingScheme::FrequencyBased;
+    config.percentile = 0.5;
+    EXPECT_EQ(taggingName(config), "Freq-Based-P50");
+    EXPECT_EQ(paperTaggingConfigs().size(), 4u);
+}
+
+class TaggingSchemes
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(TaggingSchemes, CriticalSetCoversTargetRequests)
+{
+    auto apps = AlibabaGenerator(smallConfig()).generate();
+    TaggingConfig config;
+    config.scheme = std::get<0>(GetParam()) == 0
+                        ? TaggingScheme::ServiceLevel
+                        : TaggingScheme::FrequencyBased;
+    config.percentile = std::get<1>(GetParam());
+    config.rareCriticalFraction = 0.0; // isolate the scheme itself
+    assignCriticality(apps, config);
+
+    for (const auto &generated : apps) {
+        std::vector<bool> critical(generated.app.services.size(),
+                                   false);
+        size_t c1 = 0;
+        for (const auto &ms : generated.app.services) {
+            EXPECT_GE(ms.criticality, 1);
+            EXPECT_LE(ms.criticality, config.levels + 1);
+            if (ms.criticality == sim::kC1) {
+                critical[ms.id] = true;
+                ++c1;
+            }
+        }
+        EXPECT_GT(c1, 0u);
+        EXPECT_LT(c1, generated.app.services.size());
+        EXPECT_GE(coveredFraction(generated.callGraphs, critical),
+                  config.percentile - 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, TaggingSchemes,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0.5, 0.9)));
+
+TEST(Tagging, FrequencyBasedNeedsFewerC1ThanServiceLevel)
+{
+    auto sl_apps = AlibabaGenerator(smallConfig()).generate();
+    auto fb_apps = AlibabaGenerator(smallConfig()).generate();
+    TaggingConfig sl;
+    sl.scheme = TaggingScheme::ServiceLevel;
+    sl.rareCriticalFraction = 0.0;
+    TaggingConfig fb;
+    fb.scheme = TaggingScheme::FrequencyBased;
+    fb.rareCriticalFraction = 0.0;
+    assignCriticality(sl_apps, sl);
+    assignCriticality(fb_apps, fb);
+
+    auto count_c1 = [](const std::vector<GeneratedApp> &apps) {
+        size_t total = 0;
+        for (const auto &generated : apps) {
+            for (const auto &ms : generated.app.services) {
+                if (ms.criticality == sim::kC1)
+                    ++total;
+            }
+        }
+        return total;
+    };
+    // The greedy min-set is by construction no larger than the union
+    // of top templates.
+    EXPECT_LE(count_c1(fb_apps), count_c1(sl_apps));
+}
