@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5"
+  "../bench/bench_fig5.pdb"
+  "CMakeFiles/bench_fig5.dir/bench_fig5.cc.o"
+  "CMakeFiles/bench_fig5.dir/bench_fig5.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

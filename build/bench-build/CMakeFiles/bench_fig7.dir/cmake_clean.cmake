@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7"
+  "../bench/bench_fig7.pdb"
+  "CMakeFiles/bench_fig7.dir/bench_fig7.cc.o"
+  "CMakeFiles/bench_fig7.dir/bench_fig7.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

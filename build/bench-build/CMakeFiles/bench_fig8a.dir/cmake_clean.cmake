@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8a"
+  "../bench/bench_fig8a.pdb"
+  "CMakeFiles/bench_fig8a.dir/bench_fig8a.cc.o"
+  "CMakeFiles/bench_fig8a.dir/bench_fig8a.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8b"
+  "../bench/bench_fig8b.pdb"
+  "CMakeFiles/bench_fig8b.dir/bench_fig8b.cc.o"
+  "CMakeFiles/bench_fig8b.dir/bench_fig8b.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8c"
+  "../bench/bench_fig8c.pdb"
+  "CMakeFiles/bench_fig8c.dir/bench_fig8c.cc.o"
+  "CMakeFiles/bench_fig8c.dir/bench_fig8c.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9.cc" "bench-build/CMakeFiles/bench_fig9.dir/bench_fig9.cc.o" "gcc" "bench-build/CMakeFiles/bench_fig9.dir/bench_fig9.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/phoenix_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptlab/CMakeFiles/phoenix_adaptlab.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phoenix_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kube/CMakeFiles/phoenix_kube.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/phoenix_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/phoenix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/phoenix_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_standalone"
+  "../bench/bench_standalone.pdb"
+  "CMakeFiles/bench_standalone.dir/bench_standalone.cc.o"
+  "CMakeFiles/bench_standalone.dir/bench_standalone.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_standalone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

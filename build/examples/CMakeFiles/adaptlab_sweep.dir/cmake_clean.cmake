@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptlab_sweep.dir/adaptlab_sweep.cpp.o"
+  "CMakeFiles/adaptlab_sweep.dir/adaptlab_sweep.cpp.o.d"
+  "adaptlab_sweep"
+  "adaptlab_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptlab_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotel_reservation.dir/hotel_reservation.cpp.o"
+  "CMakeFiles/hotel_reservation.dir/hotel_reservation.cpp.o.d"
+  "hotel_reservation"
+  "hotel_reservation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotel_reservation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overleaf_failover.dir/overleaf_failover.cpp.o"
+  "CMakeFiles/overleaf_failover.dir/overleaf_failover.cpp.o.d"
+  "overleaf_failover"
+  "overleaf_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overleaf_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

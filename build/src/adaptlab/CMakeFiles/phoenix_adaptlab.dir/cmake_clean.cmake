@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_adaptlab.dir/environment.cc.o"
+  "CMakeFiles/phoenix_adaptlab.dir/environment.cc.o.d"
+  "CMakeFiles/phoenix_adaptlab.dir/replay.cc.o"
+  "CMakeFiles/phoenix_adaptlab.dir/replay.cc.o.d"
+  "CMakeFiles/phoenix_adaptlab.dir/runner.cc.o"
+  "CMakeFiles/phoenix_adaptlab.dir/runner.cc.o.d"
+  "libphoenix_adaptlab.a"
+  "libphoenix_adaptlab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_adaptlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

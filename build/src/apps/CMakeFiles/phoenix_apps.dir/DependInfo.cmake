@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cloudlab.cc" "src/apps/CMakeFiles/phoenix_apps.dir/cloudlab.cc.o" "gcc" "src/apps/CMakeFiles/phoenix_apps.dir/cloudlab.cc.o.d"
+  "/root/repo/src/apps/hotel.cc" "src/apps/CMakeFiles/phoenix_apps.dir/hotel.cc.o" "gcc" "src/apps/CMakeFiles/phoenix_apps.dir/hotel.cc.o.d"
+  "/root/repo/src/apps/loadgen.cc" "src/apps/CMakeFiles/phoenix_apps.dir/loadgen.cc.o" "gcc" "src/apps/CMakeFiles/phoenix_apps.dir/loadgen.cc.o.d"
+  "/root/repo/src/apps/overleaf.cc" "src/apps/CMakeFiles/phoenix_apps.dir/overleaf.cc.o" "gcc" "src/apps/CMakeFiles/phoenix_apps.dir/overleaf.cc.o.d"
+  "/root/repo/src/apps/service_app.cc" "src/apps/CMakeFiles/phoenix_apps.dir/service_app.cc.o" "gcc" "src/apps/CMakeFiles/phoenix_apps.dir/service_app.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/phoenix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/phoenix_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

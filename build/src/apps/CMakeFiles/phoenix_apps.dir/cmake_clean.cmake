@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_apps.dir/cloudlab.cc.o"
+  "CMakeFiles/phoenix_apps.dir/cloudlab.cc.o.d"
+  "CMakeFiles/phoenix_apps.dir/hotel.cc.o"
+  "CMakeFiles/phoenix_apps.dir/hotel.cc.o.d"
+  "CMakeFiles/phoenix_apps.dir/loadgen.cc.o"
+  "CMakeFiles/phoenix_apps.dir/loadgen.cc.o.d"
+  "CMakeFiles/phoenix_apps.dir/overleaf.cc.o"
+  "CMakeFiles/phoenix_apps.dir/overleaf.cc.o.d"
+  "CMakeFiles/phoenix_apps.dir/service_app.cc.o"
+  "CMakeFiles/phoenix_apps.dir/service_app.cc.o.d"
+  "libphoenix_apps.a"
+  "libphoenix_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chaos.cc" "src/core/CMakeFiles/phoenix_core.dir/chaos.cc.o" "gcc" "src/core/CMakeFiles/phoenix_core.dir/chaos.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/phoenix_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/phoenix_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/packing.cc" "src/core/CMakeFiles/phoenix_core.dir/packing.cc.o" "gcc" "src/core/CMakeFiles/phoenix_core.dir/packing.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/phoenix_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/phoenix_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/preemption.cc" "src/core/CMakeFiles/phoenix_core.dir/preemption.cc.o" "gcc" "src/core/CMakeFiles/phoenix_core.dir/preemption.cc.o.d"
+  "/root/repo/src/core/rto.cc" "src/core/CMakeFiles/phoenix_core.dir/rto.cc.o" "gcc" "src/core/CMakeFiles/phoenix_core.dir/rto.cc.o.d"
+  "/root/repo/src/core/schemes.cc" "src/core/CMakeFiles/phoenix_core.dir/schemes.cc.o" "gcc" "src/core/CMakeFiles/phoenix_core.dir/schemes.cc.o.d"
+  "/root/repo/src/core/store.cc" "src/core/CMakeFiles/phoenix_core.dir/store.cc.o" "gcc" "src/core/CMakeFiles/phoenix_core.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/phoenix_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kube/CMakeFiles/phoenix_kube.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/phoenix_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/phoenix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_core.dir/chaos.cc.o"
+  "CMakeFiles/phoenix_core.dir/chaos.cc.o.d"
+  "CMakeFiles/phoenix_core.dir/controller.cc.o"
+  "CMakeFiles/phoenix_core.dir/controller.cc.o.d"
+  "CMakeFiles/phoenix_core.dir/packing.cc.o"
+  "CMakeFiles/phoenix_core.dir/packing.cc.o.d"
+  "CMakeFiles/phoenix_core.dir/planner.cc.o"
+  "CMakeFiles/phoenix_core.dir/planner.cc.o.d"
+  "CMakeFiles/phoenix_core.dir/preemption.cc.o"
+  "CMakeFiles/phoenix_core.dir/preemption.cc.o.d"
+  "CMakeFiles/phoenix_core.dir/rto.cc.o"
+  "CMakeFiles/phoenix_core.dir/rto.cc.o.d"
+  "CMakeFiles/phoenix_core.dir/schemes.cc.o"
+  "CMakeFiles/phoenix_core.dir/schemes.cc.o.d"
+  "CMakeFiles/phoenix_core.dir/store.cc.o"
+  "CMakeFiles/phoenix_core.dir/store.cc.o.d"
+  "libphoenix_core.a"
+  "libphoenix_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

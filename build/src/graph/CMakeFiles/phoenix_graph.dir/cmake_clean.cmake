@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_graph.dir/digraph.cc.o"
+  "CMakeFiles/phoenix_graph.dir/digraph.cc.o.d"
+  "libphoenix_graph.a"
+  "libphoenix_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

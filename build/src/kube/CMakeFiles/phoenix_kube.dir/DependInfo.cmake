@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kube/kube.cc" "src/kube/CMakeFiles/phoenix_kube.dir/kube.cc.o" "gcc" "src/kube/CMakeFiles/phoenix_kube.dir/kube.cc.o.d"
+  "/root/repo/src/kube/manifest.cc" "src/kube/CMakeFiles/phoenix_kube.dir/manifest.cc.o" "gcc" "src/kube/CMakeFiles/phoenix_kube.dir/manifest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/phoenix_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/phoenix_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/phoenix_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_kube.dir/kube.cc.o"
+  "CMakeFiles/phoenix_kube.dir/kube.cc.o.d"
+  "CMakeFiles/phoenix_kube.dir/manifest.cc.o"
+  "CMakeFiles/phoenix_kube.dir/manifest.cc.o.d"
+  "libphoenix_kube.a"
+  "libphoenix_kube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_kube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

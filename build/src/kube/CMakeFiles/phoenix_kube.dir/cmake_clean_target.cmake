@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphoenix_kube.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/branch_bound.cc" "src/lp/CMakeFiles/phoenix_lp.dir/branch_bound.cc.o" "gcc" "src/lp/CMakeFiles/phoenix_lp.dir/branch_bound.cc.o.d"
+  "/root/repo/src/lp/model.cc" "src/lp/CMakeFiles/phoenix_lp.dir/model.cc.o" "gcc" "src/lp/CMakeFiles/phoenix_lp.dir/model.cc.o.d"
+  "/root/repo/src/lp/simplex.cc" "src/lp/CMakeFiles/phoenix_lp.dir/simplex.cc.o" "gcc" "src/lp/CMakeFiles/phoenix_lp.dir/simplex.cc.o.d"
+  "/root/repo/src/lp/waterfill.cc" "src/lp/CMakeFiles/phoenix_lp.dir/waterfill.cc.o" "gcc" "src/lp/CMakeFiles/phoenix_lp.dir/waterfill.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phoenix_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_lp.dir/branch_bound.cc.o"
+  "CMakeFiles/phoenix_lp.dir/branch_bound.cc.o.d"
+  "CMakeFiles/phoenix_lp.dir/model.cc.o"
+  "CMakeFiles/phoenix_lp.dir/model.cc.o.d"
+  "CMakeFiles/phoenix_lp.dir/simplex.cc.o"
+  "CMakeFiles/phoenix_lp.dir/simplex.cc.o.d"
+  "CMakeFiles/phoenix_lp.dir/waterfill.cc.o"
+  "CMakeFiles/phoenix_lp.dir/waterfill.cc.o.d"
+  "libphoenix_lp.a"
+  "libphoenix_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_sim.dir/cluster.cc.o"
+  "CMakeFiles/phoenix_sim.dir/cluster.cc.o.d"
+  "CMakeFiles/phoenix_sim.dir/failure.cc.o"
+  "CMakeFiles/phoenix_sim.dir/failure.cc.o.d"
+  "CMakeFiles/phoenix_sim.dir/metrics.cc.o"
+  "CMakeFiles/phoenix_sim.dir/metrics.cc.o.d"
+  "libphoenix_sim.a"
+  "libphoenix_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

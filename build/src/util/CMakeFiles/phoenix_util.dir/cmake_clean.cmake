@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_util.dir/log.cc.o"
+  "CMakeFiles/phoenix_util.dir/log.cc.o.d"
+  "CMakeFiles/phoenix_util.dir/stats.cc.o"
+  "CMakeFiles/phoenix_util.dir/stats.cc.o.d"
+  "CMakeFiles/phoenix_util.dir/table.cc.o"
+  "CMakeFiles/phoenix_util.dir/table.cc.o.d"
+  "libphoenix_util.a"
+  "libphoenix_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

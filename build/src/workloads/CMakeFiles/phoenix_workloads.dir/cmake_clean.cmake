@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phoenix_workloads.dir/alibaba.cc.o"
+  "CMakeFiles/phoenix_workloads.dir/alibaba.cc.o.d"
+  "CMakeFiles/phoenix_workloads.dir/coverage.cc.o"
+  "CMakeFiles/phoenix_workloads.dir/coverage.cc.o.d"
+  "CMakeFiles/phoenix_workloads.dir/resources.cc.o"
+  "CMakeFiles/phoenix_workloads.dir/resources.cc.o.d"
+  "CMakeFiles/phoenix_workloads.dir/tagging.cc.o"
+  "CMakeFiles/phoenix_workloads.dir/tagging.cc.o.d"
+  "libphoenix_workloads.a"
+  "libphoenix_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phoenix_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

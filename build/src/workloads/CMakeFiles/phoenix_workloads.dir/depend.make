@@ -1,0 +1,2 @@
+# Empty dependencies file for phoenix_workloads.
+# This may be replaced when dependencies are built.

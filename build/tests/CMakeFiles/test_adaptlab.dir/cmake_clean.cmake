@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptlab.dir/test_adaptlab.cc.o"
+  "CMakeFiles/test_adaptlab.dir/test_adaptlab.cc.o.d"
+  "test_adaptlab"
+  "test_adaptlab.pdb"
+  "test_adaptlab[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

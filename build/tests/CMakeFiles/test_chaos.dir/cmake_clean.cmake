@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chaos.dir/test_chaos.cc.o"
+  "CMakeFiles/test_chaos.dir/test_chaos.cc.o.d"
+  "test_chaos"
+  "test_chaos.pdb"
+  "test_chaos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

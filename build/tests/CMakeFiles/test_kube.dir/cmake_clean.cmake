@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kube.dir/test_kube.cc.o"
+  "CMakeFiles/test_kube.dir/test_kube.cc.o.d"
+  "test_kube"
+  "test_kube.pdb"
+  "test_kube[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

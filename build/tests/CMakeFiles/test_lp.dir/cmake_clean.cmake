@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp.dir/test_lp.cc.o"
+  "CMakeFiles/test_lp.dir/test_lp.cc.o.d"
+  "test_lp"
+  "test_lp.pdb"
+  "test_lp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

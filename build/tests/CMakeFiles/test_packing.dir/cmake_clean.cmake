@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packing.dir/test_packing.cc.o"
+  "CMakeFiles/test_packing.dir/test_packing.cc.o.d"
+  "test_packing"
+  "test_packing.pdb"
+  "test_packing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

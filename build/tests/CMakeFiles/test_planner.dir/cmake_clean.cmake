@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_planner.dir/test_planner.cc.o"
+  "CMakeFiles/test_planner.dir/test_planner.cc.o.d"
+  "test_planner"
+  "test_planner.pdb"
+  "test_planner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

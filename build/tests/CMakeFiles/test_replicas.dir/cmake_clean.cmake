@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replicas.dir/test_replicas.cc.o"
+  "CMakeFiles/test_replicas.dir/test_replicas.cc.o.d"
+  "test_replicas"
+  "test_replicas.pdb"
+  "test_replicas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

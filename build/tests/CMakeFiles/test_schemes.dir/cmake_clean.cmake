@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schemes.dir/test_schemes.cc.o"
+  "CMakeFiles/test_schemes.dir/test_schemes.cc.o.d"
+  "test_schemes"
+  "test_schemes.pdb"
+  "test_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

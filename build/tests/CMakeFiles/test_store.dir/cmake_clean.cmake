@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store.dir/test_store.cc.o"
+  "CMakeFiles/test_store.dir/test_store.cc.o.d"
+  "test_store"
+  "test_store.pdb"
+  "test_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
