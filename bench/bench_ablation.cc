@@ -9,12 +9,15 @@
  *     (Alg. 1 literal) vs skip-app-and-continue.
  *  3. Packer stages: best-fit only, +migrations, +deletions, and the
  *     paper-literal abort-on-unplaceable.
+ *
+ * Each variant is a scheme spec on the exp engine's grid; --jobs
+ * parallelizes (variant x rate x trial) cells.
  */
 
 #include <iostream>
 
-#include "adaptlab/runner.h"
 #include "bench/bench_common.h"
+#include "exp/grid.h"
 #include "util/table.h"
 
 using namespace phoenix;
@@ -23,27 +26,37 @@ using namespace phoenix::core;
 
 namespace {
 
-void
-report(util::Table &table, const std::string &variant,
-       const Environment &env, ResilienceScheme &scheme, double rate)
+exp::SchemeSpec
+variantSpec(const std::string &name, PlannerOptions planner_options,
+            PackingOptions packing_options = {})
 {
-    std::vector<TrialMetrics> batch;
-    for (uint64_t t = 0; t < 3; ++t)
-        batch.push_back(runFailureTrial(env, scheme, rate, 900 + t));
-    const TrialMetrics m = averageTrials(batch);
-    table.row()
-        .cell(variant)
-        .cell(rate, 1)
-        .cell(m.availability)
-        .cell(m.utilization)
-        .cell(m.planSeconds + m.packSeconds, 4);
+    return exp::SchemeSpec{
+        name, [planner_options, packing_options] {
+            return std::make_unique<PhoenixScheme>(
+                Objective::Fair, planner_options, packing_options);
+        }};
+}
+
+void
+printGrid(const std::vector<exp::SweepAggregate> &aggregates,
+          util::Table &table)
+{
+    for (const auto &agg : aggregates) {
+        table.row()
+            .cell(agg.scheme)
+            .cell(agg.failureRate, 1)
+            .cell(agg.mean.availability)
+            .cell(agg.mean.utilization)
+            .cell(agg.mean.planSeconds + agg.mean.packSeconds, 4);
+    }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = bench::parseOptions(argc, argv, "ablation");
     auto config = bench::paperEnvironment(
         workloads::TaggingScheme::ServiceLevel, 0.9,
         workloads::ResourceModel::CallsPerMinute);
@@ -51,67 +64,75 @@ main()
                   " nodes, Service-Level-P90 + CPM");
     const Environment env = buildEnvironment(config);
 
-    bench::banner("1+2: planner variants (PhoenixFair)");
-    util::Table planner_table({"variant", "failure-rate", "availability",
-                               "utilization", "time(s)"});
-    for (double rate : {0.5, 0.9}) {
-        {
-            PhoenixScheme scheme(Objective::Fair);
-            report(planner_table, "default(equal-tag,stop)", env,
-                   scheme, rate);
-        }
-        {
-            PlannerOptions options;
-            options.eagerDfsDescend = true;
-            PhoenixScheme scheme(Objective::Fair, options);
-            report(planner_table, "eager-dfs(paper-literal)", env,
-                   scheme, rate);
-        }
-        {
-            PlannerOptions options;
-            options.stopAtFirstOverflow = false;
-            PhoenixScheme scheme(Objective::Fair, options);
-            report(planner_table, "skip-overflow", env, scheme, rate);
-        }
-    }
-    planner_table.print(std::cout);
+    exp::Report report("ablation");
+    report.meta("nodes", static_cast<int64_t>(config.nodeCount));
 
-    bench::banner("3: packer stages (PhoenixFair)");
-    util::Table packer_table({"variant", "failure-rate", "availability",
-                              "utilization", "time(s)"});
-    for (double rate : {0.5, 0.9}) {
-        {
-            PhoenixScheme scheme(Objective::Fair);
-            report(packer_table, "bestfit+migrate+delete", env, scheme,
-                   rate);
-        }
-        {
-            PackingOptions options;
-            options.allowMigrations = false;
-            PhoenixScheme scheme(Objective::Fair, {}, options);
-            report(packer_table, "no-migrations", env, scheme, rate);
-        }
-        {
-            PackingOptions options;
-            options.allowDeletions = false;
-            PhoenixScheme scheme(Objective::Fair, {}, options);
-            report(packer_table, "no-deletions", env, scheme, rate);
-        }
-        {
-            PackingOptions options;
-            options.allowMigrations = false;
-            options.allowDeletions = false;
-            PhoenixScheme scheme(Objective::Fair, {}, options);
-            report(packer_table, "bestfit-only", env, scheme, rate);
-        }
-        {
-            PackingOptions options;
-            options.abortOnUnplaceable = true;
-            PhoenixScheme scheme(Objective::Fair, {}, options);
-            report(packer_table, "abort-on-unplaceable(paper)", env,
-                   scheme, rate);
-        }
+    const std::vector<double> rates{0.5, 0.9};
+    const int trials = options.trialsOr(3);
+    const uint64_t seed_base = options.seedOr(900);
+
+    {
+        bench::banner("1+2: planner variants (PhoenixFair)");
+        exp::SweepGridSpec spec;
+        spec.schemes.push_back(
+            variantSpec("default(equal-tag,stop)", {}));
+        PlannerOptions eager;
+        eager.eagerDfsDescend = true;
+        spec.schemes.push_back(
+            variantSpec("eager-dfs(paper-literal)", eager));
+        PlannerOptions skip;
+        skip.stopAtFirstOverflow = false;
+        spec.schemes.push_back(variantSpec("skip-overflow", skip));
+        spec.failureRates = rates;
+        spec.trials = trials;
+        spec.seedBase = seed_base;
+        spec = exp::filterSchemes(spec, options.filter);
+
+        const auto aggregates =
+            exp::runGrid(env, spec, bench::engineOptions(options));
+        util::Table table({"variant", "failure-rate", "availability",
+                           "utilization", "time(s)"});
+        printGrid(aggregates, table);
+        table.print(std::cout);
+        report.addSweep("planner_variants", aggregates);
     }
-    packer_table.print(std::cout);
+
+    {
+        bench::banner("3: packer stages (PhoenixFair)");
+        exp::SweepGridSpec spec;
+        spec.schemes.push_back(
+            variantSpec("bestfit+migrate+delete", {}));
+        PackingOptions no_migrations;
+        no_migrations.allowMigrations = false;
+        spec.schemes.push_back(
+            variantSpec("no-migrations", {}, no_migrations));
+        PackingOptions no_deletions;
+        no_deletions.allowDeletions = false;
+        spec.schemes.push_back(
+            variantSpec("no-deletions", {}, no_deletions));
+        PackingOptions bestfit;
+        bestfit.allowMigrations = false;
+        bestfit.allowDeletions = false;
+        spec.schemes.push_back(
+            variantSpec("bestfit-only", {}, bestfit));
+        PackingOptions abort_unplaceable;
+        abort_unplaceable.abortOnUnplaceable = true;
+        spec.schemes.push_back(variantSpec(
+            "abort-on-unplaceable(paper)", {}, abort_unplaceable));
+        spec.failureRates = rates;
+        spec.trials = trials;
+        spec.seedBase = seed_base;
+        spec = exp::filterSchemes(spec, options.filter);
+
+        const auto aggregates =
+            exp::runGrid(env, spec, bench::engineOptions(options));
+        util::Table table({"variant", "failure-rate", "availability",
+                           "utilization", "time(s)"});
+        printGrid(aggregates, table);
+        table.print(std::cout);
+        report.addSweep("packer_stages", aggregates);
+    }
+
+    bench::finishReport(report, options);
     return 0;
 }

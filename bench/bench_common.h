@@ -17,8 +17,50 @@
 #include <string>
 
 #include "adaptlab/environment.h"
+#include "exp/engine.h"
+#include "exp/options.h"
+#include "exp/pool.h"
+#include "exp/report.h"
 
 namespace phoenix::bench {
+
+/**
+ * Parse the shared harness flags (--jobs, --json, --csv, --filter,
+ * --trials, --seed). The JSON report defaults to BENCH_<name>.json in
+ * the working directory so CI tracks every run; pass --json none to
+ * disable.
+ */
+inline exp::Options
+parseOptions(int argc, char **argv, const std::string &name)
+{
+    return exp::parseOptions(argc, argv, name);
+}
+
+/** Engine options for the parsed --jobs value. */
+inline exp::EngineOptions
+engineOptions(const exp::Options &options)
+{
+    exp::EngineOptions engine;
+    engine.jobs = options.jobs;
+    return engine;
+}
+
+/**
+ * Write the report wherever the flags asked for it and say so on
+ * stdout (the ASCII tables above remain the human-readable output).
+ */
+inline void
+finishReport(exp::Report &report, const exp::Options &options)
+{
+    report.meta("jobs", static_cast<int64_t>(
+                            exp::resolveJobs(options.jobs)));
+    if (report.writeJsonFile(options.jsonPath))
+        std::cout << "[report] JSON written to " << options.jsonPath
+                  << "\n";
+    if (report.writeCsvFile(options.csvPath))
+        std::cout << "[report] CSV written to " << options.csvPath
+                  << "\n";
+}
 
 /** True when ADAPTLAB_FULL_SCALE=1 is exported. */
 inline bool

@@ -4,7 +4,8 @@
  * substrate. The run mirrors the paper's: five application instances
  * on a 25-node / 200-CPU cluster; at t1=600 s kubelet is stopped on 14
  * nodes (capacity drops to ~42-44%); at t5=1500 s the kubelets
- * restart. PhoenixCost and Kubernetes Default are each run once.
+ * restart. PhoenixCost and Kubernetes Default are each run once;
+ * --jobs 2 runs the two simulations concurrently.
  *
  * Output:
  *  (a/b) critical-service availability over time for both schemes,
@@ -114,8 +115,8 @@ run(bool with_phoenix)
     return result;
 }
 
-void
-printSeries(const std::string &title,
+util::Table
+seriesTable(const std::string &title,
             const std::map<double, std::map<std::string, double>> &series)
 {
     bench::banner(title);
@@ -137,21 +138,29 @@ printSeries(const std::string &title,
             table.cell(row.at(key), 2);
     }
     table.print(std::cout);
+    return table;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = bench::parseOptions(argc, argv, "fig6");
     bench::banner(
         "Figure 6 | recovery run: fail 14/25 nodes at t=600 s, "
         "restore at t=1500 s");
     std::cout << "events: t1=600 failure injected; detection after the "
                  "~100 s node grace;\n        t5=1500 nodes return\n";
 
-    const RunResult phoenix = run(true);
-    const RunResult fallback = run(false);
+    // The two recovery simulations are independent; run them as two
+    // tasks on the shared pool.
+    RunResult results[2];
+    exp::parallelFor(options.jobs, 2, [&](size_t i) {
+        results[i] = run(i == 0);
+    });
+    const RunResult &phoenix = results[0];
+    const RunResult &fallback = results[1];
 
     bench::banner("(a)/(b) critical service availability over time");
     util::Table avail({"t(s)", "PhoenixCost", "Default"});
@@ -177,13 +186,15 @@ main()
     }
     timeline.print(std::cout);
 
-    printSeries("(c) Overleaf0 served RPS under Phoenix",
-                phoenix.overleafRps);
-    printSeries("(d) Overleaf0 end-user utility under Phoenix",
-                phoenix.overleafUtil);
-    printSeries("(e) HR1 served RPS under Phoenix", phoenix.hrRps);
-    printSeries("(f) HR1 end-user utility under Phoenix",
-                phoenix.hrUtil);
+    const auto overleaf_rps = seriesTable(
+        "(c) Overleaf0 served RPS under Phoenix", phoenix.overleafRps);
+    const auto overleaf_util =
+        seriesTable("(d) Overleaf0 end-user utility under Phoenix",
+                    phoenix.overleafUtil);
+    const auto hr_rps =
+        seriesTable("(e) HR1 served RPS under Phoenix", phoenix.hrRps);
+    const auto hr_util = seriesTable(
+        "(f) HR1 end-user utility under Phoenix", phoenix.hrUtil);
 
     // Headline numbers.
     double phoenix_min = 1.0;
@@ -200,5 +211,18 @@ main()
               << default_min * 5 << "/5 for Default ("
               << (default_min > 0 ? phoenix_min / default_min : 0)
               << "x).\n";
+
+    exp::Report report("fig6");
+    report.meta("fail_at_s", kFailAt);
+    report.meta("recover_at_s", kRecoverAt);
+    report.meta("phoenix_min_availability", phoenix_min);
+    report.meta("default_min_availability", default_min);
+    report.addTable("availability", avail);
+    report.addTable("replan_timeline", timeline);
+    report.addTable("overleaf_rps", overleaf_rps);
+    report.addTable("overleaf_utility", overleaf_util);
+    report.addTable("hr_rps", hr_rps);
+    report.addTable("hr_utility", hr_util);
+    bench::finishReport(report, options);
     return 0;
 }

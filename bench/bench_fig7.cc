@@ -10,22 +10,26 @@
  * scalability (Fig 8b) exactly as the paper does.
  *
  * Default: 2,000-node cluster (same trends); ADAPTLAB_FULL_SCALE=1
- * runs the paper's 100,000 nodes.
+ * runs the paper's 100,000 nodes. The (scheme x rate x trial) grid
+ * runs on the exp engine: --jobs N parallelizes the cells with
+ * bit-identical output for every N.
  */
 
+#include <chrono>
 #include <iostream>
 
-#include "adaptlab/runner.h"
-#include "core/preemption.h"
 #include "bench/bench_common.h"
+#include "core/preemption.h"
+#include "exp/grid.h"
 #include "util/table.h"
 
 using namespace phoenix;
 using namespace phoenix::adaptlab;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = bench::parseOptions(argc, argv, "fig7");
     const auto config = bench::paperEnvironment(
         workloads::TaggingScheme::ServiceLevel, 0.9,
         workloads::ResourceModel::CallsPerMinute);
@@ -33,33 +37,54 @@ main()
                   std::to_string(config.nodeCount) + " nodes");
 
     const Environment env = buildEnvironment(config);
-    const std::vector<double> rates{0.1, 0.3, 0.5, 0.7, 0.9};
-    const int trials = 5;
 
-    auto schemes = core::makeAllSchemes(false);
+    exp::SweepGridSpec spec;
+    spec.schemes = exp::paperSchemeSpecs(false);
     // The paper's §2 foil: Kubernetes PriorityClass preemption, the
     // existing infrastructure-level mechanism.
-    schemes.push_back(std::make_unique<core::KubePreemptionScheme>());
+    spec.schemes.push_back(
+        exp::schemeSpec<core::KubePreemptionScheme>("K8sPreemption"));
+    spec.failureRates = {0.1, 0.3, 0.5, 0.7, 0.9};
+    spec.trials = options.trialsOr(5);
+    spec.seedBase = options.seedOr(100);
+    spec = exp::filterSchemes(spec, options.filter);
+
+    const auto started = std::chrono::steady_clock::now();
+    const auto aggregates =
+        exp::runGrid(env, spec, bench::engineOptions(options));
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - started)
+            .count();
+
     util::Table table({"scheme", "failure-rate", "availability",
                        "availability(strict)", "norm-revenue",
                        "fair-dev(+)", "fair-dev(-)"});
-    for (auto &scheme : schemes) {
-        const auto rows = sweepScheme(env, *scheme, rates, trials);
-        for (const auto &row : rows) {
-            table.row()
-                .cell(row.scheme)
-                .cell(row.metrics.failureRate, 1)
-                .cell(row.metrics.availability)
-                .cell(row.metrics.availabilityStrict)
-                .cell(row.metrics.revenue)
-                .cell(row.metrics.fairnessPositive)
-                .cell(row.metrics.fairnessNegative);
-        }
+    for (const auto &agg : aggregates) {
+        table.row()
+            .cell(agg.scheme)
+            .cell(agg.mean.failureRate, 1)
+            .cell(agg.mean.availability)
+            .cell(agg.mean.availabilityStrict)
+            .cell(agg.mean.revenue)
+            .cell(agg.mean.fairnessPositive)
+            .cell(agg.mean.fairnessNegative);
     }
     table.print(std::cout);
     std::cout << "(a) availability: PhoenixFair/PhoenixCost stay on "
                  "top; Priority collapses at high failure;\n"
                  "(b) revenue: PhoenixCost maximal; (c) PhoenixFair "
                  "has the least total fair-share deviation.\n";
+    std::cout << "grid: " << spec.cellCount() << " cells in "
+              << util::formatDouble(wall, 2) << " s\n";
+
+    exp::Report report("fig7");
+    report.meta("nodes", static_cast<int64_t>(config.nodeCount));
+    report.meta("full_scale", bench::fullScale() ? "yes" : "no");
+    report.meta("trials", static_cast<int64_t>(spec.trials));
+    report.meta("seed_base", static_cast<int64_t>(spec.seedBase));
+    report.meta("grid_wall_seconds", wall);
+    report.addSweep("fig7", aggregates);
+    bench::finishReport(report, options);
     return 0;
 }

@@ -7,20 +7,23 @@
  * Phoenix's placement loses almost nothing relative to the planner's
  * target, and packs at least as well as Default while spending the
  * capacity on critical services.
+ *
+ * The (scheme x rate x trial) grid runs on the exp engine (--jobs).
  */
 
 #include <iostream>
 
-#include "adaptlab/runner.h"
 #include "bench/bench_common.h"
+#include "exp/grid.h"
 #include "util/table.h"
 
 using namespace phoenix;
 using namespace phoenix::adaptlab;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = bench::parseOptions(argc, argv, "fig8c");
     const auto config = bench::paperEnvironment(
         workloads::TaggingScheme::ServiceLevel, 0.9,
         workloads::ResourceModel::CallsPerMinute);
@@ -28,30 +31,63 @@ main()
                   std::to_string(config.nodeCount) + " nodes");
 
     const Environment env = buildEnvironment(config);
-    core::PhoenixScheme phoenix(core::Objective::Fair);
-    core::DefaultScheme def;
 
+    exp::SweepGridSpec spec;
+    spec.schemes = {
+        exp::SchemeSpec{"PhoenixFair",
+                        [] {
+                            return std::make_unique<
+                                core::PhoenixScheme>(
+                                core::Objective::Fair);
+                        }},
+        exp::schemeSpec<core::DefaultScheme>("Default"),
+    };
+    spec.failureRates = {0.1, 0.3, 0.5, 0.7, 0.9};
+    spec.trials = options.trialsOr(5);
+    spec.seedBase = options.seedOr(500);
+    spec = exp::filterSchemes(spec, options.filter);
+
+    const auto aggregates =
+        exp::runGrid(env, spec, bench::engineOptions(options));
+
+    // Aggregates arrive scheme-major: PhoenixFair rows first, then
+    // Default, one per rate — pair them up per failure rate.
+    const size_t rate_count = spec.failureRates.size();
     util::Table table({"failure-rate", "Phoenix-planner",
                        "Phoenix-scheduler", "Default",
                        "planner-to-scheduler-drop"});
-    for (double rate : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-        std::vector<TrialMetrics> px_batch;
-        std::vector<TrialMetrics> df_batch;
-        for (uint64_t t = 0; t < 5; ++t) {
-            px_batch.push_back(
-                runFailureTrial(env, phoenix, rate, 500 + t));
-            df_batch.push_back(
-                runFailureTrial(env, def, rate, 500 + t));
+    if (spec.schemes.size() == 2) {
+        for (size_t r = 0; r < rate_count; ++r) {
+            const auto &px = aggregates[r];
+            const auto &df = aggregates[rate_count + r];
+            table.row()
+                .cell(px.failureRate, 1)
+                .cell(px.mean.plannerUtilization)
+                .cell(px.mean.utilization)
+                .cell(df.mean.utilization)
+                .cell(px.mean.plannerUtilization -
+                      px.mean.utilization);
         }
-        const TrialMetrics px = averageTrials(px_batch);
-        const TrialMetrics df = averageTrials(df_batch);
-        table.row()
-            .cell(rate, 1)
-            .cell(px.plannerUtilization)
-            .cell(px.utilization)
-            .cell(df.utilization)
-            .cell(px.plannerUtilization - px.utilization);
+    } else {
+        // --filter left a single scheme: print what remains.
+        for (const auto &agg : aggregates) {
+            table.row()
+                .cell(agg.failureRate, 1)
+                .cell(agg.mean.plannerUtilization)
+                .cell(agg.mean.utilization)
+                .cell(0.0)
+                .cell(agg.mean.plannerUtilization -
+                      agg.mean.utilization);
+        }
     }
     table.print(std::cout);
+
+    exp::Report report("fig8c");
+    report.meta("nodes", static_cast<int64_t>(config.nodeCount));
+    report.meta("trials", static_cast<int64_t>(spec.trials));
+    report.meta("seed_base", static_cast<int64_t>(spec.seedBase));
+    report.addSweep("fig8c", aggregates);
+    report.addTable("fig8c_breakdown", table);
+    bench::finishReport(report, options);
     return 0;
 }

@@ -17,8 +17,9 @@
 using namespace phoenix;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = bench::parseOptions(argc, argv, "fig9");
     bench::banner("Figure 9 | resource breakdown across criticalities");
 
     const apps::CloudLabTestbed testbed = apps::makeCloudLabTestbed();
@@ -61,5 +62,13 @@ main()
               << "all C1 = " << critical / testbed.totalCapacity()
               << " of the cluster (breaking point for the Fig 5/6 "
                  "failures).\n";
+
+    exp::Report report("fig9");
+    report.meta("total_demand_cpus", total);
+    report.meta("c1_fraction_of_cluster",
+                critical / testbed.totalCapacity());
+    report.addTable("per_criticality", table);
+    report.addTable("per_app", apps_table);
+    bench::finishReport(report, options);
     return 0;
 }

@@ -6,52 +6,69 @@
  * failure rates with all schemes — 8 configuration panels, each
  * reporting availability, revenue and fair-share deviation. The paper
  * finds Phoenix on top in every panel.
+ *
+ * Each panel's (scheme x rate x trial) grid runs on the exp engine;
+ * --jobs parallelizes within a panel.
  */
 
 #include <iostream>
 
-#include "adaptlab/runner.h"
 #include "bench/bench_common.h"
+#include "exp/grid.h"
 #include "util/table.h"
 
 using namespace phoenix;
 using namespace phoenix::adaptlab;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = bench::parseOptions(argc, argv, "standalone");
     const std::vector<double> rates{0.1, 0.5, 0.9};
-    const int trials = bench::fullScale() ? 5 : 3;
+    const int trials = options.trialsOr(bench::fullScale() ? 5 : 3);
+
+    exp::Report report("standalone");
+    report.meta("trials", static_cast<int64_t>(trials));
 
     for (auto resources : {workloads::ResourceModel::CallsPerMinute,
                            workloads::ResourceModel::LongTailed}) {
         for (const auto &tagging : workloads::paperTaggingConfigs()) {
             auto config = bench::paperEnvironment(
                 tagging.scheme, tagging.percentile, resources);
-            bench::banner(
-                "Figs 10-16 | " + workloads::taggingName(tagging) +
-                " + " + workloads::resourceModelName(resources) + ", " +
-                std::to_string(config.nodeCount) + " nodes");
+            const std::string panel =
+                workloads::taggingName(tagging) + " + " +
+                workloads::resourceModelName(resources);
+            bench::banner("Figs 10-16 | " + panel + ", " +
+                          std::to_string(config.nodeCount) + " nodes");
 
             const Environment env = buildEnvironment(config);
-            auto schemes = core::makeAllSchemes(false);
-            util::Table table({"scheme", "failure-rate", "availability",
-                               "norm-revenue", "fair-dev(+)",
-                               "fair-dev(-)"});
-            for (auto &scheme : schemes) {
-                for (const auto &row :
-                     sweepScheme(env, *scheme, rates, trials)) {
-                    table.row()
-                        .cell(row.scheme)
-                        .cell(row.metrics.failureRate, 1)
-                        .cell(row.metrics.availability)
-                        .cell(row.metrics.revenue)
-                        .cell(row.metrics.fairnessPositive)
-                        .cell(row.metrics.fairnessNegative);
-                }
+
+            exp::SweepGridSpec spec;
+            spec.schemes = exp::paperSchemeSpecs(false);
+            spec.failureRates = rates;
+            spec.trials = trials;
+            spec.seedBase = options.seedOr(100);
+            spec = exp::filterSchemes(spec, options.filter);
+
+            const auto aggregates = exp::runGrid(
+                env, spec, bench::engineOptions(options));
+
+            util::Table table({"scheme", "failure-rate",
+                               "availability", "norm-revenue",
+                               "fair-dev(+)", "fair-dev(-)"});
+            for (const auto &agg : aggregates) {
+                table.row()
+                    .cell(agg.scheme)
+                    .cell(agg.mean.failureRate, 1)
+                    .cell(agg.mean.availability)
+                    .cell(agg.mean.revenue)
+                    .cell(agg.mean.fairnessPositive)
+                    .cell(agg.mean.fairnessNegative);
             }
             table.print(std::cout);
+            report.addSweep(panel, aggregates);
         }
     }
+    bench::finishReport(report, options);
     return 0;
 }

@@ -53,8 +53,9 @@ cellOf(double p95)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto options = bench::parseOptions(argc, argv, "table1");
     bench::banner("Table 1 | P95 latency before/after diagonal scaling");
 
     // Before: everything running, cluster at ~50% utilization.
@@ -104,5 +105,11 @@ main()
     std::cout << "Paper reference: edits 141 -> 144; compile 4317.9 -> "
                  "-; spell_check 2296.7 -> -; reserve 55.33 -> 50.11; "
                  "recommend/search/login pruned.\n";
+
+    exp::Report report("table1");
+    report.meta("utilization_before", util_before);
+    report.meta("utilization_after", util_after);
+    report.addTable("p95_latencies", table);
+    bench::finishReport(report, options);
     return 0;
 }

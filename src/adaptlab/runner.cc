@@ -122,9 +122,7 @@ sweepScheme(const Environment &env, core::ResilienceScheme &scheme,
         std::vector<TrialMetrics> batch;
         for (int t = 0; t < trials; ++t) {
             batch.push_back(runFailureTrial(
-                env, scheme, rate,
-                seed_base + static_cast<uint64_t>(t) * 7919 +
-                    static_cast<uint64_t>(rate * 1000)));
+                env, scheme, rate, trialSeed(seed_base, rate, t)));
         }
         rows.push_back(SweepRow{scheme.name(), averageTrials(batch)});
     }

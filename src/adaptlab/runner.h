@@ -17,8 +17,24 @@
 #include "adaptlab/environment.h"
 #include "core/schemes.h"
 #include "sim/metrics.h"
+#include "util/rng.h"
 
 namespace phoenix::adaptlab {
+
+/**
+ * Seed of the (failure-rate, trial) cell of a sweep grid: a SplitMix64
+ * chain over the sweep's base seed and the cell coordinates. Every
+ * sweep runner — serial or parallel — derives per-trial seeds through
+ * this one function, so results are independent of execution order.
+ * Schemes are deliberately NOT part of the seed: all schemes face the
+ * same failure draws (common random numbers), as in the paper.
+ */
+inline uint64_t
+trialSeed(uint64_t seed_base, double failure_rate, int trial)
+{
+    return util::cellSeed(seed_base, util::doubleBits(failure_rate),
+                          static_cast<uint64_t>(trial));
+}
 
 /** Metrics of one (scheme, failure-rate, seed) trial. */
 struct TrialMetrics

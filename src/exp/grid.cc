@@ -1,0 +1,60 @@
+#include "grid.h"
+
+namespace phoenix::exp {
+
+std::vector<SchemeSpec>
+paperSchemeSpecs(bool include_lps, core::LpSchemeOptions lp_options)
+{
+    using core::Objective;
+    std::vector<SchemeSpec> specs;
+    specs.push_back(SchemeSpec{"PhoenixFair", [] {
+        return std::make_unique<core::PhoenixScheme>(Objective::Fair);
+    }});
+    specs.push_back(SchemeSpec{"PhoenixCost", [] {
+        return std::make_unique<core::PhoenixScheme>(Objective::Cost);
+    }});
+    specs.push_back(schemeSpec<core::FairScheme>("Fair"));
+    specs.push_back(schemeSpec<core::PriorityScheme>("Priority"));
+    specs.push_back(schemeSpec<core::DefaultScheme>("Default"));
+    if (include_lps) {
+        specs.push_back(SchemeSpec{"LPFair", [lp_options] {
+            return std::make_unique<core::LpScheme>(Objective::Fair,
+                                                    lp_options);
+        }});
+        specs.push_back(SchemeSpec{"LPCost", [lp_options] {
+            return std::make_unique<core::LpScheme>(Objective::Cost,
+                                                    lp_options);
+        }});
+    }
+    return specs;
+}
+
+std::vector<GridCell>
+enumerateCells(const SweepGridSpec &spec)
+{
+    std::vector<GridCell> cells;
+    cells.reserve(spec.cellCount());
+    for (size_t s = 0; s < spec.schemes.size(); ++s) {
+        for (size_t r = 0; r < spec.failureRates.size(); ++r) {
+            for (int t = 0; t < spec.trials; ++t)
+                cells.push_back(GridCell{s, r, t});
+        }
+    }
+    return cells;
+}
+
+SweepGridSpec
+filterSchemes(SweepGridSpec spec, const std::string &substring)
+{
+    if (substring.empty())
+        return spec;
+    std::vector<SchemeSpec> kept;
+    for (auto &scheme : spec.schemes) {
+        if (scheme.name.find(substring) != std::string::npos)
+            kept.push_back(std::move(scheme));
+    }
+    spec.schemes = std::move(kept);
+    return spec;
+}
+
+} // namespace phoenix::exp

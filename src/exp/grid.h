@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Declarative experiment grids. A sweep is the cross product
+ *
+ *     scheme x failure-rate x trial
+ *
+ * over one environment; each cell is an independent failure trial
+ * whose RNG seed is a SplitMix64 hash of the sweep's base seed and
+ * the cell's (failure-rate, trial) coordinates (adaptlab::trialSeed).
+ * Schemes are represented as factories, not instances: every cell
+ * constructs its own scheme object, so no mutable scheme state is
+ * ever shared between concurrently executing cells.
+ */
+
+#ifndef PHOENIX_EXP_GRID_H
+#define PHOENIX_EXP_GRID_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/schemes.h"
+
+namespace phoenix::exp {
+
+/** A named scheme factory; make() yields a fresh instance per cell. */
+struct SchemeSpec
+{
+    std::string name;
+    std::function<std::unique_ptr<core::ResilienceScheme>()> make;
+};
+
+/** Convenience: spec for a default-constructible scheme type. */
+template <typename Scheme, typename... Args>
+SchemeSpec
+schemeSpec(const std::string &name, Args... args)
+{
+    return SchemeSpec{name, [args...] {
+                          return std::make_unique<Scheme>(args...);
+                      }};
+}
+
+/**
+ * Factories for every scheme evaluated in the paper, in figure order
+ * (mirrors core::makeAllSchemes).
+ */
+std::vector<SchemeSpec>
+paperSchemeSpecs(bool include_lps,
+                 core::LpSchemeOptions lp_options = {});
+
+/** One sweep grid over a fixed environment. */
+struct SweepGridSpec
+{
+    std::vector<SchemeSpec> schemes;
+    std::vector<double> failureRates;
+    int trials = 5;
+    uint64_t seedBase = 100;
+
+    size_t
+    cellCount() const
+    {
+        return schemes.size() * failureRates.size() *
+               static_cast<size_t>(trials < 0 ? 0 : trials);
+    }
+};
+
+/** Coordinates of one cell of a SweepGridSpec. */
+struct GridCell
+{
+    size_t scheme = 0;
+    size_t rate = 0;
+    int trial = 0;
+};
+
+/**
+ * All cells in canonical order: scheme-major, then failure rate, then
+ * trial — exactly the nesting of the legacy serial sweep loops, so
+ * aggregation in this order reproduces them bit for bit.
+ */
+std::vector<GridCell> enumerateCells(const SweepGridSpec &spec);
+
+/**
+ * Keep only schemes whose name contains @p substring (empty keeps
+ * all) — the engine side of the shared --filter flag.
+ */
+SweepGridSpec filterSchemes(SweepGridSpec spec,
+                            const std::string &substring);
+
+} // namespace phoenix::exp
+
+#endif // PHOENIX_EXP_GRID_H

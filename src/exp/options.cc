@@ -1,0 +1,93 @@
+#include "options.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace phoenix::exp {
+
+namespace {
+
+void
+usage(const std::string &benchName, std::ostream &os)
+{
+    os << "usage: " << benchName << " [options]\n"
+       << "  --jobs N      worker threads (0 = all cores, 1 = serial;"
+          " default 0)\n"
+       << "  --json PATH   JSON report path (default BENCH_"
+       << benchName << ".json, 'none' disables)\n"
+       << "  --csv PATH    CSV report path (default none)\n"
+       << "  --filter SUB  only schemes whose name contains SUB\n"
+       << "  --trials N    override trial count\n"
+       << "  --seed N      override sweep base seed\n"
+       << "  --help        this message\n";
+}
+
+[[noreturn]] void
+fail(const std::string &benchName, const std::string &message)
+{
+    std::cerr << benchName << ": " << message << "\n";
+    usage(benchName, std::cerr);
+    std::exit(2);
+}
+
+long long
+parseInt(const std::string &benchName, const std::string &flag,
+         const char *text)
+{
+    char *end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0')
+        fail(benchName, flag + " expects an integer, got '" +
+                            std::string(text) + "'");
+    return value;
+}
+
+} // namespace
+
+Options
+parseOptions(int argc, char **argv, const std::string &benchName)
+{
+    Options options;
+    options.benchName = benchName;
+    options.jsonPath = "BENCH_" + benchName + ".json";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fail(benchName, arg + " expects a value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(benchName, std::cout);
+            std::exit(0);
+        } else if (arg == "--jobs") {
+            options.jobs =
+                static_cast<int>(parseInt(benchName, arg, value()));
+            if (options.jobs < 0)
+                fail(benchName, "--jobs must be >= 0");
+        } else if (arg == "--json") {
+            options.jsonPath = value();
+        } else if (arg == "--csv") {
+            options.csvPath = value();
+        } else if (arg == "--filter") {
+            options.filter = value();
+        } else if (arg == "--trials") {
+            options.trials =
+                static_cast<int>(parseInt(benchName, arg, value()));
+            if (options.trials < 0)
+                fail(benchName, "--trials must be >= 0");
+        } else if (arg == "--seed") {
+            options.seed = parseInt(benchName, arg, value());
+            if (options.seed < 0)
+                fail(benchName, "--seed must be >= 0");
+        } else {
+            fail(benchName, "unknown flag '" + arg + "'");
+        }
+    }
+    return options;
+}
+
+} // namespace phoenix::exp

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared command-line flags for every bench harness:
+ *
+ *   --jobs N       worker threads (0 = hardware_concurrency; 1 =
+ *                  legacy serial path, no thread pool)
+ *   --json PATH    JSON report path (default BENCH_<name>.json;
+ *                  "none" disables)
+ *   --csv PATH     CSV report path (default none)
+ *   --filter SUB   keep only schemes whose name contains SUB
+ *   --trials N     override the harness's trial count
+ *   --seed N       override the sweep's base seed
+ *
+ * Unknown flags print usage and exit(2); --help prints usage and
+ * exit(0).
+ */
+
+#ifndef PHOENIX_EXP_OPTIONS_H
+#define PHOENIX_EXP_OPTIONS_H
+
+#include <string>
+
+namespace phoenix::exp {
+
+struct Options
+{
+    std::string benchName;
+    int jobs = 0;
+    std::string jsonPath; // defaulted to BENCH_<name>.json
+    std::string csvPath = "none";
+    std::string filter;
+    int trials = -1;         // -1 = harness default
+    int64_t seed = -1;       // -1 = harness default
+
+    /** @p fallback if --trials was not given. */
+    int
+    trialsOr(int fallback) const
+    {
+        return trials >= 0 ? trials : fallback;
+    }
+
+    /** @p fallback if --seed was not given. */
+    uint64_t
+    seedOr(uint64_t fallback) const
+    {
+        return seed >= 0 ? static_cast<uint64_t>(seed) : fallback;
+    }
+};
+
+/** Parse argv; exits on --help or malformed flags. */
+Options parseOptions(int argc, char **argv,
+                     const std::string &benchName);
+
+} // namespace phoenix::exp
+
+#endif // PHOENIX_EXP_OPTIONS_H

@@ -1,0 +1,157 @@
+#include "pool.h"
+
+#include <algorithm>
+
+namespace phoenix::exp {
+
+namespace {
+
+/** Worker index of the current thread, or SIZE_MAX off-pool. */
+thread_local size_t tls_worker_index = static_cast<size_t>(-1);
+thread_local const WorkStealingPool *tls_worker_pool = nullptr;
+
+} // namespace
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+WorkStealingPool::WorkStealingPool(int threads)
+{
+    const int n = std::max(1, threads);
+    workers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        threads_.emplace_back(
+            [this, i] { workerLoop(static_cast<size_t>(i)); });
+}
+
+WorkStealingPool::~WorkStealingPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+void
+WorkStealingPool::submit(std::function<void()> task)
+{
+    // The push happens under stateMutex_ so it cannot interleave with
+    // a worker's empty-recheck in workerLoop (which also holds it) —
+    // otherwise a notify could fire while the worker is between its
+    // recheck and its wait, and the task would sleep until the next
+    // submission.
+    std::lock_guard<std::mutex> lock(stateMutex_);
+    ++pending_;
+    // A worker submitting from inside a task keeps the child local to
+    // its own deque; external callers deal round-robin.
+    const size_t target = tls_worker_pool == this
+                              ? tls_worker_index
+                              : nextWorker_++ % workers_.size();
+    {
+        std::lock_guard<std::mutex> wlock(workers_[target]->mutex);
+        workers_[target]->tasks.push_back(std::move(task));
+    }
+    workAvailable_.notify_one();
+}
+
+void
+WorkStealingPool::wait()
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    allDone_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool
+WorkStealingPool::popOwn(size_t self, std::function<void()> &task)
+{
+    Worker &worker = *workers_[self];
+    std::lock_guard<std::mutex> lock(worker.mutex);
+    if (worker.tasks.empty())
+        return false;
+    task = std::move(worker.tasks.back());
+    worker.tasks.pop_back();
+    return true;
+}
+
+bool
+WorkStealingPool::steal(size_t self, std::function<void()> &task)
+{
+    const size_t n = workers_.size();
+    for (size_t offset = 1; offset < n; ++offset) {
+        Worker &victim = *workers_[(self + offset) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (victim.tasks.empty())
+            continue;
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+WorkStealingPool::workerLoop(size_t self)
+{
+    tls_worker_index = self;
+    tls_worker_pool = this;
+    for (;;) {
+        std::function<void()> task;
+        if (popOwn(self, task) || steal(self, task)) {
+            task();
+            std::lock_guard<std::mutex> lock(stateMutex_);
+            if (--pending_ == 0)
+                allDone_.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(stateMutex_);
+        if (stopping_)
+            return;
+        // Re-check the deques under the state lock: a submit between
+        // our failed scan and this wait would otherwise be missed.
+        bool any = false;
+        for (const auto &worker : workers_) {
+            std::lock_guard<std::mutex> wlock(worker->mutex);
+            if (!worker->tasks.empty()) {
+                any = true;
+                break;
+            }
+        }
+        if (any)
+            continue;
+        workAvailable_.wait(lock);
+    }
+}
+
+int
+parallelFor(int jobs, size_t count, const std::function<void(size_t)> &fn)
+{
+    const int resolved = resolveJobs(jobs);
+    if (resolved == 1 || count <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return 1;
+    }
+    const int threads =
+        static_cast<int>(std::min<size_t>(
+            count, static_cast<size_t>(resolved)));
+    WorkStealingPool pool(threads);
+    for (size_t i = 0; i < count; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+    return threads;
+}
+
+} // namespace phoenix::exp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Structured result export for the benchmark harnesses. A Report
+ * collects run metadata, display tables, and typed sweep aggregates;
+ * it serializes to JSON (one document per bench run, the machine
+ * readable record CI tracks as BENCH_<name>.json) and to CSV (one
+ * block per section) — alongside, never instead of, the ASCII tables
+ * the harnesses print.
+ */
+
+#ifndef PHOENIX_EXP_REPORT_H
+#define PHOENIX_EXP_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/engine.h"
+#include "util/table.h"
+
+namespace phoenix::exp {
+
+/** Escape and quote a string as a JSON literal. */
+std::string jsonQuote(const std::string &text);
+
+/** Shortest round-trippable JSON rendering of a double. */
+std::string jsonNumber(double value);
+
+class Report
+{
+  public:
+    explicit Report(std::string benchName);
+
+    /** Attach a metadata key (nodes, scale, jobs, ...). */
+    void meta(const std::string &key, const std::string &value);
+    void meta(const std::string &key, double value);
+    void meta(const std::string &key, int64_t value);
+
+    /** Add a display table as a section (cells exported as strings). */
+    void addTable(const std::string &section, const util::Table &table);
+
+    /** Add sweep aggregates as a typed section. */
+    void addSweep(const std::string &section,
+                  const std::vector<SweepAggregate> &aggregates);
+
+    void writeJson(std::ostream &os) const;
+    void writeCsv(std::ostream &os) const;
+
+    /** Write to @p path; empty or "none" is a no-op. Returns whether
+     * a file was written (failures are reported on stderr). */
+    bool writeJsonFile(const std::string &path) const;
+    bool writeCsvFile(const std::string &path) const;
+
+  private:
+    struct Section
+    {
+        std::string name;
+        bool isSweep = false;
+        util::Table table{std::vector<std::string>{}};
+        std::vector<SweepAggregate> sweep;
+    };
+
+    std::string benchName_;
+    std::vector<std::pair<std::string, std::string>> meta_; // pre-encoded
+    std::vector<Section> sections_;
+};
+
+} // namespace phoenix::exp
+
+#endif // PHOENIX_EXP_REPORT_H

@@ -28,6 +28,44 @@ splitmix64(uint64_t &state)
     return z ^ (z >> 31);
 }
 
+/** Stateless splitmix64 finalizer: one well-mixed output word. */
+inline uint64_t
+splitmix64Mix(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Raw bit pattern of a double, for hashing real-valued coordinates. */
+inline uint64_t
+doubleBits(double value)
+{
+    static_assert(sizeof(double) == sizeof(uint64_t));
+    uint64_t bits = 0;
+    __builtin_memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+/**
+ * Derive an independent seed from a base seed and integer cell
+ * coordinates by chaining each coordinate through the splitmix64
+ * finalizer. Unlike additive formulas (seed + t*7919 + rate*1000),
+ * nearby cells — and cells from sweeps with different bases — map to
+ * unrelated seeds, so no two cells of an experiment grid share a
+ * failure draw by accident.
+ */
+template <typename... Coords>
+inline uint64_t
+cellSeed(uint64_t base, Coords... coords)
+{
+    uint64_t h = splitmix64Mix(base);
+    ((h = splitmix64Mix(h ^ splitmix64Mix(static_cast<uint64_t>(coords)))),
+     ...);
+    return h;
+}
+
 /**
  * Seeded xoshiro256** generator with the distribution helpers the
  * workload generators need (uniform, exponential, log-normal, Pareto,

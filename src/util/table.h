@@ -40,6 +40,13 @@ class Table
 
     size_t rowCount() const { return rows_.size(); }
 
+    const std::vector<std::string> &header() const { return header_; }
+    const std::vector<std::vector<std::string>> &
+    rows() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
 
 #include "util/rng.h"
@@ -23,6 +24,47 @@ TEST(Rng, DeterministicForSeed)
         EXPECT_EQ(a(), b());
     Rng c(124);
     EXPECT_NE(Rng(123)(), c());
+}
+
+TEST(Rng, SplitmixMixIsStatelessAndMatchesStep)
+{
+    // The stateless finalizer mixes exactly like one splitmix64 step.
+    uint64_t state = 42;
+    const uint64_t stepped = splitmix64(state);
+    EXPECT_EQ(splitmix64Mix(42), stepped);
+    EXPECT_EQ(splitmix64Mix(42), splitmix64Mix(42));
+    EXPECT_NE(splitmix64Mix(42), splitmix64Mix(43));
+}
+
+TEST(Rng, CellSeedHasNoAdditiveStructure)
+{
+    // Regression for the old sweep seeding (base + t*7919 +
+    // rate*1000): additive formulas let different cells — and sweeps
+    // with different bases — land on the same seed. cellSeed must
+    // separate all of these.
+    std::set<uint64_t> seeds;
+    size_t cells = 0;
+    for (uint64_t base : {100ull, 500ull, 507ull, 900ull}) {
+        for (uint64_t rate_bits : {1ull, 2ull, 4046ull, 8092ull}) {
+            for (uint64_t t = 0; t < 100; ++t) {
+                seeds.insert(cellSeed(base, rate_bits, t));
+                ++cells;
+            }
+        }
+    }
+    EXPECT_EQ(seeds.size(), cells);
+
+    // Coordinate order matters: (a, b) and (b, a) are different cells.
+    EXPECT_NE(cellSeed(1, 2, 3), cellSeed(1, 3, 2));
+    // And the arity matters too.
+    EXPECT_NE(cellSeed(1, 2), cellSeed(1, 2, 0));
+}
+
+TEST(Rng, DoubleBitsIsExact)
+{
+    EXPECT_EQ(doubleBits(0.5), 0x3fe0000000000000ull);
+    EXPECT_NE(doubleBits(0.5), doubleBits(0.5000000000000001));
+    EXPECT_EQ(doubleBits(0.0), 0ull);
 }
 
 TEST(Rng, UniformRange)
