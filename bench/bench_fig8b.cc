@@ -9,11 +9,25 @@
  * The 100,000-node Phoenix point is the paper's headline (<10 s) and
  * is always measured, regardless of ADAPTLAB_FULL_SCALE.
  *
+ * Besides the plan/pack wall-clock phase breakdown, every cell reports
+ * the deterministic hot-path operation counters (planner/packer queue
+ * pushes, best-fit probes, reference-only child-sort elements) — these
+ * are seed-stable, so regressions show up as exact integer diffs even
+ * on noisy machines — and the run records its peak RSS.
+ *
+ * FIG8B_SMOKE=1 turns the harness into a ctest smoke gate: only the
+ * 1,000-node Phoenix cells run, and their op counters are asserted
+ * against recorded bounds (exit 1 on violation). A counter above the
+ * bound means the hot path got algorithmically heavier; zero counters
+ * mean the instrumentation broke.
+ *
  * This harness measures wall-clock planning time, so unlike the other
  * grids it defaults to --jobs 1: concurrent cells would contend for
  * cores and inflate the very numbers being reported. Pass --jobs N
  * explicitly to trade timing fidelity for throughput.
  */
+
+#include <sys/resource.h>
 
 #include <iostream>
 
@@ -59,30 +73,92 @@ sizedConfig(size_t nodes)
     return config;
 }
 
+/** Peak resident set size of this process, in MiB. */
+double
+peakRssMiB()
+{
+    struct rusage usage = {};
+    getrusage(RUSAGE_SELF, &usage);
+    // Linux reports ru_maxrss in KiB.
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/**
+ * Smoke bounds for the 1,000-node Phoenix cells (seedBase 1234, rate
+ * 0.5, one trial): the counters are deterministic, so these are the
+ * recorded values with ~30% headroom. childSortElems must be exactly
+ * zero — the flat hot path never copies/sorts successor lists.
+ */
+struct SmokeBound
+{
+    double maxHeapPushes;
+    double maxBestFitProbes;
+};
+
+// Observed at the 1,000-node point: 3,596 pushes / 649 probes for both
+// Phoenix schemes (the counters are seed-deterministic, so any drift
+// is a real algorithmic change). Bounds leave ~1.4x headroom.
+constexpr SmokeBound kSmokeBound{5000.0, 1000.0};
+
+bool
+smokeCheck(const exp::SweepAggregate &agg)
+{
+    bool ok = true;
+    const auto check = [&](const char *what, double value, double low,
+                           double high) {
+        if (value < low || value > high) {
+            std::cerr << "FIG8B_SMOKE: " << agg.scheme << " " << what
+                      << " = " << value << " outside [" << low << ", "
+                      << high << "]\n";
+            ok = false;
+        }
+    };
+    check("ops_heap_pushes", agg.mean.opsHeapPushes, 1.0,
+          kSmokeBound.maxHeapPushes);
+    check("ops_best_fit_probes", agg.mean.opsBestFitProbes, 1.0,
+          kSmokeBound.maxBestFitProbes);
+    check("ops_child_sort_elems", agg.mean.opsChildSortElems, 0.0, 0.0);
+    return ok;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    const char *smoke_env = std::getenv("FIG8B_SMOKE");
+    const bool smoke = smoke_env && std::string(smoke_env) == "1";
+
     auto options = bench::parseOptions(argc, argv, "fig8b");
     if (options.jobs == 0)
         options.jobs = 1; // timing fidelity; see file header
-    bench::banner("Figure 8(b) | time to adapt vs cluster size");
+    bench::banner(smoke
+                      ? "Figure 8(b) smoke | 1,000-node counter gate"
+                      : "Figure 8(b) | time to adapt vs cluster size");
     if (options.jobs != 1)
         std::cout << "note: --jobs " << options.jobs
                   << " overlaps timed cells; reported times include "
                      "contention\n";
 
     util::Table table({"nodes", "scheme", "plan(s)", "pack(s)",
-                       "total(s)", "status"});
+                       "total(s)", "pushes", "probes", "sortelems",
+                       "status"});
     exp::Report report("fig8b");
 
-    for (size_t nodes : {100ul, 1000ul, 10000ul, 100000ul}) {
+    const std::vector<size_t> sizes =
+        smoke ? std::vector<size_t>{1000ul}
+              : std::vector<size_t>{100ul, 1000ul, 10000ul, 100000ul};
+    bool smoke_ok = true;
+
+    for (size_t nodes : sizes) {
         const Environment env = buildEnvironment(sizedConfig(nodes));
 
         exp::SweepGridSpec spec;
         spec.schemes = exp::paperSchemeSpecs(false);
-        if (nodes <= 1000) {
+        if (smoke) {
+            const auto all = exp::paperSchemeSpecs(false);
+            spec.schemes = {all[0], all[1]}; // PhoenixFair/PhoenixCost
+        } else if (nodes <= 1000) {
             core::LpSchemeOptions lp_options;
             lp_options.timeLimitSec = 10.0;
             const auto with_lps =
@@ -110,22 +186,42 @@ main(int argc, char **argv)
                 .cell(agg.mean.planSeconds, 4)
                 .cell(agg.mean.packSeconds, 4)
                 .cell(agg.mean.planSeconds + agg.mean.packSeconds, 4)
+                .cell(agg.mean.opsHeapPushes, 0)
+                .cell(agg.mean.opsBestFitProbes, 0)
+                .cell(agg.mean.opsChildSortElems, 0)
                 .cell(failed ? "gave-up" : "ok");
+            if (smoke)
+                smoke_ok = smokeCheck(agg) && smoke_ok;
         }
-        if (nodes > 1000 && options.filter.empty()) {
+        if (!smoke && nodes > 1000 && options.filter.empty()) {
             table.row().cell(nodes).cell("LPFair").cell("-").cell("-")
-                .cell("-").cell("does-not-scale");
+                .cell("-").cell("-").cell("-").cell("-")
+                .cell("does-not-scale");
             table.row().cell(nodes).cell("LPCost").cell("-").cell("-")
-                .cell("-").cell("does-not-scale");
+                .cell("-").cell("-").cell("-").cell("-")
+                .cell("does-not-scale");
         }
         report.addSweep("nodes_" + std::to_string(nodes), aggregates);
     }
     table.print(std::cout);
-    std::cout << "Headline: Phoenix replans a 100,000-node cluster in "
-                 "under 10 s; the LPs hit their wall-clock limit at "
-                 "1,000 nodes already.\n";
+    const double rss = peakRssMiB();
+    std::cout << "Peak RSS: " << rss << " MiB\n";
+    if (!smoke) {
+        std::cout
+            << "Headline: Phoenix replans a 100,000-node cluster in "
+               "under 10 s; the LPs hit their wall-clock limit at "
+               "1,000 nodes already.\n";
+    }
 
+    report.meta("peak_rss_mib", rss);
     report.addTable("fig8b_times", table);
     bench::finishReport(report, options);
+
+    if (smoke && !smoke_ok) {
+        std::cerr << "FIG8B_SMOKE: counter bounds violated\n";
+        return 1;
+    }
+    if (smoke)
+        std::cout << "FIG8B_SMOKE: counters within recorded bounds\n";
     return 0;
 }

@@ -31,6 +31,12 @@ runFailureTrial(const Environment &env, core::ResilienceScheme &scheme,
     core::SchemeResult result = scheme.apply(env.apps, cluster);
     metrics.planSeconds = result.planSeconds;
     metrics.packSeconds = result.packSeconds;
+    metrics.opsHeapPushes = static_cast<double>(
+        result.planOps.heapPushes + result.pack.ops.heapPushes);
+    metrics.opsBestFitProbes = static_cast<double>(
+        result.planOps.bestFitProbes + result.pack.ops.bestFitProbes);
+    metrics.opsChildSortElems = static_cast<double>(
+        result.planOps.childSortElems + result.pack.ops.childSortElems);
     metrics.schemeFailed = result.failed;
     if (result.failed)
         return metrics;
@@ -94,6 +100,9 @@ averageTrials(const std::vector<TrialMetrics> &trials)
         mean.planSeconds += t.planSeconds;
         mean.packSeconds += t.packSeconds;
         mean.requestsServed += t.requestsServed;
+        mean.opsHeapPushes += t.opsHeapPushes;
+        mean.opsBestFitProbes += t.opsBestFitProbes;
+        mean.opsChildSortElems += t.opsChildSortElems;
         n += 1.0;
     }
     if (n == 0.0)
@@ -109,6 +118,9 @@ averageTrials(const std::vector<TrialMetrics> &trials)
     mean.planSeconds /= n;
     mean.packSeconds /= n;
     mean.requestsServed /= n;
+    mean.opsHeapPushes /= n;
+    mean.opsBestFitProbes /= n;
+    mean.opsChildSortElems /= n;
     return mean;
 }
 

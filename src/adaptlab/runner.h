@@ -58,6 +58,13 @@ struct TrialMetrics
     double packSeconds = 0.0;
     /** Requests served per second after recovery (trace metric). */
     double requestsServed = 0.0;
+    /** Deterministic hot-path operation counts (planner + packer),
+     * stored as doubles so trial averaging works uniformly. These
+     * fingerprint implementation effort, not decisions, and are
+     * excluded from exp::canonicalMetricString. */
+    double opsHeapPushes = 0.0;
+    double opsBestFitProbes = 0.0;
+    double opsChildSortElems = 0.0;
     bool schemeFailed = false;
 };
 

@@ -1,5 +1,7 @@
 #include "controller.h"
 
+#include <algorithm>
+
 #include "util/log.h"
 
 namespace phoenix::core {
@@ -56,10 +58,13 @@ PhoenixController::poll()
             scheme_->apply(cluster_.apps(), cluster_.observedState());
         record.planSeconds = result.planSeconds + result.packSeconds;
 
+        // assignment() iterates ascending by PodRef, so the vector
+        // comes out sorted and membership checks can binary-search.
         target_.clear();
+        target_.reserve(result.pack.state.assignment().size());
         for (const auto &[pod, node] : result.pack.state.assignment()) {
             (void)node;
-            target_.insert(pod);
+            target_.push_back(pod);
         }
 
         for (const Action &action : result.pack.actions) {
@@ -107,7 +112,8 @@ PhoenixController::execute(const SchemeResult &result)
     for (const auto &app : cluster_.apps()) {
         for (const auto &ms : app.services) {
             const PodRef ref{app.id, ms.id};
-            if (!target_.count(ref)) {
+            if (!std::binary_search(target_.begin(), target_.end(),
+                                    ref)) {
                 const auto *pod = cluster_.pod(ref);
                 if (pod && !pod->scaledDown)
                     cluster_.deletePod(ref);

@@ -14,7 +14,6 @@
 #define PHOENIX_CORE_CONTROLLER_H
 
 #include <memory>
-#include <set>
 #include <vector>
 
 #include "core/schemes.h"
@@ -59,8 +58,11 @@ class PhoenixController
 
     const std::vector<ReplanRecord> &history() const { return history_; }
 
-    /** The most recent planned target (ranked pods). */
-    const std::set<sim::PodRef> &currentTarget() const { return target_; }
+    /** The most recent planned target, sorted ascending by PodRef. */
+    const std::vector<sim::PodRef> &currentTarget() const
+    {
+        return target_;
+    }
 
   private:
     void poll();
@@ -72,7 +74,9 @@ class PhoenixController
     ControllerConfig config_;
 
     double lastCapacity_ = -1.0;
-    std::set<sim::PodRef> target_;
+    /** Planned target pods, sorted (rebuilt per replan from the sorted
+     * assignment map, so no per-pod tree inserts). */
+    std::vector<sim::PodRef> target_;
     std::vector<ReplanRecord> history_;
 };
 

@@ -1,11 +1,13 @@
 #include "packing.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <map>
 #include <optional>
 #include <set>
 
+#include "util/bucketed_kv.h"
 #include "util/sorted_kv.h"
 
 namespace phoenix::core {
@@ -16,38 +18,500 @@ using sim::PodRef;
 
 namespace {
 
-/** Working context for one packing pass. */
+constexpr size_t kUnranked = std::numeric_limits<size_t>::max();
+constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+/** One planned migration (cpu carried so applying it needs no pod-size
+ * lookup). */
+struct Move
+{
+    PodRef pod;
+    NodeId target = 0;
+    double cpu = 0.0;
+};
+
+/**
+ * Per-run buffers shared by both bookkeeping policies: the deletion
+ * stack, pass-2 queue, and every transient vector the repack/deletion
+ * stages used to allocate per call. All recycled across pack() calls.
+ */
+struct PackCommon
+{
+    std::vector<PodRef> deletionOrder;
+    std::vector<PodRef> topUp;
+    std::vector<uint8_t> skippedApps; //!< app position -> skipped
+    std::vector<std::pair<double, PodRef>> movable;
+    std::vector<Move> moves;
+    std::vector<std::pair<double, NodeId>> candidates;
+    struct Victim
+    {
+        size_t rank;
+        PodRef pod;
+        double cpu;
+    };
+    std::vector<Victim> victims;
+    std::vector<PodRef> bestList;
+    std::vector<PodRef> victimList;
+};
+
+/**
+ * Original bookkeeping: red-black-tree capacity index, std::map rank
+ * index, std::set commit set. Rebuilt (and therefore reallocated)
+ * per run, like the pre-flat packer. The oracle side of the
+ * bit-identity suite.
+ */
+class ReferenceBook
+{
+  public:
+    void
+    init(const std::vector<sim::Application> &apps,
+         const ClusterState &state, const GlobalRank &ranked,
+         OpCounters &ops)
+    {
+        (void)apps;
+        ops_ = &ops;
+        byRemaining_ = util::SortedKv<double, NodeId>();
+        rankIndex_.clear();
+        committed_.clear();
+        for (NodeId id : state.healthyNodes()) {
+            byRemaining_.insert(state.remaining(id), id);
+            ++ops_->kvOps;
+        }
+        for (size_t i = 0; i < ranked.size(); ++i)
+            rankIndex_[{ranked[i].app, ranked[i].ms}] = i;
+    }
+
+    void
+    kvUpdate(double before, double after, NodeId node)
+    {
+        byRemaining_.erase(before, node);
+        byRemaining_.insert(after, node);
+        ops_->kvOps += 2;
+    }
+
+    std::optional<NodeId>
+    bestFit(double size) const
+    {
+        ++ops_->bestFitProbes;
+        const auto hit = byRemaining_.firstAtLeast(size);
+        if (!hit)
+            return std::nullopt;
+        return hit->second;
+    }
+
+    template <typename Visit>
+    void
+    forEachDescending(Visit visit) const
+    {
+        for (auto it = byRemaining_.rbegin(); it != byRemaining_.rend();
+             ++it) {
+            if (!visit(it->first, it->second))
+                return;
+        }
+    }
+
+    template <typename Visit>
+    void
+    forEachAtLeast(double bound, Visit visit) const
+    {
+        for (auto it = byRemaining_.lowerBound(bound);
+             it != byRemaining_.end(); ++it) {
+            if (!visit(it->first, it->second))
+                return;
+        }
+    }
+
+    size_t
+    rankOf(const PodRef &pod) const
+    {
+        auto it = rankIndex_.find({pod.app, pod.ms});
+        if (it == rankIndex_.end())
+            return kUnranked;
+        return it->second;
+    }
+
+    void commit(const PodRef &pod) { committed_.insert(pod); }
+    void uncommit(const PodRef &pod) { committed_.erase(pod); }
+    bool committed(const PodRef &pod) const
+    {
+        return committed_.count(pod) > 0;
+    }
+
+    bool
+    isActive(const ClusterState &state, const PodRef &pod) const
+    {
+        return state.isActive(pod);
+    }
+
+    std::optional<NodeId>
+    nodeOf(const ClusterState &state, const PodRef &pod) const
+    {
+        return state.nodeOf(pod);
+    }
+
+    void onPlaced(const PodRef &, NodeId) {}
+    void onEvicted(const PodRef &) {}
+
+    void parkedClear() { parked_.clear(); }
+    void parkedAdd(NodeId node, double cpu) { parked_[node] += cpu; }
+    double
+    parkedAt(NodeId node) const
+    {
+        auto it = parked_.find(node);
+        return it == parked_.end() ? 0.0 : it->second;
+    }
+
+    /** Deletion candidates sorted ascending by (rank, pod):
+     * decorate-sort-undecorate over every placed pod. */
+    void
+    buildDeletionOrder(const ClusterState &state,
+                       std::vector<PodRef> &out)
+    {
+        std::vector<std::pair<size_t, PodRef>> decorated;
+        decorated.reserve(state.assignment().size());
+        for (const auto &[pod, node] : state.assignment()) {
+            (void)node;
+            decorated.emplace_back(rankOf(pod), pod);
+        }
+        std::sort(decorated.begin(), decorated.end());
+        out.clear();
+        out.reserve(decorated.size());
+        for (const auto &[rank, pod] : decorated) {
+            (void)rank;
+            out.push_back(pod);
+        }
+    }
+
+  private:
+    util::SortedKv<double, NodeId> byRemaining_;
+    std::map<std::pair<sim::AppId, sim::MsId>, size_t> rankIndex_;
+    std::set<PodRef> committed_;
+    std::map<NodeId, double> parked_;
+    OpCounters *ops_ = nullptr;
+};
+
+/**
+ * Flat bookkeeping over a precomputed dense pod index: pods map to
+ * appBase[app] + ms -> msIdx, podBase[msIdx] + replica -> podIdx, so
+ * the commit set is a byte per pod, the rank index a size_t per
+ * microservice, and the pod->node mirror a NodeId per pod — all O(1)
+ * with no tree walks or hashing. The capacity index is a BucketedKv
+ * whose iteration order is byte-identical to the reference multiset.
+ * Every buffer persists across runs; steady-state packing allocates
+ * nothing for bookkeeping.
+ */
+class FlatBook
+{
+  public:
+    void
+    init(const std::vector<sim::Application> &apps,
+         const ClusterState &state, const GlobalRank &ranked,
+         OpCounters &ops)
+    {
+        ops_ = &ops;
+
+        // Dense (app position, ms, replica) -> pod index.
+        msBase_.resize(apps.size() + 1);
+        msBase_[0] = 0;
+        for (size_t a = 0; a < apps.size(); ++a)
+            msBase_[a + 1] = msBase_[a] + apps[a].services.size();
+        const size_t total_ms = msBase_.back();
+        podBase_.resize(total_ms + 1);
+        podBase_[0] = 0;
+        {
+            size_t idx = 0;
+            for (const auto &app : apps) {
+                for (const auto &ms : app.services) {
+                    podBase_[idx + 1] =
+                        podBase_[idx] +
+                        static_cast<size_t>(std::max(ms.replicas, 1));
+                    ++idx;
+                }
+            }
+        }
+        const size_t total_pods = podBase_.back();
+
+        rankMs_.assign(total_ms, kUnranked);
+        for (size_t i = 0; i < ranked.size(); ++i) {
+            const size_t ms = msIdx(ranked[i].app, ranked[i].ms);
+            if (ms != kUnranked)
+                rankMs_[ms] = i; // last writer wins, like map::operator[]
+        }
+
+        committedBits_.assign(total_pods, 0);
+        overflowCommitted_.clear();
+
+        activeNode_.assign(total_pods, kNoNode);
+        overflowActive_.clear();
+        for (const auto &[pod, node] : state.assignment()) {
+            const size_t idx = podIdx(pod);
+            if (idx != kUnranked)
+                activeNode_[idx] = node;
+            else
+                overflowActive_[pod] = node;
+        }
+
+        double max_capacity = 0.0;
+        for (NodeId id = 0; id < state.nodeCount(); ++id)
+            max_capacity = std::max(max_capacity, state.node(id).capacity);
+        size_t healthy = 0;
+        for (NodeId id = 0; id < state.nodeCount(); ++id)
+            healthy += state.isHealthy(id) ? 1 : 0;
+        byRemaining_.configure(max_capacity, healthy);
+        for (NodeId id = 0; id < state.nodeCount(); ++id) {
+            if (state.isHealthy(id)) {
+                byRemaining_.insert(state.remaining(id), id);
+                ++ops_->kvOps;
+            }
+        }
+
+        parked_.assign(state.nodeCount(), 0.0);
+        parkedTouched_.clear();
+    }
+
+    void
+    kvUpdate(double before, double after, NodeId node)
+    {
+        byRemaining_.erase(before, node);
+        byRemaining_.insert(after, node);
+        ops_->kvOps += 2;
+    }
+
+    std::optional<NodeId>
+    bestFit(double size) const
+    {
+        ++ops_->bestFitProbes;
+        const auto hit = byRemaining_.firstAtLeast(size);
+        if (!hit)
+            return std::nullopt;
+        return hit->second;
+    }
+
+    template <typename Visit>
+    void
+    forEachDescending(Visit visit) const
+    {
+        byRemaining_.scanDescending([&](const auto &entry) {
+            return visit(entry.first, entry.second);
+        });
+    }
+
+    template <typename Visit>
+    void
+    forEachAtLeast(double bound, Visit visit) const
+    {
+        byRemaining_.scanAtLeast(bound, [&](const auto &entry) {
+            return visit(entry.first, entry.second);
+        });
+    }
+
+    size_t
+    rankOf(const PodRef &pod) const
+    {
+        const size_t ms = msIdx(pod.app, pod.ms);
+        return ms == kUnranked ? kUnranked : rankMs_[ms];
+    }
+
+    void
+    commit(const PodRef &pod)
+    {
+        const size_t idx = podIdx(pod);
+        if (idx != kUnranked)
+            committedBits_[idx] = 1;
+        else
+            overflowCommitted_.insert(pod);
+    }
+
+    void
+    uncommit(const PodRef &pod)
+    {
+        const size_t idx = podIdx(pod);
+        if (idx != kUnranked)
+            committedBits_[idx] = 0;
+        else
+            overflowCommitted_.erase(pod);
+    }
+
+    bool
+    committed(const PodRef &pod) const
+    {
+        const size_t idx = podIdx(pod);
+        if (idx != kUnranked)
+            return committedBits_[idx] != 0;
+        return overflowCommitted_.count(pod) > 0;
+    }
+
+    bool
+    isActive(const ClusterState &, const PodRef &pod) const
+    {
+        const size_t idx = podIdx(pod);
+        if (idx != kUnranked)
+            return activeNode_[idx] != kNoNode;
+        return overflowActive_.count(pod) > 0;
+    }
+
+    std::optional<NodeId>
+    nodeOf(const ClusterState &, const PodRef &pod) const
+    {
+        const size_t idx = podIdx(pod);
+        if (idx != kUnranked) {
+            if (activeNode_[idx] == kNoNode)
+                return std::nullopt;
+            return activeNode_[idx];
+        }
+        auto it = overflowActive_.find(pod);
+        if (it == overflowActive_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    void
+    onPlaced(const PodRef &pod, NodeId node)
+    {
+        const size_t idx = podIdx(pod);
+        if (idx != kUnranked)
+            activeNode_[idx] = node;
+        else
+            overflowActive_[pod] = node;
+    }
+
+    void
+    onEvicted(const PodRef &pod)
+    {
+        const size_t idx = podIdx(pod);
+        if (idx != kUnranked)
+            activeNode_[idx] = kNoNode;
+        else
+            overflowActive_.erase(pod);
+    }
+
+    void
+    parkedClear()
+    {
+        for (NodeId node : parkedTouched_)
+            parked_[node] = 0.0;
+        parkedTouched_.clear();
+    }
+
+    void
+    parkedAdd(NodeId node, double cpu)
+    {
+        if (parked_[node] == 0.0)
+            parkedTouched_.push_back(node);
+        parked_[node] += cpu;
+    }
+
+    double parkedAt(NodeId node) const { return parked_[node]; }
+
+    /** Deletion candidates ascending by (rank, pod) via a counting
+     * sort over the rank domain — stable over the assignment map's
+     * PodRef-ascending iteration, so the output matches the reference
+     * decorate-sort exactly. */
+    void
+    buildDeletionOrder(const ClusterState &state,
+                       std::vector<PodRef> &out)
+    {
+        // Rank domain: [0, R) for ranked pods plus one unranked
+        // bucket, mapped to R.
+        size_t max_rank = 0;
+        for (size_t r : rankMs_) {
+            if (r != kUnranked)
+                max_rank = std::max(max_rank, r + 1);
+        }
+        sortCounts_.assign(max_rank + 2, 0);
+        for (const auto &[pod, node] : state.assignment()) {
+            (void)node;
+            const size_t r = rankOf(pod);
+            const size_t key = r == kUnranked ? max_rank : r;
+            ++sortCounts_[key + 1];
+        }
+        for (size_t k = 1; k < sortCounts_.size(); ++k)
+            sortCounts_[k] += sortCounts_[k - 1];
+        out.resize(state.assignment().size());
+        for (const auto &[pod, node] : state.assignment()) {
+            (void)node;
+            const size_t r = rankOf(pod);
+            const size_t key = r == kUnranked ? max_rank : r;
+            out[sortCounts_[key]++] = pod;
+        }
+    }
+
+  private:
+    /** Dense microservice index, or kUnranked when out of range. */
+    size_t
+    msIdx(sim::AppId app, sim::MsId ms) const
+    {
+        if (static_cast<size_t>(app) + 1 >= msBase_.size())
+            return kUnranked;
+        const size_t base = msBase_[app];
+        if (ms >= msBase_[app + 1] - base)
+            return kUnranked;
+        return base + ms;
+    }
+
+    /** Dense pod index, or kUnranked when out of range. */
+    size_t
+    podIdx(const PodRef &pod) const
+    {
+        const size_t ms = msIdx(pod.app, pod.ms);
+        if (ms == kUnranked)
+            return kUnranked;
+        const size_t base = podBase_[ms];
+        if (pod.replica >= podBase_[ms + 1] - base)
+            return kUnranked;
+        return base + pod.replica;
+    }
+
+    util::BucketedKv<NodeId> byRemaining_;
+    std::vector<size_t> msBase_;  //!< app position -> first msIdx
+    std::vector<size_t> podBase_; //!< msIdx -> first podIdx
+    std::vector<size_t> rankMs_;  //!< msIdx -> rank (kUnranked if none)
+    std::vector<uint8_t> committedBits_; //!< podIdx -> committed
+    std::vector<NodeId> activeNode_;     //!< podIdx -> node or kNoNode
+    std::vector<double> parked_;         //!< node -> hypothetical usage
+    std::vector<NodeId> parkedTouched_;
+    std::vector<size_t> sortCounts_;
+    // Pods outside the dense index (inconsistent env; normally empty).
+    std::map<PodRef, NodeId> overflowActive_;
+    std::set<PodRef> overflowCommitted_;
+    OpCounters *ops_ = nullptr;
+};
+
+/**
+ * The packing algorithm (Alg. 2), written once and templated over the
+ * bookkeeping policy. Every decision point consults the Book through
+ * the same total orders the reference containers exposed, so the two
+ * instantiations emit bit-identical action sequences.
+ */
+template <typename Book>
 class Packer
 {
   public:
     Packer(const std::vector<sim::Application> &apps,
            const ClusterState &current, const GlobalRank &ranked,
-           const PackingOptions &options)
-        : apps_(apps), options_(options), ranked_(ranked)
+           const PackingOptions &options, Book &book, PackCommon &common)
+        : apps_(apps), options_(options), ranked_(ranked), book_(book),
+          c_(common)
     {
         result_.state = current;
-        for (NodeId id : result_.state.healthyNodes())
-            byRemaining_.insert(result_.state.remaining(id), id);
-
-        for (size_t i = 0; i < ranked.size(); ++i)
-            rankIndex_[{ranked[i].app, ranked[i].ms}] = i;
+        book_.init(apps, result_.state, ranked, result_.ops);
     }
 
     PackResult
     run()
     {
-        buildDeletionOrder();
+        book_.buildDeletionOrder(result_.state, c_.deletionOrder);
+        c_.topUp.clear();
+        c_.skippedApps.assign(apps_.size(), 0);
 
         result_.complete = true;
-        std::set<sim::AppId> skipped_apps;
         bool aborted = false;
         for (const PodRef &entry : ranked_) {
             if (aborted)
                 break;
-            if (skipped_apps.count(entry.app))
+            if (c_.skippedApps[entry.app])
                 continue;
-            const auto &ms =
-                apps_[entry.app].services[entry.ms];
+            const auto &ms = apps_[entry.app].services[entry.ms];
             const double size = ms.cpu; // per-replica size
             const int replicas = std::max(ms.replicas, 1);
 
@@ -62,12 +526,12 @@ class Packer
                  ++r) {
                 const PodRef pod{entry.app, entry.ms,
                                  static_cast<uint32_t>(r)};
-                if (result_.state.isActive(pod)) {
-                    committed_.insert(pod);
+                if (book_.isActive(result_.state, pod)) {
+                    book_.commit(pod);
                     ++placed_replicas;
                     continue;
                 }
-                std::optional<NodeId> node = getBestFit(size);
+                std::optional<NodeId> node = book_.bestFit(size);
                 if (!node && options_.allowMigrations)
                     node = repackToFit(size);
                 if (!node && options_.allowDeletions)
@@ -75,7 +539,7 @@ class Packer
                 if (!node)
                     break;
                 placePod(pod, *node, size, ActionKind::Restart);
-                committed_.insert(pod);
+                book_.commit(pod);
                 ++placed_replicas;
             }
             // Keep surviving extras committed so pass-1 deletions for
@@ -83,13 +547,13 @@ class Packer
             for (int r = 0; r < replicas; ++r) {
                 const PodRef pod{entry.app, entry.ms,
                                  static_cast<uint32_t>(r)};
-                if (result_.state.isActive(pod))
-                    committed_.insert(pod);
+                if (book_.isActive(result_.state, pod))
+                    book_.commit(pod);
             }
 
             if (placed_replicas >= quorum) {
                 ++result_.placed;
-                topUp_.push_back(entry);
+                c_.topUp.push_back(entry);
                 continue;
             }
 
@@ -100,42 +564,42 @@ class Packer
             for (int r = 0; r < replicas; ++r) {
                 const PodRef pod{entry.app, entry.ms,
                                  static_cast<uint32_t>(r)};
-                if (result_.state.isActive(pod)) {
-                    committed_.erase(pod);
+                if (book_.isActive(result_.state, pod)) {
+                    book_.uncommit(pod);
                     evictPod(pod, ActionKind::Delete);
                 }
             }
             if (options_.abortOnUnplaceable)
                 aborted = true;
             else
-                skipped_apps.insert(entry.app);
+                c_.skippedApps[entry.app] = 1;
         }
 
         // Pass 2: opportunistically restore replicas beyond the quorum
         // with the remaining capacity (best-fit only; never disturbs
         // what pass 1 placed).
-        for (const PodRef &entry : topUp_) {
+        for (const PodRef &entry : c_.topUp) {
             const auto &ms = apps_[entry.app].services[entry.ms];
             const int replicas = std::max(ms.replicas, 1);
             for (int r = 0; r < replicas; ++r) {
                 const PodRef pod{entry.app, entry.ms,
                                  static_cast<uint32_t>(r)};
-                if (result_.state.isActive(pod))
+                if (book_.isActive(result_.state, pod))
                     continue;
-                const auto node = getBestFit(ms.cpu);
+                const auto node = book_.bestFit(ms.cpu);
                 if (!node) {
                     result_.complete = false;
                     break;
                 }
                 placePod(pod, *node, ms.cpu, ActionKind::Restart);
-                committed_.insert(pod);
+                book_.commit(pod);
             }
         }
         return std::move(result_);
     }
 
   private:
-    /** Keep byRemaining_ in sync while mutating the state. */
+    /** Keep the capacity index in sync while mutating the state. */
     void
     placePod(const PodRef &pod, NodeId node, double size, ActionKind kind,
              NodeId from = 0)
@@ -144,8 +608,8 @@ class Packer
         const bool ok = result_.state.place(pod, node, size);
         if (!ok)
             return; // defensive; callers pre-check capacity
-        byRemaining_.erase(before, node);
-        byRemaining_.insert(result_.state.remaining(node), node);
+        book_.kvUpdate(before, result_.state.remaining(node), node);
+        book_.onPlaced(pod, node);
         Action action;
         action.kind = kind;
         action.pod = pod;
@@ -157,13 +621,13 @@ class Packer
     void
     evictPod(const PodRef &pod, ActionKind kind, NodeId to = 0)
     {
-        const auto node = result_.state.nodeOf(pod);
+        const auto node = book_.nodeOf(result_.state, pod);
         if (!node)
             return;
         const double before = result_.state.remaining(*node);
         result_.state.evict(pod);
-        byRemaining_.erase(before, *node);
-        byRemaining_.insert(result_.state.remaining(*node), *node);
+        book_.kvUpdate(before, result_.state.remaining(*node), *node);
+        book_.onEvicted(pod);
         if (kind == ActionKind::Delete) {
             Action action;
             action.kind = ActionKind::Delete;
@@ -172,16 +636,6 @@ class Packer
             action.to = to;
             result_.actions.push_back(action);
         }
-    }
-
-    /** Best-fit: node with the smallest remaining capacity >= size. */
-    std::optional<NodeId>
-    getBestFit(double size) const
-    {
-        const auto hit = byRemaining_.firstAtLeast(size);
-        if (!hit)
-            return std::nullopt;
-        return hit->second;
     }
 
     /**
@@ -197,24 +651,21 @@ class Packer
         // repacking stays near-logarithmic per container — if the
         // emptiest nodes cannot be cleared, fuller ones cannot either.
         constexpr size_t kMaxCandidates = 8;
-        std::vector<std::pair<double, NodeId>> candidates;
-        for (auto it = byRemaining_.rbegin(); it != byRemaining_.rend();
-             ++it) {
-            candidates.push_back(*it);
-            if (candidates.size() >= kMaxCandidates)
-                break;
-        }
+        auto &candidates = c_.candidates;
+        candidates.clear();
+        book_.forEachDescending([&](double remaining, NodeId node) {
+            candidates.emplace_back(remaining, node);
+            return candidates.size() < kMaxCandidates;
+        });
 
         for (const auto &[remaining, node] : candidates) {
             (void)remaining;
-            auto moves = planMigrations(node, size);
-            if (!moves)
+            if (!planMigrations(node, size))
                 continue;
-            for (const auto &[pod, target] : *moves) {
-                const double pod_size = result_.state.podCpu(pod);
-                evictPod(pod, ActionKind::Migrate);
-                placePod(pod, target, pod_size, ActionKind::Migrate,
-                         node);
+            for (const Move &move : c_.moves) {
+                evictPod(move.pod, ActionKind::Migrate);
+                placePod(move.pod, move.target, move.cpu,
+                         ActionKind::Migrate, node);
             }
             if (result_.state.remaining(node) + 1e-9 >= size)
                 return node;
@@ -225,18 +676,18 @@ class Packer
     /**
      * Feasibility check for clearing @p size room on @p node by moving
      * its smallest migratable containers elsewhere. Pure planning: no
-     * state mutation; returns the move list on success. Committed
+     * state mutation; fills c_.moves on success. Committed
      * (higher-ranked) containers may migrate too — migration keeps
      * them live, and consolidating them is often the only way to
      * clear room for a large critical container on a cluster whose
      * survivors are spread across every node.
      *
      * Hypothetical placements are tracked as deltas against the live
-     * byRemaining_ index (no O(nodes) copy): an index entry's
-     * effective free space is its key minus whatever this plan has
-     * already parked on that node.
+     * capacity index (no O(nodes) copy): an index entry's effective
+     * free space is its key minus whatever this plan has already
+     * parked on that node.
      */
-    std::optional<std::vector<std::pair<PodRef, NodeId>>>
+    bool
     planMigrations(NodeId node, double size)
     {
         // Clearing a node by relocating many containers is excessive
@@ -244,60 +695,52 @@ class Packer
         constexpr size_t kMaxMoves = 16;
         constexpr size_t kMaxProbes = 24;
 
+        c_.moves.clear();
         const double have = result_.state.remaining(node);
         if (have + 1e-9 >= size)
-            return std::vector<std::pair<PodRef, NodeId>>{};
+            return true;
 
-        std::vector<std::pair<double, PodRef>> movable;
+        auto &movable = c_.movable;
+        movable.clear();
         for (const auto &[pod, cpu] : result_.state.podsOn(node))
             movable.emplace_back(cpu, pod);
         std::sort(movable.begin(), movable.end());
 
-        std::map<NodeId, double> parked; // hypothetical extra usage
-        std::vector<std::pair<PodRef, NodeId>> moves;
+        book_.parkedClear();
         double freed = have;
         for (const auto &[cpu, pod] : movable) {
             if (freed + 1e-9 >= size)
                 break;
-            if (moves.size() >= kMaxMoves)
+            if (c_.moves.size() >= kMaxMoves)
                 break;
             // Walk index entries from the best-fit point upward until
             // one is effectively big enough (entries are stale-high
-            // only for nodes in `parked`).
+            // only for nodes with parked capacity).
             std::optional<NodeId> target;
             size_t probes = 0;
-            for (auto it = byRemaining_.lowerBound(cpu);
-                 it != byRemaining_.end() && probes < kMaxProbes;
-                 ++it) {
+            book_.forEachAtLeast(cpu, [&](double key, NodeId cand) {
+                if (probes >= kMaxProbes)
+                    return false;
                 ++probes;
-                const NodeId cand = it->second;
+                ++result_.ops.bestFitProbes;
                 if (cand == node)
-                    continue;
-                double effective = it->first;
-                auto pit = parked.find(cand);
-                if (pit != parked.end())
-                    effective -= pit->second;
+                    return true;
+                const double effective = key - book_.parkedAt(cand);
                 if (effective + 1e-9 >= cpu) {
                     target = cand;
-                    break;
+                    return false;
                 }
-            }
+                return true;
+            });
             if (!target)
                 continue; // this pod cannot move; try a bigger one
-            parked[*target] += cpu;
-            moves.emplace_back(pod, *target);
+            book_.parkedAdd(*target, cpu);
+            c_.moves.push_back(Move{pod, *target, cpu});
             freed += cpu;
         }
-        if (freed + 1e-9 >= size)
-            return moves;
-        return std::nullopt;
+        return freed + 1e-9 >= size;
     }
 
-    /**
-     * Deletion stage: remove active containers in reverse planner
-     * order (unranked first, then lowest-ranked) until the incoming
-     * container fits by best-fit or repacking.
-     */
     /**
      * Targeted deletion: find a node whose lower-ranked containers can
      * be deleted to make exactly this container fit, and clear just
@@ -309,40 +752,44 @@ class Packer
     clearOneNodeToFit(size_t incoming_rank, double size)
     {
         constexpr size_t kMaxCandidates = 16;
+        auto &candidates = c_.candidates;
+        candidates.clear();
+        book_.forEachDescending([&](double remaining, NodeId node) {
+            candidates.emplace_back(remaining, node);
+            return candidates.size() < kMaxCandidates;
+        });
+
         std::optional<NodeId> best_node;
         size_t best_victims = std::numeric_limits<size_t>::max();
-        std::vector<PodRef> best_list;
+        auto &best_list = c_.bestList;
+        best_list.clear();
 
-        size_t considered = 0;
-        for (auto it = byRemaining_.rbegin();
-             it != byRemaining_.rend() && considered < kMaxCandidates;
-             ++it, ++considered) {
-            const NodeId node = it->second;
-            double free = it->first;
+        for (const auto &[free0, node] : candidates) {
+            double free = free0;
             // Victims on this node, lowest priority first.
-            std::vector<std::pair<size_t, PodRef>> victims;
+            auto &victims = c_.victims;
+            victims.clear();
             for (const auto &[pod, cpu] : result_.state.podsOn(node)) {
-                (void)cpu;
-                const size_t rank = rankOf(pod);
-                if (rank > incoming_rank && !committed_.count(pod))
-                    victims.emplace_back(rank, pod);
+                const size_t rank = book_.rankOf(pod);
+                if (rank > incoming_rank && !book_.committed(pod))
+                    victims.push_back(PackCommon::Victim{rank, pod, cpu});
             }
             std::sort(victims.begin(), victims.end(),
                       [](const auto &x, const auto &y) {
-                          return x.first > y.first;
+                          return x.rank > y.rank;
                       });
-            std::vector<PodRef> list;
-            for (const auto &[rank, pod] : victims) {
-                (void)rank;
+            auto &list = c_.victimList;
+            list.clear();
+            for (const auto &victim : victims) {
                 if (free + 1e-9 >= size)
                     break;
-                free += result_.state.podCpu(pod);
-                list.push_back(pod);
+                free += victim.cpu;
+                list.push_back(victim.pod);
             }
             if (free + 1e-9 >= size && list.size() < best_victims) {
                 best_victims = list.size();
                 best_node = node;
-                best_list = std::move(list);
+                std::swap(best_list, list);
             }
         }
 
@@ -353,26 +800,31 @@ class Packer
         return best_node;
     }
 
+    /**
+     * Deletion stage: remove active containers in reverse planner
+     * order (unranked first, then lowest-ranked) until the incoming
+     * container fits by best-fit or repacking.
+     */
     std::optional<NodeId>
     deleteLowerRanksToFit(const PodRef &incoming, double size)
     {
-        const size_t incoming_rank = rankOf(incoming);
+        const size_t incoming_rank = book_.rankOf(incoming);
         if (auto node = clearOneNodeToFit(incoming_rank, size))
             return node;
         size_t deletions = 0;
-        while (!deletionOrder_.empty()) {
-            const PodRef victim = deletionOrder_.back();
-            deletionOrder_.pop_back();
-            if (!result_.state.isActive(victim) ||
-                committed_.count(victim)) {
+        while (!c_.deletionOrder.empty()) {
+            const PodRef victim = c_.deletionOrder.back();
+            c_.deletionOrder.pop_back();
+            if (!book_.isActive(result_.state, victim) ||
+                book_.committed(victim)) {
                 continue;
             }
-            if (rankOf(victim) <= incoming_rank)
+            if (book_.rankOf(victim) <= incoming_rank)
                 break; // nothing lower-priority left
             evictPod(victim, ActionKind::Delete);
             ++deletions;
 
-            auto node = getBestFit(size);
+            auto node = book_.bestFit(size);
             // The repack attempt is markedly more expensive than the
             // best-fit probe; amortize it over batches of deletions so
             // deep deletion cascades stay near-linear.
@@ -388,59 +840,39 @@ class Packer
         return std::nullopt;
     }
 
-    size_t
-    rankOf(const PodRef &pod) const
-    {
-        auto it = rankIndex_.find({pod.app, pod.ms});
-        if (it == rankIndex_.end())
-            return std::numeric_limits<size_t>::max();
-        return it->second;
-    }
-
-    /**
-     * Deletion candidates: every currently active pod, ordered so the
-     * *lowest* priority pod sits at the back (pop order): unranked pods
-     * (rank == max) first, then ranked pods from the tail upward.
-     */
-    void
-    buildDeletionOrder()
-    {
-        // Decorate-sort-undecorate: rank lookups once per pod, not per
-        // comparison (this sort covers every placed pod).
-        std::vector<std::pair<size_t, PodRef>> decorated;
-        decorated.reserve(result_.state.assignment().size());
-        for (const auto &[pod, node] : result_.state.assignment()) {
-            (void)node;
-            decorated.emplace_back(rankOf(pod), pod);
-        }
-        std::sort(decorated.begin(), decorated.end());
-        deletionOrder_.reserve(decorated.size());
-        for (const auto &[rank, pod] : decorated) {
-            (void)rank;
-            deletionOrder_.push_back(pod);
-        }
-    }
-
     const std::vector<sim::Application> &apps_;
     PackingOptions options_;
     const GlobalRank &ranked_;
-
+    Book &book_;
+    PackCommon &c_;
     PackResult result_;
-    util::SortedKv<double, NodeId> byRemaining_;
-    std::map<std::pair<sim::AppId, sim::MsId>, size_t> rankIndex_;
-    std::set<PodRef> committed_;
-    std::vector<PodRef> deletionOrder_;
-    std::vector<PodRef> topUp_;
 };
 
 } // namespace
+
+/** Persistent scratch arena: both bookkeeping policies plus the shared
+ * per-run buffers, recycled across pack() calls. */
+struct PackScratch
+{
+    ReferenceBook ref;
+    FlatBook flat;
+    PackCommon common;
+};
 
 PackResult
 PackingScheduler::pack(const std::vector<sim::Application> &apps,
                        const ClusterState &current,
                        const GlobalRank &ranked) const
 {
-    Packer packer(apps, current, ranked, options_);
+    if (!scratch_)
+        scratch_ = std::make_shared<PackScratch>();
+    if (options_.referenceImpl) {
+        Packer<ReferenceBook> packer(apps, current, ranked, options_,
+                                     scratch_->ref, scratch_->common);
+        return packer.run();
+    }
+    Packer<FlatBook> packer(apps, current, ranked, options_,
+                            scratch_->flat, scratch_->common);
     return packer.run();
 }
 

@@ -13,12 +13,16 @@
 #ifndef PHOENIX_CORE_PACKING_H
 #define PHOENIX_CORE_PACKING_H
 
+#include <memory>
 #include <vector>
 
+#include "core/op_counters.h"
 #include "core/planner.h"
 #include "sim/cluster.h"
 
 namespace phoenix::core {
+
+struct PackScratch; // reusable packer working memory (packing.cc)
 
 /** One step the agent must execute against the cluster scheduler. */
 enum class ActionKind {
@@ -46,6 +50,9 @@ struct PackResult
     std::vector<Action> actions;
     /** The planned cluster state after applying the actions. */
     sim::ClusterState state;
+    /** Deterministic operation counts for this pass (not part of the
+     * packing decision; excluded from canonical metric strings). */
+    OpCounters ops;
 };
 
 /** Packing configuration (ablation knobs). */
@@ -65,10 +72,25 @@ struct PackingOptions
      * the paper-literal behaviour (ablation).
      */
     bool abortOnUnplaceable = false;
+
+    /**
+     * Run the original container-based bookkeeping (std::map rank
+     * index, std::set commit set, red-black-tree SortedKv capacity
+     * index) instead of the flat dense-pod-index bookkeeping. Both
+     * drive the identical packing algorithm and emit bit-identical
+     * action sequences — test_properties asserts it — so this exists
+     * as the oracle for that suite and as an A/B lever for the
+     * benches.
+     */
+    bool referenceImpl = false;
 };
 
 /**
- * The packing module. Stateless; pack() plans on a copy of @p current.
+ * The packing module. pack() plans on a copy of @p current; the only
+ * state a scheduler instance keeps is a scratch arena of index buffers
+ * that is recycled across calls, so a long-lived scheduler (one
+ * controller epoch after another) allocates nothing for bookkeeping in
+ * steady state.
  */
 class PackingScheduler
 {
@@ -91,6 +113,9 @@ class PackingScheduler
 
   private:
     PackingOptions options_;
+    // Lazily created in pack(); shared so the scheduler stays
+    // copyable (copies share the single-threaded scratch arena).
+    mutable std::shared_ptr<PackScratch> scratch_;
 };
 
 } // namespace phoenix::core

@@ -1,8 +1,9 @@
 #include "planner.h"
 
 #include <algorithm>
-#include <queue>
+#include <cassert>
 #include <set>
+#include <utility>
 
 #include "lp/waterfill.h"
 
@@ -31,6 +32,31 @@ CostObjective::key(const Application &app, const Microservice &ms,
            app.pricePerUnit;
 }
 
+namespace {
+
+/**
+ * Water-fill shares come back positional (shares[i] belongs to
+ * apps[i]); the objectives look shares up by app.id. Those coincide
+ * only while app ids happen to be dense and in vector order, so
+ * scatter the shares into an id-indexed table and let key() assert
+ * coverage instead of silently treating an out-of-range id as a zero
+ * share (which ranked that app's every container last).
+ */
+std::vector<double>
+sharesByAppId(const std::vector<Application> &apps,
+              const std::vector<double> &positional_shares)
+{
+    size_t table = 0;
+    for (const auto &app : apps)
+        table = std::max(table, static_cast<size_t>(app.id) + 1);
+    std::vector<double> by_id(table, 0.0);
+    for (size_t i = 0; i < apps.size(); ++i)
+        by_id[apps[i].id] = positional_shares[i];
+    return by_id;
+}
+
+} // namespace
+
 void
 FairObjective::begin(const std::vector<Application> &apps, double capacity)
 {
@@ -38,7 +64,7 @@ FairObjective::begin(const std::vector<Application> &apps, double capacity)
     demands.reserve(apps.size());
     for (const auto &app : apps)
         demands.push_back(app.totalDemand());
-    fairShare_ = lp::waterFill(demands, capacity);
+    fairShare_ = sharesByAppId(apps, lp::waterFill(demands, capacity));
 }
 
 double
@@ -48,8 +74,9 @@ FairObjective::key(const Application &app, const Microservice &ms,
     // Deviation from the water-fill fair share after activating ms;
     // least deviation pops first (relaxed fair share: an app may exceed
     // its share, but only once everyone else is closer to theirs).
-    const double share =
-        app.id < fairShare_.size() ? fairShare_[app.id] : 0.0;
+    assert(app.id < fairShare_.size() &&
+           "FairObjective::begin must see every ranked application");
+    const double share = fairShare_[app.id];
     return app_usage_so_far + ms.totalCpu() - share;
 }
 
@@ -66,7 +93,8 @@ WeightedFairObjective::begin(const std::vector<Application> &apps,
         weights.push_back(app.id < weights_.size() ? weights_[app.id]
                                                    : 1.0);
     }
-    fairShare_ = lp::weightedWaterFill(demands, weights, capacity);
+    fairShare_ = sharesByAppId(
+        apps, lp::weightedWaterFill(demands, weights, capacity));
 }
 
 double
@@ -74,8 +102,10 @@ WeightedFairObjective::key(const Application &app,
                            const Microservice &ms,
                            double app_usage_so_far) const
 {
-    const double share =
-        app.id < fairShare_.size() ? fairShare_[app.id] : 0.0;
+    assert(app.id < fairShare_.size() &&
+           "WeightedFairObjective::begin must see every ranked "
+           "application");
+    const double share = fairShare_[app.id];
     // Normalize the deviation by weight so heavier tenants may sit
     // proportionally further above the line before yielding the queue.
     const double weight =
@@ -85,118 +115,281 @@ WeightedFairObjective::key(const Application &app,
     return (app_usage_so_far + ms.totalCpu() - share) / weight;
 }
 
+namespace {
+
+/**
+ * Reference per-app ordering: the original std::set queue plus
+ * per-visit child copy + sort. Kept verbatim (modulo counters) as the
+ * oracle for the flat implementation's bit-identity suite.
+ */
+void
+referenceAppOrder(const Application &app, const PlannerOptions &options,
+                  std::vector<MsId> &rank, OpCounters &ops)
+{
+    if (!app.hasDependencyGraph) {
+        // No DG: order purely by criticality (Alg. 1 lines 17-19).
+        std::vector<MsId> order(app.services.size());
+        for (MsId m = 0; m < order.size(); ++m)
+            order[m] = m;
+        std::stable_sort(
+            order.begin(), order.end(), [&](MsId x, MsId y) {
+                return effectiveCriticality(app, app.services[x]) <
+                       effectiveCriticality(app, app.services[y]);
+            });
+        rank = std::move(order);
+        return;
+    }
+
+    // DG present: criticality-keyed preorder traversal
+    // (Alg. 1 lines 6-16).
+    std::vector<bool> visited(app.services.size(), false);
+    // Q keyed by (criticality, node id) — most critical first.
+    std::set<std::pair<int, MsId>> queue;
+
+    auto tag = [&](MsId m) {
+        return effectiveCriticality(app, app.services[m]);
+    };
+
+    // Iterative DFS honouring the pseudocode: descend into children
+    // whose tag is >= the parent's (less or equally critical);
+    // queue children that are *more* critical than the parent so
+    // they pop by global criticality order.
+    auto dfs = [&](MsId start) {
+        std::vector<MsId> stack{start};
+        while (!stack.empty()) {
+            const MsId node = stack.back();
+            stack.pop_back();
+            if (visited[node])
+                continue;
+            visited[node] = true;
+            rank.push_back(node);
+
+            // Children sorted most-critical-first; push onto the
+            // stack in reverse so the most critical is explored
+            // first (preorder).
+            std::vector<MsId> children(app.dag.successors(node).begin(),
+                                       app.dag.successors(node).end());
+            ops.childSortElems += children.size();
+            std::sort(children.begin(), children.end(),
+                      [&](MsId x, MsId y) {
+                          if (tag(x) != tag(y))
+                              return tag(x) < tag(y);
+                          return x < y;
+                      });
+            for (auto it = children.rbegin(); it != children.rend();
+                 ++it) {
+                const MsId child = *it;
+                if (visited[child])
+                    continue;
+                const bool descend =
+                    options.eagerDfsDescend ? tag(child) >= tag(node)
+                                            : tag(child) == tag(node);
+                if (descend) {
+                    stack.push_back(child);
+                } else if (queue.emplace(tag(child), child).second) {
+                    ++ops.heapPushes;
+                }
+            }
+        }
+    };
+
+    for (MsId src : app.dag.sources()) {
+        if (queue.emplace(tag(src), src).second)
+            ++ops.heapPushes;
+    }
+    // Nodes unreachable from any source (cyclic components) still
+    // need a rank; seed them too so every service appears.
+    for (MsId m = 0; m < app.services.size(); ++m) {
+        if (app.dag.predecessors(m).empty() &&
+            app.dag.successors(m).empty()) {
+            if (queue.emplace(tag(m), m).second)
+                ++ops.heapPushes;
+        }
+    }
+
+    while (!queue.empty()) {
+        const MsId next = queue.begin()->second;
+        queue.erase(queue.begin());
+        ++ops.heapPops;
+        if (!visited[next])
+            dfs(next);
+    }
+
+    // Safety net: append anything a cyclic or disconnected DG left
+    // unvisited, in criticality order.
+    std::vector<MsId> leftovers;
+    for (MsId m = 0; m < app.services.size(); ++m) {
+        if (!visited[m])
+            leftovers.push_back(m);
+    }
+    std::sort(leftovers.begin(), leftovers.end(), [&](MsId x, MsId y) {
+        if (tag(x) != tag(y))
+            return tag(x) < tag(y);
+        return x < y;
+    });
+    rank.insert(rank.end(), leftovers.begin(), leftovers.end());
+}
+
+/** Fill @p keys with effective criticality tags for @p app. */
+void
+fillTags(const Application &app, std::vector<int> &keys)
+{
+    keys.resize(app.services.size());
+    for (MsId m = 0; m < app.services.size(); ++m)
+        keys[m] = effectiveCriticality(app, app.services[m]);
+}
+
+/**
+ * Counting sort of ms ids by (keys[m], m) ascending — the order a
+ * stable sort by tag produces. Reuses @p counts across calls.
+ */
+void
+sortIdsByTag(const std::vector<int> &keys, std::vector<uint32_t> &counts,
+             std::vector<MsId> &out)
+{
+    const size_t n = keys.size();
+    out.resize(n);
+    if (n == 0)
+        return;
+    const auto [min_it, max_it] =
+        std::minmax_element(keys.begin(), keys.end());
+    const int min_key = *min_it;
+    const size_t range = static_cast<size_t>(
+        static_cast<int64_t>(*max_it) - static_cast<int64_t>(min_key) +
+        1);
+    if (range > 4 * n + 64) {
+        for (MsId m = 0; m < n; ++m)
+            out[m] = m;
+        std::sort(out.begin(), out.end(), [&](MsId x, MsId y) {
+            if (keys[x] != keys[y])
+                return keys[x] < keys[y];
+            return x < y;
+        });
+        return;
+    }
+    counts.assign(range + 1, 0);
+    for (size_t m = 0; m < n; ++m)
+        ++counts[static_cast<size_t>(keys[m] - min_key) + 1];
+    for (size_t k = 1; k < counts.size(); ++k)
+        counts[k] += counts[k - 1];
+    for (MsId m = 0; m < n; ++m)
+        out[counts[static_cast<size_t>(keys[m] - min_key)]++] = m;
+}
+
+/**
+ * Flat per-app ordering: identical traversal to referenceAppOrder, but
+ * children come pre-sorted from the app's SortedCsr (no per-visit copy
+ * or sort), the criticality queue is an indexed heap, and every buffer
+ * lives in the shared scratch arena.
+ */
+void
+flatAppOrder(const Application &app, const PlannerOptions &options,
+             graph::SortedCsr &csr, PlanScratch &scratch,
+             std::vector<MsId> &rank, OpCounters &ops)
+{
+    fillTags(app, scratch.keys);
+    const std::vector<int> &keys = scratch.keys;
+    const size_t n = app.services.size();
+
+    if (!app.hasDependencyGraph) {
+        sortIdsByTag(keys, scratch.counts, rank);
+        return;
+    }
+
+    csr.build(app.dag, keys);
+    scratch.visited.assign(n, 0);
+    auto &visited = scratch.visited;
+    auto &queue = scratch.dfsQueue;
+    queue.reset(n);
+    auto &stack = scratch.stack;
+
+    // Seed every source (empty predecessor list; this also covers the
+    // reference code's redundant isolated-node pass, which the set
+    // deduplicated).
+    for (MsId m = 0; m < n; ++m) {
+        if (app.dag.predecessors(m).empty()) {
+            queue.push(m, keys[m]);
+            ++ops.heapPushes;
+        }
+    }
+
+    while (!queue.empty()) {
+        const MsId next = queue.pop();
+        ++ops.heapPops;
+        if (visited[next])
+            continue;
+
+        stack.clear();
+        stack.push_back(next);
+        while (!stack.empty()) {
+            const MsId node = stack.back();
+            stack.pop_back();
+            if (visited[node])
+                continue;
+            visited[node] = 1;
+            rank.push_back(node);
+
+            // Successors are pre-sorted ascending by (tag, id); walk
+            // them in reverse so the stack pops most-critical first,
+            // exactly like the reference's sort + rbegin.
+            const graph::NodeId *first = csr.begin(node);
+            for (const graph::NodeId *it = csr.end(node); it != first;) {
+                const MsId child = *--it;
+                if (visited[child])
+                    continue;
+                const bool descend = options.eagerDfsDescend
+                                         ? keys[child] >= keys[node]
+                                         : keys[child] == keys[node];
+                if (descend) {
+                    stack.push_back(child);
+                } else if (!queue.contains(child)) {
+                    queue.push(child, keys[child]);
+                    ++ops.heapPushes;
+                }
+            }
+        }
+    }
+
+    // Leftovers (cyclic / disconnected remnants) in (tag, id) order —
+    // which is exactly the CSR's global node order.
+    for (MsId m : csr.nodesByKey()) {
+        if (!visited[m])
+            rank.push_back(m);
+    }
+}
+
+} // namespace
+
 AppRank
 Planner::priorityEstimator(const std::vector<Application> &apps,
                            PlannerOptions options)
 {
-    AppRank ranks(apps.size());
+    Planner planner(options);
+    AppRank ranks;
+    planner.priorityEstimatorInto(apps, ranks);
+    return ranks;
+}
+
+void
+Planner::priorityEstimatorInto(const std::vector<Application> &apps,
+                               AppRank &out) const
+{
+    ops_.reset();
+    out.resize(apps.size());
+    if (!options_.referenceImpl && scratch_.csr.size() < apps.size())
+        scratch_.csr.resize(apps.size());
 
     for (size_t a = 0; a < apps.size(); ++a) {
-        const Application &app = apps[a];
-        auto &rank = ranks[a];
-        rank.reserve(app.services.size());
-
-        if (!app.hasDependencyGraph) {
-            // No DG: order purely by criticality (Alg. 1 lines 17-19).
-            std::vector<MsId> order(app.services.size());
-            for (MsId m = 0; m < order.size(); ++m)
-                order[m] = m;
-            std::stable_sort(
-                order.begin(), order.end(), [&](MsId x, MsId y) {
-                    return effectiveCriticality(app, app.services[x]) <
-                           effectiveCriticality(app, app.services[y]);
-                });
-            rank = std::move(order);
-            continue;
+        auto &rank = out[a];
+        rank.clear();
+        rank.reserve(apps[a].services.size());
+        if (options_.referenceImpl) {
+            referenceAppOrder(apps[a], options_, rank, ops_);
+        } else {
+            flatAppOrder(apps[a], options_, scratch_.csr[a], scratch_,
+                         rank, ops_);
         }
-
-        // DG present: criticality-keyed preorder traversal
-        // (Alg. 1 lines 6-16).
-        std::vector<bool> visited(app.services.size(), false);
-        // Q keyed by (criticality, node id) — most critical first.
-        std::set<std::pair<int, MsId>> queue;
-
-        auto tag = [&](MsId m) {
-            return effectiveCriticality(app, app.services[m]);
-        };
-
-        // Iterative DFS honouring the pseudocode: descend into children
-        // whose tag is >= the parent's (less or equally critical);
-        // queue children that are *more* critical than the parent so
-        // they pop by global criticality order.
-        auto dfs = [&](MsId start) {
-            std::vector<MsId> stack{start};
-            while (!stack.empty()) {
-                const MsId node = stack.back();
-                stack.pop_back();
-                if (visited[node])
-                    continue;
-                visited[node] = true;
-                rank.push_back(node);
-
-                // Children sorted most-critical-first; push onto the
-                // stack in reverse so the most critical is explored
-                // first (preorder).
-                std::vector<MsId> children(
-                    app.dag.successors(node).begin(),
-                    app.dag.successors(node).end());
-                std::sort(children.begin(), children.end(),
-                          [&](MsId x, MsId y) {
-                              if (tag(x) != tag(y))
-                                  return tag(x) < tag(y);
-                              return x < y;
-                          });
-                for (auto it = children.rbegin(); it != children.rend();
-                     ++it) {
-                    const MsId child = *it;
-                    if (visited[child])
-                        continue;
-                    const bool descend =
-                        options.eagerDfsDescend
-                            ? tag(child) >= tag(node)
-                            : tag(child) == tag(node);
-                    if (descend)
-                        stack.push_back(child);
-                    else
-                        queue.emplace(tag(child), child);
-                }
-            }
-        };
-
-        for (MsId src : app.dag.sources())
-            queue.emplace(tag(src), src);
-        // Nodes unreachable from any source (cyclic components) still
-        // need a rank; seed them too so every service appears.
-        for (MsId m = 0; m < app.services.size(); ++m) {
-            if (app.dag.predecessors(m).empty() &&
-                app.dag.successors(m).empty()) {
-                queue.emplace(tag(m), m);
-            }
-        }
-
-        while (!queue.empty()) {
-            const MsId next = queue.begin()->second;
-            queue.erase(queue.begin());
-            if (!visited[next])
-                dfs(next);
-        }
-
-        // Safety net: append anything a cyclic or disconnected DG left
-        // unvisited, in criticality order.
-        std::vector<MsId> leftovers;
-        for (MsId m = 0; m < app.services.size(); ++m) {
-            if (!visited[m])
-                leftovers.push_back(m);
-        }
-        std::sort(leftovers.begin(), leftovers.end(),
-                  [&](MsId x, MsId y) {
-                      if (tag(x) != tag(y))
-                          return tag(x) < tag(y);
-                      return x < y;
-                  });
-        rank.insert(rank.end(), leftovers.begin(), leftovers.end());
     }
-    return ranks;
 }
 
 GlobalRank
@@ -204,63 +397,131 @@ Planner::globalRank(const std::vector<Application> &apps,
                     const AppRank &app_rank, OperatorObjective &objective,
                     double capacity) const
 {
+    GlobalRank global;
+    globalRankInto(apps, app_rank, objective, capacity, global);
+    return global;
+}
+
+void
+Planner::globalRankInto(const std::vector<Application> &apps,
+                        const AppRank &app_rank,
+                        OperatorObjective &objective, double capacity,
+                        GlobalRank &out) const
+{
+    ops_.reset();
     objective.begin(apps, capacity);
 
-    GlobalRank global;
+    out.clear();
     double remaining = capacity;
-    std::vector<double> usage(apps.size(), 0.0);
-    std::vector<size_t> cursor(apps.size(), 0);
+    auto &usage = scratch_.usage;
+    auto &cursor = scratch_.cursor;
+    usage.assign(apps.size(), 0.0);
+    cursor.assign(apps.size(), 0);
 
-    // (key, app) entries; one live entry per app, re-inserted with the
-    // app's next container after each grant.
-    std::set<std::pair<double, sim::AppId>> queue;
-
-    auto push_head = [&](sim::AppId a) {
-        if (cursor[a] >= app_rank[a].size())
-            return;
-        const MsId m = app_rank[a][cursor[a]];
-        queue.emplace(
-            objective.key(apps[a], apps[a].services[m], usage[a]), a);
-    };
-
-    for (sim::AppId a = 0; a < apps.size(); ++a)
-        push_head(a);
-
-    while (!queue.empty()) {
-        const auto [key, a] = *queue.begin();
-        (void)key;
-        queue.erase(queue.begin());
+    // The shared grant step: commit app a's head container, advance to
+    // its next one, and report whether the head was re-queued.
+    auto grant = [&](sim::AppId a) -> bool {
         const MsId m = app_rank[a][cursor[a]];
         const Microservice &ms = apps[a].services[m];
         // Reserve the minimum viable allocation; the packer fills up
         // to the full replica count when capacity allows.
         const double need = ms.quorumCpu();
 
-        if (need > remaining + 1e-9) {
-            if (options_.stopAtFirstOverflow)
-                break; // Alg. 1 line 28
-            // Ablation mode: drop this app (its later containers are
-            // lower priority and may not jump the queue) but keep
-            // ranking the others.
-            continue;
-        }
+        if (need > remaining + 1e-9)
+            return false;
 
         remaining -= need;
-        global.push_back(PodRef{a, m});
+        out.push_back(PodRef{static_cast<sim::AppId>(a), m});
         usage[a] += need;
         objective.granted(apps[a], ms);
         ++cursor[a];
+        return true;
+    };
+
+    if (options_.referenceImpl) {
+        // (key, app) entries; one live entry per app, re-inserted with
+        // the app's next container after each grant.
+        std::set<std::pair<double, sim::AppId>> queue;
+
+        auto push_head = [&](sim::AppId a) {
+            if (cursor[a] >= app_rank[a].size())
+                return;
+            const MsId m = app_rank[a][cursor[a]];
+            queue.emplace(
+                objective.key(apps[a], apps[a].services[m], usage[a]),
+                a);
+            ++ops_.heapPushes;
+        };
+
+        for (sim::AppId a = 0; a < apps.size(); ++a)
+            push_head(a);
+
+        while (!queue.empty()) {
+            const auto [key, a] = *queue.begin();
+            (void)key;
+            queue.erase(queue.begin());
+            ++ops_.heapPops;
+            if (!grant(a)) {
+                if (options_.stopAtFirstOverflow)
+                    break; // Alg. 1 line 28
+                // Ablation mode: drop this app (its later containers
+                // are lower priority and may not jump the queue) but
+                // keep ranking the others.
+                continue;
+            }
+            push_head(a);
+        }
+        return;
+    }
+
+    // Flat path: the same one-live-entry-per-app queue as an indexed
+    // heap keyed (objective key, app id) — identical pop order to the
+    // std::set of (key, app) pairs, zero allocation in steady state.
+    auto &queue = scratch_.appQueue;
+    queue.reset(apps.size());
+
+    auto push_head = [&](sim::AppId a) {
+        if (cursor[a] >= app_rank[a].size())
+            return;
+        const MsId m = app_rank[a][cursor[a]];
+        queue.push(a,
+                   objective.key(apps[a], apps[a].services[m], usage[a]));
+        ++ops_.heapPushes;
+    };
+
+    for (sim::AppId a = 0; a < apps.size(); ++a)
+        push_head(a);
+
+    while (!queue.empty()) {
+        const sim::AppId a = queue.pop();
+        ++ops_.heapPops;
+        if (!grant(a)) {
+            if (options_.stopAtFirstOverflow)
+                break; // Alg. 1 line 28
+            continue;
+        }
         push_head(a);
     }
-    return global;
 }
 
 GlobalRank
 Planner::plan(const std::vector<Application> &apps,
               OperatorObjective &objective, double capacity) const
 {
-    const AppRank ranks = priorityEstimator(apps, options_);
-    return globalRank(apps, ranks, objective, capacity);
+    GlobalRank global;
+    planInto(apps, objective, capacity, global);
+    return global;
+}
+
+void
+Planner::planInto(const std::vector<Application> &apps,
+                  OperatorObjective &objective, double capacity,
+                  GlobalRank &out) const
+{
+    priorityEstimatorInto(apps, scratch_.appRank);
+    const OpCounters estimator_ops = ops_;
+    globalRankInto(apps, scratch_.appRank, objective, capacity, out);
+    ops_ += estimator_ops;
 }
 
 } // namespace phoenix::core

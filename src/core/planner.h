@@ -18,7 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "core/op_counters.h"
+#include "graph/digraph.h"
 #include "sim/types.h"
+#include "util/heap.h"
 
 namespace phoenix::core {
 
@@ -150,6 +153,36 @@ struct PlannerOptions
      * (ablation).
      */
     bool eagerDfsDescend = false;
+
+    /**
+     * Run the original container-based implementation (std::set
+     * priority queues, per-visit child sorts) instead of the flat
+     * CSR + indexed-heap hot path. Both produce bit-identical
+     * rankings — test_properties asserts it — so this exists as the
+     * oracle for that suite and as an A/B lever for the benches.
+     */
+    bool referenceImpl = false;
+};
+
+/**
+ * Reusable planner working memory: per-application sorted-CSR caches,
+ * DFS/ranking heaps, and the assorted dense index buffers. Owned by
+ * Planner and recycled across plan() calls, so a long-lived planner
+ * (one controller epoch after another) allocates nothing on the hot
+ * path once the buffers have grown to the workload's size.
+ */
+struct PlanScratch
+{
+    std::vector<graph::SortedCsr> csr; //!< per-app sorted adjacency
+    std::vector<int> keys;             //!< per-ms criticality tags
+    std::vector<uint8_t> visited;
+    std::vector<sim::MsId> stack;      //!< DFS stack
+    std::vector<uint32_t> counts;      //!< counting-sort histogram
+    util::IndexedDaryHeap<int> dfsQueue;    //!< (tag, ms) queue
+    util::IndexedDaryHeap<double> appQueue; //!< (key, app) queue
+    std::vector<double> usage;   //!< per-app granted resources
+    std::vector<size_t> cursor;  //!< per-app rank position
+    AppRank appRank;             //!< plan()'s per-app rank buffer
 };
 
 /**
@@ -185,6 +218,10 @@ class Planner
         const std::vector<sim::Application> &apps,
         PlannerOptions options = PlannerOptions());
 
+    /** Buffer-reusing PriorityEstimator: fills @p out in place. */
+    void priorityEstimatorInto(const std::vector<sim::Application> &apps,
+                               AppRank &out) const;
+
     /**
      * GetGlobalRank (Alg. 1 lines 21-29): merge per-app orders under
      * the operator objective within @p capacity aggregate resources.
@@ -194,12 +231,31 @@ class Planner
                           OperatorObjective &objective,
                           double capacity) const;
 
+    /** Buffer-reusing GetGlobalRank: fills @p out in place. */
+    void globalRankInto(const std::vector<sim::Application> &apps,
+                        const AppRank &app_rank,
+                        OperatorObjective &objective, double capacity,
+                        GlobalRank &out) const;
+
     /** Convenience: full Alg. 1 (estimate then rank). */
     GlobalRank plan(const std::vector<sim::Application> &apps,
                     OperatorObjective &objective, double capacity) const;
 
+    /** Buffer-reusing full Alg. 1: fills @p out in place. */
+    void planInto(const std::vector<sim::Application> &apps,
+                  OperatorObjective &objective, double capacity,
+                  GlobalRank &out) const;
+
+    /** Operation counts accumulated by the most recent plan()/
+     * globalRank()/priorityEstimatorInto() call. */
+    const OpCounters &lastOps() const { return ops_; }
+
   private:
     PlannerOptions options_;
+    // plan() stays const for callers; the scratch arena and counters
+    // are implementation state (the planner is single-threaded).
+    mutable PlanScratch scratch_;
+    mutable OpCounters ops_;
 };
 
 } // namespace phoenix::core

@@ -67,20 +67,19 @@ PhoenixScheme::apply(const std::vector<Application> &apps,
     SchemeResult result;
     const auto plan_start = Clock::now();
 
-    Planner planner(plannerOptions_);
     std::unique_ptr<OperatorObjective> objective;
     if (objective_ == Objective::Fair)
         objective = std::make_unique<FairObjective>();
     else
         objective = std::make_unique<CostObjective>();
 
-    result.plan =
-        planner.plan(apps, *objective, current.healthyCapacity());
+    planner_.planInto(apps, *objective, current.healthyCapacity(),
+                      result.plan);
+    result.planOps = planner_.lastOps();
     result.planSeconds = seconds(plan_start);
 
     const auto pack_start = Clock::now();
-    PackingScheduler packer(packingOptions_);
-    result.pack = packer.pack(apps, current, result.plan);
+    result.pack = packer_.pack(apps, current, result.plan);
     result.packSeconds = seconds(pack_start);
     return result;
 }
@@ -133,8 +132,7 @@ FairScheme::apply(const std::vector<Application> &apps,
     result.planSeconds = seconds(plan_start);
 
     const auto pack_start = Clock::now();
-    PackingScheduler packer;
-    result.pack = packer.pack(apps, current, result.plan);
+    result.pack = packer_.pack(apps, current, result.plan);
     result.packSeconds = seconds(pack_start);
     return result;
 }
@@ -146,15 +144,14 @@ PriorityScheme::apply(const std::vector<Application> &apps,
     SchemeResult result;
     const auto plan_start = Clock::now();
 
-    Planner planner;
     TagOnlyObjective objective;
-    result.plan =
-        planner.plan(apps, objective, current.healthyCapacity());
+    planner_.planInto(apps, objective, current.healthyCapacity(),
+                      result.plan);
+    result.planOps = planner_.lastOps();
     result.planSeconds = seconds(plan_start);
 
     const auto pack_start = Clock::now();
-    PackingScheduler packer;
-    result.pack = packer.pack(apps, current, result.plan);
+    result.pack = packer_.pack(apps, current, result.plan);
     result.packSeconds = seconds(pack_start);
     return result;
 }

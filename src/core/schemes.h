@@ -45,6 +45,9 @@ struct SchemeResult
     double packSeconds = 0.0;
     /** The scheme failed to produce any plan (e.g. LP timeout). */
     bool failed = false;
+    /** Deterministic planner operation counts (packing counts live in
+     * pack.ops). Zero for schemes that bypass the planner. */
+    OpCounters planOps;
 
     sim::ActiveSet
     activeSet(const std::vector<sim::Application> &apps) const
@@ -76,8 +79,8 @@ class PhoenixScheme : public ResilienceScheme
     explicit PhoenixScheme(Objective objective,
                            PlannerOptions planner_options = {},
                            PackingOptions packing_options = {})
-        : objective_(objective), plannerOptions_(planner_options),
-          packingOptions_(packing_options)
+        : objective_(objective), planner_(planner_options),
+          packer_(packing_options)
     {
     }
 
@@ -92,8 +95,11 @@ class PhoenixScheme : public ResilienceScheme
 
   private:
     Objective objective_;
-    PlannerOptions plannerOptions_;
-    PackingOptions packingOptions_;
+    // Long-lived so their scratch arenas survive across apply() calls
+    // (one controller epoch after another): steady-state planning and
+    // packing allocate nothing for bookkeeping.
+    Planner planner_;
+    PackingScheduler packer_;
 };
 
 /**
@@ -107,6 +113,9 @@ class FairScheme : public ResilienceScheme
     std::string name() const override { return "Fair"; }
     SchemeResult apply(const std::vector<sim::Application> &apps,
                        const sim::ClusterState &current) override;
+
+  private:
+    PackingScheduler packer_;
 };
 
 /**
@@ -120,6 +129,10 @@ class PriorityScheme : public ResilienceScheme
     std::string name() const override { return "Priority"; }
     SchemeResult apply(const std::vector<sim::Application> &apps,
                        const sim::ClusterState &current) override;
+
+  private:
+    Planner planner_;
+    PackingScheduler packer_;
 };
 
 /**

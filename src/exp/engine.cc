@@ -75,7 +75,8 @@ aggregateGrid(const SweepGridSpec &spec,
             std::vector<adaptlab::TrialMetrics> batch;
             batch.reserve(static_cast<size_t>(spec.trials));
             std::vector<double> availability, strict, revenue, fair_pos,
-                fair_neg, planner_util, util, plan_s, pack_s, served;
+                fair_neg, planner_util, util, plan_s, pack_s, served,
+                ops_push, ops_probe, ops_sort;
             for (int t = 0; t < spec.trials; ++t, ++index) {
                 const CellResult &cell = results[index];
                 agg.wallSeconds += cell.wallSeconds;
@@ -94,6 +95,9 @@ aggregateGrid(const SweepGridSpec &spec,
                 plan_s.push_back(cell.metrics.planSeconds);
                 pack_s.push_back(cell.metrics.packSeconds);
                 served.push_back(cell.metrics.requestsServed);
+                ops_push.push_back(cell.metrics.opsHeapPushes);
+                ops_probe.push_back(cell.metrics.opsBestFitProbes);
+                ops_sort.push_back(cell.metrics.opsChildSortElems);
             }
             // Same fold as the serial path, in the same trial order.
             agg.mean = adaptlab::averageTrials(batch);
@@ -107,6 +111,9 @@ aggregateGrid(const SweepGridSpec &spec,
             agg.planSeconds = statsOf(plan_s);
             agg.packSeconds = statsOf(pack_s);
             agg.requestsServed = statsOf(served);
+            agg.opsHeapPushes = statsOf(ops_push);
+            agg.opsBestFitProbes = statsOf(ops_probe);
+            agg.opsChildSortElems = statsOf(ops_sort);
             aggregates.push_back(std::move(agg));
         }
     }

@@ -75,6 +75,13 @@ struct SweepAggregate
     MetricStats planSeconds;
     MetricStats packSeconds;
     MetricStats requestsServed;
+    /** Deterministic hot-path operation counters. Like the wall-clock
+     * fields these describe implementation effort, not scheduling
+     * decisions, so they are exempt from the canonicalMetricString
+     * contract (equal decisions, fewer ops is the whole point). */
+    MetricStats opsHeapPushes;
+    MetricStats opsBestFitProbes;
+    MetricStats opsChildSortElems;
     /** Summed wall-clock of the group's cells (CPU-time proxy). */
     double wallSeconds = 0.0;
 };

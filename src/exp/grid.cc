@@ -43,6 +43,34 @@ enumerateCells(const SweepGridSpec &spec)
     return cells;
 }
 
+namespace {
+
+char
+asciiLower(char c)
+{
+    return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+bool
+containsIgnoreCase(const std::string &haystack, const std::string &needle)
+{
+    if (needle.empty())
+        return true;
+    if (needle.size() > haystack.size())
+        return false;
+    for (size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+        size_t j = 0;
+        while (j < needle.size() &&
+               asciiLower(haystack[i + j]) == asciiLower(needle[j]))
+            ++j;
+        if (j == needle.size())
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
 SweepGridSpec
 filterSchemes(SweepGridSpec spec, const std::string &substring)
 {
@@ -50,7 +78,7 @@ filterSchemes(SweepGridSpec spec, const std::string &substring)
         return spec;
     std::vector<SchemeSpec> kept;
     for (auto &scheme : spec.schemes) {
-        if (scheme.name.find(substring) != std::string::npos)
+        if (containsIgnoreCase(scheme.name, substring))
             kept.push_back(std::move(scheme));
     }
     spec.schemes = std::move(kept);

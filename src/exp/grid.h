@@ -81,8 +81,9 @@ struct GridCell
 std::vector<GridCell> enumerateCells(const SweepGridSpec &spec);
 
 /**
- * Keep only schemes whose name contains @p substring (empty keeps
- * all) — the engine side of the shared --filter flag.
+ * Keep only schemes whose name contains @p substring, compared
+ * case-insensitively (empty keeps all) — the engine side of the
+ * shared --filter flag, so `--filter phoenix` matches PhoenixFair.
  */
 SweepGridSpec filterSchemes(SweepGridSpec spec,
                             const std::string &substring);

@@ -8,6 +8,7 @@
  *                  "none" disables)
  *   --csv PATH     CSV report path (default none)
  *   --filter SUB   keep only schemes whose name contains SUB
+ *                  (case-insensitive)
  *   --trials N     override the harness's trial count
  *   --seed N       override the sweep's base seed
  *

@@ -135,6 +135,12 @@ writeAggregate(std::ostream &os, const SweepAggregate &agg)
     writeStats(os, "pack_seconds", agg.packSeconds);
     os << ",";
     writeStats(os, "requests_served", agg.requestsServed);
+    os << ",";
+    writeStats(os, "ops_heap_pushes", agg.opsHeapPushes);
+    os << ",";
+    writeStats(os, "ops_best_fit_probes", agg.opsBestFitProbes);
+    os << ",";
+    writeStats(os, "ops_child_sort_elems", agg.opsChildSortElems);
     os << "}";
 }
 

@@ -188,4 +188,61 @@ DiGraph::singleUpstreamFraction() const
     return static_cast<double>(single) / static_cast<double>(non_source);
 }
 
+void
+SortedCsr::build(const DiGraph &g, const std::vector<int> &keys)
+{
+    const size_t n = g.nodeCount();
+    assert(keys.size() == n);
+
+    // Nodes in (key, id) ascending order. Keys are small criticality
+    // tags in practice, so a counting sort over [minKey, maxKey] is
+    // both O(n) and trivially stable; fall back to a comparison sort
+    // if someone feeds a pathological key range.
+    order_.resize(n);
+    int min_key = 0;
+    int max_key = 0;
+    for (size_t u = 0; u < n; ++u) {
+        min_key = u == 0 ? keys[u] : std::min(min_key, keys[u]);
+        max_key = u == 0 ? keys[u] : std::max(max_key, keys[u]);
+    }
+    const size_t range =
+        n == 0 ? 0
+               : static_cast<size_t>(static_cast<int64_t>(max_key) -
+                                     static_cast<int64_t>(min_key)) +
+                     1;
+    if (range <= 4 * n + 64) {
+        counts_.assign(range + 1, 0);
+        for (size_t u = 0; u < n; ++u)
+            ++counts_[static_cast<size_t>(keys[u] - min_key) + 1];
+        for (size_t k = 1; k < counts_.size(); ++k)
+            counts_[k] += counts_[k - 1];
+        // Ascending id within a key bucket because u runs ascending.
+        for (NodeId u = 0; u < n; ++u)
+            order_[counts_[static_cast<size_t>(keys[u] - min_key)]++] = u;
+    } else {
+        for (NodeId u = 0; u < n; ++u)
+            order_[u] = u;
+        std::sort(order_.begin(), order_.end(),
+                  [&](NodeId a, NodeId b) {
+                      if (keys[a] != keys[b])
+                          return keys[a] < keys[b];
+                      return a < b;
+                  });
+    }
+
+    offsets_.assign(n + 1, 0);
+    for (NodeId u = 0; u < n; ++u)
+        offsets_[u + 1] =
+            offsets_[u] + static_cast<uint32_t>(g.outDegree(u));
+    adj_.resize(g.edgeCount());
+    cursor_.assign(offsets_.begin(), offsets_.end() - (n ? 1 : 0));
+
+    // Appending each node (taken in global sorted order) to all of its
+    // predecessors' lists leaves every list sorted by (key, id).
+    for (NodeId v : order_) {
+        for (NodeId p : g.predecessors(v))
+            adj_[cursor_[p]++] = v;
+    }
+}
+
 } // namespace phoenix::graph

@@ -96,6 +96,46 @@ class DiGraph
     size_t edgeCount_ = 0;
 };
 
+/**
+ * CSR view of a DiGraph with every successor list pre-sorted by
+ * (key[succ], succ) ascending.
+ *
+ * The planner's priority estimator visits each node's children in
+ * criticality order; doing that on the raw adjacency means a vector
+ * copy plus a std::sort per DFS visit. Building this view once per
+ * (graph, key assignment) moves all of that work into a single
+ * counting-sort pass: nodes are appended to their predecessors' lists
+ * in global (key, id) order, so each list comes out sorted for free.
+ * build() reuses every internal buffer, so rebuilding for the same
+ * application each planning round allocates nothing in steady state.
+ */
+class SortedCsr
+{
+  public:
+    /**
+     * (Re)build from @p g and per-node integer @p keys
+     * (keys.size() == g.nodeCount()).
+     */
+    void build(const DiGraph &g, const std::vector<int> &keys);
+
+    size_t nodeCount() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+    /** Successors of @p u, ascending by (key, id). */
+    const NodeId *begin(NodeId u) const { return adj_.data() + offsets_[u]; }
+    const NodeId *end(NodeId u) const { return adj_.data() + offsets_[u + 1]; }
+    size_t outDegree(NodeId u) const { return offsets_[u + 1] - offsets_[u]; }
+
+    /** All nodes, ascending by (key, id) — the counting-sort order. */
+    const std::vector<NodeId> &nodesByKey() const { return order_; }
+
+  private:
+    std::vector<uint32_t> offsets_; //!< node -> first slot in adj_
+    std::vector<NodeId> adj_;       //!< concatenated successor lists
+    std::vector<NodeId> order_;     //!< nodes sorted by (key, id)
+    std::vector<uint32_t> cursor_;  //!< scratch: fill position per node
+    std::vector<uint32_t> counts_;  //!< scratch: counting-sort histogram
+};
+
 } // namespace phoenix::graph
 
 #endif // PHOENIX_GRAPH_DIGRAPH_H

@@ -1,0 +1,38 @@
+#include "alloc_counter.h"
+
+namespace phoenix::util {
+
+namespace {
+thread_local uint64_t allocCount_ = 0;
+bool active_ = false;
+} // namespace
+
+uint64_t
+allocCount()
+{
+    return allocCount_;
+}
+
+bool
+allocCounterActive()
+{
+    return active_;
+}
+
+namespace detail {
+
+void
+bumpAllocCount()
+{
+    ++allocCount_;
+}
+
+void
+setAllocCounterActive()
+{
+    active_ = true;
+}
+
+} // namespace detail
+
+} // namespace phoenix::util

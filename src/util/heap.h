@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Indexed d-ary min-heap over dense integer ids.
+ *
+ * The planner's two priority queues — the criticality-keyed DFS queue
+ * of the priority estimator and the per-app head queue of the global
+ * ranking — were std::set<pair<Key, Id>>: one red-black-tree node
+ * allocation and O(log n) pointer chasing per insert/erase. Both
+ * queues hold at most one live entry per dense id, which is exactly
+ * the shape an indexed heap handles with zero allocation after the
+ * first reset(): a flat array heap of ids, a position index for O(1)
+ * membership tests, and keys stored per id.
+ *
+ * Ordering is the strict total order (key, id): ties on the key pop
+ * the smaller id first, byte-identical to the std::set<pair<Key, Id>>
+ * it replaces. The arity (default 4) trades a shallower tree (fewer
+ * cache misses on sift-down) for more comparisons per level; 4 is the
+ * usual sweet spot for flat heaps of scalar keys.
+ */
+
+#ifndef PHOENIX_UTIL_HEAP_H
+#define PHOENIX_UTIL_HEAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace phoenix::util {
+
+template <typename Key, unsigned Arity = 4>
+class IndexedDaryHeap
+{
+    static_assert(Arity >= 2, "d-ary heap needs arity >= 2");
+
+  public:
+    using Id = uint32_t;
+
+    /** Drop all entries and make ids [0, id_count) usable. Keeps the
+     * underlying capacity, so a reset-and-refill cycle allocates only
+     * when id_count grows past every previous reset. */
+    void
+    reset(size_t id_count)
+    {
+        heap_.clear();
+        pos_.assign(id_count, kAbsent);
+        keys_.resize(id_count);
+    }
+
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+    size_t idCount() const { return pos_.size(); }
+
+    bool
+    contains(Id id) const
+    {
+        assert(id < pos_.size());
+        return pos_[id] != kAbsent;
+    }
+
+    /** Key of a contained id. */
+    const Key &
+    keyOf(Id id) const
+    {
+        assert(contains(id));
+        return keys_[id];
+    }
+
+    /** Insert @p id with @p key; @p id must not be contained. */
+    void
+    push(Id id, const Key &key)
+    {
+        assert(id < pos_.size() && !contains(id));
+        keys_[id] = key;
+        pos_[id] = static_cast<uint32_t>(heap_.size());
+        heap_.push_back(id);
+        siftUp(pos_[id]);
+    }
+
+    /** Insert, or re-key an already-contained id. */
+    void
+    pushOrUpdate(Id id, const Key &key)
+    {
+        if (!contains(id)) {
+            push(id, key);
+            return;
+        }
+        const Key old = keys_[id];
+        keys_[id] = key;
+        if (key < old)
+            siftUp(pos_[id]);
+        else
+            siftDown(pos_[id]);
+    }
+
+    /** Smallest (key, id) entry. */
+    Id
+    top() const
+    {
+        assert(!heap_.empty());
+        return heap_.front();
+    }
+
+    /** Remove and return the smallest (key, id) entry. */
+    Id
+    pop()
+    {
+        assert(!heap_.empty());
+        const Id id = heap_.front();
+        removeAt(0);
+        return id;
+    }
+
+    /** Remove a contained id from anywhere in the heap. */
+    void
+    erase(Id id)
+    {
+        assert(contains(id));
+        removeAt(pos_[id]);
+    }
+
+    void
+    clear()
+    {
+        for (Id id : heap_)
+            pos_[id] = kAbsent;
+        heap_.clear();
+    }
+
+  private:
+    static constexpr uint32_t kAbsent = static_cast<uint32_t>(-1);
+
+    /** (key, id) lexicographic strict order. */
+    bool
+    before(Id a, Id b) const
+    {
+        if (keys_[a] < keys_[b])
+            return true;
+        if (keys_[b] < keys_[a])
+            return false;
+        return a < b;
+    }
+
+    void
+    removeAt(size_t slot)
+    {
+        const Id id = heap_[slot];
+        const Id last = heap_.back();
+        heap_.pop_back();
+        pos_[id] = kAbsent;
+        if (slot < heap_.size()) {
+            heap_[slot] = last;
+            pos_[last] = static_cast<uint32_t>(slot);
+            // The replacement may need to travel either way.
+            siftUp(slot);
+            siftDown(pos_[last]);
+        }
+    }
+
+    void
+    siftUp(size_t slot)
+    {
+        const Id id = heap_[slot];
+        while (slot > 0) {
+            const size_t parent = (slot - 1) / Arity;
+            if (!before(id, heap_[parent]))
+                break;
+            heap_[slot] = heap_[parent];
+            pos_[heap_[slot]] = static_cast<uint32_t>(slot);
+            slot = parent;
+        }
+        heap_[slot] = id;
+        pos_[id] = static_cast<uint32_t>(slot);
+    }
+
+    void
+    siftDown(size_t slot)
+    {
+        const Id id = heap_[slot];
+        const size_t n = heap_.size();
+        for (;;) {
+            const size_t first_child = slot * Arity + 1;
+            if (first_child >= n)
+                break;
+            size_t best = first_child;
+            const size_t last_child =
+                first_child + Arity < n ? first_child + Arity : n;
+            for (size_t c = first_child + 1; c < last_child; ++c) {
+                if (before(heap_[c], heap_[best]))
+                    best = c;
+            }
+            if (!before(heap_[best], id))
+                break;
+            heap_[slot] = heap_[best];
+            pos_[heap_[slot]] = static_cast<uint32_t>(slot);
+            slot = best;
+        }
+        heap_[slot] = id;
+        pos_[id] = static_cast<uint32_t>(slot);
+    }
+
+    std::vector<Id> heap_;      //!< slot -> id
+    std::vector<uint32_t> pos_; //!< id -> slot, kAbsent when out
+    std::vector<Key> keys_;     //!< id -> key (valid while contained)
+};
+
+} // namespace phoenix::util
+
+#endif // PHOENIX_UTIL_HEAP_H

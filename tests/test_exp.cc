@@ -170,6 +170,55 @@ TEST(Grid, FilterKeepsMatchingSchemes)
     EXPECT_EQ(filterSchemes(tinyGrid(), "").schemes.size(), 5u);
 }
 
+TEST(Grid, FilterIsCaseInsensitive)
+{
+    // `bench_fig8b --filter phoenix` must match PhoenixFair/Cost.
+    EXPECT_EQ(filterSchemes(tinyGrid(), "phoenix").schemes.size(), 2u);
+    EXPECT_EQ(filterSchemes(tinyGrid(), "PHOENIXfair").schemes.size(),
+              1u);
+    // PhoenixFair + Fair (tinyGrid excludes the LP schemes).
+    EXPECT_EQ(filterSchemes(tinyGrid(), "fAIr").schemes.size(), 2u);
+}
+
+TEST(Engine, CanonicalStringIdenticalAcrossImplementations)
+{
+    // The flat hot path and the reference containers must agree on
+    // every deterministic byte of a whole sweep — the ops counters and
+    // wall-clock fields are deliberately outside the canonical string,
+    // everything else must match exactly.
+    const adaptlab::Environment env =
+        adaptlab::buildEnvironment(tinyEnv(7));
+
+    const auto gridFor = [](bool reference) {
+        core::PlannerOptions planner;
+        planner.referenceImpl = reference;
+        core::PackingOptions packing;
+        packing.referenceImpl = reference;
+        SweepGridSpec spec;
+        spec.schemes = {
+            SchemeSpec{"PhoenixFair",
+                       [planner, packing] {
+                           return std::make_unique<core::PhoenixScheme>(
+                               core::Objective::Fair, planner, packing);
+                       }},
+            SchemeSpec{"PhoenixCost", [planner, packing] {
+                           return std::make_unique<core::PhoenixScheme>(
+                               core::Objective::Cost, planner, packing);
+                       }}};
+        spec.failureRates = {0.2, 0.6};
+        spec.trials = 3;
+        spec.seedBase = 100;
+        return spec;
+    };
+
+    const std::string flat =
+        canonicalMetricString(runGrid(env, gridFor(false)));
+    const std::string reference =
+        canonicalMetricString(runGrid(env, gridFor(true)));
+    EXPECT_FALSE(flat.empty());
+    EXPECT_EQ(flat, reference);
+}
+
 TEST(Engine, MatchesLegacySerialSweep)
 {
     const adaptlab::Environment env =

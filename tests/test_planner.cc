@@ -278,6 +278,47 @@ TEST(GlobalRank, StopsAtFirstOverflowByDefault)
     EXPECT_EQ(skipped[0].app, 1u);
 }
 
+TEST(GlobalRank, FairObjectiveHandlesNonContiguousAppIds)
+{
+    // Regression: water-fill shares come back positional, but the
+    // objectives look them up by app.id. With sparse ids the old code
+    // silently treated any id >= apps.size() as a zero share, ranking
+    // that app's every container last; begin() now scatters the shares
+    // by id. Two identical apps with ids 7 and 2 must still split
+    // capacity evenly.
+    auto apps = std::vector<Application>{
+        makeApp(7, {1, 1, 1, 1}, {}, {2, 2, 2, 2}),
+        makeApp(2, {1, 1, 1, 1}, {}, {2, 2, 2, 2})};
+
+    Planner planner;
+    for (const bool reference : {false, true}) {
+        PlannerOptions options;
+        options.referenceImpl = reference;
+        Planner impl{options};
+        FairObjective fair;
+        const GlobalRank rank = impl.plan(apps, fair, 8.0);
+        size_t first = 0;
+        size_t second = 0;
+        for (const PodRef &pod : rank) {
+            // PodRef.app indexes the apps vector, not Application::id.
+            (pod.app == 0 ? first : second) += 1;
+        }
+        EXPECT_EQ(first, 2u) << "referenceImpl=" << reference;
+        EXPECT_EQ(second, 2u) << "referenceImpl=" << reference;
+    }
+
+    // WeightedFair shares the same id-indexed table; a 3:1 weight on
+    // app id 7 must tilt the split even though id 7 sits at position 0.
+    std::vector<double> weights(8, 1.0);
+    weights[7] = 3.0;
+    WeightedFairObjective weighted(weights);
+    const GlobalRank rank = planner.plan(apps, weighted, 8.0);
+    size_t heavy = 0;
+    for (const PodRef &pod : rank)
+        heavy += pod.app == 0 ? 1 : 0;
+    EXPECT_EQ(heavy, 3u);
+}
+
 TEST(GlobalRank, EmptyInputs)
 {
     Planner planner;

@@ -197,3 +197,97 @@ TEST_P(PhoenixMonotonicity, MoreCapacityNeverHurtsAvailability)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PhoenixMonotonicity,
                          ::testing::Range(0, 8));
+
+namespace {
+
+/** Field-wise action equality (Action carries no operator==). */
+void
+expectSameActions(const std::vector<Action> &flat,
+                  const std::vector<Action> &ref, const char *what)
+{
+    ASSERT_EQ(flat.size(), ref.size()) << what;
+    for (size_t i = 0; i < flat.size(); ++i) {
+        EXPECT_EQ(flat[i].kind, ref[i].kind) << what << " action " << i;
+        EXPECT_EQ(flat[i].pod, ref[i].pod) << what << " action " << i;
+        EXPECT_EQ(flat[i].from, ref[i].from) << what << " action " << i;
+        EXPECT_EQ(flat[i].to, ref[i].to) << what << " action " << i;
+    }
+}
+
+} // namespace
+
+/**
+ * The flat hot path (CSR + indexed heaps + dense packer bookkeeping)
+ * must be indistinguishable from the reference containers in every
+ * output byte: same global rank, same action sequence, same final
+ * state. The op counters double as an algorithm-identity check — both
+ * implementations take the same number of queue operations and
+ * best-fit probes, while the flat path does zero per-visit child
+ * sorting (that is the optimization).
+ */
+class BitIdentity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitIdentity, FlatMatchesReferenceImplementation)
+{
+    const int seed = GetParam();
+    util::Rng rng(seed * 90001 + 17);
+
+    adaptlab::EnvironmentConfig config;
+    config.nodeCount = 20 + static_cast<size_t>(rng.uniformInt(0, 60));
+    config.nodeCapacity = 32.0;
+    config.demandFraction = rng.uniform(0.4, 0.95);
+    config.seed = static_cast<uint64_t>(seed) * 3 + 11;
+    config.alibaba.appCount = static_cast<int>(rng.uniformInt(2, 9));
+    config.alibaba.sizeScale = 0.03;
+    config.resources.maxCpu = 16.0;
+    const adaptlab::Environment env =
+        adaptlab::buildEnvironment(config);
+
+    ClusterState failed = env.cluster;
+    sim::FailureInjector injector{util::Rng(seed + 1234)};
+    injector.failCapacityFraction(failed, rng.uniform(0.05, 0.85));
+
+    // Cover the ablation knobs too: each must stay bit-identical.
+    PlannerOptions planner_opts;
+    planner_opts.eagerDfsDescend = seed % 2 == 0;
+    planner_opts.stopAtFirstOverflow = seed % 5 == 0;
+    PackingOptions packing_opts;
+    packing_opts.abortOnUnplaceable = seed % 7 == 0;
+
+    PlannerOptions ref_planner = planner_opts;
+    ref_planner.referenceImpl = true;
+    PackingOptions ref_packing = packing_opts;
+    ref_packing.referenceImpl = true;
+
+    for (const Objective objective : {Objective::Fair, Objective::Cost}) {
+        PhoenixScheme flat(objective, planner_opts, packing_opts);
+        PhoenixScheme ref(objective, ref_planner, ref_packing);
+        // Apply twice so the flat scheme's second pass runs entirely on
+        // recycled scratch buffers — identity must survive reuse.
+        (void)flat.apply(env.apps, failed);
+        const SchemeResult a = flat.apply(env.apps, failed);
+        const SchemeResult b = ref.apply(env.apps, failed);
+        const char *what =
+            objective == Objective::Fair ? "fair" : "cost";
+
+        ASSERT_EQ(a.plan, b.plan) << what;
+        expectSameActions(a.pack.actions, b.pack.actions, what);
+        EXPECT_EQ(a.pack.state.assignment(),
+                  b.pack.state.assignment())
+            << what;
+        EXPECT_EQ(a.pack.placed, b.pack.placed) << what;
+        EXPECT_EQ(a.pack.complete, b.pack.complete) << what;
+
+        // Algorithm identity: same queue traffic and probe counts...
+        EXPECT_EQ(a.planOps.heapPushes, b.planOps.heapPushes) << what;
+        EXPECT_EQ(a.planOps.heapPops, b.planOps.heapPops) << what;
+        EXPECT_EQ(a.pack.ops.bestFitProbes, b.pack.ops.bestFitProbes)
+            << what;
+        // ...while the flat path never copies/sorts successor lists.
+        EXPECT_EQ(a.planOps.childSortElems, 0u) << what;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitIdentity, ::testing::Range(0, 50));

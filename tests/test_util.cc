@@ -9,6 +9,8 @@
 #include <set>
 #include <sstream>
 
+#include "util/bucketed_kv.h"
+#include "util/heap.h"
 #include "util/rng.h"
 #include "util/sorted_kv.h"
 #include "util/stats.h"
@@ -223,6 +225,196 @@ TEST(SortedKv, DuplicateKeys)
     EXPECT_EQ(kv.firstAtLeast(5.0)->second, 3u);
     EXPECT_TRUE(kv.erase(5.0, 3));
     EXPECT_EQ(kv.size(), 2u);
+}
+
+TEST(IndexedDaryHeap, BasicOrderAndMembership)
+{
+    IndexedDaryHeap<int> heap;
+    heap.reset(8);
+    heap.push(3, 10);
+    heap.push(1, 10); // tie on key: smaller id pops first
+    heap.push(5, 2);
+    EXPECT_EQ(heap.size(), 3u);
+    EXPECT_TRUE(heap.contains(5));
+    EXPECT_FALSE(heap.contains(0));
+    EXPECT_EQ(heap.keyOf(3), 10);
+
+    EXPECT_EQ(heap.pop(), 5u);
+    EXPECT_EQ(heap.pop(), 1u);
+    heap.erase(3);
+    EXPECT_TRUE(heap.empty());
+
+    // reset() makes ids reusable with fresh keys.
+    heap.reset(4);
+    heap.push(0, -5);
+    heap.pushOrUpdate(0, 7); // re-key upward
+    heap.push(2, 6);
+    EXPECT_EQ(heap.pop(), 2u);
+    EXPECT_EQ(heap.pop(), 0u);
+}
+
+TEST(IndexedDaryHeap, MatchesSetOracleUnderRandomOps)
+{
+    // The heap replaces std::set<pair<Key, Id>> in the planner; the
+    // bit-identity suite needs their pop orders byte-identical, so
+    // drive both through a random op mix and compare every answer.
+    Rng rng(42);
+    constexpr uint32_t kIds = 200;
+    IndexedDaryHeap<int> heap;
+    heap.reset(kIds);
+    std::set<std::pair<int, uint32_t>> oracle;
+    std::vector<int> key_of(kIds, 0);
+
+    for (int op = 0; op < 20000; ++op) {
+        const auto id =
+            static_cast<uint32_t>(rng.uniformInt(0, kIds - 1));
+        const int choice = static_cast<int>(rng.uniformInt(0, 3));
+        if (choice == 0 && !heap.contains(id)) {
+            const int key = static_cast<int>(rng.uniformInt(-50, 50));
+            heap.push(id, key);
+            oracle.emplace(key, id);
+            key_of[id] = key;
+        } else if (choice == 1 && heap.contains(id)) {
+            heap.erase(id);
+            oracle.erase({key_of[id], id});
+        } else if (choice == 2 && !heap.empty()) {
+            const auto expect = *oracle.begin();
+            EXPECT_EQ(heap.keyOf(heap.top()), expect.first);
+            EXPECT_EQ(heap.pop(), expect.second);
+            oracle.erase(oracle.begin());
+        } else if (choice == 3) {
+            const int key = static_cast<int>(rng.uniformInt(-50, 50));
+            if (heap.contains(id))
+                oracle.erase({key_of[id], id});
+            heap.pushOrUpdate(id, key);
+            oracle.emplace(key, id);
+            key_of[id] = key;
+        }
+        ASSERT_EQ(heap.size(), oracle.size());
+    }
+    // Drain: full pop sequence must equal the set's iteration order.
+    while (!heap.empty()) {
+        EXPECT_EQ(heap.pop(), oracle.begin()->second);
+        oracle.erase(oracle.begin());
+    }
+}
+
+TEST(BucketedKv, BestFitQueriesMatchSortedKv)
+{
+    BucketedKv<uint32_t> kv;
+    kv.configure(10.0, 8);
+    kv.insert(4.0, 1);
+    kv.insert(2.0, 2);
+    kv.insert(8.0, 3);
+
+    auto hit = kv.firstAtLeast(3.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->second, 1u);
+    EXPECT_EQ(kv.largest()->second, 3u);
+    EXPECT_FALSE(kv.firstAtLeast(9.0).has_value());
+
+    EXPECT_TRUE(kv.erase(4.0, 1));
+    EXPECT_FALSE(kv.erase(4.0, 1));
+    EXPECT_EQ(kv.firstAtLeast(3.0)->second, 3u);
+    EXPECT_EQ(kv.size(), 2u);
+
+    // Duplicate keys: smallest value among equal keys comes first.
+    kv.insert(5.0, 7);
+    kv.insert(5.0, 3);
+    kv.insert(5.0, 3);
+    EXPECT_EQ(kv.firstAtLeast(5.0)->second, 3u);
+    EXPECT_TRUE(kv.erase(5.0, 3));
+    EXPECT_EQ(kv.firstAtLeast(5.0)->second, 3u);
+}
+
+TEST(BucketedKv, MatchesMultisetOracleUnderRandomOps)
+{
+    // Same total order as the multiset-backed SortedKv — including
+    // scan order, which the packer's repack/delete stages rely on.
+    Rng rng(1337);
+    using Pair = std::pair<double, uint32_t>;
+    for (const double max_key : {1.0, 32.0, 4096.0}) {
+        BucketedKv<uint32_t> kv;
+        kv.configure(max_key, 256);
+        std::multiset<Pair> oracle;
+        std::vector<Pair> live;
+
+        for (int op = 0; op < 8000; ++op) {
+            const int choice = static_cast<int>(rng.uniformInt(0, 4));
+            if (choice <= 1 || live.empty()) {
+                // Quantized keys so exact-pair erases and duplicate
+                // keys actually occur.
+                const double key =
+                    max_key *
+                    static_cast<double>(rng.uniformInt(0, 64)) / 64.0;
+                const auto value =
+                    static_cast<uint32_t>(rng.uniformInt(0, 30));
+                kv.insert(key, value);
+                oracle.emplace(key, value);
+                live.emplace_back(key, value);
+            } else if (choice == 2) {
+                const size_t pick = static_cast<size_t>(
+                    rng.uniformInt(0, live.size() - 1));
+                const Pair victim = live[pick];
+                EXPECT_TRUE(kv.erase(victim.first, victim.second));
+                oracle.erase(oracle.find(victim));
+                live[pick] = live.back();
+                live.pop_back();
+            } else if (choice == 3) {
+                const double bound = rng.uniform(0.0, max_key * 1.1);
+                const auto hit = kv.firstAtLeast(bound);
+                const auto expect =
+                    oracle.lower_bound(Pair(bound, 0));
+                if (expect == oracle.end()) {
+                    EXPECT_FALSE(hit.has_value()) << "bound " << bound;
+                } else {
+                    ASSERT_TRUE(hit.has_value()) << "bound " << bound;
+                    EXPECT_EQ(*hit, *expect);
+                }
+            } else {
+                const auto hit = kv.largest();
+                if (oracle.empty()) {
+                    EXPECT_FALSE(hit.has_value());
+                } else {
+                    ASSERT_TRUE(hit.has_value());
+                    EXPECT_EQ(*hit, *oracle.rbegin());
+                }
+            }
+            ASSERT_EQ(kv.size(), oracle.size());
+        }
+
+        // Full ascending scan == multiset iteration order.
+        std::vector<Pair> ascending;
+        kv.scanAtLeast(0.0, [&](const Pair &entry) {
+            ascending.push_back(entry);
+            return true;
+        });
+        EXPECT_EQ(ascending,
+                  std::vector<Pair>(oracle.begin(), oracle.end()));
+
+        // Full descending scan == reverse iteration order.
+        std::vector<Pair> descending;
+        kv.scanDescending([&](const Pair &entry) {
+            descending.push_back(entry);
+            return true;
+        });
+        EXPECT_EQ(descending,
+                  std::vector<Pair>(oracle.rbegin(), oracle.rend()));
+    }
+}
+
+TEST(BucketedKv, ReconfigureClearsAndReuses)
+{
+    BucketedKv<uint32_t> kv;
+    kv.configure(16.0, 1000);
+    for (int i = 0; i < 100; ++i)
+        kv.insert(static_cast<double>(i % 17), i);
+    EXPECT_EQ(kv.size(), 100u);
+    kv.configure(16.0, 1000);
+    EXPECT_TRUE(kv.empty());
+    EXPECT_FALSE(kv.firstAtLeast(0.0).has_value());
+    kv.insert(3.0, 9);
+    EXPECT_EQ(kv.largest()->second, 9u);
 }
 
 TEST(Table, AlignedOutputAndCsv)
