@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Recovery-dynamics bench (Fig 6, §6.1): drives the CloudLab testbed
+ * through four failure-scenario shapes — a 50%-capacity failure with
+ * staggered recovery, a correlated two-zone outage, rolling node
+ * failures, and kubelet flaps inside/outside the grace period — under
+ * PhoenixCost, PhoenixFair, and the Kubernetes Default baseline.
+ *
+ * Every cell records the per-tick time series (ready capacity,
+ * Running-critical count, availability, utility, pending pods) and the
+ * derived time-to-critical-recovery / time-to-full-recovery. The JSON
+ * report (BENCH_recovery.json) carries one sweep section per scenario
+ * so tools/perfdiff can compare plan-time across runs, plus the
+ * per-cell recovery metrics and the headline timelines. The kube
+ * invariant checker is active in every cell.
+ *
+ * RECOVERY_SMOKE=1 restricts the grid to the 50%-capacity scenario
+ * and asserts the Fig 6 storyline: Phoenix restores all critical
+ * services within bounded time, Default cannot until capacity
+ * returns, and no cell violates a cluster invariant.
+ */
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "exp/recovery.h"
+#include "util/table.h"
+
+using namespace phoenix;
+using exp::RecoveryConfig;
+using exp::RecoveryResult;
+using exp::RecoveryScheme;
+
+namespace {
+
+struct ScenarioSpec
+{
+    std::string name;
+    /** Fraction of cluster capacity the scenario takes down (the
+     * sweep section's failure_rate key). */
+    double failureRate = 0.0;
+    sim::Scenario scenario;
+    sim::ScenarioOptions options;
+    double endTime = 2400.0;
+};
+
+struct CellResult
+{
+    size_t scenarioIndex = 0;
+    RecoveryScheme scheme = RecoveryScheme::Default;
+    RecoveryResult recovery;
+    double wallSeconds = 0.0;
+};
+
+std::vector<ScenarioSpec>
+buildScenarios(uint64_t seed)
+{
+    std::vector<ScenarioSpec> specs;
+
+    {
+        // The paper's headline run: capacity halved at t=600 s, nodes
+        // return one by one from t=1500 s (staggered recovery).
+        ScenarioSpec spec;
+        spec.name = "cap50";
+        spec.failureRate = 0.5;
+        spec.options.seed = seed;
+        spec.scenario.failCapacityFraction(600.0, 0.5)
+            .recoverAll(1500.0, 30.0);
+        spec.endTime = 2400.0;
+        specs.push_back(std::move(spec));
+    }
+    {
+        // Correlated sub-datacenter outage: two of five zones fail a
+        // minute apart (40% of nodes), everything returns at once.
+        ScenarioSpec spec;
+        spec.name = "zones";
+        spec.failureRate = 0.4;
+        spec.options.seed = seed;
+        spec.options.zoneCount = 5;
+        spec.scenario.failZone(600.0, 0)
+            .failZone(660.0, 1)
+            .recoverAll(1500.0);
+        spec.endTime = 2400.0;
+        specs.push_back(std::move(spec));
+    }
+    {
+        // Rolling failure: one random node per minute for 8 minutes,
+        // then staggered recovery.
+        ScenarioSpec spec;
+        spec.name = "rolling";
+        spec.failureRate = 8.0 / 25.0;
+        spec.options.seed = seed;
+        spec.scenario.rollingFail(600.0, 8, 60.0)
+            .recoverAll(1800.0, 15.0);
+        spec.endTime = 2600.0;
+        specs.push_back(std::move(spec));
+    }
+    {
+        // Kubelet flaps: three nodes flap inside the 100 s grace
+        // period (must be a non-event), five flap well outside it.
+        ScenarioSpec spec;
+        spec.name = "flap";
+        spec.failureRate = 5.0 / 25.0;
+        spec.options.seed = seed;
+        for (sim::NodeId n = 0; n < 3; ++n)
+            spec.scenario.flapKubelet(600.0, n, 50.0);
+        for (sim::NodeId n = 3; n < 8; ++n)
+            spec.scenario.flapKubelet(900.0, n, 300.0);
+        spec.endTime = 2000.0;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+exp::MetricStats
+statsOf(const std::vector<double> &values)
+{
+    exp::MetricStats stats;
+    if (values.empty())
+        return stats;
+    stats.min = values.front();
+    stats.max = values.front();
+    double sum = 0.0;
+    for (double v : values) {
+        sum += v;
+        stats.min = std::min(stats.min, v);
+        stats.max = std::max(stats.max, v);
+    }
+    stats.mean = sum / static_cast<double>(values.size());
+    double var = 0.0;
+    for (double v : values)
+        var += (v - stats.mean) * (v - stats.mean);
+    stats.stddev = std::sqrt(var / static_cast<double>(values.size()));
+    return stats;
+}
+
+/** Cell -> perfdiff-compatible sweep aggregate. */
+exp::SweepAggregate
+toAggregate(const ScenarioSpec &spec, const CellResult &cell)
+{
+    exp::SweepAggregate agg;
+    agg.scheme = exp::recoverySchemeName(cell.scheme);
+    agg.failureRate = spec.failureRate;
+    agg.trials = 1;
+    agg.wallSeconds = cell.wallSeconds;
+
+    std::vector<double> avail;
+    std::vector<double> util;
+    for (const auto &sample : cell.recovery.samples) {
+        if (sample.t >= cell.recovery.firstFailureAt) {
+            avail.push_back(sample.availability);
+            util.push_back(sample.utility);
+        }
+    }
+    agg.availability = statsOf(avail);
+    agg.requestsServed = statsOf(util);
+    agg.availabilityStrict =
+        statsOf({cell.recovery.finalAvailability});
+    if (cell.recovery.replans > 0) {
+        agg.planSeconds = statsOf({cell.recovery.planSecondsTotal /
+                                   static_cast<double>(
+                                       cell.recovery.replans)});
+    }
+    return agg;
+}
+
+bool
+smokeMode()
+{
+    const char *env = std::getenv("RECOVERY_SMOKE");
+    return env && std::string(env) == "1";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv, "recovery");
+    const bool smoke = smokeMode();
+    bench::banner(
+        "Recovery dynamics | scenario-driven Fig 6 timelines on the "
+        "25-node CloudLab testbed");
+
+    const auto scenarios = buildScenarios(options.seedOr(42));
+    std::vector<RecoveryScheme> schemes{RecoveryScheme::PhoenixCost,
+                                        RecoveryScheme::PhoenixFair,
+                                        RecoveryScheme::Default};
+    if (smoke)
+        schemes = {RecoveryScheme::PhoenixCost,
+                   RecoveryScheme::Default};
+
+    // Build the cell list (scenario-major, matching report order).
+    std::vector<CellResult> cells;
+    for (size_t s = 0; s < scenarios.size(); ++s) {
+        if (smoke && scenarios[s].name != "cap50")
+            continue;
+        for (RecoveryScheme scheme : schemes) {
+            if (!options.filter.empty()) {
+                std::string name =
+                    exp::recoverySchemeName(scheme);
+                std::string filter = options.filter;
+                for (auto &c : name)
+                    c = static_cast<char>(std::tolower(c));
+                for (auto &c : filter)
+                    c = static_cast<char>(std::tolower(c));
+                if (name.find(filter) == std::string::npos)
+                    continue;
+            }
+            CellResult cell;
+            cell.scenarioIndex = s;
+            cell.scheme = scheme;
+            cells.push_back(cell);
+        }
+    }
+
+    exp::parallelFor(options.jobs, cells.size(), [&](size_t i) {
+        CellResult &cell = cells[i];
+        const ScenarioSpec &spec = scenarios[cell.scenarioIndex];
+        RecoveryConfig config;
+        config.scheme = cell.scheme;
+        config.scenario = spec.scenario;
+        config.scenarioOptions = spec.options;
+        config.endTime = spec.endTime;
+        const auto start = std::chrono::steady_clock::now();
+        cell.recovery = exp::runRecovery(config);
+        cell.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    });
+
+    // ---- Per-cell recovery metrics -------------------------------
+    bench::banner("time-to-recovery per (scenario, scheme)");
+    util::Table table({"scenario", "scheme", "ttcr(s)", "ttfr(s)",
+                       "min_avail", "final_avail", "max_pending",
+                       "replans", "violations"});
+    for (const CellResult &cell : cells) {
+        const ScenarioSpec &spec = scenarios[cell.scenarioIndex];
+        table.row()
+            .cell(spec.name)
+            .cell(exp::recoverySchemeName(cell.scheme))
+            .cell(cell.recovery.timeToCriticalRecovery, 0)
+            .cell(cell.recovery.timeToFullRecovery, 0)
+            .cell(cell.recovery.minAvailability, 2)
+            .cell(cell.recovery.finalAvailability, 2)
+            .cell(cell.recovery.maxPending)
+            .cell(cell.recovery.replans)
+            .cell(cell.recovery.invariantViolations);
+    }
+    table.print(std::cout);
+
+    // ---- Headline timeline (cap50, PhoenixCost vs Default) -------
+    util::Table timeline({"t(s)", "scheme", "ready_cpu", "crit_up",
+                          "running", "pending", "avail", "utility"});
+    for (const CellResult &cell : cells) {
+        if (scenarios[cell.scenarioIndex].name != "cap50")
+            continue;
+        if (cell.scheme == RecoveryScheme::PhoenixFair)
+            continue;
+        for (const auto &sample : cell.recovery.samples) {
+            if (std::fmod(sample.t, 90.0) != 0.0)
+                continue;
+            timeline.row()
+                .cell(sample.t, 0)
+                .cell(exp::recoverySchemeName(cell.scheme))
+                .cell(sample.readyCapacity, 0)
+                .cell(sample.runningCritical)
+                .cell(sample.running)
+                .cell(sample.pending)
+                .cell(sample.availability, 2)
+                .cell(sample.utility, 2);
+        }
+    }
+    bench::banner("cap50 recovery timeline");
+    timeline.print(std::cout);
+
+    // ---- Report --------------------------------------------------
+    exp::Report report("recovery");
+    report.meta("nodes",
+                static_cast<int64_t>(apps::CloudLabConfig{}.nodeCount));
+    report.meta("smoke", static_cast<int64_t>(smoke ? 1 : 0));
+    for (const CellResult &cell : cells) {
+        const ScenarioSpec &spec = scenarios[cell.scenarioIndex];
+        const std::string prefix =
+            spec.name + "_" + exp::recoverySchemeName(cell.scheme);
+        report.meta(prefix + "_ttcr_s",
+                    cell.recovery.timeToCriticalRecovery);
+        report.meta(prefix + "_ttfr_s",
+                    cell.recovery.timeToFullRecovery);
+    }
+    report.addTable("recovery_cells", table);
+    report.addTable("timeline_cap50", timeline);
+    for (size_t s = 0; s < scenarios.size(); ++s) {
+        std::vector<exp::SweepAggregate> sweep;
+        for (const CellResult &cell : cells) {
+            if (cell.scenarioIndex == s)
+                sweep.push_back(toAggregate(scenarios[s], cell));
+        }
+        if (!sweep.empty())
+            report.addSweep(scenarios[s].name, sweep);
+    }
+    bench::finishReport(report, options);
+
+    // ---- Smoke gate ----------------------------------------------
+    if (smoke) {
+        const CellResult *phoenix = nullptr;
+        const CellResult *fallback = nullptr;
+        for (const CellResult &cell : cells) {
+            if (cell.scheme == RecoveryScheme::PhoenixCost)
+                phoenix = &cell;
+            if (cell.scheme == RecoveryScheme::Default)
+                fallback = &cell;
+        }
+        size_t failures = 0;
+        auto expect = [&failures](bool ok, const std::string &what) {
+            if (!ok) {
+                std::cerr << "[smoke] FAIL: " << what << "\n";
+                ++failures;
+            }
+        };
+        for (const CellResult &cell : cells) {
+            expect(cell.recovery.invariantViolations == 0,
+                   std::string("invariant violations under ") +
+                       exp::recoverySchemeName(cell.scheme));
+        }
+        expect(phoenix && fallback, "both smoke cells ran");
+        if (phoenix && fallback) {
+            const RecoveryResult &p = phoenix->recovery;
+            const RecoveryResult &d = fallback->recovery;
+            expect(p.minAvailability < 1.0,
+                   "phoenix availability dipped during detection");
+            expect(p.timeToCriticalRecovery > 0.0,
+                   "phoenix ttcr derived");
+            expect(p.timeToCriticalRecovery <= 420.0,
+                   "phoenix restores critical services within 420 s "
+                   "(grace + poll + replan + pod startup)");
+            expect(p.finalAvailability >= 1.0 - 1e-9,
+                   "phoenix ends fully available");
+            expect(p.timeToFullRecovery > 0.0 &&
+                       p.timeToFullRecovery <= 1800.0,
+                   "phoenix full recovery after capacity returns");
+            expect(d.timeToCriticalRecovery < 0.0 ||
+                       d.timeToCriticalRecovery >
+                           p.timeToCriticalRecovery + 120.0,
+                   "default cannot protect critical services before "
+                   "capacity returns");
+        }
+        if (failures > 0) {
+            std::cerr << "[smoke] " << failures << " check(s) failed\n";
+            return 1;
+        }
+        std::cout << "[smoke] recovery bounds OK\n";
+    }
+    return 0;
+}

@@ -35,10 +35,16 @@ runChaosSuite(const ServiceApp &sapp, const ChaosConfig &config)
     const double critical = sapp.app.criticalDemand();
 
     // Services grouped by tag, least critical first (degradation
-    // order).
+    // order). MsIds need not be contiguous (the manifests and the
+    // Alibaba generator both produce sparse ids), so keep an id ->
+    // vector-index map instead of indexing services[] by id.
     std::map<int, std::vector<MsId>, std::greater<>> by_tag;
-    for (const auto &ms : sapp.app.services)
+    std::map<MsId, size_t> index_of;
+    for (size_t i = 0; i < sapp.app.services.size(); ++i) {
+        const auto &ms = sapp.app.services[i];
         by_tag[ms.criticality].push_back(ms.id);
+        index_of[ms.id] = i;
+    }
 
     for (double degree : config.degrees) {
         ChaosTrial trial;
@@ -59,8 +65,8 @@ runChaosSuite(const ServiceApp &sapp, const ChaosConfig &config)
                 if (usage <= budget + 1e-9)
                     break;
                 running.erase(m);
-                usage -= sapp.app.services[m].cpu *
-                         std::max(sapp.app.services[m].replicas, 1);
+                const auto &svc = sapp.app.services[index_of.at(m)];
+                usage -= svc.cpu * std::max(svc.replicas, 1);
                 trial.lowestDisabledLevel = tag;
             }
         }

@@ -1,0 +1,180 @@
+#include "recovery.h"
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/chaos.h"
+#include "core/controller.h"
+#include "core/schemes.h"
+#include "sim/metrics.h"
+
+namespace phoenix::exp {
+
+using sim::PodRef;
+
+const char *
+recoverySchemeName(RecoveryScheme scheme)
+{
+    switch (scheme) {
+    case RecoveryScheme::Default: return "Default";
+    case RecoveryScheme::PhoenixCost: return "PhoenixCost";
+    case RecoveryScheme::PhoenixFair: return "PhoenixFair";
+    }
+    return "?";
+}
+
+namespace {
+
+/**
+ * Derive "seconds since the failure until @p ok(sample) holds for
+ * good": 0 when it never stopped holding, -1 when the horizon ends
+ * with it still false, otherwise the first sample instant after the
+ * last bad one, relative to @p failure_at.
+ */
+template <typename Pred>
+double
+recoveryTime(const std::vector<RecoverySample> &samples,
+             double failure_at, Pred ok)
+{
+    if (failure_at < 0.0)
+        return 0.0;
+    double last_bad = -1.0;
+    for (const RecoverySample &sample : samples) {
+        if (sample.t >= failure_at && !ok(sample))
+            last_bad = sample.t;
+    }
+    if (last_bad < 0.0)
+        return 0.0;
+    for (const RecoverySample &sample : samples) {
+        if (sample.t > last_bad)
+            return sample.t - failure_at;
+    }
+    return -1.0; // still bad at the horizon
+}
+
+} // namespace
+
+RecoveryResult
+runRecovery(const RecoveryConfig &config)
+{
+    sim::EventQueue events;
+    kube::KubeConfig kube_config = config.kube;
+    // The invariant checker is what turns a lifecycle bug into a hard
+    // failure in every scenario run — never let a caller disable it.
+    kube_config.validateInvariants = true;
+    kube::KubeCluster cluster(events, kube_config);
+
+    const apps::CloudLabTestbed testbed =
+        apps::makeCloudLabTestbed(config.testbed);
+    for (size_t n = 0; n < testbed.config.nodeCount; ++n)
+        cluster.addNode(testbed.config.cpusPerNode);
+    for (const auto &sapp : testbed.serviceApps)
+        cluster.addApplication(sapp.app);
+
+    std::unique_ptr<core::PhoenixController> controller;
+    if (config.scheme != RecoveryScheme::Default) {
+        const core::Objective objective =
+            config.scheme == RecoveryScheme::PhoenixCost
+                ? core::Objective::Cost
+                : core::Objective::Fair;
+        controller = std::make_unique<core::PhoenixController>(
+            events, cluster,
+            std::make_unique<core::PhoenixScheme>(objective));
+    }
+
+    // C1 pod lookup (MsIds may be sparse: map, not vector index).
+    std::set<PodRef> critical;
+    for (const auto &app : cluster.apps()) {
+        for (const auto &ms : app.services) {
+            if (ms.criticality == sim::kC1)
+                critical.insert(PodRef{app.id, ms.id});
+        }
+    }
+
+    RecoveryResult result;
+    sim::ScenarioRunner runner(events, cluster, config.scenario,
+                               config.scenarioOptions);
+    result.firstFailureAt = runner.firstFailureAt();
+
+    auto sample = [&] {
+        RecoverySample point;
+        point.t = events.now();
+        point.readyCapacity = cluster.readyCapacity();
+        point.pending = cluster.pendingCount();
+
+        sim::ActiveSet active = sim::emptyActiveSet(cluster.apps());
+        const auto running = cluster.runningPods();
+        point.running = running.size();
+        for (const PodRef &pod : running) {
+            active[pod.app][pod.ms] = true;
+            if (critical.count(pod))
+                ++point.runningCritical;
+        }
+        point.availability = sim::criticalServiceAvailability(
+            cluster.apps(), active);
+
+        const double utilization =
+            cluster.observedState().utilization();
+        double utility = 0.0;
+        for (const auto &sapp : testbed.serviceApps) {
+            std::set<sim::MsId> up;
+            for (const PodRef &pod : running) {
+                if (pod.app == sapp.app.id)
+                    up.insert(pod.ms);
+            }
+            utility += core::defaultUtility(
+                apps::evaluateTraffic(sapp, up, utilization));
+        }
+        if (!testbed.serviceApps.empty())
+            utility /= static_cast<double>(testbed.serviceApps.size());
+        point.utility = utility;
+
+        result.samples.push_back(point);
+    };
+    for (double t = config.samplePeriod; t <= config.endTime;
+         t += config.samplePeriod)
+        events.schedule(t, sample);
+
+    events.runUntil(config.endTime);
+
+    // ---- Derivations ---------------------------------------------
+    for (const RecoverySample &point : result.samples) {
+        if (result.firstFailureAt >= 0.0 &&
+            point.t < result.firstFailureAt) {
+            result.preFailureRunning = point.running;
+        }
+        if (point.t >= result.firstFailureAt) {
+            result.minAvailability =
+                std::min(result.minAvailability, point.availability);
+            result.maxPending =
+                std::max(result.maxPending, point.pending);
+        }
+    }
+    if (!result.samples.empty())
+        result.finalAvailability = result.samples.back().availability;
+
+    result.timeToCriticalRecovery = recoveryTime(
+        result.samples, result.firstFailureAt,
+        [](const RecoverySample &s) {
+            return s.availability >= 1.0 - 1e-9;
+        });
+    const size_t full = result.preFailureRunning;
+    result.timeToFullRecovery = recoveryTime(
+        result.samples, result.firstFailureAt,
+        [full](const RecoverySample &s) { return s.running >= full; });
+
+    result.invariantViolations = cluster.invariantViolations();
+    if (controller) {
+        result.replans = controller->history().size();
+        for (const auto &record : controller->history()) {
+            result.planSecondsTotal += record.planSeconds;
+            result.deletes += record.deletes;
+            result.migrations += record.migrations;
+            result.restarts += record.restarts;
+        }
+    }
+    return result;
+}
+
+} // namespace phoenix::exp

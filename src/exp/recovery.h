@@ -1,0 +1,98 @@
+/**
+ * @file
+ * End-to-end recovery harness (Fig 6, §6.1): runs a declarative
+ * failure Scenario against the mini-Kubernetes substrate — with or
+ * without a Phoenix controller — sampling a per-tick time series
+ * (ready capacity, Running-critical count, availability, utility,
+ * pending pods) and deriving the paper's headline recovery metrics:
+ * time-to-critical-recovery (all C1 services Running again) and
+ * time-to-full-recovery (pre-failure Running count restored), both
+ * measured from the instant the first failure is injected — so they
+ * include the ~100 s detection window, replanning, and pod startup.
+ *
+ * The kube invariant checker is force-enabled for every harness run:
+ * a scenario that drives the cluster into an illegal lifecycle state
+ * shows up as invariantViolations > 0 in the result.
+ */
+
+#ifndef PHOENIX_EXP_RECOVERY_H
+#define PHOENIX_EXP_RECOVERY_H
+
+#include <vector>
+
+#include "apps/cloudlab.h"
+#include "kube/kube.h"
+#include "sim/scenario.h"
+
+namespace phoenix::exp {
+
+/** Which resilience scheme drives the run. */
+enum class RecoveryScheme { Default, PhoenixCost, PhoenixFair };
+
+const char *recoverySchemeName(RecoveryScheme scheme);
+
+/** One harness run: testbed + scenario + sampling cadence. */
+struct RecoveryConfig
+{
+    RecoveryScheme scheme = RecoveryScheme::PhoenixCost;
+    /** CloudLab-style testbed (five app instances, Fig 4 goals). */
+    apps::CloudLabConfig testbed;
+    kube::KubeConfig kube; //!< validateInvariants is forced on
+    sim::Scenario scenario;
+    sim::ScenarioOptions scenarioOptions;
+    /** Time-series sampling period (seconds). */
+    double samplePeriod = 15.0;
+    /** Simulation horizon. */
+    double endTime = 2400.0;
+};
+
+/** One point of the recovery time series. */
+struct RecoverySample
+{
+    double t = 0.0;
+    double readyCapacity = 0.0;
+    /** Strict critical availability (fraction of apps with all C1
+     * services Running). */
+    double availability = 0.0;
+    /** Mean served-RPS-weighted utility across the app instances. */
+    double utility = 0.0;
+    size_t runningCritical = 0; //!< Running C1 pods
+    size_t running = 0;         //!< Running pods (any criticality)
+    size_t pending = 0;         //!< Pending, not scaled down
+};
+
+/** Harness outcome: the series plus the derived recovery metrics. */
+struct RecoveryResult
+{
+    std::vector<RecoverySample> samples;
+    /** Instant the scenario injected its first failure; -1 if none. */
+    double firstFailureAt = -1.0;
+    /** Running pods just before the first failure. */
+    size_t preFailureRunning = 0;
+    /**
+     * Seconds from first failure until critical availability is back
+     * at 1.0 for good. 0 = never dropped; -1 = never recovered within
+     * the horizon.
+     */
+    double timeToCriticalRecovery = -1.0;
+    /** Same derivation for the pre-failure Running count. */
+    double timeToFullRecovery = -1.0;
+    double minAvailability = 1.0;
+    double finalAvailability = 0.0;
+    size_t maxPending = 0;
+    /** Kube invariant-checker violations (0 in a healthy run). */
+    size_t invariantViolations = 0;
+    /** Controller activity (zero for RecoveryScheme::Default). */
+    size_t replans = 0;
+    double planSecondsTotal = 0.0;
+    size_t deletes = 0;
+    size_t migrations = 0;
+    size_t restarts = 0;
+};
+
+/** Run one scenario end to end. */
+RecoveryResult runRecovery(const RecoveryConfig &config);
+
+} // namespace phoenix::exp
+
+#endif // PHOENIX_EXP_RECOVERY_H

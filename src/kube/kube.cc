@@ -1,6 +1,8 @@
 #include "kube.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 
 #include "util/log.h"
 
@@ -9,6 +11,27 @@ namespace phoenix::kube {
 using sim::ClusterState;
 using sim::NodeId;
 using sim::PodRef;
+
+namespace {
+
+/** Slack for capacity comparisons (same as the scheduler's). */
+constexpr double kCapacityEps = 1e-9;
+/** Slack for incremental-vs-scan usage equality (fp accumulation). */
+constexpr double kUsageEps = 1e-6;
+
+const char *
+phaseName(PodPhase phase)
+{
+    switch (phase) {
+    case PodPhase::Pending: return "Pending";
+    case PodPhase::Starting: return "Starting";
+    case PodPhase::Running: return "Running";
+    case PodPhase::Terminating: return "Terminating";
+    }
+    return "?";
+}
+
+} // namespace
 
 KubeCluster::KubeCluster(sim::EventQueue &events, KubeConfig config)
     : events_(events), config_(config), rng_(config.seed)
@@ -30,6 +53,8 @@ KubeCluster::addNode(double capacity)
     rec.capacity = capacity;
     rec.lastHeartbeat = events_.now();
     nodes_.push_back(rec);
+    nodeUsed_.push_back(0.0);
+    nodeEvictionEpisodes_.push_back(0);
     scheduleHeartbeat(id);
     return id;
 }
@@ -95,30 +120,122 @@ KubeCluster::nodeControllerTick()
                                  << events_.now());
         }
     }
+    validateAfterEvent();
     events_.scheduleAfter(config_.heartbeatPeriod,
                           [this] { nodeControllerTick(); });
+}
+
+bool
+KubeCluster::occupiesNode(PodPhase phase)
+{
+    return phase == PodPhase::Starting || phase == PodPhase::Running ||
+           phase == PodPhase::Terminating;
+}
+
+bool
+KubeCluster::legalTransition(PodPhase from, PodPhase to)
+{
+    switch (from) {
+    case PodPhase::Pending:
+        return to == PodPhase::Starting;
+    case PodPhase::Starting:
+        // Starting -> Starting is a migration rebind (new node, new
+        // startup clock).
+        return to == PodPhase::Starting || to == PodPhase::Running ||
+               to == PodPhase::Pending || to == PodPhase::Terminating;
+    case PodPhase::Running:
+        // Running -> Running is a live migration (node change only).
+        return to == PodPhase::Running || to == PodPhase::Pending ||
+               to == PodPhase::Terminating;
+    case PodPhase::Terminating:
+        // A drain only ever completes back into Pending.
+        return to == PodPhase::Pending;
+    }
+    return false;
+}
+
+void
+KubeCluster::transition(Pod &pod, PodPhase to, NodeId node)
+{
+    if (!legalTransition(pod.phase, to)) {
+        recordViolation(std::string("illegal pod transition ") +
+                        phaseName(pod.phase) + " -> " + phaseName(to));
+    }
+    if (occupiesNode(pod.phase))
+        nodeUsed_[pod.node] -= pod.cpu;
+    pod.phase = to;
+    pod.node = node;
+    if (occupiesNode(to))
+        nodeUsed_[node] += pod.cpu;
 }
 
 double
 KubeCluster::usedOn(NodeId node) const
 {
+    return nodeUsed_[node];
+}
+
+double
+KubeCluster::scanUsedOn(NodeId node) const
+{
     double used = 0.0;
     for (const auto &[ref, pod] : pods_) {
         (void)ref;
-        if (pod.node == node && (pod.phase == PodPhase::Starting ||
-                                 pod.phase == PodPhase::Running ||
-                                 pod.phase == PodPhase::Terminating)) {
+        if (pod.node == node && occupiesNode(pod.phase))
             used += pod.cpu;
-        }
     }
     return used;
 }
 
 void
+KubeCluster::recordViolation(const std::string &what)
+{
+    ++invariantViolations_;
+    PHOENIX_ERROR("kube invariant violated at t=" << events_.now()
+                                                  << ": " << what);
+    assert(false && "kube invariant violated");
+}
+
+void
+KubeCluster::validateAfterEvent()
+{
+    if (!config_.validateInvariants)
+        return;
+    validateScratch_.assign(nodes_.size(), 0.0);
+    for (const auto &[ref, pod] : pods_) {
+        if (!occupiesNode(pod.phase))
+            continue;
+        if (pod.node >= nodes_.size()) {
+            recordViolation("pod " + std::to_string(ref.app) + "/" +
+                            std::to_string(ref.ms) +
+                            " placed on nonexistent node");
+            continue;
+        }
+        validateScratch_[pod.node] += pod.cpu;
+    }
+    for (size_t n = 0; n < nodes_.size(); ++n) {
+        const double scan = validateScratch_[n];
+        if (std::abs(scan - nodeUsed_[n]) > kUsageEps) {
+            recordViolation("node " + std::to_string(n) +
+                            " incremental usage " +
+                            std::to_string(nodeUsed_[n]) +
+                            " != scanned " + std::to_string(scan));
+        }
+        if (scan > nodes_[n].capacity + kUsageEps) {
+            recordViolation("node " + std::to_string(n) +
+                            " overcommitted: used " +
+                            std::to_string(scan) + " > capacity " +
+                            std::to_string(nodes_[n].capacity));
+        }
+    }
+}
+
+void
 KubeCluster::bindPod(Pod &pod, NodeId node)
 {
-    pod.phase = PodPhase::Starting;
-    pod.node = node;
+    transition(pod, PodPhase::Starting, node);
+    // Bumping the epoch cancels any armed start-completion timer, so a
+    // rebind (migrate-while-Starting) restarts the startup clock.
     const uint64_t epoch = ++podEpoch_[pod.ref];
     const double delay =
         rng_.uniform(config_.podStartupMin, config_.podStartupMax);
@@ -127,21 +244,35 @@ KubeCluster::bindPod(Pod &pod, NodeId node)
         auto it = pods_.find(ref);
         if (it == pods_.end() || podEpoch_[ref] != epoch)
             return;
-        if (it->second.phase == PodPhase::Starting)
-            it->second.phase = PodPhase::Running;
+        if (it->second.phase == PodPhase::Starting) {
+            transition(it->second, PodPhase::Running, it->second.node);
+            validateAfterEvent();
+        }
     });
 }
 
 void
 KubeCluster::evictPodsOn(NodeId node)
 {
+    ++nodeEvictionEpisodes_[node];
     for (auto &[ref, pod] : pods_) {
-        (void)ref;
-        if (pod.node == node && pod.phase != PodPhase::Pending) {
-            ++podEpoch_[pod.ref];
-            pod.phase = PodPhase::Pending;
-        }
+        if (pod.node != node || pod.phase == PodPhase::Pending)
+            continue;
+        // Documented semantics: Terminating pods keep their graceful
+        // drain (the drain timer lands them in Pending; a scaled-down
+        // pod parks there and never reschedules).
+        if (pod.phase == PodPhase::Terminating)
+            continue;
+        ++podEpoch_[ref];
+        transition(pod, PodPhase::Pending, pod.node);
+        ++evictedPods_;
     }
+}
+
+size_t
+KubeCluster::evictionEpisodes(NodeId node) const
+{
+    return nodeEvictionEpisodes_.at(node);
 }
 
 void
@@ -157,7 +288,7 @@ KubeCluster::schedulerTick()
             const NodeId target = *pod.pinnedNode;
             if (nodes_[target].ready &&
                 usedOn(target) + pod.cpu <=
-                    nodes_[target].capacity + 1e-9) {
+                    nodes_[target].capacity + kCapacityEps) {
                 bindPod(pod, target);
             }
             continue;
@@ -172,7 +303,7 @@ KubeCluster::schedulerTick()
             if (!rec.ready)
                 continue;
             const double free = rec.capacity - usedOn(rec.id);
-            if (free >= pod.cpu - 1e-9 && free > best_free) {
+            if (free >= pod.cpu - kCapacityEps && free > best_free) {
                 best_free = free;
                 best = rec.id;
             }
@@ -180,6 +311,7 @@ KubeCluster::schedulerTick()
         if (best_free >= 0.0)
             bindPod(pod, best);
     }
+    validateAfterEvent();
     events_.scheduleAfter(config_.schedulerPeriod,
                           [this] { schedulerTick(); });
 }
@@ -198,7 +330,7 @@ KubeCluster::deletePod(const PodRef &ref)
         return;
     }
     // Graceful drain: endpoints removed, SIGTERM, then gone.
-    pod.phase = PodPhase::Terminating;
+    transition(pod, PodPhase::Terminating, pod.node);
     const uint64_t epoch = ++podEpoch_[ref];
     events_.scheduleAfter(config_.podTerminationSeconds,
                           [this, ref, epoch] {
@@ -209,9 +341,13 @@ KubeCluster::deletePod(const PodRef &ref)
                               }
                               if (pit->second.phase ==
                                   PodPhase::Terminating) {
-                                  pit->second.phase = PodPhase::Pending;
+                                  transition(pit->second,
+                                             PodPhase::Pending,
+                                             pit->second.node);
+                                  validateAfterEvent();
                               }
                           });
+    validateAfterEvent();
 }
 
 void
@@ -243,7 +379,7 @@ void
 KubeCluster::migratePod(const PodRef &ref, NodeId to)
 {
     auto it = pods_.find(ref);
-    if (it == pods_.end())
+    if (it == pods_.end() || to >= nodes_.size())
         return;
     Pod &pod = it->second;
     pod.scaledDown = false;
@@ -251,20 +387,59 @@ KubeCluster::migratePod(const PodRef &ref, NodeId to)
     if (pod.phase == PodPhase::Pending) {
         return; // plain (re)start on the target
     }
+    if (pod.phase == PodPhase::Terminating) {
+        // Finish the drain; the pin re-places the pod afterwards.
+        return;
+    }
     if (pod.node == to)
         return;
-    // Two-stage migration collapses to an immediate rebind in the
-    // model: capacity moves to the target now and the service stays
-    // live (requests reroute to the new instance as it starts; see
-    // Appendix E). We keep the pod Running to model zero-downtime
-    // traffic draining.
-    pod.node = to;
+
+    // Validate the target exactly like the scheduler would: rebinding
+    // onto a NotReady or full node silently overcommits it. Keep the
+    // pin — the next replan resolves the conflict.
+    const NodeRec &target = nodes_[to];
+    if (!target.ready ||
+        usedOn(to) + pod.cpu > target.capacity + kCapacityEps) {
+        PHOENIX_WARN("migrate " << ref.app << "/" << ref.ms
+                                << " -> node " << to << " rejected: "
+                                << (target.ready ? "full"
+                                                 : "NotReady"));
+        return;
+    }
+
+    if (pod.phase == PodPhase::Starting) {
+        // The replica never finished starting: moving it restarts the
+        // startup clock on the target (bindPod bumps the epoch, which
+        // cancels the old start-completion timer — no free cross-node
+        // "migration").
+        bindPod(pod, to);
+        validateAfterEvent();
+        return;
+    }
+    // Running: the two-stage migration collapses to an immediate
+    // rebind in the model — capacity moves to the target now and the
+    // service stays live (requests reroute to the new instance as it
+    // starts; see Appendix E).
+    transition(pod, PodPhase::Running, to);
+    validateAfterEvent();
 }
 
 bool
 KubeCluster::isReady(NodeId node) const
 {
     return nodes_.at(node).ready;
+}
+
+bool
+KubeCluster::kubeletRunning(NodeId node) const
+{
+    return nodes_.at(node).kubeletRunning;
+}
+
+double
+KubeCluster::nodeCapacity(NodeId node) const
+{
+    return nodes_.at(node).capacity;
 }
 
 double
@@ -297,11 +472,8 @@ KubeCluster::observedState() const
             state.failNode(rec.id);
     }
     for (const auto &[ref, pod] : pods_) {
-        if (pod.phase == PodPhase::Starting ||
-            pod.phase == PodPhase::Running ||
-            pod.phase == PodPhase::Terminating) {
+        if (occupiesNode(pod.phase))
             state.place(ref, pod.node, pod.cpu);
-        }
     }
     return state;
 }

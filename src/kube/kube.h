@@ -17,7 +17,12 @@
  *    places pending pods, used both as machinery and as the paper's
  *    "Default" baseline;
  *  - the verbs the Phoenix agent executes: delete, migrate, restart,
- *    with optional node pinning.
+ *    with optional node pinning;
+ *  - the sim::FaultTarget hooks the failure-scenario engine drives
+ *    (node failure = kubelet stop, recovery = kubelet start);
+ *  - an invariant checker (capacity bounds, incremental-vs-scan usage
+ *    equality, phase-transition legality) that scenario tests enable
+ *    to turn lifecycle bugs into hard failures.
  */
 
 #ifndef PHOENIX_KUBE_KUBE_H
@@ -30,6 +35,7 @@
 
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
+#include "sim/scenario.h"
 #include "sim/types.h"
 #include "util/rng.h"
 
@@ -53,6 +59,20 @@ struct KubeConfig
     double podTerminationSeconds = 10.0;
     /** Run the built-in spread scheduler for unpinned pending pods. */
     bool enableDefaultScheduler = true;
+    /**
+     * Run the O(pods + nodes) invariant sweep after every event:
+     * no node's Starting+Running+Terminating usage exceeds its
+     * capacity, and the incrementally maintained per-node usage
+     * matches a full rescan. Phase-transition legality is always
+     * checked (it is O(1)). Violations are counted (see
+     * invariantViolations()) and assert in debug builds. Defaults on
+     * in debug builds; scenario tests enable it explicitly.
+     */
+#ifdef NDEBUG
+    bool validateInvariants = false;
+#else
+    bool validateInvariants = true;
+#endif
     uint64_t seed = 42;
 };
 
@@ -75,9 +95,10 @@ struct Pod
 
 /**
  * The cluster manager. Drive it by advancing the shared EventQueue;
- * every public mutator is safe to call from event handlers (the agent).
+ * every public mutator is safe to call from event handlers (the agent
+ * or a ScenarioRunner).
  */
-class KubeCluster
+class KubeCluster : public sim::FaultTarget
 {
   public:
     KubeCluster(sim::EventQueue &events, KubeConfig config = KubeConfig());
@@ -104,6 +125,18 @@ class KubeCluster
      * heartbeat. Pods previously evicted stay wherever they are now. */
     void startKubelet(sim::NodeId node);
 
+    // --- sim::FaultTarget (scenario-engine hooks) ------------------
+    size_t nodeCount() const override { return nodes_.size(); }
+    double nodeCapacity(sim::NodeId node) const override;
+    void injectNodeFailure(sim::NodeId node) override
+    {
+        stopKubelet(node);
+    }
+    void injectNodeRecovery(sim::NodeId node) override
+    {
+        startKubelet(node);
+    }
+
     // --- Agent verbs -----------------------------------------------
     /** Gracefully delete a pod and scale its deployment down. */
     void deletePod(const sim::PodRef &ref);
@@ -116,15 +149,21 @@ class KubeCluster
     void startPod(const sim::PodRef &ref,
                   std::optional<sim::NodeId> pinned = std::nullopt);
 
-    /** Migrate: start on the target, then delete the old instance
-     * (the two-stage strategy of Appendix E). */
+    /**
+     * Migrate: start on the target, then delete the old instance (the
+     * two-stage strategy of Appendix E). The target is validated like
+     * the scheduler would: migrating onto a NotReady or full node is
+     * rejected (the pin is kept for the next replan). A Starting pod
+     * restarts its startup clock on the target; a Terminating pod
+     * finishes its drain first and the pin re-places it afterwards.
+     */
     void migratePod(const sim::PodRef &ref, sim::NodeId to);
 
     // --- Observation ------------------------------------------------
     bool isReady(sim::NodeId node) const;
     double readyCapacity() const;
     double totalCapacity() const;
-    size_t nodeCount() const { return nodes_.size(); }
+    bool kubeletRunning(sim::NodeId node) const;
 
     /**
      * Snapshot for planners: Ready nodes are healthy; Starting and
@@ -143,6 +182,18 @@ class KubeCluster
 
     sim::SimTime now() const { return events_.now(); }
 
+    // --- Invariant checker / diagnostics ---------------------------
+    /** Invariant violations observed so far (0 in a healthy run). */
+    size_t invariantViolations() const { return invariantViolations_; }
+
+    /** Node-controller eviction sweeps performed on @p node (a flap
+     * inside the grace period performs none; a long outage exactly
+     * one). */
+    size_t evictionEpisodes(sim::NodeId node) const;
+
+    /** Total pods evicted back to Pending by node failures. */
+    size_t evictedPodCount() const { return evictedPods_; }
+
   private:
     struct NodeRec
     {
@@ -157,15 +208,42 @@ class KubeCluster
     void nodeControllerTick();
     void schedulerTick();
 
-    /** Used capacity on a node from Starting/Running/Terminating pods. */
+    /** Used capacity on a node from Starting/Running/Terminating pods
+     * (incrementally maintained; the invariant sweep checks it against
+     * a full rescan). */
     double usedOn(sim::NodeId node) const;
 
-    /** Begin starting a pod on a node (capacity is consumed now). */
+    /** The O(pods) rescan the incremental book is validated against. */
+    double scanUsedOn(sim::NodeId node) const;
+
+    /** Whether a phase occupies node capacity. */
+    static bool occupiesNode(PodPhase phase);
+
+    /** Pod lifecycle transition table (same-phase node moves allowed
+     * for Starting/Running migrations). */
+    static bool legalTransition(PodPhase from, PodPhase to);
+
+    /**
+     * The single mutation point for (phase, node): checks transition
+     * legality and maintains the incremental per-node usage book.
+     */
+    void transition(Pod &pod, PodPhase to, sim::NodeId node);
+
+    /** Begin starting a pod on a node (capacity is consumed now; any
+     * armed start-completion timer is invalidated via the epoch). */
     void bindPod(Pod &pod, sim::NodeId node);
 
-    /** Evict (node failure): pod returns to Pending unless scaled
-     * down. */
+    /**
+     * Evict (node failure): Starting/Running pods return to Pending
+     * (the scheduler re-places them unless scaled down). Terminating
+     * pods keep their graceful drain — they are already on the way
+     * out, and scaled-down ones never come back.
+     */
     void evictPodsOn(sim::NodeId node);
+
+    void recordViolation(const std::string &what);
+    /** Full invariant sweep; no-op unless config.validateInvariants. */
+    void validateAfterEvent();
 
     sim::EventQueue &events_;
     KubeConfig config_;
@@ -176,7 +254,13 @@ class KubeCluster
     std::map<sim::PodRef, Pod> pods_;
     /** Monotone counter to invalidate stale start-completion events. */
     std::map<sim::PodRef, uint64_t> podEpoch_;
-    bool controllerLoopsStarted_ = false;
+    /** Incremental Starting+Running+Terminating usage per node. */
+    std::vector<double> nodeUsed_;
+    std::vector<size_t> nodeEvictionEpisodes_;
+    size_t evictedPods_ = 0;
+    size_t invariantViolations_ = 0;
+    /** Scratch for the validation sweep (avoids per-event allocs). */
+    std::vector<double> validateScratch_;
 };
 
 } // namespace phoenix::kube

@@ -1,0 +1,304 @@
+#include "scenario.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace phoenix::sim {
+
+namespace {
+
+bool
+isFailureKind(Scenario::Step::Kind kind)
+{
+    switch (kind) {
+    case Scenario::Step::Kind::FailNodes:
+    case Scenario::Step::Kind::FailCount:
+    case Scenario::Step::Kind::FailCapacityFraction:
+    case Scenario::Step::Kind::FailZone:
+    case Scenario::Step::Kind::RollingFail:
+    case Scenario::Step::Kind::Flap:
+        return true;
+    case Scenario::Step::Kind::RecoverNodes:
+    case Scenario::Step::Kind::RecoverAll:
+        return false;
+    }
+    return false;
+}
+
+} // namespace
+
+Scenario &
+Scenario::failNodes(SimTime at, std::vector<NodeId> nodes)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::FailNodes;
+    step.nodes = std::move(nodes);
+    steps_.push_back(std::move(step));
+    return *this;
+}
+
+Scenario &
+Scenario::failCount(SimTime at, size_t count)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::FailCount;
+    step.count = count;
+    steps_.push_back(step);
+    return *this;
+}
+
+Scenario &
+Scenario::failCapacityFraction(SimTime at, double fraction)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::FailCapacityFraction;
+    step.fraction = fraction;
+    steps_.push_back(step);
+    return *this;
+}
+
+Scenario &
+Scenario::failZone(SimTime at, size_t zone)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::FailZone;
+    step.zone = zone;
+    steps_.push_back(step);
+    return *this;
+}
+
+Scenario &
+Scenario::rollingFail(SimTime at, size_t count, double interval)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::RollingFail;
+    step.count = count;
+    step.interval = interval;
+    steps_.push_back(step);
+    return *this;
+}
+
+Scenario &
+Scenario::flapKubelet(SimTime at, NodeId node, double downtime)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::Flap;
+    step.nodes = {node};
+    step.downtime = downtime;
+    steps_.push_back(std::move(step));
+    return *this;
+}
+
+Scenario &
+Scenario::recoverNodes(SimTime at, std::vector<NodeId> nodes)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::RecoverNodes;
+    step.nodes = std::move(nodes);
+    steps_.push_back(std::move(step));
+    return *this;
+}
+
+Scenario &
+Scenario::recoverAll(SimTime at, double stagger)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::RecoverAll;
+    step.interval = stagger;
+    steps_.push_back(step);
+    return *this;
+}
+
+SimTime
+Scenario::firstFailureAt() const
+{
+    SimTime first = -1.0;
+    for (const Step &step : steps_) {
+        if (!isFailureKind(step.kind))
+            continue;
+        if (first < 0.0 || step.at < first)
+            first = step.at;
+    }
+    return first;
+}
+
+ScenarioRunner::ScenarioRunner(EventQueue &events, FaultTarget &target,
+                               Scenario scenario,
+                               ScenarioOptions options)
+    : events_(events), target_(target), scenario_(std::move(scenario)),
+      options_(options), rng_(options.seed),
+      firstFailureAt_(scenario_.firstFailureAt())
+{
+    for (const Scenario::Step &step : scenario_.steps())
+        armStep(step);
+}
+
+void
+ScenarioRunner::armStep(const Scenario::Step &step)
+{
+    // Steps capture by value: the scenario spec outlives nothing, the
+    // runner owns its own copy.
+    const Scenario::Step armed = step;
+    events_.schedule(armed.at, [this, armed] { runStep(armed); });
+}
+
+std::vector<NodeId>
+ScenarioRunner::upNodes() const
+{
+    std::vector<NodeId> up;
+    for (size_t n = 0; n < target_.nodeCount(); ++n) {
+        const NodeId id = static_cast<NodeId>(n);
+        if (!down_.count(id))
+            up.push_back(id);
+    }
+    return up;
+}
+
+double
+ScenarioRunner::totalCapacity() const
+{
+    double total = 0.0;
+    for (size_t n = 0; n < target_.nodeCount(); ++n)
+        total += target_.nodeCapacity(static_cast<NodeId>(n));
+    return total;
+}
+
+double
+ScenarioRunner::downCapacity() const
+{
+    double total = 0.0;
+    for (NodeId id : down_)
+        total += target_.nodeCapacity(id);
+    return total;
+}
+
+std::vector<NodeId>
+ScenarioRunner::downNodes() const
+{
+    return std::vector<NodeId>(down_.begin(), down_.end());
+}
+
+void
+ScenarioRunner::failNode(NodeId node)
+{
+    if (down_.count(node))
+        return;
+    down_.insert(node);
+    trace_.push_back({events_.now(), ScenarioAction::Fail, node});
+    target_.injectNodeFailure(node);
+}
+
+void
+ScenarioRunner::recoverNode(NodeId node)
+{
+    if (!down_.erase(node))
+        return;
+    trace_.push_back({events_.now(), ScenarioAction::Recover, node});
+    target_.injectNodeRecovery(node);
+}
+
+void
+ScenarioRunner::runStep(const Scenario::Step &step)
+{
+    using Kind = Scenario::Step::Kind;
+    switch (step.kind) {
+    case Kind::FailNodes:
+        for (NodeId node : step.nodes)
+            failNode(node);
+        break;
+
+    case Kind::FailCount: {
+        std::vector<NodeId> candidates = upNodes();
+        rng_.shuffle(candidates);
+        for (size_t i = 0; i < step.count && i < candidates.size(); ++i)
+            failNode(candidates[i]);
+        break;
+    }
+
+    case Kind::FailCapacityFraction: {
+        const double target = totalCapacity() * step.fraction;
+        std::vector<NodeId> candidates = upNodes();
+        rng_.shuffle(candidates);
+        for (NodeId node : candidates) {
+            if (downCapacity() >= target - 1e-9)
+                break;
+            failNode(node);
+        }
+        break;
+    }
+
+    case Kind::FailZone: {
+        const size_t zones = std::max<size_t>(options_.zoneCount, 1);
+        for (NodeId node : upNodes()) {
+            if (node % zones == step.zone)
+                failNode(node);
+        }
+        break;
+    }
+
+    case Kind::RollingFail: {
+        if (step.count == 0)
+            break;
+        std::vector<NodeId> candidates = upNodes();
+        if (!candidates.empty()) {
+            const size_t pick = static_cast<size_t>(rng_.uniformInt(
+                0, static_cast<int64_t>(candidates.size()) - 1));
+            failNode(candidates[pick]);
+        }
+        if (step.count > 1) {
+            Scenario::Step next = step;
+            next.at = events_.now() + step.interval;
+            --next.count;
+            armStep(next);
+        }
+        break;
+    }
+
+    case Kind::Flap: {
+        for (NodeId node : step.nodes) {
+            failNode(node);
+            events_.scheduleAfter(step.downtime, [this, node] {
+                recoverNode(node);
+            });
+        }
+        break;
+    }
+
+    case Kind::RecoverNodes:
+        for (NodeId node : step.nodes)
+            recoverNode(node);
+        break;
+
+    case Kind::RecoverAll: {
+        const std::vector<NodeId> nodes = downNodes();
+        if (step.interval <= 0.0) {
+            for (NodeId node : nodes)
+                recoverNode(node);
+            break;
+        }
+        double delay = 0.0;
+        for (NodeId node : nodes) {
+            if (delay == 0.0) {
+                recoverNode(node);
+            } else {
+                events_.scheduleAfter(delay, [this, node] {
+                    recoverNode(node);
+                });
+            }
+            delay += step.interval;
+        }
+        break;
+    }
+    }
+}
+
+} // namespace phoenix::sim

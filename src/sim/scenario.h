@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Declarative failure-scenario engine (Fig 6, §6.1 recovery dynamics).
+ *
+ * The paper's end-to-end evaluation is about *recovery dynamics*: how
+ * a resilience scheme behaves while failures unfold and capacity
+ * returns. A Scenario is a declarative list of timed steps — explicit
+ * or randomized node failures, correlated zone outages, rolling
+ * failures, kubelet flaps (stop→start inside or outside the node
+ * grace period), capacity-fraction failures, and staggered partial
+ * recovery. A ScenarioRunner arms the steps on the shared EventQueue
+ * and drives any FaultTarget (the mini-Kubernetes cluster implements
+ * the interface), recording a per-node trace of everything it
+ * injected.
+ *
+ * Randomized selections (failCount, failCapacityFraction, rollingFail)
+ * draw from an explicitly seeded Rng in event-fire order, so a
+ * scenario is reproducible bit-for-bit for a given seed.
+ */
+
+#ifndef PHOENIX_SIM_SCENARIO_H
+#define PHOENIX_SIM_SCENARIO_H
+
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+#include "util/rng.h"
+
+namespace phoenix::sim {
+
+/**
+ * Fault-injection surface the scenario engine drives. KubeCluster
+ * implements it (failure = kubelet stop, recovery = kubelet start);
+ * tests may implement it directly to observe injection order.
+ */
+class FaultTarget
+{
+  public:
+    virtual ~FaultTarget() = default;
+
+    virtual size_t nodeCount() const = 0;
+    virtual double nodeCapacity(NodeId node) const = 0;
+    /** Take the node down (for Kubernetes: stop its kubelet). */
+    virtual void injectNodeFailure(NodeId node) = 0;
+    /** Bring the node back (for Kubernetes: restart its kubelet). */
+    virtual void injectNodeRecovery(NodeId node) = 0;
+};
+
+/** Scenario-wide knobs. */
+struct ScenarioOptions
+{
+    /** Seed for randomized node selection. */
+    uint64_t seed = 42;
+    /** Zone assignment: node belongs to zone (id % zoneCount). */
+    size_t zoneCount = 5;
+};
+
+/** One injected action, for traces and tests. */
+enum class ScenarioAction { Fail, Recover };
+
+struct ScenarioTraceEntry
+{
+    SimTime at = 0.0;
+    ScenarioAction action = ScenarioAction::Fail;
+    NodeId node = 0;
+};
+
+/**
+ * The declarative scenario: an ordered list of timed steps built
+ * through the fluent helpers. Steps may be added in any order; the
+ * runner schedules each at its own instant.
+ */
+class Scenario
+{
+  public:
+    struct Step
+    {
+        enum class Kind {
+            FailNodes,           //!< fail an explicit node set
+            FailCount,           //!< fail N random up nodes
+            FailCapacityFraction,//!< fail until >= fraction of capacity down
+            FailZone,            //!< correlated outage of one zone
+            RollingFail,         //!< one random node every interval
+            Flap,                //!< kubelet stop, restart after downtime
+            RecoverNodes,        //!< recover an explicit node set
+            RecoverAll,          //!< recover every down node (staggered)
+        };
+
+        SimTime at = 0.0;
+        Kind kind = Kind::FailNodes;
+        std::vector<NodeId> nodes;
+        size_t count = 0;
+        double fraction = 0.0;
+        size_t zone = 0;
+        /** Rolling spacing / staggered-recovery spacing (seconds). */
+        double interval = 0.0;
+        /** Flap: seconds between the stop and the restart. */
+        double downtime = 0.0;
+    };
+
+    Scenario &failNodes(SimTime at, std::vector<NodeId> nodes);
+    Scenario &failCount(SimTime at, size_t count);
+    /** Fail random up nodes until at least @p fraction of the total
+     * cluster capacity is down (cumulative with earlier failures —
+     * the paper's "capacity reduced to X%" events). */
+    Scenario &failCapacityFraction(SimTime at, double fraction);
+    Scenario &failZone(SimTime at, size_t zone);
+    /** Fail @p count random up nodes, one every @p interval seconds
+     * starting at @p at. */
+    Scenario &rollingFail(SimTime at, size_t count, double interval);
+    /** Stop the kubelet at @p at, restart it @p downtime seconds
+     * later: inside the node grace period the flap is invisible,
+     * outside it the node goes NotReady and evicts exactly once. */
+    Scenario &flapKubelet(SimTime at, NodeId node, double downtime);
+    Scenario &recoverNodes(SimTime at, std::vector<NodeId> nodes);
+    /** Recover every currently-down node; @p stagger > 0 spaces the
+     * recoveries that many seconds apart in ascending node order
+     * (staggered partial recovery). */
+    Scenario &recoverAll(SimTime at, double stagger = 0.0);
+
+    const std::vector<Step> &steps() const { return steps_; }
+
+    /** Instant of the earliest failure-injecting step; -1 if none. */
+    SimTime firstFailureAt() const;
+
+  private:
+    std::vector<Step> steps_;
+};
+
+/**
+ * Executes a Scenario against a FaultTarget on the EventQueue. The
+ * constructor arms every step; the runner must outlive the
+ * simulation. The runner tracks which nodes *it* took down, so
+ * recoverAll only touches scenario-injected failures.
+ */
+class ScenarioRunner
+{
+  public:
+    ScenarioRunner(EventQueue &events, FaultTarget &target,
+                   Scenario scenario, ScenarioOptions options = {});
+
+    /** Everything injected so far, in injection order. */
+    const std::vector<ScenarioTraceEntry> &trace() const
+    {
+        return trace_;
+    }
+
+    /** Nodes the scenario has failed and not yet recovered (sorted). */
+    std::vector<NodeId> downNodes() const;
+
+    /** Capacity of the currently-down nodes. */
+    double downCapacity() const;
+
+    SimTime firstFailureAt() const { return firstFailureAt_; }
+
+  private:
+    void armStep(const Scenario::Step &step);
+    void runStep(const Scenario::Step &step);
+    void failNode(NodeId node);
+    void recoverNode(NodeId node);
+    /** Up nodes (never failed or already recovered), ascending. */
+    std::vector<NodeId> upNodes() const;
+    double totalCapacity() const;
+
+    EventQueue &events_;
+    FaultTarget &target_;
+    Scenario scenario_;
+    ScenarioOptions options_;
+    util::Rng rng_;
+    std::set<NodeId> down_;
+    std::vector<ScenarioTraceEntry> trace_;
+    SimTime firstFailureAt_ = -1.0;
+};
+
+} // namespace phoenix::sim
+
+#endif // PHOENIX_SIM_SCENARIO_H

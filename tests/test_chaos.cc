@@ -62,6 +62,41 @@ TEST(Chaos, MistaggedCriticalServiceIsCaught)
     EXPECT_FALSE(report.violations.empty());
 }
 
+TEST(Chaos, SparseMsIdsDegradeByTagNotByIndex)
+{
+    // MsIds far beyond services.size(): the manifests and the Alibaba
+    // generator both produce sparse ids, so the suite must resolve a
+    // degraded service's demand through an id -> index map (indexing
+    // services[] by MsId reads out of bounds here).
+    ServiceApp sapp;
+    sapp.app.name = "sparse";
+    sapp.app.services.resize(3);
+    const sim::MsId ids[3] = {2, 7, 11};
+    const int tags[3] = {1, 3, 5};
+    for (size_t i = 0; i < 3; ++i) {
+        sapp.app.services[i].id = ids[i];
+        sapp.app.services[i].cpu = 10.0;
+        sapp.app.services[i].criticality = tags[i];
+    }
+    RequestType request;
+    request.name = "critical";
+    request.offeredRps = 100.0;
+    request.path.push_back({2, true, 1.0, 5.0});
+    sapp.requests.push_back(request);
+    sapp.criticalRequest = "critical";
+
+    ChaosConfig config;
+    config.degrees = {0.3};
+    const ChaosReport report = runChaosSuite(sapp, config);
+    ASSERT_EQ(report.trials.size(), 1u);
+    // Budget 21 of 30 CPU: shedding the single C5 service (10 CPU)
+    // suffices — C3 and the critical C1 service stay up.
+    EXPECT_EQ(report.trials[0].lowestDisabledLevel, 5);
+    EXPECT_TRUE(report.trials[0].criticalGoalMet);
+    EXPECT_TRUE(report.taggingEffective);
+    EXPECT_GT(report.trials[0].utility, 0.9);
+}
+
 TEST(Chaos, UtilityDegradesWithFailureDegree)
 {
     ServiceApp sapp = makeOverleaf(0);

@@ -190,6 +190,138 @@ TEST(Kube, MigrationMovesRunningPodWithoutDowntime)
     EXPECT_NE(cluster.pod(PodRef{0, 0})->node, from);
 }
 
+// ---- migratePod regressions (target validation + startup clock) ----
+
+namespace {
+
+/** Config with the invariant checker on regardless of build type. */
+KubeConfig
+checkedConfig()
+{
+    KubeConfig config;
+    config.validateInvariants = true;
+    return config;
+}
+
+} // namespace
+
+TEST(Kube, MigrateToFullNodeIsRejected)
+{
+    sim::EventQueue events;
+    KubeCluster cluster(events, checkedConfig());
+    const auto n0 = cluster.addNode(8.0);
+    const auto n1 = cluster.addNode(4.0);
+    // 6 CPU lands on n0 (spread prefers the bigger node), 3 CPU on n1.
+    sim::Application app = simpleApp(2, 0.0);
+    app.services[0].cpu = 6.0;
+    app.services[1].cpu = 3.0;
+    cluster.addApplication(app);
+    events.runUntil(120.0);
+    ASSERT_EQ(cluster.pod(PodRef{0, 0})->node, n0);
+    ASSERT_EQ(cluster.pod(PodRef{0, 1})->node, n1);
+
+    // n1 has 1 CPU free: moving the 6-CPU pod there must be refused,
+    // not silently overcommit the node.
+    cluster.migratePod(PodRef{0, 0}, n1);
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->node, n0);
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->phase, PodPhase::Running);
+    EXPECT_LE(cluster.observedState().used(n1), 4.0 + 1e-9);
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
+TEST(Kube, MigrateToNotReadyNodeIsRejected)
+{
+    sim::EventQueue events;
+    KubeCluster cluster(events, checkedConfig());
+    const auto n0 = cluster.addNode(8.0);
+    const auto n1 = cluster.addNode(8.0);
+    sim::Application app = simpleApp(1, 2.0);
+    cluster.addApplication(app);
+    events.runUntil(120.0);
+    const auto home = cluster.pod(PodRef{0, 0})->node;
+    const auto other = home == n0 ? n1 : n0;
+
+    cluster.stopKubelet(other);
+    events.runUntil(events.now() + 150.0); // grace expires
+    ASSERT_FALSE(cluster.isReady(other));
+
+    cluster.migratePod(PodRef{0, 0}, other);
+    // The pod must not land on a NotReady node; the pin is kept so a
+    // later replan (or the node coming back) can honour it.
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->node, home);
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->phase, PodPhase::Running);
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
+TEST(Kube, MigrateWhileStartingRestartsTheClock)
+{
+    sim::EventQueue events;
+    KubeConfig config = checkedConfig();
+    config.podStartupMin = 20.0;
+    config.podStartupMax = 20.0; // deterministic startup
+    config.enableDefaultScheduler = false;
+    KubeCluster cluster(events, config);
+    const auto n0 = cluster.addNode(8.0);
+    const auto n1 = cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(1, 2.0));
+
+    events.runUntil(1.0);
+    cluster.startPod(PodRef{0, 0}, n0); // binds at the t=5 tick
+    events.runUntil(12.0);
+    ASSERT_EQ(cluster.pod(PodRef{0, 0})->phase, PodPhase::Starting);
+
+    // Mid-startup move: the old start-completion timer (armed for
+    // t=25) must not finish the pod on the new node for free.
+    cluster.migratePod(PodRef{0, 0}, n1);
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->node, n1);
+    events.runUntil(27.0);
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->phase, PodPhase::Starting);
+    // The restarted clock (t=12+20=32) completes on the target.
+    events.runUntil(40.0);
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->phase, PodPhase::Running);
+    EXPECT_EQ(cluster.pod(PodRef{0, 0})->node, n1);
+    // Capacity was never double-counted across the two nodes.
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
+// ---- evictPodsOn regression (graceful drain survives a failure) ----
+
+TEST(Kube, DeleteThenNodeFailureKeepsTheDrain)
+{
+    sim::EventQueue events;
+    KubeConfig config = checkedConfig();
+    config.nodeGracePeriod = 50.0;
+    config.podTerminationSeconds = 200.0; // drain outlives the grace
+    KubeCluster cluster(events, config);
+    cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(2, 2.0));
+    events.runUntil(120.0);
+    ASSERT_EQ(cluster.runningPods().size(), 2u);
+
+    const PodRef victim{0, 0};
+    cluster.deletePod(victim);
+    ASSERT_EQ(cluster.pod(victim)->phase, PodPhase::Terminating);
+    const double drain_done = events.now() + 200.0;
+
+    // Node fails mid-drain; the eviction sweep lands ~50-60 s later.
+    cluster.stopKubelet(0);
+    events.runUntil(events.now() + 80.0);
+    ASSERT_EQ(cluster.evictionEpisodes(0), 1u);
+    // The Running pod was evicted to Pending; the Terminating pod is
+    // still draining — eviction must not cut the drain short.
+    EXPECT_EQ(cluster.pod(PodRef{0, 1})->phase, PodPhase::Pending);
+    EXPECT_EQ(cluster.pod(victim)->phase, PodPhase::Terminating);
+
+    // The drain completes on schedule and, being scaled down, the pod
+    // parks in Pending without rescheduling.
+    events.runUntil(drain_done + 10.0);
+    EXPECT_EQ(cluster.pod(victim)->phase, PodPhase::Pending);
+    EXPECT_TRUE(cluster.pod(victim)->scaledDown);
+    events.runUntil(events.now() + 60.0);
+    EXPECT_EQ(cluster.runningPods().count(victim), 0u);
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
 TEST(Kube, ObservedStateReflectsFailuresAndPlacement)
 {
     sim::EventQueue events;

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the declarative failure-scenario engine: step semantics
+ * against a recording FaultTarget, determinism of the seeded random
+ * selections, and the kube integration paths — kubelet flaps inside
+ * vs outside the node grace period, staggered recovery — with the
+ * cluster invariant checker enabled throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kube/kube.h"
+#include "sim/scenario.h"
+
+using namespace phoenix;
+using namespace phoenix::sim;
+
+namespace {
+
+/** FaultTarget that just records injections. */
+class FakeTarget : public FaultTarget
+{
+  public:
+    FakeTarget(size_t nodes, double capacity = 8.0)
+        : capacities_(nodes, capacity)
+    {
+    }
+
+    /** Heterogeneous capacities. */
+    explicit FakeTarget(std::vector<double> capacities)
+        : capacities_(std::move(capacities))
+    {
+    }
+
+    size_t nodeCount() const override { return capacities_.size(); }
+    double
+    nodeCapacity(NodeId node) const override
+    {
+        return capacities_.at(node);
+    }
+    void injectNodeFailure(NodeId node) override
+    {
+        injections.push_back({false, node});
+    }
+    void injectNodeRecovery(NodeId node) override
+    {
+        injections.push_back({true, node});
+    }
+
+    struct Injection
+    {
+        bool recovery = false;
+        NodeId node = 0;
+    };
+    std::vector<Injection> injections;
+
+  private:
+    std::vector<double> capacities_;
+};
+
+kube::KubeConfig
+checkedConfig()
+{
+    kube::KubeConfig config;
+    config.validateInvariants = true;
+    return config;
+}
+
+sim::Application
+simpleApp(size_t services, double cpu)
+{
+    sim::Application app;
+    app.name = "app";
+    app.services.resize(services);
+    for (sim::MsId m = 0; m < services; ++m) {
+        app.services[m].id = m;
+        app.services[m].cpu = cpu;
+        app.services[m].criticality = 1;
+    }
+    return app;
+}
+
+} // namespace
+
+TEST(Scenario, FailNodesFiresAtTheRightInstant)
+{
+    EventQueue events;
+    FakeTarget target(4);
+    Scenario scenario;
+    scenario.failNodes(10.0, {1, 3});
+    ScenarioRunner runner(events, target, scenario);
+
+    events.runUntil(9.0);
+    EXPECT_TRUE(target.injections.empty());
+    events.runUntil(11.0);
+    ASSERT_EQ(target.injections.size(), 2u);
+    EXPECT_EQ(target.injections[0].node, 1u);
+    EXPECT_EQ(target.injections[1].node, 3u);
+    EXPECT_EQ(runner.downNodes(), (std::vector<NodeId>{1, 3}));
+    EXPECT_DOUBLE_EQ(runner.firstFailureAt(), 10.0);
+    ASSERT_EQ(runner.trace().size(), 2u);
+    EXPECT_EQ(runner.trace()[0].action, ScenarioAction::Fail);
+    EXPECT_DOUBLE_EQ(runner.trace()[0].at, 10.0);
+}
+
+TEST(Scenario, DoubleFailureOfANodeInjectsOnce)
+{
+    EventQueue events;
+    FakeTarget target(2);
+    Scenario scenario;
+    scenario.failNodes(5.0, {0}).failNodes(6.0, {0, 1});
+    ScenarioRunner runner(events, target, scenario);
+    events.runUntil(10.0);
+    // Node 0 only goes down once; the second step adds node 1.
+    ASSERT_EQ(target.injections.size(), 2u);
+    EXPECT_EQ(target.injections[0].node, 0u);
+    EXPECT_EQ(target.injections[1].node, 1u);
+    EXPECT_EQ(runner.downNodes().size(), 2u);
+}
+
+TEST(Scenario, FailCountIsDeterministicForASeed)
+{
+    Scenario scenario;
+    scenario.failCount(10.0, 3);
+    ScenarioOptions options;
+    options.seed = 7;
+
+    std::vector<NodeId> first;
+    for (int run = 0; run < 2; ++run) {
+        EventQueue events;
+        FakeTarget target(10);
+        ScenarioRunner runner(events, target, scenario, options);
+        events.runUntil(20.0);
+        ASSERT_EQ(runner.downNodes().size(), 3u);
+        if (run == 0)
+            first = runner.downNodes();
+        else
+            EXPECT_EQ(runner.downNodes(), first);
+    }
+}
+
+TEST(Scenario, FailCapacityFractionIsCumulative)
+{
+    EventQueue events;
+    FakeTarget target({4.0, 4.0, 4.0, 4.0, 16.0}); // total 32
+    Scenario scenario;
+    scenario.failNodes(5.0, {0})              // 4 CPU down (12.5%)
+        .failCapacityFraction(10.0, 0.5);     // top up to >= 16 CPU
+    ScenarioRunner runner(events, target, scenario);
+    events.runUntil(20.0);
+    EXPECT_GE(runner.downCapacity(), 16.0 - 1e-9);
+    // The earlier explicit failure counts toward the fraction: the
+    // step never needs to take the whole cluster down.
+    EXPECT_LT(runner.downNodes().size(), 5u);
+}
+
+TEST(Scenario, FailZoneTakesExactlyTheZone)
+{
+    EventQueue events;
+    FakeTarget target(10);
+    Scenario scenario;
+    scenario.failZone(10.0, 2);
+    ScenarioOptions options;
+    options.zoneCount = 5;
+    ScenarioRunner runner(events, target, scenario, options);
+    events.runUntil(20.0);
+    EXPECT_EQ(runner.downNodes(), (std::vector<NodeId>{2, 7}));
+}
+
+TEST(Scenario, RollingFailSpacesFailures)
+{
+    EventQueue events;
+    FakeTarget target(10);
+    Scenario scenario;
+    scenario.rollingFail(100.0, 3, 60.0);
+    ScenarioRunner runner(events, target, scenario);
+    events.runUntil(500.0);
+
+    ASSERT_EQ(runner.trace().size(), 3u);
+    EXPECT_DOUBLE_EQ(runner.trace()[0].at, 100.0);
+    EXPECT_DOUBLE_EQ(runner.trace()[1].at, 160.0);
+    EXPECT_DOUBLE_EQ(runner.trace()[2].at, 220.0);
+    EXPECT_EQ(runner.downNodes().size(), 3u); // distinct nodes
+}
+
+TEST(Scenario, RecoverAllStaggersAscending)
+{
+    EventQueue events;
+    FakeTarget target(6);
+    Scenario scenario;
+    scenario.failNodes(10.0, {4, 1, 2}).recoverAll(100.0, 30.0);
+    ScenarioRunner runner(events, target, scenario);
+    events.runUntil(1000.0);
+
+    EXPECT_TRUE(runner.downNodes().empty());
+    std::vector<ScenarioTraceEntry> recoveries;
+    for (const auto &entry : runner.trace()) {
+        if (entry.action == ScenarioAction::Recover)
+            recoveries.push_back(entry);
+    }
+    ASSERT_EQ(recoveries.size(), 3u);
+    // Ascending node order, one every 30 s from t=100.
+    EXPECT_EQ(recoveries[0].node, 1u);
+    EXPECT_DOUBLE_EQ(recoveries[0].at, 100.0);
+    EXPECT_EQ(recoveries[1].node, 2u);
+    EXPECT_DOUBLE_EQ(recoveries[1].at, 130.0);
+    EXPECT_EQ(recoveries[2].node, 4u);
+    EXPECT_DOUBLE_EQ(recoveries[2].at, 160.0);
+}
+
+TEST(Scenario, FlapInjectsFailureThenRecovery)
+{
+    EventQueue events;
+    FakeTarget target(3);
+    Scenario scenario;
+    scenario.flapKubelet(50.0, 1, 25.0);
+    ScenarioRunner runner(events, target, scenario);
+    events.runUntil(100.0);
+
+    ASSERT_EQ(target.injections.size(), 2u);
+    EXPECT_FALSE(target.injections[0].recovery);
+    EXPECT_TRUE(target.injections[1].recovery);
+    EXPECT_EQ(target.injections[1].node, 1u);
+    ASSERT_EQ(runner.trace().size(), 2u);
+    EXPECT_DOUBLE_EQ(runner.trace()[1].at, 75.0);
+    EXPECT_TRUE(runner.downNodes().empty());
+}
+
+TEST(Scenario, FirstFailureAtIgnoresRecoverySteps)
+{
+    Scenario scenario;
+    scenario.recoverAll(50.0).failCount(200.0, 1).failZone(150.0, 0);
+    EXPECT_DOUBLE_EQ(scenario.firstFailureAt(), 150.0);
+
+    Scenario quiet;
+    quiet.recoverNodes(10.0, {0});
+    EXPECT_DOUBLE_EQ(quiet.firstFailureAt(), -1.0);
+}
+
+// ---- Kube integration: flaps vs the node grace period -------------
+
+TEST(ScenarioKube, FlapInsideGracePeriodIsInvisible)
+{
+    sim::EventQueue events;
+    auto config = checkedConfig();
+    config.nodeGracePeriod = 100.0;
+    kube::KubeCluster cluster(events, config);
+    const auto n0 = cluster.addNode(8.0);
+    cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(4, 2.0));
+    events.runUntil(200.0);
+    ASSERT_EQ(cluster.runningPods().size(), 4u);
+
+    Scenario scenario;
+    scenario.flapKubelet(300.0, n0, 50.0); // well inside the 100 s grace
+    ScenarioRunner runner(events, cluster, scenario);
+
+    events.runUntil(340.0); // kubelet down, grace not expired
+    EXPECT_TRUE(cluster.isReady(n0));
+    events.runUntil(600.0);
+    // The flap must be a non-event: no NotReady, no eviction sweep,
+    // every pod still Running where it was.
+    EXPECT_TRUE(cluster.isReady(n0));
+    EXPECT_EQ(cluster.evictionEpisodes(n0), 0u);
+    EXPECT_EQ(cluster.evictedPodCount(), 0u);
+    EXPECT_EQ(cluster.runningPods().size(), 4u);
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
+TEST(ScenarioKube, FlapOutsideGracePeriodEvictsExactlyOnce)
+{
+    sim::EventQueue events;
+    auto config = checkedConfig();
+    config.nodeGracePeriod = 100.0;
+    config.heartbeatPeriod = 10.0;
+    kube::KubeCluster cluster(events, config);
+    const auto n0 = cluster.addNode(8.0);
+    const auto n1 = cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(4, 2.0));
+    events.runUntil(200.0);
+    ASSERT_EQ(cluster.runningPods().size(), 4u);
+
+    Scenario scenario;
+    scenario.flapKubelet(300.0, n0, 300.0); // outage >> grace
+    ScenarioRunner runner(events, cluster, scenario);
+
+    // NotReady lands at the first node-controller tick after
+    // t = 300 + grace; give it one heartbeat of slack.
+    events.runUntil(300.0 + 100.0 + 2.0 * config.heartbeatPeriod);
+    EXPECT_FALSE(cluster.isReady(n0));
+    EXPECT_EQ(cluster.evictionEpisodes(n0), 1u);
+    EXPECT_GT(cluster.evictedPodCount(), 0u);
+
+    // Evicted pods re-place on the surviving node and restart.
+    events.runUntil(550.0);
+    EXPECT_EQ(cluster.runningPods().size(), 4u);
+    for (const auto &ref : cluster.runningPods())
+        EXPECT_EQ(cluster.pod(ref)->node, n1);
+
+    // Kubelet restarts at t=600; the node must be Ready again within
+    // a node-controller tick of the next heartbeat, with exactly the
+    // one eviction episode on record.
+    events.runUntil(600.0 + 2.0 * config.heartbeatPeriod);
+    EXPECT_TRUE(cluster.isReady(n0));
+    EXPECT_EQ(cluster.evictionEpisodes(n0), 1u);
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
+TEST(ScenarioKube, StaggeredRecoveryRestoresCapacityStepwise)
+{
+    sim::EventQueue events;
+    auto config = checkedConfig();
+    kube::KubeCluster cluster(events, config);
+    for (int i = 0; i < 4; ++i)
+        cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(4, 2.0));
+    events.runUntil(200.0);
+
+    Scenario scenario;
+    scenario.failNodes(300.0, {0, 1, 2}).recoverAll(700.0, 50.0);
+    ScenarioRunner runner(events, cluster, scenario);
+
+    events.runUntil(500.0);
+    EXPECT_NEAR(cluster.readyCapacity(), 8.0, 1e-9);
+    // Recoveries at 700 / 750 / 800; Ready follows within a
+    // heartbeat + controller tick.
+    events.runUntil(730.0);
+    EXPECT_NEAR(cluster.readyCapacity(), 16.0, 1e-9);
+    events.runUntil(780.0);
+    EXPECT_NEAR(cluster.readyCapacity(), 24.0, 1e-9);
+    events.runUntil(830.0);
+    EXPECT_NEAR(cluster.readyCapacity(), 32.0, 1e-9);
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+    // All pods find a home again.
+    events.runUntil(1000.0);
+    EXPECT_EQ(cluster.runningPods().size(), 4u);
+}
