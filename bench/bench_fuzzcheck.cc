@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fuzzing-budget bench: oracle throughput per property tier. Not a
+ * paper figure — this keeps the `fuzz_smoke`/`fuzz_long` budgets
+ * honest by measuring cases/sec for each oracle configuration
+ * (structural+replay only, + metamorphic, + exact LP differential,
+ * everything incl. the kube-lifecycle replay) over the same
+ * deterministic case stream the gates run. A tier that regresses here
+ * silently shrinks how many cases a fixed CI budget actually covers.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "check/generator.h"
+#include "check/oracle.h"
+#include "util/table.h"
+
+using namespace phoenix;
+
+namespace {
+
+struct Tier
+{
+    const char *name;
+    check::OracleOptions oracle;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::parseOptions(argc, argv, "fuzzcheck");
+    const size_t cases = static_cast<size_t>(options.trialsOr(500));
+    const uint64_t seed = options.seedOr(1);
+
+    check::OracleOptions structural;
+    structural.runLp = false;
+    structural.metamorphic = false;
+    structural.lifecycle = false;
+    check::OracleOptions metamorphic = structural;
+    metamorphic.metamorphic = true;
+    check::OracleOptions differential = metamorphic;
+    differential.runLp = true;
+    check::OracleOptions everything = differential;
+    everything.lifecycle = true;
+
+    const Tier tiers[] = {
+        {"structural+replay", structural},
+        {"+metamorphic", metamorphic},
+        {"+lp-differential", differential},
+        {"+kube-lifecycle", everything},
+    };
+
+    bench::banner("fuzzcheck oracle throughput, " +
+                  std::to_string(cases) + " cases, seed " +
+                  std::to_string(seed));
+
+    exp::Report report("fuzzcheck");
+    report.meta("cases", static_cast<int64_t>(cases));
+    report.meta("seed", static_cast<int64_t>(seed));
+
+    util::Table table({"tier", "cases/sec", "seconds", "violations",
+                       "lp-solves", "lifecycle-runs"});
+    for (const Tier &tier : tiers) {
+        using Clock = std::chrono::steady_clock;
+        const auto start = Clock::now();
+        size_t violations = 0;
+        size_t lp_solves = 0;
+        size_t lifecycle_runs = 0;
+        for (size_t i = 0; i < cases; ++i) {
+            const check::CheckCase c =
+                check::generateCase(util::cellSeed(seed, i));
+            const auto result = check::checkCase(c, tier.oracle);
+            violations += result.violations.size();
+            lp_solves += (result.lpCostRan ? 1 : 0) +
+                         (result.lpFairRan ? 1 : 0);
+            lifecycle_runs += result.lifecycleRan ? 1 : 0;
+        }
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+        table.row()
+            .cell(tier.name)
+            .cell(seconds > 0.0 ? static_cast<double>(cases) / seconds
+                                : 0.0)
+            .cell(seconds)
+            .cell(static_cast<double>(violations), 0)
+            .cell(static_cast<double>(lp_solves), 0)
+            .cell(static_cast<double>(lifecycle_runs), 0);
+        report.meta(std::string(tier.name) + ".seconds", seconds);
+    }
+    table.print(std::cout);
+    report.addTable("throughput", table);
+    bench::finishReport(report, options);
+    return 0;
+}

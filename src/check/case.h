@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Self-contained test case for the differential oracle (src/check).
+ *
+ * A CheckCase is everything one fuzz case needs to be re-run
+ * bit-for-bit from a file: node capacities, the full application set
+ * (services, tags, replicas, dependency edges, prices, subscription
+ * flags), and an explicit timed failure/recovery script. Randomness
+ * lives entirely in the generator — a serialized case contains no
+ * seeds that still need expanding, so a corpus entry replays
+ * identically on any machine.
+ *
+ * The failure script doubles as both oracle surfaces:
+ *  - statically, replaying the steps against a ClusterState produces
+ *    the post-failure state the resilience schemes plan against;
+ *  - dynamically, the same steps build a sim::Scenario that the
+ *    kube-lifecycle oracle drives through ScenarioRunner against a
+ *    real KubeCluster.
+ */
+
+#ifndef PHOENIX_CHECK_CASE_H
+#define PHOENIX_CHECK_CASE_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.h"
+#include "sim/scenario.h"
+#include "sim/types.h"
+
+namespace phoenix::check {
+
+/** One scripted fault event with explicit node targets. */
+struct CaseStep
+{
+    enum class Kind {
+        Fail,    //!< kubelet stop / node failure for every listed node
+        Recover, //!< kubelet start / node restore for every listed node
+        Flap,    //!< stop then restart `downtime` later (one node each)
+    };
+
+    double at = 0.0;
+    Kind kind = Kind::Fail;
+    std::vector<sim::NodeId> nodes;
+    /** Flap only: seconds between the stop and the restart. */
+    double downtime = 0.0;
+};
+
+struct CheckCase
+{
+    /** Corpus id / provenance ("fuzz-17", "pr2-noncontiguous-appid"). */
+    std::string name;
+    /** Free-form provenance note (what bug this reproduces, etc.). */
+    std::string notes;
+    /** Generator seed the case came from (0 for handmade cases). */
+    uint64_t seed = 0;
+    /** Run the kube-lifecycle oracle too (needs steps). */
+    bool lifecycle = false;
+
+    std::vector<double> nodeCapacities;
+    std::vector<sim::Application> apps;
+    std::vector<CaseStep> steps;
+
+    size_t
+    serviceCount() const
+    {
+        size_t count = 0;
+        for (const auto &app : apps)
+            count += app.services.size();
+        return count;
+    }
+
+    bool
+    singleReplica() const
+    {
+        for (const auto &app : apps) {
+            for (const auto &ms : app.services) {
+                if (ms.replicas > 1)
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    /** All-healthy cluster with no pods. */
+    sim::ClusterState emptyCluster() const;
+
+    /**
+     * The failure script as a declarative sim::Scenario (explicit
+     * failNodes/recoverNodes/flapKubelet steps only — a serialized
+     * case never re-randomizes).
+     */
+    sim::Scenario scenario() const;
+
+    /**
+     * Replay the steps against @p state in (time, file order): Fail
+     * fails the node (evicting its pods), Recover restores it (empty),
+     * and a Flap whose downtime has passed by the end nets out to a
+     * restored node. Used by the static oracle to derive the
+     * post-failure state schemes plan against.
+     */
+    void replaySteps(sim::ClusterState &state) const;
+
+    /** Serialize to a self-contained JSON document. */
+    std::string toJson() const;
+
+    /**
+     * Parse a serialized case. Returns nullopt on malformed input and
+     * stores a diagnostic in @p error when given.
+     */
+    static std::optional<CheckCase>
+    fromJson(const std::string &text, std::string *error = nullptr);
+};
+
+} // namespace phoenix::check
+
+#endif // PHOENIX_CHECK_CASE_H

@@ -1,0 +1,91 @@
+#include "fuzzer.h"
+
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "util/rng.h"
+
+namespace phoenix::check {
+
+namespace {
+
+std::string
+writeRepro(const std::string &dir, const CheckCase &shrunk,
+           std::ostream &log)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/" + shrunk.name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        log << "fuzzcheck: cannot write " << path << "\n";
+        return "";
+    }
+    out << shrunk.toJson();
+    return path;
+}
+
+} // namespace
+
+FuzzStats
+runFuzz(const FuzzOptions &options, std::ostream &log)
+{
+    FuzzStats stats;
+    for (size_t i = 0; i < options.cases; ++i) {
+        const uint64_t case_seed = util::cellSeed(options.seed, i);
+        CheckCase c = generateCase(case_seed, options.gen);
+        c.name = "fuzz-" + std::to_string(options.seed) + "-" +
+                 std::to_string(i);
+
+        const OracleResult result = checkCase(c, options.oracle);
+        ++stats.casesRun;
+        stats.lpCostRuns += result.lpCostRan ? 1 : 0;
+        stats.lpFairRuns += result.lpFairRan ? 1 : 0;
+        stats.lifecycleRuns += result.lifecycleRan ? 1 : 0;
+        if (options.verbose && i % 50 == 0)
+            log << "fuzzcheck: case " << i << "/" << options.cases
+                << ", " << stats.failures << " failures\n";
+        if (result.ok())
+            continue;
+
+        ++stats.failures;
+        FuzzFailure failure;
+        failure.caseIndex = i;
+        failure.caseSeed = case_seed;
+        failure.firstViolation = result.violations.front();
+        log << "fuzzcheck: case " << i << " (seed " << case_seed
+            << ") FAILED: " << failure.firstViolation.property << " ["
+            << failure.firstViolation.scheme << "] "
+            << failure.firstViolation.detail << "\n";
+
+        if (options.shrink) {
+            ShrinkOutcome shrunk = shrinkCase(c, options.oracle,
+                                              options.shrinkOptions);
+            failure.properties = shrunk.properties;
+            failure.shrunk = std::move(shrunk.shrunk);
+            failure.shrunk.name = c.name;
+            failure.shrunk.notes =
+                "shrunk repro; violates: " +
+                failure.firstViolation.property + " [" +
+                failure.firstViolation.scheme + "]";
+            log << "fuzzcheck: shrunk to "
+                << failure.shrunk.nodeCapacities.size() << " nodes, "
+                << failure.shrunk.apps.size() << " apps, "
+                << failure.shrunk.serviceCount() << " services ("
+                << shrunk.checks << " oracle calls)\n";
+        } else {
+            failure.shrunk = c;
+            for (const auto &v : result.violations)
+                failure.properties.push_back(v.property);
+        }
+
+        if (!options.outDir.empty())
+            failure.reproFile =
+                writeRepro(options.outDir, failure.shrunk, log);
+        stats.failureList.push_back(std::move(failure));
+    }
+    return stats;
+}
+
+} // namespace phoenix::check

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fuzzing loop: generate -> check -> shrink -> serialize.
+ *
+ * Case i of a run draws its seed from util::cellSeed(baseSeed, i) —
+ * the same per-cell derivation the experiment engine uses — so a run
+ * is a pure function of (baseSeed, cases) and any failing index can
+ * be regenerated in isolation. Failures are shrunk and written to the
+ * output directory as self-contained JSON repros ready to move into
+ * tests/corpus/.
+ */
+
+#ifndef PHOENIX_CHECK_FUZZER_H
+#define PHOENIX_CHECK_FUZZER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "check/generator.h"
+#include "check/oracle.h"
+#include "check/shrink.h"
+
+namespace phoenix::check {
+
+struct FuzzOptions
+{
+    uint64_t seed = 1;
+    size_t cases = 200;
+    bool shrink = true;
+    /** Directory for failing-case repro files ("" = don't write). */
+    std::string outDir;
+    bool verbose = false;
+
+    GeneratorOptions gen;
+    OracleOptions oracle;
+    ShrinkOptions shrinkOptions;
+};
+
+/** One failing case, after shrinking. */
+struct FuzzFailure
+{
+    size_t caseIndex = 0;
+    uint64_t caseSeed = 0;
+    /** Violated properties of the shrunk case. */
+    std::vector<std::string> properties;
+    /** First violation of the original (pre-shrink) run. */
+    Violation firstViolation;
+    CheckCase shrunk;
+    /** Repro path when outDir was set. */
+    std::string reproFile;
+};
+
+struct FuzzStats
+{
+    size_t casesRun = 0;
+    size_t failures = 0;
+    size_t lpCostRuns = 0;
+    size_t lpFairRuns = 0;
+    size_t lifecycleRuns = 0;
+    std::vector<FuzzFailure> failureList;
+
+    bool ok() const { return failures == 0; }
+};
+
+/** Run the loop; progress/diagnostics go to @p log. */
+FuzzStats runFuzz(const FuzzOptions &options, std::ostream &log);
+
+} // namespace phoenix::check
+
+#endif // PHOENIX_CHECK_FUZZER_H

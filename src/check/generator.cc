@@ -1,0 +1,143 @@
+#include "generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace phoenix::check {
+
+using util::Rng;
+
+namespace {
+
+/** Uniform draw from the 0.25 grid in [lo, hi]. */
+double
+quarterGrid(Rng &rng, double lo, double hi)
+{
+    const auto lo_q = static_cast<int64_t>(lo * 4.0);
+    const auto hi_q = static_cast<int64_t>(hi * 4.0);
+    return static_cast<double>(rng.uniformInt(lo_q, hi_q)) * 0.25;
+}
+
+sim::Application
+generateApp(Rng &rng, sim::AppId id, size_t index,
+            const GeneratorOptions &options)
+{
+    sim::Application app;
+    app.id = id;
+    app.name = "app" + std::to_string(index);
+    app.pricePerUnit = quarterGrid(rng, 0.25, 3.0);
+    app.phoenixEnabled = !rng.bernoulli(options.partialTaggingProbability);
+
+    const auto service_count = static_cast<size_t>(
+        rng.uniformInt(1, options.maxServicesPerApp));
+    for (size_t m = 0; m < service_count; ++m) {
+        sim::Microservice ms;
+        ms.id = static_cast<sim::MsId>(m);
+        ms.name = "ms" + std::to_string(m);
+        ms.cpu = quarterGrid(rng, 0.25, options.maxServiceCpu);
+        ms.criticality = static_cast<int>(rng.uniformInt(1, 4));
+        ms.replicas = 1;
+        ms.quorum = 0;
+        if (rng.bernoulli(options.multiReplicaProbability)) {
+            ms.replicas = static_cast<int>(rng.uniformInt(2, 3));
+            if (rng.bernoulli(0.5))
+                ms.quorum = static_cast<int>(
+                    rng.uniformInt(1, ms.replicas));
+        }
+        app.services.push_back(ms);
+    }
+
+    if (service_count >= 2 && rng.bernoulli(options.dagProbability)) {
+        app.dag = graph::DiGraph(service_count);
+        // Edges only point forward (i < j), so the graph is acyclic by
+        // construction.
+        for (graph::NodeId i = 0; i < service_count; ++i) {
+            for (graph::NodeId j = i + 1; j < service_count; ++j) {
+                if (rng.bernoulli(options.edgeProbability))
+                    app.dag.addEdge(i, j);
+            }
+        }
+        app.hasDependencyGraph = app.dag.edgeCount() > 0;
+    }
+    return app;
+}
+
+} // namespace
+
+CheckCase
+generateCase(uint64_t seed, const GeneratorOptions &options)
+{
+    Rng rng(seed);
+    CheckCase out;
+    out.seed = seed;
+
+    const auto node_count = static_cast<size_t>(
+        rng.uniformInt(options.minNodes, options.maxNodes));
+    for (size_t n = 0; n < node_count; ++n) {
+        out.nodeCapacities.push_back(static_cast<double>(
+            rng.uniformInt(2, static_cast<int64_t>(
+                                  options.maxNodeCapacity))));
+    }
+
+    // App ids are usually 0..n-1, but a slice of the stream uses
+    // sparse ids (gaps, not starting at zero) because index/id mixups
+    // are a recurring bug class in the schemes.
+    const auto app_count = static_cast<size_t>(
+        rng.uniformInt(options.minApps, options.maxApps));
+    const bool sparse_ids = rng.bernoulli(options.sparseAppIdProbability);
+    sim::AppId next_id = 0;
+    for (size_t a = 0; a < app_count; ++a) {
+        if (sparse_ids)
+            next_id += static_cast<sim::AppId>(rng.uniformInt(1, 7));
+        out.apps.push_back(generateApp(rng, next_id, a, options));
+        ++next_id;
+    }
+
+    // Failure script. Lifecycle cases leave time for every pod to get
+    // scheduled and reach Running (podStartupMax is 60s) before the
+    // first fault lands.
+    out.lifecycle = rng.bernoulli(options.lifecycleProbability);
+    const double t0 = out.lifecycle ? 200.0 : 0.0;
+
+    std::vector<sim::NodeId> order(node_count);
+    std::iota(order.begin(), order.end(), sim::NodeId{0});
+    rng.shuffle(order);
+    auto fail_count = static_cast<size_t>(
+        rng.uniformInt(1, static_cast<int64_t>(node_count)));
+    if (fail_count == node_count && rng.bernoulli(0.8))
+        --fail_count; // usually keep at least one node alive
+    if (fail_count == 0)
+        fail_count = 1;
+    std::vector<sim::NodeId> failed(order.begin(),
+                                    order.begin() +
+                                        static_cast<long>(fail_count));
+
+    CaseStep fault;
+    fault.at = t0;
+    fault.nodes = failed;
+    if (rng.bernoulli(options.flapProbability)) {
+        fault.kind = CaseStep::Kind::Flap;
+        fault.downtime = static_cast<double>(rng.uniformInt(30, 120));
+    } else {
+        fault.kind = CaseStep::Kind::Fail;
+    }
+    out.steps.push_back(fault);
+
+    if (fault.kind == CaseStep::Kind::Fail &&
+        rng.bernoulli(options.recoverProbability)) {
+        CaseStep recover;
+        recover.kind = CaseStep::Kind::Recover;
+        recover.at = t0 + static_cast<double>(rng.uniformInt(60, 300));
+        const auto recover_count = static_cast<size_t>(
+            rng.uniformInt(1, static_cast<int64_t>(failed.size())));
+        recover.nodes.assign(failed.begin(),
+                             failed.begin() +
+                                 static_cast<long>(recover_count));
+        out.steps.push_back(recover);
+    }
+    return out;
+}
+
+} // namespace phoenix::check

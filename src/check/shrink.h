@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Greedy failing-case shrinker.
+ *
+ * Given a CheckCase the oracle rejects, repeatedly try structural
+ * simplifications — drop an application, drop a service, drop a node,
+ * drop a failure step, clear a dependency graph, collapse replicas —
+ * keeping a candidate only when the oracle still reports at least one
+ * of the *original* violated properties (so the shrink cannot wander
+ * onto an unrelated failure). Loops to fixpoint under a bounded
+ * oracle-call budget; the result is the minimal repro serialized into
+ * the regression corpus.
+ */
+
+#ifndef PHOENIX_CHECK_SHRINK_H
+#define PHOENIX_CHECK_SHRINK_H
+
+#include "check/case.h"
+#include "check/oracle.h"
+
+namespace phoenix::check {
+
+struct ShrinkOptions
+{
+    /** Upper bound on oracle invocations across the whole shrink. */
+    size_t maxChecks = 400;
+};
+
+struct ShrinkOutcome
+{
+    CheckCase shrunk;
+    /** Properties of the original failure the shrunk case still
+     * violates. */
+    std::vector<std::string> properties;
+    /** Oracle invocations spent. */
+    size_t checks = 0;
+    /** Accepted simplification steps. */
+    size_t stepsApplied = 0;
+};
+
+/**
+ * Shrink @p failing (which must already violate the oracle under
+ * @p oracle_options) to a smaller case violating the same property.
+ */
+ShrinkOutcome shrinkCase(const CheckCase &failing,
+                         const OracleOptions &oracle_options,
+                         const ShrinkOptions &options = {});
+
+} // namespace phoenix::check
+
+#endif // PHOENIX_CHECK_SHRINK_H

@@ -91,34 +91,66 @@ PhoenixController::poll()
 void
 PhoenixController::execute(const SchemeResult &result)
 {
+    // Phase 1: every deletion, including scale-down of pods outside
+    // the target state (without the scale-down, pods evicted by a node
+    // failure but not selected by the plan would sit Pending and the
+    // default scheduler would race them onto capacity the plan
+    // reserved for pinned critical containers).
+    bool any_delete = false;
     for (const Action &action : result.pack.actions) {
-        switch (action.kind) {
-          case ActionKind::Delete:
+        if (action.kind == ActionKind::Delete) {
             cluster_.deletePod(action.pod);
-            break;
-          case ActionKind::Migrate:
-            cluster_.migratePod(action.pod, action.to);
-            break;
-          case ActionKind::Restart:
-            cluster_.startPod(action.pod, action.to);
-            break;
+            any_delete = true;
         }
     }
-
-    // Scale down every pod outside the target state. Without this,
-    // pods evicted by a node failure but not selected by the plan
-    // would sit Pending and the default scheduler would race them onto
-    // capacity the plan reserved for pinned critical containers.
     for (const auto &app : cluster_.apps()) {
         for (const auto &ms : app.services) {
             const PodRef ref{app.id, ms.id};
             if (!std::binary_search(target_.begin(), target_.end(),
                                     ref)) {
                 const auto *pod = cluster_.pod(ref);
-                if (pod && !pod->scaledDown)
+                if (pod && !pod->scaledDown) {
                     cluster_.deletePod(ref);
+                    any_delete = true;
+                }
             }
         }
+    }
+
+    // Restarts are issued immediately: startPod only pins the pod and
+    // hands it to the scheduler, whose bind is capacity-checked and
+    // retried every tick, so it settles once drains complete. Issuing
+    // them now also keeps the default scheduler from spread-binding
+    // the plan's pods somewhere else in the meantime.
+    for (const Action &action : result.pack.actions) {
+        if (action.kind == ActionKind::Restart)
+            cluster_.startPod(action.pod, action.to);
+    }
+
+    // Migrations are one-shot: the kubelet rejects a rebind onto a
+    // node that is still full, and nothing retries it. Graceful
+    // deletion keeps Terminating pods' capacity occupied until the
+    // drain completes, so when phase 1 deleted anything the
+    // migrations only become valid after the drain window. A newer
+    // replan supersedes any still-deferred ones.
+    deferredMoves_.clear();
+    for (const Action &action : result.pack.actions) {
+        if (action.kind == ActionKind::Migrate)
+            deferredMoves_.push_back(action);
+    }
+    const uint64_t generation = ++planGeneration_;
+    auto apply_moves = [this, generation] {
+        if (generation != planGeneration_)
+            return; // a newer plan owns the cluster now
+        for (const Action &action : deferredMoves_)
+            cluster_.migratePod(action.pod, action.to);
+        deferredMoves_.clear();
+    };
+    if (any_delete && config_.drainWaitSeconds > 0.0 &&
+        !deferredMoves_.empty()) {
+        events_.scheduleAfter(config_.drainWaitSeconds, apply_moves);
+    } else {
+        apply_moves();
     }
 }
 

@@ -13,6 +13,7 @@
 #ifndef PHOENIX_CORE_CONTROLLER_H
 #define PHOENIX_CORE_CONTROLLER_H
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -29,6 +30,15 @@ struct ControllerConfig
     double pollPeriod = 15.0;
     /** Relative capacity change that counts as a failure/recovery. */
     double capacityChangeThreshold = 1e-6;
+    /**
+     * Wait between issuing a plan's deletes and its moves. Graceful
+     * deletion keeps a Terminating pod's capacity occupied until the
+     * drain completes, so a migration or restart into that capacity
+     * issued at the same instant is rejected by the kubelet; the plan
+     * sequence is only valid once deletions have settled. Must cover
+     * KubeConfig::podTerminationSeconds.
+     */
+    double drainWaitSeconds = 11.0;
 };
 
 /** One replanning episode in the controller's timeline. */
@@ -78,6 +88,11 @@ class PhoenixController
      * assignment map, so no per-pod tree inserts). */
     std::vector<sim::PodRef> target_;
     std::vector<ReplanRecord> history_;
+    /** Migrations/restarts deferred until the current plan's deletes
+     * have drained; superseded wholesale by the next replan. */
+    std::vector<Action> deferredMoves_;
+    /** Invalidates in-flight drain waits when a new plan lands. */
+    uint64_t planGeneration_ = 0;
 };
 
 } // namespace phoenix::core

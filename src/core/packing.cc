@@ -52,6 +52,20 @@ struct PackCommon
     std::vector<Victim> victims;
     std::vector<PodRef> bestList;
     std::vector<PodRef> victimList;
+    /** Undo log for the current pass-1 service attempt: placements
+     * and evictions in order, so a below-quorum failure can be rolled
+     * back instead of stranding its collateral damage. */
+    struct JournalEntry
+    {
+        bool placed; //!< true: pod placed (undo = evict); else evicted
+        /** The eviction popped this pod off deletionOrder; undo must
+         * push it back or later services lose the candidate. */
+        bool poppedDeletionOrder;
+        PodRef pod;
+        NodeId node;
+        double cpu;
+    };
+    std::vector<JournalEntry> journal;
 };
 
 /**
@@ -519,8 +533,12 @@ class Packer
             // every ranked microservice, in rank order; extra replicas
             // are topped up in pass 2 only after every ranked service
             // has had its chance, so early services cannot starve
-            // later critical ones.
+            // later critical ones. The whole attempt is transactional:
+            // a service that cannot reach quorum rolls back its
+            // placements, migrations, and victim deletions.
             const int quorum = ms.quorumCount();
+            c_.journal.clear();
+            const size_t actions_checkpoint = result_.actions.size();
             int placed_replicas = 0;
             for (int r = 0; r < replicas && placed_replicas < quorum;
                  ++r) {
@@ -557,17 +575,22 @@ class Packer
                 continue;
             }
 
-            // Below quorum: a sub-quorum microservice serves nothing,
-            // so delete its replicas and either abort (Alg. 2 literal)
-            // or skip this application.
+            // Below quorum: undo the failed attempt first so a
+            // service that cannot be served leaves no collateral
+            // damage (a fuzz-found case: a planned replica set that
+            // cannot pack used to delete other apps' survivors on its
+            // way to failing, zeroing the cluster's revenue). Then
+            // delete the service's own surviving replicas — a
+            // sub-quorum microservice serves nothing — and either
+            // abort (Alg. 2 literal) or skip this application.
             result_.complete = false;
+            rollbackAttempt(actions_checkpoint);
             for (int r = 0; r < replicas; ++r) {
                 const PodRef pod{entry.app, entry.ms,
                                  static_cast<uint32_t>(r)};
-                if (book_.isActive(result_.state, pod)) {
-                    book_.uncommit(pod);
+                book_.uncommit(pod);
+                if (book_.isActive(result_.state, pod))
                     evictPod(pod, ActionKind::Delete);
-                }
             }
             if (options_.abortOnUnplaceable)
                 aborted = true;
@@ -610,6 +633,8 @@ class Packer
             return; // defensive; callers pre-check capacity
         book_.kvUpdate(before, result_.state.remaining(node), node);
         book_.onPlaced(pod, node);
+        c_.journal.push_back(
+            PackCommon::JournalEntry{true, false, pod, node, size});
         Action action;
         action.kind = kind;
         action.pod = pod;
@@ -625,9 +650,12 @@ class Packer
         if (!node)
             return;
         const double before = result_.state.remaining(*node);
+        const double cpu = result_.state.podCpu(pod);
         result_.state.evict(pod);
         book_.kvUpdate(before, result_.state.remaining(*node), *node);
         book_.onEvicted(pod);
+        c_.journal.push_back(PackCommon::JournalEntry{
+            false, journalPoppedDeletionOrder_, pod, *node, cpu});
         if (kind == ActionKind::Delete) {
             Action action;
             action.kind = ActionKind::Delete;
@@ -636,6 +664,37 @@ class Packer
             action.to = to;
             result_.actions.push_back(action);
         }
+    }
+
+    /**
+     * Undo every mutation of the current pass-1 service attempt, in
+     * reverse: re-place deleted victims, unwind repack migrations,
+     * evict the attempt's own placements. Because each inverse
+     * restores the exact capacity delta of its original, every
+     * re-placement fits. Emitted actions are truncated back to
+     * @p actions_checkpoint so the action list keeps matching the
+     * state.
+     */
+    void
+    rollbackAttempt(size_t actions_checkpoint)
+    {
+        while (!c_.journal.empty()) {
+            const PackCommon::JournalEntry e = c_.journal.back();
+            c_.journal.pop_back();
+            const double before = result_.state.remaining(e.node);
+            if (e.placed) {
+                result_.state.evict(e.pod);
+                book_.onEvicted(e.pod);
+            } else {
+                result_.state.place(e.pod, e.node, e.cpu);
+                book_.onPlaced(e.pod, e.node);
+                if (e.poppedDeletionOrder)
+                    c_.deletionOrder.push_back(e.pod);
+            }
+            book_.kvUpdate(before, result_.state.remaining(e.node),
+                           e.node);
+        }
+        result_.actions.resize(actions_checkpoint);
     }
 
     /**
@@ -821,7 +880,9 @@ class Packer
             }
             if (book_.rankOf(victim) <= incoming_rank)
                 break; // nothing lower-priority left
+            journalPoppedDeletionOrder_ = true;
             evictPod(victim, ActionKind::Delete);
+            journalPoppedDeletionOrder_ = false;
             ++deletions;
 
             auto node = book_.bestFit(size);
@@ -846,6 +907,10 @@ class Packer
     Book &book_;
     PackCommon &c_;
     PackResult result_;
+    /** Set around the deletionOrder-driven eviction in
+     * deleteLowerRanksToFit so the journal entry remembers to restore
+     * the popped candidate on rollback. */
+    bool journalPoppedDeletionOrder_ = false;
 };
 
 } // namespace

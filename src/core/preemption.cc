@@ -54,10 +54,14 @@ KubePreemptionScheme::apply(const std::vector<Application> &apps,
         }
     };
     std::vector<Pending> queue;
-    for (const auto &app : apps) {
+    // PodRefs carry the *index* into apps, not Application::id — with
+    // sparse/non-contiguous app ids the two diverge, and priorityOf
+    // indexes apps by pod.app.
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const Application &app = apps[a];
         for (const auto &ms : app.services) {
             for (int r = 0; r < std::max(ms.replicas, 1); ++r) {
-                const PodRef pod{app.id, ms.id,
+                const PodRef pod{static_cast<sim::AppId>(a), ms.id,
                                  static_cast<uint32_t>(r)};
                 if (!state.isActive(pod)) {
                     queue.push_back(Pending{

@@ -452,6 +452,7 @@ LpScheme::apply(const std::vector<Application> &apps,
         result.pack.state = current;
         return result;
     }
+    result.provenOptimal = solution.status == lp::SolveStatus::Optimal;
 
     // Materialize the target state from y.
     ClusterState target = current;
@@ -488,9 +489,24 @@ diffStates(const std::vector<Application> &apps, const ClusterState &from,
 {
     (void)apps;
     std::vector<Action> actions;
-    // Deletes: active before, absent after.
-    for (const auto &[pod, node] : from.assignment()) {
+    // The agent executes this sequence one action at a time, so every
+    // step must be applicable to the state produced by the previous
+    // steps — a migration into a node that is only vacated later in
+    // the list would be rejected by the kubelet. Simulate on a
+    // scratch copy and only emit actions that apply cleanly.
+    ClusterState scratch = from;
+
+    // Sorted snapshots: assignment() iteration order is not
+    // deterministic, action lists must be.
+    const std::map<PodRef, NodeId> before(from.assignment().begin(),
+                                          from.assignment().end());
+    const std::map<PodRef, NodeId> after(to.assignment().begin(),
+                                         to.assignment().end());
+
+    // Deletes first: they only free capacity.
+    for (const auto &[pod, node] : before) {
         if (!to.isActive(pod)) {
+            scratch.evict(pod);
             Action a;
             a.kind = ActionKind::Delete;
             a.pod = pod;
@@ -498,20 +514,59 @@ diffStates(const std::vector<Application> &apps, const ClusterState &from,
             actions.push_back(a);
         }
     }
-    // Migrations: active in both but on a different node.
-    for (const auto &[pod, node] : from.assignment()) {
+
+    // Migrations: emit a move once its destination has room. When no
+    // pending move can proceed the remainder forms a capacity cycle
+    // (e.g. a swap between two full nodes); break it by deleting one
+    // pod now and restarting it at its destination at the end.
+    struct Move
+    {
+        PodRef pod;
+        NodeId src;
+        NodeId dst;
+        double cpu;
+    };
+    std::vector<Move> pending;
+    for (const auto &[pod, node] : before) {
         const auto now = to.nodeOf(pod);
-        if (now && *now != node) {
+        if (now && *now != node)
+            pending.push_back(Move{pod, node, *now, to.podCpu(pod)});
+    }
+    std::vector<Move> held;
+    while (!pending.empty()) {
+        bool progressed = false;
+        for (auto it = pending.begin(); it != pending.end();) {
+            if (scratch.remaining(it->dst) + 1e-9 >= it->cpu) {
+                scratch.evict(it->pod);
+                scratch.place(it->pod, it->dst, it->cpu);
+                Action a;
+                a.kind = ActionKind::Migrate;
+                a.pod = it->pod;
+                a.from = it->src;
+                a.to = it->dst;
+                actions.push_back(a);
+                it = pending.erase(it);
+                progressed = true;
+            } else {
+                ++it;
+            }
+        }
+        if (!progressed) {
+            const Move move = pending.front();
+            pending.erase(pending.begin());
+            scratch.evict(move.pod);
             Action a;
-            a.kind = ActionKind::Migrate;
-            a.pod = pod;
-            a.from = node;
-            a.to = *now;
+            a.kind = ActionKind::Delete;
+            a.pod = move.pod;
+            a.from = move.src;
             actions.push_back(a);
+            held.push_back(move);
         }
     }
-    // Restarts: absent before, active after.
-    for (const auto &[pod, node] : to.assignment()) {
+
+    // Restarts last: `scratch` is now a sub-assignment of the (
+    // feasible) target, so every remaining placement fits.
+    for (const auto &[pod, node] : after) {
         if (!from.isActive(pod)) {
             Action a;
             a.kind = ActionKind::Restart;
@@ -519,6 +574,13 @@ diffStates(const std::vector<Application> &apps, const ClusterState &from,
             a.to = node;
             actions.push_back(a);
         }
+    }
+    for (const Move &move : held) {
+        Action a;
+        a.kind = ActionKind::Restart;
+        a.pod = move.pod;
+        a.to = move.dst;
+        actions.push_back(a);
     }
     return actions;
 }

@@ -45,6 +45,10 @@ struct SchemeResult
     double packSeconds = 0.0;
     /** The scheme failed to produce any plan (e.g. LP timeout). */
     bool failed = false;
+    /** LP schemes only: the solve proved optimality (not just a
+     * feasible incumbent cut off by a time/node limit). Differential
+     * checks that compare against "the optimum" must gate on this. */
+    bool provenOptimal = false;
     /** Deterministic planner operation counts (packing counts live in
      * pack.ops). Zero for schemes that bypass the planner. */
     OpCounters planOps;

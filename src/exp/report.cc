@@ -1,58 +1,26 @@
 #include "report.h"
 
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <iostream>
 
+#include "util/json.h"
+
 namespace phoenix::exp {
 
+// The canonical implementations moved to util/json so that the JSON
+// readers (perfdiff, fuzzcheck corpus replay) and writers share one
+// encoding; these wrappers keep the exp:: API stable.
 std::string
 jsonQuote(const std::string &text)
 {
-    std::string out = "\"";
-    for (char c : text) {
-        switch (c) {
-        case '"':
-            out += "\\\"";
-            break;
-        case '\\':
-            out += "\\\\";
-            break;
-        case '\n':
-            out += "\\n";
-            break;
-        case '\r':
-            out += "\\r";
-            break;
-        case '\t':
-            out += "\\t";
-            break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buffer[8];
-                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
-                              static_cast<unsigned>(c));
-                out += buffer;
-            } else {
-                out += c;
-            }
-        }
-    }
-    out += '"';
-    return out;
+    return util::jsonQuote(text);
 }
 
 std::string
 jsonNumber(double value)
 {
-    if (!std::isfinite(value))
-        return "null"; // JSON has no inf/nan
-    char buffer[40];
-    // max_digits10 guarantees the double round-trips exactly.
-    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-    return buffer;
+    return util::jsonNumber(value);
 }
 
 Report::Report(std::string benchName) : benchName_(std::move(benchName))

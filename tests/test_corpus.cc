@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Regression-corpus replay: every minimized repro committed under
+ * tests/corpus/ must load, round-trip through the case serializer, and
+ * pass the full differential oracle. Each file is a shrunk witness of
+ * a bug that has been fixed (or of an oracle-soundness boundary that
+ * was tightened) — a failure here means a regression re-introduced it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/case.h"
+#include "check/oracle.h"
+
+using namespace phoenix;
+using check::CheckCase;
+using check::OracleOptions;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path>
+corpusFiles()
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(PHOENIX_CORPUS_DIR)) {
+        if (entry.path().extension() == ".json")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+std::string
+slurp(const fs::path &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(CorpusReplay, CorpusIsNotEmpty)
+{
+    // The committed corpus must at least carry the named regressions
+    // for the bugs previous PRs fixed.
+    const auto files = corpusFiles();
+    ASSERT_GE(files.size(), 5u);
+    bool has_pr2 = false;
+    bool has_pr3 = false;
+    for (const auto &path : files) {
+        const std::string stem = path.stem().string();
+        has_pr2 = has_pr2 || stem == "pr2-noncontiguous-appid";
+        has_pr3 = has_pr3 || stem == "pr3-migrate-while-starting";
+    }
+    EXPECT_TRUE(has_pr2);
+    EXPECT_TRUE(has_pr3);
+}
+
+TEST(CorpusReplay, EveryEntryParsesAndRoundTrips)
+{
+    for (const auto &path : corpusFiles()) {
+        SCOPED_TRACE(path.filename().string());
+        std::string error;
+        const auto parsed = CheckCase::fromJson(slurp(path), &error);
+        ASSERT_TRUE(parsed.has_value()) << error;
+        EXPECT_FALSE(parsed->name.empty());
+        EXPECT_FALSE(parsed->nodeCapacities.empty());
+        EXPECT_FALSE(parsed->apps.empty());
+
+        const auto again = CheckCase::fromJson(parsed->toJson(), &error);
+        ASSERT_TRUE(again.has_value()) << error;
+        EXPECT_EQ(again->toJson(), parsed->toJson());
+    }
+}
+
+TEST(CorpusReplay, EveryEntryPassesTheOracle)
+{
+    OracleOptions options;
+    for (const auto &path : corpusFiles()) {
+        SCOPED_TRACE(path.filename().string());
+        std::string error;
+        const auto parsed = CheckCase::fromJson(slurp(path), &error);
+        ASSERT_TRUE(parsed.has_value()) << error;
+
+        const auto result = check::checkCase(*parsed, options);
+        for (const auto &violation : result.violations) {
+            ADD_FAILURE() << violation.property << " ["
+                          << violation.scheme << "] "
+                          << violation.detail;
+        }
+    }
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the K8s PriorityClass preemption baseline: priority
+ * ordering of the pending queue, node-local minimum-victim selection,
+ * strict lower-priority-only eviction, unschedulable pods staying
+ * pending, and the sparse-application-id regression (PodRef.app is a
+ * vector index, not Application::id).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/preemption.h"
+#include "sim/metrics.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using sim::Application;
+using sim::ClusterState;
+using sim::MsId;
+using sim::PodRef;
+
+namespace {
+
+Application
+makeApp(sim::AppId id, const std::vector<int> &tags,
+        const std::vector<double> &cpus)
+{
+    Application app;
+    app.id = id;
+    app.name = "app" + std::to_string(id);
+    app.services.resize(tags.size());
+    for (MsId m = 0; m < tags.size(); ++m) {
+        app.services[m].id = m;
+        app.services[m].criticality = tags[m];
+        app.services[m].cpu = cpus[m];
+    }
+    return app;
+}
+
+size_t
+deleteCount(const SchemeResult &result)
+{
+    size_t count = 0;
+    for (const auto &action : result.pack.actions) {
+        if (action.kind == ActionKind::Delete)
+            ++count;
+    }
+    return count;
+}
+
+} // namespace
+
+TEST(Preemption, PlacesEverythingWhenRoomSuffices)
+{
+    const std::vector<Application> apps{
+        makeApp(0, {1, 2}, {2, 2}), makeApp(1, {1, 3}, {2, 2})};
+    ClusterState cluster;
+    cluster.addNode(8.0);
+    cluster.addNode(8.0);
+
+    KubePreemptionScheme scheme;
+    const SchemeResult result = scheme.apply(apps, cluster);
+    EXPECT_TRUE(result.pack.complete);
+    EXPECT_EQ(result.pack.state.assignment().size(), 4u);
+    EXPECT_EQ(deleteCount(result), 0u);
+    const auto active = result.activeSet(apps);
+    EXPECT_NEAR(sim::criticalFractionAvailability(apps, active), 1.0,
+                1e-12);
+}
+
+TEST(Preemption, HigherPriorityPreemptsLowerNeverEqual)
+{
+    // One node, 4 cpu, already holding a C3 pod of the second app;
+    // the pending C1 pod must preempt it, but an equal-priority pod
+    // must not (K8s preempts strictly lower priority only).
+    const std::vector<Application> apps{makeApp(0, {1}, {4}),
+                                        makeApp(1, {3}, {4})};
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.place(PodRef{1, 0}, 0, 4.0);
+
+    KubePreemptionScheme scheme;
+    const SchemeResult result = scheme.apply(apps, cluster);
+    EXPECT_TRUE(result.pack.complete);
+    EXPECT_EQ(deleteCount(result), 1u);
+    EXPECT_TRUE(result.pack.state.isActive(PodRef{0, 0}));
+    EXPECT_FALSE(result.pack.state.isActive(PodRef{1, 0}));
+
+    // Same shape with equal priorities: no preemption, pod 0/0 stays
+    // pending and the result reports incomplete.
+    const std::vector<Application> equal{makeApp(0, {3}, {4}),
+                                         makeApp(1, {3}, {4})};
+    ClusterState occupied;
+    occupied.addNode(4.0);
+    occupied.place(PodRef{1, 0}, 0, 4.0);
+    const SchemeResult blocked = scheme.apply(equal, occupied);
+    EXPECT_FALSE(blocked.pack.complete);
+    EXPECT_EQ(deleteCount(blocked), 0u);
+    EXPECT_TRUE(blocked.pack.state.isActive(PodRef{1, 0}));
+    EXPECT_FALSE(blocked.pack.state.isActive(PodRef{0, 0}));
+}
+
+TEST(Preemption, PicksTheNodeNeedingFewestVictims)
+{
+    // Node 0 holds two C4 pods of 2 cpu each; node 1 holds one C4 pod
+    // of 4 cpu. A pending 4-cpu C1 pod fits either way, but node 1
+    // needs a single victim — the K8s minimum-disruption choice.
+    const std::vector<Application> apps{
+        makeApp(0, {1}, {4}), makeApp(1, {4, 4, 4}, {2, 2, 4})};
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.addNode(4.0);
+    cluster.place(PodRef{1, 0}, 0, 2.0);
+    cluster.place(PodRef{1, 1}, 0, 2.0);
+    cluster.place(PodRef{1, 2}, 1, 4.0);
+
+    KubePreemptionScheme scheme;
+    const SchemeResult result = scheme.apply(apps, cluster);
+    EXPECT_TRUE(result.pack.complete);
+    EXPECT_EQ(deleteCount(result), 1u);
+    EXPECT_EQ(result.pack.state.nodeOf(PodRef{0, 0}),
+              std::optional<sim::NodeId>(1));
+    EXPECT_TRUE(result.pack.state.isActive(PodRef{1, 0}));
+    EXPECT_TRUE(result.pack.state.isActive(PodRef{1, 1}));
+    EXPECT_FALSE(result.pack.state.isActive(PodRef{1, 2}));
+}
+
+TEST(Preemption, PendingQueueDrainsInPriorityOrder)
+{
+    // 6 cpu total for 8 cpu of demand: the C1 and C2 pods win the
+    // queue over the C3/C4 ones regardless of app order. Spread
+    // placement then strands the leftovers on 1+1 cpu fragments —
+    // and since preemption only evicts *strictly lower* priority,
+    // neither C3 nor C4 can claw a slot back (the paper's point about
+    // priority classes lacking any packing objective).
+    const std::vector<Application> apps{makeApp(0, {3, 1}, {2, 2}),
+                                        makeApp(1, {4, 2}, {2, 2})};
+    ClusterState cluster;
+    cluster.addNode(3.0);
+    cluster.addNode(3.0);
+
+    KubePreemptionScheme scheme;
+    const SchemeResult result = scheme.apply(apps, cluster);
+    EXPECT_FALSE(result.pack.complete);
+    EXPECT_TRUE(result.pack.state.isActive(PodRef{0, 1})); // C1
+    EXPECT_TRUE(result.pack.state.isActive(PodRef{1, 1})); // C2
+    EXPECT_FALSE(result.pack.state.isActive(PodRef{0, 0}));
+    EXPECT_FALSE(result.pack.state.isActive(PodRef{1, 0}));
+    EXPECT_EQ(deleteCount(result), 0u);
+}
+
+TEST(Preemption, SparseAppIdsIndexByPositionNotId)
+{
+    // Regression: Application::id 7 and 42 with only two apps in the
+    // vector. priorityOf and the queue must use vector positions —
+    // indexing apps by the id used to walk off the end.
+    std::vector<Application> apps{makeApp(7, {1, 2}, {2, 2}),
+                                  makeApp(42, {1}, {2})};
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.addNode(4.0);
+
+    KubePreemptionScheme scheme;
+    const SchemeResult result = scheme.apply(apps, cluster);
+    EXPECT_TRUE(result.pack.complete);
+    EXPECT_EQ(result.pack.state.assignment().size(), 3u);
+    for (const auto &[pod, node] : result.pack.state.assignment()) {
+        (void)node;
+        EXPECT_LT(pod.app, apps.size())
+            << "PodRef.app must be a vector index, not Application::id";
+    }
+
+    // Preemption across sparse ids: big id must not shield a low
+    // priority pod.
+    ClusterState small;
+    small.addNode(2.0);
+    small.place(PodRef{1, 0}, 0, 2.0); // app id 42, C1
+    const std::vector<Application> sparse{makeApp(7, {4}, {2}),
+                                          makeApp(42, {1}, {2})};
+    const SchemeResult keep = scheme.apply(sparse, small);
+    EXPECT_TRUE(keep.pack.state.isActive(PodRef{1, 0}));
+    EXPECT_FALSE(keep.pack.state.isActive(PodRef{0, 0}));
+}
+
+TEST(Preemption, MultiReplicaServicesQueuePerReplica)
+{
+    std::vector<Application> apps{makeApp(0, {1}, {2})};
+    apps[0].services[0].replicas = 3;
+    ClusterState cluster;
+    cluster.addNode(4.0);
+    cluster.addNode(4.0);
+
+    KubePreemptionScheme scheme;
+    const SchemeResult result = scheme.apply(apps, cluster);
+    EXPECT_TRUE(result.pack.complete);
+    EXPECT_EQ(result.pack.state.assignment().size(), 3u);
+    EXPECT_EQ(result.pack.placed, 3u);
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for per-level Recovery Time Objectives (§3.1): level
+ * activity semantics, conservative sample-based recovery credit, and
+ * policy evaluation including never-recovered and unset-bound rows.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rto.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using sim::ActiveSet;
+using sim::Application;
+using sim::MsId;
+
+namespace {
+
+Application
+makeApp(sim::AppId id, const std::vector<int> &tags)
+{
+    Application app;
+    app.id = id;
+    app.name = "app" + std::to_string(id);
+    app.services.resize(tags.size());
+    for (MsId m = 0; m < tags.size(); ++m) {
+        app.services[m].id = m;
+        app.services[m].criticality = tags[m];
+        app.services[m].cpu = 1.0;
+    }
+    return app;
+}
+
+ActiveSet
+activeSet(const std::vector<Application> &apps,
+          const std::vector<std::vector<bool>> &flags)
+{
+    ActiveSet active;
+    for (size_t a = 0; a < apps.size(); ++a)
+        active.push_back(flags[a]);
+    return active;
+}
+
+} // namespace
+
+TEST(Rto, LevelActiveRequiresEveryServiceUpToTheLevel)
+{
+    const std::vector<Application> apps{makeApp(0, {1, 2, 3})};
+    RtoTracker tracker(apps);
+
+    // Only the C1 service is up: level 1 is active, level 2 is not.
+    const ActiveSet c1 = activeSet(apps, {{true, false, false}});
+    EXPECT_TRUE(tracker.levelActive(0, 1, c1));
+    EXPECT_FALSE(tracker.levelActive(0, 2, c1));
+    EXPECT_FALSE(tracker.levelActive(0, 3, c1));
+
+    // C2 down but C3 up: level 1 active, levels 2 and 3 are not —
+    // level L means *every* service tagged <= L.
+    const ActiveSet holey = activeSet(apps, {{true, false, true}});
+    EXPECT_TRUE(tracker.levelActive(0, 1, holey));
+    EXPECT_FALSE(tracker.levelActive(0, 3, holey));
+
+    // Out-of-range app is never active.
+    EXPECT_FALSE(tracker.levelActive(5, 1, c1));
+}
+
+TEST(Rto, RecoveryCreditedAtFirstFullyActiveSample)
+{
+    const std::vector<Application> apps{makeApp(0, {1, 2})};
+    RtoTracker tracker(apps);
+
+    // Timeline: healthy at t=0, failure at t=100 knocks both out;
+    // C1 returns by the t=130 sample, C2 by t=190.
+    tracker.record(0.0, activeSet(apps, {{true, true}}));
+    tracker.record(115.0, activeSet(apps, {{false, false}}));
+    tracker.record(130.0, activeSet(apps, {{true, false}}));
+    tracker.record(190.0, activeSet(apps, {{true, true}}));
+    ASSERT_EQ(tracker.sampleCount(), 4u);
+
+    EXPECT_DOUBLE_EQ(tracker.recoveryTime(0, 1, 100.0), 30.0);
+    EXPECT_DOUBLE_EQ(tracker.recoveryTime(0, 2, 100.0), 90.0);
+    // Samples before the failure don't count — the t=0 healthy
+    // snapshot must not credit instant recovery.
+    EXPECT_GT(tracker.recoveryTime(0, 1, 100.0), 0.0);
+    // A level that never came back reports negative.
+    RtoTracker partial(apps);
+    partial.record(120.0, activeSet(apps, {{true, false}}));
+    EXPECT_LT(partial.recoveryTime(0, 2, 100.0), 0.0);
+}
+
+TEST(Rto, EvaluateAppliesPerLevelBounds)
+{
+    const std::vector<Application> apps{makeApp(0, {1, 2}),
+                                        makeApp(1, {1})};
+    RtoTracker tracker(apps);
+    tracker.record(140.0, activeSet(apps, {{true, false}, {false}}));
+    tracker.record(200.0, activeSet(apps, {{true, true}, {false}}));
+
+    std::map<sim::AppId, RtoPolicy> policies;
+    policies[0].maxSeconds[1] = 60.0;  // met: recovered at +40
+    policies[0].maxSeconds[2] = 60.0;  // missed: recovered at +100
+    policies[1].maxSeconds[1] = 300.0; // missed: never recovered
+
+    const auto outcomes = tracker.evaluate(policies, 100.0);
+    ASSERT_EQ(outcomes.size(), 3u);
+
+    EXPECT_EQ(outcomes[0].app, 0u);
+    EXPECT_EQ(outcomes[0].level, 1);
+    EXPECT_DOUBLE_EQ(outcomes[0].recoverySeconds, 40.0);
+    EXPECT_FALSE(outcomes[0].violated);
+
+    EXPECT_EQ(outcomes[1].level, 2);
+    EXPECT_DOUBLE_EQ(outcomes[1].recoverySeconds, 100.0);
+    EXPECT_TRUE(outcomes[1].violated);
+
+    EXPECT_EQ(outcomes[2].app, 1u);
+    EXPECT_LT(outcomes[2].recoverySeconds, 0.0);
+    EXPECT_TRUE(outcomes[2].violated);
+    EXPECT_DOUBLE_EQ(outcomes[2].boundSeconds, 300.0);
+}
+
+TEST(Rto, StringentCriticalLenientAuxiliary)
+{
+    // The paper's diagonal-scaling pitch: one app can meet a tight C1
+    // RTO while its auxiliary tail takes far longer, and the tracker
+    // reports both truthfully instead of one scalar.
+    const std::vector<Application> apps{makeApp(0, {1, 3})};
+    RtoTracker tracker(apps);
+    tracker.record(110.0, activeSet(apps, {{true, false}}));
+    tracker.record(700.0, activeSet(apps, {{true, true}}));
+
+    std::map<sim::AppId, RtoPolicy> policies;
+    policies[0].maxSeconds[1] = 30.0;
+    policies[0].maxSeconds[3] = 900.0;
+    const auto outcomes = tracker.evaluate(policies, 100.0);
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_FALSE(outcomes[0].violated);
+    EXPECT_DOUBLE_EQ(outcomes[0].recoverySeconds, 10.0);
+    EXPECT_FALSE(outcomes[1].violated);
+    EXPECT_DOUBLE_EQ(outcomes[1].recoverySeconds, 600.0);
+}

@@ -6,428 +6,19 @@
  *
  *   perfdiff BASELINE.json NEW.json [--require-speedup X]
  *
- * A cell is a (section, scheme, failure_rate) triple; the compared
- * quantity is plan_seconds.mean + pack_seconds.mean. The deterministic
- * op counters are diffed alongside — wall-clock can be noisy, the
- * counters cannot, so a perf claim should move both. With
- * --require-speedup the tool exits 1 unless every shared cell reached
- * the given speedup (used by the README's perf smoke recipe).
- *
- * The parser covers exactly the JSON subset exp::Report emits (no
- * surrogate escapes); it is not a general-purpose JSON library.
+ * With --require-speedup the tool exits 1 unless every shared cell
+ * reached the given speedup (used by the README's perf smoke recipe).
+ * All the logic lives in perfdiff_lib (unit-tested by test_perfdiff);
+ * this translation unit is only the process entry point.
  */
 
-#include <cctype>
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <memory>
-#include <sstream>
-#include <string>
-#include <vector>
 
-namespace {
-
-// ------------------------------------------------------------------
-// Minimal JSON value + recursive-descent parser.
-// ------------------------------------------------------------------
-
-struct JsonValue
-{
-    enum class Kind { Null, Bool, Number, String, Array, Object };
-
-    Kind kind = Kind::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string text;
-    std::vector<JsonValue> items;
-    std::vector<std::pair<std::string, JsonValue>> fields;
-
-    const JsonValue *
-    field(const std::string &name) const
-    {
-        for (const auto &[key, value] : fields) {
-            if (key == name)
-                return &value;
-        }
-        return nullptr;
-    }
-
-    /** Dotted-path lookup, e.g. "plan_seconds.mean". */
-    const JsonValue *
-    path(const std::string &dotted) const
-    {
-        const JsonValue *node = this;
-        size_t start = 0;
-        while (node) {
-            const size_t dot = dotted.find('.', start);
-            const std::string key = dotted.substr(
-                start, dot == std::string::npos ? dot : dot - start);
-            node = node->field(key);
-            if (dot == std::string::npos)
-                return node;
-            start = dot + 1;
-        }
-        return nullptr;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(std::string text) : text_(std::move(text)) {}
-
-    bool
-    parse(JsonValue &out)
-    {
-        pos_ = 0;
-        if (!value(out))
-            return false;
-        skipSpace();
-        return pos_ == text_.size();
-    }
-
-  private:
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const size_t n = std::string(word).size();
-        if (text_.compare(pos_, n, word) != 0)
-            return false;
-        pos_ += n;
-        return true;
-    }
-
-    bool
-    value(JsonValue &out)
-    {
-        skipSpace();
-        if (pos_ >= text_.size())
-            return false;
-        switch (text_[pos_]) {
-        case '{':
-            return object(out);
-        case '[':
-            return array(out);
-        case '"':
-            out.kind = JsonValue::Kind::String;
-            return string(out.text);
-        case 't':
-            out.kind = JsonValue::Kind::Bool;
-            out.boolean = true;
-            return literal("true");
-        case 'f':
-            out.kind = JsonValue::Kind::Bool;
-            out.boolean = false;
-            return literal("false");
-        case 'n':
-            out.kind = JsonValue::Kind::Null;
-            return literal("null");
-        default:
-            return number(out);
-        }
-    }
-
-    bool
-    object(JsonValue &out)
-    {
-        out.kind = JsonValue::Kind::Object;
-        ++pos_; // '{'
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            skipSpace();
-            std::string key;
-            if (pos_ >= text_.size() || text_[pos_] != '"' ||
-                !string(key))
-                return false;
-            skipSpace();
-            if (pos_ >= text_.size() || text_[pos_] != ':')
-                return false;
-            ++pos_;
-            JsonValue child;
-            if (!value(child))
-                return false;
-            out.fields.emplace_back(std::move(key), std::move(child));
-            skipSpace();
-            if (pos_ >= text_.size())
-                return false;
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    array(JsonValue &out)
-    {
-        out.kind = JsonValue::Kind::Array;
-        ++pos_; // '['
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        for (;;) {
-            JsonValue child;
-            if (!value(child))
-                return false;
-            out.items.push_back(std::move(child));
-            skipSpace();
-            if (pos_ >= text_.size())
-                return false;
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    string(std::string &out)
-    {
-        ++pos_; // '"'
-        out.clear();
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c != '\\') {
-                out += c;
-                continue;
-            }
-            if (pos_ >= text_.size())
-                return false;
-            const char escape = text_[pos_++];
-            switch (escape) {
-            case '"': out += '"'; break;
-            case '\\': out += '\\'; break;
-            case '/': out += '/'; break;
-            case 'n': out += '\n'; break;
-            case 'r': out += '\r'; break;
-            case 't': out += '\t'; break;
-            case 'b': out += '\b'; break;
-            case 'f': out += '\f'; break;
-            case 'u': {
-                if (pos_ + 4 > text_.size())
-                    return false;
-                const unsigned code = static_cast<unsigned>(std::strtoul(
-                    text_.substr(pos_, 4).c_str(), nullptr, 16));
-                pos_ += 4;
-                // exp::Report only escapes control chars (< 0x20).
-                out += static_cast<char>(code);
-                break;
-            }
-            default:
-                return false;
-            }
-        }
-        return false;
-    }
-
-    bool
-    number(JsonValue &out)
-    {
-        const char *begin = text_.c_str() + pos_;
-        char *end = nullptr;
-        out.number = std::strtod(begin, &end);
-        if (end == begin)
-            return false;
-        out.kind = JsonValue::Kind::Number;
-        pos_ += static_cast<size_t>(end - begin);
-        return true;
-    }
-
-    std::string text_;
-    size_t pos_ = 0;
-};
-
-// ------------------------------------------------------------------
-// Report walking.
-// ------------------------------------------------------------------
-
-struct Cell
-{
-    double planSeconds = 0.0;
-    double packSeconds = 0.0;
-    double heapPushes = 0.0;
-    double bestFitProbes = 0.0;
-    double childSortElems = 0.0;
-
-    double total() const { return planSeconds + packSeconds; }
-};
-
-double
-numberAt(const JsonValue &agg, const std::string &dotted)
-{
-    const JsonValue *node = agg.path(dotted);
-    return node && node->kind == JsonValue::Kind::Number ? node->number
-                                                         : 0.0;
-}
-
-/** (section, scheme@rate) -> timing/ops cell, in file order. */
-std::vector<std::pair<std::string, Cell>>
-collectCells(const JsonValue &root)
-{
-    std::vector<std::pair<std::string, Cell>> cells;
-    const JsonValue *sections = root.field("sections");
-    if (!sections)
-        return cells;
-    for (const JsonValue &section : sections->items) {
-        const JsonValue *name = section.field("name");
-        const JsonValue *sweep = section.field("sweep");
-        if (!name || !sweep)
-            continue;
-        for (const JsonValue &agg : sweep->items) {
-            const JsonValue *scheme = agg.field("scheme");
-            if (!scheme)
-                continue;
-            std::ostringstream key;
-            key << name->text << "/" << scheme->text << "@"
-                << numberAt(agg, "failure_rate");
-            Cell cell;
-            cell.planSeconds = numberAt(agg, "plan_seconds.mean");
-            cell.packSeconds = numberAt(agg, "pack_seconds.mean");
-            cell.heapPushes = numberAt(agg, "ops_heap_pushes.mean");
-            cell.bestFitProbes =
-                numberAt(agg, "ops_best_fit_probes.mean");
-            cell.childSortElems =
-                numberAt(agg, "ops_child_sort_elems.mean");
-            cells.emplace_back(key.str(), cell);
-        }
-    }
-    return cells;
-}
-
-bool
-loadReport(const std::string &file, JsonValue &out)
-{
-    std::ifstream in(file);
-    if (!in) {
-        std::cerr << "perfdiff: cannot open " << file << "\n";
-        return false;
-    }
-    std::ostringstream buffer;
-    buffer << in.rdbuf();
-    JsonParser parser(buffer.str());
-    if (!parser.parse(out)) {
-        std::cerr << "perfdiff: " << file << " is not valid JSON\n";
-        return false;
-    }
-    return true;
-}
-
-std::string
-formatSeconds(double s)
-{
-    char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.4f", s);
-    return buffer;
-}
-
-} // namespace
+#include "perfdiff_lib.h"
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> files;
-    double require_speedup = 0.0;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--require-speedup" && i + 1 < argc) {
-            require_speedup = std::atof(argv[++i]);
-        } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: perfdiff BASELINE.json NEW.json "
-                         "[--require-speedup X]\n";
-            return 0;
-        } else {
-            files.push_back(arg);
-        }
-    }
-    if (files.size() != 2) {
-        std::cerr << "usage: perfdiff BASELINE.json NEW.json "
-                     "[--require-speedup X]\n";
-        return 2;
-    }
-
-    JsonValue baseline_root;
-    JsonValue fresh_root;
-    if (!loadReport(files[0], baseline_root) ||
-        !loadReport(files[1], fresh_root))
-        return 2;
-
-    const auto baseline_cells = collectCells(baseline_root);
-    const auto fresh_cells = collectCells(fresh_root);
-    std::map<std::string, Cell> baseline;
-    for (const auto &[key, cell] : baseline_cells)
-        baseline.emplace(key, cell);
-
-    std::printf("%-44s %10s %10s %8s %12s %12s\n", "cell",
-                "base(s)", "new(s)", "speedup", "d-pushes",
-                "d-probes");
-    size_t shared = 0;
-    bool met = true;
-    double worst = 0.0;
-    std::string worst_cell;
-    for (const auto &[key, fresh] : fresh_cells) {
-        const auto it = baseline.find(key);
-        if (it == baseline.end())
-            continue;
-        ++shared;
-        const Cell &base = it->second;
-        const double speedup =
-            fresh.total() > 0.0 ? base.total() / fresh.total() : 0.0;
-        if (worst_cell.empty() || speedup < worst) {
-            worst = speedup;
-            worst_cell = key;
-        }
-        if (require_speedup > 0.0 && speedup < require_speedup)
-            met = false;
-        std::printf("%-44s %10s %10s %7.2fx %12.0f %12.0f\n",
-                    key.c_str(), formatSeconds(base.total()).c_str(),
-                    formatSeconds(fresh.total()).c_str(), speedup,
-                    fresh.heapPushes - base.heapPushes,
-                    fresh.bestFitProbes - base.bestFitProbes);
-        if (base.childSortElems > 0.0 && fresh.childSortElems == 0.0) {
-            // The headline structural win: successor sorting went from
-            // O(sum child-list sorts) to zero. Not a timing artifact.
-            std::printf("%-44s   child-sort elems %.0f -> 0\n", "",
-                        base.childSortElems);
-        }
-    }
-    if (shared == 0) {
-        std::cerr << "perfdiff: the two reports share no cells\n";
-        return 2;
-    }
-    std::printf("worst cell: %s at %.2fx\n", worst_cell.c_str(), worst);
-    if (require_speedup > 0.0) {
-        std::printf("required: %.2fx on every shared cell -> %s\n",
-                    require_speedup, met ? "PASS" : "FAIL");
-        return met ? 0 : 1;
-    }
-    return 0;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return phoenix::tools::runPerfDiff(args, std::cout, std::cerr);
 }
