@@ -57,6 +57,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "ablation");
+    bench::applyObs(options);
     auto config = bench::paperEnvironment(
         workloads::TaggingScheme::ServiceLevel, 0.9,
         workloads::ResourceModel::CallsPerMinute);

@@ -13,6 +13,7 @@
 #define PHOENIX_BENCH_BENCH_COMMON_H
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -21,6 +22,7 @@
 #include "exp/options.h"
 #include "exp/pool.h"
 #include "exp/report.h"
+#include "obs/obs.h"
 
 namespace phoenix::bench {
 
@@ -46,6 +48,22 @@ engineOptions(const exp::Options &options)
 }
 
 /**
+ * Apply the obs flags before any cells run: --metrics switches the
+ * metrics registry on, --trace-out switches sim-time tracing on (the
+ * trace file itself is written by finishReport). Without either flag
+ * this leaves obs fully disabled — the default state test_hotpath and
+ * the committed baselines measure.
+ */
+inline void
+applyObs(const exp::Options &options)
+{
+    if (options.metrics)
+        obs::setMetricsEnabled(true);
+    if (!options.traceOut.empty())
+        obs::setTraceEnabled(true);
+}
+
+/**
  * Write the report wherever the flags asked for it and say so on
  * stdout (the ASCII tables above remain the human-readable output).
  */
@@ -54,12 +72,47 @@ finishReport(exp::Report &report, const exp::Options &options)
 {
     report.meta("jobs", static_cast<int64_t>(
                             exp::resolveJobs(options.jobs)));
+    if (options.metrics) {
+        // Merged process-wide snapshot; per-cell deltas live in the
+        // sweep sections' "obs" objects.
+        util::Table table({"metric", "kind", "count", "value", "p50",
+                           "p90", "p99"});
+        for (const auto &m : obs::Registry::global().snapshot()) {
+            const char *kind =
+                m.kind == obs::MetricKind::Counter   ? "counter"
+                : m.kind == obs::MetricKind::Gauge   ? "gauge"
+                                                     : "histogram";
+            table.row()
+                .cell(m.name)
+                .cell(kind)
+                .cell(static_cast<size_t>(m.count))
+                .cell(exp::jsonNumber(m.value))
+                .cell(exp::jsonNumber(m.p50))
+                .cell(exp::jsonNumber(m.p90))
+                .cell(exp::jsonNumber(m.p99));
+        }
+        report.addTable("obs.metrics", table);
+    }
     if (report.writeJsonFile(options.jsonPath))
         std::cout << "[report] JSON written to " << options.jsonPath
                   << "\n";
     if (report.writeCsvFile(options.csvPath))
         std::cout << "[report] CSV written to " << options.csvPath
                   << "\n";
+    if (!options.traceOut.empty()) {
+        std::ofstream trace(options.traceOut);
+        if (trace) {
+            obs::Tracer::global().exportChromeJson(trace);
+            std::cout << "[trace] Chrome trace written to "
+                      << options.traceOut << " ("
+                      << obs::Tracer::global().size() << " events, "
+                      << obs::Tracer::global().dropped()
+                      << " dropped)\n";
+        } else {
+            std::cerr << "warning: cannot write trace to "
+                      << options.traceOut << "\n";
+        }
+    }
 }
 
 /** True when ADAPTLAB_FULL_SCALE=1 is exported. */

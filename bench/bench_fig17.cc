@@ -31,6 +31,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "fig17");
+    bench::applyObs(options);
     AlibabaConfig config;
     config.appCount = 18;
     config.sizeScale = bench::fullScale() ? 1.0 : 0.3;

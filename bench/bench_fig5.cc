@@ -68,6 +68,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "fig5");
+    bench::applyObs(options);
     bench::banner("Figure 5 | CloudLab testbed, capacity reduced to 42%");
 
     const apps::CloudLabTestbed testbed = apps::makeCloudLabTestbed();

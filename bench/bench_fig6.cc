@@ -147,6 +147,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "fig6");
+    bench::applyObs(options);
     bench::banner(
         "Figure 6 | recovery run: fail 14/25 nodes at t=600 s, "
         "restore at t=1500 s");

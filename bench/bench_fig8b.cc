@@ -130,6 +130,7 @@ main(int argc, char **argv)
     const bool smoke = smoke_env && std::string(smoke_env) == "1";
 
     auto options = bench::parseOptions(argc, argv, "fig8b");
+    bench::applyObs(options);
     if (options.jobs == 0)
         options.jobs = 1; // timing fidelity; see file header
     bench::banner(smoke

@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "fig8c");
+    bench::applyObs(options);
     const auto config = bench::paperEnvironment(
         workloads::TaggingScheme::ServiceLevel, 0.9,
         workloads::ResourceModel::CallsPerMinute);

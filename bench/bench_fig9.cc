@@ -20,6 +20,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "fig9");
+    bench::applyObs(options);
     bench::banner("Figure 9 | resource breakdown across criticalities");
 
     const apps::CloudLabTestbed testbed = apps::makeCloudLabTestbed();

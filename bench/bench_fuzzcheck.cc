@@ -33,6 +33,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "fuzzcheck");
+    bench::applyObs(options);
     const size_t cases = static_cast<size_t>(options.trialsOr(500));
     const uint64_t seed = options.seedOr(1);
 
@@ -62,14 +63,21 @@ main(int argc, char **argv)
     report.meta("cases", static_cast<int64_t>(cases));
     report.meta("seed", static_cast<int64_t>(seed));
 
-    util::Table table({"tier", "cases/sec", "seconds", "violations",
+    util::Table table({"tier", "cases/sec", "seconds", "schemes_s",
+                       "lp_s", "meta_s", "lifecycle_s", "violations",
                        "lp-solves", "lifecycle-runs"});
+    size_t tier_index = 0;
     for (const Tier &tier : tiers) {
         using Clock = std::chrono::steady_clock;
+        // One trace track per tier; the oracle's phase histograms
+        // (check.phase_seconds{phase=...}) accumulate per tier too.
+        obs::setCurrentTrack(static_cast<uint32_t>(tier_index++));
         const auto start = Clock::now();
         size_t violations = 0;
         size_t lp_solves = 0;
         size_t lifecycle_runs = 0;
+        double schemes_s = 0.0, lp_s = 0.0, meta_s = 0.0,
+               lifecycle_s = 0.0;
         for (size_t i = 0; i < cases; ++i) {
             const check::CheckCase c =
                 check::generateCase(util::cellSeed(seed, i));
@@ -78,6 +86,10 @@ main(int argc, char **argv)
             lp_solves += (result.lpCostRan ? 1 : 0) +
                          (result.lpFairRan ? 1 : 0);
             lifecycle_runs += result.lifecycleRan ? 1 : 0;
+            schemes_s += result.schemesSeconds;
+            lp_s += result.lpSeconds;
+            meta_s += result.metamorphicSeconds;
+            lifecycle_s += result.lifecycleSeconds;
         }
         const double seconds =
             std::chrono::duration<double>(Clock::now() - start)
@@ -87,10 +99,21 @@ main(int argc, char **argv)
             .cell(seconds > 0.0 ? static_cast<double>(cases) / seconds
                                 : 0.0)
             .cell(seconds)
+            .cell(schemes_s)
+            .cell(lp_s)
+            .cell(meta_s)
+            .cell(lifecycle_s)
             .cell(static_cast<double>(violations), 0)
             .cell(static_cast<double>(lp_solves), 0)
             .cell(static_cast<double>(lifecycle_runs), 0);
         report.meta(std::string(tier.name) + ".seconds", seconds);
+        report.meta(std::string(tier.name) + ".schemes_seconds",
+                    schemes_s);
+        report.meta(std::string(tier.name) + ".lp_seconds", lp_s);
+        report.meta(std::string(tier.name) + ".metamorphic_seconds",
+                    meta_s);
+        report.meta(std::string(tier.name) + ".lifecycle_seconds",
+                    lifecycle_s);
     }
     table.print(std::cout);
     report.addTable("throughput", table);

@@ -20,6 +20,7 @@
  * returns, and no cell violates a cluster invariant.
  */
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cmath>
@@ -150,6 +151,26 @@ toAggregate(const ScenarioSpec &spec, const CellResult &cell)
     agg.trials = 1;
     agg.wallSeconds = cell.wallSeconds;
 
+    // Per-cell obs metric deltas (--metrics), with the kube
+    // invariant-violation count always present so a regression to
+    // nonzero is visible in the JSON diff.
+    agg.obs = cell.recovery.obsMetrics;
+    if (!agg.obs.empty()) {
+        bool has_violations = false;
+        for (const auto &[name, value] : agg.obs) {
+            (void)value;
+            has_violations =
+                has_violations || name == "kube.invariant_violations";
+        }
+        if (!has_violations) {
+            agg.obs.emplace_back(
+                "kube.invariant_violations",
+                static_cast<double>(
+                    cell.recovery.invariantViolations));
+            std::sort(agg.obs.begin(), agg.obs.end());
+        }
+    }
+
     std::vector<double> avail;
     std::vector<double> util;
     for (const auto &sample : cell.recovery.samples) {
@@ -183,6 +204,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "recovery");
+    bench::applyObs(options);
     const bool smoke = smokeMode();
     bench::banner(
         "Recovery dynamics | scenario-driven Fig 6 timelines on the "
@@ -223,6 +245,15 @@ main(int argc, char **argv)
     exp::parallelFor(options.jobs, cells.size(), [&](size_t i) {
         CellResult &cell = cells[i];
         const ScenarioSpec &spec = scenarios[cell.scenarioIndex];
+        // One trace track per cell, keyed by the canonical cell index
+        // so the trace layout is identical for any --jobs value.
+        obs::setCurrentTrack(static_cast<uint32_t>(i));
+        if (obs::traceEnabled()) {
+            obs::Tracer::global().nameTrack(
+                static_cast<uint32_t>(i),
+                spec.name + "/" +
+                    exp::recoverySchemeName(cell.scheme));
+        }
         RecoveryConfig config;
         config.scheme = cell.scheme;
         config.scenario = spec.scenario;

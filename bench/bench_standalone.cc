@@ -24,6 +24,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "standalone");
+    bench::applyObs(options);
     const std::vector<double> rates{0.1, 0.5, 0.9};
     const int trials = options.trialsOr(bench::fullScale() ? 5 : 3);
 

@@ -56,6 +56,7 @@ int
 main(int argc, char **argv)
 {
     const auto options = bench::parseOptions(argc, argv, "table1");
+    bench::applyObs(options);
     bench::banner("Table 1 | P95 latency before/after diagonal scaling");
 
     // Before: everything running, cluster at ~50% utilization.

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# The one-command CI gate: tier-1 build + full ctest (which includes
+# the fuzz/recovery/fig8b smoke gates), then the suite again under
+# ASan and UBSan via scripts/sanitize.sh. Any failure — a test, a
+# smoke-gate bound, a sanitizer report — fails the script.
+#
+#   scripts/ci.sh            # full gate
+#   scripts/ci.sh --fast     # tier-1 + smokes only, skip sanitizers
+#
+# The TSan configuration (scripts/sanitize.sh thread) is not part of
+# the default gate — it roughly triples runtime — but is the tree that
+# exercises the exp pool sharding and the obs registry's lock-free
+# counters (Obs.ConcurrentRegistryHammer); run it when touching either.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+if [[ "${1:-}" == "--fast" ]]; then
+  FAST=1
+  shift
+fi
+
+BUILD="${BUILD:-build}"
+JOBS="$(nproc)"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "tier-1 configure + build ($BUILD)"
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$JOBS"
+
+step "tier-1 ctest (unit + property + corpus suites)"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
+    -E '^(fuzz_smoke|recovery_smoke|fig8b_smoke|fuzz_long)$'
+
+# The smoke gates run serially and last so their bound assertions
+# (fig8b op counters, Fig 6 recovery times, oracle cleanliness) are
+# easy to spot in the log.
+step "smoke gates: fuzz_smoke, recovery_smoke, fig8b_smoke"
+ctest --test-dir "$BUILD" --output-on-failure \
+    -R '^(fuzz_smoke|recovery_smoke|fig8b_smoke)$'
+
+if [[ "$FAST" == "1" ]]; then
+  step "--fast: skipping sanitizer builds"
+  exit 0
+fi
+
+step "full suite under AddressSanitizer"
+scripts/sanitize.sh address
+
+step "full suite under UndefinedBehaviorSanitizer"
+scripts/sanitize.sh undefined
+
+step "CI gate passed"

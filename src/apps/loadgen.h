@@ -19,19 +19,22 @@
 
 #include "apps/service_app.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace phoenix::apps {
 
-/** Measured statistics for one request type. */
+/** Measured statistics for one request type. Percentiles follow the
+ * repo-wide empty-sample convention: util::kNoSample (-1) until at
+ * least one request was served. */
 struct LoadStats
 {
     std::string request;
     size_t offered = 0;
     size_t served = 0;
     double meanUtility = 0.0; //!< over served requests
-    double p50Ms = -1.0;
-    double p95Ms = -1.0;
-    double p99Ms = -1.0;
+    double p50Ms = util::kNoSample;
+    double p95Ms = util::kNoSample;
+    double p99Ms = util::kNoSample;
 };
 
 /** Load-generation parameters. */

@@ -1,6 +1,7 @@
 #include "oracle.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -29,6 +30,38 @@ using sim::PodRef;
 namespace {
 
 constexpr double kEps = 1e-6;
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Per-tier phase-seconds histograms, resolved once. */
+struct PhaseObs
+{
+    obs::LogHistogram *schemes;
+    obs::LogHistogram *lp;
+    obs::LogHistogram *metamorphic;
+    obs::LogHistogram *lifecycle;
+};
+
+PhaseObs &
+phaseObs()
+{
+    static PhaseObs p = [] {
+        auto &registry = obs::Registry::global();
+        const auto named = [&](const char *phase) {
+            return &registry.histogram(obs::Registry::labeled(
+                "check.phase_seconds", "phase", phase));
+        };
+        return PhaseObs{named("schemes"), named("lp"),
+                        named("metamorphic"), named("lifecycle")};
+    }();
+    return p;
+}
 
 void
 report(std::vector<Violation> &out, std::string property,
@@ -520,6 +553,8 @@ checkCase(const CheckCase &c, const OracleOptions &options)
 
     const ClusterState post = postFailureState(c);
 
+    const Clock::time_point schemes_start = Clock::now();
+
     // --- Planner order properties ----------------------------------
     checkAppRankOrder(c.apps, result.violations);
 
@@ -576,7 +611,11 @@ checkCase(const CheckCase &c, const OracleOptions &options)
                    "planned assignments diverge");
     }
 
+    result.schemesSeconds = secondsSince(schemes_start);
+    PHOENIX_OBSERVE(*phaseObs().schemes, result.schemesSeconds);
+
     // --- LP differential -------------------------------------------
+    const Clock::time_point lp_start = Clock::now();
     const size_t healthy_nodes = post.healthyNodes().size();
     const bool lp_eligible =
         options.runLp && c.singleReplica() && healthy_nodes > 0 &&
@@ -710,7 +749,12 @@ checkCase(const CheckCase &c, const OracleOptions &options)
         }
     }
 
+    result.lpSeconds = secondsSince(lp_start);
+    if (lp_eligible)
+        PHOENIX_OBSERVE(*phaseObs().lp, result.lpSeconds);
+
     // --- Metamorphic relations -------------------------------------
+    const Clock::time_point meta_start = Clock::now();
     if (options.metamorphic) {
         // Scale x2: exact in binary FP given grid-quantized sizes, so
         // plan/actions/assignment must be bit-identical.
@@ -881,10 +925,21 @@ checkCase(const CheckCase &c, const OracleOptions &options)
         }
     }
 
+    if (options.metamorphic) {
+        result.metamorphicSeconds = secondsSince(meta_start);
+        PHOENIX_OBSERVE(*phaseObs().metamorphic,
+                        result.metamorphicSeconds);
+    }
+
     // --- Kube lifecycle --------------------------------------------
     if (options.lifecycle && c.lifecycle && !c.steps.empty() &&
-        c.singleReplica())
+        c.singleReplica()) {
+        const Clock::time_point lifecycle_start = Clock::now();
         runLifecycleOracle(c, result);
+        result.lifecycleSeconds = secondsSince(lifecycle_start);
+        PHOENIX_OBSERVE(*phaseObs().lifecycle,
+                        result.lifecycleSeconds);
+    }
 
     return result;
 }

@@ -118,6 +118,14 @@ struct OracleResult
     /** Heuristic revenue / LPCost proven optimum (0 when LP not run). */
     double costGap = 0.0;
 
+    /** Host-wall seconds spent per oracle tier on this case (also
+     * recorded as check.phase_seconds{phase=...} obs histograms, so
+     * bench_fuzzcheck reports them per cell). */
+    double schemesSeconds = 0.0;     //!< structural/replay/flat-vs-ref
+    double lpSeconds = 0.0;          //!< LP differential
+    double metamorphicSeconds = 0.0; //!< metamorphic relations
+    double lifecycleSeconds = 0.0;   //!< kube lifecycle replay
+
     bool ok() const { return violations.empty(); }
 
     bool

@@ -14,6 +14,22 @@ PhoenixController::PhoenixController(
     : events_(events), cluster_(cluster), scheme_(std::move(scheme)),
       config_(config)
 {
+    auto &registry = obs::Registry::global();
+    obs_.polls = &registry.counter("controller.polls");
+    obs_.replans = &registry.counter("controller.replans");
+    obs_.deletes =
+        &registry.counter("controller.actions", "kind", "delete");
+    obs_.migrations =
+        &registry.counter("controller.actions", "kind", "migrate");
+    obs_.restarts =
+        &registry.counter("controller.actions", "kind", "restart");
+    obs_.deferredSuperseded =
+        &registry.counter("controller.deferred_superseded");
+    obs_.drainApplies = &registry.counter("controller.drain_applies");
+    obs_.planSeconds = &registry.histogram("controller.plan_seconds");
+    obs_.recoverySeconds =
+        &registry.histogram("controller.recovery_seconds");
+
     events_.scheduleAfter(config_.pollPeriod, [this] { poll(); });
 }
 
@@ -21,6 +37,7 @@ void
 PhoenixController::poll()
 {
     const double capacity = cluster_.readyCapacity();
+    PHOENIX_COUNT(*obs_.polls, 1);
 
     // Mark recovery of the pending replan once every planned pod runs.
     if (!history_.empty() && history_.back().recoveredAt < 0.0) {
@@ -32,8 +49,24 @@ PhoenixController::poll()
                 break;
             }
         }
-        if (all_running)
-            history_.back().recoveredAt = events_.now();
+        if (all_running) {
+            ReplanRecord &rec = history_.back();
+            rec.recoveredAt = events_.now();
+            PHOENIX_OBSERVE(*obs_.recoverySeconds,
+                            rec.recoveredAt - rec.detectedAt);
+            PHOENIX_TRACE_ASYNC_END("controller", "replan",
+                                    history_.size() - 1,
+                                    rec.recoveredAt);
+            PHOENIX_TRACE_COMPLETE(
+                "controller", "epoch", rec.detectedAt,
+                rec.recoveredAt - rec.detectedAt,
+                (obs::TraceArg{"deletes",
+                               static_cast<double>(rec.deletes)}),
+                (obs::TraceArg{"migrations",
+                               static_cast<double>(rec.migrations)}),
+                (obs::TraceArg{"restarts",
+                               static_cast<double>(rec.restarts)}));
+        }
     }
 
     // The first poll always plans (Phoenix owns initial placement and
@@ -53,10 +86,24 @@ PhoenixController::poll()
         record.detectedAt = events_.now();
         record.capacityBefore = lastCapacity_;
         record.capacityAfter = capacity;
+        PHOENIX_COUNT(*obs_.replans, 1);
+        PHOENIX_TRACE_ASYNC_BEGIN(
+            "controller", "replan", history_.size(), record.detectedAt,
+            (obs::TraceArg{"capacity_before", record.capacityBefore}),
+            (obs::TraceArg{"capacity_after", record.capacityAfter}));
 
         const SchemeResult result =
             scheme_->apply(cluster_.apps(), cluster_.observedState());
         record.planSeconds = result.planSeconds + result.packSeconds;
+        PHOENIX_OBSERVE(*obs_.planSeconds, record.planSeconds);
+        // No wall-time duration here: the canonical trace carries sim
+        // time only (plan compute cost lives in the plan_seconds
+        // histogram, exempt like every wall-clock field).
+        PHOENIX_TRACE_INSTANT(
+            "controller", "plan", record.detectedAt,
+            (obs::TraceArg{
+                "actions",
+                static_cast<double>(result.pack.actions.size())}));
 
         // assignment() iterates ascending by PodRef, so the vector
         // comes out sorted and membership checks can binary-search.
@@ -71,15 +118,26 @@ PhoenixController::poll()
             switch (action.kind) {
               case ActionKind::Delete:
                 ++record.deletes;
+                PHOENIX_COUNT(*obs_.deletes, 1);
                 break;
               case ActionKind::Migrate:
                 ++record.migrations;
+                PHOENIX_COUNT(*obs_.migrations, 1);
                 break;
               case ActionKind::Restart:
                 ++record.restarts;
+                PHOENIX_COUNT(*obs_.restarts, 1);
                 break;
             }
         }
+        PHOENIX_TRACE_INSTANT(
+            "controller", "execute", events_.now(),
+            (obs::TraceArg{"deletes",
+                           static_cast<double>(record.deletes)}),
+            (obs::TraceArg{"migrations",
+                           static_cast<double>(record.migrations)}),
+            (obs::TraceArg{"restarts",
+                           static_cast<double>(record.restarts)}));
         execute(result);
         history_.push_back(record);
     }
@@ -140,8 +198,18 @@ PhoenixController::execute(const SchemeResult &result)
     }
     const uint64_t generation = ++planGeneration_;
     auto apply_moves = [this, generation] {
-        if (generation != planGeneration_)
+        if (generation != planGeneration_) {
+            PHOENIX_COUNT(*obs_.deferredSuperseded, 1);
             return; // a newer plan owns the cluster now
+        }
+        if (!deferredMoves_.empty()) {
+            PHOENIX_COUNT(*obs_.drainApplies, 1);
+            PHOENIX_TRACE_INSTANT(
+                "controller", "drain.apply", events_.now(),
+                (obs::TraceArg{
+                    "moves",
+                    static_cast<double>(deferredMoves_.size())}));
+        }
         for (const Action &action : deferredMoves_)
             cluster_.migratePod(action.pod, action.to);
         deferredMoves_.clear();

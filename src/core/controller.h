@@ -93,6 +93,21 @@ class PhoenixController
     std::vector<Action> deferredMoves_;
     /** Invalidates in-flight drain waits when a new plan lands. */
     uint64_t planGeneration_ = 0;
+
+    /** obs handles, resolved once at construction. */
+    struct ObsHandles
+    {
+        obs::Counter *polls = nullptr;
+        obs::Counter *replans = nullptr;
+        obs::Counter *deletes = nullptr;
+        obs::Counter *migrations = nullptr;
+        obs::Counter *restarts = nullptr;
+        obs::Counter *deferredSuperseded = nullptr;
+        obs::Counter *drainApplies = nullptr;
+        obs::LogHistogram *planSeconds = nullptr;
+        obs::LogHistogram *recoverySeconds = nullptr;
+    };
+    ObsHandles obs_;
 };
 
 } // namespace phoenix::core

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <map>
+#include <optional>
 #include <sstream>
 
 #include "exp/pool.h"
@@ -40,6 +42,12 @@ runGridCells(const adaptlab::Environment &env, const SweepGridSpec &spec,
         const GridCell &cell = cells[i];
         const double rate = spec.failureRates[cell.rate];
         const auto started = std::chrono::steady_clock::now();
+        // One trace track per cell: the cell index is canonical, so
+        // the trace layout is independent of the thread schedule.
+        obs::setCurrentTrack(static_cast<uint32_t>(i));
+        std::optional<obs::ThreadMetricDelta> delta;
+        if (obs::metricsEnabled())
+            delta.emplace();
         // Fresh scheme per cell: no shared mutable state between
         // concurrently executing cells.
         const auto scheme = spec.schemes[cell.scheme].make();
@@ -48,6 +56,8 @@ runGridCells(const adaptlab::Environment &env, const SweepGridSpec &spec,
         out.metrics = adaptlab::runFailureTrial(
             env, *scheme, rate,
             adaptlab::trialSeed(spec.seedBase, rate, cell.trial));
+        if (delta)
+            out.obsMetrics = delta->finish();
         out.wallSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - started)
@@ -72,6 +82,7 @@ aggregateGrid(const SweepGridSpec &spec,
             agg.failureRate = spec.failureRates[r];
             agg.trials = spec.trials;
 
+            std::map<std::string, double> obs_sums;
             std::vector<adaptlab::TrialMetrics> batch;
             batch.reserve(static_cast<size_t>(spec.trials));
             std::vector<double> availability, strict, revenue, fair_pos,
@@ -80,6 +91,8 @@ aggregateGrid(const SweepGridSpec &spec,
             for (int t = 0; t < spec.trials; ++t, ++index) {
                 const CellResult &cell = results[index];
                 agg.wallSeconds += cell.wallSeconds;
+                for (const auto &[name, delta] : cell.obsMetrics)
+                    obs_sums[name] += delta;
                 batch.push_back(cell.metrics);
                 if (cell.metrics.schemeFailed) {
                     ++agg.failedTrials;
@@ -114,6 +127,7 @@ aggregateGrid(const SweepGridSpec &spec,
             agg.opsHeapPushes = statsOf(ops_push);
             agg.opsBestFitProbes = statsOf(ops_probe);
             agg.opsChildSortElems = statsOf(ops_sort);
+            agg.obs.assign(obs_sums.begin(), obs_sums.end());
             aggregates.push_back(std::move(agg));
         }
     }

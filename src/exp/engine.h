@@ -22,11 +22,13 @@
 #define PHOENIX_EXP_ENGINE_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "adaptlab/environment.h"
 #include "adaptlab/runner.h"
 #include "exp/grid.h"
+#include "obs/obs.h"
 
 namespace phoenix::exp {
 
@@ -44,6 +46,9 @@ struct CellResult
     adaptlab::TrialMetrics metrics;
     /** Wall-clock seconds this cell took end to end. */
     double wallSeconds = 0.0;
+    /** obs counter/histogram-count deltas this cell incremented
+     * (name-sorted; empty with metrics disabled). */
+    std::vector<std::pair<std::string, double>> obsMetrics;
 };
 
 /** min/mean/max/stddev of one metric across a cell group's trials. */
@@ -84,6 +89,11 @@ struct SweepAggregate
     MetricStats opsChildSortElems;
     /** Summed wall-clock of the group's cells (CPU-time proxy). */
     double wallSeconds = 0.0;
+    /** Summed obs metric deltas of the group's cells, name-sorted
+     * (exported as the aggregate's "obs" JSON object; empty with
+     * metrics disabled). Integer counter sums in canonical cell
+     * order, so schedule-independent like everything else here. */
+    std::vector<std::pair<std::string, double>> obs;
 };
 
 /** Execute every cell of @p spec; results in canonical cell order. */

@@ -21,6 +21,8 @@ usage(const std::string &benchName, std::ostream &os)
        << "  --filter SUB  only schemes whose name contains SUB\n"
        << "  --trials N    override trial count\n"
        << "  --seed N      override sweep base seed\n"
+       << "  --metrics     collect obs metrics into the report\n"
+       << "  --trace-out P write a Chrome/Perfetto trace JSON to P\n"
        << "  --help        this message\n";
 }
 
@@ -83,6 +85,10 @@ parseOptions(int argc, char **argv, const std::string &benchName)
             options.seed = parseInt(benchName, arg, value());
             if (options.seed < 0)
                 fail(benchName, "--seed must be >= 0");
+        } else if (arg == "--metrics") {
+            options.metrics = true;
+        } else if (arg == "--trace-out") {
+            options.traceOut = value();
         } else {
             fail(benchName, "unknown flag '" + arg + "'");
         }

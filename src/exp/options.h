@@ -11,6 +11,11 @@
  *                  (case-insensitive)
  *   --trials N     override the harness's trial count
  *   --seed N       override the sweep's base seed
+ *   --metrics      enable the obs metrics registry; per-cell metric
+ *                  deltas land in the report's sweep sections and a
+ *                  merged snapshot in an "obs.metrics" section
+ *   --trace-out P  enable sim-time tracing and write a Chrome
+ *                  trace-event JSON (Perfetto-loadable) to P
  *
  * Unknown flags print usage and exit(2); --help prints usage and
  * exit(0).
@@ -32,6 +37,8 @@ struct Options
     std::string filter;
     int trials = -1;         // -1 = harness default
     int64_t seed = -1;       // -1 = harness default
+    bool metrics = false;    // --metrics: obs registry on
+    std::string traceOut;    // --trace-out: Chrome trace path
 
     /** @p fallback if --trials was not given. */
     int

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "core/chaos.h"
@@ -58,6 +59,12 @@ recoveryTime(const std::vector<RecoverySample> &samples,
 RecoveryResult
 runRecovery(const RecoveryConfig &config)
 {
+    // Per-run metric capture (this thread's shard only; exact under
+    // the exp engine's one-cell-one-thread contract).
+    std::optional<obs::ThreadMetricDelta> delta;
+    if (obs::metricsEnabled())
+        delta.emplace();
+
     sim::EventQueue events;
     kube::KubeConfig kube_config = config.kube;
     // The invariant checker is what turns a lifecycle bug into a hard
@@ -130,6 +137,13 @@ runRecovery(const RecoveryConfig &config)
             utility /= static_cast<double>(testbed.serviceApps.size());
         point.utility = utility;
 
+        PHOENIX_TRACE_INSTANT(
+            "recovery", "sample", point.t,
+            (obs::TraceArg{"availability", point.availability}),
+            (obs::TraceArg{"running",
+                           static_cast<double>(point.running)}),
+            (obs::TraceArg{"pending",
+                           static_cast<double>(point.pending)}));
         result.samples.push_back(point);
     };
     for (double t = config.samplePeriod; t <= config.endTime;
@@ -174,6 +188,8 @@ runRecovery(const RecoveryConfig &config)
             result.restarts += record.restarts;
         }
     }
+    if (delta)
+        result.obsMetrics = delta->finish();
     return result;
 }
 

@@ -18,6 +18,8 @@
 #ifndef PHOENIX_EXP_RECOVERY_H
 #define PHOENIX_EXP_RECOVERY_H
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/cloudlab.h"
@@ -88,6 +90,13 @@ struct RecoveryResult
     size_t deletes = 0;
     size_t migrations = 0;
     size_t restarts = 0;
+    /**
+     * obs counters/histogram-counts this run incremented, as (name,
+     * delta) pairs, name-sorted (empty with metrics disabled).
+     * Captured via obs::ThreadMetricDelta — exact because one run
+     * executes start-to-finish on one thread.
+     */
+    std::vector<std::pair<std::string, double>> obsMetrics;
 };
 
 /** Run one scenario end to end. */

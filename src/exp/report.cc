@@ -109,6 +109,16 @@ writeAggregate(std::ostream &os, const SweepAggregate &agg)
     writeStats(os, "ops_best_fit_probes", agg.opsBestFitProbes);
     os << ",";
     writeStats(os, "ops_child_sort_elems", agg.opsChildSortElems);
+    if (!agg.obs.empty()) {
+        os << ",\"obs\":{";
+        for (size_t i = 0; i < agg.obs.size(); ++i) {
+            if (i)
+                os << ",";
+            os << jsonQuote(agg.obs[i].first) << ":"
+               << jsonNumber(agg.obs[i].second);
+        }
+        os << "}";
+    }
     os << "}";
 }
 

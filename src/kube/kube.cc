@@ -31,11 +31,45 @@ phaseName(PodPhase phase)
     return "?";
 }
 
+/** Static trace-event names per transition target (the tracer stores
+ * the pointers). */
+const char *
+transitionEventName(PodPhase to)
+{
+    switch (to) {
+    case PodPhase::Pending: return "pod->Pending";
+    case PodPhase::Starting: return "pod->Starting";
+    case PodPhase::Running: return "pod->Running";
+    case PodPhase::Terminating: return "pod->Terminating";
+    }
+    return "pod->?";
+}
+
 } // namespace
 
 KubeCluster::KubeCluster(sim::EventQueue &events, KubeConfig config)
     : events_(events), config_(config), rng_(config.seed)
 {
+    obs::Registry &registry = obs::Registry::global();
+    obs_.transitions[0] =
+        &registry.counter("kube.pod_transitions", "to", "Pending");
+    obs_.transitions[1] =
+        &registry.counter("kube.pod_transitions", "to", "Starting");
+    obs_.transitions[2] =
+        &registry.counter("kube.pod_transitions", "to", "Running");
+    obs_.transitions[3] =
+        &registry.counter("kube.pod_transitions", "to", "Terminating");
+    obs_.binds = &registry.counter("kube.scheduler.binds");
+    obs_.evictedPods = &registry.counter("kube.evictions.pods");
+    obs_.evictionEpisodes =
+        &registry.counter("kube.evictions.episodes");
+    obs_.invariantViolations =
+        &registry.counter("kube.invariant_violations");
+    obs_.migrationsRejected =
+        &registry.counter("kube.migrations.rejected");
+    obs_.nodeNotReady = &registry.counter("kube.node.not_ready");
+    obs_.nodeReady = &registry.counter("kube.node.ready");
+
     // Control-plane loops. These chains reschedule themselves forever;
     // drive the simulation with runUntil(), not runAll().
     events_.scheduleAfter(config_.heartbeatPeriod,
@@ -113,11 +147,19 @@ KubeCluster::nodeControllerTick()
             rec.ready = false;
             PHOENIX_INFO("node " << rec.id << " NotReady at t="
                                  << events_.now());
+            PHOENIX_COUNT(*obs_.nodeNotReady, 1);
+            PHOENIX_TRACE_INSTANT(
+                "kube", "node NotReady", events_.now(),
+                (obs::TraceArg{"node", static_cast<double>(rec.id)}));
             evictPodsOn(rec.id);
         } else if (!rec.ready && fresh && rec.kubeletRunning) {
             rec.ready = true;
             PHOENIX_INFO("node " << rec.id << " Ready at t="
                                  << events_.now());
+            PHOENIX_COUNT(*obs_.nodeReady, 1);
+            PHOENIX_TRACE_INSTANT(
+                "kube", "node Ready", events_.now(),
+                (obs::TraceArg{"node", static_cast<double>(rec.id)}));
         }
     }
     validateAfterEvent();
@@ -167,6 +209,12 @@ KubeCluster::transition(Pod &pod, PodPhase to, NodeId node)
     pod.node = node;
     if (occupiesNode(to))
         nodeUsed_[node] += pod.cpu;
+    PHOENIX_COUNT(*obs_.transitions[static_cast<size_t>(to)], 1);
+    PHOENIX_TRACE_INSTANT(
+        "kube", transitionEventName(to), events_.now(),
+        (obs::TraceArg{"app", static_cast<double>(pod.ref.app)}),
+        (obs::TraceArg{"ms", static_cast<double>(pod.ref.ms)}),
+        (obs::TraceArg{"node", static_cast<double>(node)}));
 }
 
 double
@@ -191,6 +239,7 @@ void
 KubeCluster::recordViolation(const std::string &what)
 {
     ++invariantViolations_;
+    PHOENIX_COUNT(*obs_.invariantViolations, 1);
     PHOENIX_ERROR("kube invariant violated at t=" << events_.now()
                                                   << ": " << what);
     assert(false && "kube invariant violated");
@@ -233,6 +282,7 @@ KubeCluster::validateAfterEvent()
 void
 KubeCluster::bindPod(Pod &pod, NodeId node)
 {
+    PHOENIX_COUNT(*obs_.binds, 1);
     transition(pod, PodPhase::Starting, node);
     // Bumping the epoch cancels any armed start-completion timer, so a
     // rebind (migrate-while-Starting) restarts the startup clock.
@@ -255,6 +305,7 @@ void
 KubeCluster::evictPodsOn(NodeId node)
 {
     ++nodeEvictionEpisodes_[node];
+    PHOENIX_COUNT(*obs_.evictionEpisodes, 1);
     for (auto &[ref, pod] : pods_) {
         if (pod.node != node || pod.phase == PodPhase::Pending)
             continue;
@@ -266,6 +317,7 @@ KubeCluster::evictPodsOn(NodeId node)
         ++podEpoch_[ref];
         transition(pod, PodPhase::Pending, pod.node);
         ++evictedPods_;
+        PHOENIX_COUNT(*obs_.evictedPods, 1);
     }
 }
 
@@ -404,6 +456,7 @@ KubeCluster::migratePod(const PodRef &ref, NodeId to)
                                 << " -> node " << to << " rejected: "
                                 << (target.ready ? "full"
                                                  : "NotReady"));
+        PHOENIX_COUNT(*obs_.migrationsRejected, 1);
         return;
     }
 

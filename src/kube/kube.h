@@ -33,6 +33,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/cluster.h"
 #include "sim/event_queue.h"
 #include "sim/scenario.h"
@@ -261,6 +262,22 @@ class KubeCluster : public sim::FaultTarget
     size_t invariantViolations_ = 0;
     /** Scratch for the validation sweep (avoids per-event allocs). */
     std::vector<double> validateScratch_;
+
+    /** obs handles, resolved once at construction (per-phase pod
+     * transition counters + lifecycle/scheduler/node counters). */
+    struct ObsHandles
+    {
+        obs::Counter *transitions[4] = {nullptr, nullptr, nullptr,
+                                        nullptr};
+        obs::Counter *binds = nullptr;
+        obs::Counter *evictedPods = nullptr;
+        obs::Counter *evictionEpisodes = nullptr;
+        obs::Counter *invariantViolations = nullptr;
+        obs::Counter *migrationsRejected = nullptr;
+        obs::Counter *nodeNotReady = nullptr;
+        obs::Counter *nodeReady = nullptr;
+    };
+    ObsHandles obs_;
 };
 
 } // namespace phoenix::kube

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Umbrella header + zero-cost-when-disabled instrumentation macros.
+ *
+ * Instrumented code uses these macros rather than calling the tracer
+ * or registry directly:
+ *
+ *  - with -DPHOENIX_OBS_DISABLED the macros compile to nothing, so a
+ *    build can prove the instrumentation has zero cost;
+ *  - otherwise each expands to a relaxed-atomic enabled check before
+ *    touching anything — one predictable branch on the disabled path,
+ *    no allocation, no locks (test_hotpath's zero-allocation
+ *    assertions and the BENCH_fig8b baseline run with obs disabled
+ *    and are unaffected).
+ *
+ * Counter handles (obs::Counter&) are resolved once at setup time
+ * (constructors, static init), never on the hot path; category, name,
+ * and arg-name strings must be literals.
+ */
+
+#ifndef PHOENIX_OBS_OBS_H
+#define PHOENIX_OBS_OBS_H
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace phoenix::obs {
+
+/** Convenience: find-or-create a counter in the global registry. */
+inline Counter &
+counter(const std::string &name)
+{
+    return Registry::global().counter(name);
+}
+
+inline Gauge &
+gauge(const std::string &name)
+{
+    return Registry::global().gauge(name);
+}
+
+inline LogHistogram &
+histogram(const std::string &name)
+{
+    return Registry::global().histogram(name);
+}
+
+} // namespace phoenix::obs
+
+#ifdef PHOENIX_OBS_DISABLED
+
+#define PHOENIX_COUNT(handle, n) do { } while (0)
+#define PHOENIX_OBSERVE(handle, v) do { } while (0)
+#define PHOENIX_GAUGE_SET(handle, v) do { } while (0)
+#define PHOENIX_TRACE_COMPLETE(...) do { } while (0)
+#define PHOENIX_TRACE_INSTANT(...) do { } while (0)
+#define PHOENIX_TRACE_ASYNC_BEGIN(...) do { } while (0)
+#define PHOENIX_TRACE_ASYNC_END(...) do { } while (0)
+
+#else
+
+/** Bump a pre-resolved obs::Counter& by n. */
+#define PHOENIX_COUNT(handle, n)                                          \
+    do {                                                                  \
+        if (::phoenix::obs::metricsEnabled())                             \
+            (handle).add(n);                                              \
+    } while (0)
+
+/** Record a sample into a pre-resolved obs::LogHistogram&. */
+#define PHOENIX_OBSERVE(handle, v)                                        \
+    do {                                                                  \
+        if (::phoenix::obs::metricsEnabled())                             \
+            (handle).observe(v);                                          \
+    } while (0)
+
+/** Set a pre-resolved obs::Gauge&. */
+#define PHOENIX_GAUGE_SET(handle, v)                                      \
+    do {                                                                  \
+        if (::phoenix::obs::metricsEnabled())                             \
+            (handle).set(v);                                              \
+    } while (0)
+
+/** Complete span: cat/name literals, sim ts + dur (seconds), then up
+ * to three obs::TraceArg{...}. */
+#define PHOENIX_TRACE_COMPLETE(...)                                       \
+    do {                                                                  \
+        if (::phoenix::obs::traceEnabled())                               \
+            ::phoenix::obs::Tracer::global().complete(__VA_ARGS__);       \
+    } while (0)
+
+/** Instant event at a sim timestamp. */
+#define PHOENIX_TRACE_INSTANT(...)                                        \
+    do {                                                                  \
+        if (::phoenix::obs::traceEnabled())                               \
+            ::phoenix::obs::Tracer::global().instant(__VA_ARGS__);        \
+    } while (0)
+
+/** Async (id-matched) span open/close — sim-time spans whose end is
+ * not known at the start (controller replan -> recovery). */
+#define PHOENIX_TRACE_ASYNC_BEGIN(...)                                    \
+    do {                                                                  \
+        if (::phoenix::obs::traceEnabled())                               \
+            ::phoenix::obs::Tracer::global().asyncBegin(__VA_ARGS__);     \
+    } while (0)
+
+#define PHOENIX_TRACE_ASYNC_END(...)                                      \
+    do {                                                                  \
+        if (::phoenix::obs::traceEnabled())                               \
+            ::phoenix::obs::Tracer::global().asyncEnd(__VA_ARGS__);       \
+    } while (0)
+
+#endif // PHOENIX_OBS_DISABLED
+
+#endif // PHOENIX_OBS_OBS_H

@@ -1,0 +1,426 @@
+#include "registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phoenix::obs {
+
+namespace {
+
+std::atomic<bool> g_metricsEnabled{false};
+std::atomic<size_t> g_nextShard{0};
+
+/** CAS-loop double accumulation (atomic<double>::fetch_add is not
+ * guaranteed lock-free everywhere). */
+void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+std::atomic<uint64_t> g_gaugeSeq{0};
+
+} // namespace
+
+bool
+metricsEnabled()
+{
+    return g_metricsEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setMetricsEnabled(bool enabled)
+{
+    g_metricsEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+size_t
+threadShard()
+{
+    thread_local const size_t shard =
+        g_nextShard.fetch_add(1, std::memory_order_relaxed) % kMaxShards;
+    return shard;
+}
+
+// ---- Counter ------------------------------------------------------
+
+uint64_t
+Counter::value() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+void
+Counter::reset()
+{
+    for (auto &shard : shards_)
+        shard.value.store(0, std::memory_order_relaxed);
+}
+
+// ---- Gauge --------------------------------------------------------
+
+void
+Gauge::set(double value)
+{
+    if (!metricsEnabled())
+        return;
+    Slot &slot = shards_[threadShard()];
+    slot.value.store(value, std::memory_order_relaxed);
+    slot.seq.store(g_gaugeSeq.fetch_add(1, std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+}
+
+void
+Gauge::add(double delta)
+{
+    if (!metricsEnabled())
+        return;
+    Slot &slot = shards_[threadShard()];
+    atomicAdd(slot.value, delta);
+    slot.seq.store(g_gaugeSeq.fetch_add(1, std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+}
+
+double
+Gauge::value() const
+{
+    double value = 0.0;
+    uint64_t best = 0;
+    for (const auto &slot : shards_) {
+        const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        if (seq > best) {
+            best = seq;
+            value = slot.value.load(std::memory_order_relaxed);
+        }
+    }
+    return value;
+}
+
+void
+Gauge::reset()
+{
+    for (auto &slot : shards_) {
+        slot.value.store(0.0, std::memory_order_relaxed);
+        slot.seq.store(0, std::memory_order_relaxed);
+    }
+}
+
+// ---- LogHistogram -------------------------------------------------
+
+size_t
+LogHistogram::bucketIndex(double value)
+{
+    if (!(value > 0.0)) // <= 0 and NaN: underflow bucket
+        return 0;
+    int exp = 0;
+    // frexp: value = m * 2^exp with m in [0.5, 1) => rescale to [1, 2).
+    const double m = std::frexp(value, &exp) * 2.0;
+    const int octave = exp - 1 - kMinExp;
+    if (octave < 0)
+        return 0; // below range: underflow
+    if (octave >= kOctaves)
+        return kBuckets; // above range: clamp to the top bucket
+    int sub = static_cast<int>((m - 1.0) * kSubBuckets);
+    if (sub >= kSubBuckets)
+        sub = kSubBuckets - 1;
+    // +1 skips the underflow bucket at index 0.
+    return 1 + static_cast<size_t>(octave) * kSubBuckets +
+           static_cast<size_t>(sub);
+}
+
+double
+LogHistogram::bucketMidpoint(size_t index)
+{
+    if (index == 0)
+        return 0.0;
+    size_t top = index - 1;
+    if (top >= kBuckets)
+        top = kBuckets - 1;
+    const int octave = static_cast<int>(top / kSubBuckets);
+    const int sub = static_cast<int>(top % kSubBuckets);
+    const double base = std::ldexp(1.0, kMinExp + octave);
+    const double width = base / kSubBuckets;
+    return base + width * (static_cast<double>(sub) + 0.5);
+}
+
+std::atomic<uint64_t> *
+LogHistogram::bucketsFor(Shard &shard)
+{
+    std::atomic<uint64_t> *buckets =
+        shard.buckets.load(std::memory_order_acquire);
+    if (buckets)
+        return buckets;
+    // One allocation per touching thread, ever; later observes are
+    // allocation-free.
+    auto fresh = std::make_unique<std::atomic<uint64_t>[]>(kBuckets + 1);
+    for (size_t i = 0; i <= kBuckets; ++i)
+        fresh[i].store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(allocMutex_);
+    buckets = shard.buckets.load(std::memory_order_acquire);
+    if (buckets)
+        return buckets;
+    buckets = fresh.get();
+    owned_.push_back(std::move(fresh));
+    shard.buckets.store(buckets, std::memory_order_release);
+    return buckets;
+}
+
+void
+LogHistogram::observe(double value)
+{
+    if (!metricsEnabled())
+        return;
+    Shard &shard = shards_[threadShard()];
+    std::atomic<uint64_t> *buckets = bucketsFor(shard);
+    buckets[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    if (std::isfinite(value))
+        atomicAdd(shard.sum, value);
+}
+
+uint64_t
+LogHistogram::count() const
+{
+    uint64_t total = 0;
+    for (const auto &shard : shards_)
+        total += shard.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+LogHistogram::sum() const
+{
+    double total = 0.0;
+    for (const auto &shard : shards_)
+        total += shard.sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+uint64_t
+LogHistogram::thisThreadCount() const
+{
+    return shards_[threadShard()].count.load(std::memory_order_relaxed);
+}
+
+std::vector<uint64_t>
+LogHistogram::mergedBuckets() const
+{
+    std::vector<uint64_t> merged(kBuckets + 1, 0);
+    for (const auto &shard : shards_) {
+        const std::atomic<uint64_t> *buckets =
+            shard.buckets.load(std::memory_order_acquire);
+        if (!buckets)
+            continue;
+        for (size_t i = 0; i <= kBuckets; ++i)
+            merged[i] += buckets[i].load(std::memory_order_relaxed);
+    }
+    return merged;
+}
+
+double
+LogHistogram::percentile(double q) const
+{
+    const std::vector<uint64_t> merged = mergedBuckets();
+    uint64_t total = 0;
+    for (uint64_t c : merged)
+        total += c;
+    if (total == 0)
+        return -1.0;
+    q = std::clamp(q, 0.0, 100.0);
+    // Nearest rank: the k-th smallest with k = ceil(q/100 * total),
+    // at least 1.
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q / 100.0 * static_cast<double>(total)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < merged.size(); ++i) {
+        seen += merged[i];
+        if (seen >= rank)
+            return bucketMidpoint(i);
+    }
+    return bucketMidpoint(kBuckets);
+}
+
+void
+LogHistogram::reset()
+{
+    for (auto &shard : shards_) {
+        shard.count.store(0, std::memory_order_relaxed);
+        shard.sum.store(0.0, std::memory_order_relaxed);
+        std::atomic<uint64_t> *buckets =
+            shard.buckets.load(std::memory_order_acquire);
+        if (!buckets)
+            continue;
+        for (size_t i = 0; i <= kBuckets; ++i)
+            buckets[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+// ---- Registry -----------------------------------------------------
+
+Registry &
+Registry::global()
+{
+    static Registry *instance = new Registry();
+    return *instance;
+}
+
+std::string
+Registry::labeled(const std::string &family, const std::string &labelKey,
+                  const std::string &labelValue)
+{
+    return family + "{" + labelKey + "=" + labelValue + "}";
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Counter &
+Registry::counter(const std::string &family, const std::string &labelKey,
+                  const std::string &labelValue)
+{
+    return counter(labeled(family, labelKey, labelValue));
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+LogHistogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<LogHistogram>();
+    return *slot;
+}
+
+std::vector<MetricSample>
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSample> samples;
+    samples.reserve(counters_.size() + gauges_.size() +
+                    histograms_.size());
+    for (const auto &[name, counter] : counters_) {
+        MetricSample sample;
+        sample.name = name;
+        sample.kind = MetricKind::Counter;
+        sample.count = counter->value();
+        sample.value = static_cast<double>(sample.count);
+        samples.push_back(std::move(sample));
+    }
+    for (const auto &[name, gauge] : gauges_) {
+        MetricSample sample;
+        sample.name = name;
+        sample.kind = MetricKind::Gauge;
+        sample.value = gauge->value();
+        samples.push_back(std::move(sample));
+    }
+    for (const auto &[name, histogram] : histograms_) {
+        MetricSample sample;
+        sample.name = name;
+        sample.kind = MetricKind::Histogram;
+        sample.count = histogram->count();
+        sample.value = histogram->sum();
+        sample.p50 = histogram->percentile(50.0);
+        sample.p90 = histogram->percentile(90.0);
+        sample.p99 = histogram->percentile(99.0);
+        samples.push_back(std::move(sample));
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return samples;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_) {
+        (void)name;
+        counter->reset();
+    }
+    for (auto &[name, gauge] : gauges_) {
+        (void)name;
+        gauge->reset();
+    }
+    for (auto &[name, histogram] : histograms_) {
+        (void)name;
+        histogram->reset();
+    }
+}
+
+// ---- ThreadMetricDelta -------------------------------------------
+
+ThreadMetricDelta::ThreadMetricDelta()
+{
+    Registry &registry = Registry::global();
+    std::lock_guard<std::mutex> lock(registry.mutex_);
+    for (const auto &[name, counter] : registry.counters_) {
+        const uint64_t value = counter->thisThreadValue();
+        if (value != 0)
+            start_[name] = static_cast<double>(value);
+    }
+    for (const auto &[name, histogram] : registry.histograms_) {
+        const uint64_t value = histogram->thisThreadCount();
+        if (value != 0)
+            start_[name + ".count"] = static_cast<double>(value);
+    }
+}
+
+std::vector<std::pair<std::string, double>>
+ThreadMetricDelta::finish() const
+{
+    Registry &registry = Registry::global();
+    std::vector<std::pair<std::string, double>> deltas;
+    std::lock_guard<std::mutex> lock(registry.mutex_);
+    auto startOf = [this](const std::string &name) {
+        auto it = start_.find(name);
+        return it == start_.end() ? 0.0 : it->second;
+    };
+    for (const auto &[name, counter] : registry.counters_) {
+        const double delta =
+            static_cast<double>(counter->thisThreadValue()) -
+            startOf(name);
+        if (delta != 0.0)
+            deltas.emplace_back(name, delta);
+    }
+    for (const auto &[name, histogram] : registry.histograms_) {
+        const std::string key = name + ".count";
+        const double delta =
+            static_cast<double>(histogram->thisThreadCount()) -
+            startOf(key);
+        if (delta != 0.0)
+            deltas.emplace_back(key, delta);
+    }
+    // map iteration is already name-sorted per kind; merge-sort the
+    // two runs into one deterministic order.
+    std::sort(deltas.begin(), deltas.end());
+    return deltas;
+}
+
+} // namespace phoenix::obs

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * log-bucketed histograms with per-thread sharded storage.
+ *
+ * Every metric stores its state in kMaxShards cache-line-padded slots
+ * indexed by a per-thread shard id, so hot-path updates are a single
+ * relaxed atomic op on a thread-private line — lock-free, wait-free,
+ * and allocation-free (histograms allocate their bucket array once per
+ * touching thread, then never again). The registry mutex guards only
+ * registration and snapshotting, never updates.
+ *
+ * Determinism: counter and histogram merges are integer sums over
+ * shards, so a snapshot is independent of thread schedule; gauges
+ * resolve to the last write by a global sequence number. Per-cell
+ * capture (ThreadMetricDelta) reads only the calling thread's shard —
+ * exact for the exp engine, where one sweep cell runs start-to-finish
+ * on one pool thread.
+ *
+ * The sketch bound: a LogHistogram subdivides each power-of-two octave
+ * into S linear sub-buckets and reports bucket midpoints, so any
+ * reported quantile is within a relative error of 1/(2S) of the exact
+ * nearest-rank sample value (default S = 32: <= 1.5625%). The bound is
+ * asserted against util::percentile by Obs.SketchErrorBound.
+ */
+
+#ifndef PHOENIX_OBS_REGISTRY_H
+#define PHOENIX_OBS_REGISTRY_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace phoenix::obs {
+
+/** Global metrics switch; metrics record only while enabled. */
+bool metricsEnabled();
+void setMetricsEnabled(bool enabled);
+
+/** Per-thread shard slot (threads beyond kMaxShards share slots;
+ * updates stay correct, per-thread capture does not — the exp pool
+ * caps well below this). */
+constexpr size_t kMaxShards = 64;
+
+/** This thread's shard index (assigned once, round-robin). */
+size_t threadShard();
+
+namespace detail {
+struct alignas(64) CounterShard
+{
+    std::atomic<uint64_t> value{0};
+};
+} // namespace detail
+
+/** Monotone event counter. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        if (!metricsEnabled())
+            return;
+        shards_[threadShard()].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    void inc() { add(1); }
+
+    /** Sum over all shards (schedule-independent). */
+    uint64_t value() const;
+
+    /** This thread's shard only (per-cell capture). */
+    uint64_t
+    thisThreadValue() const
+    {
+        return shards_[threadShard()].value.load(
+            std::memory_order_relaxed);
+    }
+
+    void reset();
+
+  private:
+    std::array<detail::CounterShard, kMaxShards> shards_;
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge
+{
+  public:
+    void set(double value);
+    void add(double delta);
+
+    /** The most recent set()/add() result, resolved by a global
+     * write sequence (deterministic given a deterministic writer). */
+    double value() const;
+
+    void reset();
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<double> value{0.0};
+        std::atomic<uint64_t> seq{0};
+    };
+    std::array<Slot, kMaxShards> shards_;
+};
+
+/**
+ * HDR-style log-bucketed sketch: kOctaves power-of-two octaves, each
+ * split into kSubBuckets linear sub-buckets. Values below the smallest
+ * representable magnitude (or <= 0, or NaN) land in a dedicated
+ * underflow bucket represented as 0; values above the range clamp into
+ * the top bucket.
+ */
+class LogHistogram
+{
+  public:
+    /** Sub-buckets per octave: relative error <= 1/(2*kSubBuckets). */
+    static constexpr int kSubBuckets = 32;
+    /** Smallest tracked octave: 2^kMinExp (~9.3e-10). */
+    static constexpr int kMinExp = -30;
+    /** Octave count: covers up to 2^(kMinExp+kOctaves) (~1.8e10). */
+    static constexpr int kOctaves = 64;
+    static constexpr size_t kBuckets =
+        static_cast<size_t>(kOctaves) * kSubBuckets;
+
+    /** Guaranteed relative quantile error bound. */
+    static constexpr double kRelativeErrorBound =
+        1.0 / (2.0 * kSubBuckets);
+
+    void observe(double value);
+
+    /** Total observations (all shards). */
+    uint64_t count() const;
+    /** Sum of observed values (all shards; fp sum in shard order). */
+    double sum() const;
+
+    /**
+     * Nearest-rank quantile from the merged buckets: the midpoint of
+     * the bucket holding the ceil(q/100 * count)-th smallest
+     * observation. q clamps to [0, 100]; returns -1 when empty.
+     * Underflow observations report 0.
+     */
+    double percentile(double q) const;
+
+    /** Merged bucket counts (underflow bucket first). */
+    std::vector<uint64_t> mergedBuckets() const;
+
+    /** This thread's observation count (per-cell capture). */
+    uint64_t thisThreadCount() const;
+
+    void reset();
+
+    /** Bucket index for a value (exposed for the error-bound test). */
+    static size_t bucketIndex(double value);
+    /** Midpoint of bucket @p index in value space. */
+    static double bucketMidpoint(size_t index);
+
+  private:
+    struct Shard
+    {
+        std::atomic<uint64_t> count{0};
+        std::atomic<double> sum{0.0};
+        /** Lazily installed bucket array (one alloc per thread). */
+        std::atomic<std::atomic<uint64_t> *> buckets{nullptr};
+    };
+
+    std::atomic<uint64_t> *bucketsFor(Shard &shard);
+
+    std::array<Shard, kMaxShards> shards_;
+    /** Owns the lazily created bucket arrays. */
+    std::mutex allocMutex_;
+    std::vector<std::unique_ptr<std::atomic<uint64_t>[]>> owned_;
+};
+
+/** Metric kind tag for snapshots. */
+enum class MetricKind { Counter, Gauge, Histogram };
+
+/** One merged metric in a snapshot. */
+struct MetricSample
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    /** Counter: total. Histogram: observation count. Gauge: 0. */
+    uint64_t count = 0;
+    /** Gauge: value. Histogram: sum. Counter: total as double. */
+    double value = 0.0;
+    /** Histogram quantiles (midpoint representatives); -1 if empty. */
+    double p50 = -1.0;
+    double p90 = -1.0;
+    double p99 = -1.0;
+};
+
+/**
+ * The process-wide registry. counter()/gauge()/histogram() find or
+ * create by full name; returned references are stable for the process
+ * lifetime. The "family{key=value}" convention builds labeled names.
+ */
+class Registry
+{
+  public:
+    static Registry &global();
+
+    Counter &counter(const std::string &name);
+    Counter &counter(const std::string &family,
+                     const std::string &labelKey,
+                     const std::string &labelValue);
+    Gauge &gauge(const std::string &name);
+    LogHistogram &histogram(const std::string &name);
+
+    /** Merged snapshot of every registered metric, name-sorted. */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Zero every metric (registrations survive). */
+    void reset();
+
+    /** "family{key=value}" label mangling. */
+    static std::string labeled(const std::string &family,
+                               const std::string &labelKey,
+                               const std::string &labelValue);
+
+  private:
+    Registry() = default;
+
+    friend class ThreadMetricDelta;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<LogHistogram>> histograms_;
+};
+
+/**
+ * Per-cell metric capture: snapshots the calling thread's counter and
+ * histogram shard at construction, and finish() returns the nonzero
+ * deltas since then as (name, delta) pairs, name-sorted. Exact when
+ * the enclosed work runs entirely on the constructing thread (the exp
+ * engine's per-cell contract). Restricting to *nonzero* deltas keeps
+ * the key set deterministic across thread schedules: it depends only
+ * on what the cell itself did.
+ */
+class ThreadMetricDelta
+{
+  public:
+    ThreadMetricDelta();
+
+    std::vector<std::pair<std::string, double>> finish() const;
+
+  private:
+    /** Counter/histogram-count values at construction, by name. */
+    std::map<std::string, double> start_;
+};
+
+} // namespace phoenix::obs
+
+#endif // PHOENIX_OBS_REGISTRY_H

@@ -1,0 +1,334 @@
+#include "trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace phoenix::obs {
+
+namespace {
+
+std::atomic<bool> g_traceEnabled{false};
+
+thread_local uint32_t t_currentTrack = 0;
+
+/** Bumped by Tracer::clear() so every thread's cached track pointer
+ * is invalidated, not just the clearing thread's. */
+std::atomic<uint64_t> g_trackGeneration{0};
+
+/** Per-thread cache of the last (track, buffer) resolution so steady
+ * recording never touches the registration mutex. */
+struct TrackCache
+{
+    uint32_t track = 0;
+    uint64_t generation = 0;
+    void *buffer = nullptr;
+};
+thread_local TrackCache t_trackCache;
+
+const char *
+phaseOf(TraceType type)
+{
+    switch (type) {
+    case TraceType::Complete: return "X";
+    case TraceType::Instant: return "i";
+    case TraceType::AsyncBegin: return "b";
+    case TraceType::AsyncEnd: return "e";
+    }
+    return "i";
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    return g_traceEnabled.load(std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool enabled)
+{
+    g_traceEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+void
+setCurrentTrack(uint32_t track)
+{
+    t_currentTrack = track;
+}
+
+uint32_t
+currentTrack()
+{
+    return t_currentTrack;
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer *instance = new Tracer();
+    return *instance;
+}
+
+void
+Tracer::setTrackCapacity(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    trackCapacity_ = capacity ? capacity : 1;
+}
+
+void
+Tracer::setCaptureWallTime(bool capture)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    captureWallTime_ = capture;
+}
+
+void
+Tracer::nameTrack(uint32_t track, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    trackNames_[track] = name;
+}
+
+Tracer::Track *
+Tracer::trackFor(uint32_t track)
+{
+    const uint64_t generation =
+        g_trackGeneration.load(std::memory_order_acquire);
+    if (t_trackCache.buffer && t_trackCache.track == track &&
+        t_trackCache.generation == generation) {
+        return static_cast<Track *>(t_trackCache.buffer);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = tracks_[track];
+    if (!slot) {
+        slot = std::make_unique<Track>();
+        slot->capacity = trackCapacity_;
+        slot->events.reserve(trackCapacity_);
+    }
+    t_trackCache.track = track;
+    t_trackCache.generation = generation;
+    t_trackCache.buffer = slot.get();
+    return slot.get();
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    event.track = t_currentTrack;
+    Track *track = trackFor(event.track);
+    if (track->events.size() >= track->capacity) {
+        track->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    if (captureWallTime_) {
+        const auto now = std::chrono::steady_clock::now()
+                             .time_since_epoch()
+                             .count();
+        int64_t epoch = wallEpochNs_.load(std::memory_order_relaxed);
+        if (epoch < 0) {
+            int64_t expected = -1;
+            wallEpochNs_.compare_exchange_strong(
+                expected, now, std::memory_order_relaxed);
+            epoch = wallEpochNs_.load(std::memory_order_relaxed);
+        }
+        event.wallTs = static_cast<double>(now - epoch) * 1e-9;
+    }
+    track->events.push_back(event);
+}
+
+void
+Tracer::complete(const char *category, const char *name, double ts,
+                 double dur, TraceArg a0, TraceArg a1, TraceArg a2)
+{
+    if (!traceEnabled())
+        return;
+    TraceEvent event;
+    event.category = category;
+    event.name = name;
+    event.type = TraceType::Complete;
+    event.ts = ts;
+    event.dur = dur;
+    event.args[0] = a0;
+    event.args[1] = a1;
+    event.args[2] = a2;
+    record(event);
+}
+
+void
+Tracer::instant(const char *category, const char *name, double ts,
+                TraceArg a0, TraceArg a1, TraceArg a2)
+{
+    if (!traceEnabled())
+        return;
+    TraceEvent event;
+    event.category = category;
+    event.name = name;
+    event.type = TraceType::Instant;
+    event.ts = ts;
+    event.args[0] = a0;
+    event.args[1] = a1;
+    event.args[2] = a2;
+    record(event);
+}
+
+void
+Tracer::asyncBegin(const char *category, const char *name, uint64_t id,
+                   double ts, TraceArg a0, TraceArg a1)
+{
+    if (!traceEnabled())
+        return;
+    TraceEvent event;
+    event.category = category;
+    event.name = name;
+    event.type = TraceType::AsyncBegin;
+    event.id = id;
+    event.ts = ts;
+    event.args[0] = a0;
+    event.args[1] = a1;
+    record(event);
+}
+
+void
+Tracer::asyncEnd(const char *category, const char *name, uint64_t id,
+                 double ts, TraceArg a0, TraceArg a1)
+{
+    if (!traceEnabled())
+        return;
+    TraceEvent event;
+    event.category = category;
+    event.name = name;
+    event.type = TraceType::AsyncEnd;
+    event.id = id;
+    event.ts = ts;
+    event.args[0] = a0;
+    event.args[1] = a1;
+    record(event);
+}
+
+uint64_t
+Tracer::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t total = 0;
+    for (const auto &[id, track] : tracks_) {
+        (void)id;
+        total += track->dropped.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+size_t
+Tracer::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t total = 0;
+    for (const auto &[id, track] : tracks_) {
+        (void)id;
+        total += track->events.size();
+    }
+    return total;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    tracks_.clear();
+    trackNames_.clear();
+    wallEpochNs_.store(-1, std::memory_order_relaxed);
+    // Invalidate every thread's cached track pointer (they reference
+    // the Track objects just freed). clear() still requires recording
+    // quiescence, same as export.
+    g_trackGeneration.fetch_add(1, std::memory_order_acq_rel);
+}
+
+namespace {
+
+void
+writeEventJson(std::ostream &os, const TraceEvent &event,
+               bool includeWall)
+{
+    os << "{\"name\":" << util::jsonQuote(event.name)
+       << ",\"cat\":" << util::jsonQuote(event.category)
+       << ",\"ph\":\"" << phaseOf(event.type) << "\""
+       << ",\"pid\":0,\"tid\":" << event.track
+       << ",\"ts\":" << util::jsonNumber(event.ts * 1e6);
+    if (event.type == TraceType::Complete)
+        os << ",\"dur\":" << util::jsonNumber(event.dur * 1e6);
+    if (event.type == TraceType::AsyncBegin ||
+        event.type == TraceType::AsyncEnd) {
+        os << ",\"id\":" << event.id;
+    }
+    bool anyArg = false;
+    for (const TraceArg &arg : event.args) {
+        if (arg.name)
+            anyArg = true;
+    }
+    const bool wall = includeWall && event.wallTs >= 0.0;
+    if (anyArg || wall) {
+        os << ",\"args\":{";
+        bool first = true;
+        for (const TraceArg &arg : event.args) {
+            if (!arg.name)
+                continue;
+            if (!first)
+                os << ",";
+            first = false;
+            os << util::jsonQuote(arg.name) << ":"
+               << util::jsonNumber(arg.value);
+        }
+        if (wall) {
+            if (!first)
+                os << ",";
+            os << "\"wall_s\":" << util::jsonNumber(event.wallTs);
+        }
+        os << "}";
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+Tracer::exportChromeJson(std::ostream &os, bool includeWall) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto &[id, name] : trackNames_) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,"
+              "\"tid\":"
+           << id << ",\"args\":{\"name\":" << util::jsonQuote(name)
+           << "}}";
+    }
+    // tracks_ iterates ascending by track id, and each track's events
+    // are in recording order — deterministic for any thread schedule.
+    for (const auto &[id, track] : tracks_) {
+        (void)id;
+        for (const TraceEvent &event : track->events) {
+            if (!first)
+                os << ",";
+            first = false;
+            writeEventJson(os, event, includeWall);
+        }
+    }
+    os << "]}\n";
+}
+
+std::string
+Tracer::canonicalString() const
+{
+    std::ostringstream oss;
+    exportChromeJson(oss, /*includeWall=*/false);
+    return oss.str();
+}
+
+} // namespace phoenix::obs

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Sim-time tracer: spans and instant events stamped with *simulated*
+ * time, exported as Chrome trace-event JSON loadable in Perfetto or
+ * chrome://tracing.
+ *
+ * Events are recorded into per-track ring buffers. A track is one
+ * logical timeline — the exp engine assigns one track per sweep cell
+ * — and, by the engine's per-cell contract, a track is only ever
+ * written by the single thread currently running that cell, so
+ * recording is lock-free after the track's first event. Each track's
+ * ring has a fixed capacity; once full, further events in that track
+ * are dropped (and counted), never displacing earlier ones — so the
+ * retained event set per track depends only on the simulation, not on
+ * which pool thread ran it or what else shared the process.
+ *
+ * Determinism contract (extends PR1's engine contract to the trace):
+ * every field of the canonical export — track, category, name, sim
+ * timestamp, sim duration, args — derives from the deterministic
+ * simulation. Host wall time is optionally captured per event but is
+ * excluded from the canonical export, exactly like the wall-clock
+ * fields OpCounters keeps out of canonicalMetricString. The
+ * trace-determinism ctest compares canonical exports across
+ * --jobs {1,4,16}.
+ *
+ * Category and name strings must be string literals (or otherwise
+ * outlive the tracer): events store the pointers, keeping recording
+ * allocation-free.
+ */
+
+#ifndef PHOENIX_OBS_TRACE_H
+#define PHOENIX_OBS_TRACE_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace phoenix::obs {
+
+/** Global tracing switch; events record only while enabled. */
+bool traceEnabled();
+void setTraceEnabled(bool enabled);
+
+/** The track subsequent events on this thread are recorded to. The
+ * exp engine sets this to the cell index before running a cell. */
+void setCurrentTrack(uint32_t track);
+uint32_t currentTrack();
+
+/** Chrome trace-event phases we emit. */
+enum class TraceType : uint8_t {
+    Complete,   //!< ph "X": ts + dur
+    Instant,    //!< ph "i"
+    AsyncBegin, //!< ph "b": id-matched span open
+    AsyncEnd,   //!< ph "e": id-matched span close
+};
+
+/** One optional numeric argument (argument names are literals). */
+struct TraceArg
+{
+    const char *name = nullptr;
+    double value = 0.0;
+};
+
+struct TraceEvent
+{
+    const char *category = nullptr;
+    const char *name = nullptr;
+    TraceType type = TraceType::Instant;
+    uint32_t track = 0;
+    /** Async begin/end matching id (unique per track). */
+    uint64_t id = 0;
+    double ts = 0.0;  //!< simulated seconds
+    double dur = 0.0; //!< simulated seconds (Complete only)
+    /** Host wall seconds since tracer construction; captured only
+     * when captureWallTime is on, never canonical. */
+    double wallTs = -1.0;
+    TraceArg args[3];
+};
+
+class Tracer
+{
+  public:
+    static Tracer &global();
+
+    /** Ring capacity (events) applied to tracks created after the
+     * call. Default 1 << 15 per track. */
+    void setTrackCapacity(size_t capacity);
+
+    /** Capture host wall time per event (non-canonical; off by
+     * default so enabling it cannot perturb determinism checks). */
+    void setCaptureWallTime(bool capture);
+
+    /** Human-readable track label, emitted as Chrome thread_name
+     * metadata. */
+    void nameTrack(uint32_t track, const std::string &name);
+
+    // --- Recording (no-ops while tracing is disabled) -------------
+    void complete(const char *category, const char *name, double ts,
+                  double dur, TraceArg a0 = {}, TraceArg a1 = {},
+                  TraceArg a2 = {});
+    void instant(const char *category, const char *name, double ts,
+                 TraceArg a0 = {}, TraceArg a1 = {}, TraceArg a2 = {});
+    void asyncBegin(const char *category, const char *name, uint64_t id,
+                    double ts, TraceArg a0 = {}, TraceArg a1 = {});
+    void asyncEnd(const char *category, const char *name, uint64_t id,
+                  double ts, TraceArg a0 = {}, TraceArg a1 = {});
+
+    /** Events dropped across all tracks (full rings). */
+    uint64_t dropped() const;
+
+    /** Total retained events. */
+    size_t size() const;
+
+    /** Drop every event, track registration, and track name. */
+    void clear();
+
+    /**
+     * Chrome trace-event JSON: {"traceEvents":[...]} with ts/dur in
+     * microseconds of simulated time, one Chrome "thread" per track.
+     * @p includeWall adds a non-canonical "wall_s" arg to events that
+     * captured one.
+     */
+    void exportChromeJson(std::ostream &os,
+                          bool includeWall = false) const;
+
+    /** The canonical byte string the determinism test compares:
+     * exportChromeJson without wall time. */
+    std::string canonicalString() const;
+
+  private:
+    Tracer() = default;
+
+    struct Track
+    {
+        std::vector<TraceEvent> events; //!< reserved to capacity
+        size_t capacity = 0;
+        std::atomic<uint64_t> dropped{0};
+    };
+
+    void record(TraceEvent event);
+    Track *trackFor(uint32_t track);
+
+    mutable std::mutex mutex_; //!< guards the maps, not recording
+    std::map<uint32_t, std::unique_ptr<Track>> tracks_;
+    std::map<uint32_t, std::string> trackNames_;
+    size_t trackCapacity_ = size_t{1} << 15;
+    bool captureWallTime_ = false;
+    std::atomic<int64_t> wallEpochNs_{-1};
+};
+
+} // namespace phoenix::obs
+
+#endif // PHOENIX_OBS_TRACE_H

@@ -138,6 +138,11 @@ ScenarioRunner::ScenarioRunner(EventQueue &events, FaultTarget &target,
       options_(options), rng_(options.seed),
       firstFailureAt_(scenario_.firstFailureAt())
 {
+    auto &registry = obs::Registry::global();
+    obs_.nodeFailures = &registry.counter("scenario.node_failures");
+    obs_.nodeRecoveries = &registry.counter("scenario.node_recoveries");
+    obs_.steps = &registry.counter("scenario.steps");
+
     for (const Scenario::Step &step : scenario_.steps())
         armStep(step);
 }
@@ -194,6 +199,10 @@ ScenarioRunner::failNode(NodeId node)
         return;
     down_.insert(node);
     trace_.push_back({events_.now(), ScenarioAction::Fail, node});
+    PHOENIX_COUNT(*obs_.nodeFailures, 1);
+    PHOENIX_TRACE_INSTANT("scenario", "fail", events_.now(),
+                          (obs::TraceArg{
+                              "node", static_cast<double>(node)}));
     target_.injectNodeFailure(node);
 }
 
@@ -203,6 +212,10 @@ ScenarioRunner::recoverNode(NodeId node)
     if (!down_.erase(node))
         return;
     trace_.push_back({events_.now(), ScenarioAction::Recover, node});
+    PHOENIX_COUNT(*obs_.nodeRecoveries, 1);
+    PHOENIX_TRACE_INSTANT("scenario", "recover", events_.now(),
+                          (obs::TraceArg{
+                              "node", static_cast<double>(node)}));
     target_.injectNodeRecovery(node);
 }
 
@@ -210,6 +223,7 @@ void
 ScenarioRunner::runStep(const Scenario::Step &step)
 {
     using Kind = Scenario::Step::Kind;
+    PHOENIX_COUNT(*obs_.steps, 1);
     switch (step.kind) {
     case Kind::FailNodes:
         for (NodeId node : step.nodes)

@@ -24,6 +24,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "sim/types.h"
 #include "util/rng.h"
@@ -172,6 +173,15 @@ class ScenarioRunner
     std::set<NodeId> down_;
     std::vector<ScenarioTraceEntry> trace_;
     SimTime firstFailureAt_ = -1.0;
+
+    /** obs handles, resolved once at construction. */
+    struct ObsHandles
+    {
+        obs::Counter *nodeFailures = nullptr;
+        obs::Counter *nodeRecoveries = nullptr;
+        obs::Counter *steps = nullptr;
+    };
+    ObsHandles obs_;
 };
 
 } // namespace phoenix::sim

@@ -31,8 +31,15 @@ stddev(const std::vector<double> &sample)
 double
 percentile(std::vector<double> sample, double q)
 {
+    if (std::isnan(q))
+        return kNoSample;
+    // NaN observations carry no order information; drop them rather
+    // than letting them poison the sort.
+    sample.erase(std::remove_if(sample.begin(), sample.end(),
+                                [](double x) { return std::isnan(x); }),
+                 sample.end());
     if (sample.empty())
-        return 0.0;
+        return kNoSample;
     std::sort(sample.begin(), sample.end());
     if (q <= 0.0)
         return sample.front();
@@ -85,8 +92,8 @@ RunningStat::stddev() const
 }
 
 Histogram::Histogram(double lo, double hi, size_t buckets)
-    : lo_(lo), hi_(hi),
-      width_((hi - lo) / static_cast<double>(buckets ? buckets : 1)),
+    : lo_(lo), hi_(std::max(hi, lo)),
+      width_((hi_ - lo) / static_cast<double>(buckets ? buckets : 1)),
       counts_(buckets ? buckets : 1, 0)
 {
 }
@@ -94,10 +101,15 @@ Histogram::Histogram(double lo, double hi, size_t buckets)
 void
 Histogram::add(double x)
 {
-    double clamped = std::clamp(x, lo_, hi_);
-    auto idx = static_cast<size_t>((clamped - lo_) / width_);
-    if (idx >= counts_.size())
-        idx = counts_.size() - 1;
+    if (std::isnan(x))
+        return; // no order information; ignore rather than misfile
+    size_t idx = 0;
+    if (width_ > 0.0) {
+        const double clamped = std::clamp(x, lo_, hi_);
+        idx = static_cast<size_t>((clamped - lo_) / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+    }
     ++counts_[idx];
     ++total_;
 }
@@ -105,8 +117,13 @@ Histogram::add(double x)
 double
 Histogram::percentile(double q) const
 {
-    if (total_ == 0)
-        return 0.0;
+    if (total_ == 0 || std::isnan(q))
+        return kNoSample;
+    q = std::clamp(q, 0.0, 100.0);
+    // lo == hi: every observation sits at the single representable
+    // point, whatever the quantile.
+    if (width_ <= 0.0)
+        return lo_;
     const double target = q / 100.0 * static_cast<double>(total_);
     double seen = 0.0;
     for (size_t i = 0; i < counts_.size(); ++i) {

@@ -13,6 +13,14 @@
 
 namespace phoenix::util {
 
+/**
+ * The "no sample" sentinel every percentile-style accessor returns on
+ * an empty population: util::percentile, util::Histogram::percentile,
+ * obs::LogHistogram::percentile and apps::LoadStats all report -1, so
+ * a consumer can always tell "no data" from a legitimate 0.
+ */
+constexpr double kNoSample = -1.0;
+
 /** Arithmetic mean; 0 for an empty sample. */
 double mean(const std::vector<double> &sample);
 
@@ -21,7 +29,9 @@ double stddev(const std::vector<double> &sample);
 
 /**
  * Linear-interpolation percentile (the "inclusive" definition used by
- * numpy.percentile). @p q is in [0, 100]. Returns 0 for an empty sample.
+ * numpy.percentile). @p q clamps to [0, 100]; NaN observations are
+ * ignored. Returns kNoSample when no (finite-or-infinite) observations
+ * remain, or when @p q is NaN.
  */
 double percentile(std::vector<double> sample, double q);
 
@@ -55,7 +65,9 @@ class RunningStat
 /**
  * Fixed-width histogram over [lo, hi); values outside are clamped into
  * the first/last bucket. Used by latency models to extract percentiles
- * from large request populations cheaply.
+ * from large request populations cheaply. Degenerate shapes are legal:
+ * zero buckets collapse to one, lo >= hi collapses to a single bucket
+ * reporting lo, and NaN observations are ignored.
  */
 class Histogram
 {
@@ -65,7 +77,8 @@ class Histogram
     void add(double x);
     size_t total() const { return total_; }
 
-    /** Approximate q-th percentile (q in [0, 100]). */
+    /** Approximate q-th percentile; @p q clamps to [0, 100]. Returns
+     * kNoSample when the histogram is empty or @p q is NaN. */
     double percentile(double q) const;
 
     const std::vector<size_t> &buckets() const { return counts_; }

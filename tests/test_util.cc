@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -158,7 +160,30 @@ TEST(Stats, MeanStdPercentile)
     EXPECT_NEAR(percentile(xs, 25), 2.0, 1e-9);
     EXPECT_NEAR(sum(xs), 15.0, 1e-9);
     EXPECT_NEAR(mean({}), 0.0, 1e-9);
-    EXPECT_NEAR(percentile({}, 50), 0.0, 1e-9);
+    // Empty-sample convention: kNoSample, never a fake 0.
+    EXPECT_NEAR(percentile({}, 50), kNoSample, 1e-9);
+}
+
+TEST(Stats, PercentileEdgeCases)
+{
+    const std::vector<double> xs{1, 2, 3, 4, 5};
+    // q outside [0, 100] clamps to the extremes.
+    EXPECT_NEAR(percentile(xs, -10.0), 1.0, 1e-9);
+    EXPECT_NEAR(percentile(xs, 250.0), 5.0, 1e-9);
+    // NaN q is unanswerable.
+    EXPECT_NEAR(percentile(xs, std::nan("")), kNoSample, 1e-9);
+    // NaN observations are dropped, not sorted.
+    const double nan = std::nan("");
+    EXPECT_NEAR(percentile({nan, 2.0, nan, 4.0}, 100.0), 4.0, 1e-9);
+    EXPECT_NEAR(percentile({nan, nan}, 50.0), kNoSample, 1e-9);
+    // Infinities order normally.
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(percentile({-inf, 1.0, 2.0}, 0.0), -inf);
+    EXPECT_EQ(percentile({1.0, inf}, 100.0), inf);
+    // Single observation answers every quantile.
+    EXPECT_NEAR(percentile({7.0}, 0.0), 7.0, 1e-9);
+    EXPECT_NEAR(percentile({7.0}, 50.0), 7.0, 1e-9);
+    EXPECT_NEAR(percentile({7.0}, 100.0), 7.0, 1e-9);
 }
 
 TEST(Stats, RunningStatMatchesBatch)
@@ -192,6 +217,41 @@ TEST(Stats, HistogramPercentiles)
     hist.add(-10.0);
     hist.add(500.0);
     EXPECT_EQ(hist.total(), 1002u);
+}
+
+TEST(Stats, HistogramEdgeCases)
+{
+    // Empty: kNoSample, matching util::percentile.
+    Histogram empty(0.0, 10.0, 10);
+    EXPECT_NEAR(empty.percentile(50), kNoSample, 1e-9);
+
+    // q clamps; NaN q is unanswerable, NaN observations are ignored.
+    Histogram hist(0.0, 10.0, 10);
+    hist.add(std::nan(""));
+    EXPECT_EQ(hist.total(), 0u);
+    hist.add(5.0);
+    EXPECT_NEAR(hist.percentile(-5.0), hist.percentile(0.0), 1e-9);
+    EXPECT_NEAR(hist.percentile(900.0), hist.percentile(100.0), 1e-9);
+    EXPECT_NEAR(hist.percentile(std::nan("")), kNoSample, 1e-9);
+
+    // Zero buckets collapse to one.
+    Histogram single(0.0, 10.0, 0);
+    single.add(3.0);
+    single.add(8.0);
+    EXPECT_EQ(single.total(), 2u);
+    EXPECT_EQ(single.buckets().size(), 1u);
+    EXPECT_NEAR(single.percentile(50), 5.0, 1e-9);
+
+    // lo == hi (and lo > hi): a single degenerate point at lo, with
+    // no division by the zero bucket width.
+    Histogram degenerate(4.0, 4.0, 8);
+    degenerate.add(4.0);
+    degenerate.add(100.0);
+    EXPECT_EQ(degenerate.total(), 2u);
+    EXPECT_NEAR(degenerate.percentile(50), 4.0, 1e-9);
+    Histogram inverted(6.0, 2.0, 4);
+    inverted.add(1.0);
+    EXPECT_NEAR(inverted.percentile(99), 6.0, 1e-9);
 }
 
 TEST(SortedKv, BestFitQueries)
