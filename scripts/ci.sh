@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # The one-command CI gate: tier-1 build + full ctest (which includes
-# the fuzz/recovery/fig8b smoke gates), then the suite again under
+# the fuzz/recovery/serve/fig8b smoke gates), then the suite again under
 # ASan and UBSan via scripts/sanitize.sh. Any failure — a test, a
 # smoke-gate bound, a sanitizer report — fails the script.
 #
@@ -32,14 +32,14 @@ cmake --build "$BUILD" -j "$JOBS"
 
 step "tier-1 ctest (unit + property + corpus suites)"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
-    -E '^(fuzz_smoke|recovery_smoke|fig8b_smoke|fuzz_long)$'
+    -E '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|fuzz_long)$'
 
 # The smoke gates run serially and last so their bound assertions
-# (fig8b op counters, Fig 6 recovery times, oracle cleanliness) are
-# easy to spot in the log.
-step "smoke gates: fuzz_smoke, recovery_smoke, fig8b_smoke"
+# (fig8b op counters, Fig 6 recovery times, serving SLO/shed bounds,
+# oracle cleanliness) are easy to spot in the log.
+step "smoke gates: fuzz_smoke, recovery_smoke, serve_smoke, fig8b_smoke"
 ctest --test-dir "$BUILD" --output-on-failure \
-    -R '^(fuzz_smoke|recovery_smoke|fig8b_smoke)$'
+    -R '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke)$'
 
 if [[ "$FAST" == "1" ]]; then
   step "--fast: skipping sanitizer builds"

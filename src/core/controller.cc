@@ -140,6 +140,8 @@ PhoenixController::poll()
                            static_cast<double>(record.restarts)}));
         execute(result);
         history_.push_back(record);
+        if (observer_)
+            observer_(result, history_.back());
     }
     lastCapacity_ = capacity;
 

@@ -14,6 +14,7 @@
 #define PHOENIX_CORE_CONTROLLER_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -74,6 +75,21 @@ class PhoenixController
         return target_;
     }
 
+    /**
+     * Observer invoked after every replan, with the scheme result
+     * (ranked plan + planned state + actions) and the replan record.
+     * The serving layer's admission controller subscribes here: the
+     * planner's criticality ranking and planned target are what turn
+     * front-door shedding cooperative. Runs inside the poll event,
+     * after the actions were issued to the cluster.
+     */
+    using ReplanObserver = std::function<void(const SchemeResult &,
+                                              const ReplanRecord &)>;
+    void setReplanObserver(ReplanObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
   private:
     void poll();
     void execute(const SchemeResult &result);
@@ -93,6 +109,7 @@ class PhoenixController
     std::vector<Action> deferredMoves_;
     /** Invalidates in-flight drain waits when a new plan lands. */
     uint64_t planGeneration_ = 0;
+    ReplanObserver observer_;
 
     /** obs handles, resolved once at construction. */
     struct ObsHandles

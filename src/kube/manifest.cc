@@ -4,6 +4,7 @@
 #include <cctype>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 
 namespace phoenix::kube {
@@ -67,7 +68,9 @@ parseList(const std::string &value)
     return items;
 }
 
-/** One service entry as raw fields. */
+/** One service entry as raw fields; declaration lines remembered so
+ * document-finalization errors point at the offending entry, not the
+ * document separator. */
 struct RawService
 {
     std::string name;
@@ -77,48 +80,79 @@ struct RawService
     int quorum = 0;
     std::vector<std::string> upstream;
     bool sawCpu = false;
+    size_t declaredAt = 0;
 };
+
+ManifestError
+makeError(size_t line, std::string field, std::string message)
+{
+    ManifestError error;
+    error.line = line;
+    error.field = std::move(field);
+    error.message = std::move(message);
+    return error;
+}
 
 } // namespace
 
-std::optional<std::vector<Application>>
-parseManifest(const std::string &text, std::string *error)
+std::string
+ManifestError::toString() const
 {
-    auto fail = [&](size_t line_no, const std::string &message)
-        -> std::optional<std::vector<Application>> {
-        if (error) {
-            *error = message + " (line " + std::to_string(line_no) +
-                     ")";
-        }
-        return std::nullopt;
-    };
+    std::string out = message + " (line " + std::to_string(line);
+    if (!field.empty())
+        out += ", field '" + field + "'";
+    out += ")";
+    return out;
+}
 
-    std::vector<Application> apps;
+ManifestParse
+parseManifestStructured(const std::string &text)
+{
+    ManifestParse result;
 
     // Per-document state.
     bool have_app = false;
+    bool poisoned = false; // error seen: skip to the next document
     Application app;
     std::vector<RawService> services;
     bool in_services = false;
+    std::set<std::string> app_names;
 
+    auto reset_document = [&] {
+        app = Application{};
+        services.clear();
+        have_app = false;
+        in_services = false;
+    };
+
+    // Validate and commit the current document; returns the error
+    // that rejected it, if any.
     auto finish_document =
-        [&](size_t line_no) -> std::optional<std::string> {
-        if (!have_app)
-            return std::nullopt; // empty document
+        [&](size_t line_no) -> std::optional<ManifestError> {
+        if (!have_app || poisoned)
+            return std::nullopt; // empty or already-reported document
         if (services.empty()) {
-            return "application '" + app.name + "' has no services";
+            return makeError(line_no, "services",
+                             "application '" + app.name +
+                                 "' has no services");
         }
         std::map<std::string, MsId> by_name;
         for (MsId m = 0; m < services.size(); ++m) {
-            if (services[m].name.empty())
-                return "service without a name";
-            if (!services[m].sawCpu || services[m].cpu <= 0.0) {
-                return "service '" + services[m].name +
-                       "' needs a positive cpu";
+            const RawService &svc = services[m];
+            if (svc.name.empty())
+                return makeError(svc.declaredAt, "name",
+                                 "service without a name");
+            if (!svc.sawCpu || svc.cpu <= 0.0) {
+                return makeError(svc.declaredAt, "cpu",
+                                 "service '" + svc.name +
+                                     "' needs a positive cpu");
             }
-            if (by_name.count(services[m].name))
-                return "duplicate service '" + services[m].name + "'";
-            by_name[services[m].name] = m;
+            if (by_name.count(svc.name)) {
+                return makeError(svc.declaredAt, "name",
+                                 "duplicate service '" + svc.name +
+                                     "'");
+            }
+            by_name[svc.name] = m;
         }
         app.services.clear();
         bool any_edges = false;
@@ -140,24 +174,36 @@ parseManifest(const std::string &text, std::string *error)
                 for (const auto &caller : services[m].upstream) {
                     auto it = by_name.find(caller);
                     if (it == by_name.end()) {
-                        return "unknown upstream '" + caller +
-                               "' of service '" + services[m].name +
-                               "'";
+                        return makeError(
+                            services[m].declaredAt, "upstream",
+                            "unknown upstream '" + caller +
+                                "' of service '" + services[m].name +
+                                "'");
                     }
                     app.dag.addEdge(it->second, m);
                 }
             }
-            if (!app.dag.isAcyclic())
-                return "dependency graph has a cycle";
+            if (!app.dag.isAcyclic()) {
+                return makeError(line_no, "upstream",
+                                 "dependency graph has a cycle");
+            }
         }
-        app.id = static_cast<sim::AppId>(apps.size());
-        apps.push_back(std::move(app));
-        app = Application{};
-        services.clear();
-        have_app = false;
-        in_services = false;
-        (void)line_no;
+        if (!app_names.insert(app.name).second) {
+            return makeError(line_no, "application",
+                             "duplicate application '" + app.name +
+                                 "'");
+        }
+        app.id = static_cast<sim::AppId>(result.apps.size());
+        result.apps.push_back(std::move(app));
+        reset_document();
         return std::nullopt;
+    };
+
+    // Record @p error and skip the rest of the current document.
+    auto reject = [&](ManifestError error) {
+        result.errors.push_back(std::move(error));
+        reset_document();
+        poisoned = true;
     };
 
     std::istringstream in(text);
@@ -169,8 +215,9 @@ parseManifest(const std::string &text, std::string *error)
         if (trimmed.empty() || trimmed[0] == '#')
             continue;
         if (trimmed == "---") {
-            if (auto message = finish_document(line_no))
-                return fail(line_no, *message);
+            if (auto error = finish_document(line_no))
+                reject(std::move(*error));
+            poisoned = false;
             continue;
         }
 
@@ -181,43 +228,72 @@ parseManifest(const std::string &text, std::string *error)
         if (top_level) {
             std::string key;
             std::string value;
-            if (!splitKeyValue(trimmed, key, value))
-                return fail(line_no, "expected 'key: value'");
+            if (!splitKeyValue(trimmed, key, value)) {
+                if (!poisoned)
+                    reject(makeError(line_no, "",
+                                     "expected 'key: value'"));
+                continue;
+            }
             if (key == "application") {
+                // Implicit document boundary: a new application key
+                // finishes the previous document (and clears any
+                // poison — errors never leak across documents).
                 if (have_app && !services.empty()) {
-                    if (auto message = finish_document(line_no))
-                        return fail(line_no, *message);
+                    if (auto error = finish_document(line_no))
+                        reject(std::move(*error));
                 }
+                poisoned = false;
+                reset_document();
                 have_app = true;
                 app.name = value;
-                in_services = false;
-            } else if (key == "price") {
-                app.pricePerUnit = std::stod(value);
-            } else if (key == "phoenix") {
-                app.phoenixEnabled = value == "enabled";
-            } else if (key == "services") {
-                in_services = true;
-            } else {
-                return fail(line_no, "unknown key '" + key + "'");
+                continue;
+            }
+            if (poisoned)
+                continue;
+            try {
+                if (key == "price") {
+                    app.pricePerUnit = std::stod(value);
+                } else if (key == "phoenix") {
+                    app.phoenixEnabled = value == "enabled";
+                } else if (key == "services") {
+                    in_services = true;
+                } else {
+                    reject(makeError(line_no, key,
+                                     "unknown key '" + key + "'"));
+                }
+            } catch (const std::exception &) {
+                reject(makeError(line_no, key,
+                                 "bad numeric value '" + value + "'"));
             }
             continue;
         }
 
-        if (!in_services)
-            return fail(line_no, "indented line outside services");
+        if (poisoned)
+            continue;
+        if (!in_services) {
+            reject(makeError(line_no, "",
+                             "indented line outside services"));
+            continue;
+        }
 
         std::string body = trimmed;
         if (body.rfind("- ", 0) == 0) {
             services.emplace_back();
+            services.back().declaredAt = line_no;
             body = strip(body.substr(2));
         }
-        if (services.empty())
-            return fail(line_no, "service field before first entry");
+        if (services.empty()) {
+            reject(makeError(line_no, "",
+                             "service field before first entry"));
+            continue;
+        }
 
         std::string key;
         std::string value;
-        if (!splitKeyValue(body, key, value))
-            return fail(line_no, "expected 'key: value'");
+        if (!splitKeyValue(body, key, value)) {
+            reject(makeError(line_no, "", "expected 'key: value'"));
+            continue;
+        }
         RawService &svc = services.back();
         try {
             if (key == "name") {
@@ -227,28 +303,45 @@ parseManifest(const std::string &text, std::string *error)
                 svc.sawCpu = true;
             } else if (key == "criticality") {
                 svc.criticality = std::stoi(value);
-                if (svc.criticality < 1)
-                    return fail(line_no, "criticality must be >= 1");
+                if (svc.criticality < 1) {
+                    reject(makeError(line_no, key,
+                                     "criticality must be >= 1"));
+                }
             } else if (key == "replicas") {
                 svc.replicas = std::stoi(value);
-                if (svc.replicas < 1)
-                    return fail(line_no, "replicas must be >= 1");
+                if (svc.replicas < 1) {
+                    reject(makeError(line_no, key,
+                                     "replicas must be >= 1"));
+                }
             } else if (key == "quorum") {
                 svc.quorum = std::stoi(value);
             } else if (key == "upstream") {
                 svc.upstream = parseList(value);
             } else {
-                return fail(line_no,
-                            "unknown service key '" + key + "'");
+                reject(makeError(line_no, key,
+                                 "unknown service key '" + key + "'"));
             }
         } catch (const std::exception &) {
-            return fail(line_no, "bad numeric value '" + value + "'");
+            reject(makeError(line_no, key,
+                             "bad numeric value '" + value + "'"));
         }
     }
 
-    if (auto message = finish_document(line_no))
-        return fail(line_no, *message);
-    return apps;
+    if (auto error = finish_document(line_no))
+        reject(std::move(*error));
+    return result;
+}
+
+std::optional<std::vector<Application>>
+parseManifest(const std::string &text, std::string *error)
+{
+    ManifestParse parsed = parseManifestStructured(text);
+    if (!parsed.ok()) {
+        if (error)
+            *error = parsed.errors.front().toString();
+        return std::nullopt;
+    }
+    return std::move(parsed.apps);
 }
 
 std::optional<std::vector<Application>>

@@ -25,6 +25,12 @@
  *
  * Multiple applications may appear in one document separated by
  * `---` lines, as in multi-document YAML.
+ *
+ * Two entry points: parseManifest is all-or-nothing (nullopt on the
+ * first error — the original API), parseManifestStructured recovers
+ * per document and reports every error with its line and the field
+ * being parsed, so a long-running ingester (phoenixd) can accept the
+ * well-formed applications and surface exactly what it rejected.
  */
 
 #ifndef PHOENIX_KUBE_MANIFEST_H
@@ -38,11 +44,46 @@
 
 namespace phoenix::kube {
 
+/** One structured parse error: where, which field, what. */
+struct ManifestError
+{
+    /** 1-based line in the manifest text. */
+    size_t line = 0;
+    /** The key being parsed when the error fired ("cpu",
+     * "criticality", "application", ...); empty for structural
+     * errors (stray indentation, missing services). */
+    std::string field;
+    std::string message;
+
+    /** "message (line N, field 'f')" rendering for logs. */
+    std::string toString() const;
+};
+
+/** Outcome of a structured parse: every well-formed application plus
+ * every error. A document with any error contributes no application
+ * (no partially parsed apps), but later documents still parse. */
+struct ManifestParse
+{
+    std::vector<sim::Application> apps;
+    std::vector<ManifestError> errors;
+
+    bool ok() const { return errors.empty(); }
+};
+
+/**
+ * Parse a manifest, recovering at document boundaries: a malformed
+ * document is reported (line/field/message) and skipped, well-formed
+ * documents before and after it still land in apps. Duplicate
+ * application names across documents are an error on the later
+ * document.
+ */
+ManifestParse parseManifestStructured(const std::string &text);
+
 /**
  * Parse a manifest document into application descriptors. Returns
- * nullopt and fills @p error on malformed input. Untagged services
- * default to C1 (§5 Partial Tagging); `phoenix: disabled` marks the
- * application unsubscribed.
+ * nullopt and fills @p error (the first structured error, rendered)
+ * on any malformed input. Untagged services default to C1 (§5 Partial
+ * Tagging); `phoenix: disabled` marks the application unsubscribed.
  */
 std::optional<std::vector<sim::Application>>
 parseManifest(const std::string &text, std::string *error = nullptr);

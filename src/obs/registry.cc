@@ -316,6 +316,14 @@ Registry::histogram(const std::string &name)
     return *slot;
 }
 
+LogHistogram &
+Registry::histogram(const std::string &family,
+                    const std::string &labelKey,
+                    const std::string &labelValue)
+{
+    return histogram(labeled(family, labelKey, labelValue));
+}
+
 std::vector<MetricSample>
 Registry::snapshot() const
 {

@@ -213,6 +213,9 @@ class Registry
                      const std::string &labelValue);
     Gauge &gauge(const std::string &name);
     LogHistogram &histogram(const std::string &name);
+    LogHistogram &histogram(const std::string &family,
+                            const std::string &labelKey,
+                            const std::string &labelValue);
 
     /** Merged snapshot of every registered metric, name-sorted. */
     std::vector<MetricSample> snapshot() const;

@@ -1,0 +1,81 @@
+#include "admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phoenix::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config)
+    : config_(config)
+{
+}
+
+sim::Criticality
+AdmissionController::levelFor(double readyFraction) const
+{
+    const double frac = std::clamp(readyFraction, 0.0, 1.0);
+    if (frac >= config_.fullServiceFraction)
+        return sim::kLowestCriticality;
+    const double span = std::max(config_.fullServiceFraction, 1e-9);
+    const int range = sim::kLowestCriticality - sim::kC1;
+    const int level =
+        sim::kC1 +
+        static_cast<int>(std::floor(range * frac / span));
+    return std::clamp(level, sim::kC1, sim::kLowestCriticality);
+}
+
+void
+AdmissionController::observeCapacity(double readyFraction)
+{
+    if (!config_.enabled)
+        return;
+    const sim::Criticality raw = levelFor(readyFraction);
+    if (raw < admitLevel_) {
+        // Capacity dropped: shed immediately.
+        admitLevel_ = raw;
+    } else if (raw > admitLevel_) {
+        // Capacity returned: re-admit only once the fraction clears
+        // the new level's threshold by the hysteresis margin.
+        const sim::Criticality margin =
+            levelFor(readyFraction - config_.hysteresis);
+        if (margin > admitLevel_)
+            admitLevel_ = margin;
+    }
+}
+
+void
+AdmissionController::setPlannedServices(std::set<uint64_t> plannedUp)
+{
+    if (!config_.enabled)
+        return;
+    plannedUp_ = std::move(plannedUp);
+    hasPlan_ = true;
+}
+
+void
+AdmissionController::clearPlan()
+{
+    plannedUp_.clear();
+    hasPlan_ = false;
+}
+
+AdmitDecision
+AdmissionController::decide(const RequestClass &cls) const
+{
+    if (!config_.enabled)
+        return AdmitDecision::Admit;
+    if (hasPlan_) {
+        for (const apps::PathComponent &component : cls.path) {
+            if (!component.required)
+                continue;
+            if (!plannedUp_.count(
+                    serviceKey(cls.app, component.service)))
+                return AdmitDecision::ShedPlan;
+        }
+    }
+    if (cls.criticality > admitLevel_)
+        return AdmitDecision::ShedCapacity;
+    return AdmitDecision::Admit;
+}
+
+} // namespace phoenix::serve

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Criticality-aware admission control for the serving layer — the
+ * "cooperative" half of cooperative graceful degradation at the
+ * request level.
+ *
+ * Two signals gate admission:
+ *
+ *  - **Capacity level**: the ready-capacity fraction maps to a maximum
+ *    admitted criticality. At full capacity everything is admitted; as
+ *    capacity drops, progressively more degradable classes (higher
+ *    criticality numbers) are shed at the front door instead of being
+ *    sent into a cluster that cannot serve them. A small hysteresis
+ *    margin keeps the level from flapping around a threshold.
+ *
+ *  - **Planner target** (cooperative tie-in): after every replan the
+ *    controller's planned target state is projected to the set of
+ *    planned-up services (quorum satisfied in the planned assignment).
+ *    A class whose required path touches a service the planner chose
+ *    to sacrifice is shed fail-fast — the planner already decided that
+ *    class cannot be served, so making its users wait for a timeout
+ *    only wastes capacity. Default (no controller, no plan) never
+ *    sheds on this signal — that asymmetry is the experiment.
+ */
+
+#ifndef PHOENIX_SERVE_ADMISSION_H
+#define PHOENIX_SERVE_ADMISSION_H
+
+#include <cstdint>
+#include <set>
+
+#include "serve/serve.h"
+
+namespace phoenix::serve {
+
+/** Admission-control tunables. */
+struct AdmissionConfig
+{
+    /** Master switch; disabled = admit everything (the Default
+     * baseline's behaviour). */
+    bool enabled = true;
+    /** Ready-capacity fraction at/above which every class is
+     * admitted. Below it the admitted criticality degrades linearly
+     * down to C1-only at zero capacity. */
+    double fullServiceFraction = 0.95;
+    /** Capacity-fraction margin required before re-admitting classes
+     * after a level drop (anti-flap). */
+    double hysteresis = 0.03;
+};
+
+/** Outcome of one admission decision. */
+enum class AdmitDecision { Admit, ShedCapacity, ShedPlan };
+
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionConfig config = {});
+
+    /** Feed a ready-capacity observation (fraction in [0, 1]). */
+    void observeCapacity(double readyFraction);
+
+    /** Feed the planner's target: the set of serviceKey()s whose
+     * quorum the planned assignment satisfies. */
+    void setPlannedServices(std::set<uint64_t> plannedUp);
+
+    /** Forget the plan (plan-based shedding stops). */
+    void clearPlan();
+
+    AdmitDecision decide(const RequestClass &cls) const;
+
+    /** Largest criticality number currently admitted. */
+    sim::Criticality admitLevel() const { return admitLevel_; }
+    bool hasPlan() const { return hasPlan_; }
+
+    static uint64_t serviceKey(sim::AppId app, sim::MsId ms)
+    {
+        return (static_cast<uint64_t>(app) << 32) |
+               static_cast<uint64_t>(ms);
+    }
+
+  private:
+    sim::Criticality levelFor(double readyFraction) const;
+
+    AdmissionConfig config_;
+    sim::Criticality admitLevel_ = sim::kLowestCriticality;
+    std::set<uint64_t> plannedUp_;
+    bool hasPlan_ = false;
+};
+
+} // namespace phoenix::serve
+
+#endif // PHOENIX_SERVE_ADMISSION_H

@@ -1,0 +1,476 @@
+#include "daemon.h"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "apps/cloudlab.h"
+#include "core/schemes.h"
+#include "kube/manifest.h"
+#include "sim/scenario.h"
+
+namespace phoenix::serve {
+
+namespace {
+
+std::string
+errorReply(const std::string &message)
+{
+    return "{\"ok\":false,\"error\":" + util::jsonQuote(message) + "}";
+}
+
+/** Shift a curve's control points by @p offset seconds (serve-start
+ * shapes are authored relative to the serving window). */
+apps::RateCurve
+shiftCurve(const apps::RateCurve &curve, double offset)
+{
+    apps::RateCurve shifted;
+    for (const auto &[t, v] : curve.points())
+        shifted.point(t + offset, v);
+    return shifted;
+}
+
+} // namespace
+
+ServeDaemon::ServeDaemon(DaemonConfig config)
+    : config_(std::move(config)), cluster_(events_, config_.kube)
+{
+}
+
+std::string
+ServeDaemon::handleLine(const std::string &line)
+{
+    util::JsonValue command;
+    if (!util::parseJson(line, command) || !command.isObject())
+        return errorReply("malformed command (expected a JSON object)");
+    return handle(command);
+}
+
+int
+ServeDaemon::repl(std::istream &in, std::ostream &out)
+{
+    std::string line;
+    while (!shutdown_ && std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        out << handleLine(line) << "\n" << std::flush;
+    }
+    return 0;
+}
+
+std::string
+ServeDaemon::handle(const util::JsonValue &command)
+{
+    const std::string cmd = command.stringAt("cmd");
+    if (cmd == "load-testbed")
+        return cmdLoadTestbed(command);
+    if (cmd == "add-nodes")
+        return cmdAddNodes(command);
+    if (cmd == "ingest-manifest")
+        return cmdIngestManifest(command);
+    if (cmd == "start-controller")
+        return cmdStartController(command);
+    if (cmd == "serve-start")
+        return cmdServeStart(command);
+    if (cmd == "inject-scenario")
+        return cmdInjectScenario(command);
+    if (cmd == "advance")
+        return cmdAdvance(command);
+    if (cmd == "observe")
+        return cmdObserve();
+    if (cmd == "delete-pod" || cmd == "restart-pod" ||
+        cmd == "migrate-pod")
+        return cmdPodVerb(cmd, command);
+    if (cmd == "stats")
+        return cmdStats();
+    if (cmd == "metrics")
+        return cmdMetrics();
+    if (cmd == "shutdown") {
+        shutdown_ = true;
+        return "{\"ok\":true,\"bye\":true}";
+    }
+    return errorReply("unknown cmd " + util::jsonQuote(cmd));
+}
+
+std::string
+ServeDaemon::cmdLoadTestbed(const util::JsonValue &command)
+{
+    apps::CloudLabConfig testbedConfig;
+    const double demand =
+        command.numberAt("demand_fraction",
+                         testbedConfig.demandFraction);
+    testbedConfig.demandFraction = demand;
+    const apps::CloudLabTestbed testbed =
+        apps::makeCloudLabTestbed(testbedConfig);
+    for (size_t n = 0; n < testbed.config.nodeCount; ++n)
+        cluster_.addNode(testbed.config.cpusPerNode);
+    for (apps::ServiceApp sapp : testbed.serviceApps) {
+        sapp.app.id = nextAppId_++;
+        cluster_.addApplication(sapp.app);
+        serviceApps_.push_back(std::move(sapp));
+    }
+    std::ostringstream out;
+    out << "{\"ok\":true,\"nodes\":" << cluster_.nodeCount()
+        << ",\"apps\":" << cluster_.apps().size() << "}";
+    return out.str();
+}
+
+std::string
+ServeDaemon::cmdAddNodes(const util::JsonValue &command)
+{
+    const auto count =
+        static_cast<size_t>(command.numberAt("count", 1.0));
+    const double capacity = command.numberAt("capacity", 8.0);
+    if (count == 0 || capacity <= 0.0)
+        return errorReply("add-nodes needs count >= 1, capacity > 0");
+    for (size_t n = 0; n < count; ++n)
+        cluster_.addNode(capacity);
+    std::ostringstream out;
+    out << "{\"ok\":true,\"nodes\":" << cluster_.nodeCount() << "}";
+    return out.str();
+}
+
+std::string
+ServeDaemon::cmdIngestManifest(const util::JsonValue &command)
+{
+    const util::JsonValue *text = command.field("text");
+    if (!text || !text->isString())
+        return errorReply("ingest-manifest needs a string 'text'");
+
+    const kube::ManifestParse parse =
+        kube::parseManifestStructured(text->text);
+
+    std::ostringstream out;
+    out << "{\"ok\":" << (parse.ok() ? "true" : "false")
+        << ",\"apps\":[";
+    bool first = true;
+    for (sim::Application app : parse.apps) {
+        // Rebase ids past whatever the cluster already holds.
+        app.id = nextAppId_++;
+        cluster_.addApplication(app);
+
+        // Synthesize a request model: one class per service, exactly
+        // that service on the required path, so serve-start can route
+        // traffic at manifest apps too.
+        apps::ServiceApp sapp;
+        sapp.app = app;
+        for (const sim::Microservice &ms : app.services) {
+            apps::RequestType req;
+            req.name = ms.name;
+            req.offeredRps = config_.manifestRps;
+            req.path.push_back(apps::PathComponent{
+                ms.id, /*required=*/true, /*utility=*/1.0,
+                /*latencyMs=*/50.0});
+            sapp.requests.push_back(std::move(req));
+        }
+        serviceApps_.push_back(std::move(sapp));
+
+        if (!first)
+            out << ",";
+        first = false;
+        out << util::jsonQuote(app.name);
+    }
+    out << "],\"errors\":[";
+    first = true;
+    for (const kube::ManifestError &error : parse.errors) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"line\":" << error.line
+            << ",\"field\":" << util::jsonQuote(error.field)
+            << ",\"message\":" << util::jsonQuote(error.message)
+            << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+ServeDaemon::cmdStartController(const util::JsonValue &command)
+{
+    if (controller_)
+        return errorReply("controller already running");
+    const std::string scheme =
+        command.stringAt("scheme", "PhoenixCost");
+    core::Objective objective;
+    if (scheme == "PhoenixCost") {
+        objective = core::Objective::Cost;
+    } else if (scheme == "PhoenixFair") {
+        objective = core::Objective::Fair;
+    } else {
+        return errorReply("unknown scheme " + util::jsonQuote(scheme) +
+                          " (PhoenixCost | PhoenixFair)");
+    }
+    controller_ = std::make_unique<core::PhoenixController>(
+        events_, cluster_,
+        std::make_unique<core::PhoenixScheme>(objective),
+        config_.controller);
+    return "{\"ok\":true,\"scheme\":" + util::jsonQuote(scheme) + "}";
+}
+
+std::string
+ServeDaemon::cmdServeStart(const util::JsonValue &command)
+{
+    if (frontend_)
+        return errorReply("serving already started");
+    if (serviceApps_.empty())
+        return errorReply(
+            "nothing to serve (load-testbed or ingest-manifest first)");
+
+    const double duration = command.numberAt("duration", 600.0);
+    if (duration <= 0.0)
+        return errorReply("serve-start needs duration > 0");
+
+    FrontendConfig frontendConfig = config_.frontend;
+    frontendConfig.seed = config_.seed;
+    frontendConfig.startAt = events_.now();
+    frontendConfig.endAt = events_.now() + duration;
+    frontendConfig.windowSec =
+        command.numberAt("window", frontendConfig.windowSec);
+    frontendConfig.rpsScale =
+        command.numberAt("rps_scale", frontendConfig.rpsScale);
+
+    const std::string shape = command.stringAt("shape", "steady");
+    if (shape == "steady") {
+        frontendConfig.curve = apps::RateCurve();
+    } else if (shape == "diurnal") {
+        frontendConfig.curve = shiftCurve(
+            apps::RateCurve::diurnal(duration, 0.5, 1.5),
+            events_.now());
+    } else if (shape == "burst") {
+        frontendConfig.curve = shiftCurve(
+            apps::RateCurve::burst(duration * 0.4, duration * 0.3,
+                                   1.0, 2.0),
+            events_.now());
+    } else {
+        return errorReply("unknown shape " + util::jsonQuote(shape) +
+                          " (steady | diurnal | burst)");
+    }
+
+    frontend_ = std::make_unique<ServeFrontend>(
+        events_, cluster_, serviceApps_, frontendConfig,
+        controller_.get());
+    std::ostringstream out;
+    out << "{\"ok\":true,\"classes\":"
+        << frontend_->classes().size()
+        << ",\"until\":" << util::jsonNumber(frontendConfig.endAt)
+        << "}";
+    return out.str();
+}
+
+std::string
+ServeDaemon::cmdInjectScenario(const util::JsonValue &command)
+{
+    const util::JsonValue *steps = command.field("steps");
+    if (!steps || !steps->isArray() || steps->items.empty())
+        return errorReply(
+            "inject-scenario needs a non-empty 'steps' array");
+
+    sim::Scenario scenario;
+    for (const util::JsonValue &step : steps->items) {
+        if (!step.isObject())
+            return errorReply("scenario step must be an object");
+        const std::string kind = step.stringAt("kind");
+        const double at = step.numberAt("at", events_.now());
+        if (kind == "fail-nodes" || kind == "recover-nodes") {
+            const util::JsonValue *nodes = step.field("nodes");
+            if (!nodes || !nodes->isArray())
+                return errorReply(kind + " needs a 'nodes' array");
+            std::vector<sim::NodeId> ids;
+            for (const util::JsonValue &node : nodes->items)
+                ids.push_back(
+                    static_cast<sim::NodeId>(node.number));
+            if (kind == "fail-nodes")
+                scenario.failNodes(at, std::move(ids));
+            else
+                scenario.recoverNodes(at, std::move(ids));
+        } else if (kind == "fail-count") {
+            scenario.failCount(
+                at,
+                static_cast<size_t>(step.numberAt("count", 1.0)));
+        } else if (kind == "fail-capacity-fraction") {
+            scenario.failCapacityFraction(
+                at, step.numberAt("fraction", 0.0));
+        } else if (kind == "fail-zone") {
+            scenario.failZone(
+                at, static_cast<size_t>(step.numberAt("zone", 0.0)));
+        } else if (kind == "rolling-fail") {
+            scenario.rollingFail(
+                at,
+                static_cast<size_t>(step.numberAt("count", 1.0)),
+                step.numberAt("interval", 60.0));
+        } else if (kind == "flap") {
+            scenario.flapKubelet(
+                at,
+                static_cast<sim::NodeId>(step.numberAt("node", 0.0)),
+                step.numberAt("downtime", 30.0));
+        } else if (kind == "recover-all") {
+            scenario.recoverAll(at, step.numberAt("stagger", 0.0));
+        } else {
+            return errorReply("unknown scenario step kind " +
+                              util::jsonQuote(kind));
+        }
+    }
+
+    sim::ScenarioOptions options;
+    options.seed = static_cast<uint64_t>(
+        command.numberAt("seed", static_cast<double>(config_.seed)));
+    options.zoneCount = static_cast<size_t>(command.numberAt(
+        "zones", static_cast<double>(options.zoneCount)));
+    runners_.push_back(std::make_unique<sim::ScenarioRunner>(
+        events_, cluster_, std::move(scenario), options));
+    std::ostringstream out;
+    out << "{\"ok\":true,\"steps\":" << steps->items.size()
+        << ",\"first_failure_at\":"
+        << util::jsonNumber(runners_.back()->firstFailureAt()) << "}";
+    return out.str();
+}
+
+std::string
+ServeDaemon::cmdAdvance(const util::JsonValue &command)
+{
+    const double seconds = command.numberAt("seconds", 0.0);
+    if (seconds <= 0.0)
+        return errorReply("advance needs seconds > 0");
+    events_.runUntil(events_.now() + seconds);
+    std::ostringstream out;
+    out << "{\"ok\":true,\"t\":" << util::jsonNumber(events_.now())
+        << "}";
+    return out.str();
+}
+
+std::string
+ServeDaemon::cmdObserve()
+{
+    const auto running = cluster_.runningPods();
+    std::map<sim::AppId, size_t> runningByApp;
+    for (const sim::PodRef &pod : running)
+        ++runningByApp[pod.app];
+
+    std::ostringstream out;
+    out << "{\"ok\":true,\"t\":" << util::jsonNumber(events_.now())
+        << ",\"nodes\":" << cluster_.nodeCount()
+        << ",\"ready_capacity\":"
+        << util::jsonNumber(cluster_.readyCapacity())
+        << ",\"total_capacity\":"
+        << util::jsonNumber(cluster_.totalCapacity())
+        << ",\"running\":" << running.size()
+        << ",\"pending\":" << cluster_.pendingCount()
+        << ",\"apps\":[";
+    bool first = true;
+    for (const sim::Application &app : cluster_.apps()) {
+        if (!first)
+            out << ",";
+        first = false;
+        const auto it = runningByApp.find(app.id);
+        out << "{\"id\":" << app.id
+            << ",\"name\":" << util::jsonQuote(app.name)
+            << ",\"services\":" << app.services.size()
+            << ",\"running\":"
+            << (it == runningByApp.end() ? 0 : it->second) << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+ServeDaemon::cmdPodVerb(const std::string &verb,
+                        const util::JsonValue &command)
+{
+    const util::JsonValue *app = command.field("app");
+    const util::JsonValue *ms = command.field("ms");
+    if (!app || !app->isNumber() || !ms || !ms->isNumber())
+        return errorReply(verb + " needs numeric 'app' and 'ms'");
+    sim::PodRef ref;
+    ref.app = static_cast<sim::AppId>(app->number);
+    ref.ms = static_cast<sim::MsId>(ms->number);
+    ref.replica =
+        static_cast<uint32_t>(command.numberAt("replica", 0.0));
+    if (!cluster_.pod(ref))
+        return errorReply("no such pod");
+
+    if (verb == "delete-pod") {
+        cluster_.deletePod(ref);
+    } else if (verb == "restart-pod") {
+        std::optional<sim::NodeId> pinned;
+        const util::JsonValue *node = command.field("node");
+        if (node && node->isNumber())
+            pinned = static_cast<sim::NodeId>(node->number);
+        cluster_.startPod(ref, pinned);
+    } else { // migrate-pod
+        const util::JsonValue *node = command.field("node");
+        if (!node || !node->isNumber())
+            return errorReply("migrate-pod needs a numeric 'node'");
+        cluster_.migratePod(ref,
+                            static_cast<sim::NodeId>(node->number));
+    }
+    return "{\"ok\":true}";
+}
+
+std::string
+ServeDaemon::cmdStats()
+{
+    if (!frontend_)
+        return errorReply("serving not started");
+    std::ostringstream out;
+    out << "{\"ok\":true,\"t\":" << util::jsonNumber(events_.now())
+        << ",\"offered\":" << frontend_->totalOffered()
+        << ",\"served\":" << frontend_->totalServed()
+        << ",\"shed\":" << frontend_->totalShed()
+        << ",\"failed\":" << frontend_->totalFailed()
+        << ",\"admit_level\":" << frontend_->admission().admitLevel()
+        << ",\"classes\":[";
+    bool first = true;
+    for (const ClassReport &rep : frontend_->report()) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"class\":" << util::jsonQuote(rep.meta.label())
+            << ",\"criticality\":" << rep.meta.criticality
+            << ",\"offered\":" << rep.offered
+            << ",\"served\":" << rep.served
+            << ",\"shed\":" << rep.shed
+            << ",\"failed\":" << rep.failed
+            << ",\"p95_ms\":" << util::jsonNumber(rep.p95Ms)
+            << ",\"slo_violation_seconds\":"
+            << util::jsonNumber(rep.sloViolationSeconds) << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+std::string
+ServeDaemon::cmdMetrics()
+{
+    std::ostringstream out;
+    out << "{\"ok\":true,\"enabled\":"
+        << (obs::metricsEnabled() ? "true" : "false")
+        << ",\"metrics\":[";
+    bool first = true;
+    for (const obs::MetricSample &sample :
+         obs::Registry::global().snapshot()) {
+        if (!first)
+            out << ",";
+        first = false;
+        const char *kind = sample.kind == obs::MetricKind::Counter
+                               ? "counter"
+                               : sample.kind == obs::MetricKind::Gauge
+                                     ? "gauge"
+                                     : "histogram";
+        out << "{\"name\":" << util::jsonQuote(sample.name)
+            << ",\"kind\":\"" << kind << "\""
+            << ",\"count\":" << sample.count
+            << ",\"value\":" << util::jsonNumber(sample.value);
+        if (sample.kind == obs::MetricKind::Histogram) {
+            out << ",\"p50\":" << util::jsonNumber(sample.p50)
+                << ",\"p90\":" << util::jsonNumber(sample.p90)
+                << ",\"p99\":" << util::jsonNumber(sample.p99);
+        }
+        out << "}";
+    }
+    out << "]}";
+    return out.str();
+}
+
+} // namespace phoenix::serve

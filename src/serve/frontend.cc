@@ -1,0 +1,289 @@
+#include "frontend.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phoenix::serve {
+
+namespace {
+
+/** Same congestion shape as the closed-form model (service_app.cc)
+ * and the batch load generator (loadgen.cc). */
+double
+congestionFactor(double utilization)
+{
+    const double rho = std::clamp(utilization, 0.0, 0.99);
+    if (rho <= 0.5)
+        return 1.0;
+    return 1.0 + 0.0025 * (rho - 0.5) / (1.0 - rho);
+}
+
+/** Closed-loop pacing charge for a request that failed inside the
+ * cluster (the user waits out a timeout before thinking again). */
+constexpr double kFailPenaltySec = 1.0;
+
+/** Replica-concentration cap: a service running at quorum never looks
+ * more than 4x slower than at full replica count. */
+constexpr double kMaxConcentration = 4.0;
+
+} // namespace
+
+ServeFrontend::ServeFrontend(
+    sim::EventQueue &events, kube::KubeCluster &cluster,
+    const std::vector<apps::ServiceApp> &serviceApps,
+    FrontendConfig config, core::PhoenixController *controller)
+    : events_(events), cluster_(cluster), config_(std::move(config)),
+      controller_(controller),
+      tracker_(buildRequestClasses(serviceApps), config_.windowSec),
+      admission_(config_.admission)
+{
+    p95Factor_ = std::exp(1.645 * config_.latencySigma);
+
+    for (const apps::ServiceApp &sapp : serviceApps) {
+        for (const sim::Microservice &ms : sapp.app.services) {
+            ServiceState state;
+            state.replicas = ms.replicas > 1 ? ms.replicas : 1;
+            state.quorum = ms.quorumCount();
+            services_[AdmissionController::serviceKey(sapp.app.id,
+                                                      ms.id)] = state;
+        }
+    }
+
+    auto &registry = obs::Registry::global();
+    for (const RequestClass &cls : tracker_.classes()) {
+        obs_.requestsByClass.push_back(
+            &registry.counter("serve.requests", "class", cls.label()));
+        obs_.latencyByClass.push_back(&registry.histogram(
+            "serve.latency_ms", "class", cls.label()));
+    }
+    obs_.served = &registry.counter("serve.served");
+    obs_.shed = &registry.counter("serve.shed");
+    obs_.shedCapacity =
+        &registry.counter("serve.shed", "reason", "capacity");
+    obs_.shedPlan = &registry.counter("serve.shed", "reason", "plan");
+    obs_.failed = &registry.counter("serve.failed");
+    obs_.sloViolationSeconds =
+        &registry.counter("serve.slo_violation_seconds");
+
+    // Per-class streams: independent seeds via cellSeed so no class's
+    // draws perturb another's, and routing outcomes (which consume
+    // latency draws) never shift arrival instants.
+    for (const RequestClass &cls : tracker_.classes()) {
+        apps::OpenLoopConfig stream;
+        stream.baseRps = cls.baseRps * config_.rpsScale;
+        stream.curve = config_.curve;
+        stream.seed = util::cellSeed(config_.seed, cls.index);
+        arrivals_.emplace_back(std::move(stream));
+        latencyRng_.emplace_back(
+            util::cellSeed(config_.seed, cls.index, 0x1a7e));
+    }
+
+    if (controller_) {
+        controller_->setReplanObserver(
+            [this](const core::SchemeResult &result,
+                   const core::ReplanRecord &) {
+                // Project the planned assignment to planned-up
+                // services: quorum satisfied in the planned state.
+                std::map<uint64_t, int> plannedReplicas;
+                for (const auto &[pod, node] :
+                     result.pack.state.assignment()) {
+                    (void)node;
+                    ++plannedReplicas[AdmissionController::serviceKey(
+                        pod.app, pod.ms)];
+                }
+                std::set<uint64_t> planned;
+                for (const auto &[key, state] : services_) {
+                    auto it = plannedReplicas.find(key);
+                    if (it != plannedReplicas.end() &&
+                        it->second >= state.quorum)
+                        planned.insert(key);
+                }
+                admission_.setPlannedServices(std::move(planned));
+            });
+    }
+
+    // Arm the refresh and window chains, then the arrival streams —
+    // at a shared instant the refresh runs first (FIFO tie-break), so
+    // requests see that instant's ready state.
+    events_.schedule(config_.startAt, [this] { refresh(); });
+    if (config_.startAt + config_.windowSec <=
+        config_.endAt + 1e-9) {
+        events_.schedule(config_.startAt + config_.windowSec,
+                         [this] { windowTick(); });
+    }
+    armArrivals();
+}
+
+void
+ServeFrontend::armArrivals()
+{
+    const size_t count = tracker_.classCount();
+    if (!config_.closedLoop) {
+        for (size_t i = 0; i < count; ++i)
+            scheduleNextArrival(i);
+        return;
+    }
+    const double meanThink =
+        0.5 * (std::max(config_.thinkMinSec, 0.0) +
+               std::max(config_.thinkMaxSec, config_.thinkMinSec));
+    apps::ClosedLoopConfig thinkCfg;
+    thinkCfg.thinkMinSec = config_.thinkMinSec;
+    thinkCfg.thinkMaxSec = config_.thinkMaxSec;
+    for (size_t i = 0; i < count; ++i) {
+        thinkRng_.emplace_back(
+            util::cellSeed(config_.seed, i, 0x7417));
+        // Size the population so the healthy-cluster offered rate
+        // approximates the class's open-loop rate.
+        const double rps =
+            tracker_.classes()[i].baseRps * config_.rpsScale;
+        const auto users = static_cast<size_t>(
+            std::max<long long>(1, std::llround(rps * meanThink)));
+        for (size_t u = 0; u < users; ++u) {
+            // Staggered starts: one think-time draw per user.
+            const double start =
+                config_.startAt +
+                apps::sampleThinkTime(thinkRng_[i], thinkCfg);
+            if (start <= config_.endAt)
+                armClosedLoopUser(i, start);
+        }
+    }
+}
+
+void
+ServeFrontend::scheduleNextArrival(size_t classIdx)
+{
+    const double from =
+        std::max(events_.now(), config_.startAt);
+    const double at = arrivals_[classIdx].next(from);
+    if (at < 0.0 || at > config_.endAt)
+        return;
+    events_.schedule(at, [this, classIdx] {
+        handleRequest(classIdx);
+        scheduleNextArrival(classIdx);
+    });
+}
+
+void
+ServeFrontend::armClosedLoopUser(size_t classIdx, double at)
+{
+    events_.schedule(at, [this, classIdx] {
+        const double serviceSec = handleRequest(classIdx);
+        apps::ClosedLoopConfig thinkCfg;
+        thinkCfg.thinkMinSec = config_.thinkMinSec;
+        thinkCfg.thinkMaxSec = config_.thinkMaxSec;
+        const double next =
+            events_.now() + serviceSec +
+            apps::sampleThinkTime(thinkRng_[classIdx], thinkCfg);
+        if (next <= config_.endAt)
+            armClosedLoopUser(classIdx, next);
+    });
+}
+
+double
+ServeFrontend::handleRequest(size_t classIdx)
+{
+    const RequestClass &cls = tracker_.classes()[classIdx];
+    PHOENIX_COUNT(*obs_.requestsByClass[classIdx], 1);
+
+    const AdmitDecision decision = admission_.decide(cls);
+    if (decision != AdmitDecision::Admit) {
+        tracker_.recordShed(classIdx);
+        ++shed_;
+        PHOENIX_COUNT(*obs_.shed, 1);
+        PHOENIX_COUNT(decision == AdmitDecision::ShedCapacity
+                          ? *obs_.shedCapacity
+                          : *obs_.shedPlan,
+                      1);
+        // Fail-fast: the user is told immediately, no service time.
+        return 0.0;
+    }
+
+    util::Rng &rng = latencyRng_[classIdx];
+    double totalMs = 0.0;
+    bool ok = true;
+    for (const apps::PathComponent &component : cls.path) {
+        const auto it = services_.find(
+            AdmissionController::serviceKey(cls.app,
+                                            component.service));
+        const ServiceState *svc =
+            it == services_.end() ? nullptr : &it->second;
+        const bool up = svc && svc->ready >= svc->quorum;
+        if (!up) {
+            if (component.required) {
+                ok = false;
+                break;
+            }
+            continue; // optional component degrades silently
+        }
+        if (component.latencyMs > 0.0) {
+            const double median =
+                component.latencyMs * congestion_ / p95Factor_;
+            const double concentration = std::clamp(
+                static_cast<double>(svc->replicas) /
+                    static_cast<double>(std::max(svc->ready, 1)),
+                1.0, kMaxConcentration);
+            totalMs += median * concentration *
+                       rng.logNormal(0.0, config_.latencySigma);
+        }
+    }
+
+    if (!ok) {
+        tracker_.recordFailed(classIdx);
+        ++failed_;
+        PHOENIX_COUNT(*obs_.failed, 1);
+        return kFailPenaltySec;
+    }
+
+    tracker_.recordServed(classIdx, totalMs);
+    ++served_;
+    PHOENIX_COUNT(*obs_.served, 1);
+    PHOENIX_OBSERVE(*obs_.latencyByClass[classIdx], totalMs);
+    return totalMs / 1000.0;
+}
+
+void
+ServeFrontend::refresh()
+{
+    for (auto &[key, state] : services_) {
+        (void)key;
+        state.ready = 0;
+    }
+    for (const sim::PodRef &pod : cluster_.runningPods()) {
+        const auto it = services_.find(
+            AdmissionController::serviceKey(pod.app, pod.ms));
+        if (it != services_.end())
+            ++it->second.ready;
+    }
+    congestion_ =
+        congestionFactor(cluster_.observedState().utilization());
+    const double total = cluster_.totalCapacity();
+    admission_.observeCapacity(
+        total > 0.0 ? cluster_.readyCapacity() / total : 0.0);
+
+    const double next = events_.now() + config_.refreshSec;
+    if (next <= config_.endAt + 1e-9)
+        events_.schedule(next, [this] { refresh(); });
+}
+
+void
+ServeFrontend::windowTick()
+{
+    const double violationSeconds = tracker_.closeWindow();
+    if (violationSeconds > 0.0) {
+        PHOENIX_COUNT(*obs_.sloViolationSeconds,
+                      static_cast<uint64_t>(
+                          std::llround(violationSeconds)));
+    }
+    PHOENIX_TRACE_INSTANT(
+        "serve", "window", events_.now(),
+        (obs::TraceArg{"admit_level",
+                       static_cast<double>(admission_.admitLevel())}),
+        (obs::TraceArg{"violation_seconds", violationSeconds}),
+        (obs::TraceArg{"shed", static_cast<double>(shed_)}));
+
+    const double next = events_.now() + config_.windowSec;
+    if (next <= config_.endAt + 1e-9)
+        events_.schedule(next, [this] { windowTick(); });
+}
+
+} // namespace phoenix::serve

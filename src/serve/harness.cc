@@ -1,0 +1,98 @@
+#include "harness.h"
+
+#include <memory>
+#include <optional>
+
+#include "core/controller.h"
+#include "core/schemes.h"
+
+namespace phoenix::serve {
+
+ServeResult
+runServe(const ServeConfig &config)
+{
+    // Per-run metric capture (this thread's shard only; exact under
+    // the exp engine's one-cell-one-thread contract).
+    std::optional<obs::ThreadMetricDelta> delta;
+    if (obs::metricsEnabled())
+        delta.emplace();
+
+    sim::EventQueue events;
+    kube::KubeConfig kubeConfig = config.kube;
+    kubeConfig.validateInvariants = true;
+    kube::KubeCluster cluster(events, kubeConfig);
+
+    const apps::CloudLabTestbed testbed =
+        apps::makeCloudLabTestbed(config.testbed);
+    for (size_t n = 0; n < testbed.config.nodeCount; ++n)
+        cluster.addNode(testbed.config.cpusPerNode);
+    for (const auto &sapp : testbed.serviceApps)
+        cluster.addApplication(sapp.app);
+
+    std::unique_ptr<core::PhoenixController> controller;
+    if (config.scheme != ServeScheme::Default) {
+        const core::Objective objective =
+            config.scheme == ServeScheme::PhoenixCost
+                ? core::Objective::Cost
+                : core::Objective::Fair;
+        controller = std::make_unique<core::PhoenixController>(
+            events, cluster,
+            std::make_unique<core::PhoenixScheme>(objective));
+    }
+
+    sim::ScenarioRunner runner(events, cluster, config.scenario,
+                               config.scenarioOptions);
+
+    FrontendConfig frontendConfig = config.frontend;
+    frontendConfig.startAt = config.warmupSec;
+    frontendConfig.endAt = config.endTime;
+    ServeFrontend frontend(events, cluster, testbed.serviceApps,
+                           frontendConfig, controller.get());
+
+    events.runUntil(config.endTime);
+
+    ServeResult result;
+    result.classes = frontend.report();
+    result.offered = frontend.totalOffered();
+    result.served = frontend.totalServed();
+    result.shed = frontend.totalShed();
+    result.failed = frontend.totalFailed();
+    result.firstFailureAt = runner.firstFailureAt();
+    result.invariantViolations = cluster.invariantViolations();
+    if (controller)
+        result.replans = controller->history().size();
+
+    size_t criticalOffered = 0;
+    size_t criticalServed = 0;
+    for (const ClassReport &rep : result.classes) {
+        if (rep.meta.criticality == sim::kC1) {
+            criticalOffered += rep.offered;
+            criticalServed += rep.served;
+            result.criticalViolationSeconds += rep.sloViolationSeconds;
+        } else {
+            result.nonCriticalViolationSeconds +=
+                rep.sloViolationSeconds;
+        }
+    }
+    result.criticalGoodput =
+        criticalOffered == 0
+            ? 1.0
+            : static_cast<double>(criticalServed) /
+                  static_cast<double>(criticalOffered);
+    result.totalGoodput =
+        result.offered == 0
+            ? 1.0
+            : static_cast<double>(result.served) /
+                  static_cast<double>(result.offered);
+    result.shedFraction =
+        result.offered == 0
+            ? 0.0
+            : static_cast<double>(result.shed) /
+                  static_cast<double>(result.offered);
+
+    if (delta)
+        result.obsMetrics = delta->finish();
+    return result;
+}
+
+} // namespace phoenix::serve

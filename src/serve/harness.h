@@ -1,0 +1,81 @@
+/**
+ * @file
+ * End-to-end serving harness: the CloudLab testbed + a failure
+ * scenario + a live request front end, run under one resilience
+ * scheme. The serving analogue of exp::runRecovery — where that
+ * harness measures recovery *dynamics* (availability over time), this
+ * one measures what live traffic experienced: per-class goodput,
+ * SLO-violation seconds split critical/non-critical, and the
+ * admission shed fraction.
+ *
+ * The kube invariant checker is force-enabled for every run.
+ */
+
+#ifndef PHOENIX_SERVE_HARNESS_H
+#define PHOENIX_SERVE_HARNESS_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/cloudlab.h"
+#include "kube/kube.h"
+#include "serve/frontend.h"
+#include "sim/scenario.h"
+
+namespace phoenix::serve {
+
+/** One serving run: testbed + scenario + front end + scheme. */
+struct ServeConfig
+{
+    ServeScheme scheme = ServeScheme::PhoenixCost;
+    apps::CloudLabConfig testbed;
+    kube::KubeConfig kube; //!< validateInvariants is forced on
+    sim::Scenario scenario;
+    sim::ScenarioOptions scenarioOptions;
+    /** Front-end knobs. startAt/endAt are overwritten from warmupSec
+     * and endTime — the harness owns the serving window. */
+    FrontendConfig frontend;
+    /** Serving starts here: initial placement needs to settle first
+     * (scheduler binds + pod startup, ~60-100 s). */
+    double warmupSec = 300.0;
+    /** Simulation horizon (also the end of the serving window). */
+    double endTime = 1800.0;
+};
+
+/** Harness outcome. */
+struct ServeResult
+{
+    std::vector<ClassReport> classes;
+
+    size_t offered = 0;
+    size_t served = 0;
+    size_t shed = 0;
+    size_t failed = 0;
+
+    /** SLO-violation seconds over critical (C1) classes — the paper's
+     * protected traffic — and over everything else. */
+    double criticalViolationSeconds = 0.0;
+    double nonCriticalViolationSeconds = 0.0;
+
+    /** served / offered over the critical classes (1.0 if idle). */
+    double criticalGoodput = 1.0;
+    double totalGoodput = 1.0;
+    /** shed / offered over all classes. */
+    double shedFraction = 0.0;
+
+    double firstFailureAt = -1.0;
+    size_t replans = 0;
+    size_t invariantViolations = 0;
+
+    /** obs counters/histogram-counts this run incremented (empty with
+     * metrics disabled); exact under one-cell-one-thread. */
+    std::vector<std::pair<std::string, double>> obsMetrics;
+};
+
+/** Run one serving scenario end to end. */
+ServeResult runServe(const ServeConfig &config);
+
+} // namespace phoenix::serve
+
+#endif // PHOENIX_SERVE_HARNESS_H

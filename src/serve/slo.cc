@@ -1,0 +1,120 @@
+#include "slo.h"
+
+#include <cassert>
+
+#include "util/stats.h"
+
+namespace phoenix::serve {
+
+SloTracker::SloTracker(std::vector<RequestClass> classes,
+                       double windowSec)
+    : classes_(std::move(classes)),
+      windowSec_(windowSec > 0.0 ? windowSec : 1.0),
+      windows_(classes_.size()), totals_(classes_.size())
+{
+}
+
+void
+SloTracker::recordServed(size_t classIdx, double latencyMs)
+{
+    assert(classIdx < classes_.size());
+    Window &window = windows_[classIdx];
+    Totals &totals = totals_[classIdx];
+    ++window.served;
+    window.latenciesMs.push_back(latencyMs);
+    ++totals.served;
+    totals.latencySumMs += latencyMs;
+    totals.latenciesMs.push_back(latencyMs);
+}
+
+void
+SloTracker::recordShed(size_t classIdx)
+{
+    assert(classIdx < classes_.size());
+    ++windows_[classIdx].shed;
+    ++totals_[classIdx].shed;
+}
+
+void
+SloTracker::recordFailed(size_t classIdx)
+{
+    assert(classIdx < classes_.size());
+    ++windows_[classIdx].failed;
+    ++totals_[classIdx].failed;
+}
+
+double
+SloTracker::closeWindow()
+{
+    double violationSeconds = 0.0;
+    for (size_t i = 0; i < classes_.size(); ++i) {
+        Window &window = windows_[i];
+        Totals &totals = totals_[i];
+        ++totals.windows;
+
+        const size_t offered =
+            window.served + window.shed + window.failed;
+        if (offered > 0) {
+            const double successRate =
+                static_cast<double>(window.served) /
+                static_cast<double>(offered);
+            bool ok =
+                successRate >= classes_[i].slo.availabilityTarget;
+            if (ok && !window.latenciesMs.empty()) {
+                const double p95 =
+                    util::percentile(window.latenciesMs, 95.0);
+                ok = p95 <= classes_[i].slo.latencyP95Ms;
+            }
+            if (!ok) {
+                totals.sloViolationSeconds += windowSec_;
+                ++totals.violationWindows;
+                violationSeconds += windowSec_;
+            }
+        }
+
+        window.served = window.shed = window.failed = 0;
+        window.latenciesMs.clear(); // keeps capacity
+    }
+    return violationSeconds;
+}
+
+std::vector<ClassReport>
+SloTracker::report() const
+{
+    std::vector<ClassReport> out;
+    out.reserve(classes_.size());
+    for (size_t i = 0; i < classes_.size(); ++i) {
+        const Totals &totals = totals_[i];
+        ClassReport rep;
+        rep.meta = classes_[i];
+        rep.served = totals.served;
+        rep.shed = totals.shed;
+        rep.failed = totals.failed;
+        rep.offered = totals.served + totals.shed + totals.failed;
+        rep.p50Ms = util::percentile(totals.latenciesMs, 50.0);
+        rep.p95Ms = util::percentile(totals.latenciesMs, 95.0);
+        rep.p99Ms = util::percentile(totals.latenciesMs, 99.0);
+        rep.meanMs = totals.served == 0
+                         ? 0.0
+                         : totals.latencySumMs /
+                               static_cast<double>(totals.served);
+        rep.sloViolationSeconds = totals.sloViolationSeconds;
+        rep.windows = totals.windows;
+        rep.violationWindows = totals.violationWindows;
+        out.push_back(std::move(rep));
+    }
+    return out;
+}
+
+double
+SloTracker::violationSeconds(bool critical) const
+{
+    double total = 0.0;
+    for (size_t i = 0; i < classes_.size(); ++i) {
+        if ((classes_[i].criticality == sim::kC1) == critical)
+            total += totals_[i].sloViolationSeconds;
+    }
+    return total;
+}
+
+} // namespace phoenix::serve

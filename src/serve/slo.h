@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-request-class SLO accounting for the serving layer.
+ *
+ * The headline serving metric is *SLO-violation seconds*: sim time is
+ * cut into fixed windows, each class's window is evaluated against its
+ * SloConfig (windowed success rate and windowed P95 latency), and a
+ * failing window adds its full width to the class's violation-seconds
+ * total. This is the metric the paper's cooperative-degradation story
+ * is about — under Phoenix the violation seconds concentrate on the
+ * degradable classes, under Default they land on everyone including
+ * the critical classes.
+ *
+ * An idle window (zero offered requests) is not a violation: no demand
+ * means nothing was denied.
+ */
+
+#ifndef PHOENIX_SERVE_SLO_H
+#define PHOENIX_SERVE_SLO_H
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/serve.h"
+
+namespace phoenix::serve {
+
+/** Final per-class accounting (totals over the whole run). */
+struct ClassReport
+{
+    /** Class metadata snapshot (label, criticality, SLO). */
+    RequestClass meta;
+
+    size_t offered = 0; //!< served + shed + failed
+    size_t served = 0;
+    size_t shed = 0;   //!< rejected at the front door (admission)
+    size_t failed = 0; //!< admitted but a required component was down
+
+    /** Latency over served requests (ms); util::kNoSample if none. */
+    double p50Ms = -1.0;
+    double p95Ms = -1.0;
+    double p99Ms = -1.0;
+    double meanMs = 0.0;
+
+    double sloViolationSeconds = 0.0;
+    size_t windows = 0;
+    size_t violationWindows = 0;
+
+    /** served / offered; 1.0 when nothing was offered. */
+    double goodput() const
+    {
+        return offered == 0
+                   ? 1.0
+                   : static_cast<double>(served) /
+                         static_cast<double>(offered);
+    }
+
+    double shedFraction() const
+    {
+        return offered == 0
+                   ? 0.0
+                   : static_cast<double>(shed) /
+                         static_cast<double>(offered);
+    }
+};
+
+/**
+ * Windowed SLO tracker. The owner records every request outcome as it
+ * happens and calls closeWindow() at each window boundary; report()
+ * finalizes totals and overall latency percentiles.
+ */
+class SloTracker
+{
+  public:
+    SloTracker(std::vector<RequestClass> classes, double windowSec);
+
+    void recordServed(size_t classIdx, double latencyMs);
+    void recordShed(size_t classIdx);
+    void recordFailed(size_t classIdx);
+
+    /**
+     * Evaluate the window that just ended for every class and reset
+     * the window scratch. Returns the violation seconds this window
+     * contributed (summed over classes) so the caller can surface it
+     * incrementally (obs counter).
+     */
+    double closeWindow();
+
+    size_t classCount() const { return classes_.size(); }
+    const std::vector<RequestClass> &classes() const { return classes_; }
+    double windowSec() const { return windowSec_; }
+
+    /** Totals + overall percentiles per class. */
+    std::vector<ClassReport> report() const;
+
+    /** Violation seconds summed over classes with the given
+     * criticality predicate: critical (== kC1) or not. */
+    double violationSeconds(bool critical) const;
+
+  private:
+    struct Window
+    {
+        size_t served = 0;
+        size_t shed = 0;
+        size_t failed = 0;
+        std::vector<double> latenciesMs; //!< reused across windows
+    };
+
+    struct Totals
+    {
+        size_t served = 0;
+        size_t shed = 0;
+        size_t failed = 0;
+        double latencySumMs = 0.0;
+        double sloViolationSeconds = 0.0;
+        size_t windows = 0;
+        size_t violationWindows = 0;
+        std::vector<double> latenciesMs; //!< all served (percentiles)
+    };
+
+    std::vector<RequestClass> classes_;
+    double windowSec_;
+    std::vector<Window> windows_;
+    std::vector<Totals> totals_;
+};
+
+} // namespace phoenix::serve
+
+#endif // PHOENIX_SERVE_SLO_H

@@ -1,16 +1,26 @@
 /**
  * @file
  * Minimal discrete-event simulation engine used by the mini-Kubernetes
- * layer and the end-to-end recovery experiments (Fig 6): a time-ordered
- * queue of callbacks with deterministic FIFO tie-breaking.
+ * layer, the end-to-end recovery experiments (Fig 6) and the serving
+ * front end (src/serve): a time-ordered queue of callbacks with
+ * deterministic FIFO tie-breaking.
+ *
+ * Tie-breaking contract: events scheduled for the same instant fire in
+ * insertion order, enforced by a monotone sequence number carried with
+ * every event. The serve loop leans on this — a request arrival, its
+ * admission decision and a window-close tick armed for the same
+ * timestamp must interleave identically on every run, or BENCH_serve
+ * sweep sections would not be byte-identical across --jobs counts.
+ * EventQueue.SameTimestampFifo is the regression test.
  */
 
 #ifndef PHOENIX_SIM_EVENT_QUEUE_H
 #define PHOENIX_SIM_EVENT_QUEUE_H
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 namespace phoenix::sim {
@@ -33,7 +43,8 @@ class EventQueue
     {
         if (when < now_)
             when = now_;
-        heap_.push(Event{when, seq_++, std::move(handler)});
+        heap_.push_back(Event{when, seq_++, std::move(handler)});
+        std::push_heap(heap_.begin(), heap_.end(), Later{});
     }
 
     /** Schedule @p handler @p delay seconds from now. */
@@ -47,14 +58,24 @@ class EventQueue
     bool empty() const { return heap_.empty(); }
     size_t pending() const { return heap_.size(); }
 
+    /** The instant of the next pending event; -1 when empty. */
+    SimTime
+    nextEventAt() const
+    {
+        return heap_.empty() ? -1.0 : heap_.front().when;
+    }
+
     /** Run a single event; returns false when the queue is empty. */
     bool
     step()
     {
         if (heap_.empty())
             return false;
-        Event ev = heap_.top();
-        heap_.pop();
+        // Move the event out before running it: the handler may push
+        // (and reallocate) freely, and std::function is never copied.
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Event ev = std::move(heap_.back());
+        heap_.pop_back();
         now_ = ev.when;
         ev.handler();
         return true;
@@ -64,7 +85,7 @@ class EventQueue
     void
     runUntil(SimTime until)
     {
-        while (!heap_.empty() && heap_.top().when <= until)
+        while (!heap_.empty() && heap_.front().when <= until)
             step();
         if (now_ < until)
             now_ = until;
@@ -84,17 +105,23 @@ class EventQueue
         SimTime when;
         uint64_t seq;
         Handler handler;
+    };
 
+    /** Max-heap comparator inverted into a min-heap on (when, seq):
+     * the earliest event wins, and among same-instant events the one
+     * inserted first (smallest seq) — stable FIFO tie-breaking. */
+    struct Later
+    {
         bool
-        operator>(const Event &other) const
+        operator()(const Event &a, const Event &b) const
         {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::vector<Event> heap_;
     SimTime now_ = 0.0;
     uint64_t seq_ = 0;
 };

@@ -8,12 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <vector>
 
 #include "apps/cloudlab.h"
 #include "apps/hotel.h"
+#include "apps/loadgen.h"
 #include "apps/overleaf.h"
 #include "apps/service_app.h"
+#include "util/rng.h"
 
 using namespace phoenix;
 using namespace phoenix::apps;
@@ -225,4 +229,136 @@ TEST(ServiceApp, AssignCpuByTrafficRespectsBudget)
     EXPECT_NEAR(sapp.app.criticalDemand(), 18.0, 1e-9);
     for (const auto &ms : sapp.app.services)
         EXPECT_GT(ms.cpu, 0.0);
+}
+
+TEST(RateCurve, EmptyCurveIsNeutral)
+{
+    const RateCurve curve;
+    EXPECT_TRUE(curve.empty());
+    EXPECT_NEAR(curve.at(-5.0), 1.0, 1e-12);
+    EXPECT_NEAR(curve.at(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(curve.at(1e9), 1.0, 1e-12);
+    EXPECT_NEAR(curve.maxValue(), 1.0, 1e-12);
+}
+
+TEST(RateCurve, SinglePointIsConstant)
+{
+    RateCurve curve;
+    curve.point(100.0, 0.75);
+    EXPECT_NEAR(curve.at(0.0), 0.75, 1e-12);   // holds before
+    EXPECT_NEAR(curve.at(100.0), 0.75, 1e-12);
+    EXPECT_NEAR(curve.at(5000.0), 0.75, 1e-12); // holds after
+    EXPECT_NEAR(curve.maxValue(), 0.75, 1e-12);
+}
+
+TEST(RateCurve, InterpolatesAndClampsNegatives)
+{
+    RateCurve curve;
+    curve.point(10.0, 0.0).point(0.0, 2.0); // out-of-order add
+    EXPECT_NEAR(curve.at(5.0), 1.0, 1e-12); // re-sorted, linear
+    curve.point(20.0, -3.0);                // clamps to 0
+    EXPECT_NEAR(curve.at(20.0), 0.0, 1e-12);
+    EXPECT_NEAR(curve.maxValue(), 2.0, 1e-12);
+}
+
+TEST(RateCurve, DiurnalShapeHitsLowAndHigh)
+{
+    const RateCurve curve = RateCurve::diurnal(1200.0, 0.5, 1.5);
+    EXPECT_NEAR(curve.at(0.0), 0.5, 1e-6);
+    EXPECT_NEAR(curve.at(600.0), 1.5, 1e-2); // cosine sampled
+    EXPECT_NEAR(curve.at(1200.0), 0.5, 1e-6);
+    EXPECT_NEAR(curve.at(5000.0), 0.5, 1e-6); // holds past the day
+    EXPECT_LE(curve.maxValue(), 1.5 + 1e-9);
+}
+
+TEST(RateCurve, BurstRampsUpAndBack)
+{
+    const RateCurve curve = RateCurve::burst(100.0, 400.0, 1.0, 2.0);
+    EXPECT_NEAR(curve.at(0.0), 1.0, 1e-9);   // before the burst
+    EXPECT_NEAR(curve.at(300.0), 2.0, 1e-9); // holding at peak
+    EXPECT_NEAR(curve.at(500.0), 1.0, 1e-9); // back to baseline
+    EXPECT_NEAR(curve.at(900.0), 1.0, 1e-9);
+    EXPECT_NEAR(curve.maxValue(), 2.0, 1e-9);
+}
+
+TEST(OpenLoopArrivals, DeterministicUnderCellSeed)
+{
+    OpenLoopConfig config;
+    config.baseRps = 4.0;
+    config.curve = RateCurve::diurnal(600.0, 0.5, 1.5);
+    config.seed = phoenix::util::cellSeed(42, 7);
+
+    auto drain = [&] {
+        OpenLoopArrivals stream(config);
+        std::vector<double> times;
+        double t = 0.0;
+        while ((t = stream.next(t)) >= 0.0 && t <= 600.0)
+            times.push_back(t);
+        return times;
+    };
+    const auto a = drain();
+    const auto b = drain();
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b); // bit-identical replay
+    for (size_t i = 1; i < a.size(); ++i)
+        EXPECT_GT(a[i], a[i - 1]); // strictly increasing
+
+    // A different stream index yields a different sequence.
+    config.seed = phoenix::util::cellSeed(42, 8);
+    EXPECT_NE(drain(), a);
+}
+
+TEST(OpenLoopArrivals, RealizedCountTracksExpectedCount)
+{
+    OpenLoopConfig config;
+    config.baseRps = 10.0;
+    config.curve = RateCurve::burst(200.0, 300.0, 1.0, 2.0);
+    config.seed = 1234;
+    OpenLoopArrivals stream(config);
+
+    const double horizon = 800.0;
+    size_t realized = 0;
+    double t = 0.0;
+    while ((t = stream.next(t)) >= 0.0 && t <= horizon)
+        ++realized;
+
+    const double expected = stream.expectedCount(0.0, horizon);
+    EXPECT_GT(expected, 0.0);
+    // Poisson: keep 5 sigma around the mean.
+    const double slack = 5.0 * std::sqrt(expected) + 1.0;
+    EXPECT_NEAR(static_cast<double>(realized), expected, slack);
+}
+
+TEST(OpenLoopArrivals, ZeroRateStreamIsExhausted)
+{
+    OpenLoopConfig config;
+    config.baseRps = 0.0;
+    OpenLoopArrivals silent(config);
+    EXPECT_LT(silent.next(0.0), 0.0);
+
+    // A curve pinned at zero silences a positive base rate too.
+    config.baseRps = 5.0;
+    config.curve.point(0.0, 0.0);
+    OpenLoopArrivals pinned(config);
+    EXPECT_LT(pinned.next(0.0), 0.0);
+}
+
+TEST(ClosedLoop, ThinkTimeBoundsAndDegenerateRanges)
+{
+    phoenix::util::Rng rng(99);
+    ClosedLoopConfig config;
+    config.thinkMinSec = 2.0;
+    config.thinkMaxSec = 8.0;
+    for (int i = 0; i < 1000; ++i) {
+        const double think = sampleThinkTime(rng, config);
+        EXPECT_GE(think, 2.0);
+        EXPECT_LE(think, 8.0);
+    }
+
+    config.thinkMaxSec = 1.0; // max < min collapses to min
+    EXPECT_NEAR(sampleThinkTime(rng, config), 2.0, 1e-12);
+
+    config.thinkMinSec = -3.0; // negative bounds never go below 0
+    config.thinkMaxSec = -1.0;
+    EXPECT_NEAR(sampleThinkTime(rng, config), 0.0, 1e-12);
 }

@@ -1,0 +1,535 @@
+/**
+ * @file
+ * Tests for the serving layer (src/serve): request-class derivation,
+ * windowed SLO accounting, criticality-aware admission control with
+ * hysteresis and plan-aware shedding, the end-to-end serving harness
+ * (determinism + exact admission accounting), and the phoenixd
+ * command protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/daemon.h"
+#include "serve/harness.h"
+#include "serve/serve.h"
+#include "serve/slo.h"
+#include "util/json.h"
+
+using namespace phoenix;
+using namespace phoenix::serve;
+
+namespace {
+
+/** Two-service app: front (C1) and extras (C5), three request types —
+ * one touching only front, one requiring both, one where extras is
+ * optional. */
+apps::ServiceApp
+tinyApp(sim::AppId id)
+{
+    apps::ServiceApp sapp;
+    sapp.app.id = id;
+    sapp.app.name = "tiny" + std::to_string(id);
+    sapp.app.pricePerUnit = 1.0;
+
+    sim::Microservice front;
+    front.id = 0;
+    front.name = "front";
+    front.cpu = 2.0;
+    front.criticality = sim::kC1;
+    sim::Microservice extras;
+    extras.id = 1;
+    extras.name = "extras";
+    extras.cpu = 1.0;
+    extras.criticality = 5;
+    sapp.app.services = {front, extras};
+
+    apps::RequestType core;
+    core.name = "core";
+    core.offeredRps = 10.0;
+    core.path.push_back(apps::PathComponent{0, true, 1.0, 40.0});
+
+    apps::RequestType both;
+    both.name = "both";
+    both.offeredRps = 4.0;
+    both.path.push_back(apps::PathComponent{0, true, 0.6, 40.0});
+    both.path.push_back(apps::PathComponent{1, true, 0.4, 20.0});
+
+    apps::RequestType opt;
+    opt.name = "opt";
+    opt.offeredRps = 2.0;
+    opt.path.push_back(apps::PathComponent{0, true, 0.8, 10.0});
+    opt.path.push_back(apps::PathComponent{1, false, 0.2, 5.0});
+
+    sapp.requests = {core, both, opt};
+    sapp.criticalRequest = "core";
+    return sapp;
+}
+
+RequestClass
+classWith(sim::Criticality criticality,
+          std::vector<apps::PathComponent> path = {})
+{
+    RequestClass cls;
+    cls.appName = "app";
+    cls.name = "c" + std::to_string(criticality);
+    cls.criticality = criticality;
+    cls.path = std::move(path);
+    return cls;
+}
+
+} // namespace
+
+// ---- Request-class derivation -------------------------------------
+
+TEST(RequestClasses, CriticalityIsMaxOverRequiredComponents)
+{
+    const auto classes = buildRequestClasses({tinyApp(0), tinyApp(1)});
+    ASSERT_EQ(classes.size(), 6u);
+
+    // Dense indexing in testbed order.
+    for (size_t i = 0; i < classes.size(); ++i)
+        EXPECT_EQ(classes[i].index, i);
+
+    EXPECT_EQ(classes[0].label(), "tiny0/core");
+    EXPECT_EQ(classes[0].criticality, sim::kC1);
+
+    // A required C5 dependency drags the class down to C5.
+    EXPECT_EQ(classes[1].label(), "tiny0/both");
+    EXPECT_EQ(classes[1].criticality, 5);
+
+    // An optional C5 dependency does not.
+    EXPECT_EQ(classes[2].label(), "tiny0/opt");
+    EXPECT_EQ(classes[2].criticality, sim::kC1);
+
+    // Second app instance keeps its own identity.
+    EXPECT_EQ(classes[3].appName, "tiny1");
+    EXPECT_EQ(classes[3].app, 1u);
+}
+
+TEST(RequestClasses, SloLatencyTargetsTrackNominalPathLatency)
+{
+    const auto classes = buildRequestClasses({tinyApp(0)});
+    ASSERT_EQ(classes.size(), 3u);
+    // 2x nominal (sum over all components), floored at 50 ms.
+    EXPECT_NEAR(classes[0].slo.latencyP95Ms, 80.0, 1e-9);  // 2*40
+    EXPECT_NEAR(classes[1].slo.latencyP95Ms, 120.0, 1e-9); // 2*60
+    EXPECT_NEAR(classes[2].slo.latencyP95Ms, 50.0, 1e-9);  // floor
+    for (const RequestClass &cls : classes)
+        EXPECT_NEAR(cls.slo.availabilityTarget, 0.99, 1e-12);
+}
+
+// ---- Windowed SLO accounting --------------------------------------
+
+TEST(SloTracker, WindowEvaluationAndViolationSeconds)
+{
+    RequestClass cls = classWith(sim::kC1);
+    cls.slo.latencyP95Ms = 100.0;
+    cls.slo.availabilityTarget = 0.99;
+    SloTracker tracker({cls}, 5.0);
+
+    // Healthy window: everything served, fast.
+    for (int i = 0; i < 100; ++i)
+        tracker.recordServed(0, 10.0);
+    EXPECT_NEAR(tracker.closeWindow(), 0.0, 1e-12);
+
+    // Availability breach: 2 shed of 100 -> 0.98 < 0.99.
+    for (int i = 0; i < 98; ++i)
+        tracker.recordServed(0, 10.0);
+    tracker.recordShed(0);
+    tracker.recordShed(0);
+    EXPECT_NEAR(tracker.closeWindow(), 5.0, 1e-12);
+
+    // Idle window: no demand, no violation.
+    EXPECT_NEAR(tracker.closeWindow(), 0.0, 1e-12);
+
+    // Latency breach: served but slow.
+    for (int i = 0; i < 10; ++i)
+        tracker.recordServed(0, 200.0);
+    EXPECT_NEAR(tracker.closeWindow(), 5.0, 1e-12);
+
+    // Total failure: one failed request, nothing served.
+    tracker.recordFailed(0);
+    EXPECT_NEAR(tracker.closeWindow(), 5.0, 1e-12);
+
+    const auto reports = tracker.report();
+    ASSERT_EQ(reports.size(), 1u);
+    const ClassReport &rep = reports[0];
+    EXPECT_EQ(rep.offered, 211u);
+    EXPECT_EQ(rep.served, 208u);
+    EXPECT_EQ(rep.shed, 2u);
+    EXPECT_EQ(rep.failed, 1u);
+    EXPECT_EQ(rep.windows, 5u);
+    EXPECT_EQ(rep.violationWindows, 3u);
+    EXPECT_NEAR(rep.sloViolationSeconds, 15.0, 1e-12);
+    EXPECT_NEAR(rep.goodput(), 208.0 / 211.0, 1e-12);
+    EXPECT_NEAR(rep.shedFraction(), 2.0 / 211.0, 1e-12);
+    // Overall percentiles over every served latency.
+    EXPECT_GT(rep.p50Ms, 0.0);
+    EXPECT_LE(rep.p50Ms, rep.p95Ms);
+    EXPECT_LE(rep.p95Ms, rep.p99Ms);
+}
+
+TEST(SloTracker, ViolationSecondsSplitByCriticality)
+{
+    RequestClass critical = classWith(sim::kC1);
+    RequestClass degradable = classWith(5);
+    SloTracker tracker({critical, degradable}, 10.0);
+
+    tracker.recordServed(0, 1.0); // critical class fine
+    tracker.recordShed(1);        // degradable class fully shed
+    EXPECT_NEAR(tracker.closeWindow(), 10.0, 1e-12);
+
+    EXPECT_NEAR(tracker.violationSeconds(/*critical=*/true), 0.0,
+                1e-12);
+    EXPECT_NEAR(tracker.violationSeconds(/*critical=*/false), 10.0,
+                1e-12);
+}
+
+TEST(SloTracker, IdleRunReportsPerfectGoodput)
+{
+    SloTracker tracker({classWith(sim::kC1)}, 5.0);
+    tracker.closeWindow();
+    const auto reports = tracker.report();
+    EXPECT_EQ(reports[0].offered, 0u);
+    EXPECT_NEAR(reports[0].goodput(), 1.0, 1e-12);
+    EXPECT_LT(reports[0].p95Ms, 0.0); // no-sample convention
+}
+
+// ---- Admission control --------------------------------------------
+
+TEST(Admission, CapacityLevelDegradesWithReadyFraction)
+{
+    AdmissionController admission;
+    EXPECT_EQ(admission.admitLevel(), sim::kLowestCriticality);
+
+    // Full capacity admits everything.
+    admission.observeCapacity(1.0);
+    EXPECT_EQ(admission.admitLevel(), sim::kLowestCriticality);
+    EXPECT_EQ(admission.decide(classWith(10)), AdmitDecision::Admit);
+
+    // Half capacity: level = 1 + floor(9 * 0.5 / 0.95) = 5.
+    admission.observeCapacity(0.5);
+    EXPECT_EQ(admission.admitLevel(), 5);
+    EXPECT_EQ(admission.decide(classWith(5)), AdmitDecision::Admit);
+    EXPECT_EQ(admission.decide(classWith(6)),
+              AdmitDecision::ShedCapacity);
+
+    // Zero capacity: C1 only.
+    admission.observeCapacity(0.0);
+    EXPECT_EQ(admission.admitLevel(), sim::kC1);
+    EXPECT_EQ(admission.decide(classWith(sim::kC1)),
+              AdmitDecision::Admit);
+    EXPECT_EQ(admission.decide(classWith(2)),
+              AdmitDecision::ShedCapacity);
+}
+
+TEST(Admission, HysteresisDampsReadmission)
+{
+    AdmissionController admission;
+    admission.observeCapacity(0.5);
+    ASSERT_EQ(admission.admitLevel(), 5);
+
+    // A wobble just above the drop point must not re-admit: the
+    // margin-adjusted level does not clear the current one.
+    admission.observeCapacity(0.55);
+    EXPECT_EQ(admission.admitLevel(), 5);
+
+    // A real recovery does, but only to the margin-adjusted level.
+    admission.observeCapacity(0.60);
+    EXPECT_EQ(admission.admitLevel(), 6);
+
+    // Full recovery restores full service.
+    admission.observeCapacity(1.0);
+    EXPECT_EQ(admission.admitLevel(), sim::kLowestCriticality);
+}
+
+TEST(Admission, PlanAwareShedFailsFastOnSacrificedServices)
+{
+    AdmissionController admission;
+    RequestClass needsBoth = classWith(
+        3, {apps::PathComponent{0, true, 1.0, 10.0},
+            apps::PathComponent{1, true, 1.0, 10.0}});
+    needsBoth.app = 7;
+    RequestClass needsFront =
+        classWith(2, {apps::PathComponent{0, true, 1.0, 10.0},
+                      apps::PathComponent{1, false, 1.0, 10.0}});
+    needsFront.app = 7;
+
+    // No plan yet: both admitted.
+    EXPECT_FALSE(admission.hasPlan());
+    EXPECT_EQ(admission.decide(needsBoth), AdmitDecision::Admit);
+
+    // Planner sacrificed service 1: the class requiring it sheds
+    // fail-fast, the one that only optionally touches it does not.
+    admission.setPlannedServices(
+        {AdmissionController::serviceKey(7, 0)});
+    EXPECT_TRUE(admission.hasPlan());
+    EXPECT_EQ(admission.decide(needsBoth), AdmitDecision::ShedPlan);
+    EXPECT_EQ(admission.decide(needsFront), AdmitDecision::Admit);
+
+    admission.clearPlan();
+    EXPECT_EQ(admission.decide(needsBoth), AdmitDecision::Admit);
+}
+
+TEST(Admission, DisabledControllerAdmitsEverything)
+{
+    AdmissionConfig config;
+    config.enabled = false;
+    AdmissionController admission(config);
+    admission.observeCapacity(0.0);
+    admission.setPlannedServices({}); // ignored when disabled
+    EXPECT_EQ(admission.admitLevel(), sim::kLowestCriticality);
+    EXPECT_EQ(admission.decide(classWith(10, {apps::PathComponent{
+                  0, true, 1.0, 1.0}})),
+              AdmitDecision::Admit);
+    EXPECT_FALSE(admission.hasPlan());
+}
+
+// ---- End-to-end harness -------------------------------------------
+
+namespace {
+
+ServeConfig
+miniConfig(ServeScheme scheme)
+{
+    ServeConfig config;
+    config.scheme = scheme;
+    config.warmupSec = 300.0;
+    config.endTime = 700.0;
+    config.frontend.rpsScale = 0.2;
+    config.frontend.seed = 42;
+    config.frontend.admission.enabled = scheme != ServeScheme::Default;
+    return config;
+}
+
+} // namespace
+
+TEST(ServeHarness, HealthyClusterServesEverything)
+{
+    // Phoenix replans once at startup, and the planner's bin-packed
+    // placement fits every pod — including the two 7.6-CPU HR1 pods
+    // the spread scheduler strands (see the Default test below). A
+    // healthy cluster under Phoenix then serves every request.
+    const ServeResult result =
+        runServe(miniConfig(ServeScheme::PhoenixCost));
+    EXPECT_GT(result.offered, 0u);
+    EXPECT_EQ(result.offered, result.served + result.shed +
+                                  result.failed);
+    EXPECT_EQ(result.shed, 0u);
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_EQ(result.invariantViolations, 0u);
+    EXPECT_NEAR(result.totalGoodput, 1.0, 1e-12);
+    EXPECT_NEAR(result.shedFraction, 0.0, 1e-12);
+    EXPECT_EQ(result.criticalViolationSeconds, 0.0);
+    EXPECT_LT(result.firstFailureAt, 0.0); // no scenario
+    // 29 CloudLab request classes, every one exercised.
+    EXPECT_EQ(result.classes.size(), 29u);
+    for (const ClassReport &rep : result.classes)
+        EXPECT_GT(rep.offered, 0u) << rep.meta.label();
+}
+
+TEST(ServeHarness, SpreadSchedulerStrandsLargePodsUnderDefault)
+{
+    // The kube default scheduler spreads (least-allocated scoring), so
+    // by the time HR1's 7.6-CPU frontend and reservation pods come up
+    // in PodRef order every node has some usage and neither ever
+    // binds. All four HR1 request classes route through at least one
+    // of the stranded services and fail outright; every other class
+    // is untouched. This is the placement-fragility motivation for
+    // planner-driven placement, pinned as serving-layer behavior.
+    const ServeResult result =
+        runServe(miniConfig(ServeScheme::Default));
+    EXPECT_EQ(result.offered, result.served + result.shed +
+                                  result.failed);
+    EXPECT_EQ(result.shed, 0u);
+    EXPECT_EQ(result.invariantViolations, 0u);
+    EXPECT_GT(result.failed, 0u);
+    size_t failedClasses = 0;
+    for (const ClassReport &rep : result.classes) {
+        EXPECT_GT(rep.offered, 0u) << rep.meta.label();
+        if (rep.failed > 0) {
+            ++failedClasses;
+            // Down from the first request: all-or-nothing.
+            EXPECT_EQ(rep.failed, rep.offered) << rep.meta.label();
+            EXPECT_EQ(rep.served, 0u) << rep.meta.label();
+            EXPECT_EQ(rep.meta.app, 4) << rep.meta.label(); // HR1
+        }
+    }
+    EXPECT_EQ(failedClasses, 4u);
+}
+
+TEST(ServeHarness, RunsAreDeterministic)
+{
+    const ServeResult a = runServe(miniConfig(ServeScheme::PhoenixCost));
+    const ServeResult b = runServe(miniConfig(ServeScheme::PhoenixCost));
+    EXPECT_EQ(a.offered, b.offered);
+    EXPECT_EQ(a.served, b.served);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.failed, b.failed);
+    ASSERT_EQ(a.classes.size(), b.classes.size());
+    for (size_t i = 0; i < a.classes.size(); ++i) {
+        EXPECT_EQ(a.classes[i].offered, b.classes[i].offered);
+        EXPECT_EQ(a.classes[i].p95Ms, b.classes[i].p95Ms); // exact
+        EXPECT_EQ(a.classes[i].sloViolationSeconds,
+                  b.classes[i].sloViolationSeconds);
+    }
+
+    // A different seed moves the arrival draws.
+    ServeConfig other = miniConfig(ServeScheme::PhoenixCost);
+    other.frontend.seed = 43;
+    const ServeResult c = runServe(other);
+    EXPECT_NE(a.offered, c.offered);
+}
+
+TEST(ServeHarness, CapacityCrunchProtectsCriticalClasses)
+{
+    // Half the cluster fails mid-trace; under PhoenixCost the shed
+    // lands on degradable classes and every critical class keeps
+    // serving (strictly less SLO damage than the no-admission run
+    // would take — the bench smoke gate covers the full comparison).
+    ServeConfig config = miniConfig(ServeScheme::PhoenixCost);
+    config.endTime = 900.0;
+    config.scenario.failCapacityFraction(500.0, 0.5);
+    config.scenarioOptions.seed = 7;
+    const ServeResult result = runServe(config);
+
+    EXPECT_EQ(result.offered, result.served + result.shed +
+                                  result.failed);
+    EXPECT_GT(result.shed, 0u);
+    EXPECT_EQ(result.invariantViolations, 0u);
+    EXPECT_GT(result.replans, 0u);
+    EXPECT_NEAR(result.firstFailureAt, 500.0, 1e-9);
+    // Critical traffic keeps flowing.
+    EXPECT_GT(result.criticalGoodput, 0.8);
+    EXPECT_LT(result.criticalViolationSeconds,
+              result.nonCriticalViolationSeconds);
+}
+
+// ---- Daemon protocol ----------------------------------------------
+
+namespace {
+
+util::JsonValue
+reply(ServeDaemon &daemon, const std::string &line)
+{
+    util::JsonValue parsed;
+    const std::string text = daemon.handleLine(line);
+    EXPECT_TRUE(util::parseJson(text, parsed)) << text;
+    return parsed;
+}
+
+bool
+okOf(const util::JsonValue &parsed)
+{
+    const util::JsonValue *ok = parsed.field("ok");
+    return ok && ok->kind == util::JsonValue::Kind::Bool &&
+           ok->boolean;
+}
+
+} // namespace
+
+TEST(ServeDaemon, LifecycleRoundTrip)
+{
+    ServeDaemon daemon;
+
+    auto loaded = reply(daemon, R"({"cmd":"load-testbed"})");
+    EXPECT_TRUE(okOf(loaded));
+    EXPECT_GT(loaded.numberAt("nodes"), 0.0);
+
+    auto controller = reply(
+        daemon, R"({"cmd":"start-controller","scheme":"PhoenixCost"})");
+    EXPECT_TRUE(okOf(controller));
+
+    auto serve = reply(
+        daemon,
+        R"({"cmd":"serve-start","duration":200,"shape":"diurnal"})");
+    EXPECT_TRUE(okOf(serve));
+    EXPECT_NEAR(serve.numberAt("classes"), 29.0, 1e-12);
+
+    auto advanced =
+        reply(daemon, R"({"cmd":"advance","seconds":250})");
+    EXPECT_NEAR(advanced.numberAt("t"), 250.0, 1e-9);
+    EXPECT_NEAR(daemon.now(), 250.0, 1e-9);
+
+    auto observed = reply(daemon, R"({"cmd":"observe"})");
+    EXPECT_GT(observed.numberAt("running"), 0.0);
+    EXPECT_GT(observed.numberAt("ready_capacity"), 0.0);
+
+    auto stats = reply(daemon, R"({"cmd":"stats"})");
+    EXPECT_GT(stats.numberAt("offered"), 0.0);
+    const util::JsonValue *classes = stats.field("classes");
+    ASSERT_NE(classes, nullptr);
+    EXPECT_TRUE(classes->isArray());
+    EXPECT_EQ(classes->items.size(), 29u);
+
+    EXPECT_TRUE(okOf(reply(daemon, R"({"cmd":"shutdown"})")));
+    EXPECT_TRUE(daemon.shuttingDown());
+}
+
+TEST(ServeDaemon, IngestManifestSurfacesStructuredErrors)
+{
+    ServeDaemon daemon;
+    const std::string manifest = "application: good\\n"
+                                 "services:\\n"
+                                 "  - name: web\\n"
+                                 "    cpu: 2.0\\n"
+                                 "---\\n"
+                                 "application: broken\\n"
+                                 "services:\\n"
+                                 "  - name: a\\n"
+                                 "    cpu: nope\\n";
+    auto parsed = reply(daemon, std::string(R"({"cmd":"ingest-manifest","text":")") +
+                                    manifest + R"("})");
+    EXPECT_FALSE(okOf(parsed)); // a document was rejected
+    // Accepted apps are reported by name; the broken doc is absent.
+    const util::JsonValue *apps = parsed.field("apps");
+    ASSERT_NE(apps, nullptr);
+    ASSERT_EQ(apps->items.size(), 1u);
+    EXPECT_EQ(apps->items[0].kind, util::JsonValue::Kind::String);
+    EXPECT_EQ(apps->items[0].text, "good");
+
+    const util::JsonValue *errors = parsed.field("errors");
+    ASSERT_NE(errors, nullptr);
+    ASSERT_EQ(errors->items.size(), 1u);
+    EXPECT_NEAR(errors->items[0].numberAt("line"), 9.0, 1e-12);
+    EXPECT_EQ(errors->items[0].stringAt("field"), "cpu");
+}
+
+TEST(ServeDaemon, RejectsMalformedCommands)
+{
+    ServeDaemon daemon;
+    auto bad = reply(daemon, "not json at all");
+    EXPECT_FALSE(okOf(bad));
+    EXPECT_FALSE(bad.stringAt("error").empty());
+
+    auto unknown = reply(daemon, R"({"cmd":"frobnicate"})");
+    EXPECT_FALSE(okOf(unknown));
+
+    // serve-start before any testbed/manifest is an error, not a crash.
+    auto early = reply(daemon, R"({"cmd":"serve-start"})");
+    EXPECT_FALSE(okOf(early));
+}
+
+TEST(ServeDaemon, ReplStopsOnShutdown)
+{
+    ServeDaemon daemon;
+    std::istringstream in(
+        "{\"cmd\":\"load-testbed\"}\n"
+        "{\"cmd\":\"shutdown\"}\n"
+        "{\"cmd\":\"observe\"}\n"); // never reached
+    std::ostringstream out;
+    EXPECT_EQ(daemon.repl(in, out), 0);
+    // One reply line per consumed command, none after shutdown.
+    size_t lines = 0;
+    std::istringstream replies(out.str());
+    std::string line;
+    while (std::getline(replies, line))
+        ++lines;
+    EXPECT_EQ(lines, 2u);
+}

@@ -223,3 +223,35 @@ TEST(EventQueue, PastEventsClampToNow)
     EXPECT_TRUE(fired);
     EXPECT_NEAR(queue.now(), 10.0, 1e-9);
 }
+
+TEST(EventQueue, SameTimestampFifo)
+{
+    // Events scheduled for the same instant fire in schedule order —
+    // the contract src/serve leans on: the capacity refresh is armed
+    // before the arrival streams, so a request arriving at a refresh
+    // instant sees that instant's ready state.
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        queue.schedule(5.0, [&order, i] { order.push_back(i); });
+    queue.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, HandlerScheduledSameInstantRunsAfterExisting)
+{
+    // A handler scheduling another event *at the current instant*
+    // runs it after everything already queued for that instant, and
+    // still within the same runUntil call.
+    EventQueue queue;
+    std::vector<std::string> order;
+    queue.schedule(5.0, [&] {
+        order.push_back("first");
+        queue.schedule(5.0, [&] { order.push_back("nested"); });
+    });
+    queue.schedule(5.0, [&] { order.push_back("second"); });
+    queue.runUntil(5.0);
+    EXPECT_EQ(order, (std::vector<std::string>{"first", "second",
+                                               "nested"}));
+    EXPECT_LT(queue.nextEventAt(), 0.0);
+}

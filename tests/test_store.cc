@@ -249,3 +249,91 @@ TEST(Rto, TracksPerLevelRecovery)
     EXPECT_TRUE(outcomes[1].violated);  // C2: 120 > 100
     EXPECT_TRUE(outcomes[2].violated);  // C5: never recovered
 }
+
+TEST(Manifest, StructuredErrorsCarryLineAndField)
+{
+    // Three documents: a good one, one with a bad numeric cpu, and a
+    // duplicate of the first. The structured parser keeps the good
+    // app and reports both errors with their line and field.
+    const std::string text = "application: good\n"   // line 1
+                             "services:\n"           // line 2
+                             "  - name: web\n"       // line 3
+                             "    cpu: 2.0\n"        // line 4
+                             "---\n"                 // line 5
+                             "application: broken\n" // line 6
+                             "services:\n"           // line 7
+                             "  - name: a\n"         // line 8
+                             "    cpu: nope\n"       // line 9
+                             "---\n"                 // line 10
+                             "application: good\n"   // line 11
+                             "services:\n"           // line 12
+                             "  - name: web\n"       // line 13
+                             "    cpu: 1.0\n";       // line 14
+    const kube::ManifestParse parsed =
+        kube::parseManifestStructured(text);
+    ASSERT_EQ(parsed.apps.size(), 1u);
+    EXPECT_EQ(parsed.apps[0].name, "good");
+    ASSERT_EQ(parsed.errors.size(), 2u);
+
+    EXPECT_EQ(parsed.errors[0].line, 9u);
+    EXPECT_EQ(parsed.errors[0].field, "cpu");
+    EXPECT_NE(parsed.errors[0].message.find("nope"),
+              std::string::npos);
+
+    // The duplicate fires when the last document finalizes (EOF).
+    EXPECT_EQ(parsed.errors[1].line, 14u);
+    EXPECT_EQ(parsed.errors[1].field, "application");
+    EXPECT_NE(parsed.errors[1].message.find("duplicate application"),
+              std::string::npos);
+    EXPECT_NE(parsed.errors[1].toString().find("line 14"),
+              std::string::npos);
+}
+
+TEST(Manifest, StructuredDuplicateServicePointsAtEntry)
+{
+    // The duplicate-name error blames the second declaration line,
+    // not the document separator or EOF.
+    const std::string text = "application: x\n" // line 1
+                             "services:\n"      // line 2
+                             "  - name: a\n"    // line 3
+                             "    cpu: 1\n"     // line 4
+                             "  - name: a\n"    // line 5
+                             "    cpu: 1\n";    // line 6
+    const kube::ManifestParse parsed =
+        kube::parseManifestStructured(text);
+    EXPECT_TRUE(parsed.apps.empty());
+    ASSERT_EQ(parsed.errors.size(), 1u);
+    EXPECT_EQ(parsed.errors[0].line, 5u);
+    EXPECT_EQ(parsed.errors[0].field, "name");
+}
+
+TEST(Manifest, StructuredRecoversAcrossDocuments)
+{
+    // A malformed middle document (missing cpu) must not poison the
+    // documents on either side, and the error points at the entry's
+    // declaration line.
+    const std::string text = "application: one\n" // line 1
+                             "services:\n"        // line 2
+                             "  - name: a\n"      // line 3
+                             "    cpu: 1\n"       // line 4
+                             "---\n"              // line 5
+                             "application: two\n" // line 6
+                             "services:\n"        // line 7
+                             "  - name: b\n"      // line 8
+                             "---\n"              // line 9
+                             "application: three\n"
+                             "services:\n"
+                             "  - name: c\n"
+                             "    cpu: 3\n";
+    const kube::ManifestParse parsed =
+        kube::parseManifestStructured(text);
+    ASSERT_EQ(parsed.apps.size(), 2u);
+    EXPECT_EQ(parsed.apps[0].name, "one");
+    EXPECT_EQ(parsed.apps[1].name, "three");
+    // Ids are contiguous over the accepted apps.
+    EXPECT_EQ(parsed.apps[0].id, 0u);
+    EXPECT_EQ(parsed.apps[1].id, 1u);
+    ASSERT_EQ(parsed.errors.size(), 1u);
+    EXPECT_EQ(parsed.errors[0].line, 8u);
+    EXPECT_EQ(parsed.errors[0].field, "cpu");
+}
