@@ -21,6 +21,29 @@
  * bound means the hot path got algorithmically heavier; zero counters
  * mean the instrumentation broke.
  *
+ * Beyond the shared flags, this harness accepts:
+ *
+ *   --nodes N     run a single cluster size instead of the sweep
+ *                 (N >= 1,000,000 restricts the grid to the Phoenix
+ *                 schemes; the baselines' bookkeeping does not reach
+ *                 that scale)
+ *   --zones Z     failure-domain count for the incremental-replan
+ *                 demo (default max(2, nodes/50): ~rack-sized zones)
+ *   --1m-smoke    opt-in 1,000,000-node gate for ctest: requires
+ *                 FIG8B_1M=1 in the environment (exits 77 — the ctest
+ *                 SKIP code — otherwise), runs the 1M-node Phoenix
+ *                 cells plus the 100k incremental demo, and asserts
+ *                 the recorded op-counter bounds and the >= 10x
+ *                 incremental op reduction
+ *
+ * Every run also measures the incremental-replan demo: two controller
+ * epochs on one long-lived PhoenixCost scheme with the incremental +
+ * sharded options on, a single zone failing between them. The second
+ * epoch must be bit-identical to a from-scratch scheme on the same
+ * state while spending a fraction of its heap pushes and best-fit
+ * probes (the planner serves its ranking from cache; packing
+ * reconciles the capacity index instead of rebuilding it).
+ *
  * This harness measures wall-clock planning time, so unlike the other
  * grids it defaults to --jobs 1: concurrent cells would contend for
  * cores and inflate the very numbers being reported. Pass --jobs N
@@ -29,10 +52,15 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "core/schemes.h"
 #include "exp/grid.h"
+#include "exp/pool.h"
 #include "util/table.h"
 
 using namespace phoenix;
@@ -100,25 +128,182 @@ struct SmokeBound
 // is a real algorithmic change). Bounds leave ~1.4x headroom.
 constexpr SmokeBound kSmokeBound{5000.0, 1000.0};
 
+// Observed at the 1,000,000-node point (seedBase 1234, rate 0.5, one
+// trial): 19,169 pushes for both Phoenix schemes, 12,555,185 probes
+// (Fair) / 7,000,531 (Cost); same deterministic counters, ~1.4x
+// headroom over the larger. Gated behind FIG8B_1M=1 via --1m-smoke.
+constexpr SmokeBound k1mBound{27000.0, 18000000.0};
+
 bool
-smokeCheck(const exp::SweepAggregate &agg)
+smokeCheck(const exp::SweepAggregate &agg, const SmokeBound &bound,
+           const char *gate)
 {
     bool ok = true;
     const auto check = [&](const char *what, double value, double low,
                            double high) {
         if (value < low || value > high) {
-            std::cerr << "FIG8B_SMOKE: " << agg.scheme << " " << what
+            std::cerr << gate << ": " << agg.scheme << " " << what
                       << " = " << value << " outside [" << low << ", "
                       << high << "]\n";
             ok = false;
         }
     };
     check("ops_heap_pushes", agg.mean.opsHeapPushes, 1.0,
-          kSmokeBound.maxHeapPushes);
+          bound.maxHeapPushes);
     check("ops_best_fit_probes", agg.mean.opsBestFitProbes, 1.0,
-          kSmokeBound.maxBestFitProbes);
+          bound.maxBestFitProbes);
     check("ops_child_sort_elems", agg.mean.opsChildSortElems, 0.0, 0.0);
     return ok;
+}
+
+/**
+ * Zone-sharded Phoenix cell: estimator partitioned over 8 shards,
+ * capacity index split into 8 zones, shards run on the pool. Outputs
+ * and op counters are bit-identical to the plain Phoenix cells (the
+ * BitIdentity suite proves it); only wall-clock may differ.
+ */
+exp::SchemeSpec
+shardedSpec(core::Objective objective, int jobs)
+{
+    core::PlannerOptions planner_opts;
+    planner_opts.shardCount = 8;
+    planner_opts.shardRunner = exp::shardRunner(jobs);
+    core::PackingOptions packing_opts;
+    packing_opts.zoneShards = 8;
+    packing_opts.shardRunner = exp::shardRunner(jobs);
+    const std::string name = objective == core::Objective::Fair
+                                 ? "PhoenixFair-sharded"
+                                 : "PhoenixCost-sharded";
+    return exp::schemeSpec<core::PhoenixScheme>(name, objective,
+                                                planner_opts,
+                                                packing_opts);
+}
+
+double
+combinedOps(const core::SchemeResult &r)
+{
+    return static_cast<double>(r.planOps.heapPushes +
+                               r.pack.ops.heapPushes +
+                               r.pack.ops.bestFitProbes);
+}
+
+/**
+ * Incremental-replan demo: one long-lived warm scheme across two
+ * epochs with a single-zone failure in between, against a cold
+ * from-scratch scheme on the identical second-epoch state. Returns
+ * whether the outputs were bit-identical AND the warm epoch spent
+ * <= 1/10 of the cold scheme's heap pushes + best-fit probes.
+ */
+bool
+runIncrementalDemo(size_t nodes, size_t zones, int jobs,
+                   util::Table &table, exp::Report &report)
+{
+    using Clock = std::chrono::steady_clock;
+    const Environment env = buildEnvironment(sizedConfig(nodes));
+
+    // The demo uses the Cost objective: its keys are capacity-blind,
+    // so the planner's rejection-free grant replay can prove the
+    // cached ranking still valid after the zone's capacity vanished.
+    core::PlannerOptions planner_opts;
+    planner_opts.incremental = true;
+    planner_opts.shardCount = 8;
+    planner_opts.shardRunner = exp::shardRunner(jobs);
+    core::PackingOptions packing_opts;
+    packing_opts.incremental = true;
+    packing_opts.zoneShards = 8;
+    packing_opts.shardRunner = exp::shardRunner(jobs);
+    core::PhoenixScheme warm(core::Objective::Cost, planner_opts,
+                             packing_opts);
+    core::PhoenixScheme fresh(core::Objective::Cost);
+
+    // Epoch 1 primes the caches; its packed state is what the cluster
+    // looks like once the agent executed the plan.
+    const core::SchemeResult first = warm.apply(env.apps, env.cluster);
+
+    // One failure domain (nodes with id % zones == 0) goes dark.
+    sim::ClusterState failed = first.pack.state;
+    size_t failed_nodes = 0;
+    for (size_t id = 0; id < nodes; id += zones) {
+        failed.failNode(static_cast<sim::NodeId>(id));
+        ++failed_nodes;
+    }
+
+    const auto inc_start = Clock::now();
+    const core::SchemeResult inc = warm.apply(env.apps, failed);
+    const double inc_seconds =
+        std::chrono::duration<double>(Clock::now() - inc_start).count();
+    const auto ref_start = Clock::now();
+    const core::SchemeResult ref = fresh.apply(env.apps, failed);
+    const double ref_seconds =
+        std::chrono::duration<double>(Clock::now() - ref_start).count();
+
+    const bool identical =
+        inc.plan == ref.plan &&
+        inc.pack.state.assignment() == ref.pack.state.assignment() &&
+        inc.pack.placed == ref.pack.placed &&
+        inc.pack.complete == ref.pack.complete;
+    const double inc_ops = combinedOps(inc);
+    const double ref_ops = combinedOps(ref);
+    const double ratio = ref_ops / std::max(inc_ops, 1.0);
+
+    table.row()
+        .cell(nodes)
+        .cell("PhoenixCost-incr")
+        .cell(inc.planSeconds, 4)
+        .cell(inc.packSeconds, 4)
+        .cell(inc_seconds, 4)
+        .cell(inc.planOps.heapPushes + inc.pack.ops.heapPushes, 0)
+        .cell(inc.pack.ops.bestFitProbes, 0)
+        .cell(inc.planOps.childSortElems, 0)
+        .cell(identical ? "ok" : "MISMATCH");
+    table.row()
+        .cell(nodes)
+        .cell("PhoenixCost-scratch")
+        .cell(ref.planSeconds, 4)
+        .cell(ref.packSeconds, 4)
+        .cell(ref_seconds, 4)
+        .cell(ref.planOps.heapPushes + ref.pack.ops.heapPushes, 0)
+        .cell(ref.pack.ops.bestFitProbes, 0)
+        .cell(ref.planOps.childSortElems, 0)
+        .cell("ok");
+
+    std::cout << "Incremental demo (" << nodes << " nodes, " << zones
+              << " zones, " << failed_nodes
+              << " failed): ops " << ref_ops << " -> " << inc_ops
+              << " (" << ratio << "x), kv " << ref.pack.ops.kvOps
+              << " -> " << inc.pack.ops.kvOps << ", reconcile "
+              << ref.pack.reconcileSeconds << "s -> "
+              << inc.pack.reconcileSeconds << "s, epoch "
+              << ref_seconds << "s -> " << inc_seconds << "s, outputs "
+              << (identical ? "bit-identical" : "MISMATCH") << "\n";
+
+    report.meta("incremental_demo_nodes",
+                static_cast<int64_t>(nodes));
+    report.meta("incremental_demo_zones",
+                static_cast<int64_t>(zones));
+    report.meta("incremental_demo_failed_nodes",
+                static_cast<int64_t>(failed_nodes));
+    report.meta("incremental_demo_ops_scratch", ref_ops);
+    report.meta("incremental_demo_ops_incremental", inc_ops);
+    report.meta("incremental_demo_ops_ratio", ratio);
+    report.meta("incremental_demo_kv_ops_scratch",
+                static_cast<int64_t>(ref.pack.ops.kvOps));
+    report.meta("incremental_demo_kv_ops_incremental",
+                static_cast<int64_t>(inc.pack.ops.kvOps));
+    report.meta("incremental_demo_reconcile_seconds_scratch",
+                ref.pack.reconcileSeconds);
+    report.meta("incremental_demo_reconcile_seconds_incremental",
+                inc.pack.reconcileSeconds);
+    report.meta("incremental_demo_identical",
+                static_cast<int64_t>(identical ? 1 : 0));
+
+    if (!identical)
+        std::cerr << "incremental demo: outputs diverged from "
+                     "from-scratch\n";
+    if (ratio < 10.0)
+        std::cerr << "incremental demo: op reduction " << ratio
+                  << "x below the 10x requirement\n";
+    return identical && ratio >= 10.0;
 }
 
 } // namespace
@@ -129,12 +314,50 @@ main(int argc, char **argv)
     const char *smoke_env = std::getenv("FIG8B_SMOKE");
     const bool smoke = smoke_env && std::string(smoke_env) == "1";
 
-    auto options = bench::parseOptions(argc, argv, "fig8b");
+    // Harness-specific flags are stripped before the shared parser
+    // (which exits on anything it does not know).
+    size_t nodes_override = 0;
+    size_t zones_override = 0;
+    bool smoke_1m = false;
+    std::vector<char *> pass;
+    pass.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--nodes" && i + 1 < argc) {
+            nodes_override = static_cast<size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--zones" && i + 1 < argc) {
+            zones_override = static_cast<size_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (arg == "--1m-smoke") {
+            smoke_1m = true;
+        } else {
+            pass.push_back(argv[i]);
+        }
+    }
+    if (smoke_1m) {
+        const char *gate = std::getenv("FIG8B_1M");
+        if (!gate || std::string(gate) != "1") {
+            std::cout << "fig8b --1m-smoke: FIG8B_1M=1 not set; "
+                         "skipping (exit 77)\n";
+            return 77;
+        }
+        nodes_override = 1000000;
+    }
+
+    auto options = bench::parseOptions(
+        static_cast<int>(pass.size()), pass.data(), "fig8b");
     bench::applyObs(options);
+    // Per-cell obs deltas (core.shards_planned, core.dirty_zones,
+    // core.replans_incremental, core.reconcile_seconds) are part of
+    // this figure's report: metrics stay on regardless of --metrics.
+    obs::setMetricsEnabled(true);
     if (options.jobs == 0)
         options.jobs = 1; // timing fidelity; see file header
     bench::banner(smoke
                       ? "Figure 8(b) smoke | 1,000-node counter gate"
+                  : smoke_1m
+                      ? "Figure 8(b) | 1,000,000-node counter gate"
                       : "Figure 8(b) | time to adapt vs cluster size");
     if (options.jobs != 1)
         std::cout << "note: --jobs " << options.jobs
@@ -147,8 +370,10 @@ main(int argc, char **argv)
     exp::Report report("fig8b");
 
     const std::vector<size_t> sizes =
-        smoke ? std::vector<size_t>{1000ul}
-              : std::vector<size_t>{100ul, 1000ul, 10000ul, 100000ul};
+        nodes_override > 0 ? std::vector<size_t>{nodes_override}
+        : smoke            ? std::vector<size_t>{1000ul}
+                           : std::vector<size_t>{100ul, 1000ul, 10000ul,
+                                                 100000ul};
     bool smoke_ok = true;
 
     for (size_t nodes : sizes) {
@@ -159,6 +384,12 @@ main(int argc, char **argv)
         if (smoke) {
             const auto all = exp::paperSchemeSpecs(false);
             spec.schemes = {all[0], all[1]}; // PhoenixFair/PhoenixCost
+        } else if (nodes >= 1000000) {
+            // The baselines' bookkeeping (and the trial's state
+            // copies) are the bottleneck at this scale; the panel the
+            // 1M point exists for is Phoenix anyway.
+            const auto all = exp::paperSchemeSpecs(false);
+            spec.schemes = {all[0], all[1]};
         } else if (nodes <= 1000) {
             core::LpSchemeOptions lp_options;
             lp_options.timeLimitSec = 10.0;
@@ -172,6 +403,12 @@ main(int argc, char **argv)
             const auto all = exp::paperSchemeSpecs(false);
             spec.schemes = {all[0], all[1], all[4]};
         }
+        // Zone-sharded Phoenix cells ride along at every size: same
+        // outputs and counters as the plain cells, A/B wall-clock.
+        spec.schemes.push_back(
+            shardedSpec(core::Objective::Fair, options.jobs));
+        spec.schemes.push_back(
+            shardedSpec(core::Objective::Cost, options.jobs));
         spec.failureRates = {0.5};
         spec.trials = options.trialsOr(1);
         spec.seedBase = options.seedOr(1234);
@@ -192,7 +429,12 @@ main(int argc, char **argv)
                 .cell(agg.mean.opsChildSortElems, 0)
                 .cell(failed ? "gave-up" : "ok");
             if (smoke)
-                smoke_ok = smokeCheck(agg) && smoke_ok;
+                smoke_ok =
+                    smokeCheck(agg, kSmokeBound, "FIG8B_SMOKE") &&
+                    smoke_ok;
+            if (smoke_1m)
+                smoke_ok = smokeCheck(agg, k1mBound, "FIG8B_1M") &&
+                           smoke_ok;
         }
         if (!smoke && nodes > 1000 && options.filter.empty()) {
             table.row().cell(nodes).cell("LPFair").cell("-").cell("-")
@@ -204,6 +446,25 @@ main(int argc, char **argv)
         }
         report.addSweep("nodes_" + std::to_string(nodes), aggregates);
     }
+
+    // Incremental-replan demo: AC scale is the 100k-node single-zone
+    // epoch; the smoke gate uses its 1,000-node environment, and an
+    // explicit --nodes below 100k demos at that size.
+    const size_t demo_nodes =
+        smoke ? 1000ul
+              : std::min<size_t>(
+                    nodes_override > 0 ? nodes_override : 100000ul,
+                    100000ul);
+    // Rack-sized zones (~50 nodes): a single-zone failure then
+    // displaces few enough pods that the fixed repacking cost does not
+    // dilute the saved planning work below the 10x gate.
+    const size_t demo_zones =
+        zones_override > 0
+            ? zones_override
+            : std::max<size_t>(2, demo_nodes / (smoke ? 20 : 50));
+    const bool demo_ok = runIncrementalDemo(
+        demo_nodes, demo_zones, options.jobs, table, report);
+
     table.print(std::cout);
     const double rss = peakRssMiB();
     std::cout << "Peak RSS: " << rss << " MiB\n";
@@ -218,11 +479,13 @@ main(int argc, char **argv)
     report.addTable("fig8b_times", table);
     bench::finishReport(report, options);
 
-    if (smoke && !smoke_ok) {
-        std::cerr << "FIG8B_SMOKE: counter bounds violated\n";
+    if ((smoke || smoke_1m) && !(smoke_ok && demo_ok)) {
+        std::cerr << (smoke ? "FIG8B_SMOKE" : "FIG8B_1M")
+                  << ": gate violated\n";
         return 1;
     }
-    if (smoke)
-        std::cout << "FIG8B_SMOKE: counters within recorded bounds\n";
+    if (smoke || smoke_1m)
+        std::cout << (smoke ? "FIG8B_SMOKE" : "FIG8B_1M")
+                  << ": counters within recorded bounds\n";
     return 0;
 }

@@ -32,7 +32,7 @@ cmake --build "$BUILD" -j "$JOBS"
 
 step "tier-1 ctest (unit + property + corpus suites)"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
-    -E '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|fuzz_long)$'
+    -E '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|fig8b_1m_smoke|fuzz_long)$'
 
 # The smoke gates run serially and last so their bound assertions
 # (fig8b op counters, Fig 6 recovery times, serving SLO/shed bounds,
@@ -40,6 +40,15 @@ ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
 step "smoke gates: fuzz_smoke, recovery_smoke, serve_smoke, fig8b_smoke"
 ctest --test-dir "$BUILD" --output-on-failure \
     -R '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke)$'
+
+# Million-node gate, opt-in: export FIG8B_1M=1 to run the 1M-node
+# Phoenix cells + the 100k incremental-replan demo (~minutes, GBs of
+# RSS). Left out of the default gate by design.
+if [[ "${FIG8B_1M:-}" == "1" ]]; then
+  step "million-node gate: fig8b_1m_smoke"
+  FIG8B_1M=1 ctest --test-dir "$BUILD" --output-on-failure \
+      -R '^fig8b_1m_smoke$'
+fi
 
 if [[ "$FAST" == "1" ]]; then
   step "--fast: skipping sanitizer builds"

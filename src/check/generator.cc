@@ -101,18 +101,36 @@ generateCase(uint64_t seed, const GeneratorOptions &options)
     out.lifecycle = rng.bernoulli(options.lifecycleProbability);
     const double t0 = out.lifecycle ? 200.0 : 0.0;
 
-    std::vector<sim::NodeId> order(node_count);
-    std::iota(order.begin(), order.end(), sim::NodeId{0});
-    rng.shuffle(order);
-    auto fail_count = static_cast<size_t>(
-        rng.uniformInt(1, static_cast<int64_t>(node_count)));
-    if (fail_count == node_count && rng.bernoulli(0.8))
-        --fail_count; // usually keep at least one node alive
-    if (fail_count == 0)
-        fail_count = 1;
-    std::vector<sim::NodeId> failed(order.begin(),
-                                    order.begin() +
-                                        static_cast<long>(fail_count));
+    std::vector<sim::NodeId> failed;
+    const bool zone_local =
+        options.zoneFailureZones > 1 &&
+        node_count > static_cast<size_t>(options.zoneFailureZones) &&
+        rng.bernoulli(options.zoneFailureProbability);
+    if (zone_local) {
+        // Fail exactly one capacity-index zone: every node with one
+        // residue modulo the zone count. With zones > 1 at least one
+        // other residue class survives, so the cluster never empties.
+        const auto zones =
+            static_cast<sim::NodeId>(options.zoneFailureZones);
+        const auto residue = static_cast<sim::NodeId>(
+            rng.uniformInt(0, static_cast<int64_t>(zones) - 1));
+        for (sim::NodeId n = 0; n < node_count; ++n) {
+            if (n % zones == residue)
+                failed.push_back(n);
+        }
+    } else {
+        std::vector<sim::NodeId> order(node_count);
+        std::iota(order.begin(), order.end(), sim::NodeId{0});
+        rng.shuffle(order);
+        auto fail_count = static_cast<size_t>(
+            rng.uniformInt(1, static_cast<int64_t>(node_count)));
+        if (fail_count == node_count && rng.bernoulli(0.8))
+            --fail_count; // usually keep at least one node alive
+        if (fail_count == 0)
+            fail_count = 1;
+        failed.assign(order.begin(),
+                      order.begin() + static_cast<long>(fail_count));
+    }
 
     CaseStep fault;
     fault.at = t0;

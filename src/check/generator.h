@@ -53,6 +53,16 @@ struct GeneratorOptions
     double recoverProbability = 0.35;
     /** Probability of a kubelet flap instead of a clean failure. */
     double flapProbability = 0.2;
+
+    /** Probability that the failure step is zone-local: every failed
+     * node shares one residue id % zoneFailureZones — the blast shape
+     * the zone-sharded capacity index routes and the incremental
+     * replanner's dirty-zone hints describe. */
+    double zoneFailureProbability = 0.3;
+    /** Zone count used to pick zone-local failure targets (must match
+     * the oracle's shard knob to make the failure single-zone for the
+     * schemes under test). */
+    int zoneFailureZones = 3;
 };
 
 /** Deterministically expand @p seed into a complete CheckCase. */

@@ -609,6 +609,63 @@ checkCase(const CheckCase &c, const OracleOptions &options)
                  flat.pack.state.assignment())
             report(result.violations, "flat-vs-reference", name,
                    "planned assignments diverge");
+
+        if (options.shards <= 1)
+            continue;
+
+        // Sharded plan + zone-sharded capacity index: identical
+        // outputs AND identical deterministic op counters (summed in
+        // shard order, probed once per best-fit call).
+        {
+            PlannerOptions sharded_planner;
+            sharded_planner.shardCount = options.shards;
+            PackingOptions sharded_packing;
+            sharded_packing.zoneShards =
+                static_cast<size_t>(options.shards);
+            PhoenixScheme sharded(objective, sharded_planner,
+                                  sharded_packing);
+            const SchemeResult sh = sharded.apply(c.apps, post);
+            if (sh.plan != flat.plan ||
+                !sameActions(sh.pack.actions, flat.pack.actions) ||
+                sh.pack.state.assignment() !=
+                    flat.pack.state.assignment())
+                report(result.violations, "sharded-vs-flat", name,
+                       "sharded outputs diverge from flat");
+            else if (sh.planOps.heapPushes !=
+                         flat.planOps.heapPushes ||
+                     sh.pack.ops.bestFitProbes !=
+                         flat.pack.ops.bestFitProbes ||
+                     sh.pack.ops.kvOps != flat.pack.ops.kvOps)
+                report(result.violations, "sharded-vs-flat", name,
+                       "sharded op counters diverge from flat");
+        }
+
+        // Incremental replan: warm the scheme on the pre-failure seed
+        // placement, then replan the post-failure state — the cache
+        // reuse + exact index reconcile across that diff must be
+        // byte-identical to a cold plan (op counters legally differ).
+        {
+            ClusterState seed_state = c.emptyCluster();
+            core::DefaultScheme seeder;
+            seed_state = seeder.apply(c.apps, seed_state).pack.state;
+
+            PlannerOptions inc_planner;
+            inc_planner.incremental = true;
+            inc_planner.shardCount = options.shards;
+            PackingOptions inc_packing;
+            inc_packing.incremental = true;
+            inc_packing.zoneShards =
+                static_cast<size_t>(options.shards);
+            PhoenixScheme warm(objective, inc_planner, inc_packing);
+            (void)warm.apply(c.apps, seed_state);
+            const SchemeResult inc = warm.apply(c.apps, post);
+            if (inc.plan != flat.plan ||
+                !sameActions(inc.pack.actions, flat.pack.actions) ||
+                inc.pack.state.assignment() !=
+                    flat.pack.state.assignment())
+                report(result.violations, "incremental-vs-flat", name,
+                       "warm replan diverges from cold plan");
+        }
     }
 
     result.schemesSeconds = secondsSince(schemes_start);

@@ -92,6 +92,9 @@ PhoenixController::poll()
             (obs::TraceArg{"capacity_before", record.capacityBefore}),
             (obs::TraceArg{"capacity_after", record.capacityAfter}));
 
+        // Blast-radius hint for the scheme (advisory: incremental
+        // replanning reconciles against the full observed state).
+        scheme_->noteDirtyNodes(cluster_.drainDirtyNodes());
         const SchemeResult result =
             scheme_->apply(cluster_.apps(), cluster_.observedState());
         record.planSeconds = result.planSeconds + result.packSeconds;

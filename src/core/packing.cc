@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <optional>
@@ -80,9 +81,10 @@ class ReferenceBook
     void
     init(const std::vector<sim::Application> &apps,
          const ClusterState &state, const GlobalRank &ranked,
-         OpCounters &ops)
+         const PackingOptions &options, OpCounters &ops)
     {
         (void)apps;
+        (void)options; // the reference oracle is always from-scratch
         ops_ = &ops;
         byRemaining_ = util::SortedKv<double, NodeId>();
         rankIndex_.clear();
@@ -220,7 +222,7 @@ class FlatBook
     void
     init(const std::vector<sim::Application> &apps,
          const ClusterState &state, const GlobalRank &ranked,
-         OpCounters &ops)
+         const PackingOptions &options, OpCounters &ops)
     {
         ops_ = &ops;
 
@@ -251,6 +253,7 @@ class FlatBook
             if (ms != kUnranked)
                 rankMs_[ms] = i; // last writer wins, like map::operator[]
         }
+        rankedSize_ = ranked.size();
 
         committedBits_.assign(total_pods, 0);
         overflowCommitted_.clear();
@@ -265,19 +268,21 @@ class FlatBook
                 overflowActive_[pod] = node;
         }
 
-        double max_capacity = 0.0;
-        for (NodeId id = 0; id < state.nodeCount(); ++id)
-            max_capacity = std::max(max_capacity, state.node(id).capacity);
-        size_t healthy = 0;
-        for (NodeId id = 0; id < state.nodeCount(); ++id)
-            healthy += state.isHealthy(id) ? 1 : 0;
-        byRemaining_.configure(max_capacity, healthy);
-        for (NodeId id = 0; id < state.nodeCount(); ++id) {
-            if (state.isHealthy(id)) {
-                byRemaining_.insert(state.remaining(id), id);
-                ++ops_->kvOps;
-            }
-        }
+        // Capacity index: reconcile the previous epoch's index when
+        // incremental and the topology still matches, else build cold
+        // (zone-parallel when sharded).
+        const size_t node_count = state.nodeCount();
+        const size_t zones = std::max<size_t>(options.zoneShards, 1);
+        const bool warm = options.incremental && warmValid_ &&
+                          warmNodeCount_ == node_count &&
+                          zoneCount_ == zones;
+        zoneCount_ = zones;
+        if (warm)
+            reconcileIndex(state);
+        else
+            coldBuildIndex(state, options);
+        warmValid_ = options.incremental;
+        warmNodeCount_ = node_count;
 
         parked_.assign(state.nodeCount(), 0.0);
         parkedTouched_.clear();
@@ -286,8 +291,11 @@ class FlatBook
     void
     kvUpdate(double before, double after, NodeId node)
     {
-        byRemaining_.erase(before, node);
-        byRemaining_.insert(after, node);
+        auto &kv = zones_[static_cast<size_t>(node) % zoneCount_];
+        kv.erase(before, node);
+        kv.insert(after, node);
+        if (trackMirror_)
+            bookKey_[node] = after;
         ops_->kvOps += 2;
     }
 
@@ -295,28 +303,94 @@ class FlatBook
     bestFit(double size) const
     {
         ++ops_->bestFitProbes;
-        const auto hit = byRemaining_.firstAtLeast(size);
-        if (!hit)
+        if (zoneCount_ == 1) {
+            const auto hit = zones_[0].firstAtLeast(size);
+            if (!hit)
+                return std::nullopt;
+            return hit->second;
+        }
+        // The global best fit is the (key, node)-minimum over the
+        // per-zone best fits: the partition covers every node exactly
+        // once, so min over zone minima == global minimum.
+        std::optional<KvPair> best;
+        for (const auto &kv : zones_) {
+            const auto hit = kv.firstAtLeast(size);
+            if (hit && (!best || *hit < *best))
+                best = hit;
+        }
+        if (!best)
             return std::nullopt;
-        return hit->second;
+        return best->second;
     }
 
     template <typename Visit>
     void
     forEachDescending(Visit visit) const
     {
-        byRemaining_.scanDescending([&](const auto &entry) {
-            return visit(entry.first, entry.second);
-        });
+        if (zoneCount_ == 1) {
+            zones_[0].scanDescending([&](const auto &entry) {
+                return visit(entry.first, entry.second);
+            });
+            return;
+        }
+        // K-way merge, descending: repeatedly visit the largest pair
+        // among the zone cursors. Node ids are unique, so (key, node)
+        // pairs are totally ordered and the merged sequence is
+        // byte-identical to a single index's scan.
+        auto &cursors = cursorScratch_;
+        cursors.resize(zoneCount_);
+        for (size_t z = 0; z < zoneCount_; ++z)
+            cursors[z] = zones_[z].cursorLast();
+        for (;;) {
+            size_t best = zoneCount_;
+            for (size_t z = 0; z < zoneCount_; ++z) {
+                if (!cursors[z].valid)
+                    continue;
+                if (best == zoneCount_ ||
+                    zones_[best].cursorPair(cursors[best]) <
+                        zones_[z].cursorPair(cursors[z]))
+                    best = z;
+            }
+            if (best == zoneCount_)
+                return;
+            const KvPair &entry = zones_[best].cursorPair(cursors[best]);
+            if (!visit(entry.first, entry.second))
+                return;
+            zones_[best].cursorRetreat(cursors[best]);
+        }
     }
 
     template <typename Visit>
     void
     forEachAtLeast(double bound, Visit visit) const
     {
-        byRemaining_.scanAtLeast(bound, [&](const auto &entry) {
-            return visit(entry.first, entry.second);
-        });
+        if (zoneCount_ == 1) {
+            zones_[0].scanAtLeast(bound, [&](const auto &entry) {
+                return visit(entry.first, entry.second);
+            });
+            return;
+        }
+        auto &cursors = cursorScratch_;
+        cursors.resize(zoneCount_);
+        for (size_t z = 0; z < zoneCount_; ++z)
+            cursors[z] = zones_[z].cursorAtLeast(bound);
+        for (;;) {
+            size_t best = zoneCount_;
+            for (size_t z = 0; z < zoneCount_; ++z) {
+                if (!cursors[z].valid)
+                    continue;
+                if (best == zoneCount_ ||
+                    zones_[z].cursorPair(cursors[z]) <
+                        zones_[best].cursorPair(cursors[best]))
+                    best = z;
+            }
+            if (best == zoneCount_)
+                return;
+            const KvPair &entry = zones_[best].cursorPair(cursors[best]);
+            if (!visit(entry.first, entry.second))
+                return;
+            zones_[best].cursorAdvance(cursors[best]);
+        }
     }
 
     size_t
@@ -426,12 +500,9 @@ class FlatBook
                        std::vector<PodRef> &out)
     {
         // Rank domain: [0, R) for ranked pods plus one unranked
-        // bucket, mapped to R.
-        size_t max_rank = 0;
-        for (size_t r : rankMs_) {
-            if (r != kUnranked)
-                max_rank = std::max(max_rank, r + 1);
-        }
+        // bucket, mapped to R (every stored rank is < ranked.size(),
+        // so no scan of the rank table is needed).
+        const size_t max_rank = rankedSize_;
         sortCounts_.assign(max_rank + 2, 0);
         for (const auto &[pod, node] : state.assignment()) {
             (void)node;
@@ -451,6 +522,94 @@ class FlatBook
     }
 
   private:
+    using KvPair = util::BucketedKv<NodeId>::Pair;
+
+    /** From-scratch capacity index: configure + insert every healthy
+     * node, zone-parallel when sharded (zones own disjoint node sets,
+     * so the workers race on nothing). */
+    void
+    coldBuildIndex(const ClusterState &state,
+                   const PackingOptions &options)
+    {
+        const size_t node_count = state.nodeCount();
+        double max_capacity = 0.0;
+        size_t healthy = 0;
+        for (NodeId id = 0; id < node_count; ++id) {
+            max_capacity =
+                std::max(max_capacity, state.node(id).capacity);
+            healthy += state.isHealthy(id) ? 1 : 0;
+        }
+
+        trackMirror_ = options.incremental;
+        if (trackMirror_) {
+            inBook_.assign(node_count, 0);
+            bookKey_.assign(node_count, 0.0);
+        }
+
+        zones_.resize(zoneCount_);
+        for (auto &kv : zones_)
+            kv.configure(max_capacity, healthy / zoneCount_ + 1);
+        const auto fill = [&](size_t z) {
+            util::BucketedKv<NodeId> &kv = zones_[z];
+            for (NodeId id = static_cast<NodeId>(z); id < node_count;
+                 id += zoneCount_) {
+                if (!state.isHealthy(id))
+                    continue;
+                const double key = state.remaining(id);
+                kv.insert(key, id);
+                if (trackMirror_) {
+                    inBook_[id] = 1;
+                    bookKey_[id] = key;
+                }
+            }
+        };
+        if (zoneCount_ > 1 && options.shardRunner) {
+            options.shardRunner(zoneCount_, fill);
+        } else {
+            for (size_t z = 0; z < zoneCount_; ++z)
+                fill(z);
+        }
+        // One op per indexed node, exactly like the serial build.
+        ops_->kvOps += healthy;
+    }
+
+    /** Exact diff of the carried-over index against the observed
+     * state: only nodes whose health or remaining capacity changed
+     * since the previous epoch's planned state touch the index. The
+     * per-node mirror holds the exact key stored in the index (kept
+     * current by kvUpdate), so the result is identical to a cold
+     * build — the hints from dirty-zone tracking are advisory;
+     * correctness never depends on them. */
+    void
+    reconcileIndex(const ClusterState &state)
+    {
+        const size_t node_count = state.nodeCount();
+        for (NodeId id = 0; id < node_count; ++id) {
+            const bool should = state.isHealthy(id);
+            if (should) {
+                const double key = state.remaining(id);
+                if (inBook_[id]) {
+                    if (bookKey_[id] != key) {
+                        auto &kv = zones_[id % zoneCount_];
+                        kv.erase(bookKey_[id], id);
+                        kv.insert(key, id);
+                        bookKey_[id] = key;
+                        ops_->kvOps += 2;
+                    }
+                } else {
+                    zones_[id % zoneCount_].insert(key, id);
+                    inBook_[id] = 1;
+                    bookKey_[id] = key;
+                    ++ops_->kvOps;
+                }
+            } else if (inBook_[id]) {
+                zones_[id % zoneCount_].erase(bookKey_[id], id);
+                inBook_[id] = 0;
+                ++ops_->kvOps;
+            }
+        }
+    }
+
     /** Dense microservice index, or kUnranked when out of range. */
     size_t
     msIdx(sim::AppId app, sim::MsId ms) const
@@ -476,7 +635,19 @@ class FlatBook
         return base + pod.replica;
     }
 
-    util::BucketedKv<NodeId> byRemaining_;
+    /** Per-zone capacity indexes (zone = node id % zoneCount_; a
+     * single zone when unsharded). */
+    std::vector<util::BucketedKv<NodeId>> zones_;
+    size_t zoneCount_ = 1;
+    mutable std::vector<util::BucketedKv<NodeId>::Cursor> cursorScratch_;
+    /** Incremental-replan mirror: whether a node is in the index and
+     * under which exact key. */
+    bool trackMirror_ = false;
+    bool warmValid_ = false;
+    size_t warmNodeCount_ = 0;
+    std::vector<uint8_t> inBook_;
+    std::vector<double> bookKey_;
+    size_t rankedSize_ = 0;
     std::vector<size_t> msBase_;  //!< app position -> first msIdx
     std::vector<size_t> podBase_; //!< msIdx -> first podIdx
     std::vector<size_t> rankMs_;  //!< msIdx -> rank (kUnranked if none)
@@ -508,7 +679,12 @@ class Packer
           c_(common)
     {
         result_.state = current;
-        book_.init(apps, result_.state, ranked, result_.ops);
+        const auto started = std::chrono::steady_clock::now();
+        book_.init(apps, result_.state, ranked, options_, result_.ops);
+        result_.reconcileSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - started)
+                .count();
     }
 
     PackResult

@@ -53,6 +53,10 @@ struct PackResult
     /** Deterministic operation counts for this pass (not part of the
      * packing decision; excluded from canonical metric strings). */
     OpCounters ops;
+    /** Wall-clock seconds spent (re)building the capacity index and
+     * bookkeeping before the packing passes — the part incremental
+     * mode turns from O(cluster) into O(changed nodes). */
+    double reconcileSeconds = 0.0;
 };
 
 /** Packing configuration (ablation knobs). */
@@ -83,6 +87,34 @@ struct PackingOptions
      * benches.
      */
     bool referenceImpl = false;
+
+    /**
+     * Zone-sharded capacity index: > 1 splits the flat bookkeeping's
+     * BucketedKv into zoneShards instances routed by node id % zones
+     * and builds them zone-parallel. Queries decompose exactly over
+     * the partition — best-fit takes the min over per-zone best-fits,
+     * scans k-way-merge per-zone cursors — and node ids are unique, so
+     * the merged visit order is byte-identical to the single index and
+     * every packing decision (and op counter) is unchanged. Ignored
+     * under referenceImpl.
+     */
+    size_t zoneShards = 0;
+
+    /** Zone executor for the sharded index build; null = serial. */
+    ShardRunner shardRunner;
+
+    /**
+     * Incremental replan: keep the capacity index alive across pack()
+     * calls and reconcile it against the observed state with an exact
+     * per-node diff (erase/insert only nodes whose remaining capacity
+     * or health changed) instead of rebuilding it from scratch. The
+     * reconciled index holds exactly the same (key, node) set a fresh
+     * build would, so outputs are bit-identical; only kvOps and
+     * reconcile time shrink — proportional to the blast radius, not
+     * the cluster. Falls back to a cold build whenever the node count
+     * or zone count changes. Ignored under referenceImpl.
+     */
+    bool incremental = false;
 };
 
 /**

@@ -14,6 +14,8 @@
 #ifndef PHOENIX_CORE_PLANNER_H
 #define PHOENIX_CORE_PLANNER_H
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +26,15 @@
 #include "util/heap.h"
 
 namespace phoenix::core {
+
+/**
+ * Executes fn(shard) for every shard in [0, count). core stays
+ * dependency-free: the exp layer supplies a pool-backed runner
+ * (exp::shardRunner); a null runner means "run the shards serially on
+ * the calling thread", which produces the same results.
+ */
+using ShardRunner =
+    std::function<void(size_t, const std::function<void(size_t)> &)>;
 
 /** Per-application activation order: AppRank[a] lists ms ids of app a
  * from most to least important. */
@@ -68,6 +79,22 @@ class OperatorObjective
         (void)app;
         (void)ms;
     }
+
+    /**
+     * Incremental-replan support. An objective whose key() depends on
+     * nothing but begin()'s inputs may expose a digest of that state
+     * here (computed after begin()): when the digest and the app
+     * structure both match the previous epoch's, the planner may reuse
+     * its cached global ranking. Returning false (the default) opts
+     * out — stateful or side-effecting objectives are then always
+     * re-run, so correctness never depends on an override.
+     */
+    virtual bool
+    cacheKey(uint64_t &out) const
+    {
+        (void)out;
+        return false;
+    }
 };
 
 /**
@@ -80,6 +107,14 @@ class CostObjective : public OperatorObjective
     std::string name() const override { return "cost"; }
     double key(const sim::Application &app, const sim::Microservice &ms,
                double app_usage_so_far) const override;
+
+    /** Keys depend only on app structure (already fingerprinted). */
+    bool
+    cacheKey(uint64_t &out) const override
+    {
+        out = 1;
+        return true;
+    }
 };
 
 /**
@@ -95,6 +130,7 @@ class FairObjective : public OperatorObjective
                double capacity) override;
     double key(const sim::Application &app, const sim::Microservice &ms,
                double app_usage_so_far) const override;
+    bool cacheKey(uint64_t &out) const override;
 
   private:
     std::vector<double> fairShare_;
@@ -120,6 +156,7 @@ class WeightedFairObjective : public OperatorObjective
                double capacity) override;
     double key(const sim::Application &app, const sim::Microservice &ms,
                double app_usage_so_far) const override;
+    bool cacheKey(uint64_t &out) const override;
 
   private:
     std::vector<double> weights_;
@@ -162,6 +199,36 @@ struct PlannerOptions
      * oracle for that suite and as an A/B lever for the benches.
      */
     bool referenceImpl = false;
+
+    /**
+     * Zone-sharded PriorityEstimator: > 1 partitions the applications
+     * into shards (app position % shardCount) and runs the per-app
+     * ordering shard-parallel, each shard on its own scratch arena.
+     * Per-app orders are independent, and the per-shard op counters
+     * are integer-summed in shard order, so the result — ranking AND
+     * counters — is bit-identical to the monolithic pass; the
+     * sequential global ranking then acts as the deterministic
+     * cross-zone reconciliation (it merges the per-app orders by the
+     * global objective key). Ignored under referenceImpl.
+     */
+    size_t shardCount = 0;
+
+    /** Shard executor; null runs shards serially (same results). */
+    ShardRunner shardRunner;
+
+    /**
+     * Incremental replan: keep the per-app rankings and the global
+     * ranked list alive across planInto() calls and reuse them when
+     * provably unchanged — the app-structure fingerprint must match
+     * for the estimator, and additionally the objective's cacheKey()
+     * and a capacity check (bitwise-equal capacity, or a
+     * rejection-free replay of the cached grant sequence against the
+     * new capacity) for the global ranking. Any mismatch falls back
+     * to the full recompute, so outputs are bit-identical to
+     * from-scratch on every input; only the op counters shrink.
+     * Ignored under referenceImpl.
+     */
+    bool incremental = false;
 };
 
 /**
@@ -250,12 +317,43 @@ class Planner
      * globalRank()/priorityEstimatorInto() call. */
     const OpCounters &lastOps() const { return ops_; }
 
+    /** Whether the last globalRankInto() reused the incremental
+     * cache (options.incremental only). */
+    bool lastIncrementalReuse() const { return lastRankReused_; }
+
+    /** Shards the last priorityEstimatorInto() actually ran (0 when
+     * monolithic or served from the incremental cache). */
+    size_t lastShardsPlanned() const { return lastShardsPlanned_; }
+
   private:
+    uint64_t fingerprintApps(
+        const std::vector<sim::Application> &apps) const;
+
     PlannerOptions options_;
     // plan() stays const for callers; the scratch arena and counters
-    // are implementation state (the planner is single-threaded).
+    // are implementation state (the planner is externally
+    // single-threaded; shard workers touch only their own arena).
     mutable PlanScratch scratch_;
     mutable OpCounters ops_;
+    /** Per-shard arenas + counters for the sharded estimator. */
+    mutable std::vector<std::unique_ptr<PlanScratch>> shardScratch_;
+    mutable std::vector<OpCounters> shardOps_;
+    mutable size_t lastShardsPlanned_ = 0;
+
+    // Incremental-replan cache (options.incremental): the estimator
+    // result lives in scratch_.appRank keyed by the app fingerprint;
+    // the global ranking keeps its own copy plus the grant-sequence
+    // replay data.
+    mutable bool estimatorCacheValid_ = false;
+    mutable uint64_t appsFingerprint_ = 0;
+    mutable bool lastEstimatorReused_ = false;
+    mutable bool rankCacheValid_ = false;
+    mutable uint64_t rankCacheObjectiveKey_ = 0;
+    mutable uint64_t rankCacheCapacityBits_ = 0;
+    mutable bool rankCacheRejectionFree_ = false;
+    mutable std::vector<double> rankCacheNeeds_;
+    mutable GlobalRank rankCache_;
+    mutable bool lastRankReused_ = false;
 };
 
 } // namespace phoenix::core

@@ -26,6 +26,7 @@
 #include "core/packing.h"
 #include "lp/model.h"
 #include "core/planner.h"
+#include "obs/registry.h"
 #include "sim/cluster.h"
 #include "sim/metrics.h"
 
@@ -71,6 +72,20 @@ class ResilienceScheme
     /** Plan (and virtually place) against the post-failure state. */
     virtual SchemeResult apply(const std::vector<sim::Application> &apps,
                                const sim::ClusterState &current) = 0;
+
+    /**
+     * Advisory hint delivered by the controller before apply(): the
+     * nodes whose observed state changed since the previous epoch
+     * (kube::KubeCluster::drainDirtyNodes). Correctness never depends
+     * on it — incremental replanning reconciles against the full
+     * observed state — so the default ignores it; PhoenixScheme uses
+     * it to surface blast-radius observability (core.dirty_zones).
+     */
+    virtual void
+    noteDirtyNodes(const std::vector<sim::NodeId> &nodes)
+    {
+        (void)nodes;
+    }
 };
 
 /** Which operator objective a Phoenix/LP scheme optimizes. */
@@ -82,11 +97,7 @@ class PhoenixScheme : public ResilienceScheme
   public:
     explicit PhoenixScheme(Objective objective,
                            PlannerOptions planner_options = {},
-                           PackingOptions packing_options = {})
-        : objective_(objective), planner_(planner_options),
-          packer_(packing_options)
-    {
-    }
+                           PackingOptions packing_options = {});
 
     std::string name() const override
     {
@@ -97,13 +108,29 @@ class PhoenixScheme : public ResilienceScheme
     SchemeResult apply(const std::vector<sim::Application> &apps,
                        const sim::ClusterState &current) override;
 
+    void noteDirtyNodes(
+        const std::vector<sim::NodeId> &nodes) override;
+
   private:
     Objective objective_;
+    // Kept for the dirty-zone observability (zoneShards bucketing).
+    PlannerOptions plannerOptions_;
+    PackingOptions packingOptions_;
     // Long-lived so their scratch arenas survive across apply() calls
     // (one controller epoch after another): steady-state planning and
-    // packing allocate nothing for bookkeeping.
+    // packing allocate nothing for bookkeeping, and the incremental
+    // caches (options.incremental) persist between epochs.
     Planner planner_;
     PackingScheduler packer_;
+    /** Observability handles (obs::Registry; additive, excluded from
+     * canonical metric strings). */
+    struct
+    {
+        obs::Counter *replansIncremental = nullptr;
+        obs::Counter *shardsPlanned = nullptr;
+        obs::Counter *dirtyZones = nullptr;
+        obs::LogHistogram *reconcileSeconds = nullptr;
+    } obs_;
 };
 
 /**

@@ -89,6 +89,7 @@ KubeCluster::addNode(double capacity)
     nodes_.push_back(rec);
     nodeUsed_.push_back(0.0);
     nodeEvictionEpisodes_.push_back(0);
+    markDirty(id);
     scheduleHeartbeat(id);
     return id;
 }
@@ -124,6 +125,7 @@ void
 KubeCluster::stopKubelet(NodeId node)
 {
     nodes_[node].kubeletRunning = false;
+    markDirty(node);
 }
 
 void
@@ -134,7 +136,19 @@ KubeCluster::startKubelet(NodeId node)
         return;
     rec.kubeletRunning = true;
     rec.lastHeartbeat = events_.now();
+    markDirty(node);
     scheduleHeartbeat(node);
+}
+
+std::vector<NodeId>
+KubeCluster::drainDirtyNodes()
+{
+    std::vector<NodeId> drained = std::move(dirtyNodes_);
+    dirtyNodes_.clear();
+    std::sort(drained.begin(), drained.end());
+    drained.erase(std::unique(drained.begin(), drained.end()),
+                  drained.end());
+    return drained;
 }
 
 void
@@ -145,6 +159,7 @@ KubeCluster::nodeControllerTick()
             events_.now() - rec.lastHeartbeat <= config_.nodeGracePeriod;
         if (rec.ready && !fresh) {
             rec.ready = false;
+            markDirty(rec.id);
             PHOENIX_INFO("node " << rec.id << " NotReady at t="
                                  << events_.now());
             PHOENIX_COUNT(*obs_.nodeNotReady, 1);
@@ -154,6 +169,7 @@ KubeCluster::nodeControllerTick()
             evictPodsOn(rec.id);
         } else if (!rec.ready && fresh && rec.kubeletRunning) {
             rec.ready = true;
+            markDirty(rec.id);
             PHOENIX_INFO("node " << rec.id << " Ready at t="
                                  << events_.now());
             PHOENIX_COUNT(*obs_.nodeReady, 1);
@@ -203,12 +219,16 @@ KubeCluster::transition(Pod &pod, PodPhase to, NodeId node)
         recordViolation(std::string("illegal pod transition ") +
                         phaseName(pod.phase) + " -> " + phaseName(to));
     }
-    if (occupiesNode(pod.phase))
+    if (occupiesNode(pod.phase)) {
         nodeUsed_[pod.node] -= pod.cpu;
+        markDirty(pod.node);
+    }
     pod.phase = to;
     pod.node = node;
-    if (occupiesNode(to))
+    if (occupiesNode(to)) {
         nodeUsed_[node] += pod.cpu;
+        markDirty(node);
+    }
     PHOENIX_COUNT(*obs_.transitions[static_cast<size_t>(to)], 1);
     PHOENIX_TRACE_INSTANT(
         "kube", transitionEventName(to), events_.now(),

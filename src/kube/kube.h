@@ -195,6 +195,16 @@ class KubeCluster : public sim::FaultTarget
     /** Total pods evicted back to Pending by node failures. */
     size_t evictedPodCount() const { return evictedPods_; }
 
+    /**
+     * Nodes whose observed state changed since the last drain: added,
+     * kubelet stopped/started, Ready flipped, or a pod transitioned on
+     * them. Returned sorted and deduplicated; the internal list is
+     * cleared. The controller feeds this to
+     * ResilienceScheme::noteDirtyNodes as an advisory blast-radius
+     * hint for incremental replanning.
+     */
+    std::vector<sim::NodeId> drainDirtyNodes();
+
   private:
     struct NodeRec
     {
@@ -246,6 +256,9 @@ class KubeCluster : public sim::FaultTarget
     /** Full invariant sweep; no-op unless config.validateInvariants. */
     void validateAfterEvent();
 
+    /** Record a node-state change for drainDirtyNodes(). */
+    void markDirty(sim::NodeId node) { dirtyNodes_.push_back(node); }
+
     sim::EventQueue &events_;
     KubeConfig config_;
     util::Rng rng_;
@@ -258,6 +271,8 @@ class KubeCluster : public sim::FaultTarget
     /** Incremental Starting+Running+Terminating usage per node. */
     std::vector<double> nodeUsed_;
     std::vector<size_t> nodeEvictionEpisodes_;
+    /** Unsorted changed-node log, drained by drainDirtyNodes(). */
+    std::vector<sim::NodeId> dirtyNodes_;
     size_t evictedPods_ = 0;
     size_t invariantViolations_ = 0;
     /** Scratch for the validation sweep (avoids per-event allocs). */

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Delta-bookkeeping tests for incremental replanning: a long-lived
+ * PhoenixScheme with the incremental + sharded options enabled, fed by
+ * KubeCluster's dirty-node tracking across realistic failure
+ * histories, must produce output bit-identical to a from-scratch
+ * scheme applied to the same observed state at every epoch.
+ *
+ * Three histories exercise the reconcile paths:
+ *  - a kubelet flap inside the grace period (observed state never
+ *    changes — the carried-over index must survive a no-op epoch);
+ *  - a zone failing, partially recovering, then failing again
+ *    (erase -> insert -> erase churn on the same nodes);
+ *  - recovery of a node whose pods were re-homed elsewhere in the
+ *    meantime (the node returns empty; its old index entries are
+ *    stale on both key and membership).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/schemes.h"
+#include "kube/kube.h"
+
+using namespace phoenix;
+using namespace phoenix::core;
+using namespace phoenix::kube;
+
+namespace {
+
+sim::Application
+makeApp(const std::string &name, size_t services, double cpu,
+        double price)
+{
+    sim::Application app;
+    app.name = name;
+    app.pricePerUnit = price;
+    app.services.resize(services);
+    for (sim::MsId m = 0; m < services; ++m) {
+        app.services[m].id = m;
+        app.services[m].cpu = cpu;
+        app.services[m].criticality =
+            1 + static_cast<int>(m % 5); // C1..C5 spread
+    }
+    return app;
+}
+
+/** A 12-node cluster with three apps of mixed size and price. */
+struct Fixture
+{
+    sim::EventQueue events;
+    KubeCluster cluster;
+
+    Fixture() : cluster(events)
+    {
+        for (int n = 0; n < 12; ++n)
+            cluster.addNode(16.0);
+        cluster.addApplication(makeApp("a", 8, 2.0, 3.0));
+        cluster.addApplication(makeApp("b", 6, 3.0, 1.0));
+        cluster.addApplication(makeApp("c", 10, 1.5, 5.0));
+        // Let the default scheduler place everything.
+        events.runUntil(120.0);
+    }
+};
+
+void
+expectSameActions(const std::vector<Action> &got,
+                  const std::vector<Action> &want, const char *when)
+{
+    ASSERT_EQ(got.size(), want.size()) << when;
+    for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].kind, want[i].kind) << when << " action " << i;
+        EXPECT_EQ(got[i].pod, want[i].pod) << when << " action " << i;
+        EXPECT_EQ(got[i].from, want[i].from) << when << " action " << i;
+        EXPECT_EQ(got[i].to, want[i].to) << when << " action " << i;
+    }
+}
+
+/**
+ * One controller epoch: drain the cluster's dirty-node hints into the
+ * warm (incremental) scheme, apply it to the observed state, and
+ * assert its outputs are bit-identical to a cold from-scratch scheme
+ * on the same state.
+ */
+void
+epochIdentity(PhoenixScheme &warm, KubeCluster &cluster,
+              Objective objective, const char *when)
+{
+    warm.noteDirtyNodes(cluster.drainDirtyNodes());
+    const sim::ClusterState state = cluster.observedState();
+    const auto &apps = cluster.apps();
+
+    const SchemeResult inc = warm.apply(apps, state);
+    PhoenixScheme fresh(objective);
+    const SchemeResult ref = fresh.apply(apps, state);
+
+    ASSERT_EQ(inc.plan, ref.plan) << when;
+    expectSameActions(inc.pack.actions, ref.pack.actions, when);
+    EXPECT_EQ(inc.pack.state.assignment(), ref.pack.state.assignment())
+        << when;
+    EXPECT_EQ(inc.pack.placed, ref.pack.placed) << when;
+    EXPECT_EQ(inc.pack.complete, ref.pack.complete) << when;
+}
+
+PhoenixScheme
+makeWarm(Objective objective)
+{
+    PlannerOptions planner_opts;
+    planner_opts.incremental = true;
+    planner_opts.shardCount = 2;
+    PackingOptions packing_opts;
+    packing_opts.incremental = true;
+    packing_opts.zoneShards = 3;
+    return PhoenixScheme(objective, planner_opts, packing_opts);
+}
+
+} // namespace
+
+TEST(Incremental, NodeFlapInsideGracePeriod)
+{
+    Fixture f;
+    PhoenixScheme warm = makeWarm(Objective::Fair);
+    epochIdentity(warm, f.cluster, Objective::Fair, "baseline");
+
+    // Kubelet flaps but recovers before the 100 s grace period: the
+    // node never goes NotReady and no pod moves, so the observed state
+    // at the next epoch is unchanged — the pure cache-reuse path.
+    f.cluster.stopKubelet(3);
+    f.events.runUntil(f.events.now() + 40.0);
+    f.cluster.startKubelet(3);
+    f.events.runUntil(f.events.now() + 40.0);
+    EXPECT_EQ(f.cluster.evictionEpisodes(3), 0u);
+    epochIdentity(warm, f.cluster, Objective::Fair, "after flap");
+
+    // And a genuine failure afterwards still reconciles correctly.
+    f.cluster.stopKubelet(3);
+    f.events.runUntil(f.events.now() + 150.0);
+    epochIdentity(warm, f.cluster, Objective::Fair, "after real fail");
+}
+
+TEST(Incremental, ZoneFailPartialRecoverRefail)
+{
+    Fixture f;
+    PhoenixScheme warm = makeWarm(Objective::Cost);
+    epochIdentity(warm, f.cluster, Objective::Cost, "baseline");
+
+    // "Zone" = nodes 0..3. Fail the whole zone.
+    for (sim::NodeId n = 0; n <= 3; ++n)
+        f.cluster.stopKubelet(n);
+    f.events.runUntil(f.events.now() + 150.0);
+    epochIdentity(warm, f.cluster, Objective::Cost, "zone down");
+
+    // Partial recovery: half the zone comes back.
+    f.cluster.startKubelet(0);
+    f.cluster.startKubelet(1);
+    f.events.runUntil(f.events.now() + 60.0);
+    epochIdentity(warm, f.cluster, Objective::Cost, "partial recover");
+
+    // Refail one of the recovered nodes.
+    f.cluster.stopKubelet(1);
+    f.events.runUntil(f.events.now() + 150.0);
+    epochIdentity(warm, f.cluster, Objective::Cost, "refail");
+}
+
+TEST(Incremental, RecoveryAfterPodsRehomed)
+{
+    Fixture f;
+    PhoenixScheme warm = makeWarm(Objective::Fair);
+    epochIdentity(warm, f.cluster, Objective::Fair, "baseline");
+
+    // Fail a node and give the default scheduler time to re-home its
+    // evicted pods onto the survivors.
+    f.cluster.stopKubelet(5);
+    f.events.runUntil(f.events.now() + 150.0);
+    epochIdentity(warm, f.cluster, Objective::Fair, "node down");
+    f.events.runUntil(f.events.now() + 120.0);
+    epochIdentity(warm, f.cluster, Objective::Fair, "pods re-homed");
+
+    // The node recovers empty: its remaining capacity is full again
+    // while the re-homed pods keep their new homes.
+    f.cluster.startKubelet(5);
+    f.events.runUntil(f.events.now() + 60.0);
+    epochIdentity(warm, f.cluster, Objective::Fair, "recovered empty");
+}

@@ -126,6 +126,78 @@ TEST(PerfDiff, DisjointReportsShareNoCells)
         tools::diffPerfReports(baseline, other, 2.0);
     EXPECT_TRUE(result.rows.empty());
     EXPECT_TRUE(result.met) << "no shared cells means nothing missed";
+    // Fully disjoint reports surface every cell as added or removed.
+    ASSERT_EQ(result.added.size(), 1u);
+    EXPECT_EQ(result.added[0], "elsewhere/PhoenixCost@0.1");
+    ASSERT_EQ(result.removed.size(), 2u);
+    EXPECT_EQ(result.removed[0], "sweep/PhoenixCost@0.1");
+    EXPECT_EQ(result.removed[1], "sweep/PhoenixFair@0.5");
+}
+
+TEST(PerfDiff, AddedAndRemovedCellsAreReportedNotFatal)
+{
+    // Baseline has cells A+B; fresh has B+C: A removed, C added, B
+    // shared. A grown bench (new sizes/schemes) must diff cleanly
+    // against an older baseline.
+    const JsonValue baseline = parsed(report(0.2, 0.1, 0.4, 0.2));
+    JsonValue fresh = parsed(
+        "{\"sections\": [{\"name\": \"sweep\", \"sweep\": ["
+        "{\"scheme\": \"PhoenixFair\", \"failure_rate\": 0.5, "
+        "\"plan_seconds\": {\"mean\": 0.1}, "
+        "\"pack_seconds\": {\"mean\": 0.1}, "
+        "\"ops_heap_pushes\": {\"mean\": 100}, "
+        "\"ops_best_fit_probes\": {\"mean\": 50}, "
+        "\"ops_child_sort_elems\": {\"mean\": 0}},"
+        "{\"scheme\": \"PhoenixFair-sharded\", \"failure_rate\": 0.5, "
+        "\"plan_seconds\": {\"mean\": 0.1}, "
+        "\"pack_seconds\": {\"mean\": 0.1}, "
+        "\"ops_heap_pushes\": {\"mean\": 100}, "
+        "\"ops_best_fit_probes\": {\"mean\": 50}, "
+        "\"ops_child_sort_elems\": {\"mean\": 0}}]}]}");
+    const PerfDiffResult result =
+        tools::diffPerfReports(baseline, fresh, 2.0);
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.rows[0].cell, "sweep/PhoenixFair@0.5");
+    ASSERT_EQ(result.added.size(), 1u);
+    EXPECT_EQ(result.added[0], "sweep/PhoenixFair-sharded@0.5");
+    ASSERT_EQ(result.removed.size(), 1u);
+    EXPECT_EQ(result.removed[0], "sweep/PhoenixCost@0.1");
+    // Only the shared cell counts against --require-speedup: 0.6s ->
+    // 0.2s = 3x meets 2x even though the added/removed cells have no
+    // counterpart to compare.
+    EXPECT_TRUE(result.met);
+
+    // CLI: exit 0, table for the shared cell, one line per one-sided
+    // cell. Exit 2 is reserved for zero overlap AND zero churn.
+    const TempFile base_file("churn_base.json",
+                             report(0.2, 0.1, 0.4, 0.2));
+    const TempFile fresh_file(
+        "churn_new.json",
+        "{\"sections\": [{\"name\": \"sweep\", \"sweep\": ["
+        "{\"scheme\": \"PhoenixFair\", \"failure_rate\": 0.5, "
+        "\"plan_seconds\": {\"mean\": 0.1}, "
+        "\"pack_seconds\": {\"mean\": 0.1}, "
+        "\"ops_heap_pushes\": {\"mean\": 100}, "
+        "\"ops_best_fit_probes\": {\"mean\": 50}, "
+        "\"ops_child_sort_elems\": {\"mean\": 0}},"
+        "{\"scheme\": \"PhoenixFair-sharded\", \"failure_rate\": 0.5, "
+        "\"plan_seconds\": {\"mean\": 0.1}, "
+        "\"pack_seconds\": {\"mean\": 0.1}, "
+        "\"ops_heap_pushes\": {\"mean\": 100}, "
+        "\"ops_best_fit_probes\": {\"mean\": 50}, "
+        "\"ops_child_sort_elems\": {\"mean\": 0}}]}]}");
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(
+        tools::runPerfDiff({base_file.path(), fresh_file.path()}, out,
+                           err),
+        0);
+    EXPECT_NE(
+        out.str().find("added cell: sweep/PhoenixFair-sharded@0.5"),
+        std::string::npos);
+    EXPECT_NE(out.str().find("removed cell: sweep/PhoenixCost@0.1"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("worst cell"), std::string::npos);
 }
 
 TEST(PerfDiff, CliExitCodes)

@@ -287,6 +287,54 @@ TEST_P(BitIdentity, FlatMatchesReferenceImplementation)
             << what;
         // ...while the flat path never copies/sorts successor lists.
         EXPECT_EQ(a.planOps.childSortElems, 0u) << what;
+
+        // Zone-sharded plan→pack: partitioned estimator arenas + zoned
+        // capacity index must be byte-identical to the monolithic flat
+        // path in every output AND every op counter (queries decompose
+        // exactly over the partition).
+        PlannerOptions shard_planner = planner_opts;
+        shard_planner.shardCount = 1 + static_cast<size_t>(seed % 4);
+        PackingOptions shard_packing = packing_opts;
+        shard_packing.zoneShards = 1 + static_cast<size_t>(seed % 5);
+        PhoenixScheme sharded(objective, shard_planner, shard_packing);
+        const SchemeResult s = sharded.apply(env.apps, failed);
+        ASSERT_EQ(s.plan, a.plan) << what << " sharded";
+        expectSameActions(s.pack.actions, a.pack.actions, what);
+        EXPECT_EQ(s.pack.state.assignment(),
+                  a.pack.state.assignment())
+            << what << " sharded";
+        EXPECT_EQ(s.pack.placed, a.pack.placed) << what << " sharded";
+        EXPECT_EQ(s.pack.complete, a.pack.complete)
+            << what << " sharded";
+        EXPECT_EQ(s.planOps.heapPushes, a.planOps.heapPushes)
+            << what << " sharded";
+        EXPECT_EQ(s.planOps.heapPops, a.planOps.heapPops)
+            << what << " sharded";
+        EXPECT_EQ(s.pack.ops.bestFitProbes, a.pack.ops.bestFitProbes)
+            << what << " sharded";
+        EXPECT_EQ(s.pack.ops.kvOps, a.pack.ops.kvOps)
+            << what << " sharded";
+
+        // Incremental replan: a warm second pass (caches primed by the
+        // first) must reproduce the monolithic outputs exactly — only
+        // its op counters may shrink.
+        PlannerOptions inc_planner = planner_opts;
+        inc_planner.incremental = true;
+        PackingOptions inc_packing = packing_opts;
+        inc_packing.incremental = true;
+        inc_packing.zoneShards = 1 + static_cast<size_t>(seed % 3);
+        PhoenixScheme warm(objective, inc_planner, inc_packing);
+        (void)warm.apply(env.apps, failed);
+        const SchemeResult w = warm.apply(env.apps, failed);
+        ASSERT_EQ(w.plan, a.plan) << what << " incremental";
+        expectSameActions(w.pack.actions, a.pack.actions, what);
+        EXPECT_EQ(w.pack.state.assignment(),
+                  a.pack.state.assignment())
+            << what << " incremental";
+        EXPECT_EQ(w.pack.placed, a.pack.placed)
+            << what << " incremental";
+        EXPECT_EQ(w.pack.complete, a.pack.complete)
+            << what << " incremental";
     }
 }
 

@@ -40,6 +40,10 @@ usage(std::ostream &out, int code)
            "fuzzing\n"
            "  --inject-fault F   enable the deliberately-tight capacity\n"
            "                     invariant (used(node) <= F * capacity)\n"
+           "  --shards N         shard/zone width for the sharded and\n"
+           "                     incremental schemes-under-test, and the\n"
+           "                     generator's zone-local failures\n"
+           "                     (default 3; <= 1 skips those checks)\n"
            "  --no-lp            skip the LP differential\n"
            "  --no-lifecycle     skip the kube lifecycle oracle\n"
            "  --json             machine-readable summary on stdout\n"
@@ -122,6 +126,10 @@ main(int argc, char **argv)
         } else if (arg == "--inject-fault") {
             options.oracle.injectTightCapacityFraction =
                 std::atof(next().c_str());
+        } else if (arg == "--shards") {
+            const int shards = std::atoi(next().c_str());
+            options.oracle.shards = shards;
+            options.gen.zoneFailureZones = shards;
         } else if (arg == "--no-lp") {
             options.oracle.runLp = false;
         } else if (arg == "--no-lifecycle") {

@@ -53,11 +53,23 @@ diffPerfReports(const JsonValue &baseline_root, const JsonValue &fresh_root,
     std::map<std::string, PerfCell> baseline;
     for (const auto &[key, cell] : baseline_cells)
         baseline.emplace(key, cell);
+    {
+        std::map<std::string, PerfCell> fresh_by_key;
+        for (const auto &[key, cell] : fresh_cells)
+            fresh_by_key.emplace(key, cell);
+        for (const auto &[key, cell] : baseline_cells) {
+            (void)cell;
+            if (!fresh_by_key.count(key))
+                result.removed.push_back(key);
+        }
+    }
 
     for (const auto &[key, fresh] : fresh_cells) {
         const auto it = baseline.find(key);
-        if (it == baseline.end())
+        if (it == baseline.end()) {
+            result.added.push_back(key);
             continue;
+        }
         PerfDiffRow row;
         row.cell = key;
         row.baseline = it->second;
@@ -149,13 +161,16 @@ runPerfDiff(const std::vector<std::string> &args, std::ostream &out,
 
     const PerfDiffResult result =
         diffPerfReports(baseline_root, fresh_root, require_speedup);
-    if (result.rows.empty()) {
-        err << "perfdiff: the two reports share no cells\n";
+    if (result.rows.empty() && result.added.empty() &&
+        result.removed.empty()) {
+        err << "perfdiff: the two reports share no cells and none were "
+               "added or removed\n";
         return 2;
     }
 
-    out << formatRow("cell", "base(s)", "new(s)", "speedup", "d-pushes",
-                     "d-probes");
+    if (!result.rows.empty())
+        out << formatRow("cell", "base(s)", "new(s)", "speedup",
+                         "d-pushes", "d-probes");
     for (const PerfDiffRow &row : result.rows) {
         char speedup[24];
         std::snprintf(speedup, sizeof(speedup), "%.2fx", row.speedup);
@@ -181,10 +196,19 @@ runPerfDiff(const std::vector<std::string> &args, std::ostream &out,
             out << note;
         }
     }
-    char worst[128];
-    std::snprintf(worst, sizeof(worst), "worst cell: %s at %.2fx\n",
-                  result.worstCell.c_str(), result.worstSpeedup);
-    out << worst;
+    // Cells present in only one report are informational: a growing
+    // bench adds sizes/schemes, a retired scheme drops them. Neither is
+    // a comparison failure.
+    for (const std::string &key : result.added)
+        out << "added cell: " << key << "\n";
+    for (const std::string &key : result.removed)
+        out << "removed cell: " << key << "\n";
+    if (!result.rows.empty()) {
+        char worst[128];
+        std::snprintf(worst, sizeof(worst), "worst cell: %s at %.2fx\n",
+                      result.worstCell.c_str(), result.worstSpeedup);
+        out << worst;
+    }
     if (require_speedup > 0.0) {
         char verdict[96];
         std::snprintf(verdict, sizeof(verdict),

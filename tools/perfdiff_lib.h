@@ -54,10 +54,16 @@ struct PerfDiffRow
 struct PerfDiffResult
 {
     std::vector<PerfDiffRow> rows; //!< cells present in both reports
+    /** Cells only in the fresh report (new sizes/schemes are expected
+     * when a bench grows — reported, never an error). */
+    std::vector<std::string> added;
+    /** Cells only in the baseline report. */
+    std::vector<std::string> removed;
     double worstSpeedup = 0.0;
     std::string worstCell;
     /** Every shared cell met the required speedup (true when no
-     * requirement was given). */
+     * requirement was given; cells present in only one report are
+     * exempt). */
     bool met = true;
 };
 
