@@ -84,8 +84,7 @@ run(bool with_phoenix)
         }
         result.availability[t] =
             sim::criticalServiceAvailability(cluster.apps(), active);
-        const double util =
-            cluster.observedState().utilization();
+        const double util = cluster.liveState().utilization();
         for (const auto &point : apps::evaluateTraffic(
                  testbed.serviceApps[0], overleaf_up, util)) {
             result.overleafRps[t][point.request] = point.servedRps;

@@ -32,14 +32,14 @@ cmake --build "$BUILD" -j "$JOBS"
 
 step "tier-1 ctest (unit + property + corpus suites)"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
-    -E '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|fig8b_1m_smoke|fuzz_long)$'
+    -E '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|fig8b_1m_smoke|fuzz_long|soak_smoke|soak_long)$'
 
 # The smoke gates run serially and last so their bound assertions
 # (fig8b op counters, Fig 6 recovery times, serving SLO/shed bounds,
-# oracle cleanliness) are easy to spot in the log.
-step "smoke gates: fuzz_smoke, recovery_smoke, serve_smoke, fig8b_smoke"
+# oracle cleanliness, soak violations) are easy to spot in the log.
+step "smoke gates: fuzz_smoke, recovery_smoke, serve_smoke, fig8b_smoke, soak_smoke"
 ctest --test-dir "$BUILD" --output-on-failure \
-    -R '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke)$'
+    -R '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|soak_smoke)$'
 
 # Million-node gate, opt-in: export FIG8B_1M=1 to run the 1M-node
 # Phoenix cells + the 100k incremental-replan demo (~minutes, GBs of
@@ -48,6 +48,16 @@ if [[ "${FIG8B_1M:-}" == "1" ]]; then
   step "million-node gate: fig8b_1m_smoke"
   FIG8B_1M=1 ctest --test-dir "$BUILD" --output-on-failure \
       -R '^fig8b_1m_smoke$'
+fi
+
+# Long chaos soak, opt-in: export SOAK_HOURS to a simulated-hour count
+# (e.g. SOAK_HOURS=6) to run chaossoak on seeds 7,8,9 for that long.
+# Violation artifacts (Perfetto trace window + shrunk repro) land in
+# $BUILD/soak-repros. Without SOAK_HOURS the test self-skips (exit 77).
+if [[ -n "${SOAK_HOURS:-}" ]]; then
+  step "long soak gate: soak_long (SOAK_HOURS=${SOAK_HOURS})"
+  SOAK_HOURS="$SOAK_HOURS" ctest --test-dir "$BUILD" --output-on-failure \
+      -R '^soak_long$'
 fi
 
 if [[ "$FAST" == "1" ]]; then

@@ -36,6 +36,21 @@ CheckCase::scenario() const
             for (NodeId node : step.nodes)
                 scenario.flapKubelet(step.at, node, step.downtime);
             break;
+        case CaseStep::Kind::Partition:
+            scenario.partitionNodes(step.at, step.nodes,
+                                    step.downtime);
+            break;
+        case CaseStep::Kind::Degrade:
+            scenario.degradeNodes(step.at, step.nodes, step.factor,
+                                  step.downtime);
+            break;
+        case CaseStep::Kind::Outage:
+            scenario.apiOutage(step.at, step.downtime);
+            break;
+        case CaseStep::Kind::Skew:
+            for (NodeId node : step.nodes)
+                scenario.skewClock(step.at, node, step.skew);
+            break;
         }
     }
     return scenario;
@@ -49,26 +64,56 @@ CheckCase::replaySteps(sim::ClusterState &state) const
     // tie-break for simultaneous events.
     struct Event
     {
+        enum class What { Fail, Restore, Rescale };
         double at;
         size_t seq;
-        bool fail;
+        What what;
         NodeId node;
+        /** Rescale only: capacity multiplier (1.0 = restore). */
+        double factor;
     };
+    using What = Event::What;
     std::vector<Event> events;
     size_t seq = 0;
     for (const CaseStep &step : steps) {
         for (NodeId node : step.nodes) {
             switch (step.kind) {
             case CaseStep::Kind::Fail:
-                events.push_back({step.at, seq++, true, node});
+                events.push_back({step.at, seq++, What::Fail, node,
+                                  1.0});
                 break;
             case CaseStep::Kind::Recover:
-                events.push_back({step.at, seq++, false, node});
+                events.push_back({step.at, seq++, What::Restore, node,
+                                  1.0});
                 break;
             case CaseStep::Kind::Flap:
-                events.push_back({step.at, seq++, true, node});
-                events.push_back(
-                    {step.at + step.downtime, seq++, false, node});
+                events.push_back({step.at, seq++, What::Fail, node,
+                                  1.0});
+                events.push_back({step.at + step.downtime, seq++,
+                                  What::Restore, node, 1.0});
+                break;
+            case CaseStep::Kind::Partition:
+                // Control-plane view: the node fails; with a window,
+                // it comes back once heartbeats resume.
+                events.push_back({step.at, seq++, What::Fail, node,
+                                  1.0});
+                if (step.downtime > 0.0) {
+                    events.push_back({step.at + step.downtime, seq++,
+                                      What::Restore, node, 1.0});
+                }
+                break;
+            case CaseStep::Kind::Degrade:
+                events.push_back({step.at, seq++, What::Rescale, node,
+                                  step.factor});
+                if (step.downtime > 0.0) {
+                    events.push_back({step.at + step.downtime, seq++,
+                                      What::Rescale, node, 1.0});
+                }
+                break;
+            case CaseStep::Kind::Outage:
+            case CaseStep::Kind::Skew:
+                // Observation/timing distortions only: the converged
+                // post-failure state is unchanged.
                 break;
             }
         }
@@ -79,15 +124,28 @@ CheckCase::replaySteps(sim::ClusterState &state) const
                       return a.at < b.at;
                   return a.seq < b.seq;
               });
+    // Original capacities, for lifting a degrade back to factor 1.
+    std::map<NodeId, double> baseline;
     for (const Event &event : events) {
         if (event.node >= state.nodeCount())
             continue;
-        if (event.fail) {
+        switch (event.what) {
+        case What::Fail:
             if (state.isHealthy(event.node))
                 state.failNode(event.node);
-        } else {
+            break;
+        case What::Restore:
             if (!state.isHealthy(event.node))
                 state.restoreNode(event.node);
+            break;
+        case What::Rescale: {
+            const auto [it, inserted] = baseline.emplace(
+                event.node, state.node(event.node).capacity);
+            (void)inserted;
+            state.setNodeCapacity(event.node,
+                                  it->second * event.factor);
+            break;
+        }
         }
     }
 }
@@ -101,8 +159,21 @@ stepKindName(CaseStep::Kind kind)
     case CaseStep::Kind::Fail: return "fail";
     case CaseStep::Kind::Recover: return "recover";
     case CaseStep::Kind::Flap: return "flap";
+    case CaseStep::Kind::Partition: return "partition";
+    case CaseStep::Kind::Degrade: return "degrade";
+    case CaseStep::Kind::Outage: return "outage";
+    case CaseStep::Kind::Skew: return "skew";
     }
     return "fail";
+}
+
+bool
+kindHasWindow(CaseStep::Kind kind)
+{
+    return kind == CaseStep::Kind::Flap ||
+           kind == CaseStep::Kind::Partition ||
+           kind == CaseStep::Kind::Degrade ||
+           kind == CaseStep::Kind::Outage;
 }
 
 } // namespace
@@ -162,8 +233,12 @@ CheckCase::toJson() const
         for (size_t n = 0; n < step.nodes.size(); ++n)
             os << (n ? "," : "") << step.nodes[n];
         os << "]";
-        if (step.kind == CaseStep::Kind::Flap)
+        if (kindHasWindow(step.kind))
             os << ", \"downtime\": " << jsonNumber(step.downtime);
+        if (step.kind == CaseStep::Kind::Degrade)
+            os << ", \"factor\": " << jsonNumber(step.factor);
+        if (step.kind == CaseStep::Kind::Skew)
+            os << ", \"skew\": " << jsonNumber(step.skew);
         os << "}";
     }
     os << (steps.empty() ? "" : "\n  ") << "]\n";
@@ -254,9 +329,22 @@ parseStep(const JsonValue &node, size_t node_count, CaseStep &step,
         step.kind = CaseStep::Kind::Recover;
     else if (kind == "flap")
         step.kind = CaseStep::Kind::Flap;
+    else if (kind == "partition")
+        step.kind = CaseStep::Kind::Partition;
+    else if (kind == "degrade")
+        step.kind = CaseStep::Kind::Degrade;
+    else if (kind == "outage")
+        step.kind = CaseStep::Kind::Outage;
+    else if (kind == "skew")
+        step.kind = CaseStep::Kind::Skew;
     else
         return fail(error, "unknown step kind: " + kind);
     step.downtime = node.numberAt("downtime", 0.0);
+    step.factor = node.numberAt("factor", 1.0);
+    step.skew = node.numberAt("skew", 0.0);
+    if (step.kind == CaseStep::Kind::Degrade &&
+        (step.factor < sim::kMinDegradeFactor || step.factor > 1.0))
+        return fail(error, "degrade factor out of range");
     const JsonValue *nodes = node.field("nodes");
     if (!nodes || !nodes->isArray())
         return fail(error, "step has no nodes array");

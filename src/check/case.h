@@ -35,16 +35,28 @@ namespace phoenix::check {
 struct CaseStep
 {
     enum class Kind {
-        Fail,    //!< kubelet stop / node failure for every listed node
-        Recover, //!< kubelet start / node restore for every listed node
-        Flap,    //!< stop then restart `downtime` later (one node each)
+        Fail,      //!< kubelet stop / node failure for every listed node
+        Recover,   //!< kubelet start / node restore for every listed node
+        Flap,      //!< stop then restart `downtime` later (one node each)
+        Partition, //!< heartbeats stop reaching the control plane; heal
+                   //!< `downtime` later (<= 0: never)
+        Degrade,   //!< capacity * factor (slow-not-dead); restore
+                   //!< `downtime` later (<= 0: never)
+        Outage,    //!< API-server outage: observation frozen for
+                   //!< `downtime` seconds (nodes unused)
+        Skew,      //!< set heartbeat clock skew to `skew` seconds
     };
 
     double at = 0.0;
     Kind kind = Kind::Fail;
     std::vector<sim::NodeId> nodes;
-    /** Flap only: seconds between the stop and the restart. */
+    /** Flap: seconds between the stop and the restart. Partition /
+     * Degrade / Outage: window length. */
     double downtime = 0.0;
+    /** Degrade only: capacity multiplier in (0, 1]. */
+    double factor = 1.0;
+    /** Skew only: heartbeat clock skew in seconds. */
+    double skew = 0.0;
 };
 
 struct CheckCase
@@ -97,8 +109,12 @@ struct CheckCase
      * Replay the steps against @p state in (time, file order): Fail
      * fails the node (evicting its pods), Recover restores it (empty),
      * and a Flap whose downtime has passed by the end nets out to a
-     * restored node. Used by the static oracle to derive the
-     * post-failure state schemes plan against.
+     * restored node. A Partition is a control-plane failure (fail,
+     * restore at window end when it has one); a Degrade rescales the
+     * node's capacity for its window. Outage and Skew are static
+     * no-ops — they distort *when* the controller observes, not what
+     * the converged post-failure state is. Used by the static oracle
+     * to derive the post-failure state schemes plan against.
      */
     void replaySteps(sim::ClusterState &state) const;
 

@@ -155,6 +155,74 @@ generateCase(uint64_t seed, const GeneratorOptions &options)
                                  static_cast<long>(recover_count));
         out.steps.push_back(recover);
     }
+
+    // Extended fault taxonomy: observation/degradation faults layered
+    // over (and overlapping) the base failure script. Targets may
+    // coincide with failed nodes on purpose — partition and degrade
+    // state is independent of kubelet health.
+    const auto pick_nodes = [&rng, node_count](size_t max_count) {
+        std::vector<sim::NodeId> order(node_count);
+        std::iota(order.begin(), order.end(), sim::NodeId{0});
+        rng.shuffle(order);
+        const auto count = static_cast<size_t>(rng.uniformInt(
+            1, static_cast<int64_t>(std::max<size_t>(max_count, 1))));
+        order.resize(std::min(count, order.size()));
+        return order;
+    };
+
+    if (rng.bernoulli(options.partitionProbability)) {
+        CaseStep part;
+        part.kind = CaseStep::Kind::Partition;
+        part.at = t0 + static_cast<double>(rng.uniformInt(0, 120));
+        // Always a healing window: the post-failure state nets out,
+        // and the lifecycle oracle asserts readiness converges.
+        part.downtime = static_cast<double>(rng.uniformInt(120, 360));
+        part.nodes = pick_nodes(node_count / 2);
+        out.steps.push_back(std::move(part));
+    }
+
+    if (rng.bernoulli(options.degradeProbability)) {
+        CaseStep degrade;
+        degrade.kind = CaseStep::Kind::Degrade;
+        degrade.at = t0 + static_cast<double>(rng.uniformInt(0, 120));
+        // 0.25-grid factors keep the scale-by-2 metamorphic relation
+        // exact in binary floating point.
+        degrade.factor =
+            0.25 * static_cast<double>(rng.uniformInt(1, 3));
+        // Mostly windowed; sometimes permanent (<= 0), which reshapes
+        // the post-failure state the schemes plan against.
+        degrade.downtime =
+            rng.bernoulli(0.7)
+                ? static_cast<double>(rng.uniformInt(120, 600))
+                : 0.0;
+        degrade.nodes = pick_nodes(node_count / 2);
+        out.steps.push_back(std::move(degrade));
+    }
+
+    if (rng.bernoulli(options.outageProbability)) {
+        CaseStep outage;
+        outage.kind = CaseStep::Kind::Outage;
+        outage.at = t0 + static_cast<double>(rng.uniformInt(0, 60));
+        outage.downtime =
+            static_cast<double>(rng.uniformInt(60, 240));
+        out.steps.push_back(std::move(outage));
+    }
+
+    if (rng.bernoulli(options.skewProbability)) {
+        CaseStep skew;
+        skew.kind = CaseStep::Kind::Skew;
+        skew.at = t0 + static_cast<double>(rng.uniformInt(0, 60));
+        skew.nodes = pick_nodes(1);
+        // Usually inside the grace period (node stays Ready); a slice
+        // of the stream goes far past it to exercise NotReady-despite-
+        // running and fresh-from-the-future masking.
+        const double magnitude =
+            rng.bernoulli(0.3)
+                ? static_cast<double>(rng.uniformInt(150, 400))
+                : static_cast<double>(rng.uniformInt(10, 50));
+        skew.skew = rng.bernoulli(0.5) ? magnitude : -magnitude;
+        out.steps.push_back(std::move(skew));
+    }
     return out;
 }
 

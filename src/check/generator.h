@@ -54,6 +54,16 @@ struct GeneratorOptions
     /** Probability of a kubelet flap instead of a clean failure. */
     double flapProbability = 0.2;
 
+    /** Probability of a network-partition wave layered on top of the
+     * base failure script (always healed after a window). */
+    double partitionProbability = 0.25;
+    /** Probability of a degraded (slow-not-dead) node wave. */
+    double degradeProbability = 0.25;
+    /** Probability of an API-server outage window. */
+    double outageProbability = 0.2;
+    /** Probability of a heartbeat clock-skew fault on one node. */
+    double skewProbability = 0.15;
+
     /** Probability that the failure step is zone-local: every failed
      * node shares one residue id % zoneFailureZones — the blast shape
      * the zone-sharded capacity index routes and the incremental

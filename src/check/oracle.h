@@ -49,6 +49,14 @@
  *    Running sooner than the minimum startup delay after (re)binding
  *    to its node — the "free startup" class a migrate-while-Starting
  *    bug produces.
+ *  - Fault convergence (one dimension per taxonomy class): after the
+ *    horizon runs past every fault window, the observation surface
+ *    must equal live truth again (stale-observation-vs-fresh — an
+ *    API outage that never thaws is a bug), every node's readiness
+ *    must match what the failure/partition script implies (nodes a
+ *    clock-skew fault touched are exempt: detaching readiness from
+ *    kubelet health is that fault's point), and degrade factors must
+ *    match the script's end state.
  */
 
 #ifndef PHOENIX_CHECK_ORACLE_H

@@ -17,6 +17,8 @@ PhoenixController::PhoenixController(
     auto &registry = obs::Registry::global();
     obs_.polls = &registry.counter("controller.polls");
     obs_.replans = &registry.counter("controller.replans");
+    obs_.membershipReplans =
+        &registry.counter("controller.membership_replans");
     obs_.deletes =
         &registry.counter("controller.actions", "kind", "delete");
     obs_.migrations =
@@ -36,7 +38,9 @@ PhoenixController::PhoenixController(
 void
 PhoenixController::poll()
 {
-    const double capacity = cluster_.readyCapacity();
+    // Observed surface only — frozen during an API-server outage.
+    const double capacity = cluster_.observedReadyCapacity();
+    const uint64_t fingerprint = cluster_.observedReadyFingerprint();
     PHOENIX_COUNT(*obs_.polls, 1);
 
     // Mark recovery of the pending replan once every planned pod runs.
@@ -70,14 +74,22 @@ PhoenixController::poll()
     }
 
     // The first poll always plans (Phoenix owns initial placement and
-    // repairs whatever spread placement left pending); afterwards only
-    // capacity changes trigger replanning.
-    const bool changed =
+    // repairs whatever spread placement left pending); afterwards
+    // capacity changes *or* ready-set membership changes trigger
+    // replanning. The fingerprint catches equal-capacity swaps the
+    // aggregate misses: without it a pod pinned to the swapped-out
+    // node strands Pending, since nothing retries its pin.
+    const bool capacityChanged =
         lastCapacity_ < 0.0 ||
         std::abs(capacity - lastCapacity_) >
             config_.capacityChangeThreshold *
                 std::max(lastCapacity_, 1.0);
+    const bool membershipChanged =
+        lastCapacity_ >= 0.0 && fingerprint != lastFingerprint_;
+    const bool changed = capacityChanged || membershipChanged;
     if (changed) {
+        if (!capacityChanged)
+            PHOENIX_COUNT(*obs_.membershipReplans, 1);
         PHOENIX_INFO("controller: capacity change " << lastCapacity_
                                                     << " -> " << capacity
                                                     << " at t="
@@ -147,6 +159,7 @@ PhoenixController::poll()
             observer_(result, history_.back());
     }
     lastCapacity_ = capacity;
+    lastFingerprint_ = fingerprint;
 
     events_.scheduleAfter(config_.pollPeriod, [this] { poll(); });
 }

@@ -8,6 +8,20 @@
  * the resulting delete/migrate/restart sequence through the cluster
  * manager's API. Also records a timeline (detection, planning,
  * execution, recovery) used to reproduce Fig 6.
+ *
+ * The controller only ever reads the *observed* surface
+ * (observedState / observedReadyCapacity / observedReadyFingerprint),
+ * which an API-server outage freezes while the cluster keeps
+ * evolving. Two properties make stale observation safe: (1) replans
+ * trigger on the ready-set *fingerprint*, not just aggregate
+ * capacity, so an equal-capacity swap (one node down, a same-sized
+ * one back) that happened behind a stale window still forces a replan
+ * once observation thaws — without it, pods pinned to the
+ * now-NotReady node would sit Pending forever; (2) every action is
+ * validated by the kubelet at execution time (migrations onto
+ * NotReady/full nodes are rejected keeping the pin, pinned starts
+ * wait in the scheduler), so acting on stale state degrades into
+ * deferred work, never illegal state.
  */
 
 #ifndef PHOENIX_CORE_CONTROLLER_H
@@ -100,6 +114,8 @@ class PhoenixController
     ControllerConfig config_;
 
     double lastCapacity_ = -1.0;
+    /** Observed ready-set fingerprint at the previous poll. */
+    uint64_t lastFingerprint_ = 0;
     /** Planned target pods, sorted (rebuilt per replan from the sorted
      * assignment map, so no per-pod tree inserts). */
     std::vector<sim::PodRef> target_;
@@ -116,6 +132,10 @@ class PhoenixController
     {
         obs::Counter *polls = nullptr;
         obs::Counter *replans = nullptr;
+        /** Replans where only the membership fingerprint moved (the
+         * aggregate capacity was within threshold — the class of
+         * change the pre-fingerprint controller missed). */
+        obs::Counter *membershipReplans = nullptr;
         obs::Counter *deletes = nullptr;
         obs::Counter *migrations = nullptr;
         obs::Counter *restarts = nullptr;

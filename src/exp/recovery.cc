@@ -121,8 +121,9 @@ runRecovery(const RecoveryConfig &config)
         point.availability = sim::criticalServiceAvailability(
             cluster.apps(), active);
 
-        const double utilization =
-            cluster.observedState().utilization();
+        // Metrics sampling is omniscient: read live state, not the
+        // (possibly API-outage-frozen) observation surface.
+        const double utilization = cluster.liveState().utilization();
         double utility = 0.0;
         for (const auto &sapp : testbed.serviceApps) {
             std::set<sim::MsId> up;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 #include "util/log.h"
 
@@ -116,7 +117,11 @@ KubeCluster::scheduleHeartbeat(NodeId node)
         NodeRec &rec = nodes_[node];
         if (!rec.kubeletRunning)
             return; // chain dies; startKubelet starts a new one
-        rec.lastHeartbeat = events_.now();
+        // A partitioned kubelet keeps beating, but the updates never
+        // reach the node controller; a skewed clock stamps the status
+        // with its own (wrong) time.
+        if (!rec.partitioned)
+            rec.lastHeartbeat = events_.now() + rec.clockSkew;
         scheduleHeartbeat(node);
     });
 }
@@ -135,9 +140,68 @@ KubeCluster::startKubelet(NodeId node)
     if (rec.kubeletRunning)
         return;
     rec.kubeletRunning = true;
-    rec.lastHeartbeat = events_.now();
+    if (!rec.partitioned)
+        rec.lastHeartbeat = events_.now() + rec.clockSkew;
     markDirty(node);
     scheduleHeartbeat(node);
+}
+
+void
+KubeCluster::partitionNode(NodeId node)
+{
+    NodeRec &rec = nodes_[node];
+    if (rec.partitioned)
+        return;
+    rec.partitioned = true;
+    markDirty(node);
+}
+
+void
+KubeCluster::healPartition(NodeId node)
+{
+    NodeRec &rec = nodes_[node];
+    if (!rec.partitioned)
+        return;
+    rec.partitioned = false;
+    // No lastHeartbeat bump here: the next in-flight heartbeat (within
+    // heartbeatPeriod) is the first status the controller sees again.
+    markDirty(node);
+}
+
+void
+KubeCluster::degradeNode(NodeId node, double factor)
+{
+    NodeRec &rec = nodes_[node];
+    factor = std::clamp(factor, sim::kMinDegradeFactor, 1.0);
+    if (rec.degradeFactor == factor)
+        return;
+    rec.degradeFactor = factor;
+    markDirty(node);
+}
+
+void
+KubeCluster::setClockSkew(NodeId node, double skewSeconds)
+{
+    nodes_[node].clockSkew = skewSeconds;
+}
+
+void
+KubeCluster::beginApiOutage()
+{
+    if (apiOutage_)
+        return;
+    // Order matters: capture the surface before raising the flag so
+    // the frozen values are the live ones at freeze time.
+    frozenState_ = buildState();
+    frozenReadyCapacity_ = readyCapacity();
+    frozenFingerprint_ = readyFingerprint();
+    apiOutage_ = true;
+}
+
+void
+KubeCluster::endApiOutage()
+{
+    apiOutage_ = false;
 }
 
 std::vector<NodeId>
@@ -155,6 +219,13 @@ void
 KubeCluster::nodeControllerTick()
 {
     for (NodeRec &rec : nodes_) {
+        // The NotReady boundary is pinned: a heartbeat whose age is
+        // *exactly* nodeGracePeriod is still fresh (<=, not <). Clock
+        // skew puts real runs precisely on this edge — with a
+        // heartbeat period of 10, a grace of 100, and a skew of -100,
+        // every age the controller computes is an exact multiple of
+        // 10 — so the comparison must have one defined outcome.
+        // test_kube pins it with a regression test.
         const bool fresh =
             events_.now() - rec.lastHeartbeat <= config_.nodeGracePeriod;
         if (rec.ready && !fresh) {
@@ -307,8 +378,12 @@ KubeCluster::bindPod(Pod &pod, NodeId node)
     // Bumping the epoch cancels any armed start-completion timer, so a
     // rebind (migrate-while-Starting) restarts the startup clock.
     const uint64_t epoch = ++podEpoch_[pod.ref];
-    const double delay =
+    // Draw first, then scale: a degraded (slow) node stretches the
+    // startup delay by 1/factor without perturbing the rng sequence.
+    double delay =
         rng_.uniform(config_.podStartupMin, config_.podStartupMax);
+    if (nodes_[node].degradeFactor < 1.0)
+        delay /= nodes_[node].degradeFactor;
     const PodRef ref = pod.ref;
     events_.scheduleAfter(delay, [this, ref, epoch] {
         auto it = pods_.find(ref);
@@ -360,7 +435,7 @@ KubeCluster::schedulerTick()
             const NodeId target = *pod.pinnedNode;
             if (nodes_[target].ready &&
                 usedOn(target) + pod.cpu <=
-                    nodes_[target].capacity + kCapacityEps) {
+                    effectiveCapacity(target) + kCapacityEps) {
                 bindPod(pod, target);
             }
             continue;
@@ -374,7 +449,8 @@ KubeCluster::schedulerTick()
         for (const NodeRec &rec : nodes_) {
             if (!rec.ready)
                 continue;
-            const double free = rec.capacity - usedOn(rec.id);
+            const double free =
+                rec.capacity * rec.degradeFactor - usedOn(rec.id);
             if (free >= pod.cpu - kCapacityEps && free > best_free) {
                 best_free = free;
                 best = rec.id;
@@ -471,7 +547,8 @@ KubeCluster::migratePod(const PodRef &ref, NodeId to)
     // pin — the next replan resolves the conflict.
     const NodeRec &target = nodes_[to];
     if (!target.ready ||
-        usedOn(to) + pod.cpu > target.capacity + kCapacityEps) {
+        usedOn(to) + pod.cpu >
+            target.capacity * target.degradeFactor + kCapacityEps) {
         PHOENIX_WARN("migrate " << ref.app << "/" << ref.ms
                                 << " -> node " << to << " rejected: "
                                 << (target.ready ? "full"
@@ -509,6 +586,31 @@ KubeCluster::kubeletRunning(NodeId node) const
     return nodes_.at(node).kubeletRunning;
 }
 
+bool
+KubeCluster::isPartitioned(NodeId node) const
+{
+    return nodes_.at(node).partitioned;
+}
+
+double
+KubeCluster::degradeFactor(NodeId node) const
+{
+    return nodes_.at(node).degradeFactor;
+}
+
+double
+KubeCluster::clockSkew(NodeId node) const
+{
+    return nodes_.at(node).clockSkew;
+}
+
+double
+KubeCluster::effectiveCapacity(NodeId node) const
+{
+    const NodeRec &rec = nodes_.at(node);
+    return rec.capacity * rec.degradeFactor;
+}
+
 double
 KubeCluster::nodeCapacity(NodeId node) const
 {
@@ -521,7 +623,7 @@ KubeCluster::readyCapacity() const
     double total = 0.0;
     for (const NodeRec &rec : nodes_) {
         if (rec.ready)
-            total += rec.capacity;
+            total += rec.capacity * rec.degradeFactor;
     }
     return total;
 }
@@ -536,11 +638,20 @@ KubeCluster::totalCapacity() const
 }
 
 ClusterState
-KubeCluster::observedState() const
+KubeCluster::buildState() const
 {
     ClusterState state;
     for (const NodeRec &rec : nodes_) {
-        state.addNode(rec.capacity);
+        double observed = rec.capacity;
+        if (rec.degradeFactor < 1.0) {
+            // Report the degraded capacity, but never below current
+            // usage: pods placed before the degrade keep running
+            // (slow-not-dead never evicts) and must stay
+            // representable in the snapshot.
+            observed = std::max(rec.capacity * rec.degradeFactor,
+                                usedOn(rec.id));
+        }
+        state.addNode(observed);
         if (!rec.ready)
             state.failNode(rec.id);
     }
@@ -549,6 +660,48 @@ KubeCluster::observedState() const
             state.place(ref, pod.node, pod.cpu);
     }
     return state;
+}
+
+ClusterState
+KubeCluster::observedState() const
+{
+    return apiOutage_ ? frozenState_ : buildState();
+}
+
+ClusterState
+KubeCluster::liveState() const
+{
+    return buildState();
+}
+
+double
+KubeCluster::observedReadyCapacity() const
+{
+    return apiOutage_ ? frozenReadyCapacity_ : readyCapacity();
+}
+
+uint64_t
+KubeCluster::readyFingerprint() const
+{
+    uint64_t hash = 1469598103934665603ull; // FNV-1a offset basis
+    const auto mix = [&hash](uint64_t v) {
+        hash ^= v;
+        hash *= 1099511628211ull;
+    };
+    for (const NodeRec &rec : nodes_) {
+        mix(rec.ready ? 0x9e3779b97f4a7c15ull : 0x2545f4914f6cdd1dull);
+        const double effective = rec.capacity * rec.degradeFactor;
+        uint64_t bits = 0;
+        std::memcpy(&bits, &effective, sizeof(bits));
+        mix(bits);
+    }
+    return hash;
+}
+
+uint64_t
+KubeCluster::observedReadyFingerprint() const
+{
+    return apiOutage_ ? frozenFingerprint_ : readyFingerprint();
 }
 
 std::set<PodRef>

@@ -19,7 +19,13 @@
  *  - the verbs the Phoenix agent executes: delete, migrate, restart,
  *    with optional node pinning;
  *  - the sim::FaultTarget hooks the failure-scenario engine drives
- *    (node failure = kubelet stop, recovery = kubelet start);
+ *    (node failure = kubelet stop, recovery = kubelet start), plus the
+ *    extended fault taxonomy: network partitions (heartbeats stop
+ *    reaching the node controller while the kubelet keeps running),
+ *    degraded nodes (schedulable capacity multiplied by a factor,
+ *    startup slowed — slow, not dead), API-server outages (the
+ *    controller-facing observation freezes while the cluster keeps
+ *    evolving), and per-node heartbeat clock skew;
  *  - an invariant checker (capacity bounds, incremental-vs-scan usage
  *    equality, phase-transition legality) that scenario tests enable
  *    to turn lifecycle bugs into hard failures.
@@ -126,6 +132,42 @@ class KubeCluster : public sim::FaultTarget
      * heartbeat. Pods previously evicted stay wherever they are now. */
     void startKubelet(sim::NodeId node);
 
+    /** Network-partition the node from the control plane: the kubelet
+     * keeps running (and its heartbeat chain stays alive) but updates
+     * stop reaching the node controller, so the node goes NotReady
+     * after the grace period exactly like a dead kubelet. */
+    void partitionNode(sim::NodeId node);
+
+    /** Heal the partition; heartbeats resume on their own cadence (the
+     * node turns Ready again at its next heartbeat + controller tick,
+     * no kubelet restart involved). */
+    void healPartition(sim::NodeId node);
+
+    /** Degrade (slow-not-dead): schedulable capacity becomes
+     * capacity * factor and pod startup slows by 1/factor. Pods
+     * already placed keep running — degradation never evicts; the
+     * scheduler just stops placing load the node can no longer take.
+     * factor is clamped into [sim::kMinDegradeFactor, 1]; 1 restores
+     * full service. */
+    void degradeNode(sim::NodeId node, double factor);
+
+    /** Set the node's kubelet clock skew: subsequent heartbeats are
+     * stamped now + skew seconds. Negative skew makes a live node look
+     * stale (NotReady despite running pods); positive skew can mask a
+     * dead kubelet as fresh. 0 restores an honest clock. */
+    void setClockSkew(sim::NodeId node, double skewSeconds);
+
+    /** API-server outage: freeze the controller-facing observation
+     * surface (observedState / observedReadyCapacity /
+     * observedReadyFingerprint) at its current value while the cluster
+     * keeps evolving. Agent verbs still execute (they reach etcd
+     * through a different path in the real system; here they simply
+     * act on live state). Idempotent — nested begins merge. */
+    void beginApiOutage();
+
+    /** End the outage; observation snaps back to live state. */
+    void endApiOutage();
+
     // --- sim::FaultTarget (scenario-engine hooks) ------------------
     size_t nodeCount() const override { return nodes_.size(); }
     double nodeCapacity(sim::NodeId node) const override;
@@ -137,6 +179,24 @@ class KubeCluster : public sim::FaultTarget
     {
         startKubelet(node);
     }
+    void injectPartition(sim::NodeId node) override
+    {
+        partitionNode(node);
+    }
+    void injectPartitionHeal(sim::NodeId node) override
+    {
+        healPartition(node);
+    }
+    void injectDegrade(sim::NodeId node, double factor) override
+    {
+        degradeNode(node, factor);
+    }
+    void injectClockSkew(sim::NodeId node, double skewSeconds) override
+    {
+        setClockSkew(node, skewSeconds);
+    }
+    void injectApiOutageBegin() override { beginApiOutage(); }
+    void injectApiOutageEnd() override { endApiOutage(); }
 
     // --- Agent verbs -----------------------------------------------
     /** Gracefully delete a pod and scale its deployment down. */
@@ -162,16 +222,48 @@ class KubeCluster : public sim::FaultTarget
 
     // --- Observation ------------------------------------------------
     bool isReady(sim::NodeId node) const;
+    /** Live ready capacity (degrade-aware: a degraded node counts
+     * capacity * factor). Omniscient — never frozen by an API outage;
+     * controllers should use observedReadyCapacity(). */
     double readyCapacity() const;
     double totalCapacity() const;
     bool kubeletRunning(sim::NodeId node) const;
+    bool isPartitioned(sim::NodeId node) const;
+    /** Current degrade factor (1.0 = healthy). */
+    double degradeFactor(sim::NodeId node) const;
+    /** Current heartbeat clock skew in seconds (0 = honest). */
+    double clockSkew(sim::NodeId node) const;
+    /** Schedulable capacity: capacity * degradeFactor. */
+    double effectiveCapacity(sim::NodeId node) const;
+    bool apiOutageActive() const { return apiOutage_; }
 
     /**
      * Snapshot for planners: Ready nodes are healthy; Starting and
      * Running pods occupy their node. Pending/Terminating pods are
-     * absent.
+     * absent. Degraded nodes report max(effective capacity, current
+     * usage) so existing placements stay representable. **Frozen**
+     * while an API outage is active — this is the controller-facing
+     * observation surface.
      */
     sim::ClusterState observedState() const;
+
+    /** The same snapshot, never frozen — ground truth for oracles,
+     * metrics sampling, and omniscient harness code. */
+    sim::ClusterState liveState() const;
+
+    /** Ready capacity as the controller sees it (frozen during an API
+     * outage, degrade-aware otherwise). */
+    double observedReadyCapacity() const;
+
+    /**
+     * Order-sensitive FNV-1a hash over every node's (ready, effective
+     * capacity) as the controller sees it — frozen during an API
+     * outage. Changes whenever the ready *set* changes, even when the
+     * aggregate capacity is unchanged (equal-capacity swaps), so the
+     * controller can replan on membership changes it would otherwise
+     * miss.
+     */
+    uint64_t observedReadyFingerprint() const;
 
     /** Pods currently serving traffic (Running only). */
     std::set<sim::PodRef> runningPods() const;
@@ -213,9 +305,19 @@ class KubeCluster : public sim::FaultTarget
         bool kubeletRunning = true;
         bool ready = true;
         sim::SimTime lastHeartbeat = 0.0;
+        /** Partitioned from the control plane (kubelet still alive). */
+        bool partitioned = false;
+        /** Slow-not-dead multiplier in (0, 1]; 1 = healthy. */
+        double degradeFactor = 1.0;
+        /** Heartbeat timestamps are stamped now + clockSkew. */
+        double clockSkew = 0.0;
     };
 
     void scheduleHeartbeat(sim::NodeId node);
+    /** Build the planner snapshot from live state. */
+    sim::ClusterState buildState() const;
+    /** Live (never frozen) ready-set fingerprint. */
+    uint64_t readyFingerprint() const;
     void nodeControllerTick();
     void schedulerTick();
 
@@ -275,6 +377,11 @@ class KubeCluster : public sim::FaultTarget
     std::vector<sim::NodeId> dirtyNodes_;
     size_t evictedPods_ = 0;
     size_t invariantViolations_ = 0;
+    /** API-outage freeze: observation surface captured at begin. */
+    bool apiOutage_ = false;
+    sim::ClusterState frozenState_;
+    double frozenReadyCapacity_ = 0.0;
+    uint64_t frozenFingerprint_ = 0;
     /** Scratch for the validation sweep (avoids per-event allocs). */
     std::vector<double> validateScratch_;
 

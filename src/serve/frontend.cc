@@ -254,8 +254,11 @@ ServeFrontend::refresh()
         if (it != services_.end())
             ++it->second.ready;
     }
+    // Congestion is a node-local signal (real queueing on real
+    // utilization), not an API-server readout — use live state so an
+    // API outage doesn't freeze the load model.
     congestion_ =
-        congestionFactor(cluster_.observedState().utilization());
+        congestionFactor(cluster_.liveState().utilization());
     const double total = cluster_.totalCapacity();
     admission_.observeCapacity(
         total > 0.0 ? cluster_.readyCapacity() / total : 0.0);

@@ -1,5 +1,6 @@
 #include "cluster.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace phoenix::sim {
@@ -40,6 +41,13 @@ void
 ClusterState::restoreNode(NodeId id)
 {
     nodes_.at(id).healthy = true;
+}
+
+void
+ClusterState::setNodeCapacity(NodeId id, double capacity)
+{
+    Node &n = nodes_.at(id);
+    n.capacity = std::max(capacity, used_.at(id));
 }
 
 bool

@@ -49,6 +49,14 @@ class ClusterState
     /** Bring a failed node back (empty). */
     void restoreNode(NodeId id);
 
+    /**
+     * Resize a node's capacity in place (degraded-node modeling: a
+     * slow-not-dead node offers capacity * factor). The new capacity
+     * is clamped up to the node's current usage so existing
+     * placements stay valid — degradation never evicts.
+     */
+    void setNodeCapacity(NodeId id, double capacity);
+
     bool isHealthy(NodeId id) const { return nodes_.at(id).healthy; }
 
     /**

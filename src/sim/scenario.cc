@@ -18,12 +18,32 @@ isFailureKind(Scenario::Step::Kind kind)
     case Scenario::Step::Kind::FailZone:
     case Scenario::Step::Kind::RollingFail:
     case Scenario::Step::Kind::Flap:
+    // Partitions and degradation remove (schedulable) capacity, so
+    // they start the recovery clock. API outages and clock skew do
+    // not by themselves — they only distort observation.
+    case Scenario::Step::Kind::PartitionNodes:
+    case Scenario::Step::Kind::PartitionZone:
+    case Scenario::Step::Kind::Degrade:
+    case Scenario::Step::Kind::DegradeZone:
         return true;
     case Scenario::Step::Kind::RecoverNodes:
     case Scenario::Step::Kind::RecoverAll:
+    case Scenario::Step::Kind::HealPartition:
+    case Scenario::Step::Kind::ApiOutage:
+    case Scenario::Step::Kind::SkewClock:
         return false;
     }
     return false;
+}
+
+double
+clampDegradeFactor(double factor)
+{
+    if (factor < kMinDegradeFactor)
+        return kMinDegradeFactor;
+    if (factor > 1.0)
+        return 1.0;
+    return factor;
 }
 
 } // namespace
@@ -56,7 +76,7 @@ Scenario::failCapacityFraction(SimTime at, double fraction)
     Step step;
     step.at = at;
     step.kind = Step::Kind::FailCapacityFraction;
-    step.fraction = fraction;
+    step.fraction = std::clamp(fraction, 0.0, 1.0);
     steps_.push_back(step);
     return *this;
 }
@@ -79,7 +99,7 @@ Scenario::rollingFail(SimTime at, size_t count, double interval)
     step.at = at;
     step.kind = Step::Kind::RollingFail;
     step.count = count;
-    step.interval = interval;
+    step.interval = std::max(interval, 0.0);
     steps_.push_back(step);
     return *this;
 }
@@ -91,7 +111,7 @@ Scenario::flapKubelet(SimTime at, NodeId node, double downtime)
     step.at = at;
     step.kind = Step::Kind::Flap;
     step.nodes = {node};
-    step.downtime = downtime;
+    step.downtime = std::max(downtime, 0.0);
     steps_.push_back(std::move(step));
     return *this;
 }
@@ -113,8 +133,95 @@ Scenario::recoverAll(SimTime at, double stagger)
     Step step;
     step.at = at;
     step.kind = Step::Kind::RecoverAll;
-    step.interval = stagger;
+    step.interval = std::max(stagger, 0.0);
     steps_.push_back(step);
+    return *this;
+}
+
+Scenario &
+Scenario::partitionNodes(SimTime at, std::vector<NodeId> nodes,
+                         double duration)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::PartitionNodes;
+    step.nodes = std::move(nodes);
+    step.downtime = duration;
+    steps_.push_back(std::move(step));
+    return *this;
+}
+
+Scenario &
+Scenario::partitionZone(SimTime at, size_t zone, double duration)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::PartitionZone;
+    step.zone = zone;
+    step.downtime = duration;
+    steps_.push_back(step);
+    return *this;
+}
+
+Scenario &
+Scenario::healPartition(SimTime at, std::vector<NodeId> nodes)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::HealPartition;
+    step.nodes = std::move(nodes);
+    steps_.push_back(std::move(step));
+    return *this;
+}
+
+Scenario &
+Scenario::degradeNodes(SimTime at, std::vector<NodeId> nodes,
+                       double factor, double duration)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::Degrade;
+    step.nodes = std::move(nodes);
+    step.factor = clampDegradeFactor(factor);
+    step.downtime = duration;
+    steps_.push_back(std::move(step));
+    return *this;
+}
+
+Scenario &
+Scenario::degradeZone(SimTime at, size_t zone, double factor,
+                      double duration)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::DegradeZone;
+    step.zone = zone;
+    step.factor = clampDegradeFactor(factor);
+    step.downtime = duration;
+    steps_.push_back(step);
+    return *this;
+}
+
+Scenario &
+Scenario::apiOutage(SimTime at, double duration)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::ApiOutage;
+    step.downtime = std::max(duration, 0.0);
+    steps_.push_back(step);
+    return *this;
+}
+
+Scenario &
+Scenario::skewClock(SimTime at, NodeId node, double skew)
+{
+    Step step;
+    step.at = at;
+    step.kind = Step::Kind::SkewClock;
+    step.nodes = {node};
+    step.skew = skew;
+    steps_.push_back(std::move(step));
     return *this;
 }
 
@@ -141,6 +248,11 @@ ScenarioRunner::ScenarioRunner(EventQueue &events, FaultTarget &target,
     auto &registry = obs::Registry::global();
     obs_.nodeFailures = &registry.counter("scenario.node_failures");
     obs_.nodeRecoveries = &registry.counter("scenario.node_recoveries");
+    obs_.partitions = &registry.counter("scenario.partitions");
+    obs_.heals = &registry.counter("scenario.partition_heals");
+    obs_.degrades = &registry.counter("scenario.degrades");
+    obs_.skews = &registry.counter("scenario.clock_skews");
+    obs_.apiOutages = &registry.counter("scenario.api_outages");
     obs_.steps = &registry.counter("scenario.steps");
 
     for (const Scenario::Step &step : scenario_.steps())
@@ -192,6 +304,26 @@ ScenarioRunner::downNodes() const
     return std::vector<NodeId>(down_.begin(), down_.end());
 }
 
+std::vector<NodeId>
+ScenarioRunner::partitionedNodes() const
+{
+    return std::vector<NodeId>(partitioned_.begin(),
+                               partitioned_.end());
+}
+
+std::vector<NodeId>
+ScenarioRunner::zoneNodes(size_t zone) const
+{
+    const size_t zones = std::max<size_t>(options_.zoneCount, 1);
+    std::vector<NodeId> nodes;
+    for (size_t n = 0; n < target_.nodeCount(); ++n) {
+        const NodeId id = static_cast<NodeId>(n);
+        if (id % zones == zone)
+            nodes.push_back(id);
+    }
+    return nodes;
+}
+
 void
 ScenarioRunner::failNode(NodeId node)
 {
@@ -217,6 +349,89 @@ ScenarioRunner::recoverNode(NodeId node)
                           (obs::TraceArg{
                               "node", static_cast<double>(node)}));
     target_.injectNodeRecovery(node);
+}
+
+void
+ScenarioRunner::partitionNode(NodeId node)
+{
+    if (!partitioned_.insert(node).second)
+        return;
+    trace_.push_back({events_.now(), ScenarioAction::Partition, node});
+    PHOENIX_COUNT(*obs_.partitions, 1);
+    PHOENIX_TRACE_INSTANT("scenario", "partition", events_.now(),
+                          (obs::TraceArg{
+                              "node", static_cast<double>(node)}));
+    target_.injectPartition(node);
+}
+
+void
+ScenarioRunner::healNode(NodeId node)
+{
+    if (!partitioned_.erase(node))
+        return;
+    trace_.push_back({events_.now(), ScenarioAction::Heal, node});
+    PHOENIX_COUNT(*obs_.heals, 1);
+    PHOENIX_TRACE_INSTANT("scenario", "heal", events_.now(),
+                          (obs::TraceArg{
+                              "node", static_cast<double>(node)}));
+    target_.injectPartitionHeal(node);
+}
+
+void
+ScenarioRunner::degradeNode(NodeId node, double factor)
+{
+    if (factor >= 1.0) {
+        // Restoring a node that was never degraded is a no-op.
+        if (degraded_.erase(node) == 0)
+            return;
+        trace_.push_back(
+            {events_.now(), ScenarioAction::Restore, node, 1.0});
+        target_.injectDegrade(node, 1.0);
+        return;
+    }
+    degraded_[node] = factor;
+    trace_.push_back(
+        {events_.now(), ScenarioAction::Degrade, node, factor});
+    PHOENIX_COUNT(*obs_.degrades, 1);
+    PHOENIX_TRACE_INSTANT("scenario", "degrade", events_.now(),
+                          (obs::TraceArg{
+                              "node", static_cast<double>(node)}));
+    target_.injectDegrade(node, factor);
+}
+
+void
+ScenarioRunner::skewNode(NodeId node, double skew)
+{
+    trace_.push_back(
+        {events_.now(), ScenarioAction::ClockSkew, node, skew});
+    PHOENIX_COUNT(*obs_.skews, 1);
+    PHOENIX_TRACE_INSTANT("scenario", "clock_skew", events_.now(),
+                          (obs::TraceArg{
+                              "node", static_cast<double>(node)}));
+    target_.injectClockSkew(node, skew);
+}
+
+void
+ScenarioRunner::beginOutage()
+{
+    trace_.push_back(
+        {events_.now(), ScenarioAction::ApiOutageBegin, 0});
+    if (++outageDepth_ > 1)
+        return; // overlapping windows merge
+    PHOENIX_COUNT(*obs_.apiOutages, 1);
+    PHOENIX_TRACE_INSTANT("scenario", "api_outage_begin",
+                          events_.now());
+    target_.injectApiOutageBegin();
+}
+
+void
+ScenarioRunner::endOutage()
+{
+    trace_.push_back({events_.now(), ScenarioAction::ApiOutageEnd, 0});
+    if (outageDepth_ == 0 || --outageDepth_ > 0)
+        return;
+    PHOENIX_TRACE_INSTANT("scenario", "api_outage_end", events_.now());
+    target_.injectApiOutageEnd();
 }
 
 void
@@ -312,6 +527,55 @@ ScenarioRunner::runStep(const Scenario::Step &step)
         }
         break;
     }
+
+    case Kind::PartitionNodes:
+    case Kind::PartitionZone: {
+        const std::vector<NodeId> nodes =
+            step.kind == Kind::PartitionZone ? zoneNodes(step.zone)
+                                             : step.nodes;
+        for (NodeId node : nodes) {
+            partitionNode(node);
+            if (step.downtime > 0.0) {
+                events_.scheduleAfter(step.downtime, [this, node] {
+                    healNode(node);
+                });
+            }
+        }
+        break;
+    }
+
+    case Kind::HealPartition:
+        for (NodeId node : step.nodes)
+            healNode(node);
+        break;
+
+    case Kind::Degrade:
+    case Kind::DegradeZone: {
+        const std::vector<NodeId> nodes =
+            step.kind == Kind::DegradeZone ? zoneNodes(step.zone)
+                                           : step.nodes;
+        for (NodeId node : nodes) {
+            degradeNode(node, step.factor);
+            if (step.downtime > 0.0) {
+                events_.scheduleAfter(step.downtime, [this, node] {
+                    degradeNode(node, 1.0);
+                });
+            }
+        }
+        break;
+    }
+
+    case Kind::ApiOutage: {
+        beginOutage();
+        events_.scheduleAfter(step.downtime,
+                              [this] { endOutage(); });
+        break;
+    }
+
+    case Kind::SkewClock:
+        for (NodeId node : step.nodes)
+            skewNode(node, step.skew);
+        break;
     }
 }
 

@@ -201,3 +201,44 @@ TEST(Controller, PhoenixBeatsDefaultDuringFailure)
 
     EXPECT_GT(phoenix_avail, default_avail);
 }
+
+TEST(Controller, EqualCapacitySwapStillTriggersReplan)
+{
+    // Satellite regression for the observation->execution race: node 1
+    // goes NotReady in the *same* node-controller tick that brings an
+    // equal-capacity node back Ready, so the aggregate ready capacity
+    // the controller polls never moves. A capacity-only replan trigger
+    // misses the swap and leaves the pods evicted from node 1 pinned
+    // to it — Pending forever. The ready-set fingerprint trigger
+    // catches it.
+    Rig rig;
+    rig.events.runUntil(250.0);
+    ASSERT_EQ(rig.cluster->pendingCount(), 0u);
+
+    // Take node 1 down the ordinary way and let Phoenix replan.
+    rig.cluster->stopKubelet(1);
+    rig.events.runUntil(305.0);
+
+    // Arrange the swap: partition node 0 at t=305 (last heartbeat
+    // 300, NotReady at the t=410 tick) and restart node 1's kubelet
+    // at t=402 (fresh heartbeat, Ready at the same t=410 tick).
+    rig.cluster->partitionNode(0);
+    rig.events.schedule(402.0, [&rig] { rig.cluster->startKubelet(1); });
+    rig.events.runUntil(405.0);
+    const size_t replans_at_swap = rig.controller->history().size();
+
+    rig.events.runUntil(420.0);
+    EXPECT_FALSE(rig.cluster->isReady(0));
+    EXPECT_TRUE(rig.cluster->isReady(1));
+    rig.events.runUntil(900.0);
+
+    // The swap forced a replan even though capacity never moved...
+    EXPECT_GT(rig.controller->history().size(), replans_at_swap);
+    // ...and no pod is stranded: everything the plan wants is Running
+    // and nothing sits Pending pinned to the dead node.
+    EXPECT_EQ(rig.cluster->pendingCount(), 0u);
+    const double availability = sim::criticalServiceAvailability(
+        rig.cluster->apps(), rig.runningActiveSet());
+    EXPECT_GE(availability, 1.0 - 1e-9);
+    EXPECT_EQ(rig.cluster->invariantViolations(), 0u);
+}

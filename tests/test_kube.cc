@@ -343,3 +343,172 @@ TEST(Kube, ObservedStateReflectsFailuresAndPlacement)
         EXPECT_EQ(node, 1u);
     }
 }
+
+// ---------------------------------------------------------------------
+// NotReady boundary + extended fault taxonomy semantics.
+// ---------------------------------------------------------------------
+
+TEST(Kube, HeartbeatAgeExactlyAtGraceStaysReady)
+{
+    // Satellite regression: a heartbeat whose age is *exactly*
+    // nodeGracePeriod must still count as fresh (<=, not <). With the
+    // kubelet stopped right after addNode (last heartbeat at t=0), the
+    // controller tick at t=100 computes age == 100 and must keep the
+    // node Ready; the tick at t=110 crosses the boundary. A flipped
+    // comparison marks the node NotReady one full tick early and this
+    // test fails.
+    sim::EventQueue events;
+    KubeConfig config;
+    config.validateInvariants = true;
+    KubeCluster cluster(events, config);
+    const auto node = cluster.addNode(8.0);
+    cluster.stopKubelet(node);
+
+    events.runUntil(105.0);
+    EXPECT_TRUE(cluster.isReady(node));
+    events.runUntil(115.0);
+    EXPECT_FALSE(cluster.isReady(node));
+}
+
+TEST(Kube, SkewAtGraceMinusHeartbeatPinsTheBoundary)
+{
+    // Clock skew of -(grace - heartbeatPeriod) = -90 puts *every* age
+    // the controller computes exactly on the boundary: heartbeats land
+    // at t and stamp t-90; the next tick at t+10 sees age 100. Under
+    // the pinned <= comparison the node stays Ready forever; under the
+    // flipped one it permanently flaps NotReady.
+    sim::EventQueue events;
+    KubeConfig config;
+    config.validateInvariants = true;
+    KubeCluster cluster(events, config);
+    const auto node = cluster.addNode(8.0);
+    cluster.setClockSkew(node, -90.0);
+    cluster.addApplication(simpleApp(2, 2.0));
+
+    events.runUntil(500.0);
+    EXPECT_TRUE(cluster.isReady(node));
+    EXPECT_EQ(cluster.runningPods().size(), 2u);
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
+TEST(Kube, PartitionSuppressesHeartbeatsUntilHealed)
+{
+    sim::EventQueue events;
+    KubeConfig config;
+    config.validateInvariants = true;
+    KubeCluster cluster(events, config);
+    const auto a = cluster.addNode(8.0);
+    const auto b = cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(2, 2.0));
+    events.runUntil(200.0);
+    ASSERT_EQ(cluster.runningPods().size(), 2u);
+
+    // Partition at 200 (last stamped heartbeat 200): ages cross the
+    // grace boundary at the t=310 tick (age 110).
+    cluster.partitionNode(a);
+    events.runUntil(305.0);
+    EXPECT_TRUE(cluster.isReady(a));
+    events.runUntil(315.0);
+    EXPECT_FALSE(cluster.isReady(a));
+    EXPECT_TRUE(cluster.isPartitioned(a));
+    // The control plane evicted node a's pods; they reschedule onto b.
+    events.runUntil(500.0);
+    for (const PodRef &pod : cluster.runningPods())
+        EXPECT_EQ(cluster.observedState().nodeOf(pod), b);
+
+    // Heal: no artificial heartbeat bump — readiness returns only once
+    // the next *natural* heartbeat lands and the controller ticks.
+    cluster.healPartition(a);
+    EXPECT_FALSE(cluster.isReady(a));
+    events.runUntil(530.0);
+    EXPECT_TRUE(cluster.isReady(a));
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
+TEST(Kube, DegradedNodeShrinksCapacityAndNeverEvicts)
+{
+    sim::EventQueue events;
+    KubeConfig config;
+    config.validateInvariants = true;
+    KubeCluster cluster(events, config);
+    const auto node = cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(2, 3.0));
+    events.runUntil(120.0);
+    ASSERT_EQ(cluster.runningPods().size(), 2u);
+    EXPECT_DOUBLE_EQ(cluster.readyCapacity(), 8.0);
+
+    // Degrade to half capacity: schedulable capacity shrinks below
+    // current usage, but degradation is slow-not-dead — nothing is
+    // evicted.
+    cluster.degradeNode(node, 0.5);
+    EXPECT_DOUBLE_EQ(cluster.effectiveCapacity(node), 4.0);
+    EXPECT_DOUBLE_EQ(cluster.readyCapacity(), 4.0);
+    EXPECT_EQ(cluster.runningPods().size(), 2u);
+
+    // No room for new work while degraded.
+    cluster.addApplication(simpleApp(1, 1.0));
+    events.runUntil(240.0);
+    EXPECT_EQ(cluster.pendingCount(), 1u);
+
+    // The observed surface stays representable: a degraded node with
+    // pods beyond its effective capacity reports max(effective, used).
+    EXPECT_DOUBLE_EQ(cluster.observedState().node(node).capacity, 6.0);
+
+    cluster.degradeNode(node, 1.0);
+    events.runUntil(400.0);
+    EXPECT_EQ(cluster.pendingCount(), 0u);
+    EXPECT_EQ(cluster.runningPods().size(), 3u);
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
+TEST(Kube, ApiOutageFreezesObservationWhileClusterEvolves)
+{
+    sim::EventQueue events;
+    KubeConfig config;
+    config.validateInvariants = true;
+    KubeCluster cluster(events, config);
+    cluster.addNode(8.0);
+    const auto b = cluster.addNode(8.0);
+    cluster.addApplication(simpleApp(2, 2.0));
+    events.runUntil(200.0);
+
+    cluster.beginApiOutage();
+    const uint64_t frozen = cluster.observedReadyFingerprint();
+    cluster.stopKubelet(b);
+    events.runUntil(400.0); // well past the grace period
+
+    // Live truth moved; the observed surface did not.
+    EXPECT_FALSE(cluster.isReady(b));
+    EXPECT_DOUBLE_EQ(cluster.readyCapacity(), 8.0);
+    EXPECT_DOUBLE_EQ(cluster.observedReadyCapacity(), 16.0);
+    EXPECT_EQ(cluster.observedReadyFingerprint(), frozen);
+    EXPECT_TRUE(cluster.observedState().isHealthy(b));
+    EXPECT_FALSE(cluster.liveState().isHealthy(b));
+
+    // Thaw: observation converges to live truth immediately.
+    cluster.endApiOutage();
+    EXPECT_DOUBLE_EQ(cluster.observedReadyCapacity(), 8.0);
+    EXPECT_FALSE(cluster.observedState().isHealthy(b));
+    EXPECT_EQ(cluster.invariantViolations(), 0u);
+}
+
+TEST(Kube, PositiveSkewMasksAKubeletDeath)
+{
+    // Fresh-from-the-future heartbeats: with skew +300 the last
+    // heartbeat before the kubelet dies is stamped ~t+300, so the node
+    // controller keeps the node Ready long past the real death — the
+    // hazard class the chaos soak's clock-skew waves exercise.
+    sim::EventQueue events;
+    KubeConfig config;
+    config.validateInvariants = true;
+    KubeCluster cluster(events, config);
+    const auto node = cluster.addNode(8.0);
+    cluster.setClockSkew(node, 300.0);
+    events.runUntil(12.0); // one skewed heartbeat (stamped ~310)
+    cluster.stopKubelet(node);
+
+    events.runUntil(400.0);
+    EXPECT_TRUE(cluster.isReady(node)); // masked
+    events.runUntil(420.0);
+    EXPECT_FALSE(cluster.isReady(node)); // finally past 310 + grace
+}

@@ -335,3 +335,240 @@ TEST(ScenarioKube, StaggeredRecoveryRestoresCapacityStepwise)
     events.runUntil(1000.0);
     EXPECT_EQ(cluster.runningPods().size(), 4u);
 }
+
+// ---------------------------------------------------------------------
+// Extended fault taxonomy: partitions, degrade, API outage, clock skew.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** FakeTarget that also records the extended-taxonomy injections. */
+class TaxonomyTarget : public FakeTarget
+{
+  public:
+    using FakeTarget::FakeTarget;
+
+    struct Extended
+    {
+        std::string kind;
+        NodeId node = 0;
+        double value = 0.0;
+    };
+    std::vector<Extended> extended;
+
+    void injectPartition(NodeId node) override
+    {
+        extended.push_back({"partition", node, 0.0});
+    }
+    void injectPartitionHeal(NodeId node) override
+    {
+        extended.push_back({"heal", node, 0.0});
+    }
+    void injectDegrade(NodeId node, double factor) override
+    {
+        extended.push_back({"degrade", node, factor});
+    }
+    void injectClockSkew(NodeId node, double skew) override
+    {
+        extended.push_back({"skew", node, skew});
+    }
+    void injectApiOutageBegin() override
+    {
+        extended.push_back({"outage-begin", 0, 0.0});
+    }
+    void injectApiOutageEnd() override
+    {
+        extended.push_back({"outage-end", 0, 0.0});
+    }
+};
+
+} // namespace
+
+TEST(Scenario, PartitionWindowInjectsAndHeals)
+{
+    EventQueue events;
+    TaxonomyTarget target(4);
+    Scenario scenario;
+    scenario.partitionNodes(10.0, {1, 2}, 50.0);
+    ScenarioRunner runner(events, target, scenario);
+
+    events.runUntil(20.0);
+    EXPECT_EQ(runner.partitionedNodes(), (std::vector<NodeId>{1, 2}));
+    ASSERT_EQ(target.extended.size(), 2u);
+    EXPECT_EQ(target.extended[0].kind, "partition");
+
+    events.runUntil(100.0);
+    EXPECT_TRUE(runner.partitionedNodes().empty());
+    ASSERT_EQ(target.extended.size(), 4u);
+    EXPECT_EQ(target.extended[2].kind, "heal");
+    // Partition counts as a failure instant; heal does not.
+    EXPECT_DOUBLE_EQ(runner.firstFailureAt(), 10.0);
+}
+
+TEST(Scenario, PartitionZoneTakesExactlyTheZone)
+{
+    EventQueue events;
+    TaxonomyTarget target(10);
+    Scenario scenario;
+    scenario.partitionZone(5.0, 2); // zoneCount 5: nodes 2 and 7
+    ScenarioRunner runner(events, target, scenario);
+
+    events.runUntil(6.0);
+    EXPECT_EQ(runner.partitionedNodes(), (std::vector<NodeId>{2, 7}));
+}
+
+TEST(Scenario, DegradeClampsFactorIntoDomain)
+{
+    EventQueue events;
+    TaxonomyTarget target(2);
+    Scenario scenario;
+    scenario.degradeNodes(1.0, {0}, 1e-9);  // clamps up to the floor
+    scenario.degradeNodes(2.0, {1}, 42.0);  // clamps down to 1.0
+    ScenarioRunner runner(events, target, scenario);
+    events.runUntil(3.0);
+
+    // A factor clamped to 1.0 is a restore; node 1 was never
+    // degraded, so that step is a no-op and nothing reaches the
+    // target for it.
+    ASSERT_EQ(target.extended.size(), 1u);
+    EXPECT_EQ(target.extended[0].kind, "degrade");
+    EXPECT_DOUBLE_EQ(target.extended[0].value, kMinDegradeFactor);
+    (void)runner;
+}
+
+TEST(Scenario, DegradeWindowRestoresAndTracesValues)
+{
+    EventQueue events;
+    TaxonomyTarget target(3);
+    Scenario scenario;
+    scenario.degradeNodes(10.0, {0, 2}, 0.5, 40.0);
+    ScenarioRunner runner(events, target, scenario);
+
+    events.runUntil(60.0);
+    ASSERT_EQ(target.extended.size(), 4u);
+    EXPECT_DOUBLE_EQ(target.extended[0].value, 0.5);
+    EXPECT_DOUBLE_EQ(target.extended[2].value, 1.0);
+
+    size_t degrades = 0;
+    size_t restores = 0;
+    for (const auto &entry : runner.trace()) {
+        if (entry.action == ScenarioAction::Degrade) {
+            ++degrades;
+            EXPECT_DOUBLE_EQ(entry.value, 0.5);
+        }
+        if (entry.action == ScenarioAction::Restore)
+            ++restores;
+    }
+    EXPECT_EQ(degrades, 2u);
+    EXPECT_EQ(restores, 2u);
+}
+
+TEST(Scenario, ApiOutageWindowsMerge)
+{
+    EventQueue events;
+    TaxonomyTarget target(2);
+    Scenario scenario;
+    scenario.apiOutage(10.0, 50.0);  // [10, 60]
+    scenario.apiOutage(30.0, 100.0); // [30, 130] — overlaps
+    ScenarioRunner runner(events, target, scenario);
+
+    events.runUntil(40.0);
+    EXPECT_EQ(runner.apiOutageDepth(), 2u);
+    events.runUntil(70.0);
+    EXPECT_EQ(runner.apiOutageDepth(), 1u);
+    events.runUntil(140.0);
+    EXPECT_EQ(runner.apiOutageDepth(), 0u);
+
+    // The target only ever sees the merged window: one begin, one end.
+    std::vector<std::string> kinds;
+    for (const auto &entry : target.extended)
+        kinds.push_back(entry.kind);
+    EXPECT_EQ(kinds,
+              (std::vector<std::string>{"outage-begin", "outage-end"}));
+}
+
+TEST(Scenario, SkewClockRecordsValue)
+{
+    EventQueue events;
+    TaxonomyTarget target(2);
+    Scenario scenario;
+    scenario.skewClock(5.0, 1, -42.0);
+    scenario.skewClock(20.0, 1, 0.0);
+    ScenarioRunner runner(events, target, scenario);
+    events.runUntil(30.0);
+
+    ASSERT_EQ(target.extended.size(), 2u);
+    EXPECT_DOUBLE_EQ(target.extended[0].value, -42.0);
+    EXPECT_DOUBLE_EQ(target.extended[1].value, 0.0);
+    ASSERT_EQ(runner.trace().size(), 2u);
+    EXPECT_EQ(runner.trace()[0].action, ScenarioAction::ClockSkew);
+    EXPECT_DOUBLE_EQ(runner.trace()[0].value, -42.0);
+    // Clock skew is not a failure instant.
+    EXPECT_DOUBLE_EQ(runner.firstFailureAt(), -1.0);
+}
+
+TEST(Scenario, BuildersClampOutOfDomainInputs)
+{
+    EventQueue events;
+    TaxonomyTarget target(4);
+    Scenario scenario;
+    scenario.failCapacityFraction(1.0, -0.5); // clamps to 0: no-op
+    scenario.failCapacityFraction(2.0, 7.0);  // clamps to 1: everything
+    scenario.rollingFail(10.0, 2, -5.0);      // interval clamps to 0
+    scenario.flapKubelet(20.0, 0, -3.0);      // downtime clamps to 0
+    ScenarioRunner runner(events, target, scenario);
+
+    events.runUntil(1.5);
+    EXPECT_TRUE(runner.downNodes().empty());
+    events.runUntil(3.0);
+    EXPECT_EQ(runner.downNodes().size(), 4u);
+
+    // Steps carry the clamped values, deterministically.
+    EXPECT_DOUBLE_EQ(scenario.steps()[0].fraction, 0.0);
+    EXPECT_DOUBLE_EQ(scenario.steps()[1].fraction, 1.0);
+    EXPECT_DOUBLE_EQ(scenario.steps()[2].interval, 0.0);
+    EXPECT_DOUBLE_EQ(scenario.steps()[3].downtime, 0.0);
+}
+
+TEST(Scenario, NewFaultClassesAreDeterministicForASeed)
+{
+    // Identical seeds must produce identical injection traces across
+    // independent runs — including every extended fault class and the
+    // randomized selections interleaved between them.
+    auto run = [](uint64_t seed) {
+        EventQueue events;
+        TaxonomyTarget target(12);
+        Scenario scenario;
+        scenario.failCount(10.0, 3);
+        scenario.partitionNodes(20.0, {1, 4}, 60.0);
+        scenario.degradeZone(30.0, 1, 0.5, 40.0);
+        scenario.apiOutage(35.0, 30.0);
+        scenario.skewClock(40.0, 7, -120.0);
+        scenario.failCapacityFraction(50.0, 0.4);
+        scenario.recoverAll(200.0, 5.0);
+        ScenarioOptions options;
+        options.seed = seed;
+        ScenarioRunner runner(events, target, scenario, options);
+        events.runUntil(300.0);
+        return runner.trace();
+    };
+
+    const auto a = run(9);
+    const auto b = run(9);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].at, b[i].at);
+        EXPECT_EQ(a[i].action, b[i].action);
+        EXPECT_EQ(a[i].node, b[i].node);
+        EXPECT_DOUBLE_EQ(a[i].value, b[i].value);
+    }
+    const auto c = run(10);
+    bool same = a.size() == c.size();
+    if (same) {
+        for (size_t i = 0; i < a.size(); ++i) {
+            if (a[i].action != c[i].action || a[i].node != c[i].node)
+                same = false;
+        }
+    }
+    EXPECT_FALSE(same);
+}
