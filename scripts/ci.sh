@@ -32,14 +32,15 @@ cmake --build "$BUILD" -j "$JOBS"
 
 step "tier-1 ctest (unit + property + corpus suites)"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
-    -E '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|fig8b_1m_smoke|fuzz_long|soak_smoke|soak_long)$'
+    -E '^(fuzz_smoke|constraint_fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|fig8b_1m_smoke|fuzz_long|constraint_fuzz_long|soak_smoke|constrained_soak_smoke|soak_long)$'
 
 # The smoke gates run serially and last so their bound assertions
 # (fig8b op counters, Fig 6 recovery times, serving SLO/shed bounds,
-# oracle cleanliness, soak violations) are easy to spot in the log.
-step "smoke gates: fuzz_smoke, recovery_smoke, serve_smoke, fig8b_smoke, soak_smoke"
+# oracle cleanliness, soak violations, constraint-feasibility oracle
+# cleanliness on the constrained generator) are easy to spot in the log.
+step "smoke gates: fuzz, constraint_fuzz, recovery, serve, fig8b, soak, constrained_soak"
 ctest --test-dir "$BUILD" --output-on-failure \
-    -R '^(fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|soak_smoke)$'
+    -R '^(fuzz_smoke|constraint_fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|soak_smoke|constrained_soak_smoke)$'
 
 # Million-node gate, opt-in: export FIG8B_1M=1 to run the 1M-node
 # Phoenix cells + the 100k incremental-replan demo (~minutes, GBs of
@@ -58,6 +59,18 @@ if [[ -n "${SOAK_HOURS:-}" ]]; then
   step "long soak gate: soak_long (SOAK_HOURS=${SOAK_HOURS})"
   SOAK_HOURS="$SOAK_HOURS" ctest --test-dir "$BUILD" --output-on-failure \
       -R '^soak_long$'
+fi
+
+# Long constrained fuzz, opt-in: export CONSTRAINT_FUZZ_CASES to a case
+# count (e.g. CONSTRAINT_FUZZ_CASES=5000) to run the constrained
+# generator + feasibility oracle for that many cases. Without it the
+# test self-skips (exit 77). The `constraints` ctest label groups this
+# with constraint_fuzz_smoke and constrained_soak_smoke:
+# `ctest -L constraints` runs the whole topology battery.
+if [[ -n "${CONSTRAINT_FUZZ_CASES:-}" ]]; then
+  step "long constrained fuzz gate: constraint_fuzz_long (CONSTRAINT_FUZZ_CASES=${CONSTRAINT_FUZZ_CASES})"
+  CONSTRAINT_FUZZ_CASES="$CONSTRAINT_FUZZ_CASES" ctest --test-dir "$BUILD" \
+      --output-on-failure -R '^constraint_fuzz_long$'
 fi
 
 if [[ "$FAST" == "1" ]]; then

@@ -15,8 +15,10 @@ sim::ClusterState
 CheckCase::emptyCluster() const
 {
     ClusterState state;
-    for (double capacity : nodeCapacities)
-        state.addNode(capacity);
+    for (size_t n = 0; n < nodeCapacities.size(); ++n) {
+        state.addNode(nodeCapacities[n],
+                      n < nodeZones.size() ? nodeZones[n] : 0);
+    }
     return state;
 }
 
@@ -195,20 +197,52 @@ CheckCase::toJson() const
     for (size_t n = 0; n < nodeCapacities.size(); ++n)
         os << (n ? "," : "") << jsonNumber(nodeCapacities[n]);
     os << "],\n";
+    if (!nodeZones.empty()) {
+        os << "  \"zones\": [";
+        for (size_t n = 0; n < nodeZones.size(); ++n)
+            os << (n ? "," : "") << nodeZones[n];
+        os << "],\n";
+    }
     os << "  \"apps\": [";
     for (size_t a = 0; a < apps.size(); ++a) {
         const sim::Application &app = apps[a];
         os << (a ? ",\n    " : "\n    ");
         os << "{\"id\": " << app.id << ", \"price\": "
            << jsonNumber(app.pricePerUnit) << ", \"phoenix_enabled\": "
-           << (app.phoenixEnabled ? "true" : "false")
-           << ",\n     \"services\": [";
+           << (app.phoenixEnabled ? "true" : "false");
+        if (!app.placementGroups.empty()) {
+            os << ",\n     \"groups\": [";
+            for (size_t g = 0; g < app.placementGroups.size(); ++g) {
+                const sim::PlacementGroup &group =
+                    app.placementGroups[g];
+                os << (g ? "," : "") << "{\"id\": " << group.id
+                   << ", \"max_per_node\": " << group.maxPerNode
+                   << ", \"max_per_zone\": " << group.maxPerZone
+                   << "}";
+            }
+            os << "]";
+        }
+        os << ",\n     \"services\": [";
         for (size_t m = 0; m < app.services.size(); ++m) {
             const sim::Microservice &ms = app.services[m];
             os << (m ? "," : "") << "{\"cpu\": " << jsonNumber(ms.cpu)
                << ", \"criticality\": " << ms.criticality
                << ", \"replicas\": " << ms.replicas
-               << ", \"quorum\": " << ms.quorum << "}";
+               << ", \"quorum\": " << ms.quorum;
+            // Placement policy fields ride along only when set, so
+            // pre-topology corpus entries keep their exact bytes.
+            if (ms.antiAffinityGroup >= 0)
+                os << ", \"group\": " << ms.antiAffinityGroup;
+            if (ms.maxPerNode > 0)
+                os << ", \"max_per_node\": " << ms.maxPerNode;
+            if (ms.maxPerZone > 0)
+                os << ", \"max_per_zone\": " << ms.maxPerZone;
+            if (ms.minZoneSpread > 0)
+                os << ", \"min_zone_spread\": " << ms.minZoneSpread;
+            if (ms.pdbMaxUnavailable >= 0)
+                os << ", \"pdb_max_unavailable\": "
+                   << ms.pdbMaxUnavailable;
+            os << "}";
         }
         os << "],\n     \"edges\": [";
         bool first = true;
@@ -286,11 +320,36 @@ parseApp(const JsonValue &node, size_t index, sim::Application &app,
             static_cast<int>(entry.numberAt("criticality", 1.0));
         ms.replicas = static_cast<int>(entry.numberAt("replicas", 1.0));
         ms.quorum = static_cast<int>(entry.numberAt("quorum", 0.0));
+        ms.antiAffinityGroup =
+            static_cast<int>(entry.numberAt("group", -1.0));
+        ms.maxPerNode =
+            static_cast<int>(entry.numberAt("max_per_node", 0.0));
+        ms.maxPerZone =
+            static_cast<int>(entry.numberAt("max_per_zone", 0.0));
+        ms.minZoneSpread =
+            static_cast<int>(entry.numberAt("min_zone_spread", 0.0));
+        ms.pdbMaxUnavailable = static_cast<int>(
+            entry.numberAt("pdb_max_unavailable", -1.0));
         if (ms.cpu < 0.0)
             return fail(error, "negative service cpu");
         if (ms.replicas < 1)
             ms.replicas = 1;
         app.services.push_back(ms);
+    }
+
+    const JsonValue *groups = node.field("groups");
+    if (groups && groups->isArray()) {
+        for (const JsonValue &entry : groups->items) {
+            if (!entry.isObject())
+                return fail(error, "group entry is not an object");
+            sim::PlacementGroup group;
+            group.id = static_cast<int>(entry.numberAt("id", 0.0));
+            group.maxPerNode =
+                static_cast<int>(entry.numberAt("max_per_node", 0.0));
+            group.maxPerZone =
+                static_cast<int>(entry.numberAt("max_per_zone", 0.0));
+            app.placementGroups.push_back(group);
+        }
     }
 
     const JsonValue *edges = node.field("edges");
@@ -391,6 +450,22 @@ CheckCase::fromJson(const std::string &text, std::string *error)
             return std::nullopt;
         }
         out.nodeCapacities.push_back(entry.number);
+    }
+
+    if (const JsonValue *zones = root.field("zones");
+        zones && zones->isArray()) {
+        for (const JsonValue &entry : zones->items) {
+            if (!entry.isNumber() || entry.number < 0.0) {
+                fail(error, "malformed node zone");
+                return std::nullopt;
+            }
+            out.nodeZones.push_back(
+                static_cast<uint32_t>(entry.number));
+        }
+        if (out.nodeZones.size() != out.nodeCapacities.size()) {
+            fail(error, "zones array does not match nodes array");
+            return std::nullopt;
+        }
     }
 
     const JsonValue *apps = root.field("apps");

@@ -71,6 +71,10 @@ struct CheckCase
     bool lifecycle = false;
 
     std::vector<double> nodeCapacities;
+    /** Explicit zone labels, parallel to nodeCapacities. Empty means
+     * no topology: zone-scoped machinery falls back to the classic
+     * id % zones synthetic layout. */
+    std::vector<uint32_t> nodeZones;
     std::vector<sim::Application> apps;
     std::vector<CaseStep> steps;
 
@@ -81,6 +85,19 @@ struct CheckCase
         for (const auto &app : apps)
             count += app.services.size();
         return count;
+    }
+
+    /** Any app carries a placement policy (the oracle swaps in its
+     * constraint-feasibility dimension and drops the checks that
+     * assume capacity-only packing). */
+    bool
+    constrained() const
+    {
+        for (const auto &app : apps) {
+            if (app.topologyConstrained())
+                return true;
+        }
+        return false;
     }
 
     bool

@@ -46,7 +46,49 @@ generateApp(Rng &rng, sim::AppId id, size_t index,
                 ms.quorum = static_cast<int>(
                     rng.uniformInt(1, ms.replicas));
         }
+        // Placement policy (guarded draws: probability 0 consumes no
+        // randomness, so classic streams stay byte-identical).
+        if (options.zoneSpreadProbability > 0.0 &&
+            rng.bernoulli(options.zoneSpreadProbability)) {
+            if (ms.replicas < 2)
+                ms.replicas = static_cast<int>(rng.uniformInt(2, 3));
+            const int64_t spread_max =
+                std::min<int64_t>(ms.replicas,
+                                  std::max(options.topologyZones, 2));
+            ms.minZoneSpread =
+                static_cast<int>(rng.uniformInt(2, spread_max));
+        }
+        if (options.pdbProbability > 0.0 &&
+            rng.bernoulli(options.pdbProbability)) {
+            if (ms.replicas < 2)
+                ms.replicas = static_cast<int>(rng.uniformInt(2, 3));
+            ms.pdbMaxUnavailable =
+                static_cast<int>(rng.uniformInt(1, ms.replicas));
+        }
+        if (options.nodeCapProbability > 0.0 &&
+            rng.bernoulli(options.nodeCapProbability)) {
+            ms.maxPerNode = static_cast<int>(rng.uniformInt(1, 2));
+        }
         app.services.push_back(ms);
+    }
+
+    if (options.antiAffinityProbability > 0.0 &&
+        rng.bernoulli(options.antiAffinityProbability)) {
+        sim::PlacementGroup group;
+        group.id = 0;
+        group.maxPerNode = static_cast<int>(rng.uniformInt(1, 2));
+        if (rng.bernoulli(0.4))
+            group.maxPerZone = static_cast<int>(rng.uniformInt(2, 4));
+        app.placementGroups.push_back(group);
+        bool any = false;
+        for (auto &ms : app.services) {
+            if (rng.bernoulli(0.5)) {
+                ms.antiAffinityGroup = group.id;
+                any = true;
+            }
+        }
+        if (!any && !app.services.empty())
+            app.services.front().antiAffinityGroup = group.id;
     }
 
     if (service_count >= 2 && rng.bernoulli(options.dagProbability)) {
@@ -93,6 +135,16 @@ generateCase(uint64_t seed, const GeneratorOptions &options)
             next_id += static_cast<sim::AppId>(rng.uniformInt(1, 7));
         out.apps.push_back(generateApp(rng, next_id, a, options));
         ++next_id;
+    }
+
+    // Constrained cases carry explicit zone labels so spread
+    // constraints bind to a real topology (and zone-scoped faults hit
+    // the same zones the constraints name). No rng draws here.
+    if (out.constrained() && options.topologyZones > 1) {
+        const auto zones =
+            static_cast<uint32_t>(options.topologyZones);
+        for (size_t n = 0; n < node_count; ++n)
+            out.nodeZones.push_back(static_cast<uint32_t>(n) % zones);
     }
 
     // Failure script. Lifecycle cases leave time for every pod to get

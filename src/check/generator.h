@@ -64,6 +64,28 @@ struct GeneratorOptions
     /** Probability of a heartbeat clock-skew fault on one node. */
     double skewProbability = 0.15;
 
+    /**
+     * Placement-policy emission (topology-aware packing). All four
+     * default to 0 so the classic rng stream is untouched — a draw is
+     * only consumed when the probability is positive, keeping every
+     * historical (seed, options) case byte-identical.
+     */
+    /** Per-app probability of an anti-affinity group (per-node and
+     * sometimes per-zone caps) enrolling a subset of its services. */
+    double antiAffinityProbability = 0.0;
+    /** Per-service probability of a PodDisruptionBudget (forces
+     * replicas >= 2). */
+    double pdbProbability = 0.0;
+    /** Per-service probability of a minZoneSpread constraint (forces
+     * replicas >= 2; spread <= topologyZones). */
+    double zoneSpreadProbability = 0.0;
+    /** Per-service probability of a standalone maxPerNode cap. */
+    double nodeCapProbability = 0.0;
+    /** Explicit zone count for constrained cases: when any placement
+     * policy was emitted, nodes get explicit zone labels
+     * (id % topologyZones) so spread constraints are meaningful. */
+    int topologyZones = 3;
+
     /** Probability that the failure step is zone-local: every failed
      * node shares one residue id % zoneFailureZones — the blast shape
      * the zone-sharded capacity index routes and the incremental

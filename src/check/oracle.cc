@@ -288,6 +288,179 @@ checkAppRankOrder(const std::vector<Application> &apps,
     }
 }
 
+/**
+ * Independent re-derivation of the placement-policy caps (kept
+ * deliberately separate from core::VacancyAllocator so a bug in the
+ * allocator cannot hide itself): per-service maxPerNode and effective
+ * zone cap (minZoneSpread folded in), plus anti-affinity group caps
+ * over member services. Returns the first violation found.
+ */
+std::optional<std::string>
+capViolation(const std::vector<Application> &apps,
+             const ClusterState &state)
+{
+    const size_t zones = std::max<size_t>(state.zoneCount(), 1);
+    // Pods per (app position, service), in assignment order.
+    std::map<std::pair<size_t, sim::MsId>, std::vector<NodeId>> placed;
+    for (const auto &[pod, node] : state.assignment()) {
+        if (pod.app < apps.size() &&
+            pod.ms < apps[pod.app].services.size())
+            placed[{pod.app, pod.ms}].push_back(node);
+    }
+
+    const auto check = [&](const std::vector<NodeId> &nodes,
+                           int max_node, int max_zone,
+                           const std::string &what)
+        -> std::optional<std::string> {
+        std::map<NodeId, int> per_node;
+        std::vector<int> per_zone(zones, 0);
+        for (NodeId n : nodes) {
+            const int on_node = ++per_node[n];
+            const int in_zone = ++per_zone[state.zoneOf(n) % zones];
+            if (max_node > 0 && on_node > max_node) {
+                std::ostringstream os;
+                os << what << ": " << on_node << " pods on node " << n
+                   << " > maxPerNode " << max_node;
+                return os.str();
+            }
+            if (max_zone > 0 && in_zone > max_zone) {
+                std::ostringstream os;
+                os << what << ": " << in_zone << " pods in zone "
+                   << state.zoneOf(n) << " > zone cap " << max_zone;
+                return os.str();
+            }
+        }
+        return std::nullopt;
+    };
+
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const Application &app = apps[a];
+        if (!app.topologyConstrained())
+            continue;
+        for (const auto &ms : app.services) {
+            const int cap_zone = ms.effectiveZoneCap();
+            if (ms.maxPerNode <= 0 && cap_zone <= 0)
+                continue;
+            const auto it = placed.find({a, ms.id});
+            if (it == placed.end())
+                continue;
+            std::ostringstream what;
+            what << "app " << a << " ms " << ms.id;
+            if (auto v = check(it->second, ms.maxPerNode, cap_zone,
+                               what.str()))
+                return v;
+        }
+        for (const auto &group : app.placementGroups) {
+            if (group.maxPerNode <= 0 && group.maxPerZone <= 0)
+                continue;
+            std::vector<NodeId> members;
+            for (const auto &ms : app.services) {
+                if (ms.antiAffinityGroup != group.id)
+                    continue;
+                const auto it = placed.find({a, ms.id});
+                if (it != placed.end())
+                    members.insert(members.end(), it->second.begin(),
+                                   it->second.end());
+            }
+            std::ostringstream what;
+            what << "app " << a << " group " << group.id;
+            if (auto v = check(members, group.maxPerNode,
+                               group.maxPerZone, what.str()))
+                return v;
+        }
+    }
+    return std::nullopt;
+}
+
+/**
+ * Constraint-feasibility dimension: the planned final state honors
+ * every vacancy/spread cap, every intermediate state of the emitted
+ * action sequence honors them too (preemption may not park two
+ * replicas on one node even transiently), and the plan's deletes
+ * never exceed a service's PodDisruptionBudget unless the plan shut
+ * the service down entirely (below-quorum cleanup). Properties:
+ * "constraint-feasibility", "pdb-budget".
+ */
+void
+checkConstraintFeasibility(const std::string &scheme,
+                           const std::vector<Application> &apps,
+                           const ClusterState &post,
+                           const SchemeResult &result,
+                           std::vector<Violation> &out)
+{
+    if (auto v = capViolation(apps, result.pack.state)) {
+        report(out, "constraint-feasibility", scheme,
+               "final state: " + *v);
+        return;
+    }
+
+    // Replay the action sequence, re-checking caps after every state
+    // change (replay legality itself is checkActionReplay's job).
+    ClusterState replay = post;
+    for (size_t i = 0; i < result.pack.actions.size(); ++i) {
+        const Action &action = result.pack.actions[i];
+        const PodRef &pod = action.pod;
+        switch (action.kind) {
+        case ActionKind::Delete:
+            replay.evict(pod);
+            break;
+        case ActionKind::Migrate: {
+            if (!replay.isActive(pod))
+                return;
+            const double cpu = replay.podCpu(pod);
+            replay.evict(pod);
+            if (!replay.place(pod, action.to, cpu))
+                return;
+            break;
+        }
+        case ActionKind::Restart: {
+            if (pod.app >= apps.size() ||
+                pod.ms >= apps[pod.app].services.size())
+                return;
+            if (!replay.place(pod, action.to,
+                              apps[pod.app].services[pod.ms].cpu))
+                return;
+            break;
+        }
+        }
+        if (auto v = capViolation(apps, replay)) {
+            std::ostringstream os;
+            os << "after action " << i << ": " << *v;
+            report(out, "constraint-feasibility", scheme, os.str());
+            return;
+        }
+    }
+
+    // PDB: deletes per service, exempting full shutdowns.
+    std::map<std::pair<size_t, sim::MsId>, int> deletes;
+    for (const Action &action : result.pack.actions) {
+        if (action.kind == ActionKind::Delete)
+            ++deletes[{action.pod.app, action.pod.ms}];
+    }
+    for (const auto &[key, count] : deletes) {
+        const auto [a, m] = key;
+        if (a >= apps.size() || m >= apps[a].services.size())
+            continue;
+        const int budget = apps[a].services[m].pdbMaxUnavailable;
+        if (budget < 0 || count <= budget)
+            continue;
+        size_t final_placed = 0;
+        for (const auto &[pod, node] :
+             result.pack.state.assignment()) {
+            (void)node;
+            if (pod.app == a && pod.ms == m)
+                ++final_placed;
+        }
+        if (final_placed == 0)
+            continue; // below-quorum self-cleanup is PDB-exempt
+        std::ostringstream os;
+        os << "app " << a << " ms " << m << ": " << count
+           << " deletes > pdbMaxUnavailable " << budget << " with "
+           << final_placed << " replicas kept";
+        report(out, "pdb-budget", scheme, os.str());
+    }
+}
+
 ClusterState
 permuteNodes(const ClusterState &state,
              const std::vector<NodeId> &perm)
@@ -710,6 +883,12 @@ checkCase(const CheckCase &c, const OracleOptions &options)
                              result.violations);
         checkActionReplay(entry.name, c.apps, post, r,
                           result.violations);
+        // K8sPreemption is the constraint-blind baseline by design —
+        // its violations under a zone kill are the demo contrast, not
+        // a bug.
+        if (entry.name != "K8sPreemption")
+            checkConstraintFeasibility(entry.name, c.apps, post, r,
+                                       result.violations);
         results.emplace(entry.name, std::move(r));
     }
 
@@ -800,8 +979,12 @@ checkCase(const CheckCase &c, const OracleOptions &options)
     // --- LP differential -------------------------------------------
     const Clock::time_point lp_start = Clock::now();
     const size_t healthy_nodes = post.healthyNodes().size();
+    // The MILP has no vacancy/spread encoding, so its optimum is not
+    // an upper bound on constrained cases — the differential is
+    // skipped for them.
     const bool lp_eligible =
-        options.runLp && c.singleReplica() && healthy_nodes > 0 &&
+        options.runLp && c.singleReplica() && !c.constrained() &&
+        healthy_nodes > 0 &&
         c.serviceCount() * healthy_nodes <= options.lpMaxCells;
     if (lp_eligible) {
         core::LpSchemeOptions lp_options;
@@ -962,8 +1145,10 @@ checkCase(const CheckCase &c, const OracleOptions &options)
 
         // Node relabeling: best-fit-only packing sees the same
         // remaining-capacity multiset, so the active set and revenue
-        // must match.
-        if (post.nodeCount() > 1) {
+        // must match. Constrained cases are exempt — relabeling moves
+        // nodes across zones, which legitimately changes what the
+        // vacancy caps admit.
+        if (post.nodeCount() > 1 && !c.constrained()) {
             std::vector<NodeId> perm(post.nodeCount());
             for (NodeId n = 0; n < perm.size(); ++n)
                 perm[n] = n;
@@ -1007,8 +1192,12 @@ checkCase(const CheckCase &c, const OracleOptions &options)
         }
 
         // Restoring a failed node must not make things worse.
+        // Constrained cases are exempt: a restored node reopens a
+        // zone, and honoring a spread cap there can legally shed a
+        // co-located replica the capacity-only argument would keep.
         std::optional<NodeId> down;
-        for (NodeId n = 0; n < post.nodeCount(); ++n) {
+        for (NodeId n = 0; !c.constrained() && n < post.nodeCount();
+             ++n) {
             if (!post.isHealthy(n)) {
                 down = n;
                 break;

@@ -1,0 +1,193 @@
+#include "constraints.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace phoenix::core {
+
+using sim::NodeId;
+using sim::PodRef;
+
+void
+VacancyAllocator::build(const std::vector<sim::Application> &apps,
+                        const sim::ClusterState &state)
+{
+    empty_ = true;
+    for (const auto &app : apps) {
+        if (app.topologyConstrained()) {
+            empty_ = false;
+            break;
+        }
+    }
+    if (empty_)
+        return;
+
+    msBase_.resize(apps.size() + 1);
+    msBase_[0] = 0;
+    for (size_t a = 0; a < apps.size(); ++a)
+        msBase_[a + 1] = msBase_[a] + apps[a].services.size();
+    const size_t total_ms = msBase_.back();
+
+    serviceScope_.assign(total_ms, -1);
+    groupScope_.assign(total_ms, -1);
+    pdbBudget_.assign(total_ms, -1);
+    scopes_.clear();
+
+    const size_t zones = std::max<size_t>(state.zoneCount(), 1);
+    nodeZone_.resize(state.nodeCount());
+    for (NodeId id = 0; id < state.nodeCount(); ++id)
+        nodeZone_[id] = state.node(id).zone;
+
+    for (size_t a = 0; a < apps.size(); ++a) {
+        const auto &app = apps[a];
+        // One scope per declared group; remember its scope id so
+        // member services can join below. Group ids are small app-local
+        // integers; a linear probe per service is fine.
+        std::vector<std::pair<int, int>> group_scopes; // (group id, scope)
+        for (const auto &g : app.placementGroups) {
+            if (g.maxPerNode <= 0 && g.maxPerZone <= 0)
+                continue;
+            Scope s;
+            s.maxPerNode = g.maxPerNode;
+            s.maxPerZone = g.maxPerZone;
+            s.zoneCount.assign(zones, 0);
+            group_scopes.emplace_back(
+                g.id, static_cast<int>(scopes_.size()));
+            scopes_.push_back(std::move(s));
+        }
+        for (size_t m = 0; m < app.services.size(); ++m) {
+            const auto &ms = app.services[m];
+            const size_t idx = msBase_[a] + m;
+            pdbBudget_[idx] = ms.pdbMaxUnavailable;
+            const int zone_cap = ms.effectiveZoneCap();
+            if (ms.maxPerNode > 0 || zone_cap > 0) {
+                Scope s;
+                s.maxPerNode = ms.maxPerNode;
+                s.maxPerZone = zone_cap;
+                s.zoneCount.assign(zones, 0);
+                serviceScope_[idx] = static_cast<int>(scopes_.size());
+                scopes_.push_back(std::move(s));
+            }
+            if (ms.antiAffinityGroup >= 0) {
+                for (const auto &[gid, scope] : group_scopes) {
+                    if (gid == ms.antiAffinityGroup) {
+                        groupScope_[idx] = scope;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    for (const auto &[pod, node] : state.assignment())
+        onPlace(pod, node);
+}
+
+bool
+VacancyAllocator::scopeHasVacancy(const Scope &s, NodeId node) const
+{
+    if (s.maxPerNode > 0) {
+        auto it = s.nodeCount.find(node);
+        if (it != s.nodeCount.end() && it->second >= s.maxPerNode)
+            return false;
+    }
+    if (s.maxPerZone > 0) {
+        const uint32_t zone =
+            node < nodeZone_.size() ? nodeZone_[node] : 0;
+        if (zone < s.zoneCount.size() &&
+            s.zoneCount[zone] >= s.maxPerZone)
+            return false;
+    }
+    return true;
+}
+
+void
+VacancyAllocator::scopeAdd(Scope &s, NodeId node, int delta)
+{
+    auto it = s.nodeCount.try_emplace(node, 0).first;
+    it->second += delta;
+    if (it->second <= 0)
+        s.nodeCount.erase(it);
+    const uint32_t zone = node < nodeZone_.size() ? nodeZone_[node] : 0;
+    if (zone < s.zoneCount.size()) {
+        s.zoneCount[zone] += delta;
+        if (s.zoneCount[zone] < 0)
+            s.zoneCount[zone] = 0;
+    }
+}
+
+bool
+VacancyAllocator::canPlace(const PodRef &pod, NodeId node) const
+{
+    if (empty_)
+        return true;
+    const size_t ms = msIdx(pod.app, pod.ms);
+    if (ms == kNoIndex)
+        return true;
+    if (serviceScope_[ms] >= 0 &&
+        !scopeHasVacancy(scopes_[serviceScope_[ms]], node))
+        return false;
+    if (groupScope_[ms] >= 0 &&
+        !scopeHasVacancy(scopes_[groupScope_[ms]], node))
+        return false;
+    return true;
+}
+
+void
+VacancyAllocator::onPlace(const PodRef &pod, NodeId node)
+{
+    if (empty_)
+        return;
+    const size_t ms = msIdx(pod.app, pod.ms);
+    if (ms == kNoIndex)
+        return;
+    if (serviceScope_[ms] >= 0)
+        scopeAdd(scopes_[serviceScope_[ms]], node, 1);
+    if (groupScope_[ms] >= 0)
+        scopeAdd(scopes_[groupScope_[ms]], node, 1);
+}
+
+void
+VacancyAllocator::onEvict(const PodRef &pod, NodeId node)
+{
+    if (empty_)
+        return;
+    const size_t ms = msIdx(pod.app, pod.ms);
+    if (ms == kNoIndex)
+        return;
+    if (serviceScope_[ms] >= 0)
+        scopeAdd(scopes_[serviceScope_[ms]], node, -1);
+    if (groupScope_[ms] >= 0)
+        scopeAdd(scopes_[groupScope_[ms]], node, -1);
+}
+
+int
+VacancyAllocator::pdbRemaining(const PodRef &pod) const
+{
+    if (empty_)
+        return std::numeric_limits<int>::max();
+    const size_t ms = msIdx(pod.app, pod.ms);
+    if (ms == kNoIndex || pdbBudget_[ms] < 0)
+        return std::numeric_limits<int>::max();
+    return pdbBudget_[ms];
+}
+
+bool
+VacancyAllocator::pdbAllows(const PodRef &pod) const
+{
+    return pdbRemaining(pod) > 0;
+}
+
+void
+VacancyAllocator::consumePdb(const PodRef &pod)
+{
+    if (empty_)
+        return;
+    const size_t ms = msIdx(pod.app, pod.ms);
+    if (ms == kNoIndex || pdbBudget_[ms] < 0)
+        return;
+    if (pdbBudget_[ms] > 0)
+        --pdbBudget_[ms];
+}
+
+} // namespace phoenix::core

@@ -181,13 +181,17 @@ PhoenixController::execute(const SchemeResult &result)
     }
     for (const auto &app : cluster_.apps()) {
         for (const auto &ms : app.services) {
-            const PodRef ref{app.id, ms.id};
-            if (!std::binary_search(target_.begin(), target_.end(),
-                                    ref)) {
-                const auto *pod = cluster_.pod(ref);
-                if (pod && !pod->scaledDown) {
-                    cluster_.deletePod(ref);
-                    any_delete = true;
+            const int replicas = std::max(ms.replicas, 1);
+            for (int r = 0; r < replicas; ++r) {
+                const PodRef ref{app.id, ms.id,
+                                 static_cast<uint32_t>(r)};
+                if (!std::binary_search(target_.begin(), target_.end(),
+                                        ref)) {
+                    const auto *pod = cluster_.pod(ref);
+                    if (pod && !pod->scaledDown) {
+                        cluster_.deletePod(ref);
+                        any_delete = true;
+                    }
                 }
             }
         }
@@ -210,33 +214,95 @@ PhoenixController::execute(const SchemeResult &result)
     // migrations only become valid after the drain window. A newer
     // replan supersedes any still-deferred ones.
     deferredMoves_.clear();
-    for (const Action &action : result.pack.actions) {
-        if (action.kind == ActionKind::Migrate)
+    deferredWaves_.clear();
+    size_t max_wave = 0;
+    {
+        // PDB-aware sequencing: a service with pdbMaxUnavailable = b
+        // keeps at most b replicas in flight per drain window, so its
+        // i-th migration rides wave i/b (waves drainWaitSeconds
+        // apart). Everything else rides wave 0 — byte-identical to
+        // the pre-PDB single-shot behaviour.
+        std::vector<std::pair<uint64_t, int>> seen;
+        const auto &apps = cluster_.apps();
+        for (const Action &action : result.pack.actions) {
+            if (action.kind != ActionKind::Migrate)
+                continue;
+            size_t wave = 0;
+            if (action.pod.app < apps.size() &&
+                action.pod.ms <
+                    apps[action.pod.app].services.size()) {
+                const int b = apps[action.pod.app]
+                                  .services[action.pod.ms]
+                                  .pdbMaxUnavailable;
+                if (b > 0) {
+                    const uint64_t key =
+                        (static_cast<uint64_t>(action.pod.app) << 32) |
+                        action.pod.ms;
+                    size_t slot = seen.size();
+                    for (size_t i = 0; i < seen.size(); ++i) {
+                        if (seen[i].first == key) {
+                            slot = i;
+                            break;
+                        }
+                    }
+                    if (slot == seen.size())
+                        seen.emplace_back(key, 0);
+                    wave = static_cast<size_t>(seen[slot].second / b);
+                    ++seen[slot].second;
+                }
+            }
             deferredMoves_.push_back(action);
+            deferredWaves_.push_back(wave);
+            max_wave = std::max(max_wave, wave);
+        }
     }
     const uint64_t generation = ++planGeneration_;
-    auto apply_moves = [this, generation] {
+    auto apply_wave = [this, generation, max_wave](size_t wave) {
         if (generation != planGeneration_) {
-            PHOENIX_COUNT(*obs_.deferredSuperseded, 1);
+            if (wave == 0)
+                PHOENIX_COUNT(*obs_.deferredSuperseded, 1);
             return; // a newer plan owns the cluster now
         }
-        if (!deferredMoves_.empty()) {
+        size_t moves = 0;
+        for (size_t i = 0; i < deferredMoves_.size(); ++i) {
+            if (deferredWaves_[i] == wave)
+                ++moves;
+        }
+        if (moves > 0) {
             PHOENIX_COUNT(*obs_.drainApplies, 1);
             PHOENIX_TRACE_INSTANT(
                 "controller", "drain.apply", events_.now(),
-                (obs::TraceArg{
-                    "moves",
-                    static_cast<double>(deferredMoves_.size())}));
+                (obs::TraceArg{"moves", static_cast<double>(moves)}),
+                (obs::TraceArg{"wave", static_cast<double>(wave)}));
         }
-        for (const Action &action : deferredMoves_)
-            cluster_.migratePod(action.pod, action.to);
-        deferredMoves_.clear();
+        for (size_t i = 0; i < deferredMoves_.size(); ++i) {
+            if (deferredWaves_[i] == wave) {
+                cluster_.migratePod(deferredMoves_[i].pod,
+                                    deferredMoves_[i].to);
+            }
+        }
+        if (wave == max_wave) {
+            deferredMoves_.clear();
+            deferredWaves_.clear();
+        }
     };
-    if (any_delete && config_.drainWaitSeconds > 0.0 &&
-        !deferredMoves_.empty()) {
-        events_.scheduleAfter(config_.drainWaitSeconds, apply_moves);
+    if (deferredMoves_.empty()) {
+        // Nothing to sequence.
+    } else if (config_.drainWaitSeconds <= 0.0) {
+        for (size_t w = 0; w <= max_wave; ++w)
+            apply_wave(w);
     } else {
-        apply_moves();
+        const double base =
+            any_delete ? config_.drainWaitSeconds : 0.0;
+        for (size_t w = 0; w <= max_wave; ++w) {
+            const double delay =
+                base + static_cast<double>(w) * config_.drainWaitSeconds;
+            if (delay <= 0.0)
+                apply_wave(w);
+            else
+                events_.scheduleAfter(delay,
+                                      [apply_wave, w] { apply_wave(w); });
+        }
     }
 }
 

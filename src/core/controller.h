@@ -123,6 +123,11 @@ class PhoenixController
     /** Migrations/restarts deferred until the current plan's deletes
      * have drained; superseded wholesale by the next replan. */
     std::vector<Action> deferredMoves_;
+    /** Drain wave per deferred move: a service with a
+     * PodDisruptionBudget of b has at most b replicas in flight per
+     * drain window, so its i-th migration rides wave i/b; waves are
+     * spaced drainWaitSeconds apart. Unbudgeted moves ride wave 0. */
+    std::vector<size_t> deferredWaves_;
     /** Invalidates in-flight drain waits when a new plan lands. */
     uint64_t planGeneration_ = 0;
     ReplanObserver observer_;

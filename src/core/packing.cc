@@ -8,6 +8,7 @@
 #include <optional>
 #include <set>
 
+#include "core/constraints.h"
 #include "util/bucketed_kv.h"
 #include "util/sorted_kv.h"
 
@@ -67,6 +68,14 @@ struct PackCommon
         double cpu;
     };
     std::vector<JournalEntry> journal;
+    /** Topology constraint bookkeeping, shared by both bookkeeping
+     * policies so every vacancy decision is made by identical code.
+     * Rebuilt per run; empty() (and therefore free) when no app
+     * declares a constraint. */
+    VacancyAllocator vacancy;
+    /** Per-candidate tentative PDB consumption during victim
+     * selection: (app<<32|ms, planned deletes). */
+    std::vector<std::pair<uint64_t, int>> tentativePdb;
 };
 
 /**
@@ -681,6 +690,7 @@ class Packer
         result_.state = current;
         const auto started = std::chrono::steady_clock::now();
         book_.init(apps, result_.state, ranked, options_, result_.ops);
+        c_.vacancy.build(apps, result_.state);
         result_.reconcileSeconds =
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - started)
@@ -716,6 +726,16 @@ class Packer
             c_.journal.clear();
             const size_t actions_checkpoint = result_.actions.size();
             int placed_replicas = 0;
+            // Once one replica fails every placement strategy, its
+            // siblings (same size, same constraint scopes) would fail
+            // identically — but replicas *already active* on surviving
+            // nodes must still count toward quorum. Breaking at the
+            // first failure used to delete a zone-capped service's
+            // survivor: replica 0 died with its zone, could not be
+            // re-placed (the implied per-zone cap was already consumed
+            // by replica 1), and the below-quorum rollback reaped the
+            // one replica that was still serving.
+            bool blocked = false;
             for (int r = 0; r < replicas && placed_replicas < quorum;
                  ++r) {
                 const PodRef pod{entry.app, entry.ms,
@@ -725,13 +745,17 @@ class Packer
                     ++placed_replicas;
                     continue;
                 }
-                std::optional<NodeId> node = book_.bestFit(size);
+                if (blocked)
+                    continue;
+                std::optional<NodeId> node = bestFitFor(pod, size);
                 if (!node && options_.allowMigrations)
-                    node = repackToFit(size);
+                    node = repackToFit(pod, size);
                 if (!node && options_.allowDeletions)
                     node = deleteLowerRanksToFit(pod, size);
-                if (!node)
-                    break;
+                if (!node) {
+                    blocked = true;
+                    continue;
+                }
                 placePod(pod, *node, size, ActionKind::Restart);
                 book_.commit(pod);
                 ++placed_replicas;
@@ -785,7 +809,7 @@ class Packer
                                  static_cast<uint32_t>(r)};
                 if (book_.isActive(result_.state, pod))
                     continue;
-                const auto node = book_.bestFit(ms.cpu);
+                const auto node = bestFitFor(pod, ms.cpu);
                 if (!node) {
                     result_.complete = false;
                     break;
@@ -809,6 +833,7 @@ class Packer
             return; // defensive; callers pre-check capacity
         book_.kvUpdate(before, result_.state.remaining(node), node);
         book_.onPlaced(pod, node);
+        c_.vacancy.onPlace(pod, node);
         c_.journal.push_back(
             PackCommon::JournalEntry{true, false, pod, node, size});
         Action action;
@@ -830,6 +855,7 @@ class Packer
         result_.state.evict(pod);
         book_.kvUpdate(before, result_.state.remaining(*node), *node);
         book_.onEvicted(pod);
+        c_.vacancy.onEvict(pod, *node);
         c_.journal.push_back(PackCommon::JournalEntry{
             false, journalPoppedDeletionOrder_, pod, *node, cpu});
         if (kind == ActionKind::Delete) {
@@ -861,9 +887,11 @@ class Packer
             if (e.placed) {
                 result_.state.evict(e.pod);
                 book_.onEvicted(e.pod);
+                c_.vacancy.onEvict(e.pod, e.node);
             } else {
                 result_.state.place(e.pod, e.node, e.cpu);
                 book_.onPlaced(e.pod, e.node);
+                c_.vacancy.onPlace(e.pod, e.node);
                 if (e.poppedDeletionOrder)
                     c_.deletionOrder.push_back(e.pod);
             }
@@ -874,12 +902,41 @@ class Packer
     }
 
     /**
+     * Constraint-aware best fit. Unconstrained pods take the index's
+     * single best-fit probe exactly as before; constrained pods walk
+     * feasible-capacity entries in the same (key, node) order until
+     * one node has vacancy in every scope the pod belongs to. The
+     * walk lives in shared Packer code and the allocator is probed by
+     * key only, so both bookkeeping policies (and the sharded merge)
+     * visit and count identically.
+     */
+    std::optional<NodeId>
+    bestFitFor(const PodRef &pod, double size)
+    {
+        if (!c_.vacancy.constrained(pod))
+            return book_.bestFit(size);
+        std::optional<NodeId> found;
+        book_.forEachAtLeast(size, [&](double key, NodeId node) {
+            (void)key;
+            ++result_.ops.bestFitProbes;
+            if (c_.vacancy.canPlace(pod, node)) {
+                found = node;
+                return false;
+            }
+            return true;
+        });
+        return found;
+    }
+
+    /**
      * Repacking stage: walk candidate target nodes from most to least
      * empty; for each, try to migrate its smallest non-committed
      * containers onto other nodes until the incoming container fits.
+     * Candidate targets without vacancy for @p incoming are skipped
+     * up front — clearing capacity on them cannot help.
      */
     std::optional<NodeId>
-    repackToFit(double size)
+    repackToFit(const PodRef &incoming, double size)
     {
         // Candidate targets: the most-empty nodes ("servers with large
         // available capacity are preferred"). Bounded to a constant so
@@ -895,6 +952,8 @@ class Packer
 
         for (const auto &[remaining, node] : candidates) {
             (void)remaining;
+            if (!c_.vacancy.canPlace(incoming, node))
+                continue;
             if (!planMigrations(node, size))
                 continue;
             for (const Move &move : c_.moves) {
@@ -937,8 +996,14 @@ class Packer
 
         auto &movable = c_.movable;
         movable.clear();
-        for (const auto &[pod, cpu] : result_.state.podsOn(node))
+        for (const auto &[pod, cpu] : result_.state.podsOn(node)) {
+            // Constrained pods are pinned during repack: the parked
+            // deltas track capacity only, not hypothetical vacancy
+            // state, so moving them could break their own caps.
+            if (c_.vacancy.constrained(pod))
+                continue;
             movable.emplace_back(cpu, pod);
+        }
         std::sort(movable.begin(), movable.end());
 
         book_.parkedClear();
@@ -984,7 +1049,8 @@ class Packer
      * scatters the freed capacity across the cluster.
      */
     std::optional<NodeId>
-    clearOneNodeToFit(size_t incoming_rank, double size)
+    clearOneNodeToFit(const PodRef &incoming, size_t incoming_rank,
+                      double size)
     {
         constexpr size_t kMaxCandidates = 16;
         auto &candidates = c_.candidates;
@@ -994,12 +1060,15 @@ class Packer
             return candidates.size() < kMaxCandidates;
         });
 
+        const bool pdb_active = !c_.vacancy.empty();
         std::optional<NodeId> best_node;
         size_t best_victims = std::numeric_limits<size_t>::max();
         auto &best_list = c_.bestList;
         best_list.clear();
 
         for (const auto &[free0, node] : candidates) {
+            if (!c_.vacancy.canPlace(incoming, node))
+                continue;
             double free = free0;
             // Victims on this node, lowest priority first.
             auto &victims = c_.victims;
@@ -1015,9 +1084,34 @@ class Packer
                       });
             auto &list = c_.victimList;
             list.clear();
+            auto &tentative = c_.tentativePdb;
+            tentative.clear();
             for (const auto &victim : victims) {
                 if (free + 1e-9 >= size)
                     break;
+                if (pdb_active) {
+                    // The whole victim set of this candidate must fit
+                    // each service's remaining disruption budget, so
+                    // track what this plan already spends per service.
+                    const uint64_t key =
+                        (static_cast<uint64_t>(victim.pod.app) << 32) |
+                        victim.pod.ms;
+                    size_t slot = tentative.size();
+                    int planned = 0;
+                    for (size_t i = 0; i < tentative.size(); ++i) {
+                        if (tentative[i].first == key) {
+                            slot = i;
+                            planned = tentative[i].second;
+                            break;
+                        }
+                    }
+                    if (planned >= c_.vacancy.pdbRemaining(victim.pod))
+                        continue;
+                    if (slot == tentative.size())
+                        tentative.emplace_back(key, 1);
+                    else
+                        ++tentative[slot].second;
+                }
                 free += victim.cpu;
                 list.push_back(victim.pod);
             }
@@ -1030,8 +1124,11 @@ class Packer
 
         if (!best_node)
             return std::nullopt;
-        for (const PodRef &victim : best_list)
+        for (const PodRef &victim : best_list) {
+            if (pdb_active)
+                c_.vacancy.consumePdb(victim);
             evictPod(victim, ActionKind::Delete);
+        }
         return best_node;
     }
 
@@ -1044,7 +1141,7 @@ class Packer
     deleteLowerRanksToFit(const PodRef &incoming, double size)
     {
         const size_t incoming_rank = book_.rankOf(incoming);
-        if (auto node = clearOneNodeToFit(incoming_rank, size))
+        if (auto node = clearOneNodeToFit(incoming, incoming_rank, size))
             return node;
         size_t deletions = 0;
         while (!c_.deletionOrder.empty()) {
@@ -1056,24 +1153,31 @@ class Packer
             }
             if (book_.rankOf(victim) <= incoming_rank)
                 break; // nothing lower-priority left
+            // A service whose disruption budget is spent is off
+            // limits for the rest of the epoch (the budget is never
+            // refunded), so dropping the candidate permanently is
+            // safe.
+            if (!c_.vacancy.pdbAllows(victim))
+                continue;
+            c_.vacancy.consumePdb(victim);
             journalPoppedDeletionOrder_ = true;
             evictPod(victim, ActionKind::Delete);
             journalPoppedDeletionOrder_ = false;
             ++deletions;
 
-            auto node = book_.bestFit(size);
+            auto node = bestFitFor(incoming, size);
             // The repack attempt is markedly more expensive than the
             // best-fit probe; amortize it over batches of deletions so
             // deep deletion cascades stay near-linear.
             if (!node && options_.allowMigrations &&
                 (deletions & 0x7) == 0) {
-                node = repackToFit(size);
+                node = repackToFit(incoming, size);
             }
             if (node)
                 return node;
         }
         if (options_.allowMigrations)
-            return repackToFit(size);
+            return repackToFit(incoming, size);
         return std::nullopt;
     }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <map>
 
+#include "core/constraints.h"
 #include "lp/branch_bound.h"
 #include "lp/waterfill.h"
 #include "util/log.h"
@@ -215,9 +216,14 @@ DefaultScheme::apply(const std::vector<Application> &apps,
     // Spread placement: most-remaining node first (Kubernetes'
     // LeastAllocated scoring), restart order = pod id order, skip what
     // does not fit (stays Pending). No deletions, no migrations.
+    // Topology-constrained pods walk past nodes without placement
+    // vacancy (anti-affinity / zone caps), like kube-scheduler's
+    // filter phase; unconstrained pods keep the single-probe path.
     util::SortedKv<double, NodeId> by_remaining;
     for (NodeId id : state.healthyNodes())
         by_remaining.insert(state.remaining(id), id);
+    VacancyAllocator vacancy;
+    vacancy.build(apps, state);
 
     result.pack.complete = true;
     for (size_t a = 0; a < apps.size(); ++a) {
@@ -229,20 +235,36 @@ DefaultScheme::apply(const std::vector<Application> &apps,
                                  static_cast<uint32_t>(r)};
                 if (state.isActive(pod))
                     continue;
-                const auto top = by_remaining.largest();
-                if (!top || top->first + 1e-9 < ms.cpu) {
+                std::optional<std::pair<double, NodeId>> chosen;
+                if (!vacancy.constrained(pod)) {
+                    const auto top = by_remaining.largest();
+                    if (top && top->first + 1e-9 >= ms.cpu)
+                        chosen = *top;
+                } else {
+                    for (auto it = by_remaining.rbegin();
+                         it != by_remaining.rend(); ++it) {
+                        if (it->first + 1e-9 < ms.cpu)
+                            break; // the rest are smaller
+                        if (!vacancy.canPlace(pod, it->second))
+                            continue;
+                        chosen = *it;
+                        break;
+                    }
+                }
+                if (!chosen) {
                     result.pack.complete = false;
                     all = false;
                     continue; // pending
                 }
-                by_remaining.erase(top->first, top->second);
-                state.place(pod, top->second, ms.cpu);
-                by_remaining.insert(state.remaining(top->second),
-                                    top->second);
+                by_remaining.erase(chosen->first, chosen->second);
+                state.place(pod, chosen->second, ms.cpu);
+                vacancy.onPlace(pod, chosen->second);
+                by_remaining.insert(state.remaining(chosen->second),
+                                    chosen->second);
                 Action action;
                 action.kind = ActionKind::Restart;
                 action.pod = pod;
-                action.to = top->second;
+                action.to = chosen->second;
                 result.pack.actions.push_back(action);
             }
             if (all)

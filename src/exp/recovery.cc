@@ -56,6 +56,27 @@ recoveryTime(const std::vector<RecoverySample> &samples,
 
 } // namespace
 
+void
+applyTopologyOverlay(std::vector<sim::Application> &apps)
+{
+    for (auto &app : apps) {
+        for (auto &ms : app.services) {
+            if (ms.criticality != sim::kC1 || ms.replicas > 1)
+                continue;
+            // Two half-size replicas: aggregate demand is unchanged
+            // (totalCpu = cpu * replicas), quorum 1 keeps the service
+            // active on either survivor, and the implied per-zone cap
+            // (replicas - minZoneSpread + 1 = 1) forces the pair into
+            // distinct failure domains.
+            ms.cpu *= 0.5;
+            ms.replicas = 2;
+            ms.quorum = 1;
+            ms.minZoneSpread = 2;
+            ms.pdbMaxUnavailable = 1;
+        }
+    }
+}
+
 RecoveryResult
 runRecovery(const RecoveryConfig &config)
 {
@@ -74,10 +95,17 @@ runRecovery(const RecoveryConfig &config)
 
     const apps::CloudLabTestbed testbed =
         apps::makeCloudLabTestbed(config.testbed);
-    for (size_t n = 0; n < testbed.config.nodeCount; ++n)
-        cluster.addNode(testbed.config.cpusPerNode);
-    for (const auto &sapp : testbed.serviceApps)
-        cluster.addApplication(sapp.app);
+    for (size_t n = 0; n < testbed.config.nodeCount; ++n) {
+        cluster.addNode(testbed.config.cpusPerNode,
+                        config.zoneCount > 0
+                            ? static_cast<uint32_t>(n % config.zoneCount)
+                            : 0);
+    }
+    std::vector<sim::Application> apps = testbed.applications();
+    if (config.zoneCount >= 2)
+        applyTopologyOverlay(apps);
+    for (const auto &app : apps)
+        cluster.addApplication(app);
 
     std::unique_ptr<core::PhoenixController> controller;
     if (config.scheme != RecoveryScheme::Default) {

@@ -46,7 +46,24 @@ struct RecoveryConfig
     double samplePeriod = 15.0;
     /** Simulation horizon. */
     double endTime = 2400.0;
+    /**
+     * Zones the nodes are striped over (node n -> zone n % zoneCount);
+     * 0 keeps the classic untopologied testbed. With >= 2 zones the
+     * C1 services additionally get the spread/PDB overlay
+     * (applyTopologyOverlay), so zone-correlated scenarios exercise
+     * constrained placement end to end.
+     */
+    size_t zoneCount = 0;
 };
+
+/**
+ * Make the testbed topology-constrained without changing its demand:
+ * every single-replica C1 service is split into two half-size
+ * replicas with quorum 1, minZoneSpread 2 (the implied per-zone cap
+ * keeps the pair in distinct zones) and pdbMaxUnavailable 1. Requires
+ * a deployment with at least two zones to be satisfiable.
+ */
+void applyTopologyOverlay(std::vector<sim::Application> &apps);
 
 /** One point of the recovery time series. */
 struct RecoverySample

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <numeric>
 #include <optional>
@@ -28,6 +29,7 @@ soakWaveKindName(SoakWaveKind kind)
     case SoakWaveKind::Degrade: return "degrade";
     case SoakWaveKind::ApiOutage: return "api-outage";
     case SoakWaveKind::ClockSkew: return "clock-skew";
+    case SoakWaveKind::ZoneFail: return "zone-fail";
     }
     return "?";
 }
@@ -63,6 +65,44 @@ generateSoakWaves(const SoakConfig &config)
 
         SoakWave wave;
         wave.at = t;
+
+        // Zone-correlated failures: with topology declared, a wave may
+        // upgrade to killing one whole failure domain. The draw is
+        // guarded so the classic (zoneCount == 0) stream stays
+        // byte-identical. A zone whose nodes are partly claimed, or
+        // that would blow the disturbance bound, demotes to an
+        // observation-only fault — same cadence, no over-razing.
+        if (config.zoneCount > 0 &&
+            rng.bernoulli(config.zoneFailProbability)) {
+            wave.kind = SoakWaveKind::ZoneFail;
+            wave.duration =
+                static_cast<double>(rng.uniformInt(60, 480));
+            const auto zone = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(config.zoneCount) - 1));
+            std::vector<NodeId> zone_nodes;
+            bool claimed = false;
+            size_t busy = 0;
+            for (NodeId n = 0; n < node_count; ++n) {
+                if (n % config.zoneCount == zone) {
+                    zone_nodes.push_back(n);
+                    claimed = claimed || claimed_until[n] > t;
+                } else if (claimed_until[n] > t) {
+                    ++busy;
+                }
+            }
+            if (claimed || busy + zone_nodes.size() > max_disturbed) {
+                wave.kind = SoakWaveKind::ApiOutage;
+                wave.nodes.clear();
+                waves.push_back(std::move(wave));
+                continue;
+            }
+            wave.nodes = std::move(zone_nodes);
+            for (NodeId n : wave.nodes)
+                claimed_until[n] = t + wave.duration + 30.0;
+            waves.push_back(std::move(wave));
+            continue;
+        }
+
         const double pick = rng.uniform();
         if (pick < 0.25)
             wave.kind = SoakWaveKind::Fail;
@@ -165,6 +205,7 @@ buildScenario(const std::vector<SoakWave> &waves)
     for (const SoakWave &wave : waves) {
         switch (wave.kind) {
         case SoakWaveKind::Fail:
+        case SoakWaveKind::ZoneFail:
             scenario.failNodes(wave.at, wave.nodes);
             scenario.recoverNodes(wave.at + wave.duration, wave.nodes);
             break;
@@ -239,10 +280,17 @@ runSoak(const SoakConfig &config)
 
     const apps::CloudLabTestbed testbed =
         apps::makeCloudLabTestbed(config.testbed);
-    for (size_t n = 0; n < testbed.config.nodeCount; ++n)
-        cluster.addNode(testbed.config.cpusPerNode);
-    for (const auto &sapp : testbed.serviceApps)
-        cluster.addApplication(sapp.app);
+    for (size_t n = 0; n < testbed.config.nodeCount; ++n) {
+        cluster.addNode(testbed.config.cpusPerNode,
+                        config.zoneCount > 0
+                            ? static_cast<uint32_t>(n % config.zoneCount)
+                            : 0);
+    }
+    std::vector<sim::Application> testbed_apps = testbed.applications();
+    if (config.zoneCount >= 2)
+        applyTopologyOverlay(testbed_apps);
+    for (const auto &app : testbed_apps)
+        cluster.addApplication(app);
 
     std::unique_ptr<core::PhoenixController> controller;
     if (config.scheme != RecoveryScheme::Default) {
@@ -326,6 +374,7 @@ runSoak(const SoakConfig &config)
     auto check = [&] {
         ++result.checkTicks;
         const double now = events.now();
+        const auto running = cluster.runningPods();
 
         // Kube invariant checker (runs inside the cluster on every
         // transition; here we surface new violations as they land).
@@ -350,9 +399,27 @@ runSoak(const SoakConfig &config)
                             " outside an outage window");
             }
         } else {
+            // Only compare ticks inside the same continuous outage
+            // span: when one window ends and the next begins between
+            // two ticks (gaps shorter than the check period happen
+            // once enough waves demote to ApiOutage), the observation
+            // legitimately snapped to live and re-froze at a new
+            // value — that is a boundary, not drift.
+            bool boundary_between_ticks = false;
+            for (const SoakWave &wave : result.waves) {
+                if (wave.kind != SoakWaveKind::ApiOutage)
+                    continue;
+                const double last_tick = now - config.checkPeriod;
+                const double end = wave.at + wave.duration;
+                if ((wave.at > last_tick && wave.at <= now) ||
+                    (end > last_tick && end <= now)) {
+                    boundary_between_ticks = true;
+                    break;
+                }
+            }
             const uint64_t fingerprint =
                 cluster.observedReadyFingerprint();
-            if (frozen_fingerprint &&
+            if (frozen_fingerprint && !boundary_between_ticks &&
                 *frozen_fingerprint != fingerprint) {
                 violate("frozen-observation-drift",
                         "observation changed inside an outage window");
@@ -393,6 +460,125 @@ runSoak(const SoakConfig &config)
                         std::to_string(cluster.pendingCount()) +
                             " pods Pending after quiet settle window");
             }
+
+            // Constrained placement: once the cluster has been
+            // fault-quiet for the settle window, topology must be
+            // restored — every cap respected and every
+            // spread-constrained service spanning its zones again —
+            // not merely every pod running somewhere.
+            if (config.zoneCount > 0 &&
+                clusterQuietOver(result.waves, from, now)) {
+                for (const auto &app : cluster.apps()) {
+                    std::map<int, std::map<NodeId, int>> group_node;
+                    std::map<int, std::map<int, int>> group_zone;
+                    for (const auto &ms : app.services) {
+                        std::map<NodeId, int> per_node;
+                        std::map<int, int> per_zone;
+                        int running_count = 0;
+                        const int replicas =
+                            ms.replicas > 1 ? ms.replicas : 1;
+                        for (int r = 0; r < replicas; ++r) {
+                            const PodRef ref{
+                                app.id, ms.id,
+                                static_cast<uint32_t>(r)};
+                            if (!running.count(ref))
+                                continue;
+                            const kube::Pod *pod = cluster.pod(ref);
+                            if (!pod)
+                                continue;
+                            const int zone =
+                                cluster.nodeZone(pod->node);
+                            ++running_count;
+                            ++per_node[pod->node];
+                            ++per_zone[zone];
+                            if (ms.antiAffinityGroup >= 0) {
+                                ++group_node[ms.antiAffinityGroup]
+                                            [pod->node];
+                                ++group_zone[ms.antiAffinityGroup]
+                                            [zone];
+                            }
+                        }
+                        if (ms.maxPerNode > 0) {
+                            for (const auto &[node, count] : per_node) {
+                                if (count > ms.maxPerNode) {
+                                    violate(
+                                        "constraint-cap",
+                                        "app " + app.name + " ms " +
+                                            std::to_string(ms.id) +
+                                            ": " +
+                                            std::to_string(count) +
+                                            " replicas on node " +
+                                            std::to_string(node));
+                                }
+                            }
+                        }
+                        const int zone_cap = ms.effectiveZoneCap();
+                        if (zone_cap > 0) {
+                            for (const auto &[zone, count] : per_zone) {
+                                if (count > zone_cap) {
+                                    violate(
+                                        "constraint-cap",
+                                        "app " + app.name + " ms " +
+                                            std::to_string(ms.id) +
+                                            ": " +
+                                            std::to_string(count) +
+                                            " replicas in zone " +
+                                            std::to_string(zone));
+                                }
+                            }
+                        }
+                        if (ms.minZoneSpread > 1 && running_count > 0) {
+                            const int want = std::min(
+                                ms.minZoneSpread, running_count);
+                            if (static_cast<int>(per_zone.size()) <
+                                want) {
+                                violate(
+                                    "stranded-constraint",
+                                    "app " + app.name + " ms " +
+                                        std::to_string(ms.id) +
+                                        " spans " +
+                                        std::to_string(
+                                            per_zone.size()) +
+                                        " zones < required " +
+                                        std::to_string(want) +
+                                        " after quiet settle");
+                            }
+                        }
+                    }
+                    for (const auto &group : app.placementGroups) {
+                        if (group.maxPerNode > 0) {
+                            for (const auto &[node, count] :
+                                 group_node[group.id]) {
+                                if (count > group.maxPerNode) {
+                                    violate(
+                                        "constraint-cap",
+                                        "app " + app.name + " group " +
+                                            std::to_string(group.id) +
+                                            ": " +
+                                            std::to_string(count) +
+                                            " pods on node " +
+                                            std::to_string(node));
+                                }
+                            }
+                        }
+                        if (group.maxPerZone > 0) {
+                            for (const auto &[zone, count] :
+                                 group_zone[group.id]) {
+                                if (count > group.maxPerZone) {
+                                    violate(
+                                        "constraint-cap",
+                                        "app " + app.name + " group " +
+                                            std::to_string(group.id) +
+                                            ": " +
+                                            std::to_string(count) +
+                                            " pods in zone " +
+                                            std::to_string(zone));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
         }
 
         // Deliberately wrong invariant, for exercising the
@@ -416,7 +602,6 @@ runSoak(const SoakConfig &config)
         // Availability bookkeeping (recorded, not asserted).
         sim::ActiveSet active = sim::emptyActiveSet(cluster.apps());
         size_t running_critical = 0;
-        const auto running = cluster.runningPods();
         for (const PodRef &pod : running) {
             active[pod.app][pod.ms] = true;
             if (critical.count(pod))
@@ -479,9 +664,16 @@ makeSoakRepro(const SoakConfig &config,
     check::CheckCase repro;
     repro.seed = config.seed;
     repro.lifecycle = false;
-    for (size_t n = 0; n < testbed.config.nodeCount; ++n)
+    for (size_t n = 0; n < testbed.config.nodeCount; ++n) {
         repro.nodeCapacities.push_back(testbed.config.cpusPerNode);
+        if (config.zoneCount > 0) {
+            repro.nodeZones.push_back(
+                static_cast<uint32_t>(n % config.zoneCount));
+        }
+    }
     repro.apps = testbed.applications();
+    if (config.zoneCount >= 2)
+        applyTopologyOverlay(repro.apps);
 
     for (const SoakWave &wave : waves) {
         if (wave.at > upTo)
@@ -490,7 +682,8 @@ makeSoakRepro(const SoakConfig &config,
         step.at = wave.at;
         step.nodes = wave.nodes;
         switch (wave.kind) {
-        case SoakWaveKind::Fail: {
+        case SoakWaveKind::Fail:
+        case SoakWaveKind::ZoneFail: {
             step.kind = check::CaseStep::Kind::Fail;
             check::CaseStep recover;
             recover.kind = check::CaseStep::Kind::Recover;

@@ -21,6 +21,11 @@
  *    the settle window must have drained its pending set — the
  *    observation→execution races of satellite faults must degrade
  *    into deferred work, never lost pods;
+ *  - constrained placement (zoneCount > 0): after a fault-quiet
+ *    settle window, running replicas must respect every per-node /
+ *    per-zone / group cap and spread-constrained services must span
+ *    their required zones again — topology restored, not merely pods
+ *    restarted somewhere;
  *  - optionally an injected, deliberately wrong invariant
  *    (used <= fraction * capacity) that a busy cluster violates —
  *    the end-to-end demo that a violation produces a Perfetto trace
@@ -55,6 +60,7 @@ enum class SoakWaveKind {
     Degrade,   //!< capacity * factor, slow-not-dead
     ApiOutage, //!< observation frozen for the window
     ClockSkew, //!< heartbeats stamped now + skew for the window
+    ZoneFail,  //!< zone-correlated: a whole failure domain at once
 };
 
 const char *soakWaveKindName(SoakWaveKind kind);
@@ -95,6 +101,18 @@ struct SoakConfig
      * capacity on live state) to demo the violation->repro path. */
     bool injectFault = false;
     double injectTightCapacityFraction = 0.5;
+    /**
+     * Zones the nodes are striped over (node n -> zone n % zoneCount).
+     * 0 (default) keeps the classic untopologied soak and its wave
+     * stream byte-identical. With >= 2 zones the testbed gets the
+     * spread/PDB overlay (exp::applyTopologyOverlay), the schedule may
+     * upgrade waves to zone-correlated failures, and the
+     * constraint-cap / stranded-constraint properties arm.
+     */
+    size_t zoneCount = 0;
+    /** Probability a wave becomes a zone-correlated failure (every
+     * node of one zone fails together); only with zoneCount > 0. */
+    double zoneFailProbability = 0.3;
 };
 
 /** One failed soak property. */
@@ -103,7 +121,8 @@ struct SoakViolation
     double at = 0.0;
     /** Stable property id ("kube-invariant", "stale-observation",
      * "frozen-observation-drift", "unconverged-node",
-     * "stranded-pending", "injected-tight-capacity"). */
+     * "stranded-pending", "constraint-cap", "stranded-constraint",
+     * "injected-tight-capacity"). */
     std::string property;
     std::string detail;
 };

@@ -80,13 +80,16 @@ KubeCluster::KubeCluster(sim::EventQueue &events, KubeConfig config)
 }
 
 NodeId
-KubeCluster::addNode(double capacity)
+KubeCluster::addNode(double capacity, uint32_t zone)
 {
     const NodeId id = static_cast<NodeId>(nodes_.size());
     NodeRec rec;
     rec.id = id;
     rec.capacity = capacity;
+    rec.zone = zone;
     rec.lastHeartbeat = events_.now();
+    if (zone != 0)
+        hasExplicitZones_ = true;
     nodes_.push_back(rec);
     nodeUsed_.push_back(0.0);
     nodeEvictionEpisodes_.push_back(0);
@@ -101,12 +104,17 @@ KubeCluster::addApplication(const sim::Application &app)
     apps_.push_back(app);
     const sim::AppId app_id = static_cast<sim::AppId>(apps_.size() - 1);
     apps_.back().id = app_id;
+    if (apps_.back().topologyConstrained())
+        anyConstrained_ = true;
     for (const auto &ms : apps_.back().services) {
-        Pod pod;
-        pod.ref = PodRef{app_id, ms.id};
-        pod.cpu = ms.totalCpu();
-        pods_[pod.ref] = pod;
-        podEpoch_[pod.ref] = 0;
+        const int replicas = std::max(ms.replicas, 1);
+        for (int r = 0; r < replicas; ++r) {
+            Pod pod;
+            pod.ref = PodRef{app_id, ms.id, static_cast<uint32_t>(r)};
+            pod.cpu = ms.cpu;
+            pods_[pod.ref] = pod;
+            podEpoch_[pod.ref] = 0;
+        }
     }
 }
 
@@ -314,6 +322,68 @@ KubeCluster::usedOn(NodeId node) const
     return nodeUsed_[node];
 }
 
+bool
+KubeCluster::hasPlacementVacancy(const Pod &pod, NodeId node) const
+{
+    if (!anyConstrained_)
+        return true;
+    if (pod.ref.app >= apps_.size())
+        return true;
+    const auto &app = apps_[pod.ref.app];
+    if (pod.ref.ms >= app.services.size())
+        return true;
+    const auto &ms = app.services[pod.ref.ms];
+    const int ms_node_cap = ms.maxPerNode;
+    const int ms_zone_cap = ms.effectiveZoneCap();
+    const sim::PlacementGroup *group = nullptr;
+    if (ms.antiAffinityGroup >= 0) {
+        for (const auto &g : app.placementGroups) {
+            if (g.id == ms.antiAffinityGroup &&
+                (g.maxPerNode > 0 || g.maxPerZone > 0)) {
+                group = &g;
+                break;
+            }
+        }
+    }
+    if (ms_node_cap <= 0 && ms_zone_cap <= 0 && !group)
+        return true;
+
+    const uint32_t zone = nodes_[node].zone;
+    int ms_on_node = 0;
+    int ms_in_zone = 0;
+    int group_on_node = 0;
+    int group_in_zone = 0;
+    for (const auto &[ref, other] : pods_) {
+        if (ref.app != pod.ref.app || ref == pod.ref)
+            continue;
+        if (!occupiesNode(other.phase))
+            continue;
+        const bool same_node = other.node == node;
+        const bool same_zone = nodes_[other.node].zone == zone;
+        if (ref.ms == pod.ref.ms) {
+            ms_on_node += same_node ? 1 : 0;
+            ms_in_zone += same_zone ? 1 : 0;
+        }
+        if (group &&
+            app.services[ref.ms].antiAffinityGroup ==
+                ms.antiAffinityGroup) {
+            group_on_node += same_node ? 1 : 0;
+            group_in_zone += same_zone ? 1 : 0;
+        }
+    }
+    if (ms_node_cap > 0 && ms_on_node >= ms_node_cap)
+        return false;
+    if (ms_zone_cap > 0 && ms_in_zone >= ms_zone_cap)
+        return false;
+    if (group) {
+        if (group->maxPerNode > 0 && group_on_node >= group->maxPerNode)
+            return false;
+        if (group->maxPerZone > 0 && group_in_zone >= group->maxPerZone)
+            return false;
+    }
+    return true;
+}
+
 double
 KubeCluster::scanUsedOn(NodeId node) const
 {
@@ -435,7 +505,8 @@ KubeCluster::schedulerTick()
             const NodeId target = *pod.pinnedNode;
             if (nodes_[target].ready &&
                 usedOn(target) + pod.cpu <=
-                    effectiveCapacity(target) + kCapacityEps) {
+                    effectiveCapacity(target) + kCapacityEps &&
+                hasPlacementVacancy(pod, target)) {
                 bindPod(pod, target);
             }
             continue;
@@ -451,7 +522,8 @@ KubeCluster::schedulerTick()
                 continue;
             const double free =
                 rec.capacity * rec.degradeFactor - usedOn(rec.id);
-            if (free >= pod.cpu - kCapacityEps && free > best_free) {
+            if (free >= pod.cpu - kCapacityEps && free > best_free &&
+                hasPlacementVacancy(pod, rec.id)) {
                 best_free = free;
                 best = rec.id;
             }
@@ -548,11 +620,12 @@ KubeCluster::migratePod(const PodRef &ref, NodeId to)
     const NodeRec &target = nodes_[to];
     if (!target.ready ||
         usedOn(to) + pod.cpu >
-            target.capacity * target.degradeFactor + kCapacityEps) {
+            target.capacity * target.degradeFactor + kCapacityEps ||
+        !hasPlacementVacancy(pod, to)) {
         PHOENIX_WARN("migrate " << ref.app << "/" << ref.ms
                                 << " -> node " << to << " rejected: "
-                                << (target.ready ? "full"
-                                                 : "NotReady"));
+                                << (!target.ready ? "NotReady"
+                                                  : "full/no vacancy"));
         PHOENIX_COUNT(*obs_.migrationsRejected, 1);
         return;
     }
@@ -617,6 +690,14 @@ KubeCluster::nodeCapacity(NodeId node) const
     return nodes_.at(node).capacity;
 }
 
+int
+KubeCluster::nodeZone(NodeId node) const
+{
+    if (!hasExplicitZones_)
+        return -1;
+    return static_cast<int>(nodes_.at(node).zone);
+}
+
 double
 KubeCluster::readyCapacity() const
 {
@@ -651,7 +732,7 @@ KubeCluster::buildState() const
             observed = std::max(rec.capacity * rec.degradeFactor,
                                 usedOn(rec.id));
         }
-        state.addNode(observed);
+        state.addNode(observed, rec.zone);
         if (!rec.ready)
             state.failNode(rec.id);
     }

@@ -110,13 +110,16 @@ class KubeCluster : public sim::FaultTarget
   public:
     KubeCluster(sim::EventQueue &events, KubeConfig config = KubeConfig());
 
-    /** Add a worker node; starts Ready with a live kubelet. */
-    sim::NodeId addNode(double capacity);
+    /** Add a worker node; starts Ready with a live kubelet. The
+     * optional zone is the node's failure-domain label (`zone` on the
+     * NodeSpec); 0 when the deployment has no topology. */
+    sim::NodeId addNode(double capacity, uint32_t zone = 0);
 
     /**
-     * Register an application: one single-replica deployment per
-     * microservice; pods start Pending and the default scheduler picks
-     * them up.
+     * Register an application: one deployment per microservice with
+     * one pod per replica; pods start Pending and the default
+     * scheduler picks them up, honoring each service's placement
+     * policy (anti-affinity caps, zone spread).
      */
     void addApplication(const sim::Application &app);
 
@@ -171,6 +174,10 @@ class KubeCluster : public sim::FaultTarget
     // --- sim::FaultTarget (scenario-engine hooks) ------------------
     size_t nodeCount() const override { return nodes_.size(); }
     double nodeCapacity(sim::NodeId node) const override;
+    /** Explicit zone label when the deployment declares topology
+     * (any node with zone != 0); -1 otherwise so zone-scoped
+     * scenarios keep the classic id % zoneCount partition. */
+    int nodeZone(sim::NodeId node) const override;
     void injectNodeFailure(sim::NodeId node) override
     {
         stopKubelet(node);
@@ -302,6 +309,8 @@ class KubeCluster : public sim::FaultTarget
     {
         sim::NodeId id = 0;
         double capacity = 0.0;
+        /** Failure-domain label; static. */
+        uint32_t zone = 0;
         bool kubeletRunning = true;
         bool ready = true;
         sim::SimTime lastHeartbeat = 0.0;
@@ -331,6 +340,16 @@ class KubeCluster : public sim::FaultTarget
 
     /** Whether a phase occupies node capacity. */
     static bool occupiesNode(PodPhase phase);
+
+    /**
+     * Placement-policy check for the scheduler and migration
+     * validation: placing @p pod on @p node must keep every
+     * anti-affinity / zone-spread cap of the pod's service (and its
+     * group) satisfied, counting the occupying pods currently on the
+     * node and in its zone. O(pods) per query — kube clusters are
+     * testbed-sized.
+     */
+    bool hasPlacementVacancy(const Pod &pod, sim::NodeId node) const;
 
     /** Pod lifecycle transition table (same-phase node moves allowed
      * for Starting/Running migrations). */
@@ -366,6 +385,11 @@ class KubeCluster : public sim::FaultTarget
     util::Rng rng_;
 
     std::vector<NodeRec> nodes_;
+    /** Any node carries a nonzero zone label (topology declared). */
+    bool hasExplicitZones_ = false;
+    /** Any registered app declares a placement policy; false keeps
+     * the scheduler's vacancy checks entirely off the hot path. */
+    bool anyConstrained_ = false;
     std::vector<sim::Application> apps_;
     std::map<sim::PodRef, Pod> pods_;
     /** Monotone counter to invalidate stale start-completion events. */

@@ -81,6 +81,35 @@ struct RawService
     std::vector<std::string> upstream;
     bool sawCpu = false;
     size_t declaredAt = 0;
+    // Placement policy (topology-aware packing).
+    int group = -1;
+    int maxPerNode = 0;
+    int maxPerZone = 0;
+    int minZoneSpread = 0;
+    int pdbMaxUnavailable = -1;
+    size_t spreadAt = 0; //!< line of the minZoneSpread key
+    size_t pdbAt = 0;    //!< line of the pdbMaxUnavailable key
+};
+
+/** One anti-affinity group entry under `groups:`. */
+struct RawGroup
+{
+    int id = -1;
+    int maxPerNode = 0;
+    int maxPerZone = 0;
+    bool sawId = false;
+    size_t declaredAt = 0;
+};
+
+/** One node spec entry under a topology document's `nodes:`. */
+struct RawNodeSpec
+{
+    int count = 1;
+    double cpus = 0.0;
+    std::string zone;
+    bool sawCpus = false;
+    size_t declaredAt = 0;
+    size_t zoneAt = 0; //!< line of the zone key
 };
 
 ManifestError
@@ -110,27 +139,91 @@ parseManifestStructured(const std::string &text)
 {
     ManifestParse result;
 
-    // Per-document state.
+    // Per-document state. A document is either an application or the
+    // (at most one) topology declaration.
+    enum class Section { None, Services, Groups, Nodes };
     bool have_app = false;
+    bool have_topo = false;
+    bool topo_committed = false;
     bool poisoned = false; // error seen: skip to the next document
     Application app;
     std::vector<RawService> services;
-    bool in_services = false;
+    std::vector<RawGroup> groups;
+    std::vector<RawNodeSpec> topo_nodes;
+    Topology topo;
+    Section section = Section::None;
     std::set<std::string> app_names;
+    // minZoneSpread is validated against the manifest-global zone
+    // count after every document parsed (topology may come last):
+    // (committed app index, service name, line, spread).
+    struct SpreadCheck
+    {
+        size_t app;
+        std::string service;
+        size_t line;
+        int spread;
+    };
+    std::vector<SpreadCheck> spread_checks;
 
     auto reset_document = [&] {
         app = Application{};
         services.clear();
+        groups.clear();
+        topo_nodes.clear();
+        topo = Topology{};
         have_app = false;
-        in_services = false;
+        have_topo = false;
+        section = Section::None;
     };
 
     // Validate and commit the current document; returns the error
     // that rejected it, if any.
     auto finish_document =
         [&](size_t line_no) -> std::optional<ManifestError> {
-        if (!have_app || poisoned)
+        if (poisoned || (!have_app && !have_topo))
             return std::nullopt; // empty or already-reported document
+        if (have_topo) {
+            if (topo.zones.empty()) {
+                return makeError(line_no, "zones",
+                                 "topology '" + topo.name +
+                                     "' declares no zones");
+            }
+            for (const RawNodeSpec &spec : topo_nodes) {
+                if (!spec.sawCpus || spec.cpus <= 0.0) {
+                    return makeError(spec.declaredAt, "cpus",
+                                     "node spec needs a positive cpus");
+                }
+                if (spec.count < 1) {
+                    return makeError(spec.declaredAt, "count",
+                                     "node count must be >= 1");
+                }
+                NodeSpec out;
+                out.count = spec.count;
+                out.cpus = spec.cpus;
+                if (!spec.zone.empty()) {
+                    const auto it =
+                        std::find(topo.zones.begin(), topo.zones.end(),
+                                  spec.zone);
+                    if (it == topo.zones.end()) {
+                        return makeError(
+                            spec.zoneAt ? spec.zoneAt : spec.declaredAt,
+                            "zone",
+                            "unknown zone '" + spec.zone + "'");
+                    }
+                    out.zone = static_cast<uint32_t>(
+                        it - topo.zones.begin());
+                }
+                topo.nodes.push_back(out);
+            }
+            if (topo_committed) {
+                return makeError(line_no, "topology",
+                                 "duplicate topology document");
+            }
+            topo_committed = true;
+            result.topology = std::move(topo);
+            reset_document();
+            return std::nullopt;
+        }
         if (services.empty()) {
             return makeError(line_no, "services",
                              "application '" + app.name +
@@ -154,16 +247,51 @@ parseManifestStructured(const std::string &text)
             }
             by_name[svc.name] = m;
         }
+        app.placementGroups.clear();
+        for (const RawGroup &group : groups) {
+            if (!group.sawId || group.id < 0) {
+                return makeError(group.declaredAt, "id",
+                                 "group needs a non-negative id");
+            }
+            for (const auto &other : app.placementGroups) {
+                if (other.id == group.id) {
+                    return makeError(group.declaredAt, "id",
+                                     "duplicate group id " +
+                                         std::to_string(group.id));
+                }
+            }
+            sim::PlacementGroup out;
+            out.id = group.id;
+            out.maxPerNode = group.maxPerNode;
+            out.maxPerZone = group.maxPerZone;
+            app.placementGroups.push_back(out);
+        }
         app.services.clear();
         bool any_edges = false;
         for (MsId m = 0; m < services.size(); ++m) {
+            const RawService &svc = services[m];
+            if (svc.pdbMaxUnavailable > svc.replicas) {
+                return makeError(
+                    svc.pdbAt ? svc.pdbAt : svc.declaredAt,
+                    "pdbMaxUnavailable",
+                    "pdbMaxUnavailable " +
+                        std::to_string(svc.pdbMaxUnavailable) +
+                        " exceeds replicas " +
+                        std::to_string(svc.replicas) + " of service '" +
+                        svc.name + "'");
+            }
             Microservice ms;
             ms.id = m;
-            ms.name = services[m].name;
-            ms.cpu = services[m].cpu;
-            ms.criticality = services[m].criticality;
-            ms.replicas = services[m].replicas;
-            ms.quorum = services[m].quorum;
+            ms.name = svc.name;
+            ms.cpu = svc.cpu;
+            ms.criticality = svc.criticality;
+            ms.replicas = svc.replicas;
+            ms.quorum = svc.quorum;
+            ms.antiAffinityGroup = svc.group;
+            ms.maxPerNode = svc.maxPerNode;
+            ms.maxPerZone = svc.maxPerZone;
+            ms.minZoneSpread = svc.minZoneSpread;
+            ms.pdbMaxUnavailable = svc.pdbMaxUnavailable;
             app.services.push_back(std::move(ms));
             any_edges |= !services[m].upstream.empty();
         }
@@ -194,6 +322,15 @@ parseManifestStructured(const std::string &text)
                                  "'");
         }
         app.id = static_cast<sim::AppId>(result.apps.size());
+        for (MsId m = 0; m < services.size(); ++m) {
+            const RawService &svc = services[m];
+            if (svc.minZoneSpread > 1) {
+                spread_checks.push_back(
+                    {result.apps.size(), svc.name,
+                     svc.spreadAt ? svc.spreadAt : svc.declaredAt,
+                     svc.minZoneSpread});
+            }
+        }
         result.apps.push_back(std::move(app));
         reset_document();
         return std::nullopt;
@@ -234,29 +371,47 @@ parseManifestStructured(const std::string &text)
                                      "expected 'key: value'"));
                 continue;
             }
-            if (key == "application") {
-                // Implicit document boundary: a new application key
-                // finishes the previous document (and clears any
-                // poison — errors never leak across documents).
-                if (have_app && !services.empty()) {
+            if (key == "application" || key == "topology") {
+                // Implicit document boundary: a new application (or
+                // topology) key finishes the previous document (and
+                // clears any poison — errors never leak across
+                // documents).
+                if ((have_app && !services.empty()) || have_topo) {
                     if (auto error = finish_document(line_no))
                         reject(std::move(*error));
                 }
                 poisoned = false;
                 reset_document();
-                have_app = true;
-                app.name = value;
+                if (key == "application") {
+                    have_app = true;
+                    app.name = value;
+                } else {
+                    have_topo = true;
+                    topo.name = value;
+                }
                 continue;
             }
             if (poisoned)
                 continue;
             try {
-                if (key == "price") {
+                if (have_topo) {
+                    if (key == "zones") {
+                        topo.zones = parseList(value);
+                    } else if (key == "nodes") {
+                        section = Section::Nodes;
+                    } else {
+                        reject(makeError(
+                            line_no, key,
+                            "unknown topology key '" + key + "'"));
+                    }
+                } else if (key == "price") {
                     app.pricePerUnit = std::stod(value);
                 } else if (key == "phoenix") {
                     app.phoenixEnabled = value == "enabled";
                 } else if (key == "services") {
-                    in_services = true;
+                    section = Section::Services;
+                } else if (key == "groups") {
+                    section = Section::Groups;
                 } else {
                     reject(makeError(line_no, key,
                                      "unknown key '" + key + "'"));
@@ -270,21 +425,40 @@ parseManifestStructured(const std::string &text)
 
         if (poisoned)
             continue;
-        if (!in_services) {
+        if (section == Section::None) {
             reject(makeError(line_no, "",
-                             "indented line outside services"));
+                             "indented line outside a section"));
             continue;
         }
 
         std::string body = trimmed;
-        if (body.rfind("- ", 0) == 0) {
-            services.emplace_back();
-            services.back().declaredAt = line_no;
+        const bool new_entry = body.rfind("- ", 0) == 0;
+        if (new_entry) {
+            switch (section) {
+              case Section::Services:
+                services.emplace_back();
+                services.back().declaredAt = line_no;
+                break;
+              case Section::Groups:
+                groups.emplace_back();
+                groups.back().declaredAt = line_no;
+                break;
+              case Section::Nodes:
+                topo_nodes.emplace_back();
+                topo_nodes.back().declaredAt = line_no;
+                break;
+              case Section::None:
+                break;
+            }
             body = strip(body.substr(2));
         }
-        if (services.empty()) {
+        const bool no_entry =
+            (section == Section::Services && services.empty()) ||
+            (section == Section::Groups && groups.empty()) ||
+            (section == Section::Nodes && topo_nodes.empty());
+        if (no_entry) {
             reject(makeError(line_no, "",
-                             "service field before first entry"));
+                             "entry field before first entry"));
             continue;
         }
 
@@ -294,8 +468,41 @@ parseManifestStructured(const std::string &text)
             reject(makeError(line_no, "", "expected 'key: value'"));
             continue;
         }
-        RawService &svc = services.back();
         try {
+            if (section == Section::Groups) {
+                RawGroup &group = groups.back();
+                if (key == "id") {
+                    group.id = std::stoi(value);
+                    group.sawId = true;
+                } else if (key == "maxPerNode") {
+                    group.maxPerNode = std::stoi(value);
+                } else if (key == "maxPerZone") {
+                    group.maxPerZone = std::stoi(value);
+                } else {
+                    reject(makeError(line_no, key,
+                                     "unknown group key '" + key +
+                                         "'"));
+                }
+                continue;
+            }
+            if (section == Section::Nodes) {
+                RawNodeSpec &spec = topo_nodes.back();
+                if (key == "count") {
+                    spec.count = std::stoi(value);
+                } else if (key == "cpus") {
+                    spec.cpus = std::stod(value);
+                    spec.sawCpus = true;
+                } else if (key == "zone") {
+                    spec.zone = value;
+                    spec.zoneAt = line_no;
+                } else {
+                    reject(makeError(line_no, key,
+                                     "unknown node key '" + key +
+                                         "'"));
+                }
+                continue;
+            }
+            RawService &svc = services.back();
             if (key == "name") {
                 svc.name = value;
             } else if (key == "cpu") {
@@ -317,6 +524,39 @@ parseManifestStructured(const std::string &text)
                 svc.quorum = std::stoi(value);
             } else if (key == "upstream") {
                 svc.upstream = parseList(value);
+            } else if (key == "group") {
+                svc.group = std::stoi(value);
+                if (svc.group < 0) {
+                    reject(makeError(line_no, key,
+                                     "group must be >= 0"));
+                }
+            } else if (key == "maxPerNode") {
+                svc.maxPerNode = std::stoi(value);
+                if (svc.maxPerNode < 0) {
+                    reject(makeError(line_no, key,
+                                     "maxPerNode must be >= 0"));
+                }
+            } else if (key == "maxPerZone") {
+                svc.maxPerZone = std::stoi(value);
+                if (svc.maxPerZone < 0) {
+                    reject(makeError(line_no, key,
+                                     "maxPerZone must be >= 0"));
+                }
+            } else if (key == "minZoneSpread") {
+                svc.minZoneSpread = std::stoi(value);
+                svc.spreadAt = line_no;
+                if (svc.minZoneSpread < 0) {
+                    reject(makeError(line_no, key,
+                                     "minZoneSpread must be >= 0"));
+                }
+            } else if (key == "pdbMaxUnavailable") {
+                svc.pdbMaxUnavailable = std::stoi(value);
+                svc.pdbAt = line_no;
+                if (svc.pdbMaxUnavailable < 0) {
+                    reject(makeError(
+                        line_no, key,
+                        "pdbMaxUnavailable must be >= 0"));
+                }
             } else {
                 reject(makeError(line_no, key,
                                  "unknown service key '" + key + "'"));
@@ -329,6 +569,40 @@ parseManifestStructured(const std::string &text)
 
     if (auto error = finish_document(line_no))
         reject(std::move(*error));
+
+    // minZoneSpread is a manifest-global constraint: it can only be
+    // checked against the topology's zone count, and the topology
+    // document may come last. Apps asking to spread wider than the
+    // declared topology are rejected here (with no topology document
+    // the check is skipped — the simulator synthesizes zones).
+    if (!result.topology.zones.empty() && !spread_checks.empty()) {
+        const int zone_count =
+            static_cast<int>(result.topology.zones.size());
+        std::set<size_t> rejected;
+        for (const SpreadCheck &check : spread_checks) {
+            if (check.spread <= zone_count)
+                continue;
+            result.errors.push_back(makeError(
+                check.line, "minZoneSpread",
+                "minZoneSpread " + std::to_string(check.spread) +
+                    " of service '" + check.service +
+                    "' exceeds zone count " +
+                    std::to_string(zone_count)));
+            rejected.insert(check.app);
+        }
+        if (!rejected.empty()) {
+            std::vector<Application> kept;
+            kept.reserve(result.apps.size());
+            for (size_t i = 0; i < result.apps.size(); ++i) {
+                if (rejected.count(i))
+                    continue;
+                kept.push_back(std::move(result.apps[i]));
+                kept.back().id =
+                    static_cast<sim::AppId>(kept.size() - 1);
+            }
+            result.apps = std::move(kept);
+        }
+    }
     return result;
 }
 
@@ -342,6 +616,118 @@ parseManifest(const std::string &text, std::string *error)
         return std::nullopt;
     }
     return std::move(parsed.apps);
+}
+
+namespace {
+
+/** Shortest decimal that parses back to exactly @p value. */
+std::string
+fmtDouble(double value)
+{
+    for (int precision = 6; precision <= 17; ++precision) {
+        std::ostringstream out;
+        out.precision(precision);
+        out << value;
+        if (std::stod(out.str()) == value)
+            return out.str();
+    }
+    std::ostringstream out;
+    out.precision(17);
+    out << value;
+    return out.str();
+}
+
+} // namespace
+
+std::string
+renderManifest(const std::vector<Application> &apps,
+               const Topology &topology)
+{
+    std::ostringstream out;
+    bool first = true;
+    if (!topology.empty()) {
+        out << "topology: "
+            << (topology.name.empty() ? "cluster" : topology.name)
+            << "\n";
+        out << "zones: [";
+        for (size_t z = 0; z < topology.zones.size(); ++z) {
+            if (z)
+                out << ", ";
+            out << topology.zones[z];
+        }
+        out << "]\n";
+        if (!topology.nodes.empty()) {
+            out << "nodes:\n";
+            for (const NodeSpec &spec : topology.nodes) {
+                out << "  - count: " << spec.count << "\n";
+                out << "    cpus: " << fmtDouble(spec.cpus) << "\n";
+                if (spec.zone < topology.zones.size())
+                    out << "    zone: " << topology.zones[spec.zone]
+                        << "\n";
+            }
+        }
+        first = false;
+    }
+    for (const Application &app : apps) {
+        if (!first)
+            out << "---\n";
+        first = false;
+        out << "application: " << app.name << "\n";
+        if (app.pricePerUnit != 1.0)
+            out << "price: " << fmtDouble(app.pricePerUnit) << "\n";
+        if (!app.phoenixEnabled)
+            out << "phoenix: disabled\n";
+        if (!app.placementGroups.empty()) {
+            out << "groups:\n";
+            for (const sim::PlacementGroup &group :
+                 app.placementGroups) {
+                out << "  - id: " << group.id << "\n";
+                if (group.maxPerNode > 0)
+                    out << "    maxPerNode: " << group.maxPerNode
+                        << "\n";
+                if (group.maxPerZone > 0)
+                    out << "    maxPerZone: " << group.maxPerZone
+                        << "\n";
+            }
+        }
+        out << "services:\n";
+        for (const Microservice &ms : app.services) {
+            out << "  - name: " << ms.name << "\n";
+            out << "    cpu: " << fmtDouble(ms.cpu) << "\n";
+            if (ms.criticality != sim::kDefaultCriticality)
+                out << "    criticality: " << ms.criticality << "\n";
+            if (ms.replicas != 1)
+                out << "    replicas: " << ms.replicas << "\n";
+            if (ms.quorum != 0)
+                out << "    quorum: " << ms.quorum << "\n";
+            if (ms.antiAffinityGroup >= 0)
+                out << "    group: " << ms.antiAffinityGroup << "\n";
+            if (ms.maxPerNode > 0)
+                out << "    maxPerNode: " << ms.maxPerNode << "\n";
+            if (ms.maxPerZone > 0)
+                out << "    maxPerZone: " << ms.maxPerZone << "\n";
+            if (ms.minZoneSpread > 0)
+                out << "    minZoneSpread: " << ms.minZoneSpread
+                    << "\n";
+            if (ms.pdbMaxUnavailable >= 0)
+                out << "    pdbMaxUnavailable: " << ms.pdbMaxUnavailable
+                    << "\n";
+            if (app.hasDependencyGraph) {
+                const auto &callers =
+                    app.dag.predecessors(ms.id);
+                if (!callers.empty()) {
+                    out << "    upstream: [";
+                    for (size_t c = 0; c < callers.size(); ++c) {
+                        if (c)
+                            out << ", ";
+                        out << app.services[callers[c]].name;
+                    }
+                    out << "]\n";
+                }
+            }
+        }
+    }
+    return out.str();
 }
 
 std::optional<std::vector<Application>>

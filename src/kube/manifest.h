@@ -12,11 +12,20 @@
  * application: overleaf
  * price: 2.0
  * phoenix: enabled
+ * groups:                   # anti-affinity groups (optional)
+ *   - id: 1
+ *     maxPerNode: 1
+ *     maxPerZone: 2
  * services:
  *   - name: web
  *     cpu: 2.0
  *     criticality: 1
  *     replicas: 2
+ *     group: 1              # membership in anti-affinity group 1
+ *     maxPerNode: 1         # per-service replica caps
+ *     maxPerZone: 2
+ *     minZoneSpread: 2      # replicas must span >= 2 zones
+ *     pdbMaxUnavailable: 1  # PodDisruptionBudget for evictions
  *   - name: chat
  *     cpu: 0.5
  *     criticality: 5        # optional; untagged defaults to C1
@@ -24,7 +33,18 @@
  * ```
  *
  * Multiple applications may appear in one document separated by
- * `---` lines, as in multi-document YAML.
+ * `---` lines, as in multi-document YAML. A manifest may also carry
+ * at most one *topology* document declaring the cluster's zones and
+ * node specs (the NodeSpec `zone` label of §4):
+ *
+ * ```yaml
+ * topology: cloudlab
+ * zones: [east, west, central]
+ * nodes:
+ *   - count: 9
+ *     cpus: 8.0
+ *     zone: east
+ * ```
  *
  * Two entry points: parseManifest is all-or-nothing (nullopt on the
  * first error — the original API), parseManifestStructured recovers
@@ -59,12 +79,35 @@ struct ManifestError
     std::string toString() const;
 };
 
+/** One node spec in a topology document: @p count nodes of @p cpus
+ * capacity carrying the zone label @p zone (index into
+ * Topology::zones). */
+struct NodeSpec
+{
+    int count = 1;
+    double cpus = 0.0;
+    uint32_t zone = 0;
+};
+
+/** Cluster topology declared by a `topology:` document. Zone index =
+ * position in @p zones. */
+struct Topology
+{
+    std::string name;
+    std::vector<std::string> zones;
+    std::vector<NodeSpec> nodes;
+
+    bool empty() const { return zones.empty() && nodes.empty(); }
+};
+
 /** Outcome of a structured parse: every well-formed application plus
  * every error. A document with any error contributes no application
  * (no partially parsed apps), but later documents still parse. */
 struct ManifestParse
 {
     std::vector<sim::Application> apps;
+    /** The topology document, if the manifest carried one. */
+    Topology topology;
     std::vector<ManifestError> errors;
 
     bool ok() const { return errors.empty(); }
@@ -91,6 +134,14 @@ parseManifest(const std::string &text, std::string *error = nullptr);
 /** Load and parse a manifest file. */
 std::optional<std::vector<sim::Application>>
 loadManifestFile(const std::string &path, std::string *error = nullptr);
+
+/**
+ * Render applications (and an optional topology) back into manifest
+ * text that parses to the same descriptors: parse(render(parse(m)))
+ * == parse(m). Only non-default fields are emitted.
+ */
+std::string renderManifest(const std::vector<sim::Application> &apps,
+                           const Topology &topology = Topology());
 
 } // namespace phoenix::kube
 

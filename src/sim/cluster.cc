@@ -10,13 +10,22 @@ constexpr double kCapacityEps = 1e-9;
 } // namespace
 
 NodeId
-ClusterState::addNode(double capacity)
+ClusterState::addNode(double capacity, uint32_t zone)
 {
     const NodeId id = static_cast<NodeId>(nodes_.size());
-    nodes_.push_back(Node{id, capacity, true});
+    nodes_.push_back(Node{id, capacity, true, zone});
     used_.push_back(0.0);
     podsOn_.emplace_back();
     return id;
+}
+
+size_t
+ClusterState::zoneCount() const
+{
+    uint32_t max_zone = 0;
+    for (const auto &n : nodes_)
+        max_zone = std::max(max_zone, n.zone);
+    return nodes_.empty() ? 0 : static_cast<size_t>(max_zone) + 1;
 }
 
 std::vector<PodRef>

@@ -24,6 +24,9 @@ struct Node
     NodeId id = 0;
     double capacity = 0.0;
     bool healthy = true;
+    /** Failure-domain label (availability zone); static for the
+     * node's lifetime. Zone 0 when the deployment has no topology. */
+    uint32_t zone = 0;
 };
 
 /**
@@ -37,10 +40,13 @@ class ClusterState
 {
   public:
     /** Add a node with the given capacity; returns its id. */
-    NodeId addNode(double capacity);
+    NodeId addNode(double capacity, uint32_t zone = 0);
 
     size_t nodeCount() const { return nodes_.size(); }
     const Node &node(NodeId id) const { return nodes_.at(id); }
+    uint32_t zoneOf(NodeId id) const { return nodes_.at(id).zone; }
+    /** Number of distinct failure domains: max zone label + 1. */
+    size_t zoneCount() const;
 
     /** Mark a node failed and evict everything on it.
      *  @return the pods that were evicted. */

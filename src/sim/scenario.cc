@@ -318,7 +318,11 @@ ScenarioRunner::zoneNodes(size_t zone) const
     std::vector<NodeId> nodes;
     for (size_t n = 0; n < target_.nodeCount(); ++n) {
         const NodeId id = static_cast<NodeId>(n);
-        if (id % zones == zone)
+        const int explicit_zone = target_.nodeZone(id);
+        const size_t node_zone =
+            explicit_zone >= 0 ? static_cast<size_t>(explicit_zone)
+                               : id % zones;
+        if (node_zone == zone)
             nodes.push_back(id);
     }
     return nodes;

@@ -66,6 +66,19 @@ class FaultTarget
 
     virtual size_t nodeCount() const = 0;
     virtual double nodeCapacity(NodeId node) const = 0;
+    /**
+     * Explicit failure-domain label for a node, or -1 when the target
+     * has no topology. Zone-scoped steps (FailZone, PartitionZone,
+     * DegradeZone) use explicit labels when the target reports them
+     * and fall back to the classic id % zoneCount partition otherwise,
+     * so targets without topology behave exactly as before.
+     */
+    virtual int
+    nodeZone(NodeId node) const
+    {
+        (void)node;
+        return -1;
+    }
     /** Take the node down (for Kubernetes: stop its kubelet). */
     virtual void injectNodeFailure(NodeId node) = 0;
     /** Bring the node back (for Kubernetes: restart its kubelet). */

@@ -50,6 +50,58 @@ struct Microservice
      */
     int quorum = 0;
 
+    // ---- Topology placement policy (all off by default) ----
+
+    /** Anti-affinity group id within the application, or -1 for none.
+     * Replicas of every service sharing a group id count against that
+     * group's caps (see Application::placementGroups). */
+    int antiAffinityGroup = -1;
+    /** Max replicas of this service per node; 0 = unlimited. */
+    int maxPerNode = 0;
+    /** Max replicas of this service per zone; 0 = unlimited. */
+    int maxPerZone = 0;
+    /**
+     * Minimum number of distinct zones the replica set must span
+     * (0/1 = no spread requirement). Enforced as the implied per-zone
+     * cap replicas - minZoneSpread + 1: any placement honoring the cap
+     * that places >= minZoneSpread replicas necessarily spans
+     * >= minZoneSpread zones, and under degradation the cap gracefully
+     * limits how many survivors one zone may hold.
+     */
+    int minZoneSpread = 0;
+    /**
+     * PodDisruptionBudget: max replicas Phoenix's own preemption may
+     * delete in one planning epoch; -1 = unlimited. A below-quorum
+     * self-cleanup (the service ends fully down) is exempt — a
+     * sub-quorum remnant serves nothing.
+     */
+    int pdbMaxUnavailable = -1;
+
+    /** True when any placement constraint is set. */
+    bool
+    constrained() const
+    {
+        return antiAffinityGroup >= 0 || maxPerNode > 0 ||
+               maxPerZone > 0 || minZoneSpread > 1 ||
+               pdbMaxUnavailable >= 0;
+    }
+
+    /** Effective per-zone cap combining maxPerZone with the
+     * minZoneSpread-implied cap; 0 = unlimited. */
+    int
+    effectiveZoneCap() const
+    {
+        int cap = maxPerZone;
+        if (minZoneSpread > 1) {
+            const int all = replicas > 1 ? replicas : 1;
+            const int implied = all - minZoneSpread + 1;
+            const int spread_cap = implied > 1 ? implied : 1;
+            cap = cap > 0 ? (spread_cap < cap ? spread_cap : cap)
+                          : spread_cap;
+        }
+        return cap;
+    }
+
     /** Total demand across replicas. */
     double totalCpu() const { return cpu * replicas; }
 
@@ -68,6 +120,21 @@ struct Microservice
 };
 
 /**
+ * An anti-affinity group declared by an application: replicas of every
+ * member service (Microservice::antiAffinityGroup == id) jointly count
+ * against the group's per-node / per-zone caps. The YTsaurus cluster
+ * model calls these vacancies.
+ */
+struct PlacementGroup
+{
+    int id = 0;
+    /** Max member pods per node; 0 = unlimited. */
+    int maxPerNode = 0;
+    /** Max member pods per zone; 0 = unlimited. */
+    int maxPerZone = 0;
+};
+
+/**
  * A tenant application: a set of microservices, optionally a dependency
  * graph over them (node ids == microservice ids), criticality tags, and
  * the operator-facing price it pays per unit of resource.
@@ -77,6 +144,8 @@ struct Application
     AppId id = 0;
     std::string name;
     std::vector<Microservice> services;
+    /** Anti-affinity groups services may join via antiAffinityGroup. */
+    std::vector<PlacementGroup> placementGroups;
     /** Dependency graph; meaningful only when hasDependencyGraph. */
     graph::DiGraph dag;
     bool hasDependencyGraph = false;
@@ -89,6 +158,19 @@ struct Application
      * criticality — Phoenix never degrades them below their peers.
      */
     bool phoenixEnabled = true;
+
+    /** True when any service or group declares a placement policy. */
+    bool
+    topologyConstrained() const
+    {
+        if (!placementGroups.empty())
+            return true;
+        for (const auto &ms : services) {
+            if (ms.constrained())
+                return true;
+        }
+        return false;
+    }
 
     /** Total resource demand of the application. */
     double

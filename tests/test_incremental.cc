@@ -161,6 +161,57 @@ TEST(Incremental, ZoneFailPartialRecoverRefail)
     epochIdentity(warm, f.cluster, Objective::Cost, "refail");
 }
 
+TEST(Incremental, ConstrainedZoneFailRecoverDoesNotDrift)
+{
+    // Explicit zones + placement policies: a full zone failing and
+    // recovering must not drift constrained placements between the
+    // warm (incremental + sharded) scheme and a cold one — the
+    // vacancy allocator rebuilds per epoch, but the capacity index it
+    // filters is the carried-over incremental one.
+    sim::EventQueue events;
+    KubeCluster cluster(events);
+    for (int n = 0; n < 12; ++n)
+        cluster.addNode(16.0, static_cast<uint32_t>(n % 3));
+
+    auto spread = makeApp("spread", 6, 2.0, 3.0);
+    for (auto &ms : spread.services) {
+        ms.replicas = 3;
+        ms.quorum = 2;
+        ms.minZoneSpread = 2;
+        ms.pdbMaxUnavailable = 1;
+    }
+    cluster.addApplication(spread);
+
+    auto grouped = makeApp("grouped", 4, 1.5, 1.5);
+    sim::PlacementGroup group;
+    group.id = 0;
+    group.maxPerNode = 1;
+    grouped.placementGroups.push_back(group);
+    for (auto &ms : grouped.services)
+        ms.antiAffinityGroup = 0;
+    cluster.addApplication(grouped);
+
+    cluster.addApplication(makeApp("free", 6, 1.0, 2.0));
+    events.runUntil(120.0);
+
+    PhoenixScheme warm = makeWarm(Objective::Cost);
+    epochIdentity(warm, cluster, Objective::Cost, "baseline");
+
+    // Zone 0 = nodes 0,3,6,9. Fail the whole failure domain.
+    for (sim::NodeId n = 0; n < 12; n += 3)
+        cluster.stopKubelet(n);
+    events.runUntil(events.now() + 150.0);
+    epochIdentity(warm, cluster, Objective::Cost, "zone down");
+
+    // Let re-homing settle, then recover the zone.
+    events.runUntil(events.now() + 120.0);
+    epochIdentity(warm, cluster, Objective::Cost, "re-homed");
+    for (sim::NodeId n = 0; n < 12; n += 3)
+        cluster.startKubelet(n);
+    events.runUntil(events.now() + 60.0);
+    epochIdentity(warm, cluster, Objective::Cost, "zone recovered");
+}
+
 TEST(Incremental, RecoveryAfterPodsRehomed)
 {
     Fixture f;

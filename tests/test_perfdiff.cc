@@ -114,6 +114,56 @@ TEST(PerfDiff, RequirementComparesEverySharedCell)
     EXPECT_FALSE(tools::diffPerfReports(baseline, fresh, 2.5).met);
 }
 
+TEST(PerfDiff, OpsRegressionBoundIsMachineIndependent)
+{
+    // Identical op counters: ratio 1.0, any bound passes (wall time
+    // regressed 2x, which the ops bound deliberately ignores).
+    const JsonValue baseline = parsed(report(0.1, 0.1, 0.1, 0.1));
+    const JsonValue slower = parsed(report(0.2, 0.2, 0.2, 0.2));
+    {
+        const PerfDiffResult result =
+            tools::diffPerfReports(baseline, slower, 0.0, 0.0);
+        EXPECT_TRUE(result.opsMet);
+        EXPECT_NEAR(result.worstOpsRatio, 1.0, 1e-9);
+    }
+
+    // 100+50 -> 130+50 ops = +20%: inside a 25% bound, outside 5%.
+    const JsonValue more_ops =
+        parsed(report(0.1, 0.1, 0.1, 0.1, 130.0));
+    EXPECT_TRUE(
+        tools::diffPerfReports(baseline, more_ops, 0.0, 0.25).opsMet);
+    {
+        const PerfDiffResult result =
+            tools::diffPerfReports(baseline, more_ops, 0.0, 0.05);
+        EXPECT_FALSE(result.opsMet);
+        EXPECT_NEAR(result.worstOpsRatio, 180.0 / 150.0, 1e-9);
+    }
+    // Negative bound disables the check entirely.
+    EXPECT_TRUE(
+        tools::diffPerfReports(baseline, more_ops, 0.0, -1.0).opsMet);
+}
+
+TEST(PerfDiff, OpsRegressionCliExitCodes)
+{
+    const TempFile baseline("ops_base.json",
+                            report(0.1, 0.1, 0.1, 0.1));
+    const TempFile more_ops("ops_new.json",
+                            report(0.1, 0.1, 0.1, 0.1, 130.0));
+    std::ostringstream out;
+    std::ostringstream err;
+    EXPECT_EQ(tools::runPerfDiff({baseline.path(), more_ops.path(),
+                                  "--max-ops-regression", "0.25"},
+                                 out, err),
+              0);
+    EXPECT_NE(out.str().find("ops bound"), std::string::npos);
+    EXPECT_NE(out.str().find("PASS"), std::string::npos);
+    EXPECT_EQ(tools::runPerfDiff({baseline.path(), more_ops.path(),
+                                  "--max-ops-regression", "0.05"},
+                                 out, err),
+              1);
+    EXPECT_NE(out.str().find("FAIL"), std::string::npos);
+}
+
 TEST(PerfDiff, DisjointReportsShareNoCells)
 {
     const JsonValue baseline = parsed(report(0.2, 0.1, 0.4, 0.2));

@@ -14,6 +14,8 @@
 
 #include "adaptlab/environment.h"
 #include "adaptlab/runner.h"
+#include "check/case.h"
+#include "check/generator.h"
 #include "core/preemption.h"
 #include "core/schemes.h"
 #include "sim/failure.h"
@@ -339,3 +341,103 @@ TEST_P(BitIdentity, FlatMatchesReferenceImplementation)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BitIdentity, ::testing::Range(0, 50));
+
+/**
+ * Bit-identity must also hold when placement is constrained: generated
+ * topologies with anti-affinity groups, PDBs, and zone-spread caps
+ * route packing through the vacancy allocator's feasibility walk, and
+ * that walk must visit (and count) identically under the reference
+ * containers, the flat hot path, the zone-sharded index, and a warm
+ * incremental replan.
+ */
+class ConstrainedBitIdentity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ConstrainedBitIdentity, ConstrainedPackingIsBitIdentical)
+{
+    const int seed = GetParam();
+    check::GeneratorOptions gen;
+    gen.antiAffinityProbability = 0.5;
+    gen.pdbProbability = 0.5;
+    gen.zoneSpreadProbability = 0.5;
+    gen.nodeCapProbability = 0.5;
+    gen.maxNodes = 16;
+    gen.maxApps = 5;
+    const check::CheckCase c =
+        check::generateCase(static_cast<uint64_t>(seed) * 61 + 5, gen);
+
+    // Seed an initial placement epoch, then replay the failure script
+    // over it, so the schemes replan against a cluster that already
+    // holds constrained placements (the vacancy allocator's
+    // build-from-assignment path).
+    PhoenixScheme seeder(Objective::Cost);
+    ClusterState failed =
+        seeder.apply(c.apps, c.emptyCluster()).pack.state;
+    c.replaySteps(failed);
+
+    PlannerOptions ref_planner;
+    ref_planner.referenceImpl = true;
+    PackingOptions ref_packing;
+    ref_packing.referenceImpl = true;
+
+    for (const Objective objective : {Objective::Fair, Objective::Cost}) {
+        PhoenixScheme flat(objective);
+        PhoenixScheme ref(objective, ref_planner, ref_packing);
+        const SchemeResult a = flat.apply(c.apps, failed);
+        const SchemeResult b = ref.apply(c.apps, failed);
+        const char *what =
+            objective == Objective::Fair ? "fair" : "cost";
+
+        ASSERT_EQ(a.plan, b.plan) << what;
+        expectSameActions(a.pack.actions, b.pack.actions, what);
+        EXPECT_EQ(a.pack.state.assignment(),
+                  b.pack.state.assignment())
+            << what;
+        EXPECT_EQ(a.pack.placed, b.pack.placed) << what;
+        EXPECT_EQ(a.pack.complete, b.pack.complete) << what;
+        EXPECT_EQ(a.planOps.heapPushes, b.planOps.heapPushes) << what;
+        EXPECT_EQ(a.planOps.heapPops, b.planOps.heapPops) << what;
+        EXPECT_EQ(a.pack.ops.bestFitProbes, b.pack.ops.bestFitProbes)
+            << what;
+
+        // Zone-sharded plan->pack over the constrained feasibility
+        // walk: same outputs, same probe counts.
+        PlannerOptions shard_planner;
+        shard_planner.shardCount = 1 + static_cast<size_t>(seed % 4);
+        PackingOptions shard_packing;
+        shard_packing.zoneShards = 1 + static_cast<size_t>(seed % 5);
+        PhoenixScheme sharded(objective, shard_planner, shard_packing);
+        const SchemeResult s = sharded.apply(c.apps, failed);
+        ASSERT_EQ(s.plan, a.plan) << what << " sharded";
+        expectSameActions(s.pack.actions, a.pack.actions, what);
+        EXPECT_EQ(s.pack.state.assignment(),
+                  a.pack.state.assignment())
+            << what << " sharded";
+        EXPECT_EQ(s.pack.complete, a.pack.complete)
+            << what << " sharded";
+        EXPECT_EQ(s.pack.ops.bestFitProbes, a.pack.ops.bestFitProbes)
+            << what << " sharded";
+
+        // Warm incremental replan: caches primed by a first pass must
+        // not drift constrained placements on the second.
+        PlannerOptions inc_planner;
+        inc_planner.incremental = true;
+        PackingOptions inc_packing;
+        inc_packing.incremental = true;
+        inc_packing.zoneShards = 1 + static_cast<size_t>(seed % 3);
+        PhoenixScheme warm(objective, inc_planner, inc_packing);
+        (void)warm.apply(c.apps, failed);
+        const SchemeResult w = warm.apply(c.apps, failed);
+        ASSERT_EQ(w.plan, a.plan) << what << " incremental";
+        expectSameActions(w.pack.actions, a.pack.actions, what);
+        EXPECT_EQ(w.pack.state.assignment(),
+                  a.pack.state.assignment())
+            << what << " incremental";
+        EXPECT_EQ(w.pack.complete, a.pack.complete)
+            << what << " incremental";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConstrainedBitIdentity,
+                         ::testing::Range(0, 50));

@@ -93,6 +93,85 @@ TEST(SoakWaves, LongScheduleCoversTheTaxonomy)
     EXPECT_EQ(kinds.size(), 6u);
 }
 
+TEST(SoakWaves, ZoneScheduleEmitsCorrelatedZoneFailures)
+{
+    SoakConfig config;
+    config.seed = 7;
+    config.hours = 4.0;
+    config.meanWaveGap = 120.0;
+    config.zoneCount = 5;
+    const auto waves = exp::generateSoakWaves(config);
+
+    const size_t zone_size =
+        config.testbed.nodeCount / config.zoneCount;
+    size_t zone_waves = 0;
+    for (const SoakWave &wave : waves) {
+        if (wave.kind != SoakWaveKind::ZoneFail)
+            continue;
+        ++zone_waves;
+        // A zone-correlated wave takes down one whole failure domain
+        // (every node of one zone), never a partial one.
+        ASSERT_EQ(wave.nodes.size(), zone_size);
+        const auto zone = wave.nodes.front() % config.zoneCount;
+        for (sim::NodeId n : wave.nodes)
+            EXPECT_EQ(n % config.zoneCount, zone);
+    }
+    EXPECT_GT(zone_waves, 0u);
+
+    // The guarded draw keeps the classic stream free of zone waves.
+    SoakConfig classic = config;
+    classic.zoneCount = 0;
+    for (const SoakWave &wave : exp::generateSoakWaves(classic))
+        EXPECT_NE(wave.kind, SoakWaveKind::ZoneFail);
+}
+
+TEST(Soak, ConstrainedZoneSoakRunsClean)
+{
+    // Zone-correlated failures against the spread/PDB-constrained
+    // testbed: the whole convergence battery plus the constraint-cap
+    // and stranded-constraint dimensions must stay quiet — after
+    // every zone kill heals, the constrained C1 pairs must span two
+    // zones again.
+    SoakConfig config = smokeConfig();
+    config.zoneCount = 5;
+    const SoakResult result = exp::runSoak(config);
+    EXPECT_TRUE(result.ok())
+        << result.violationCount << " violations, first: "
+        << (result.violations.empty()
+                ? "-"
+                : result.violations.front().property + " " +
+                      result.violations.front().detail);
+    EXPECT_GT(result.waves.size(), 0u);
+    EXPECT_GT(result.checkTicks, 0u);
+}
+
+TEST(Soak, ConstrainedReproCarriesTopology)
+{
+    SoakConfig config = smokeConfig();
+    config.zoneCount = 5;
+    const auto waves = exp::generateSoakWaves(config);
+    ASSERT_FALSE(waves.empty());
+    const check::CheckCase repro = exp::makeSoakRepro(
+        config, waves, config.hours * 3600.0);
+
+    // Zone labels and the constrained overlay survive the bridge into
+    // the differential oracle, so a soak violation shrinks under the
+    // same placement policies it was found with.
+    EXPECT_EQ(repro.nodeZones.size(), config.testbed.nodeCount);
+    EXPECT_TRUE(repro.constrained());
+    bool spread_seen = false;
+    for (const auto &app : repro.apps) {
+        for (const auto &ms : app.services)
+            spread_seen = spread_seen || ms.minZoneSpread == 2;
+    }
+    EXPECT_TRUE(spread_seen);
+
+    const auto parsed = check::CheckCase::fromJson(repro.toJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->toJson(), repro.toJson());
+    EXPECT_EQ(parsed->nodeZones, repro.nodeZones);
+}
+
 TEST(Soak, SmokeRunsCleanAcrossSchemes)
 {
     for (const auto scheme :

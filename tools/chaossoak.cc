@@ -7,6 +7,8 @@
  *
  *   chaossoak --hours 2 --seed 7
  *   chaossoak --hours 0.5 --seed 7,8,9 --scheme fair
+ *   chaossoak --hours 1 --zones 5       # zone-correlated waves vs
+ *                                       # spread-constrained services
  *   chaossoak --inject-fault 0.5 --hours 0.25 --corpus tests/corpus
  *   SOAK_HOURS=6 chaossoak --hours-env --seed 7
  *
@@ -51,6 +53,11 @@ usage(std::ostream &out, int code)
            "  --wave-gap G       mean seconds between waves (default "
            "240)\n"
            "  --check-period P   oracle cadence seconds (default 60)\n"
+           "  --zones Z          stripe nodes over Z zones, apply the\n"
+           "                     spread/PDB overlay to C1 services, "
+           "and\n"
+           "                     let waves upgrade to zone-correlated\n"
+           "                     failures (default 0 = no topology)\n"
            "  --inject-fault F   enable the deliberately-tight "
            "capacity\n"
            "                     invariant (used(node) <= F * "
@@ -231,6 +238,9 @@ main(int argc, char **argv)
             config.meanWaveGap = std::strtod(next().c_str(), nullptr);
         } else if (arg == "--check-period") {
             config.checkPeriod = std::strtod(next().c_str(), nullptr);
+        } else if (arg == "--zones") {
+            config.zoneCount =
+                std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--inject-fault") {
             config.injectFault = true;
             config.injectTightCapacityFraction =

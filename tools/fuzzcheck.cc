@@ -33,6 +33,9 @@ usage(std::ostream &out, int code)
            "  --cases N          generated cases to run (default 200)\n"
            "  --cases-env        read the case count from $FUZZ_CASES;\n"
            "                     exit 77 (skip) when it is not set\n"
+           "  --cases-env-var V  like --cases-env but read $V instead\n"
+           "                     (ctest gates each long run on its own\n"
+           "                     opt-in variable)\n"
            "  --seed S           base seed (default 1)\n"
            "  --shrink / --no-shrink   shrink failing cases (default on)\n"
            "  --out DIR          write failing-case repros to DIR\n"
@@ -44,6 +47,9 @@ usage(std::ostream &out, int code)
            "                     incremental schemes-under-test, and the\n"
            "                     generator's zone-local failures\n"
            "                     (default 3; <= 1 skips those checks)\n"
+           "  --constraints P    emit placement policies (anti-affinity\n"
+           "                     groups, PDBs, minZoneSpread) with\n"
+           "                     probability P per draw (default 0)\n"
            "  --no-lp            skip the LP differential\n"
            "  --no-lifecycle     skip the kube lifecycle oracle\n"
            "  --json             machine-readable summary on stdout\n"
@@ -94,6 +100,7 @@ main(int argc, char **argv)
     std::string replay;
     bool json = false;
     bool cases_from_env = false;
+    std::string cases_env_var = "FUZZ_CASES";
 
     const std::vector<std::string> args(argv + 1, argv + argc);
     for (size_t i = 0; i < args.size(); ++i) {
@@ -112,6 +119,9 @@ main(int argc, char **argv)
                                                   nullptr, 10));
         } else if (arg == "--cases-env") {
             cases_from_env = true;
+        } else if (arg == "--cases-env-var") {
+            cases_from_env = true;
+            cases_env_var = next();
         } else if (arg == "--seed") {
             options.seed =
                 std::strtoull(next().c_str(), nullptr, 10);
@@ -130,6 +140,13 @@ main(int argc, char **argv)
             const int shards = std::atoi(next().c_str());
             options.oracle.shards = shards;
             options.gen.zoneFailureZones = shards;
+            options.gen.topologyZones = shards;
+        } else if (arg == "--constraints") {
+            const double p = std::atof(next().c_str());
+            options.gen.antiAffinityProbability = p;
+            options.gen.pdbProbability = p;
+            options.gen.zoneSpreadProbability = p;
+            options.gen.nodeCapProbability = p;
         } else if (arg == "--no-lp") {
             options.oracle.runLp = false;
         } else if (arg == "--no-lifecycle") {
@@ -150,10 +167,10 @@ main(int argc, char **argv)
         return replayFile(replay, options, json);
 
     if (cases_from_env) {
-        const char *env = std::getenv("FUZZ_CASES");
+        const char *env = std::getenv(cases_env_var.c_str());
         if (!env || !*env) {
-            std::cerr << "fuzzcheck: FUZZ_CASES not set; skipping "
-                         "long fuzz run\n";
+            std::cerr << "fuzzcheck: " << cases_env_var
+                      << " not set; skipping long fuzz run\n";
             return 77;
         }
         options.cases = static_cast<size_t>(

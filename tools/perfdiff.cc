@@ -5,9 +5,14 @@
  * the per-cell speedup of every sweep aggregate the two runs share.
  *
  *   perfdiff BASELINE.json NEW.json [--require-speedup X]
+ *            [--max-ops-regression F]
  *
  * With --require-speedup the tool exits 1 unless every shared cell
  * reached the given speedup (used by the README's perf smoke recipe).
+ * With --max-ops-regression the tool exits 1 when any shared cell's
+ * deterministic pack-phase op count (heap pushes + best-fit probes)
+ * grew by more than the given fraction — a machine-independent
+ * overhead bound (e.g. 0.05 = "at most 5% more pack work").
  * All the logic lives in perfdiff_lib (unit-tested by test_perfdiff);
  * this translation unit is only the process entry point.
  */

@@ -45,7 +45,7 @@ collectPerfCells(const JsonValue &root)
 
 PerfDiffResult
 diffPerfReports(const JsonValue &baseline_root, const JsonValue &fresh_root,
-                double require_speedup)
+                double require_speedup, double max_ops_regression)
 {
     PerfDiffResult result;
     const auto baseline_cells = collectPerfCells(baseline_root);
@@ -84,6 +84,17 @@ diffPerfReports(const JsonValue &baseline_root, const JsonValue &fresh_root,
         }
         if (require_speedup > 0.0 && row.speedup < require_speedup)
             result.met = false;
+        if (it->second.ops() > 0.0) {
+            const double ratio = fresh.ops() / it->second.ops();
+            if (result.worstOpsCell.empty() ||
+                ratio > result.worstOpsRatio) {
+                result.worstOpsRatio = ratio;
+                result.worstOpsCell = key;
+            }
+            if (max_ops_regression >= 0.0 &&
+                ratio > 1.0 + max_ops_regression)
+                result.opsMet = false;
+        }
         result.rows.push_back(std::move(row));
     }
     return result;
@@ -135,13 +146,17 @@ runPerfDiff(const std::vector<std::string> &args, std::ostream &out,
 {
     std::vector<std::string> files;
     double require_speedup = 0.0;
+    double max_ops_regression = -1.0;
     for (size_t i = 0; i < args.size(); ++i) {
         const std::string &arg = args[i];
         if (arg == "--require-speedup" && i + 1 < args.size()) {
             require_speedup = std::atof(args[++i].c_str());
+        } else if (arg == "--max-ops-regression" &&
+                   i + 1 < args.size()) {
+            max_ops_regression = std::atof(args[++i].c_str());
         } else if (arg == "--help" || arg == "-h") {
             out << "usage: perfdiff BASELINE.json NEW.json "
-                   "[--require-speedup X]\n";
+                   "[--require-speedup X] [--max-ops-regression F]\n";
             return 0;
         } else {
             files.push_back(arg);
@@ -149,7 +164,7 @@ runPerfDiff(const std::vector<std::string> &args, std::ostream &out,
     }
     if (files.size() != 2) {
         err << "usage: perfdiff BASELINE.json NEW.json "
-               "[--require-speedup X]\n";
+               "[--require-speedup X] [--max-ops-regression F]\n";
         return 2;
     }
 
@@ -160,7 +175,8 @@ runPerfDiff(const std::vector<std::string> &args, std::ostream &out,
         return 2;
 
     const PerfDiffResult result =
-        diffPerfReports(baseline_root, fresh_root, require_speedup);
+        diffPerfReports(baseline_root, fresh_root, require_speedup,
+                        max_ops_regression);
     if (result.rows.empty() && result.added.empty() &&
         result.removed.empty()) {
         err << "perfdiff: the two reports share no cells and none were "
@@ -209,15 +225,30 @@ runPerfDiff(const std::vector<std::string> &args, std::ostream &out,
                       result.worstCell.c_str(), result.worstSpeedup);
         out << worst;
     }
+    if (max_ops_regression >= 0.0 && !result.worstOpsCell.empty()) {
+        char verdict[160];
+        std::snprintf(verdict, sizeof(verdict),
+                      "ops bound: <= +%.0f%% on every shared cell "
+                      "(worst %s at %+.2f%%) -> %s\n",
+                      max_ops_regression * 100.0,
+                      result.worstOpsCell.c_str(),
+                      (result.worstOpsRatio - 1.0) * 100.0,
+                      result.opsMet ? "PASS" : "FAIL");
+        out << verdict;
+    }
+    int exit_code = 0;
     if (require_speedup > 0.0) {
         char verdict[96];
         std::snprintf(verdict, sizeof(verdict),
                       "required: %.2fx on every shared cell -> %s\n",
                       require_speedup, result.met ? "PASS" : "FAIL");
         out << verdict;
-        return result.met ? 0 : 1;
+        if (!result.met)
+            exit_code = 1;
     }
-    return 0;
+    if (max_ops_regression >= 0.0 && !result.opsMet)
+        exit_code = 1;
+    return exit_code;
 }
 
 } // namespace phoenix::tools

@@ -31,6 +31,11 @@ struct PerfCell
     double childSortElems = 0.0;
 
     double total() const { return planSeconds + packSeconds; }
+
+    /** Deterministic pack-phase work: heap pushes + best-fit probes.
+     * Unlike wall-clock these never carry machine noise, so a bound
+     * on their growth is a machine-independent overhead claim. */
+    double ops() const { return heapPushes + bestFitProbes; }
 };
 
 /**
@@ -65,15 +70,25 @@ struct PerfDiffResult
      * requirement was given; cells present in only one report are
      * exempt). */
     bool met = true;
+    /** Largest fresh/baseline ops() ratio across shared cells (1.0 =
+     * identical work; only cells with baseline ops > 0 count). */
+    double worstOpsRatio = 0.0;
+    std::string worstOpsCell;
+    /** Every shared cell stayed within the allowed ops regression
+     * (true when no bound was given). */
+    bool opsMet = true;
 };
 
 /**
  * Compare two parsed reports. @p require_speedup <= 0 disables the
- * requirement check.
+ * requirement check; @p max_ops_regression < 0 disables the op-count
+ * bound (e.g. 0.05 allows fresh ops() up to 5% above baseline on
+ * every shared cell).
  */
 PerfDiffResult diffPerfReports(const util::JsonValue &baseline,
                                const util::JsonValue &fresh,
-                               double require_speedup = 0.0);
+                               double require_speedup = 0.0,
+                               double max_ops_regression = -1.0);
 
 /** Load and parse a report file; errors go to @p err. */
 bool loadPerfReport(const std::string &file, util::JsonValue &out,
