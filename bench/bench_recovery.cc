@@ -14,10 +14,20 @@
  * per-cell recovery metrics and the headline timelines. The kube
  * invariant checker is active in every cell.
  *
+ * Two anticipated-fault scenarios (decayzone, graydecay) inject
+ * precursor signals — partial zone loss, gradual capacity decay —
+ * before the main fault; the Phoenix cells run twice there, reactive
+ * and with the forecast subsystem attached (--forecast extends the
+ * forecast cells to every scenario). --sample-period overrides the
+ * harness sampling cadence.
+ *
  * RECOVERY_SMOKE=1 restricts the grid to the 50%-capacity scenario
- * and asserts the Fig 6 storyline: Phoenix restores all critical
- * services within bounded time, Default cannot until capacity
- * returns, and no cell violates a cluster invariant.
+ * plus the constrained/anticipated scenarios and asserts the Fig 6
+ * storyline: Phoenix restores all critical services within bounded
+ * time, Default cannot until capacity returns, the forecast cells
+ * recover strictly faster than reactive on the anticipated faults
+ * (>= 2x on the pre-staged zone kill), and no cell violates a
+ * cluster invariant.
  */
 
 #include <algorithm>
@@ -52,15 +62,31 @@ struct ScenarioSpec
     /** Explicit node zones + the spread/PDB overlay on C1 services
      * (RecoveryConfig::zoneCount); 0 = classic untopologied testbed. */
     size_t zoneCount = 0;
+    /** Precursor signals precede the main fault: the forecast cells
+     * run here by default (reactive vs forecast ttcr is the story). */
+    bool anticipated = false;
 };
 
 struct CellResult
 {
     size_t scenarioIndex = 0;
     RecoveryScheme scheme = RecoveryScheme::Default;
+    bool forecast = false;
     RecoveryResult recovery;
     double wallSeconds = 0.0;
 };
+
+/** Sweep/report label: the forecast cells are distinct schemes, so
+ * perfdiff treats them as added/removed cells (never an ops
+ * regression) against pre-forecast baselines. */
+std::string
+cellSchemeName(const CellResult &cell)
+{
+    std::string name = exp::recoverySchemeName(cell.scheme);
+    if (cell.forecast)
+        name += "+forecast";
+    return name;
+}
 
 std::vector<ScenarioSpec>
 buildScenarios(uint64_t seed)
@@ -109,6 +135,51 @@ buildScenarios(uint64_t seed)
         spec.options.zoneCount = 5;
         spec.zoneCount = 5;
         spec.scenario.failZone(600.0, 0).recoverAll(1500.0);
+        spec.endTime = 2400.0;
+        specs.push_back(std::move(spec));
+    }
+    {
+        // Anticipated zone loss: three of zone 0's five nodes die as
+        // precursors (t=400, t=500), then the whole zone goes at
+        // t=900. The zone-loss detector arms on the precursor deficit
+        // and pre-moves the survivors off the at-risk zone, so the
+        // full kill should be a non-event for the forecast cell;
+        // reactive cells eat a second detection + replan + restart
+        // cycle.
+        ScenarioSpec spec;
+        spec.name = "decayzone";
+        spec.failureRate = 0.2;
+        spec.options.seed = seed;
+        spec.options.zoneCount = 5;
+        spec.anticipated = true;
+        spec.scenario.failNodes(400.0, {0, 5})
+            .failNodes(500.0, {10})
+            .failZone(900.0, 0)
+            .recoverAll(1500.0, 30.0);
+        spec.endTime = 2400.0;
+        specs.push_back(std::move(spec));
+    }
+    {
+        // Anticipated gray failure: one failure domain's nodes decay
+        // gradually (factor 0.6 at t=400, 0.25 at t=600) before dying
+        // outright at t=900. The gray set is one zone under the
+        // forecaster's fallback striping (id % 5), so the zone-loss
+        // and capacity-decay detectors agree on the at-risk node set:
+        // the proactive drain empties exactly the nodes that later
+        // die, and the kill should be a non-event for the forecast
+        // cell. The reactive controller sees no capacity *loss* while
+        // the pods still fit the decayed nodes, so it eats the full
+        // detection + replan cycle at the kill.
+        ScenarioSpec spec;
+        spec.name = "graydecay";
+        spec.failureRate = 5.0 / 25.0;
+        spec.options.seed = seed;
+        spec.anticipated = true;
+        std::vector<sim::NodeId> gray{0, 5, 10, 15, 20};
+        spec.scenario.degradeNodes(400.0, gray, 0.6)
+            .degradeNodes(600.0, gray, 0.25)
+            .failNodes(900.0, gray)
+            .recoverAll(1500.0, 15.0);
         spec.endTime = 2400.0;
         specs.push_back(std::move(spec));
     }
@@ -168,7 +239,7 @@ exp::SweepAggregate
 toAggregate(const ScenarioSpec &spec, const CellResult &cell)
 {
     exp::SweepAggregate agg;
-    agg.scheme = exp::recoverySchemeName(cell.scheme);
+    agg.scheme = cellSchemeName(cell);
     agg.failureRate = spec.failureRate;
     agg.trials = 1;
     agg.wallSeconds = cell.wallSeconds;
@@ -225,7 +296,34 @@ smokeMode()
 int
 main(int argc, char **argv)
 {
-    const auto options = bench::parseOptions(argc, argv, "recovery");
+    // Harness-specific flags are stripped before the shared parser
+    // (which exits on anything it does not know).
+    bool forecastAll = false;
+    double samplePeriod = 0.0; // 0 = RecoveryConfig default
+    std::vector<char *> pass;
+    pass.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--forecast") {
+            forecastAll = true;
+        } else if (arg == "--sample-period") {
+            char *end = nullptr;
+            const char *value = i + 1 < argc ? argv[++i] : "";
+            samplePeriod = std::strtod(value, &end);
+            if (*value == '\0' || end == nullptr || *end != '\0' ||
+                samplePeriod <= 0.0) {
+                std::cerr << "bench_recovery: --sample-period expects "
+                             "a positive number of seconds, got '"
+                          << value << "'\n";
+                return 2;
+            }
+        } else {
+            pass.push_back(argv[i]);
+        }
+    }
+
+    const auto options = bench::parseOptions(
+        static_cast<int>(pass.size()), pass.data(), "recovery");
     bench::applyObs(options);
     const bool smoke = smokeMode();
     bench::banner(
@@ -241,27 +339,39 @@ main(int argc, char **argv)
                    RecoveryScheme::Default};
 
     // Build the cell list (scenario-major, matching report order).
+    // Phoenix schemes additionally run with the forecast subsystem on
+    // the anticipated-fault scenarios (everywhere with --forecast).
     std::vector<CellResult> cells;
     for (size_t s = 0; s < scenarios.size(); ++s) {
         if (smoke && scenarios[s].name != "cap50" &&
-            scenarios[s].name != "spreadzone")
+            scenarios[s].name != "spreadzone" &&
+            !scenarios[s].anticipated)
             continue;
         for (RecoveryScheme scheme : schemes) {
-            if (!options.filter.empty()) {
-                std::string name =
-                    exp::recoverySchemeName(scheme);
-                std::string filter = options.filter;
-                for (auto &c : name)
-                    c = static_cast<char>(std::tolower(c));
-                for (auto &c : filter)
-                    c = static_cast<char>(std::tolower(c));
-                if (name.find(filter) == std::string::npos)
+            for (int forecast = 0; forecast < 2; ++forecast) {
+                if (forecast &&
+                    (scheme == RecoveryScheme::Default ||
+                     !(forecastAll || scenarios[s].anticipated)))
                     continue;
+                if (smoke && forecast &&
+                    scheme != RecoveryScheme::PhoenixCost)
+                    continue;
+                CellResult cell;
+                cell.scenarioIndex = s;
+                cell.scheme = scheme;
+                cell.forecast = forecast != 0;
+                if (!options.filter.empty()) {
+                    std::string name = cellSchemeName(cell);
+                    std::string filter = options.filter;
+                    for (auto &c : name)
+                        c = static_cast<char>(std::tolower(c));
+                    for (auto &c : filter)
+                        c = static_cast<char>(std::tolower(c));
+                    if (name.find(filter) == std::string::npos)
+                        continue;
+                }
+                cells.push_back(cell);
             }
-            CellResult cell;
-            cell.scenarioIndex = s;
-            cell.scheme = scheme;
-            cells.push_back(cell);
         }
     }
 
@@ -274,8 +384,7 @@ main(int argc, char **argv)
         if (obs::traceEnabled()) {
             obs::Tracer::global().nameTrack(
                 static_cast<uint32_t>(i),
-                spec.name + "/" +
-                    exp::recoverySchemeName(cell.scheme));
+                spec.name + "/" + cellSchemeName(cell));
         }
         RecoveryConfig config;
         config.scheme = cell.scheme;
@@ -283,6 +392,9 @@ main(int argc, char **argv)
         config.scenarioOptions = spec.options;
         config.endTime = spec.endTime;
         config.zoneCount = spec.zoneCount;
+        config.forecast = cell.forecast;
+        if (samplePeriod > 0.0)
+            config.samplePeriod = samplePeriod;
         const auto start = std::chrono::steady_clock::now();
         cell.recovery = exp::runRecovery(config);
         cell.wallSeconds =
@@ -295,18 +407,20 @@ main(int argc, char **argv)
     bench::banner("time-to-recovery per (scenario, scheme)");
     util::Table table({"scenario", "scheme", "ttcr(s)", "ttfr(s)",
                        "min_avail", "final_avail", "max_pending",
-                       "replans", "violations"});
+                       "replans", "warm", "proactive", "violations"});
     for (const CellResult &cell : cells) {
         const ScenarioSpec &spec = scenarios[cell.scenarioIndex];
         table.row()
             .cell(spec.name)
-            .cell(exp::recoverySchemeName(cell.scheme))
+            .cell(cellSchemeName(cell))
             .cell(cell.recovery.timeToCriticalRecovery, 0)
             .cell(cell.recovery.timeToFullRecovery, 0)
             .cell(cell.recovery.minAvailability, 2)
             .cell(cell.recovery.finalAvailability, 2)
             .cell(cell.recovery.maxPending)
             .cell(cell.recovery.replans)
+            .cell(cell.recovery.warmReplans)
+            .cell(cell.recovery.proactiveReplans)
             .cell(cell.recovery.invariantViolations);
     }
     table.print(std::cout);
@@ -344,7 +458,7 @@ main(int argc, char **argv)
     for (const CellResult &cell : cells) {
         const ScenarioSpec &spec = scenarios[cell.scenarioIndex];
         const std::string prefix =
-            spec.name + "_" + exp::recoverySchemeName(cell.scheme);
+            spec.name + "_" + cellSchemeName(cell);
         report.meta(prefix + "_ttcr_s",
                     cell.recovery.timeToCriticalRecovery);
         report.meta(prefix + "_ttfr_s",
@@ -368,17 +482,28 @@ main(int argc, char **argv)
         const CellResult *phoenix = nullptr;
         const CellResult *fallback = nullptr;
         const CellResult *spread = nullptr;
+        const CellResult *decayReactive = nullptr;
+        const CellResult *decayForecast = nullptr;
+        const CellResult *grayReactive = nullptr;
+        const CellResult *grayForecast = nullptr;
         for (const CellResult &cell : cells) {
             const std::string &name =
                 scenarios[cell.scenarioIndex].name;
-            if (name == "cap50") {
+            if (name == "cap50" && !cell.forecast) {
                 if (cell.scheme == RecoveryScheme::PhoenixCost)
                     phoenix = &cell;
                 if (cell.scheme == RecoveryScheme::Default)
                     fallback = &cell;
-            } else if (name == "spreadzone" &&
+            } else if (name == "spreadzone" && !cell.forecast &&
                        cell.scheme == RecoveryScheme::PhoenixCost) {
                 spread = &cell;
+            } else if (cell.scheme == RecoveryScheme::PhoenixCost &&
+                       name == "decayzone") {
+                (cell.forecast ? decayForecast : decayReactive) =
+                    &cell;
+            } else if (cell.scheme == RecoveryScheme::PhoenixCost &&
+                       name == "graydecay") {
+                (cell.forecast ? grayForecast : grayReactive) = &cell;
             }
         }
         size_t failures = 0;
@@ -414,6 +539,45 @@ main(int argc, char **argv)
                            p.timeToCriticalRecovery + 120.0,
                    "default cannot protect critical services before "
                    "capacity returns");
+        }
+        // Forecast storyline: on both anticipated-fault scenarios the
+        // forecast cell recovers strictly faster than reactive (a ttcr
+        // of 0 — the fault became a non-event — counts), and on the
+        // pre-staged zone kill the margin is at least 2x.
+        auto beats = [](const RecoveryResult &reactive,
+                        const RecoveryResult &forecast) {
+            if (forecast.timeToCriticalRecovery < 0.0)
+                return false; // forecast never recovered
+            return reactive.timeToCriticalRecovery < 0.0 ||
+                   forecast.timeToCriticalRecovery <
+                       reactive.timeToCriticalRecovery;
+        };
+        expect(decayReactive && decayForecast &&
+                   grayReactive && grayForecast,
+               "anticipated-fault smoke cells ran");
+        if (decayReactive && decayForecast) {
+            const RecoveryResult &r = decayReactive->recovery;
+            const RecoveryResult &f = decayForecast->recovery;
+            expect(r.timeToCriticalRecovery > 0.0,
+                   "decayzone reactive ttcr derived (dip happened)");
+            expect(beats(r, f),
+                   "decayzone forecast ttcr strictly below reactive");
+            expect(f.timeToCriticalRecovery * 2.0 <=
+                       r.timeToCriticalRecovery,
+                   "decayzone forecast recovers >= 2x faster");
+            expect(f.forecast.prestagedPlans >= 1,
+                   "decayzone forecast pre-staged a plan");
+            expect(f.proactiveReplans + f.warmReplans >= 1,
+                   "decayzone forecast acted on a staged plan "
+                   "(proactive execution or warm apply)");
+        }
+        if (grayReactive && grayForecast) {
+            const RecoveryResult &r = grayReactive->recovery;
+            const RecoveryResult &f = grayForecast->recovery;
+            expect(beats(r, f),
+                   "graydecay forecast ttcr strictly below reactive");
+            expect(f.forecast.prestagedPlans >= 1,
+                   "graydecay forecast pre-staged a plan");
         }
         expect(spread != nullptr, "spreadzone smoke cell ran");
         if (spread) {

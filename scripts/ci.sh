@@ -32,15 +32,15 @@ cmake --build "$BUILD" -j "$JOBS"
 
 step "tier-1 ctest (unit + property + corpus suites)"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
-    -E '^(fuzz_smoke|constraint_fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|fig8b_1m_smoke|fuzz_long|constraint_fuzz_long|soak_smoke|constrained_soak_smoke|soak_long)$'
+    -E '^(fuzz_smoke|constraint_fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|fig8b_1m_smoke|fuzz_long|constraint_fuzz_long|forecast_smoke|forecast_fuzz_long|soak_smoke|constrained_soak_smoke|soak_long)$'
 
 # The smoke gates run serially and last so their bound assertions
 # (fig8b op counters, Fig 6 recovery times, serving SLO/shed bounds,
 # oracle cleanliness, soak violations, constraint-feasibility oracle
 # cleanliness on the constrained generator) are easy to spot in the log.
-step "smoke gates: fuzz, constraint_fuzz, recovery, serve, fig8b, soak, constrained_soak"
+step "smoke gates: fuzz, constraint_fuzz, recovery, serve, fig8b, soak, constrained_soak, forecast"
 ctest --test-dir "$BUILD" --output-on-failure \
-    -R '^(fuzz_smoke|constraint_fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|soak_smoke|constrained_soak_smoke)$'
+    -R '^(fuzz_smoke|constraint_fuzz_smoke|recovery_smoke|serve_smoke|fig8b_smoke|soak_smoke|constrained_soak_smoke|forecast_smoke)$'
 
 # Million-node gate, opt-in: export FIG8B_1M=1 to run the 1M-node
 # Phoenix cells + the 100k incremental-replan demo (~minutes, GBs of
@@ -71,6 +71,18 @@ if [[ -n "${CONSTRAINT_FUZZ_CASES:-}" ]]; then
   step "long constrained fuzz gate: constraint_fuzz_long (CONSTRAINT_FUZZ_CASES=${CONSTRAINT_FUZZ_CASES})"
   CONSTRAINT_FUZZ_CASES="$CONSTRAINT_FUZZ_CASES" ctest --test-dir "$BUILD" \
       --output-on-failure -R '^constraint_fuzz_long$'
+fi
+
+# Long forecast fuzz, opt-in: export FORECAST_FUZZ_CASES to a case
+# count (e.g. FORECAST_FUZZ_CASES=20000) to drive the warm-cold-
+# divergence oracle dimension at bulk. Without it the test self-skips
+# (exit 77). The `forecast` ctest label groups this with
+# forecast_smoke and the test_forecast suite: `ctest -L forecast`
+# runs the whole predictive-degradation battery.
+if [[ -n "${FORECAST_FUZZ_CASES:-}" ]]; then
+  step "long forecast fuzz gate: forecast_fuzz_long (FORECAST_FUZZ_CASES=${FORECAST_FUZZ_CASES})"
+  FORECAST_FUZZ_CASES="$FORECAST_FUZZ_CASES" ctest --test-dir "$BUILD" \
+      --output-on-failure -R '^forecast_fuzz_long$'
 fi
 
 if [[ "$FAST" == "1" ]]; then

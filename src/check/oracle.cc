@@ -971,6 +971,43 @@ checkCase(const CheckCase &c, const OracleOptions &options)
                 report(result.violations, "incremental-vs-flat", name,
                        "warm replan diverges from cold plan");
         }
+
+        // Forecast warm-plan soundness: a scheme that just planned a
+        // *projection* (the post state with one more node failed —
+        // the shape the forecast subsystem pre-stages against) must
+        // still produce the cold answer when asked to plan the real
+        // post state. This is the property that makes applying a
+        // pre-staged plan at trigger time equivalent to a cold
+        // replan: scheme output is a pure function of (apps, state),
+        // whatever the instance planned before.
+        {
+            ClusterState projection = post;
+            const std::vector<NodeId> healthy = post.healthyNodes();
+            if (!healthy.empty())
+                projection.failNode(healthy.front());
+
+            PlannerOptions staged_planner;
+            staged_planner.incremental = true;
+            staged_planner.shardCount = options.shards;
+            PackingOptions staged_packing;
+            staged_packing.incremental = true;
+            staged_packing.zoneShards =
+                static_cast<size_t>(options.shards);
+            PhoenixScheme staged(objective, staged_planner,
+                                 staged_packing);
+            (void)staged.apply(c.apps, projection);
+            const SchemeResult rewarm = staged.apply(c.apps, post);
+            if (rewarm.failed != flat.failed ||
+                rewarm.plan != flat.plan ||
+                !sameActions(rewarm.pack.actions,
+                             flat.pack.actions) ||
+                rewarm.pack.complete != flat.pack.complete ||
+                rewarm.pack.state.assignment() !=
+                    flat.pack.state.assignment())
+                report(result.violations, "warm-cold-divergence", name,
+                       "plan after projection planning diverges from "
+                       "cold plan");
+        }
     }
 
     result.schemesSeconds = secondsSince(schemes_start);

@@ -73,6 +73,12 @@ PhoenixController::poll()
         }
     }
 
+    // Forecast, when attached, observes every poll (models + risk
+    // gates + warm-plan staging) before the replan decision.
+    if (forecast_)
+        forecast_->tick();
+    const bool forceReplan = forecast_ && forecast_->takeForceReplan();
+
     // The first poll always plans (Phoenix owns initial placement and
     // repairs whatever spread placement left pending); afterwards
     // capacity changes *or* ready-set membership changes trigger
@@ -86,9 +92,10 @@ PhoenixController::poll()
                 std::max(lastCapacity_, 1.0);
     const bool membershipChanged =
         lastCapacity_ >= 0.0 && fingerprint != lastFingerprint_;
-    const bool changed = capacityChanged || membershipChanged;
+    const bool changed =
+        capacityChanged || membershipChanged || forceReplan;
     if (changed) {
-        if (!capacityChanged)
+        if (!capacityChanged && membershipChanged)
             PHOENIX_COUNT(*obs_.membershipReplans, 1);
         PHOENIX_INFO("controller: capacity change " << lastCapacity_
                                                     << " -> " << capacity
@@ -104,64 +111,108 @@ PhoenixController::poll()
             (obs::TraceArg{"capacity_before", record.capacityBefore}),
             (obs::TraceArg{"capacity_after", record.capacityAfter}));
 
-        // Blast-radius hint for the scheme (advisory: incremental
-        // replanning reconciles against the full observed state).
-        scheme_->noteDirtyNodes(cluster_.drainDirtyNodes());
-        const SchemeResult result =
-            scheme_->apply(cluster_.apps(), cluster_.observedState());
-        record.planSeconds = result.planSeconds + result.packSeconds;
-        PHOENIX_OBSERVE(*obs_.planSeconds, record.planSeconds);
-        // No wall-time duration here: the canonical trace carries sim
-        // time only (plan compute cost lives in the plan_seconds
-        // histogram, exempt like every wall-clock field).
-        PHOENIX_TRACE_INSTANT(
-            "controller", "plan", record.detectedAt,
-            (obs::TraceArg{
-                "actions",
-                static_cast<double>(result.pack.actions.size())}));
-
-        // assignment() iterates ascending by PodRef, so the vector
-        // comes out sorted and membership checks can binary-search.
-        target_.clear();
-        target_.reserve(result.pack.state.assignment().size());
-        for (const auto &[pod, node] : result.pack.state.assignment()) {
-            (void)node;
-            target_.push_back(pod);
+        // Warm path: a pre-staged plan whose projected state matches
+        // the observed state byte-for-byte applies in O(actions) — no
+        // plan/pack compute. The hook guarantees byte-identity with a
+        // cold replan (fingerprint match over the full planner input,
+        // optionally re-verified), so the dirty-node hint is left
+        // accumulating for the next cold apply.
+        const SchemeResult *warm =
+            forecast_ ? forecast_->matchWarm(cluster_.apps(),
+                                             cluster_.observedState())
+                      : nullptr;
+        if (warm) {
+            record.warm = true;
+            record.planSeconds = 0.0;
+            applyResult(*warm, record);
+        } else {
+            // Blast-radius hint for the scheme (advisory: incremental
+            // replanning reconciles against the full observed state).
+            scheme_->noteDirtyNodes(cluster_.drainDirtyNodes());
+            const SchemeResult result = scheme_->apply(
+                cluster_.apps(), cluster_.observedState());
+            record.planSeconds =
+                result.planSeconds + result.packSeconds;
+            applyResult(result, record);
         }
-
-        for (const Action &action : result.pack.actions) {
-            switch (action.kind) {
-              case ActionKind::Delete:
-                ++record.deletes;
-                PHOENIX_COUNT(*obs_.deletes, 1);
-                break;
-              case ActionKind::Migrate:
-                ++record.migrations;
-                PHOENIX_COUNT(*obs_.migrations, 1);
-                break;
-              case ActionKind::Restart:
-                ++record.restarts;
-                PHOENIX_COUNT(*obs_.restarts, 1);
-                break;
-            }
+    } else if (forecast_) {
+        // No replan trigger: an armed risk may ask for proactive
+        // execution of its staged plan — evacuate / degrade ahead of
+        // the anticipated fault so the fault itself is a non-event.
+        if (const SchemeResult *proactive = forecast_->takeProactive()) {
+            ReplanRecord record;
+            record.detectedAt = events_.now();
+            record.capacityBefore = capacity;
+            record.capacityAfter = capacity;
+            record.proactive = true;
+            record.planSeconds = 0.0;
+            PHOENIX_COUNT(*obs_.replans, 1);
+            PHOENIX_TRACE_ASYNC_BEGIN(
+                "controller", "replan", history_.size(),
+                record.detectedAt,
+                (obs::TraceArg{"capacity_before",
+                               record.capacityBefore}),
+                (obs::TraceArg{"capacity_after",
+                               record.capacityAfter}));
+            applyResult(*proactive, record);
         }
-        PHOENIX_TRACE_INSTANT(
-            "controller", "execute", events_.now(),
-            (obs::TraceArg{"deletes",
-                           static_cast<double>(record.deletes)}),
-            (obs::TraceArg{"migrations",
-                           static_cast<double>(record.migrations)}),
-            (obs::TraceArg{"restarts",
-                           static_cast<double>(record.restarts)}));
-        execute(result);
-        history_.push_back(record);
-        if (observer_)
-            observer_(result, history_.back());
     }
     lastCapacity_ = capacity;
     lastFingerprint_ = fingerprint;
 
     events_.scheduleAfter(config_.pollPeriod, [this] { poll(); });
+}
+
+void
+PhoenixController::applyResult(const SchemeResult &result,
+                               ReplanRecord record)
+{
+    PHOENIX_OBSERVE(*obs_.planSeconds, record.planSeconds);
+    // No wall-time duration here: the canonical trace carries sim
+    // time only (plan compute cost lives in the plan_seconds
+    // histogram, exempt like every wall-clock field).
+    PHOENIX_TRACE_INSTANT(
+        "controller", "plan", record.detectedAt,
+        (obs::TraceArg{
+            "actions",
+            static_cast<double>(result.pack.actions.size())}));
+
+    // assignment() iterates ascending by PodRef, so the vector
+    // comes out sorted and membership checks can binary-search.
+    target_.clear();
+    target_.reserve(result.pack.state.assignment().size());
+    for (const auto &[pod, node] : result.pack.state.assignment()) {
+        (void)node;
+        target_.push_back(pod);
+    }
+
+    for (const Action &action : result.pack.actions) {
+        switch (action.kind) {
+          case ActionKind::Delete:
+            ++record.deletes;
+            PHOENIX_COUNT(*obs_.deletes, 1);
+            break;
+          case ActionKind::Migrate:
+            ++record.migrations;
+            PHOENIX_COUNT(*obs_.migrations, 1);
+            break;
+          case ActionKind::Restart:
+            ++record.restarts;
+            PHOENIX_COUNT(*obs_.restarts, 1);
+            break;
+        }
+    }
+    PHOENIX_TRACE_INSTANT(
+        "controller", "execute", events_.now(),
+        (obs::TraceArg{"deletes", static_cast<double>(record.deletes)}),
+        (obs::TraceArg{"migrations",
+                       static_cast<double>(record.migrations)}),
+        (obs::TraceArg{"restarts",
+                       static_cast<double>(record.restarts)}));
+    execute(result);
+    history_.push_back(record);
+    if (observer_)
+        observer_(result, history_.back());
 }
 
 void

@@ -68,6 +68,42 @@ struct ReplanRecord
     double capacityAfter = 0.0;
     /** When every planned pod reached Running (t4); <0 until then. */
     sim::SimTime recoveredAt = -1.0;
+    /** Applied a pre-staged warm plan (no plan/pack compute). */
+    bool warm = false;
+    /** Proactive pre-fault execution of a forecast plan (no capacity
+     * change had been observed yet). */
+    bool proactive = false;
+};
+
+/**
+ * Forecast integration point (src/forecast implements it; declared
+ * here so core need not link against forecast). The controller drives
+ * the hook once per poll:
+ *
+ *  1. tick() — observe the cluster, update trend models / risk gates,
+ *     and (re-)stage warm plans against projected post-fault states.
+ *  2. takeForceReplan() — one-shot: force a cold replan this poll
+ *     (restorative replan after a risk cleared without its fault).
+ *  3. On a replan trigger, matchWarm() — return a pre-staged plan
+ *     byte-identical to what a cold replan would produce against
+ *     @p observed, or nullptr to fall back cold.
+ *  4. When no replan triggered, takeProactive() — one-shot: a staged
+ *     plan to execute *now*, ahead of the anticipated fault
+ *     (pre-fault evacuation / early degradation).
+ *
+ * Returned pointers stay valid until the next tick().
+ */
+class ForecastHook
+{
+  public:
+    virtual ~ForecastHook() = default;
+
+    virtual void tick() = 0;
+    virtual bool takeForceReplan() = 0;
+    virtual const SchemeResult *
+    matchWarm(const std::vector<sim::Application> &apps,
+              const sim::ClusterState &observed) = 0;
+    virtual const SchemeResult *takeProactive() = 0;
 };
 
 /**
@@ -104,8 +140,18 @@ class PhoenixController
         observer_ = std::move(observer);
     }
 
+    /**
+     * Attach the forecast subsystem (not owned; lifetime must cover
+     * the controller's). Null detaches — the controller then behaves
+     * byte-identically to a forecast-less build.
+     */
+    void attachForecast(ForecastHook *hook) { forecast_ = hook; }
+
   private:
     void poll();
+    /** Turn a scheme result into target state + actions + record
+     * bookkeeping and issue it to the cluster. */
+    void applyResult(const SchemeResult &result, ReplanRecord record);
     void execute(const SchemeResult &result);
 
     sim::EventQueue &events_;
@@ -131,6 +177,8 @@ class PhoenixController
     /** Invalidates in-flight drain waits when a new plan lands. */
     uint64_t planGeneration_ = 0;
     ReplanObserver observer_;
+    /** Forecast subsystem, when attached (not owned). */
+    ForecastHook *forecast_ = nullptr;
 
     /** obs handles, resolved once at construction. */
     struct ObsHandles

@@ -8,6 +8,7 @@
 #include "core/chaos.h"
 #include "core/controller.h"
 #include "core/schemes.h"
+#include "exp/timeseries.h"
 #include "sim/metrics.h"
 
 namespace phoenix::exp {
@@ -27,31 +28,11 @@ recoverySchemeName(RecoveryScheme scheme)
 
 namespace {
 
-/**
- * Derive "seconds since the failure until @p ok(sample) holds for
- * good": 0 when it never stopped holding, -1 when the horizon ends
- * with it still false, otherwise the first sample instant after the
- * last bad one, relative to @p failure_at.
- */
-template <typename Pred>
+/** RecoverySample time accessor for the shared derivation. */
 double
-recoveryTime(const std::vector<RecoverySample> &samples,
-             double failure_at, Pred ok)
+sampleTime(const RecoverySample &sample)
 {
-    if (failure_at < 0.0)
-        return 0.0;
-    double last_bad = -1.0;
-    for (const RecoverySample &sample : samples) {
-        if (sample.t >= failure_at && !ok(sample))
-            last_bad = sample.t;
-    }
-    if (last_bad < 0.0)
-        return 0.0;
-    for (const RecoverySample &sample : samples) {
-        if (sample.t > last_bad)
-            return sample.t - failure_at;
-    }
-    return -1.0; // still bad at the horizon
+    return sample.t;
 }
 
 } // namespace
@@ -108,6 +89,7 @@ runRecovery(const RecoveryConfig &config)
         cluster.addApplication(app);
 
     std::unique_ptr<core::PhoenixController> controller;
+    std::unique_ptr<forecast::Forecaster> forecaster;
     if (config.scheme != RecoveryScheme::Default) {
         const core::Objective objective =
             config.scheme == RecoveryScheme::PhoenixCost
@@ -116,6 +98,20 @@ runRecovery(const RecoveryConfig &config)
         controller = std::make_unique<core::PhoenixController>(
             events, cluster,
             std::make_unique<core::PhoenixScheme>(objective));
+        if (config.forecast) {
+            forecast::ForecastConfig forecastConfig =
+                config.forecastConfig;
+            if (config.zoneCount > 0)
+                forecastConfig.fallbackZoneCount = config.zoneCount;
+            forecaster = std::make_unique<forecast::Forecaster>(
+                cluster,
+                [objective] {
+                    return std::make_unique<core::PhoenixScheme>(
+                        objective);
+                },
+                forecastConfig);
+            controller->attachForecast(forecaster.get());
+        }
     }
 
     // C1 pod lookup (MsIds may be sparse: map, not vector index).
@@ -197,14 +193,14 @@ runRecovery(const RecoveryConfig &config)
     if (!result.samples.empty())
         result.finalAvailability = result.samples.back().availability;
 
-    result.timeToCriticalRecovery = recoveryTime(
-        result.samples, result.firstFailureAt,
+    result.timeToCriticalRecovery = recoveryTimeSince(
+        result.samples, result.firstFailureAt, sampleTime,
         [](const RecoverySample &s) {
             return s.availability >= 1.0 - 1e-9;
         });
     const size_t full = result.preFailureRunning;
-    result.timeToFullRecovery = recoveryTime(
-        result.samples, result.firstFailureAt,
+    result.timeToFullRecovery = recoveryTimeSince(
+        result.samples, result.firstFailureAt, sampleTime,
         [full](const RecoverySample &s) { return s.running >= full; });
 
     result.invariantViolations = cluster.invariantViolations();
@@ -215,8 +211,14 @@ runRecovery(const RecoveryConfig &config)
             result.deletes += record.deletes;
             result.migrations += record.migrations;
             result.restarts += record.restarts;
+            if (record.warm)
+                ++result.warmReplans;
+            if (record.proactive)
+                ++result.proactiveReplans;
         }
     }
+    if (forecaster)
+        result.forecast = forecaster->counters();
     if (delta)
         result.obsMetrics = delta->finish();
     return result;

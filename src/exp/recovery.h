@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "apps/cloudlab.h"
+#include "forecast/forecaster.h"
 #include "kube/kube.h"
 #include "sim/scenario.h"
 
@@ -54,6 +55,13 @@ struct RecoveryConfig
      * constrained placement end to end.
      */
     size_t zoneCount = 0;
+    /** Attach the forecast subsystem to the controller: risks are
+     * tracked over the observed capacity stream, plans are pre-staged
+     * against projected post-fault states, and armed risks trigger
+     * proactive execution ahead of the anticipated failure. Ignored
+     * for RecoveryScheme::Default (no controller to attach to). */
+    bool forecast = false;
+    forecast::ForecastConfig forecastConfig;
 };
 
 /**
@@ -107,6 +115,12 @@ struct RecoveryResult
     size_t deletes = 0;
     size_t migrations = 0;
     size_t restarts = 0;
+    /** Replans applied from a pre-staged (warm) plan / executed
+     * proactively before the fault (zero with forecast off). */
+    size_t warmReplans = 0;
+    size_t proactiveReplans = 0;
+    /** Forecast subsystem counters (zero with forecast off). */
+    forecast::ForecastCounters forecast;
     /**
      * obs counters/histogram-counts this run incremented, as (name,
      * delta) pairs, name-sorted (empty with metrics disabled).

@@ -10,6 +10,7 @@
 
 #include "core/controller.h"
 #include "core/schemes.h"
+#include "exp/timeseries.h"
 #include "sim/metrics.h"
 #include "sim/scenario.h"
 #include "util/rng.h"
@@ -370,6 +371,7 @@ runSoak(const SoakConfig &config)
     std::optional<uint64_t> frozen_fingerprint;
     double availability_sum = 0.0;
     size_t availability_samples = 0;
+    std::vector<SeriesPoint> availability_series;
 
     auto check = [&] {
         ++result.checkTicks;
@@ -609,6 +611,8 @@ runSoak(const SoakConfig &config)
         }
         const double availability =
             sim::criticalServiceAvailability(cluster.apps(), active);
+        availability_series.push_back(
+            {now, availability >= 1.0 - 1e-9});
         if (now >= config.warmupSeconds) {
             result.minAvailability =
                 std::min(result.minAvailability, availability);
@@ -640,6 +644,11 @@ runSoak(const SoakConfig &config)
             availability_sum /
             static_cast<double>(availability_samples);
     }
+    // Same derivation (and semantics) as the recovery harness's
+    // time-to-critical-recovery, measured from the first wave.
+    result.timeToAvailabilityRecovery = recoveryTimeSince(
+        availability_series,
+        result.waves.empty() ? -1.0 : result.waves.front().at);
     if (controller) {
         result.replans = controller->history().size();
         for (const auto &record : controller->history()) {

@@ -156,6 +156,10 @@ struct SoakResult
     size_t restarts = 0;
     double minAvailability = 1.0;
     double meanAvailability = 0.0;
+    /** Seconds from the first wave until critical availability holds
+     * at 1.0 for good (exp::recoveryTimeSince conventions: 0 = never
+     * dropped, -1 = still degraded at the horizon). */
+    double timeToAvailabilityRecovery = 0.0;
     size_t maxPending = 0;
     /** obs counter deltas for the whole run (see RecoveryResult). */
     std::vector<std::pair<std::string, double>> obsMetrics;

@@ -1,0 +1,25 @@
+#include "timeseries.h"
+
+namespace phoenix::exp {
+
+double
+recoveryTimeSince(const std::vector<SeriesPoint> &points,
+                  double failureAt)
+{
+    if (failureAt < 0.0)
+        return 0.0;
+    double last_bad = -1.0;
+    for (const SeriesPoint &point : points) {
+        if (point.t >= failureAt && !point.ok)
+            last_bad = point.t;
+    }
+    if (last_bad < 0.0)
+        return 0.0;
+    for (const SeriesPoint &point : points) {
+        if (point.t > last_bad)
+            return point.t - failureAt;
+    }
+    return -1.0; // still bad at the horizon
+}
+
+} // namespace phoenix::exp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared time-series derivations for the experiment harnesses.
+ *
+ * Both the recovery harness and the chaos soak answer the same
+ * question over a sampled series: "how long after the failure did this
+ * predicate hold *for good*?" (time-to-critical-recovery over
+ * availability, time-to-full-recovery over the Running count,
+ * time-to-availability-recovery in the soak). Keeping the derivation
+ * here — one non-template core over (t, ok) points — pins both
+ * harnesses to identical semantics:
+ *
+ *   0   the predicate never stopped holding after the failure;
+ *  -1   the horizon ended with it still false;
+ *  else the first sample instant after the last bad sample, relative
+ *       to the failure instant.
+ *
+ * A negative @p failureAt means "no failure was injected" and yields 0.
+ */
+
+#ifndef PHOENIX_EXP_TIMESERIES_H
+#define PHOENIX_EXP_TIMESERIES_H
+
+#include <vector>
+
+namespace phoenix::exp {
+
+/** One sampled instant: did the recovery predicate hold at @p t? */
+struct SeriesPoint
+{
+    double t = 0.0;
+    bool ok = false;
+};
+
+/**
+ * Seconds from @p failureAt until the predicate holds for good (see
+ * file comment for the 0 / -1 conventions). Points must be in
+ * nondecreasing time order; points before @p failureAt are ignored.
+ */
+double recoveryTimeSince(const std::vector<SeriesPoint> &points,
+                         double failureAt);
+
+/**
+ * Convenience adapter over an arbitrary sample type: @p timeOf maps a
+ * sample to its instant, @p ok evaluates the recovery predicate.
+ */
+template <typename Sample, typename TimeFn, typename Pred>
+double
+recoveryTimeSince(const std::vector<Sample> &samples, double failureAt,
+                  TimeFn timeOf, Pred ok)
+{
+    std::vector<SeriesPoint> points;
+    points.reserve(samples.size());
+    for (const Sample &sample : samples)
+        points.push_back({timeOf(sample), ok(sample)});
+    return recoveryTimeSince(points, failureAt);
+}
+
+} // namespace phoenix::exp
+
+#endif // PHOENIX_EXP_TIMESERIES_H

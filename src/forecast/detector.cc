@@ -1,0 +1,59 @@
+#include "detector.h"
+
+namespace phoenix::forecast {
+
+const char*
+faultClassName(FaultClass cls)
+{
+    switch (cls) {
+    case FaultClass::ZoneLoss:
+        return "zone-loss";
+    case FaultClass::CapacityDecay:
+        return "capacity-decay";
+    case FaultClass::LoadSurge:
+        return "load-surge";
+    }
+    return "unknown";
+}
+
+HysteresisGate::HysteresisGate(HysteresisConfig config) : config_(config)
+{
+    if (config_.armTicks < 1)
+        config_.armTicks = 1;
+}
+
+bool
+HysteresisGate::observe(double signal)
+{
+    signal_ = signal;
+    if (armed_) {
+        if (signal < config_.exit) {
+            armed_ = false;
+            streak_ = 0;
+            ++clearCount_;
+        }
+        return armed_;
+    }
+    if (signal > config_.enter) {
+        if (++streak_ >= config_.armTicks) {
+            armed_ = true;
+            streak_ = 0;
+            ++armCount_;
+        }
+    } else {
+        streak_ = 0;
+    }
+    return armed_;
+}
+
+void
+HysteresisGate::reset()
+{
+    armed_ = false;
+    streak_ = 0;
+    signal_ = 0.0;
+    armCount_ = 0;
+    clearCount_ = 0;
+}
+
+} // namespace phoenix::forecast

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Risk detection for predictive degradation: fault-class taxonomy and
+ * the hysteresis gate that turns a noisy scalar risk signal into a
+ * stable armed/cleared state.
+ *
+ * A gate arms only after the signal has been strictly above the enter
+ * threshold for `armTicks` consecutive observations, and clears only
+ * when the signal drops strictly below the (lower) exit threshold. A
+ * signal sitting exactly at either threshold changes nothing, so a
+ * boundary-riding signal can never flap the gate.
+ */
+
+#ifndef PHOENIX_FORECAST_DETECTOR_H
+#define PHOENIX_FORECAST_DETECTOR_H
+
+#include <cstdint>
+
+namespace phoenix::forecast {
+
+/** Anticipated fault classes the detector can arm on. */
+enum class FaultClass : uint8_t {
+    /** Correlated capacity loss concentrated in one zone (precursor
+     * node failures, rolling zone maintenance gone bad). */
+    ZoneLoss = 0,
+    /** Gradual cluster-wide capacity decay (gray failures, kubelet
+     * degradation) heading for a cliff. */
+    CapacityDecay = 1,
+    /** Offered load surging toward the SLO headroom of current ready
+     * capacity; consumed by serve admission, not the planner. */
+    LoadSurge = 2,
+};
+
+const char* faultClassName(FaultClass cls);
+
+/** Hysteresis thresholds for one risk signal. */
+struct HysteresisConfig
+{
+    /** Arm when the signal is strictly above this for armTicks ticks. */
+    double enter = 0.25;
+    /** Clear when the signal is strictly below this. */
+    double exit = 0.10;
+    /** Consecutive above-enter observations required to arm. */
+    int armTicks = 2;
+};
+
+/**
+ * Two-threshold hysteresis gate with an arming streak. Deterministic:
+ * state is a pure function of the observation sequence.
+ */
+class HysteresisGate
+{
+  public:
+    explicit HysteresisGate(HysteresisConfig config = HysteresisConfig());
+
+    /**
+     * Feed one signal observation; returns the armed state after the
+     * update. Arms on the armTicks-th consecutive strictly-above-enter
+     * sample; clears on a strictly-below-exit sample; anything else
+     * (including exactly-at-threshold) leaves the state untouched.
+     */
+    bool observe(double signal);
+
+    bool armed() const { return armed_; }
+    /** Last observed signal value. */
+    double signal() const { return signal_; }
+    /** Consecutive above-enter samples seen while disarmed. */
+    int streak() const { return streak_; }
+    /** Total cleared->armed transitions. */
+    uint64_t armCount() const { return armCount_; }
+    /** Total armed->cleared transitions. */
+    uint64_t clearCount() const { return clearCount_; }
+
+    void reset();
+
+  private:
+    HysteresisConfig config_;
+    bool armed_ = false;
+    int streak_ = 0;
+    double signal_ = 0.0;
+    uint64_t armCount_ = 0;
+    uint64_t clearCount_ = 0;
+};
+
+} // namespace phoenix::forecast
+
+#endif // PHOENIX_FORECAST_DETECTOR_H

@@ -1,0 +1,81 @@
+#include "model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace phoenix::forecast {
+
+TrendModel::TrendModel(TrendModelConfig config) : config_(config)
+{
+    if (config_.window < 2)
+        config_.window = 2;
+    samples_.resize(config_.window);
+}
+
+void
+TrendModel::observe(double t, double value)
+{
+    if (any_) {
+        const double dt = std::max(t - lastT_, 0.0);
+        const double decay =
+            config_.ewmaHalfLife > 0.0
+                ? std::exp2(-dt / config_.ewmaHalfLife)
+                : 0.0;
+        ewma_ = value + (ewma_ - value) * decay;
+    } else {
+        ewma_ = value;
+        any_ = true;
+    }
+    last_ = value;
+    lastT_ = t;
+
+    samples_[head_] = {t, value};
+    head_ = (head_ + 1) % samples_.size();
+    count_ = std::min(count_ + 1, samples_.size());
+}
+
+double
+TrendModel::slope() const
+{
+    if (count_ < 2)
+        return 0.0;
+    double tSum = 0.0;
+    double vSum = 0.0;
+    for (size_t i = 0; i < count_; ++i) {
+        tSum += samples_[i].first;
+        vSum += samples_[i].second;
+    }
+    const double tMean = tSum / static_cast<double>(count_);
+    const double vMean = vSum / static_cast<double>(count_);
+    double num = 0.0;
+    double den = 0.0;
+    for (size_t i = 0; i < count_; ++i) {
+        const double dt = samples_[i].first - tMean;
+        num += dt * (samples_[i].second - vMean);
+        den += dt * dt;
+    }
+    if (den <= 0.0)
+        return 0.0;
+    return num / den;
+}
+
+double
+TrendModel::project(double horizonSeconds) const
+{
+    if (!any_)
+        return 0.0;
+    return std::max(0.0, last_ + slope() * horizonSeconds);
+}
+
+void
+TrendModel::reset()
+{
+    head_ = 0;
+    count_ = 0;
+    ewma_ = 0.0;
+    last_ = 0.0;
+    lastT_ = 0.0;
+    any_ = false;
+}
+
+} // namespace phoenix::forecast

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Demand/capacity trend models for predictive degradation.
+ *
+ * A TrendModel is the per-signal estimator the forecaster fits from
+ * the controller's poll-cadence observations (ready capacity, per-zone
+ * capacity, offered load): a sliding window of (t, value) samples with
+ * a half-life EWMA for the level and an exact least-squares line fit
+ * for the trend. project(h) extrapolates the window's trend h seconds
+ * ahead, clamped at zero — capacity and load are non-negative.
+ *
+ * Everything is plain arithmetic over the observation stream: no
+ * randomness, no wall-clock reads, no global state, so two runs (or
+ * the same sweep cell on different --jobs widths) fit bit-identical
+ * models from the same simulated history.
+ */
+
+#ifndef PHOENIX_FORECAST_MODEL_H
+#define PHOENIX_FORECAST_MODEL_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace phoenix::forecast {
+
+/** TrendModel tunables. */
+struct TrendModelConfig
+{
+    /** Sliding-window length in samples (>= 2 for a usable slope). */
+    size_t window = 8;
+    /** EWMA half-life in seconds: an observation this old contributes
+     * half the weight of a fresh one. */
+    double ewmaHalfLife = 60.0;
+};
+
+/**
+ * Windowed EWMA + linear-trend fit over one scalar signal. observe()
+ * in non-decreasing time order; queries are O(window).
+ */
+class TrendModel
+{
+  public:
+    explicit TrendModel(TrendModelConfig config = TrendModelConfig());
+
+    /** Feed one observation at sim time @p t. */
+    void observe(double t, double value);
+
+    /** Samples currently in the window. */
+    size_t sampleCount() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    /** Most recent observed value (0 before any observation). */
+    double last() const { return last_; }
+    /** Instant of the most recent observation. */
+    double lastTime() const { return lastT_; }
+
+    /** Half-life EWMA of the signal level. */
+    double ewma() const { return ewma_; }
+
+    /**
+     * Least-squares slope (value per second) over the window; 0 until
+     * the window holds two samples at distinct instants.
+     */
+    double slope() const;
+
+    /**
+     * Extrapolate the window's trend @p horizonSeconds past the last
+     * observation: last() + slope() * horizon, clamped at 0.
+     */
+    double project(double horizonSeconds) const;
+
+    void reset();
+
+  private:
+    TrendModelConfig config_;
+    /** Ring buffer of (t, value); head_ is the next write slot. */
+    std::vector<std::pair<double, double>> samples_;
+    size_t head_ = 0;
+    size_t count_ = 0;
+    double ewma_ = 0.0;
+    double last_ = 0.0;
+    double lastT_ = 0.0;
+    bool any_ = false;
+};
+
+} // namespace phoenix::forecast
+
+#endif // PHOENIX_FORECAST_MODEL_H

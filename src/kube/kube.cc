@@ -785,6 +785,78 @@ KubeCluster::observedReadyFingerprint() const
     return apiOutage_ ? frozenFingerprint_ : readyFingerprint();
 }
 
+size_t
+KubeCluster::forecastZoneCount(size_t fallbackZoneCount) const
+{
+    if (hasExplicitZones_) {
+        uint32_t max_zone = 0;
+        for (const NodeRec &rec : nodes_)
+            max_zone = std::max(max_zone, rec.zone);
+        return static_cast<size_t>(max_zone) + 1;
+    }
+    const size_t fallback = std::max<size_t>(fallbackZoneCount, 1);
+    return std::min(fallback, std::max<size_t>(nodes_.size(), 1));
+}
+
+size_t
+KubeCluster::forecastZoneOf(NodeId node, size_t fallbackZoneCount) const
+{
+    if (hasExplicitZones_)
+        return nodes_.at(node).zone;
+    return static_cast<size_t>(node) %
+           std::max<size_t>(fallbackZoneCount, 1);
+}
+
+std::vector<KubeCluster::ZoneCapacity>
+KubeCluster::observedZoneCapacities(size_t fallbackZoneCount) const
+{
+    std::vector<ZoneCapacity> zones(forecastZoneCount(fallbackZoneCount));
+    // Static side: nameplate capacities (never frozen — labels and
+    // nameplates are deployment facts, not observations). Ready side:
+    // the observation surface, so outages freeze it.
+    const sim::ClusterState observed = observedState();
+    for (const NodeRec &rec : nodes_) {
+        const size_t z = forecastZoneOf(rec.id, fallbackZoneCount);
+        if (z >= zones.size())
+            continue;
+        zones[z].staticCapacity += rec.capacity;
+        if (rec.id < observed.nodeCount() &&
+            observed.isHealthy(rec.id))
+            zones[z].readyCapacity += observed.node(rec.id).capacity;
+    }
+    return zones;
+}
+
+sim::ClusterState
+KubeCluster::projectedZoneLossState(size_t zone,
+                                    size_t fallbackZoneCount) const
+{
+    sim::ClusterState state = observedState();
+    for (const NodeRec &rec : nodes_) {
+        if (forecastZoneOf(rec.id, fallbackZoneCount) != zone)
+            continue;
+        if (rec.id < state.nodeCount() && state.isHealthy(rec.id))
+            state.failNode(rec.id);
+    }
+    return state;
+}
+
+sim::ClusterState
+KubeCluster::projectedDecayState() const
+{
+    sim::ClusterState state = observedState();
+    for (const NodeRec &rec : nodes_) {
+        if (rec.id >= state.nodeCount() || !state.isHealthy(rec.id))
+            continue;
+        // Observed below nameplate == degraded in the snapshot
+        // (buildState reports max(capacity * factor, usage)).
+        if (state.node(rec.id).capacity <
+            rec.capacity * (1.0 - 1e-12))
+            state.failNode(rec.id);
+    }
+    return state;
+}
+
 std::set<PodRef>
 KubeCluster::runningPods() const
 {

@@ -272,6 +272,50 @@ class KubeCluster : public sim::FaultTarget
      */
     uint64_t observedReadyFingerprint() const;
 
+    // --- Forecast projections --------------------------------------
+    /** Static vs. observed ready capacity of one forecast zone. */
+    struct ZoneCapacity
+    {
+        double staticCapacity = 0.0; //!< nameplate capacity of the zone
+        double readyCapacity = 0.0;  //!< observed (frozen-aware) ready
+    };
+
+    /**
+     * Forecast failure-domain partition: the explicit zone labels when
+     * the deployment declares topology, else the classic
+     * id % fallbackZoneCount striping the scenario engine uses.
+     */
+    size_t forecastZoneCount(size_t fallbackZoneCount) const;
+    size_t forecastZoneOf(sim::NodeId node,
+                          size_t fallbackZoneCount) const;
+
+    /**
+     * Per-zone nameplate vs. observed ready capacity, indexed by
+     * forecast zone. Built from the observation surface, so an API
+     * outage freezes the ready side while the static side stays
+     * nameplate truth.
+     */
+    std::vector<ZoneCapacity>
+    observedZoneCapacities(size_t fallbackZoneCount) const;
+
+    /**
+     * Projected post-fault snapshot for an anticipated zone loss: the
+     * observed state with every node of forecast zone @p zone failed
+     * (pods on them evicted). Failing an already-failed node is a
+     * no-op, so once the zone is actually down the projection
+     * converges to the observed state itself — which is what lets a
+     * pre-staged plan match byte-for-byte at trigger time.
+     */
+    sim::ClusterState projectedZoneLossState(
+        size_t zone, size_t fallbackZoneCount) const;
+
+    /**
+     * Projected post-fault snapshot for gradual capacity decay: the
+     * observed state with every capacity-deficient node (observed
+     * below its nameplate — i.e. degraded) failed.
+     */
+    sim::ClusterState projectedDecayState() const;
+
     /** Pods currently serving traffic (Running only). */
     std::set<sim::PodRef> runningPods() const;
 

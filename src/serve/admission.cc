@@ -44,6 +44,17 @@ AdmissionController::observeCapacity(double readyFraction)
 }
 
 void
+AdmissionController::observeProjectedCapacity(double projectedFraction)
+{
+    if (!config_.enabled)
+        return;
+    // No hysteresis: the forecaster's risk gates already arm/clear
+    // with hysteresis, so this maps straight through — the moment a
+    // risk clears, full admission resumes.
+    forecastLevel_ = levelFor(projectedFraction);
+}
+
+void
 AdmissionController::setPlannedServices(std::set<uint64_t> plannedUp)
 {
     if (!config_.enabled)
@@ -75,6 +86,8 @@ AdmissionController::decide(const RequestClass &cls) const
     }
     if (cls.criticality > admitLevel_)
         return AdmitDecision::ShedCapacity;
+    if (cls.criticality > forecastLevel_)
+        return AdmitDecision::ShedForecast;
     return AdmitDecision::Admit;
 }
 

@@ -21,6 +21,13 @@
  *    class cannot be served, so making its users wait for a timeout
  *    only wastes capacity. Default (no controller, no plan) never
  *    sheds on this signal — that asymmetry is the experiment.
+ *
+ *  - **Forecast level** (predictive tie-in): the forecast subsystem's
+ *    projected capacity fraction maps through the same level function
+ *    and gates admission alongside the observed level, so the front
+ *    door starts shedding degradable classes *before* the capacity
+ *    cliff instead of after it. No extra hysteresis here — the
+ *    forecaster's risk gates already hysterize the signal.
  */
 
 #ifndef PHOENIX_SERVE_ADMISSION_H
@@ -49,7 +56,7 @@ struct AdmissionConfig
 };
 
 /** Outcome of one admission decision. */
-enum class AdmitDecision { Admit, ShedCapacity, ShedPlan };
+enum class AdmitDecision { Admit, ShedCapacity, ShedPlan, ShedForecast };
 
 class AdmissionController
 {
@@ -58,6 +65,14 @@ class AdmissionController
 
     /** Feed a ready-capacity observation (fraction in [0, 1]). */
     void observeCapacity(double readyFraction);
+
+    /**
+     * Feed the forecast's projected capacity fraction: classes above
+     * the implied level are shed (ShedForecast) even while observed
+     * capacity still admits them. 1.0 (no anticipated risk) disables
+     * the gate.
+     */
+    void observeProjectedCapacity(double projectedFraction);
 
     /** Feed the planner's target: the set of serviceKey()s whose
      * quorum the planned assignment satisfies. */
@@ -70,6 +85,8 @@ class AdmissionController
 
     /** Largest criticality number currently admitted. */
     sim::Criticality admitLevel() const { return admitLevel_; }
+    /** Largest criticality the forecast gate admits. */
+    sim::Criticality forecastLevel() const { return forecastLevel_; }
     bool hasPlan() const { return hasPlan_; }
 
     static uint64_t serviceKey(sim::AppId app, sim::MsId ms)
@@ -83,6 +100,8 @@ class AdmissionController
 
     AdmissionConfig config_;
     sim::Criticality admitLevel_ = sim::kLowestCriticality;
+    /** Forecast gate; kLowestCriticality = no anticipated risk. */
+    sim::Criticality forecastLevel_ = sim::kLowestCriticality;
     std::set<uint64_t> plannedUp_;
     bool hasPlan_ = false;
 };

@@ -71,6 +71,8 @@ ServeDaemon::handle(const util::JsonValue &command)
         return cmdIngestManifest(command);
     if (cmd == "start-controller")
         return cmdStartController(command);
+    if (cmd == "forecast-status")
+        return cmdForecastStatus();
     if (cmd == "serve-start")
         return cmdServeStart(command);
     if (cmd == "inject-scenario")
@@ -206,7 +208,75 @@ ServeDaemon::cmdStartController(const util::JsonValue &command)
         events_, cluster_,
         std::make_unique<core::PhoenixScheme>(objective),
         config_.controller);
-    return "{\"ok\":true,\"scheme\":" + util::jsonQuote(scheme) + "}";
+
+    const util::JsonValue *forecastFlag = command.field("forecast");
+    const bool forecastOn =
+        forecastFlag &&
+        ((forecastFlag->kind == util::JsonValue::Kind::Bool &&
+          forecastFlag->boolean) ||
+         (forecastFlag->isNumber() && forecastFlag->number != 0.0));
+    if (forecastOn) {
+        forecast::ForecastConfig forecastConfig;
+        forecastConfig.fallbackZoneCount = static_cast<size_t>(
+            command.numberAt(
+                "zones",
+                static_cast<double>(
+                    forecastConfig.fallbackZoneCount)));
+        forecastConfig.horizonSeconds = command.numberAt(
+            "horizon", forecastConfig.horizonSeconds);
+        forecaster_ = std::make_unique<forecast::Forecaster>(
+            cluster_,
+            [objective] {
+                return std::make_unique<core::PhoenixScheme>(
+                    objective);
+            },
+            forecastConfig);
+        controller_->attachForecast(forecaster_.get());
+    }
+    return "{\"ok\":true,\"scheme\":" + util::jsonQuote(scheme) +
+           ",\"forecast\":" + (forecastOn ? "true" : "false") + "}";
+}
+
+std::string
+ServeDaemon::cmdForecastStatus()
+{
+    if (!forecaster_)
+        return errorReply("forecast not enabled (start-controller "
+                          "with \"forecast\":true)");
+    const forecast::ForecastCounters &counters =
+        forecaster_->counters();
+    std::ostringstream out;
+    out << "{\"ok\":true,\"projected_capacity_fraction\":"
+        << util::jsonNumber(
+               forecaster_->projectedCapacityFraction())
+        << ",\"capacity_risk_armed\":"
+        << (forecaster_->capacityRiskArmed() ? "true" : "false")
+        << ",\"risks\":[";
+    bool first = true;
+    for (const forecast::RiskStatus &risk : forecaster_->risks()) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"class\":"
+            << util::jsonQuote(forecast::faultClassName(risk.cls));
+        if (risk.zone != SIZE_MAX)
+            out << ",\"zone\":" << risk.zone;
+        out << ",\"armed\":" << (risk.armed ? "true" : "false")
+            << ",\"signal\":" << util::jsonNumber(risk.signal)
+            << ",\"staged\":" << (risk.staged ? "true" : "false")
+            << ",\"executed\":" << (risk.executed ? "true" : "false")
+            << "}";
+    }
+    out << "],\"counters\":{\"prestaged_plans\":"
+        << counters.prestagedPlans
+        << ",\"restaged_plans\":" << counters.restagedPlans
+        << ",\"warm_applies\":" << counters.warmApplies
+        << ",\"stale_plans\":" << counters.stalePlans
+        << ",\"proactive_executions\":"
+        << counters.proactiveExecutions
+        << ",\"forced_restores\":" << counters.forcedRestores
+        << "}}";
+    return out.str();
 }
 
 std::string
@@ -250,7 +320,7 @@ ServeDaemon::cmdServeStart(const util::JsonValue &command)
 
     frontend_ = std::make_unique<ServeFrontend>(
         events_, cluster_, serviceApps_, frontendConfig,
-        controller_.get());
+        controller_.get(), forecaster_.get());
     std::ostringstream out;
     out << "{\"ok\":true,\"classes\":"
         << frontend_->classes().size()

@@ -12,7 +12,8 @@
  *   {"cmd":"load-testbed"}                     CloudLab testbed (Fig 4)
  *   {"cmd":"add-nodes","count":5,"capacity":8}
  *   {"cmd":"ingest-manifest","text":"application: a\n..."}
- *   {"cmd":"start-controller","scheme":"PhoenixCost"}
+ *   {"cmd":"start-controller","scheme":"PhoenixCost","forecast":true}
+ *   {"cmd":"forecast-status"}
  *   {"cmd":"serve-start","duration":600,"shape":"diurnal"}
  *   {"cmd":"inject-scenario","steps":[{"kind":"fail-zone","at":900,"zone":0}]}
  *   {"cmd":"advance","seconds":300}
@@ -83,6 +84,7 @@ class ServeDaemon
     std::string cmdAddNodes(const util::JsonValue &command);
     std::string cmdIngestManifest(const util::JsonValue &command);
     std::string cmdStartController(const util::JsonValue &command);
+    std::string cmdForecastStatus();
     std::string cmdServeStart(const util::JsonValue &command);
     std::string cmdInjectScenario(const util::JsonValue &command);
     std::string cmdAdvance(const util::JsonValue &command);
@@ -98,6 +100,8 @@ class ServeDaemon
     /** Request models for serve-start (testbed + synthesized). */
     std::vector<apps::ServiceApp> serviceApps_;
     std::unique_ptr<core::PhoenixController> controller_;
+    /** Present when start-controller was given "forecast":true. */
+    std::unique_ptr<forecast::Forecaster> forecaster_;
     std::unique_ptr<ServeFrontend> frontend_;
     /** Runners must outlive the simulation; one per inject-scenario. */
     std::vector<std::unique_ptr<sim::ScenarioRunner>> runners_;

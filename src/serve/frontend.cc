@@ -31,13 +31,15 @@ constexpr double kMaxConcentration = 4.0;
 ServeFrontend::ServeFrontend(
     sim::EventQueue &events, kube::KubeCluster &cluster,
     const std::vector<apps::ServiceApp> &serviceApps,
-    FrontendConfig config, core::PhoenixController *controller)
+    FrontendConfig config, core::PhoenixController *controller,
+    forecast::Forecaster *forecaster)
     : events_(events), cluster_(cluster), config_(std::move(config)),
-      controller_(controller),
+      controller_(controller), forecaster_(forecaster),
       tracker_(buildRequestClasses(serviceApps), config_.windowSec),
       admission_(config_.admission)
 {
     p95Factor_ = std::exp(1.645 * config_.latencySigma);
+    lastRefreshAt_ = config_.startAt;
 
     for (const apps::ServiceApp &sapp : serviceApps) {
         for (const sim::Microservice &ms : sapp.app.services) {
@@ -61,6 +63,8 @@ ServeFrontend::ServeFrontend(
     obs_.shedCapacity =
         &registry.counter("serve.shed", "reason", "capacity");
     obs_.shedPlan = &registry.counter("serve.shed", "reason", "plan");
+    obs_.shedForecast =
+        &registry.counter("serve.shed", "reason", "forecast");
     obs_.failed = &registry.counter("serve.failed");
     obs_.sloViolationSeconds =
         &registry.counter("serve.slo_violation_seconds");
@@ -184,16 +188,26 @@ ServeFrontend::handleRequest(size_t classIdx)
 {
     const RequestClass &cls = tracker_.classes()[classIdx];
     PHOENIX_COUNT(*obs_.requestsByClass[classIdx], 1);
+    ++offeredSinceRefresh_;
 
     const AdmitDecision decision = admission_.decide(cls);
     if (decision != AdmitDecision::Admit) {
         tracker_.recordShed(classIdx);
         ++shed_;
         PHOENIX_COUNT(*obs_.shed, 1);
-        PHOENIX_COUNT(decision == AdmitDecision::ShedCapacity
-                          ? *obs_.shedCapacity
-                          : *obs_.shedPlan,
-                      1);
+        switch (decision) {
+          case AdmitDecision::ShedCapacity:
+            PHOENIX_COUNT(*obs_.shedCapacity, 1);
+            break;
+          case AdmitDecision::ShedPlan:
+            PHOENIX_COUNT(*obs_.shedPlan, 1);
+            break;
+          case AdmitDecision::ShedForecast:
+            PHOENIX_COUNT(*obs_.shedForecast, 1);
+            break;
+          case AdmitDecision::Admit:
+            break;
+        }
         // Fail-fast: the user is told immediately, no service time.
         return 0.0;
     }
@@ -262,6 +276,22 @@ ServeFrontend::refresh()
     const double total = cluster_.totalCapacity();
     admission_.observeCapacity(
         total > 0.0 ? cluster_.readyCapacity() / total : 0.0);
+
+    if (forecaster_) {
+        // Feed the offered request rate since the last refresh and
+        // read back the projected capacity fraction: the admission
+        // gate then sheds degradable classes ahead of an anticipated
+        // cliff instead of waiting for the observed level to drop.
+        const double elapsed = events_.now() - lastRefreshAt_;
+        if (elapsed > 0.0) {
+            forecaster_->observeLoad(
+                static_cast<double>(offeredSinceRefresh_) / elapsed);
+        }
+        offeredSinceRefresh_ = 0;
+        lastRefreshAt_ = events_.now();
+        admission_.observeProjectedCapacity(
+            forecaster_->projectedCapacityFraction());
+    }
 
     const double next = events_.now() + config_.refreshSec;
     if (next <= config_.endAt + 1e-9)

@@ -36,6 +36,7 @@
 
 #include "apps/loadgen.h"
 #include "core/controller.h"
+#include "forecast/forecaster.h"
 #include "kube/kube.h"
 #include "obs/obs.h"
 #include "serve/admission.h"
@@ -80,7 +81,8 @@ class ServeFrontend
     ServeFrontend(sim::EventQueue &events, kube::KubeCluster &cluster,
                   const std::vector<apps::ServiceApp> &serviceApps,
                   FrontendConfig config,
-                  core::PhoenixController *controller = nullptr);
+                  core::PhoenixController *controller = nullptr,
+                  forecast::Forecaster *forecaster = nullptr);
 
     const std::vector<RequestClass> &classes() const
     {
@@ -119,6 +121,13 @@ class ServeFrontend
     kube::KubeCluster &cluster_;
     FrontendConfig config_;
     core::PhoenixController *controller_;
+    /** Forecast subsystem: each refresh feeds it the offered request
+     * rate and reads back the projected capacity fraction for the
+     * admission gate (shed before the cliff). Null = off. */
+    forecast::Forecaster *forecaster_;
+    /** Arrivals since the last refresh (offered-RPS estimate). */
+    size_t offeredSinceRefresh_ = 0;
+    double lastRefreshAt_ = 0.0;
 
     SloTracker tracker_;
     AdmissionController admission_;
@@ -147,6 +156,7 @@ class ServeFrontend
         obs::Counter *shed = nullptr;
         obs::Counter *shedCapacity = nullptr;
         obs::Counter *shedPlan = nullptr;
+        obs::Counter *shedForecast = nullptr;
         obs::Counter *failed = nullptr;
         obs::Counter *sloViolationSeconds = nullptr;
     };

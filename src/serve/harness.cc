@@ -30,6 +30,7 @@ runServe(const ServeConfig &config)
         cluster.addApplication(sapp.app);
 
     std::unique_ptr<core::PhoenixController> controller;
+    std::unique_ptr<forecast::Forecaster> forecaster;
     if (config.scheme != ServeScheme::Default) {
         const core::Objective objective =
             config.scheme == ServeScheme::PhoenixCost
@@ -38,6 +39,20 @@ runServe(const ServeConfig &config)
         controller = std::make_unique<core::PhoenixController>(
             events, cluster,
             std::make_unique<core::PhoenixScheme>(objective));
+        if (config.forecast) {
+            forecast::ForecastConfig forecastConfig =
+                config.forecastConfig;
+            forecastConfig.fallbackZoneCount =
+                config.scenarioOptions.zoneCount;
+            forecaster = std::make_unique<forecast::Forecaster>(
+                cluster,
+                [objective] {
+                    return std::make_unique<core::PhoenixScheme>(
+                        objective);
+                },
+                forecastConfig);
+            controller->attachForecast(forecaster.get());
+        }
     }
 
     sim::ScenarioRunner runner(events, cluster, config.scenario,
@@ -47,7 +62,8 @@ runServe(const ServeConfig &config)
     frontendConfig.startAt = config.warmupSec;
     frontendConfig.endAt = config.endTime;
     ServeFrontend frontend(events, cluster, testbed.serviceApps,
-                           frontendConfig, controller.get());
+                           frontendConfig, controller.get(),
+                           forecaster.get());
 
     events.runUntil(config.endTime);
 
@@ -61,6 +77,8 @@ runServe(const ServeConfig &config)
     result.invariantViolations = cluster.invariantViolations();
     if (controller)
         result.replans = controller->history().size();
+    if (forecaster)
+        result.forecast = forecaster->counters();
 
     size_t criticalOffered = 0;
     size_t criticalServed = 0;

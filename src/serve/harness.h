@@ -41,6 +41,11 @@ struct ServeConfig
     double warmupSec = 300.0;
     /** Simulation horizon (also the end of the serving window). */
     double endTime = 1800.0;
+    /** Attach the forecast subsystem to the controller + admission
+     * gate (predictive degradation; Default scheme has no controller
+     * to attach to, so the flag is ignored there). */
+    bool forecast = false;
+    forecast::ForecastConfig forecastConfig;
 };
 
 /** Harness outcome. */
@@ -67,6 +72,8 @@ struct ServeResult
     double firstFailureAt = -1.0;
     size_t replans = 0;
     size_t invariantViolations = 0;
+    /** Forecast subsystem counters (zero when forecast is off). */
+    forecast::ForecastCounters forecast;
 
     /** obs counters/histogram-counts this run incremented (empty with
      * metrics disabled); exact under one-cell-one-thread. */
